@@ -1,0 +1,64 @@
+//! Figure 10 — segment utilization in the /user6 file system.
+//!
+//! Runs the /user6 production workload model against a real LFS long
+//! enough for the cleaner to reach steady state, then snapshots the
+//! distribution of segment utilizations. Expected shape: strongly
+//! bimodal — "large numbers of fully utilized segments and totally empty
+//! segments".
+
+use lfs_bench::{append_jsonl, disk_mb, smoke_mode, Table};
+use lfs_core::Lfs;
+use vfs::FileSystem;
+use workload::{PartitionModel, ProductionWorkload};
+
+fn main() {
+    let smoke = smoke_mode();
+    let (mb, ops) = if smoke {
+        (48u64, 3_000u64)
+    } else {
+        (192, 60_000)
+    };
+    println!("Figure 10: segment utilization distribution under the /user6 workload\n");
+
+    let cfg = lfs_bench::production_lfs_config(mb);
+    let mut fs = Lfs::format(disk_mb(mb), cfg).unwrap();
+    let mut w = ProductionWorkload::new(PartitionModel::user6(), 0xfeed);
+    w.prime(&mut fs).unwrap();
+    w.run_ops(&mut fs, ops).unwrap();
+    fs.sync().unwrap();
+
+    // Histogram of per-segment utilization.
+    let snap = fs.segment_snapshot();
+    const BUCKETS: usize = 20;
+    let mut counts = [0u32; BUCKETS];
+    for &(_, u) in &snap {
+        let b = ((u * BUCKETS as f64) as usize).min(BUCKETS - 1);
+        counts[b] += 1;
+    }
+    let total = snap.len() as f64;
+    let mut table = Table::new(&["segment utilization", "fraction of segments"]);
+    for (i, &c) in counts.iter().enumerate() {
+        let mid = (i as f64 + 0.5) / BUCKETS as f64;
+        let frac = c as f64 / total;
+        table.row(vec![format!("{mid:.2}"), format!("{frac:.3}")]);
+        append_jsonl("fig10", &serde_json::json!({"u": mid, "fraction": frac}));
+    }
+    table.print();
+
+    let empty = counts[0] as f64 / total;
+    let full: f64 = counts[BUCKETS - 4..]
+        .iter()
+        .map(|&c| c as f64 / total)
+        .sum();
+    println!(
+        "\nEmpty-ish segments: {:.0}%   nearly-full segments: {:.0}%   (paper: bimodal)",
+        empty * 100.0,
+        full * 100.0
+    );
+    println!(
+        "Cleaner so far: {} segments cleaned, {:.0}% empty, write cost {:.2}",
+        fs.stats().cleaner.segments_cleaned,
+        fs.stats().cleaner.empty_fraction() * 100.0,
+        fs.stats().write_cost()
+    );
+}

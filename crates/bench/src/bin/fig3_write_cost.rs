@@ -1,0 +1,37 @@
+//! Figure 3 — write cost as a function of `u` (formula (1)).
+//!
+//! Prints `write cost = 2 / (1 - u)` across the utilization range together
+//! with the two reference lines ("FFS today" ≈ 10, "FFS improved" ≈ 4) and
+//! the crossover points the paper calls out (§3.4): LFS beats FFS-today
+//! when cleaned segments are below u = 0.8 and FFS-improved below u = 0.5.
+
+use cleaner_sim::{write_cost_formula, FFS_IMPROVED_WRITE_COST, FFS_TODAY_WRITE_COST};
+use lfs_bench::{append_jsonl, Table};
+
+fn main() {
+    println!("Figure 3: write cost as a function of u for small files\n");
+    let mut table = Table::new(&["u", "LFS write cost", "FFS today", "FFS improved"]);
+    for i in 0..=18 {
+        let u = i as f64 * 0.05;
+        let wc = write_cost_formula(u);
+        table.row(vec![
+            format!("{u:.2}"),
+            format!("{wc:.2}"),
+            format!("{FFS_TODAY_WRITE_COST:.1}"),
+            format!("{FFS_IMPROVED_WRITE_COST:.1}"),
+        ]);
+        append_jsonl(
+            "fig3",
+            &serde_json::json!({"u": u, "lfs": wc,
+                "ffs_today": FFS_TODAY_WRITE_COST, "ffs_improved": FFS_IMPROVED_WRITE_COST}),
+        );
+    }
+    table.print();
+
+    let cross_today = 1.0 - 2.0 / FFS_TODAY_WRITE_COST;
+    let cross_improved = 1.0 - 2.0 / FFS_IMPROVED_WRITE_COST;
+    println!(
+        "\nCrossovers: LFS beats FFS-today for u < {cross_today:.2}, \
+         FFS-improved for u < {cross_improved:.2} (paper: 0.8 and 0.5)."
+    );
+}

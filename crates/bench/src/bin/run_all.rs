@@ -1,0 +1,47 @@
+//! Runs every figure and table binary in sequence — the full paper
+//! evaluation. Binaries are located next to this executable (all are
+//! built by `cargo build -p lfs-bench --release --bins`).
+
+use std::process::Command;
+
+const BINS: &[&str] = &[
+    "fig1_layout",
+    "fig3_write_cost",
+    "fig4_sim_greedy",
+    "fig5_dist_greedy",
+    "fig6_dist_costbenefit",
+    "fig7_costbenefit",
+    "fig8_small_files",
+    "fig9_large_files",
+    "fig10_user6_dist",
+    "table2_production",
+    "table3_recovery",
+    "table4_overheads",
+];
+
+fn main() {
+    let me = std::env::current_exe().expect("current_exe");
+    let dir = me.parent().expect("bin dir");
+    let mut failures = Vec::new();
+    for bin in BINS {
+        println!("\n================================================================");
+        println!("==== {bin}");
+        println!("================================================================\n");
+        let path = dir.join(bin);
+        if !path.exists() {
+            println!("(not built — run `cargo build -p lfs-bench --release --bins`)");
+            failures.push(*bin);
+            continue;
+        }
+        let status = Command::new(&path).status().expect("spawn benchmark");
+        if !status.success() {
+            failures.push(*bin);
+        }
+    }
+    if failures.is_empty() {
+        println!("\nAll {} benchmarks completed.", BINS.len());
+    } else {
+        println!("\nFAILED: {failures:?}");
+        std::process::exit(1);
+    }
+}

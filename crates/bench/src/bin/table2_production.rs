@@ -1,0 +1,83 @@
+//! Table 2 — segment cleaning statistics and write costs for the five
+//! production file systems.
+//!
+//! Each partition model is primed to its measured disk utilization and
+//! then run in steady state long enough for the cleaner to work. The
+//! table reports the same columns as the paper: utilization, segments
+//! cleaned, the fraction that were empty, the average utilization of the
+//! non-empty cleaned segments, and the overall write cost.
+//!
+//! The paper's headline: write costs of 1.2–1.6 — far below the
+//! simulation's predictions — because real workloads delete whole files
+//! and leave many segments entirely empty.
+
+use lfs_bench::{append_jsonl, disk_mb, smoke_mode, Table};
+use lfs_core::Lfs;
+use vfs::FileSystem;
+use workload::{PartitionModel, ProductionWorkload};
+
+fn main() {
+    let smoke = smoke_mode();
+    let (mb, ops) = if smoke {
+        (32u64, 2_000u64)
+    } else {
+        (128, 40_000)
+    };
+    println!("Table 2: segment cleaning statistics for production-like workloads\n");
+
+    let mut table = Table::new(&[
+        "File system",
+        "Disk MB",
+        "Avg file KB",
+        "In use",
+        "Segments cleaned",
+        "Empty",
+        "Avg u (non-empty)",
+        "Write cost",
+    ]);
+
+    for model in PartitionModel::all() {
+        let cfg = lfs_bench::production_lfs_config(mb);
+        let mut fs = Lfs::format(disk_mb(mb), cfg).unwrap();
+        let mut w = ProductionWorkload::new(model, 0xdead ^ model.name.len() as u64);
+        w.prime(&mut fs).unwrap();
+        w.run_ops(&mut fs, ops).unwrap();
+        fs.sync().unwrap();
+
+        let s = fs.statfs().unwrap();
+        let st = fs.stats();
+        let c = &st.cleaner;
+        let avg_file_kb = if w.live_files() > 0 {
+            s.live_bytes as f64 / w.live_files() as f64 / 1024.0
+        } else {
+            0.0
+        };
+        table.row(vec![
+            model.name.into(),
+            format!("{mb}"),
+            format!("{avg_file_kb:.1}"),
+            format!("{:.0}%", s.utilization() * 100.0),
+            format!("{}", c.segments_cleaned),
+            format!("{:.0}%", c.empty_fraction() * 100.0),
+            format!("{:.3}", c.avg_nonempty_utilization()),
+            format!("{:.2}", st.write_cost()),
+        ]);
+        append_jsonl(
+            "table2",
+            &serde_json::json!({
+                "partition": model.name,
+                "utilization": s.utilization(),
+                "segments_cleaned": c.segments_cleaned,
+                "empty_fraction": c.empty_fraction(),
+                "avg_nonempty_u": c.avg_nonempty_utilization(),
+                "write_cost": st.write_cost(),
+            }),
+        );
+    }
+    table.print();
+    println!(
+        "\nExpected shape (paper): most cleaned segments empty (>50%), non-empty\n\
+         cleaned at u ~ 0.13-0.54, overall write cost 1.2-1.6 — much better than\n\
+         the hot-and-cold simulations predicted."
+    );
+}

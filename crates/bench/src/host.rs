@@ -1,0 +1,163 @@
+//! The host CPU model: recomputing elapsed time from simulated disk time.
+
+use blockdev::IoStats;
+
+/// CPU cost model of the benchmark host.
+///
+/// The paper's Sun-4/260 spent ≈5–6 ms of CPU per small-file operation
+/// (Figure 8(a): Sprite LFS created ~180 files/sec with the CPU saturated
+/// and the disk only 17% busy). `cpu_multiplier` scales CPU speed for the
+/// Figure 8(b) extrapolation ("the performance of each system for creating
+/// files on faster computers with the same disk").
+#[derive(Clone, Copy, Debug)]
+pub struct HostModel {
+    /// Display name.
+    pub name: &'static str,
+    /// CPU time per file-level operation (create/delete/open), ns.
+    pub cpu_per_file_op_ns: u64,
+    /// CPU time per kilobyte moved through read/write, ns.
+    pub cpu_per_kb_ns: u64,
+    /// Speed multiplier relative to the Sun-4/260 (2.0 = twice as fast).
+    pub cpu_multiplier: f64,
+}
+
+impl HostModel {
+    /// The Sun-4/260 of §5.1 (8.7 integer SPECmarks).
+    pub fn sun4() -> HostModel {
+        HostModel {
+            name: "Sun4",
+            cpu_per_file_op_ns: 5_500_000,
+            cpu_per_kb_ns: 150_000,
+            cpu_multiplier: 1.0,
+        }
+    }
+
+    /// A Sun-4 sped up `m`× with the same disk (Figure 8(b)).
+    pub fn sun4_times(m: f64) -> HostModel {
+        HostModel {
+            name: match m as u32 {
+                2 => "2*Sun4",
+                4 => "4*Sun4",
+                _ => "N*Sun4",
+            },
+            cpu_multiplier: m,
+            ..HostModel::sun4()
+        }
+    }
+
+    fn scale(&self, ns: u64) -> u64 {
+        (ns as f64 / self.cpu_multiplier) as u64
+    }
+
+    /// CPU nanoseconds for `ops` file operations plus `bytes` moved.
+    pub fn cpu_ns(&self, ops: u64, bytes: u64) -> u64 {
+        self.scale(ops * self.cpu_per_file_op_ns + (bytes / 1024) * self.cpu_per_kb_ns)
+    }
+}
+
+/// One benchmark phase: the CPU charged by the host model plus the disk
+/// activity observed on the simulated disk.
+#[derive(Clone, Copy, Debug)]
+pub struct PhaseMeasurement {
+    /// CPU nanoseconds consumed by the application + file system code.
+    pub cpu_ns: u64,
+    /// Disk statistics accumulated during the phase.
+    pub disk: IoStats,
+}
+
+impl PhaseMeasurement {
+    /// Builds a measurement from a host model and a disk-stats delta.
+    pub fn new(host: &HostModel, ops: u64, bytes: u64, disk: IoStats) -> PhaseMeasurement {
+        PhaseMeasurement {
+            cpu_ns: host.cpu_ns(ops, bytes),
+            disk,
+        }
+    }
+
+    /// Elapsed wall time: the CPU runs concurrently with asynchronous disk
+    /// writes but must wait for reads and synchronous writes. Elapsed is
+    /// therefore at least `cpu + sync_disk`, and at least the total disk
+    /// busy time (a saturated disk bounds throughput).
+    pub fn elapsed_ns(&self) -> u64 {
+        (self.cpu_ns + self.disk.sync_busy_ns).max(self.disk.busy_ns)
+    }
+
+    /// Fraction of elapsed time the disk was busy — Figure 8's "17% /
+    /// 85% busy" numbers.
+    pub fn disk_utilization(&self) -> f64 {
+        let e = self.elapsed_ns();
+        if e == 0 {
+            return 0.0;
+        }
+        (self.disk.busy_ns as f64 / e as f64).min(1.0)
+    }
+
+    /// Operations per second given `ops` performed in this phase.
+    pub fn ops_per_sec(&self, ops: u64) -> f64 {
+        let e = self.elapsed_ns();
+        if e == 0 {
+            return f64::INFINITY;
+        }
+        ops as f64 * 1e9 / e as f64
+    }
+
+    /// Throughput in kilobytes per second given `bytes` moved.
+    pub fn kb_per_sec(&self, bytes: u64) -> f64 {
+        let e = self.elapsed_ns();
+        if e == 0 {
+            return f64::INFINITY;
+        }
+        (bytes as f64 / 1024.0) * 1e9 / e as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(busy: u64, sync: u64) -> IoStats {
+        IoStats {
+            busy_ns: busy,
+            sync_busy_ns: sync,
+            ..IoStats::default()
+        }
+    }
+
+    #[test]
+    fn cpu_bound_phase_overlaps_async_disk() {
+        let host = HostModel::sun4();
+        // 100 ops, no bytes: 550 ms CPU; async disk busy 100 ms.
+        let m = PhaseMeasurement::new(&host, 100, 0, stats(100_000_000, 0));
+        assert_eq!(m.elapsed_ns(), 550_000_000);
+        assert!((m.disk_utilization() - 100.0 / 550.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sync_disk_time_adds_to_elapsed() {
+        let host = HostModel::sun4();
+        let m = PhaseMeasurement::new(&host, 100, 0, stats(200_000_000, 200_000_000));
+        assert_eq!(m.elapsed_ns(), 750_000_000);
+    }
+
+    #[test]
+    fn saturated_disk_bounds_elapsed() {
+        let host = HostModel::sun4();
+        let m = PhaseMeasurement::new(&host, 1, 0, stats(1_000_000_000, 0));
+        assert_eq!(m.elapsed_ns(), 1_000_000_000);
+        assert_eq!(m.disk_utilization(), 1.0);
+    }
+
+    #[test]
+    fn faster_cpu_scales_cpu_only() {
+        let fast = HostModel::sun4_times(4.0);
+        assert_eq!(fast.cpu_ns(100, 0), HostModel::sun4().cpu_ns(100, 0) / 4);
+    }
+
+    #[test]
+    fn rates_are_sane() {
+        let host = HostModel::sun4();
+        let m = PhaseMeasurement::new(&host, 1000, 0, stats(0, 0));
+        // 5.5 ms per op → ~181.8 ops/s.
+        assert!((m.ops_per_sec(1000) - 181.8).abs() < 0.2);
+    }
+}

@@ -1,0 +1,125 @@
+//! The [`BlockDevice`] trait.
+
+use crate::error::{BlockError, Result};
+use crate::stats::IoStats;
+use crate::BLOCK_SIZE;
+
+/// Whether a write blocks the issuing application.
+///
+/// The paper's central performance argument (Section 2.3) is about exactly
+/// this distinction: Unix FFS writes metadata *synchronously*, coupling
+/// application progress to disk latency, while a log-structured file system
+/// issues large *asynchronous* log writes from its file cache. The simulated
+/// disk accounts busy time separately for the two kinds so the harness can
+/// recompute elapsed time and disk utilization the way Figure 8 does.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WriteKind {
+    /// The application waits for the write (FFS metadata, checkpoints).
+    Sync,
+    /// The write is issued in the background (log writes, delayed data).
+    Async,
+}
+
+/// A block-addressed storage device.
+///
+/// Blocks are [`BLOCK_SIZE`] bytes. Multi-block operations address a
+/// *contiguous* range and are serviced as a single request — a single seek
+/// plus one transfer — which is the property that makes whole-segment log
+/// writes fast (Section 3.2 of the paper).
+///
+/// All methods take `&mut self`: even reads move the disk head and advance
+/// the simulated clock on [`crate::SimDisk`].
+pub trait BlockDevice {
+    /// Returns the total number of blocks on the device.
+    fn num_blocks(&self) -> u64;
+
+    /// Reads `buf.len() / BLOCK_SIZE` contiguous blocks starting at `start`.
+    ///
+    /// `buf.len()` must be a non-zero multiple of [`BLOCK_SIZE`].
+    fn read_blocks(&mut self, start: u64, buf: &mut [u8]) -> Result<()>;
+
+    /// Writes `buf.len() / BLOCK_SIZE` contiguous blocks starting at `start`.
+    ///
+    /// `buf.len()` must be a non-zero multiple of [`BLOCK_SIZE`].
+    fn write_blocks(&mut self, start: u64, buf: &[u8], kind: WriteKind) -> Result<()>;
+
+    /// Flushes any buffered state to stable storage.
+    fn sync(&mut self) -> Result<()> {
+        Ok(())
+    }
+
+    /// Returns a snapshot of the accumulated I/O statistics.
+    ///
+    /// Devices without a timing model report zero service times but still
+    /// count operations and bytes.
+    fn stats(&self) -> IoStats;
+
+    /// Reads a single block into `buf`.
+    fn read_block(&mut self, block: u64, buf: &mut [u8; BLOCK_SIZE]) -> Result<()> {
+        self.read_blocks(block, buf.as_mut_slice())
+    }
+
+    /// Writes a single block from `buf`.
+    fn write_block(&mut self, block: u64, buf: &[u8; BLOCK_SIZE], kind: WriteKind) -> Result<()> {
+        self.write_blocks(block, buf, kind)
+    }
+}
+
+/// Validates a request against the device size and buffer alignment.
+///
+/// Returns the block count of the request.
+pub(crate) fn check_request(device_blocks: u64, start: u64, len: usize) -> Result<u64> {
+    if len == 0 || !len.is_multiple_of(BLOCK_SIZE) {
+        return Err(BlockError::Misaligned { len });
+    }
+    let count = (len / BLOCK_SIZE) as u64;
+    if start
+        .checked_add(count)
+        .is_none_or(|end| end > device_blocks)
+    {
+        return Err(BlockError::OutOfRange {
+            block: start,
+            count,
+            device_blocks,
+        });
+    }
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_request_accepts_exact_fit() {
+        assert_eq!(check_request(8, 4, 4 * BLOCK_SIZE).unwrap(), 4);
+    }
+
+    #[test]
+    fn check_request_rejects_overflowing_range() {
+        assert!(matches!(
+            check_request(8, 5, 4 * BLOCK_SIZE),
+            Err(BlockError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn check_request_rejects_wraparound() {
+        assert!(matches!(
+            check_request(8, u64::MAX, BLOCK_SIZE),
+            Err(BlockError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn check_request_rejects_empty_and_misaligned() {
+        assert!(matches!(
+            check_request(8, 0, 0),
+            Err(BlockError::Misaligned { .. })
+        ));
+        assert!(matches!(
+            check_request(8, 0, BLOCK_SIZE + 1),
+            Err(BlockError::Misaligned { .. })
+        ));
+    }
+}

@@ -1,0 +1,92 @@
+//! Error type for block-device operations.
+
+use core::fmt;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = core::result::Result<T, BlockError>;
+
+/// Errors returned by [`crate::BlockDevice`] implementations.
+#[derive(Debug)]
+pub enum BlockError {
+    /// A request touched blocks past the end of the device.
+    OutOfRange {
+        /// First block of the request.
+        block: u64,
+        /// Number of blocks in the request.
+        count: u64,
+        /// Total number of blocks on the device.
+        device_blocks: u64,
+    },
+    /// A buffer length was not a multiple of [`crate::BLOCK_SIZE`].
+    Misaligned {
+        /// The offending buffer length in bytes.
+        len: usize,
+    },
+    /// An underlying I/O error (only produced by [`crate::FileDisk`]).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for BlockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockError::OutOfRange {
+                block,
+                count,
+                device_blocks,
+            } => write!(
+                f,
+                "block request [{block}, {}) out of range (device has {device_blocks} blocks)",
+                block + count
+            ),
+            BlockError::Misaligned { len } => {
+                write!(f, "buffer length {len} is not a multiple of the block size")
+            }
+            BlockError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BlockError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BlockError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for BlockError {
+    fn from(e: std::io::Error) -> Self {
+        BlockError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_out_of_range_mentions_bounds() {
+        let e = BlockError::OutOfRange {
+            block: 10,
+            count: 4,
+            device_blocks: 12,
+        };
+        let s = e.to_string();
+        assert!(s.contains("[10, 14)"), "{s}");
+        assert!(s.contains("12 blocks"), "{s}");
+    }
+
+    #[test]
+    fn display_misaligned_mentions_len() {
+        let e = BlockError::Misaligned { len: 100 };
+        assert!(e.to_string().contains("100"));
+    }
+
+    #[test]
+    fn io_error_has_source() {
+        use std::error::Error;
+        let e = BlockError::from(std::io::Error::other("boom"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,63 @@
+#![warn(missing_docs)]
+
+//! Block-device substrate for the LFS reproduction.
+//!
+//! The SOSP '91 paper evaluates Sprite LFS on a Sun-4/260 with a Wren IV
+//! SCSI disk. Neither is available here, so this crate provides the
+//! substitution described in `DESIGN.md`: block devices whose *service time*
+//! is modelled explicitly (seek as a function of head travel, rotational
+//! latency on discontiguous access, transfer time per byte), so that every
+//! quantity the paper measures — files/sec, KB/s, disk-bandwidth
+//! utilization, write cost — can be recomputed on simulated time.
+//!
+//! The crate provides four devices:
+//!
+//! - [`MemDisk`] — a plain in-memory disk with no timing model; used by unit
+//!   tests and by benchmarks that only count I/O.
+//! - [`SimDisk`] — a disk with the mechanical service-time model of
+//!   [`DiskModel`] and full [`IoStats`] accounting; defaults to the paper's
+//!   Wren IV parameters ([`DiskModel::wren_iv`]).
+//! - [`CrashDisk`] — a wrapper that records the ordered write stream and can
+//!   materialise the image as it would look had power failed after any
+//!   prefix of the writes; drives the crash-recovery experiments (Table 3).
+//! - [`FileDisk`] — an image-file-backed disk for the command-line tools.
+//!
+//! All devices implement the [`BlockDevice`] trait. Blocks are
+//! [`BLOCK_SIZE`] bytes; multi-block operations must be contiguous and are
+//! serviced as a single request (one seek), which is exactly the property
+//! log-structured writes exploit.
+
+mod crash;
+mod device;
+mod error;
+mod file;
+mod mem;
+mod sim;
+mod stats;
+
+pub use crash::CrashDisk;
+pub use device::{BlockDevice, WriteKind};
+pub use error::{BlockError, Result};
+pub use file::FileDisk;
+pub use mem::MemDisk;
+pub use sim::{DiskModel, SimDisk};
+pub use stats::IoStats;
+
+/// Size of a disk block in bytes.
+///
+/// Sprite LFS used 4-kilobyte blocks (Section 5.1 of the paper); every
+/// structure in this workspace is laid out in these units.
+pub const BLOCK_SIZE: usize = 4096;
+
+/// A heap-allocated, zero-filled block buffer.
+///
+/// # Examples
+///
+/// ```
+/// let b = blockdev::zero_block();
+/// assert_eq!(b.len(), blockdev::BLOCK_SIZE);
+/// assert!(b.iter().all(|&x| x == 0));
+/// ```
+pub fn zero_block() -> Box<[u8]> {
+    vec![0u8; BLOCK_SIZE].into_boxed_slice()
+}

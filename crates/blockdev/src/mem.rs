@@ -1,0 +1,174 @@
+//! A plain in-memory block device with no timing model.
+
+use crate::device::{check_request, BlockDevice, WriteKind};
+use crate::error::Result;
+use crate::stats::IoStats;
+use crate::BLOCK_SIZE;
+
+/// An in-memory disk.
+///
+/// `MemDisk` stores blocks in a flat `Vec<u8>` and services requests
+/// instantly. It counts operations and bytes (see [`IoStats`]) but reports
+/// zero service times. Use it for unit tests and for benchmarks that only
+/// care about I/O *volume*; use [`crate::SimDisk`] when simulated time
+/// matters.
+///
+/// # Examples
+///
+/// ```
+/// use blockdev::{BlockDevice, MemDisk, WriteKind, BLOCK_SIZE};
+///
+/// let mut d = MemDisk::new(16);
+/// let block = [0xabu8; BLOCK_SIZE];
+/// d.write_block(3, &block, WriteKind::Async).unwrap();
+/// let mut back = [0u8; BLOCK_SIZE];
+/// d.read_block(3, &mut back).unwrap();
+/// assert_eq!(back, block);
+/// ```
+pub struct MemDisk {
+    data: Vec<u8>,
+    num_blocks: u64,
+    stats: IoStats,
+}
+
+impl MemDisk {
+    /// Creates a zero-filled disk of `num_blocks` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_blocks * BLOCK_SIZE` overflows `usize`.
+    pub fn new(num_blocks: u64) -> MemDisk {
+        let bytes = usize::try_from(num_blocks)
+            .ok()
+            .and_then(|n| n.checked_mul(BLOCK_SIZE))
+            .expect("MemDisk size overflows usize");
+        MemDisk {
+            data: vec![0; bytes],
+            num_blocks,
+            stats: IoStats::default(),
+        }
+    }
+
+    /// Builds a disk from a raw image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image length is not a multiple of [`BLOCK_SIZE`].
+    pub fn from_image(image: Vec<u8>) -> MemDisk {
+        assert!(
+            image.len().is_multiple_of(BLOCK_SIZE),
+            "image length {} is not block-aligned",
+            image.len()
+        );
+        let num_blocks = (image.len() / BLOCK_SIZE) as u64;
+        MemDisk {
+            data: image,
+            num_blocks,
+            stats: IoStats::default(),
+        }
+    }
+
+    /// Returns the raw disk image.
+    pub fn image(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Consumes the disk and returns the raw image.
+    pub fn into_image(self) -> Vec<u8> {
+        self.data
+    }
+
+    fn byte_range(&self, start: u64, len: usize) -> core::ops::Range<usize> {
+        let off = start as usize * BLOCK_SIZE;
+        off..off + len
+    }
+}
+
+impl BlockDevice for MemDisk {
+    fn num_blocks(&self) -> u64 {
+        self.num_blocks
+    }
+
+    fn read_blocks(&mut self, start: u64, buf: &mut [u8]) -> Result<()> {
+        check_request(self.num_blocks, start, buf.len())?;
+        buf.copy_from_slice(&self.data[self.byte_range(start, buf.len())]);
+        self.stats.reads += 1;
+        self.stats.bytes_read += buf.len() as u64;
+        Ok(())
+    }
+
+    fn write_blocks(&mut self, start: u64, buf: &[u8], _kind: WriteKind) -> Result<()> {
+        check_request(self.num_blocks, start, buf.len())?;
+        let range = self.byte_range(start, buf.len());
+        self.data[range].copy_from_slice(buf);
+        self.stats.writes += 1;
+        self.stats.bytes_written += buf.len() as u64;
+        Ok(())
+    }
+
+    fn stats(&self) -> IoStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::BlockError;
+
+    #[test]
+    fn roundtrips_multi_block_write() {
+        let mut d = MemDisk::new(8);
+        let data: Vec<u8> = (0..3 * BLOCK_SIZE).map(|i| (i % 251) as u8).collect();
+        d.write_blocks(2, &data, WriteKind::Sync).unwrap();
+        let mut back = vec![0u8; 3 * BLOCK_SIZE];
+        d.read_blocks(2, &mut back).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn unwritten_blocks_read_zero() {
+        let mut d = MemDisk::new(4);
+        let mut b = [1u8; BLOCK_SIZE];
+        d.read_block(3, &mut b).unwrap();
+        assert!(b.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let mut d = MemDisk::new(4);
+        let b = [0u8; BLOCK_SIZE];
+        assert!(matches!(
+            d.write_block(4, &b, WriteKind::Sync),
+            Err(BlockError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn counts_operations_and_bytes() {
+        let mut d = MemDisk::new(8);
+        let b = [0u8; BLOCK_SIZE];
+        d.write_block(0, &b, WriteKind::Sync).unwrap();
+        d.write_block(1, &b, WriteKind::Async).unwrap();
+        let mut r = [0u8; BLOCK_SIZE];
+        d.read_block(0, &mut r).unwrap();
+        let s = d.stats();
+        assert_eq!(s.writes, 2);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.bytes_written, 2 * BLOCK_SIZE as u64);
+        assert_eq!(s.bytes_read, BLOCK_SIZE as u64);
+        assert_eq!(s.busy_ns, 0);
+    }
+
+    #[test]
+    fn image_roundtrip_preserves_contents() {
+        let mut d = MemDisk::new(2);
+        let b = [7u8; BLOCK_SIZE];
+        d.write_block(1, &b, WriteKind::Sync).unwrap();
+        let img = d.into_image();
+        let mut d2 = MemDisk::from_image(img);
+        let mut back = [0u8; BLOCK_SIZE];
+        d2.read_block(1, &mut back).unwrap();
+        assert_eq!(back, b);
+    }
+}

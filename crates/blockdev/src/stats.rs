@@ -1,0 +1,122 @@
+//! I/O statistics accumulated by the simulated devices.
+
+/// Counters describing the I/O a device has serviced.
+///
+/// Times are in simulated nanoseconds. On devices without a timing model
+/// ([`crate::MemDisk`], [`crate::FileDisk`]) all `*_ns` fields stay zero but
+/// the operation and byte counters are still maintained, so write-cost style
+/// metrics (bytes moved per byte of new data) can always be computed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Number of read requests serviced.
+    pub reads: u64,
+    /// Number of write requests serviced.
+    pub writes: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+    /// Requests that required a mechanical seek (non-sequential access).
+    pub seeks: u64,
+    /// Total simulated time the disk arm was busy, in nanoseconds.
+    pub busy_ns: u64,
+    /// Portion of `busy_ns` spent on reads and synchronous writes — time an
+    /// application actually waited for.
+    pub sync_busy_ns: u64,
+    /// Simulated time spent in seeks and rotational latency (the
+    /// non-transfer component of `busy_ns`).
+    pub positioning_ns: u64,
+}
+
+impl IoStats {
+    /// Returns the difference `self - earlier`, field by field.
+    ///
+    /// Useful for measuring a single phase of a benchmark: snapshot before,
+    /// snapshot after, subtract.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` has larger counters than `self`
+    /// (i.e. the snapshots are in the wrong order).
+    #[must_use]
+    pub fn since(&self, earlier: &IoStats) -> IoStats {
+        IoStats {
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            bytes_written: self.bytes_written - earlier.bytes_written,
+            seeks: self.seeks - earlier.seeks,
+            busy_ns: self.busy_ns - earlier.busy_ns,
+            sync_busy_ns: self.sync_busy_ns - earlier.sync_busy_ns,
+            positioning_ns: self.positioning_ns - earlier.positioning_ns,
+        }
+    }
+
+    /// Total bytes moved to and from the disk.
+    pub fn bytes_moved(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// Fraction of busy time spent transferring data (as opposed to
+    /// positioning the arm). This is the paper's notion of how much of the
+    /// disk's raw bandwidth is actually used.
+    pub fn transfer_efficiency(&self) -> f64 {
+        if self.busy_ns == 0 {
+            return 1.0;
+        }
+        1.0 - self.positioning_ns as f64 / self.busy_ns as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn since_subtracts_fields() {
+        let a = IoStats {
+            reads: 10,
+            writes: 20,
+            bytes_read: 100,
+            bytes_written: 200,
+            seeks: 5,
+            busy_ns: 1000,
+            sync_busy_ns: 600,
+            positioning_ns: 400,
+        };
+        let b = IoStats {
+            reads: 4,
+            writes: 8,
+            bytes_read: 40,
+            bytes_written: 80,
+            seeks: 2,
+            busy_ns: 300,
+            sync_busy_ns: 100,
+            positioning_ns: 100,
+        };
+        let d = a.since(&b);
+        assert_eq!(d.reads, 6);
+        assert_eq!(d.writes, 12);
+        assert_eq!(d.bytes_read, 60);
+        assert_eq!(d.bytes_written, 120);
+        assert_eq!(d.seeks, 3);
+        assert_eq!(d.busy_ns, 700);
+        assert_eq!(d.sync_busy_ns, 500);
+        assert_eq!(d.positioning_ns, 300);
+    }
+
+    #[test]
+    fn transfer_efficiency_of_idle_disk_is_one() {
+        assert_eq!(IoStats::default().transfer_efficiency(), 1.0);
+    }
+
+    #[test]
+    fn transfer_efficiency_reflects_positioning_share() {
+        let s = IoStats {
+            busy_ns: 1000,
+            positioning_ns: 250,
+            ..IoStats::default()
+        };
+        assert!((s.transfer_efficiency() - 0.75).abs() < 1e-12);
+    }
+}

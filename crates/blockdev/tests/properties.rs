@@ -1,0 +1,86 @@
+//! Property tests for the block-device substrate.
+
+use blockdev::{BlockDevice, CrashDisk, DiskModel, MemDisk, SimDisk, WriteKind, BLOCK_SIZE};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+struct WriteOp {
+    start: u64,
+    blocks: usize,
+    fill: u8,
+}
+
+fn ops_strategy(device_blocks: u64) -> impl Strategy<Value = Vec<WriteOp>> {
+    proptest::collection::vec(
+        (0..device_blocks, 1usize..4, any::<u8>()).prop_map(|(start, blocks, fill)| WriteOp {
+            start,
+            blocks,
+            fill,
+        }),
+        1..40,
+    )
+}
+
+proptest! {
+    /// SimDisk and MemDisk must hold identical contents under the same
+    /// write sequence — the timing model must never change data.
+    #[test]
+    fn sim_and_mem_disk_contents_agree(ops in ops_strategy(64)) {
+        let mut mem = MemDisk::new(64);
+        let mut sim = SimDisk::new(64, DiskModel::wren_iv());
+        for op in &ops {
+            let blocks = op.blocks.min((64 - op.start) as usize).max(1);
+            let data = vec![op.fill; blocks * BLOCK_SIZE];
+            if op.start + blocks as u64 <= 64 {
+                mem.write_blocks(op.start, &data, WriteKind::Async).unwrap();
+                sim.write_blocks(op.start, &data, WriteKind::Async).unwrap();
+            }
+        }
+        prop_assert_eq!(mem.image(), sim.image());
+    }
+
+    /// Replaying the full CrashDisk journal reproduces the live image, and
+    /// every prefix is a plausible crash state (same size, no error).
+    #[test]
+    fn crash_disk_prefixes_are_consistent(ops in ops_strategy(32)) {
+        let mut crash = CrashDisk::new(32);
+        for op in &ops {
+            let blocks = op.blocks.min((32 - op.start) as usize).max(1);
+            if op.start + blocks as u64 <= 32 {
+                let data = vec![op.fill; blocks * BLOCK_SIZE];
+                crash.write_blocks(op.start, &data, WriteKind::Async).unwrap();
+            }
+        }
+        let n = crash.num_writes();
+        let full = crash.image_after(n);
+        let now = crash.image_now();
+        prop_assert_eq!(full.image(), now.image());
+        // Prefix images are monotone: each applies one more write.
+        for cut in 0..n {
+            let img = crash.image_after(cut);
+            prop_assert_eq!(img.image().len(), 32 * BLOCK_SIZE);
+        }
+    }
+
+    /// Simulated busy time is monotone and seeks only happen on
+    /// discontiguous requests.
+    #[test]
+    fn sim_disk_time_is_monotone(ops in ops_strategy(128)) {
+        let mut sim = SimDisk::new(128, DiskModel::wren_iv());
+        let mut last_busy = 0;
+        for op in &ops {
+            let blocks = op.blocks.min((128 - op.start) as usize).max(1);
+            if op.start + blocks as u64 <= 128 {
+                let data = vec![op.fill; blocks * BLOCK_SIZE];
+                sim.write_blocks(op.start, &data, WriteKind::Sync).unwrap();
+                let busy = sim.stats().busy_ns;
+                prop_assert!(busy > last_busy);
+                last_busy = busy;
+            }
+        }
+        let s = sim.stats();
+        prop_assert!(s.seeks <= s.writes);
+        prop_assert!(s.sync_busy_ns <= s.busy_ns);
+        prop_assert!(s.positioning_ns <= s.busy_ns);
+    }
+}

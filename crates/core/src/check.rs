@@ -1,0 +1,355 @@
+//! Offline consistency checking ("lfsck").
+//!
+//! Verifies the cross-structure invariants that make a log-structured file
+//! system correct:
+//!
+//! 1. every live inode-map entry resolves to a decodable inode with the
+//!    right number in the right slot;
+//! 2. no disk block is referenced by two owners;
+//! 3. the directory tree is connected: every entry points at a live inode,
+//!    every live inode is reachable, and reference counts match entry
+//!    counts;
+//! 4. the segment usage table's live-byte counts equal a from-scratch
+//!    recount, and clean segments hold no live data.
+//!
+//! Note the contrast with `fsck` for Unix FFS: this check exists for
+//! testing and diagnostics, not for crash recovery — recovery needs only
+//! the checkpoint and the log tail (§4).
+
+use std::collections::HashMap;
+
+use blockdev::{BlockDevice, BLOCK_SIZE};
+use vfs::{FileType, FsResult, Ino, ROOT_INO};
+
+use crate::fs::{IndKey, Lfs};
+use crate::inode::INODE_DISK_SIZE;
+use crate::layout::{blocks_for_size, DiskAddr, NIL_ADDR};
+use crate::usage::SegState;
+
+/// The result of a consistency check.
+#[derive(Debug, Default)]
+pub struct CheckReport {
+    /// Human-readable descriptions of every violated invariant.
+    pub errors: Vec<String>,
+    /// Live files (regular) found.
+    pub files: u64,
+    /// Live directories found (including the root).
+    pub dirs: u64,
+    /// Live data blocks counted.
+    pub data_blocks: u64,
+}
+
+impl CheckReport {
+    /// True if no invariant was violated.
+    pub fn is_clean(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+impl<D: BlockDevice> Lfs<D> {
+    /// Live bytes on disk per block kind — the "Live data" column of
+    /// Table 4. Indexed like [`crate::BlockKind::ALL`]; summary and
+    /// directory-log blocks are never live, so their entries are zero.
+    pub fn live_bytes_by_kind(&mut self) -> FsResult<[u64; 7]> {
+        let mut out = [0u64; 7];
+        let live: Vec<Ino> = self.imap.live_inos().collect();
+        for ino in live {
+            out[2] += INODE_DISK_SIZE as u64; // Inode slots.
+            let inode = self.inode_clone(ino)?;
+            let nblocks = blocks_for_size(inode.size);
+            for bno in 0..nblocks {
+                if self.block_ptr(ino, bno)? != NIL_ADDR {
+                    out[0] += BLOCK_SIZE as u64; // Data.
+                }
+            }
+            if inode.indirect != NIL_ADDR {
+                out[1] += BLOCK_SIZE as u64; // Indirect.
+            }
+            if inode.dindirect != NIL_ADDR {
+                out[1] += BLOCK_SIZE as u64;
+                self.ensure_ind(ino, IndKey::Double, false)?;
+                let children = self.inds[&(ino, IndKey::Double)]
+                    .blk
+                    .ptrs
+                    .iter()
+                    .filter(|&&p| p != NIL_ADDR)
+                    .count();
+                out[1] += children as u64 * BLOCK_SIZE as u64;
+            }
+        }
+        for i in 0..self.imap.num_blocks() {
+            if self.imap.block_addr(i) != NIL_ADDR {
+                out[3] += BLOCK_SIZE as u64; // Inode map.
+            }
+        }
+        for i in 0..self.usage.num_blocks() {
+            if self.usage.block_addr(i) != NIL_ADDR {
+                out[4] += BLOCK_SIZE as u64; // Usage table.
+            }
+        }
+        Ok(out)
+    }
+
+    /// Runs the full consistency check.
+    ///
+    /// Intended to be called on a quiescent file system (after
+    /// [`vfs::FileSystem::sync`]); dirty in-memory state that has not
+    /// reached the log yet would legitimately disagree with the disk.
+    pub fn check(&mut self) -> FsResult<CheckReport> {
+        let mut report = CheckReport::default();
+        let seg_bytes = self.cfg.seg_bytes();
+        let mut recount: Vec<u64> = vec![0; self.sb.nsegments as usize];
+        let mut owners: HashMap<DiskAddr, String> = HashMap::new();
+
+        let live: Vec<Ino> = self.imap.live_inos().collect();
+        let claim = |addr: DiskAddr,
+                     bytes: u64,
+                     what: String,
+                     sb: &crate::superblock::Superblock,
+                     report: &mut CheckReport,
+                     recount: &mut Vec<u64>,
+                     owners: &mut HashMap<DiskAddr, String>,
+                     whole_block: bool| {
+            match sb.seg_of(addr) {
+                Some(seg) => recount[seg as usize] += bytes,
+                None => report
+                    .errors
+                    .push(format!("{what}: address {addr} outside the log")),
+            }
+            if whole_block {
+                if let Some(prev) = owners.insert(addr, what.clone()) {
+                    report
+                        .errors
+                        .push(format!("block {addr} owned by both {prev} and {what}"));
+                }
+            }
+        };
+
+        // Pass 1: inodes and block pointers.
+        for &ino in &live {
+            let entry = *self.imap.get(ino)?;
+            let inode = match self.inode_clone(ino) {
+                Ok(i) => i,
+                Err(e) => {
+                    report.errors.push(format!("inode {ino}: unreadable: {e}"));
+                    continue;
+                }
+            };
+            claim(
+                entry.addr,
+                INODE_DISK_SIZE as u64,
+                format!("inode {ino} (slot {})", entry.slot),
+                &self.sb,
+                &mut report,
+                &mut recount,
+                &mut owners,
+                false, // Inode blocks are legitimately shared by 16 slots.
+            );
+            match inode.ftype {
+                FileType::Regular => report.files += 1,
+                FileType::Directory => report.dirs += 1,
+            }
+            let nblocks = blocks_for_size(inode.size);
+            for bno in 0..nblocks {
+                let addr = self.block_ptr(ino, bno)?;
+                if addr == NIL_ADDR {
+                    continue; // A hole.
+                }
+                report.data_blocks += 1;
+                claim(
+                    addr,
+                    BLOCK_SIZE as u64,
+                    format!("data {ino}:{bno}"),
+                    &self.sb,
+                    &mut report,
+                    &mut recount,
+                    &mut owners,
+                    true,
+                );
+            }
+            // Indirect blocks.
+            if inode.indirect != NIL_ADDR {
+                claim(
+                    inode.indirect,
+                    BLOCK_SIZE as u64,
+                    format!("ind1 {ino}"),
+                    &self.sb,
+                    &mut report,
+                    &mut recount,
+                    &mut owners,
+                    true,
+                );
+            }
+            if inode.dindirect != NIL_ADDR {
+                claim(
+                    inode.dindirect,
+                    BLOCK_SIZE as u64,
+                    format!("ind2 {ino}"),
+                    &self.sb,
+                    &mut report,
+                    &mut recount,
+                    &mut owners,
+                    true,
+                );
+                self.ensure_ind(ino, IndKey::Double, false)?;
+                let children: Vec<DiskAddr> = self.inds[&(ino, IndKey::Double)]
+                    .blk
+                    .ptrs
+                    .iter()
+                    .copied()
+                    .filter(|&p| p != NIL_ADDR)
+                    .collect();
+                for (k, child) in children.into_iter().enumerate() {
+                    claim(
+                        child,
+                        BLOCK_SIZE as u64,
+                        format!("ind1 {ino}#{}", k + 1),
+                        &self.sb,
+                        &mut report,
+                        &mut recount,
+                        &mut owners,
+                        true,
+                    );
+                }
+            }
+        }
+
+        // Shared inode blocks count their occupied slots; add each live
+        // inode block once for ownership purposes.
+        // (Slot-level double-use shows up as two imap entries pointing at
+        // the same (addr, slot); detect that directly.)
+        let mut slot_owners: HashMap<(DiskAddr, u8), Ino> = HashMap::new();
+        for &ino in &live {
+            let e = *self.imap.get(ino)?;
+            if let Some(prev) = slot_owners.insert((e.addr, e.slot), ino) {
+                report.errors.push(format!(
+                    "inode slot ({}, {}) shared by inodes {prev} and {ino}",
+                    e.addr, e.slot
+                ));
+            }
+        }
+
+        // The inode map and usage table blocks are live data too.
+        for i in 0..self.imap.num_blocks() {
+            let addr = self.imap.block_addr(i);
+            if addr != NIL_ADDR {
+                claim(
+                    addr,
+                    BLOCK_SIZE as u64,
+                    format!("imap block {i}"),
+                    &self.sb,
+                    &mut report,
+                    &mut recount,
+                    &mut owners,
+                    true,
+                );
+            }
+        }
+        for i in 0..self.usage.num_blocks() {
+            let addr = self.usage.block_addr(i);
+            if addr != NIL_ADDR {
+                claim(
+                    addr,
+                    BLOCK_SIZE as u64,
+                    format!("usage block {i}"),
+                    &self.sb,
+                    &mut report,
+                    &mut recount,
+                    &mut owners,
+                    true,
+                );
+            }
+        }
+
+        // Pass 2: directory tree connectivity and reference counts.
+        let mut refcount: HashMap<Ino, u32> = HashMap::new();
+        let mut stack = vec![ROOT_INO];
+        let mut visited: HashMap<Ino, bool> = HashMap::new();
+        visited.insert(ROOT_INO, true);
+        while let Some(dir) = stack.pop() {
+            let entries = match self.dir_entries(dir) {
+                Ok(e) => e,
+                Err(e) => {
+                    report
+                        .errors
+                        .push(format!("directory {dir}: unreadable: {e}"));
+                    continue;
+                }
+            };
+            for (name, slot) in entries {
+                let live_entry = self
+                    .imap
+                    .get(slot.ino)
+                    .map(|e| e.is_live())
+                    .unwrap_or(false);
+                if !live_entry {
+                    report.errors.push(format!(
+                        "entry {dir}:{name} points at dead inode {}",
+                        slot.ino
+                    ));
+                    continue;
+                }
+                let inode = self.inode_clone(slot.ino)?;
+                if inode.ftype != slot.ftype {
+                    report.errors.push(format!(
+                        "entry {dir}:{name}: cached type disagrees with inode {}",
+                        slot.ino
+                    ));
+                }
+                *refcount.entry(slot.ino).or_insert(0) += 1;
+                if inode.ftype == FileType::Directory {
+                    if visited.insert(slot.ino, true).is_some() {
+                        report.errors.push(format!(
+                            "directory {} reachable twice (entry {dir}:{name})",
+                            slot.ino
+                        ));
+                    } else {
+                        stack.push(slot.ino);
+                    }
+                }
+            }
+        }
+        for &ino in &live {
+            if ino == ROOT_INO {
+                continue;
+            }
+            let inode = self.inode_clone(ino)?;
+            let refs = refcount.get(&ino).copied().unwrap_or(0);
+            if inode.ftype == FileType::Directory && !visited.contains_key(&ino) {
+                report
+                    .errors
+                    .push(format!("directory {ino} unreachable from the root"));
+            }
+            if inode.ftype == FileType::Regular && refs == 0 {
+                report
+                    .errors
+                    .push(format!("file {ino} has no directory entry"));
+            }
+            if inode.nlink != refs {
+                report.errors.push(format!(
+                    "inode {ino}: nlink {} but {refs} directory entries",
+                    inode.nlink
+                ));
+            }
+        }
+
+        // Pass 3: segment usage accounting.
+        for (seg, usage) in self.usage.iter() {
+            let counted = recount[seg as usize];
+            if usage.live_bytes as u64 != counted {
+                report.errors.push(format!(
+                    "segment {seg}: usage table says {} live bytes, recount says {counted}",
+                    usage.live_bytes
+                ));
+            }
+            if usage.state == SegState::Clean && counted != 0 {
+                report
+                    .errors
+                    .push(format!("clean segment {seg} holds {counted} live bytes"));
+            }
+            let _ = seg_bytes;
+        }
+
+        Ok(report)
+    }
+}

@@ -1,0 +1,314 @@
+//! Checkpoint regions.
+//!
+//! "A checkpoint is a position in the log at which all of the file system
+//! structures are consistent and complete. ... there are actually two
+//! checkpoint regions, and checkpoint operations alternate between them"
+//! (§4.1). The region contains the addresses of all the blocks in the
+//! inode map and segment usage table, plus the current time and a pointer
+//! to the last segment written.
+//!
+//! Validity is established with a checksum over the whole payload rather
+//! than just a trailing timestamp; the effect is the same as the paper's
+//! "time in the last block" trick — a torn checkpoint write fails
+//! validation and reboot falls back to the other region — but it also
+//! catches arbitrary partial writes. The header block is written *after*
+//! the payload blocks so the checksum can never cover data that is not yet
+//! on disk.
+
+use blockdev::{BlockDevice, WriteKind, BLOCK_SIZE};
+use vfs::{FsError, FsResult};
+
+use crate::codec::{checksum, Reader, Writer};
+use crate::layout::{DiskAddr, CR_BLOCKS};
+
+const MAGIC: u64 = 0x4c46_5343_4850_5431; // "LFSCHPT1"
+const HEADER_SIZE: usize = 64;
+
+/// The contents of a checkpoint region.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Mount epoch; incremented at every mount so roll-forward never
+    /// follows a log tail left by an earlier incarnation.
+    pub epoch: u32,
+    /// Log sequence number of the last partial write covered by this
+    /// checkpoint.
+    pub seq: u64,
+    /// Logical clock at checkpoint time (the paper's "current time").
+    pub timestamp: u64,
+    /// Segment the log head was in.
+    pub cur_seg: u32,
+    /// Next free block offset within that segment.
+    pub cur_off: u32,
+    /// Addresses of every inode-map block.
+    pub imap_addrs: Vec<DiskAddr>,
+    /// Addresses of every segment-usage-table block.
+    pub usage_addrs: Vec<DiskAddr>,
+    /// Exact live-byte count of every segment at checkpoint time.
+    ///
+    /// The usage-table *blocks* in the log may be slightly stale for the
+    /// segments they themselves landed in (their own relocation is
+    /// accounted quietly to keep the checkpoint settle loop finite); the
+    /// checkpoint carries the authoritative counts so a mount restores
+    /// exactly the state the running system had.
+    pub live_bytes: Vec<u32>,
+}
+
+impl Checkpoint {
+    /// Serialized payload size in bytes.
+    fn payload_len(&self) -> usize {
+        HEADER_SIZE
+            + 8 * (self.imap_addrs.len() + self.usage_addrs.len())
+            + 4 * self.live_bytes.len()
+            + 8
+    }
+
+    /// Serializes the checkpoint into whole blocks.
+    ///
+    /// Returns an error if the payload exceeds the fixed region size
+    /// ([`CR_BLOCKS`] blocks) — which would mean the file system was
+    /// formatted with an impossibly large inode map.
+    pub fn encode(&self) -> FsResult<Vec<u8>> {
+        let len = self.payload_len();
+        let padded = len.div_ceil(BLOCK_SIZE) * BLOCK_SIZE;
+        if padded > (CR_BLOCKS as usize) * BLOCK_SIZE {
+            return Err(FsError::InvalidArgument(
+                "checkpoint payload exceeds checkpoint region",
+            ));
+        }
+        let mut buf = vec![0u8; padded];
+        {
+            let mut w = Writer::new(&mut buf);
+            w.put_u64(MAGIC);
+            w.put_u32(self.epoch);
+            w.put_u32(0);
+            w.put_u64(self.seq);
+            w.put_u64(self.timestamp);
+            w.put_u32(self.cur_seg);
+            w.put_u32(self.cur_off);
+            w.put_u32(self.imap_addrs.len() as u32);
+            w.put_u32(self.usage_addrs.len() as u32);
+            w.put_u32(self.live_bytes.len() as u32);
+            w.put_u64(len as u64);
+            w.pad(HEADER_SIZE - w.pos());
+            for &a in &self.imap_addrs {
+                w.put_u64(a);
+            }
+            for &a in &self.usage_addrs {
+                w.put_u64(a);
+            }
+            for &l in &self.live_bytes {
+                w.put_u32(l);
+            }
+        }
+        let sum = checksum(&buf[..len - 8]);
+        buf[len - 8..len].copy_from_slice(&sum.to_le_bytes());
+        Ok(buf)
+    }
+
+    /// Parses and validates a checkpoint region image.
+    pub fn decode(buf: &[u8]) -> FsResult<Checkpoint> {
+        if buf.len() < HEADER_SIZE {
+            return Err(FsError::Corrupt("checkpoint: region too small".into()));
+        }
+        let mut r = Reader::new(buf);
+        if r.get_u64() != MAGIC {
+            return Err(FsError::Corrupt("checkpoint: bad magic".into()));
+        }
+        let epoch = r.get_u32();
+        r.skip(4);
+        let seq = r.get_u64();
+        let timestamp = r.get_u64();
+        let cur_seg = r.get_u32();
+        let cur_off = r.get_u32();
+        let n_imap = r.get_u32() as usize;
+        let n_usage = r.get_u32() as usize;
+        let n_live = r.get_u32() as usize;
+        let len = r.get_u64() as usize;
+        if len > buf.len() || len != HEADER_SIZE + 8 * (n_imap + n_usage) + 4 * n_live + 8 {
+            return Err(FsError::Corrupt("checkpoint: bad length".into()));
+        }
+        let stored = u64::from_le_bytes(buf[len - 8..len].try_into().unwrap());
+        if checksum(&buf[..len - 8]) != stored {
+            return Err(FsError::Corrupt("checkpoint: bad checksum".into()));
+        }
+        r.skip(HEADER_SIZE - r.pos());
+        let mut imap_addrs = Vec::with_capacity(n_imap);
+        for _ in 0..n_imap {
+            imap_addrs.push(r.get_u64());
+        }
+        let mut usage_addrs = Vec::with_capacity(n_usage);
+        for _ in 0..n_usage {
+            usage_addrs.push(r.get_u64());
+        }
+        let mut live_bytes = Vec::with_capacity(n_live);
+        for _ in 0..n_live {
+            live_bytes.push(r.get_u32());
+        }
+        Ok(Checkpoint {
+            epoch,
+            seq,
+            timestamp,
+            cur_seg,
+            cur_off,
+            imap_addrs,
+            usage_addrs,
+            live_bytes,
+        })
+    }
+
+    /// Writes this checkpoint to the region starting at `region_addr`.
+    ///
+    /// Payload blocks go first, the header block last, so a crash anywhere
+    /// in between leaves a region that fails validation.
+    pub fn write_to<D: BlockDevice>(&self, dev: &mut D, region_addr: DiskAddr) -> FsResult<()> {
+        let buf = self.encode()?;
+        let nblocks = buf.len() / BLOCK_SIZE;
+        if nblocks > 1 {
+            dev.write_blocks(region_addr + 1, &buf[BLOCK_SIZE..], WriteKind::Sync)
+                .map_err(FsError::device)?;
+        }
+        dev.write_blocks(region_addr, &buf[..BLOCK_SIZE], WriteKind::Sync)
+            .map_err(FsError::device)?;
+        Ok(())
+    }
+
+    /// Reads and validates the checkpoint at `region_addr`.
+    pub fn read_from<D: BlockDevice>(dev: &mut D, region_addr: DiskAddr) -> FsResult<Checkpoint> {
+        let mut buf = vec![0u8; (CR_BLOCKS as usize) * BLOCK_SIZE];
+        dev.read_blocks(region_addr, &mut buf)
+            .map_err(FsError::device)?;
+        Checkpoint::decode(&buf)
+    }
+
+    /// Reads both regions and returns the valid one with the highest
+    /// sequence number, along with which region index (0 or 1) it came
+    /// from. Errors only if *neither* region is valid.
+    pub fn read_latest<D: BlockDevice>(
+        dev: &mut D,
+        regions: [DiskAddr; 2],
+    ) -> FsResult<(Checkpoint, usize)> {
+        let a = Checkpoint::read_from(dev, regions[0]);
+        let b = Checkpoint::read_from(dev, regions[1]);
+        match (a, b) {
+            (Ok(a), Ok(b)) => {
+                if a.seq >= b.seq {
+                    Ok((a, 0))
+                } else {
+                    Ok((b, 1))
+                }
+            }
+            (Ok(a), Err(_)) => Ok((a, 0)),
+            (Err(_), Ok(b)) => Ok((b, 1)),
+            (Err(e), Err(_)) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{CR0_ADDR, CR1_ADDR};
+    use blockdev::MemDisk;
+
+    fn sample(seq: u64) -> Checkpoint {
+        Checkpoint {
+            epoch: 2,
+            seq,
+            timestamp: 1234,
+            cur_seg: 3,
+            cur_off: 17,
+            imap_addrs: vec![100, 101, 102],
+            usage_addrs: vec![200],
+            live_bytes: vec![7, 0, 4096],
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let cp = sample(9);
+        let buf = cp.encode().unwrap();
+        assert_eq!(Checkpoint::decode(&buf).unwrap(), cp);
+    }
+
+    #[test]
+    fn corruption_anywhere_is_detected() {
+        let cp = sample(9);
+        let buf = cp.encode().unwrap();
+        // Only bytes inside the payload are protected; the rest of the
+        // region is padding.
+        let payload_len = HEADER_SIZE + 8 * (3 + 1) + 8;
+        for i in (0..payload_len).step_by(13) {
+            let mut bad = buf.clone();
+            bad[i] ^= 0x80;
+            assert!(Checkpoint::decode(&bad).is_err(), "byte {i} undetected");
+        }
+    }
+
+    #[test]
+    fn write_read_via_device() {
+        let mut dev = MemDisk::new(CR1_ADDR + CR_BLOCKS + 10);
+        let cp = sample(5);
+        cp.write_to(&mut dev, CR0_ADDR).unwrap();
+        let back = Checkpoint::read_from(&mut dev, CR0_ADDR).unwrap();
+        assert_eq!(back, cp);
+    }
+
+    #[test]
+    fn read_latest_prefers_higher_seq() {
+        let mut dev = MemDisk::new(CR1_ADDR + CR_BLOCKS + 10);
+        sample(5).write_to(&mut dev, CR0_ADDR).unwrap();
+        sample(8).write_to(&mut dev, CR1_ADDR).unwrap();
+        let (cp, idx) = Checkpoint::read_latest(&mut dev, [CR0_ADDR, CR1_ADDR]).unwrap();
+        assert_eq!(cp.seq, 8);
+        assert_eq!(idx, 1);
+    }
+
+    #[test]
+    fn read_latest_survives_one_torn_region() {
+        let mut dev = MemDisk::new(CR1_ADDR + CR_BLOCKS + 10);
+        sample(5).write_to(&mut dev, CR0_ADDR).unwrap();
+        // Region B contains garbage.
+        let junk = vec![0xffu8; BLOCK_SIZE];
+        blockdev::BlockDevice::write_blocks(&mut dev, CR1_ADDR, &junk, WriteKind::Sync).unwrap();
+        let (cp, idx) = Checkpoint::read_latest(&mut dev, [CR0_ADDR, CR1_ADDR]).unwrap();
+        assert_eq!(cp.seq, 5);
+        assert_eq!(idx, 0);
+    }
+
+    #[test]
+    fn read_latest_fails_when_both_invalid() {
+        let mut dev = MemDisk::new(CR1_ADDR + CR_BLOCKS + 10);
+        assert!(Checkpoint::read_latest(&mut dev, [CR0_ADDR, CR1_ADDR]).is_err());
+    }
+
+    #[test]
+    fn oversized_payload_is_rejected() {
+        let cp = Checkpoint {
+            epoch: 0,
+            seq: 0,
+            timestamp: 0,
+            cur_seg: 0,
+            cur_off: 0,
+            imap_addrs: vec![0; (CR_BLOCKS as usize) * BLOCK_SIZE / 8],
+            usage_addrs: vec![],
+            live_bytes: vec![],
+        };
+        assert!(cp.encode().is_err());
+    }
+
+    #[test]
+    fn empty_address_lists_roundtrip() {
+        let cp = Checkpoint {
+            epoch: 1,
+            seq: 1,
+            timestamp: 1,
+            cur_seg: 0,
+            cur_off: 0,
+            imap_addrs: vec![],
+            usage_addrs: vec![],
+            live_bytes: vec![],
+        };
+        let buf = cp.encode().unwrap();
+        assert_eq!(Checkpoint::decode(&buf).unwrap(), cp);
+    }
+}

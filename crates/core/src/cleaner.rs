@@ -1,0 +1,535 @@
+//! The segment cleaner: mechanism (§3.3) and policies (§3.4–3.6).
+//!
+//! The mechanism is the paper's three-step process: "read a number of
+//! segments into memory, identify the live data, and write the live data
+//! back to a smaller number of clean segments." Liveness is established
+//! from the segment summary: the uid (inode number + version) check
+//! discards blocks of deleted or truncated files without touching the
+//! inode; surviving candidates are confirmed against the actual block
+//! pointers.
+//!
+//! Policy: segments are selected either greedily (least utilized first) or
+//! by the cost-benefit ratio
+//!
+//! ```text
+//! benefit   (1 - u) * age
+//! ------- = -------------
+//!   cost        1 + u
+//! ```
+//!
+//! which "allows cold segments to be cleaned at a much higher utilization
+//! than hot segments" (§3.5). With age-sorting enabled, live blocks are
+//! written back grouped by age so cold data segregates into its own
+//! segments — the source of the bimodal distribution in Figure 6.
+
+use blockdev::{BlockDevice, BLOCK_SIZE};
+use vfs::{FsError, FsResult};
+
+use crate::config::CleaningPolicy;
+use crate::fs::{CachedBlock, IndKey, Lfs};
+use crate::inode::{Inode, INODE_DISK_SIZE};
+use crate::layout::DiskAddr;
+use crate::summary::{EntryKind, Summary};
+use crate::usage::SegState;
+
+/// Ranks a segment for cleaning: higher is better.
+///
+/// `u` is the segment's utilization and `age` the time since its youngest
+/// block was written. This free function is the single place both the real
+/// cleaner and any external analysis use.
+pub fn rank(policy: CleaningPolicy, u: f64, age: u64) -> f64 {
+    match policy {
+        CleaningPolicy::Greedy => 1.0 - u,
+        CleaningPolicy::CostBenefit => (1.0 - u) * age as f64 / (1.0 + u),
+    }
+}
+
+impl<D: BlockDevice> Lfs<D> {
+    /// Runs the cleaner if the number of clean segments has fallen below
+    /// the low-water mark, continuing until the high-water mark is
+    /// reached or nothing more can be cleaned.
+    pub(crate) fn maybe_clean(&mut self) -> FsResult<()> {
+        if self.cleaning {
+            return Ok(());
+        }
+        if self.usage.clean_count() >= self.cfg.clean_low_water {
+            return Ok(());
+        }
+        self.cleaning = true;
+        let res = self.clean_until_high_water();
+        self.cleaning = false;
+        res
+    }
+
+    /// Forces one cleaning pass regardless of the watermarks; returns the
+    /// number of segments cleaned. Useful for experiments that study the
+    /// cleaner directly.
+    pub fn clean_pass(&mut self) -> FsResult<u32> {
+        let was_cleaning = self.cleaning;
+        self.cleaning = true;
+        let res = (|| {
+            let cands = self.select_candidates();
+            if cands.is_empty() {
+                return Ok(0);
+            }
+            let n = cands.len() as u32;
+            self.clean_segments(&cands)?;
+            self.checkpoint()?;
+            Ok(n)
+        })();
+        self.cleaning = was_cleaning;
+        res
+    }
+
+    /// Emergency cleaning invoked by `flush` when segment allocation
+    /// fails: regenerate whatever clean segments the policy can, using
+    /// the cleaner's reserved pool for the relocations.
+    pub(crate) fn clean_for_space(&mut self) -> FsResult<()> {
+        self.clean_until_high_water()
+    }
+
+    fn clean_until_high_water(&mut self) -> FsResult<()> {
+        let mut stalled = 0;
+        loop {
+            if self.usage.clean_count() >= self.cfg.clean_high_water {
+                return Ok(());
+            }
+            let cands = self.select_candidates();
+            if cands.is_empty() {
+                // A checkpoint may still promote pending-free segments.
+                let pending = self
+                    .usage
+                    .iter()
+                    .any(|(_, u)| u.state == SegState::PendingFree);
+                if pending {
+                    self.checkpoint()?;
+                    continue;
+                }
+                return Ok(());
+            }
+            let before = self.usage.clean_count();
+            self.clean_segments(&cands)?;
+            // The checkpoint makes the relocations durable and promotes
+            // the sources to clean.
+            self.checkpoint()?;
+            // Guard against zero-net oscillation: when the best available
+            // candidates are so full that relocating them consumes as much
+            // space as it frees, stop — more free space must come from
+            // future deletions, not from copying.
+            if self.usage.clean_count() <= before {
+                stalled += 1;
+                if stalled >= 8 {
+                    return Ok(());
+                }
+            } else {
+                stalled = 0;
+            }
+        }
+    }
+
+    /// Chooses segments to clean under the configured policy, bounded by
+    /// `segs_per_clean` and by the free space available to absorb the
+    /// live data.
+    fn select_candidates(&self) -> Vec<u32> {
+        let seg_bytes = self.cfg.seg_bytes();
+        let now = self.clock;
+        let mut ranked: Vec<(f64, u32, u64)> = self
+            .usage
+            .iter()
+            .filter(|&(seg, u)| {
+                seg != self.cur_seg
+                    && u.state == SegState::Dirty
+                    && u.seal_seq <= self.checkpoint_seq
+                    && (u.live_bytes as u64) < seg_bytes
+            })
+            .map(|(seg, u)| {
+                let util = u.utilization(seg_bytes);
+                let age = now.saturating_sub(u.last_write) + 1;
+                (rank(self.cfg.policy, util, age), seg, u.live_bytes as u64)
+            })
+            .collect();
+        ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+
+        // Don't pick more live data than we can write back into the free
+        // space we currently have — otherwise the relocation itself runs
+        // out of room. The cleaner may use its reserved segments, so the
+        // full clean count stands; keep one segment of headroom for the
+        // metadata and summaries that ride along with relocations.
+        let free_budget = self.usage.clean_count() as u64 * seg_bytes
+            + (self.sb.seg_blocks.saturating_sub(self.cur_off)) as u64 * BLOCK_SIZE as u64;
+        // The relocation flush also carries whatever dirty application
+        // data waits in the cache, plus metadata (inode blocks, map/table
+        // blocks, summaries); the covering checkpoint then writes its own
+        // settle batch, whose worst case scales with the inode map size.
+        // Picked live data is rewritten alongside whatever dirty
+        // application data is waiting, plus metadata whose fixed part can
+        // be substantial: a relocation touching scattered files can dirty
+        // every inode-map block, and the covering checkpoint settles the
+        // map and usage table again. Budget half of what remains after
+        // those, so a pass can never outgrow the space it runs in.
+        let meta_fixed = (self.imap.num_blocks() as u64 + self.usage.num_blocks() as u64 + 8)
+            * BLOCK_SIZE as u64;
+        let budget = free_budget.saturating_sub(self.dirty_bytes + meta_fixed) / 2;
+        let mut picked = Vec::new();
+        let mut live_total = 0u64;
+        let mut reclaim_total = 0u64;
+        // Empty segments first, unconditionally: they cost nothing to
+        // reclaim ("need not be read at all") but, under cost-benefit
+        // ranking, young empty segments can paradoxically rank below old
+        // half-full ones and starve the free pool.
+        for &(_, seg, live) in &ranked {
+            if live == 0 && picked.len() < 2 * self.cfg.clean_high_water as usize {
+                reclaim_total += seg_bytes;
+                picked.push(seg);
+            }
+        }
+        let empties = picked.len();
+        for (_, seg, live) in ranked {
+            if live == 0 {
+                continue; // Already taken above.
+            }
+            if picked.len() - empties >= self.cfg.segs_per_clean as usize {
+                break;
+            }
+            if live > 0 && live_total + live > budget {
+                continue; // An emptier segment later may still fit.
+            }
+            live_total += live;
+            reclaim_total += seg_bytes - live;
+            picked.push(seg);
+        }
+        // Only clean when the pass reclaims meaningfully more than its
+        // own overhead — otherwise copying nearly-full segments burns
+        // bandwidth (and, near capacity, the very space it is trying to
+        // regenerate) without making progress.
+        let overhead = 8 * BLOCK_SIZE as u64 + live_total / 8;
+        if reclaim_total <= overhead {
+            return Vec::new();
+        }
+        picked
+    }
+
+    /// The cleaning mechanism: read segments, identify live blocks, stage
+    /// them for rewriting, flush, and retire the sources.
+    pub(crate) fn clean_segments(&mut self, segs: &[u32]) -> FsResult<()> {
+        self.stats.cleaner.passes += 1;
+        let seg_bytes = self.cfg.seg_bytes();
+        for &seg in segs {
+            let usage = *self.usage.get(seg);
+            self.stats.cleaner.segments_cleaned += 1;
+            if usage.live_bytes == 0 {
+                // "If a segment to be cleaned has no live blocks then it
+                // need not be read at all" (§3.4).
+                self.stats.cleaner.segments_empty += 1;
+                self.usage.set_seal_seq(seg, self.write_seq);
+                self.usage.set_state(seg, SegState::PendingFree);
+                continue;
+            }
+            self.stats.cleaner.utilization_sum += usage.live_bytes as f64 / seg_bytes as f64;
+            self.scavenge_segment(seg)?;
+        }
+        // Write all staged live data back to the head of the log (with
+        // age-sorting if configured — see `flush`).
+        self.flush()?;
+        for &seg in segs {
+            let live = self.usage.get(seg).live_bytes;
+            if live != 0 {
+                let detail = self.debug_scavenge_report(seg);
+                return Err(FsError::Corrupt(format!(
+                    "segment {seg} still has {live} live bytes after cleaning: {detail}"
+                )));
+            }
+            // Record the relocation sequence: the segment becomes
+            // reusable once a checkpoint covers it.
+            self.usage.set_seal_seq(seg, self.write_seq);
+            self.usage.set_state(seg, SegState::PendingFree);
+        }
+        Ok(())
+    }
+
+    /// Diagnostic: re-scavenges a segment and describes anything still
+    /// live (used only in the corruption error path).
+    fn debug_scavenge_report(&mut self, seg: u32) -> String {
+        let seg_blocks = self.sb.seg_blocks as usize;
+        let mut buf = vec![0u8; seg_blocks * BLOCK_SIZE];
+        let start = self.sb.seg_start(seg);
+        if self.dev.read_blocks(start, &mut buf).is_err() {
+            return "unreadable".into();
+        }
+        let mut out = String::new();
+        let mut off = 0usize;
+        let mut prev_seq = 0u64;
+        while off + 1 < seg_blocks {
+            let Ok(summary) = Summary::decode(&buf[off * BLOCK_SIZE..(off + 1) * BLOCK_SIZE])
+            else {
+                break;
+            };
+            if summary.seq <= prev_seq || off + 1 + summary.entries.len() > seg_blocks {
+                break;
+            }
+            prev_seq = summary.seq;
+            for (j, entry) in summary.entries.iter().enumerate() {
+                let addr = start + (off + 1 + j) as u64;
+                let live = match entry.kind {
+                    EntryKind::Data => {
+                        self.imap
+                            .get(entry.ino)
+                            .map(|e| e.is_live() && e.version == entry.version)
+                            .unwrap_or(false)
+                            && self.block_ptr(entry.ino, entry.offset as u64).unwrap_or(0) == addr
+                    }
+                    EntryKind::ImapBlock => {
+                        (entry.offset as usize) < self.imap.num_blocks()
+                            && self.imap.block_addr(entry.offset as usize) == addr
+                    }
+                    EntryKind::UsageBlock => {
+                        (entry.offset as usize) < self.usage.num_blocks()
+                            && self.usage.block_addr(entry.offset as usize) == addr
+                    }
+                    _ => false,
+                };
+                if live {
+                    out.push_str(&format!(
+                        " {:?}(ino {} off {})",
+                        entry.kind, entry.ino, entry.offset
+                    ));
+                }
+            }
+            off += 1 + summary.entries.len();
+        }
+        if out.is_empty() {
+            out = " nothing verifiably live (accounting drift)".into();
+        }
+        out
+    }
+
+    /// Reads one segment, walks its summaries, and stages every live block
+    /// as dirty cache state so the next flush relocates it.
+    fn scavenge_segment(&mut self, seg: u32) -> FsResult<()> {
+        let seg_bytes = self.cfg.seg_bytes();
+        let u = self.usage.get(seg).utilization(seg_bytes);
+        if self.cfg.read_live_threshold > 0.0 && u < self.cfg.read_live_threshold {
+            return self.scavenge_segment_sparse(seg);
+        }
+        let seg_blocks = self.sb.seg_blocks as usize;
+        let mut buf = vec![0u8; seg_blocks * BLOCK_SIZE];
+        let start = self.sb.seg_start(seg);
+        self.dev
+            .read_blocks(start, &mut buf)
+            .map_err(FsError::device)?;
+        self.stats.cleaner.bytes_read += buf.len() as u64;
+
+        let mut off = 0usize;
+        let mut prev_seq = 0u64;
+        while off + 1 < seg_blocks {
+            let sblock = &buf[off * BLOCK_SIZE..(off + 1) * BLOCK_SIZE];
+            let summary = match Summary::decode(sblock) {
+                Ok(s) => s,
+                Err(_) => break, // End of this segment's valid chain.
+            };
+            // Stale summaries left over from the segment's previous life
+            // have smaller sequence numbers; the live chain is strictly
+            // increasing.
+            if summary.seq <= prev_seq || off + 1 + summary.entries.len() > seg_blocks {
+                break;
+            }
+            prev_seq = summary.seq;
+            for (j, entry) in summary.entries.iter().enumerate() {
+                let blk_off = off + 1 + j;
+                let addr = start + blk_off as u64;
+                let content = &buf[blk_off * BLOCK_SIZE..(blk_off + 1) * BLOCK_SIZE];
+                self.stage_if_live(entry, addr, content)?;
+            }
+            off += 1 + summary.entries.len();
+        }
+        Ok(())
+    }
+
+    /// The "read just the live blocks" variant the paper proposes but
+    /// never implemented (§3.4): walk the summaries block by block and
+    /// fetch only the blocks that are actually live. For very sparse
+    /// segments this reads a small fraction of the segment at the cost of
+    /// discontiguous (seeking) reads — the ablation bench quantifies the
+    /// trade.
+    fn scavenge_segment_sparse(&mut self, seg: u32) -> FsResult<()> {
+        let seg_blocks = self.sb.seg_blocks as usize;
+        let start = self.sb.seg_start(seg);
+        let mut sbuf = vec![0u8; BLOCK_SIZE];
+        let mut off = 0usize;
+        let mut prev_seq = 0u64;
+        while off + 1 < seg_blocks {
+            self.dev
+                .read_blocks(start + off as u64, &mut sbuf)
+                .map_err(FsError::device)?;
+            self.stats.cleaner.bytes_read += BLOCK_SIZE as u64;
+            let summary = match Summary::decode(&sbuf) {
+                Ok(s) => s,
+                Err(_) => break,
+            };
+            if summary.seq <= prev_seq || off + 1 + summary.entries.len() > seg_blocks {
+                break;
+            }
+            prev_seq = summary.seq;
+            let mut content = vec![0u8; BLOCK_SIZE];
+            for (j, entry) in summary.entries.iter().enumerate() {
+                let addr = start + (off + 1 + j) as u64;
+                // Fast liveness pre-check that needs no block contents.
+                let worth_reading = match entry.kind {
+                    EntryKind::Data => {
+                        let e = match self.imap.get(entry.ino) {
+                            Ok(e) => *e,
+                            Err(_) => continue,
+                        };
+                        e.is_live()
+                            && e.version == entry.version
+                            && self.block_ptr(entry.ino, entry.offset as u64)? == addr
+                    }
+                    EntryKind::Indirect1 | EntryKind::Indirect2 => true,
+                    EntryKind::InodeBlock => true,
+                    EntryKind::ImapBlock => {
+                        (entry.offset as usize) < self.imap.num_blocks()
+                            && self.imap.block_addr(entry.offset as usize) == addr
+                    }
+                    EntryKind::UsageBlock => {
+                        (entry.offset as usize) < self.usage.num_blocks()
+                            && self.usage.block_addr(entry.offset as usize) == addr
+                    }
+                    EntryKind::DirLog => false,
+                };
+                if !worth_reading {
+                    continue;
+                }
+                self.dev
+                    .read_blocks(addr, &mut content)
+                    .map_err(FsError::device)?;
+                self.stats.cleaner.bytes_read += BLOCK_SIZE as u64;
+                self.stage_if_live(entry, addr, &content)?;
+            }
+            off += 1 + summary.entries.len();
+        }
+        Ok(())
+    }
+
+    /// Checks one summarised block for liveness and stages it if live.
+    fn stage_if_live(
+        &mut self,
+        entry: &crate::summary::SummaryEntry,
+        addr: DiskAddr,
+        content: &[u8],
+    ) -> FsResult<()> {
+        match entry.kind {
+            EntryKind::Data => {
+                let ino = entry.ino;
+                let e = match self.imap.get(ino) {
+                    Ok(e) => *e,
+                    Err(_) => return Ok(()),
+                };
+                // The uid fast path: a version mismatch means the file was
+                // deleted or truncated — "the block can be discarded
+                // immediately without examining the file's inode" (§3.3).
+                if !e.is_live() || e.version != entry.version {
+                    return Ok(());
+                }
+                let bno = entry.offset as u64;
+                if self.block_ptr(ino, bno)? != addr {
+                    return Ok(());
+                }
+                // Stage the block: dirty cache state relocates on flush.
+                // Crucially, keep the block's ORIGINAL modification time
+                // (from the summary entry): relocation does not make data
+                // young, and the cost-benefit policy depends on that.
+                if !self.blocks.contains_key(&(ino, bno)) {
+                    let lru = {
+                        self.lru_tick += 1;
+                        self.lru_tick
+                    };
+                    let mut data = vec![0u8; BLOCK_SIZE].into_boxed_slice();
+                    data.copy_from_slice(content);
+                    self.blocks.insert(
+                        (ino, bno),
+                        CachedBlock {
+                            data,
+                            dirty: false,
+                            lru,
+                            mtime: entry.mtime,
+                        },
+                    );
+                }
+                let original_mtime = self
+                    .blocks
+                    .get(&(ino, bno))
+                    .map(|b| if b.dirty { b.mtime } else { entry.mtime })
+                    .unwrap_or(entry.mtime);
+                self.mark_block_dirty(ino, bno);
+                if let Some(b) = self.blocks.get_mut(&(ino, bno)) {
+                    b.mtime = original_mtime;
+                }
+            }
+            EntryKind::Indirect1 | EntryKind::Indirect2 => {
+                let ino = entry.ino;
+                let e = match self.imap.get(ino) {
+                    Ok(e) => *e,
+                    Err(_) => return Ok(()),
+                };
+                if !e.is_live() || e.version != entry.version {
+                    return Ok(());
+                }
+                let key = match entry.kind {
+                    EntryKind::Indirect1 => IndKey::Single(entry.offset),
+                    _ => IndKey::Double,
+                };
+                if let Some(cached) = self.inds.get_mut(&(ino, key)) {
+                    if cached.disk_addr == addr {
+                        cached.dirty = true;
+                        self.dirty_files.insert(ino);
+                    }
+                    return Ok(());
+                }
+                // Not cached: confirm via the parent pointer, then load.
+                if self.ensure_ind(ino, key, false)? {
+                    let cached = self.inds.get_mut(&(ino, key)).unwrap();
+                    if cached.disk_addr == addr {
+                        cached.dirty = true;
+                        self.dirty_files.insert(ino);
+                    }
+                }
+            }
+            EntryKind::InodeBlock => {
+                for slot in 0..crate::layout::INODES_PER_BLOCK {
+                    let b = &content[slot * INODE_DISK_SIZE..(slot + 1) * INODE_DISK_SIZE];
+                    let Some(inode) = Inode::decode(b)? else {
+                        continue;
+                    };
+                    let ino = inode.ino;
+                    let e = match self.imap.get(ino) {
+                        Ok(e) => *e,
+                        Err(_) => continue,
+                    };
+                    if e.is_live() && e.addr == addr && e.slot == slot as u8 {
+                        self.ensure_inode(ino)?;
+                        self.inodes.get_mut(&ino).unwrap().dirty = true;
+                        self.dirty_files.insert(ino);
+                    }
+                }
+            }
+            EntryKind::ImapBlock => {
+                let idx = entry.offset as usize;
+                if idx < self.imap.num_blocks() && self.imap.block_addr(idx) == addr {
+                    self.imap.mark_block_dirty(idx);
+                }
+            }
+            EntryKind::UsageBlock => {
+                let idx = entry.offset as usize;
+                if idx < self.usage.num_blocks() && self.usage.block_addr(idx) == addr {
+                    self.usage.mark_block_dirty(idx);
+                }
+            }
+            EntryKind::DirLog => {
+                // Directory-log records matter only between a checkpoint
+                // and a crash; segments eligible for cleaning are older
+                // than the last checkpoint, so these are dead.
+            }
+        }
+        Ok(())
+    }
+}

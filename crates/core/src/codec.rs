@@ -1,0 +1,181 @@
+//! Little-endian serialization helpers for the on-disk structures.
+//!
+//! The on-disk format is laid out by hand (fixed offsets, little-endian)
+//! rather than through serde: a file system's disk format is a contract,
+//! and spelling it out keeps the format stable, inspectable with `lfsdump`,
+//! and independent of any Rust library's encoding decisions.
+
+/// A cursor for writing fixed-layout structures into a byte buffer.
+pub struct Writer<'a> {
+    buf: &'a mut [u8],
+    pos: usize,
+}
+
+impl<'a> Writer<'a> {
+    /// Wraps `buf`, starting at offset 0.
+    pub fn new(buf: &'a mut [u8]) -> Writer<'a> {
+        Writer { buf, pos: 0 }
+    }
+
+    /// Current offset.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Appends a `u8`.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf[self.pos] = v;
+        self.pos += 1;
+    }
+
+    /// Appends a `u16` (little-endian).
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf[self.pos..self.pos + 2].copy_from_slice(&v.to_le_bytes());
+        self.pos += 2;
+    }
+
+    /// Appends a `u32` (little-endian).
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf[self.pos..self.pos + 4].copy_from_slice(&v.to_le_bytes());
+        self.pos += 4;
+    }
+
+    /// Appends a `u64` (little-endian).
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf[self.pos..self.pos + 8].copy_from_slice(&v.to_le_bytes());
+        self.pos += 8;
+    }
+
+    /// Appends raw bytes.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.buf[self.pos..self.pos + v.len()].copy_from_slice(v);
+        self.pos += v.len();
+    }
+
+    /// Skips `n` bytes, leaving them untouched (zero in fresh buffers).
+    pub fn pad(&mut self, n: usize) {
+        self.pos += n;
+    }
+}
+
+/// A cursor for reading fixed-layout structures from a byte buffer.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps `buf`, starting at offset 0.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Current offset.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Reads a `u8`.
+    pub fn get_u8(&mut self) -> u8 {
+        let v = self.buf[self.pos];
+        self.pos += 1;
+        v
+    }
+
+    /// Reads a `u16` (little-endian).
+    pub fn get_u16(&mut self) -> u16 {
+        let v = u16::from_le_bytes(self.buf[self.pos..self.pos + 2].try_into().unwrap());
+        self.pos += 2;
+        v
+    }
+
+    /// Reads a `u32` (little-endian).
+    pub fn get_u32(&mut self) -> u32 {
+        let v = u32::from_le_bytes(self.buf[self.pos..self.pos + 4].try_into().unwrap());
+        self.pos += 4;
+        v
+    }
+
+    /// Reads a `u64` (little-endian).
+    pub fn get_u64(&mut self) -> u64 {
+        let v = u64::from_le_bytes(self.buf[self.pos..self.pos + 8].try_into().unwrap());
+        self.pos += 8;
+        v
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn get_bytes(&mut self, n: usize) -> &'a [u8] {
+        let v = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        v
+    }
+
+    /// Skips `n` bytes.
+    pub fn skip(&mut self, n: usize) {
+        self.pos += n;
+    }
+}
+
+/// FNV-1a over `data` — the checksum used by summaries and checkpoints.
+///
+/// A cryptographic hash is unnecessary: the checksum only needs to detect
+/// torn writes and stale garbage, the same role the checkpoint timestamp
+/// plays in the paper.
+pub fn checksum(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut buf = [0u8; 32];
+        let mut w = Writer::new(&mut buf);
+        w.put_u8(0xab);
+        w.put_u16(0x1234);
+        w.put_u32(0xdeadbeef);
+        w.put_u64(0x0123456789abcdef);
+        w.put_bytes(b"xyz");
+        assert_eq!(w.pos(), 18);
+
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.get_u8(), 0xab);
+        assert_eq!(r.get_u16(), 0x1234);
+        assert_eq!(r.get_u32(), 0xdeadbeef);
+        assert_eq!(r.get_u64(), 0x0123456789abcdef);
+        assert_eq!(r.get_bytes(3), b"xyz");
+    }
+
+    #[test]
+    fn pad_and_skip_stay_in_sync() {
+        let mut buf = [0u8; 16];
+        let mut w = Writer::new(&mut buf);
+        w.put_u32(7);
+        w.pad(4);
+        w.put_u32(9);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.get_u32(), 7);
+        r.skip(4);
+        assert_eq!(r.get_u32(), 9);
+    }
+
+    #[test]
+    fn checksum_detects_single_bit_flip() {
+        let a = checksum(b"the quick brown fox");
+        let b = checksum(b"the quick brown foy");
+        assert_ne!(a, b);
+        assert_eq!(a, checksum(b"the quick brown fox"));
+    }
+
+    #[test]
+    fn checksum_of_empty_is_fnv_offset() {
+        assert_eq!(checksum(&[]), 0xcbf29ce484222325);
+    }
+}

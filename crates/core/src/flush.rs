@@ -1,0 +1,628 @@
+//! The write path: building partial writes and checkpoints.
+//!
+//! A flush gathers everything dirty in the file cache — directory-log
+//! records first (the §4.2 ordering guarantee), then file data blocks,
+//! indirect blocks, inode blocks, inode-map blocks, and segment-usage
+//! blocks — lays the blocks out after a summary block in the current
+//! segment, updates every pointer to the new addresses, and issues one
+//! large sequential device write per chunk. "For workloads that contain
+//! many small files, a log-structured file system converts the many small
+//! synchronous random writes of traditional file systems into large
+//! asynchronous sequential transfers" (§3).
+
+use std::collections::BTreeSet;
+
+use blockdev::{BlockDevice, WriteKind, BLOCK_SIZE};
+use vfs::{FsError, FsResult, Ino};
+
+use crate::dirlog;
+use crate::fs::{IndKey, Lfs};
+use crate::inode::INODE_DISK_SIZE;
+use crate::layout::{classify_block, BlockClass, DiskAddr, NIL_ADDR};
+use crate::stats::BlockKind;
+use crate::summary::{EntryKind, Summary, SummaryEntry, MAX_SUMMARY_ENTRIES};
+use crate::usage::SegState;
+
+/// Clean segments normal writes may never consume — the cleaner's private
+/// pool for relocating live data when the log runs out of space.
+pub(crate) const CLEANER_RESERVE_SEGS: usize = 2;
+
+/// One block scheduled for the current partial write.
+#[derive(Clone, Debug)]
+enum Item {
+    DirLog(Box<[u8]>),
+    Data { ino: Ino, bno: u64 },
+    Ind { ino: Ino, key: IndKey },
+    InodeBlk { inos: Vec<Ino> },
+    Imap(usize),
+    Usage(usize),
+}
+
+impl Item {
+    fn stats_kind(&self) -> BlockKind {
+        match self {
+            Item::DirLog(_) => BlockKind::DirLog,
+            Item::Data { .. } => BlockKind::Data,
+            Item::Ind { .. } => BlockKind::Indirect,
+            Item::InodeBlk { .. } => BlockKind::Inode,
+            Item::Imap(_) => BlockKind::Imap,
+            Item::Usage(_) => BlockKind::Usage,
+        }
+    }
+}
+
+/// Placement of one partial write.
+struct ChunkPlan {
+    seg: u32,
+    off: u32,
+    n_items: usize,
+}
+
+/// The result of the (pure) layout computation.
+struct LayoutPlan {
+    chunks: Vec<ChunkPlan>,
+    /// Segments newly allocated (to be marked Active in order).
+    allocated: Vec<u32>,
+    end_seg: u32,
+    end_off: u32,
+}
+
+impl<D: BlockDevice> Lfs<D> {
+    /// True if any state is waiting to reach the log.
+    pub fn needs_flush(&self) -> bool {
+        !self.dirty_blocks.is_empty()
+            || !self.dirlog_pending.is_empty()
+            || self.inodes.values().any(|c| c.dirty)
+            || self.inds.values().any(|c| c.dirty)
+            || self.imap.has_dirty()
+            || self.usage.has_dirty()
+    }
+
+    /// Writes everything dirty to the log as one or more partial writes.
+    ///
+    /// This is the paper's fundamental operation: it converts the
+    /// accumulated small modifications into large sequential transfers.
+    /// It does *not* write a checkpoint; see [`Lfs::checkpoint`].
+    pub fn flush(&mut self) -> FsResult<()> {
+        if !self.needs_flush() {
+            return Ok(());
+        }
+
+        // ---- gather -----------------------------------------------------
+        let dirlog_blocks = dirlog::encode_records(&self.dirlog_pending);
+
+        let mut items: Vec<Item> = Vec::new();
+        for b in dirlog_blocks {
+            items.push(Item::DirLog(b));
+        }
+
+        // Data blocks, grouped per file. With age-sorting enabled the
+        // cleaner's relocations are grouped oldest-first so cold data
+        // segregates from hot data (§3.4, policy 4).
+        let mut file_order: Vec<Ino> = {
+            let mut inos: BTreeSet<Ino> = self.dirty_blocks.iter().map(|&(i, _)| i).collect();
+            for (&(i, _), c) in self.inds.iter() {
+                if c.dirty {
+                    inos.insert(i);
+                }
+            }
+            for (&i, c) in self.inodes.iter() {
+                if c.dirty {
+                    inos.insert(i);
+                }
+            }
+            inos.extend(self.dirty_files.iter().copied());
+            inos.into_iter().collect()
+        };
+        if self.cleaning && self.cfg.age_sort {
+            // "Sort the blocks by the time they were last modified and
+            // group blocks of similar age together into new segments"
+            // (§3.4). Files are ordered by the age of their oldest dirty
+            // block; within a file, blocks are already relocated
+            // together, which is the grouping the policy wants.
+            let mut keyed: Vec<(u64, Ino)> = Vec::with_capacity(file_order.len());
+            for ino in file_order {
+                let oldest_block = self
+                    .dirty_blocks
+                    .range((ino, 0)..=(ino, u64::MAX))
+                    .filter_map(|k| self.blocks.get(k).map(|b| b.mtime))
+                    .min();
+                let key = oldest_block
+                    .or_else(|| self.inode_clone(ino).ok().map(|i| i.mtime))
+                    .unwrap_or(0);
+                keyed.push((key, ino));
+            }
+            keyed.sort_unstable();
+            file_order = keyed.into_iter().map(|(_, i)| i).collect();
+        }
+
+        // Make sure every indirect block that will receive a pointer
+        // update exists in the cache before layout, so it is part of the
+        // batch.
+        let dirty_data: Vec<(Ino, u64)> = self.dirty_blocks.iter().copied().collect();
+        for &(ino, bno) in &dirty_data {
+            match classify_block(bno).ok_or(FsError::FileTooLarge)? {
+                BlockClass::Direct(_) => {}
+                BlockClass::Indirect1(_) => {
+                    self.ensure_ind(ino, IndKey::Single(0), true)?;
+                    self.inds.get_mut(&(ino, IndKey::Single(0))).unwrap().dirty = true;
+                }
+                BlockClass::Indirect2(i, _) => {
+                    self.ensure_ind(ino, IndKey::Double, true)?;
+                    self.inds.get_mut(&(ino, IndKey::Double)).unwrap().dirty = true;
+                    let key = IndKey::Single(i as u32 + 1);
+                    self.ensure_ind(ino, key, true)?;
+                    self.inds.get_mut(&(ino, key)).unwrap().dirty = true;
+                }
+            }
+        }
+
+        let mut dirty_inos: Vec<Ino> = Vec::new();
+        for &ino in &file_order {
+            // Data blocks of this file, in file order.
+            let blocks: Vec<u64> = self
+                .dirty_blocks
+                .range((ino, 0)..=(ino, u64::MAX))
+                .map(|&(_, b)| b)
+                .collect();
+            for bno in blocks {
+                items.push(Item::Data { ino, bno });
+            }
+            // Indirect blocks: singles first (their addresses go into the
+            // double), then the double.
+            let mut keys: Vec<IndKey> = self
+                .inds
+                .iter()
+                .filter(|(&(i, _), c)| i == ino && c.dirty)
+                .map(|(&(_, k), _)| k)
+                .collect();
+            keys.sort();
+            for key in keys {
+                items.push(Item::Ind { ino, key });
+            }
+            if self.inodes.get(&ino).map(|c| c.dirty).unwrap_or(false)
+                || self.dirty_files.contains(&ino)
+            {
+                dirty_inos.push(ino);
+            }
+        }
+        // Pack dirty inodes 16 to a block, preserving the file order.
+        for group in dirty_inos.chunks(crate::layout::INODES_PER_BLOCK) {
+            items.push(Item::InodeBlk {
+                inos: group.to_vec(),
+            });
+        }
+
+        // Inode-map blocks: already dirty ones plus those about to change
+        // because of the inode relocations above.
+        let mut imap_blocks: BTreeSet<usize> = self.imap.dirty_blocks().into_iter().collect();
+        for &ino in &dirty_inos {
+            imap_blocks.insert(crate::inodemap::InodeMap::block_of(ino));
+        }
+        for &idx in &imap_blocks {
+            items.push(Item::Imap(idx));
+        }
+
+        // Usage blocks: iterate with the layout until the set of touched
+        // segments stabilises (normally one extra round at most).
+        let mut usage_blocks: BTreeSet<usize> = self.usage.dirty_blocks().into_iter().collect();
+        // Segments that will lose live bytes (old homes of rewritten
+        // blocks) are known before layout.
+        for &(ino, bno) in &dirty_data {
+            let old = self.block_ptr(ino, bno)?;
+            if old != NIL_ADDR {
+                if let Some(seg) = self.sb.seg_of(old) {
+                    usage_blocks.insert(crate::usage::UsageTable::block_of(seg));
+                }
+            }
+        }
+        usage_blocks.insert(crate::usage::UsageTable::block_of(self.cur_seg));
+
+        let plan = loop {
+            let mut attempt = items.clone();
+            for &idx in &usage_blocks {
+                attempt.push(Item::Usage(idx));
+            }
+            let plan = {
+                let mut plan = self.layout(attempt.len());
+                // Out of clean segments: let the cleaner regenerate some
+                // (it has a reserved allocation pool precisely so it can
+                // still run now), then retry. Several rounds may be
+                // needed when space is very tight.
+                let mut rounds = 0;
+                while matches!(plan, Err(FsError::NoSpace)) && !self.cleaning && rounds < 4 {
+                    self.cleaning = true;
+                    let res = self.clean_for_space();
+                    self.cleaning = false;
+                    res?;
+                    plan = self.layout(attempt.len());
+                    rounds += 1;
+                }
+                plan?
+            };
+            let mut grew = false;
+            for c in &plan.chunks {
+                if usage_blocks.insert(crate::usage::UsageTable::block_of(c.seg)) {
+                    grew = true;
+                }
+            }
+            if !grew {
+                items = attempt;
+                break plan;
+            }
+        };
+
+        // ---- commit segment allocation -----------------------------------
+        for &seg in &plan.allocated {
+            self.usage.set_state(seg, SegState::Active);
+        }
+
+        // ---- assign addresses -------------------------------------------
+        let mut addrs: Vec<DiskAddr> = Vec::with_capacity(items.len());
+        for c in &plan.chunks {
+            let base = self.sb.seg_start(c.seg) + c.off as u64;
+            for i in 0..c.n_items {
+                addrs.push(base + 1 + i as u64);
+            }
+        }
+        debug_assert_eq!(addrs.len(), items.len());
+
+        // ---- apply pointer and accounting updates -------------------------
+        let now = self.clock;
+        let by_cleaner = self.cleaning;
+        for (item, &addr) in items.iter().zip(&addrs) {
+            let seg = self.sb.seg_of(addr).expect("log write outside segments");
+            match item {
+                Item::DirLog(_) => {}
+                Item::Data { ino, bno } => {
+                    // Per-block modification time (the §3.6 refinement):
+                    // segment ages reflect the blocks actually in them,
+                    // not the owning file's latest touch.
+                    let mtime = self
+                        .blocks
+                        .get(&(*ino, *bno))
+                        .map(|b| b.mtime)
+                        .unwrap_or(now);
+                    let old = self.set_block_ptr(*ino, *bno, addr)?;
+                    if old != NIL_ADDR {
+                        if let Some(s) = self.sb.seg_of(old) {
+                            self.usage.sub_live(s, BLOCK_SIZE as u32);
+                        }
+                    }
+                    self.usage.add_live(seg, BLOCK_SIZE as u32, mtime);
+                }
+                Item::Ind { ino, key } => {
+                    // Update the parent pointer.
+                    match key {
+                        IndKey::Single(0) => {
+                            let mut inode = self.inode_clone(*ino)?;
+                            inode.indirect = addr;
+                            self.put_inode(inode);
+                        }
+                        IndKey::Single(k) => {
+                            let d = self
+                                .inds
+                                .get_mut(&(*ino, IndKey::Double))
+                                .expect("double-indirect missing for child update");
+                            d.blk.ptrs[(*k - 1) as usize] = addr;
+                            d.dirty = true;
+                        }
+                        IndKey::Double => {
+                            let mut inode = self.inode_clone(*ino)?;
+                            inode.dindirect = addr;
+                            self.put_inode(inode);
+                        }
+                    }
+                    let e = self.inds.get_mut(&(*ino, *key)).unwrap();
+                    let old = e.disk_addr;
+                    e.disk_addr = addr;
+                    if old != NIL_ADDR {
+                        if let Some(s) = self.sb.seg_of(old) {
+                            self.usage.sub_live(s, BLOCK_SIZE as u32);
+                        }
+                    }
+                    self.usage.add_live(seg, BLOCK_SIZE as u32, now);
+                }
+                Item::InodeBlk { inos } => {
+                    for (slot, &ino) in inos.iter().enumerate() {
+                        let old = *self.imap.get(ino)?;
+                        if old.is_live() {
+                            if let Some(s) = self.sb.seg_of(old.addr) {
+                                self.usage.sub_live(s, INODE_DISK_SIZE as u32);
+                            }
+                        }
+                        self.imap.set_location(ino, addr, slot as u8);
+                        self.usage.add_live(seg, INODE_DISK_SIZE as u32, now);
+                    }
+                }
+                Item::Imap(idx) => {
+                    let old = self.imap.block_addr(*idx);
+                    if old != NIL_ADDR {
+                        if let Some(s) = self.sb.seg_of(old) {
+                            self.usage.sub_live_quiet(s, BLOCK_SIZE as u32);
+                        }
+                    }
+                    self.usage.add_live_quiet(seg, BLOCK_SIZE as u32, now);
+                    self.imap.block_written(*idx, addr);
+                }
+                Item::Usage(idx) => {
+                    let old = self.usage.block_addr(*idx);
+                    if old != NIL_ADDR {
+                        if let Some(s) = self.sb.seg_of(old) {
+                            self.usage.sub_live_quiet(s, BLOCK_SIZE as u32);
+                        }
+                    }
+                    self.usage.add_live_quiet(seg, BLOCK_SIZE as u32, now);
+                    // `block_written` runs during serialization below so
+                    // the dirty bit survives until the content snapshot.
+                }
+            }
+        }
+
+        // ---- seal segments the layout moved past --------------------------
+        // (Sealing before serialization so the usage blocks carry the
+        // final states.) A segment is sealed when the log head leaves it,
+        // or when it has no room left for another partial write (a chunk
+        // needs a summary plus at least one block).
+        {
+            let mut seq = self.write_seq;
+            let mut seg_last_seq: std::collections::BTreeMap<u32, u64> =
+                std::collections::BTreeMap::new();
+            for c in &plan.chunks {
+                seq += 1;
+                seg_last_seq.insert(c.seg, seq);
+            }
+            let mut touched: BTreeSet<u32> = seg_last_seq.keys().copied().collect();
+            touched.insert(self.cur_seg);
+            for seg in touched {
+                let is_end = seg == plan.end_seg;
+                let end_full = plan.end_off + 1 >= self.sb.seg_blocks;
+                if !is_end || end_full {
+                    self.usage.set_state(seg, SegState::Dirty);
+                    let s = seg_last_seq.get(&seg).copied().unwrap_or(self.write_seq);
+                    self.usage.set_seal_seq(seg, s);
+                }
+            }
+        }
+
+        // ---- serialize and write ------------------------------------------
+        let mut item_idx = 0usize;
+        let mut seq = self.write_seq;
+        let time = self.clock;
+        for c in &plan.chunks {
+            seq += 1;
+            let chunk_items = &items[item_idx..item_idx + c.n_items];
+            let chunk_addrs = &addrs[item_idx..item_idx + c.n_items];
+            let mut entries = Vec::with_capacity(c.n_items);
+            let mut buf = vec![0u8; (1 + c.n_items) * BLOCK_SIZE];
+            for (j, item) in chunk_items.iter().enumerate() {
+                let dst = &mut buf[(1 + j) * BLOCK_SIZE..(2 + j) * BLOCK_SIZE];
+                let entry = match item {
+                    Item::DirLog(data) => {
+                        dst.copy_from_slice(data);
+                        SummaryEntry::meta(EntryKind::DirLog, 0, time)
+                    }
+                    Item::Data { ino, bno } => {
+                        let b = &self.blocks[&(*ino, *bno)];
+                        dst.copy_from_slice(&b.data);
+                        SummaryEntry::data(*ino, *bno as u32, self.imap.version(*ino), b.mtime)
+                    }
+                    Item::Ind { ino, key } => {
+                        let e = &self.inds[&(*ino, *key)];
+                        dst.copy_from_slice(&e.blk.encode());
+                        match key {
+                            IndKey::Single(k) => SummaryEntry {
+                                kind: EntryKind::Indirect1,
+                                ino: *ino,
+                                offset: *k,
+                                version: self.imap.version(*ino),
+                                mtime: time,
+                            },
+                            IndKey::Double => SummaryEntry {
+                                kind: EntryKind::Indirect2,
+                                ino: *ino,
+                                offset: 0,
+                                version: self.imap.version(*ino),
+                                mtime: time,
+                            },
+                        }
+                    }
+                    Item::InodeBlk { inos } => {
+                        for (slot, &ino) in inos.iter().enumerate() {
+                            let inode = &self.inodes[&ino].inode;
+                            inode.encode_into(
+                                &mut dst[slot * INODE_DISK_SIZE..(slot + 1) * INODE_DISK_SIZE],
+                            );
+                        }
+                        SummaryEntry::meta(EntryKind::InodeBlock, 0, time)
+                    }
+                    Item::Imap(idx) => {
+                        dst.copy_from_slice(&self.imap.encode_block(*idx));
+                        SummaryEntry::meta(EntryKind::ImapBlock, *idx as u32, time)
+                    }
+                    Item::Usage(idx) => {
+                        self.usage.block_written(*idx, chunk_addrs[j]);
+                        dst.copy_from_slice(&self.usage.encode_block(*idx));
+                        SummaryEntry::meta(EntryKind::UsageBlock, *idx as u32, time)
+                    }
+                };
+                self.stats
+                    .add_log_bytes(entry_stats_kind(item), BLOCK_SIZE as u64, by_cleaner);
+                entries.push(entry);
+            }
+            let summary = Summary {
+                epoch: self.epoch,
+                seq,
+                write_time: time,
+                entries,
+            };
+            buf[..BLOCK_SIZE].copy_from_slice(&summary.encode());
+            self.stats
+                .add_log_bytes(BlockKind::Summary, BLOCK_SIZE as u64, by_cleaner);
+            let start = self.sb.seg_start(c.seg) + c.off as u64;
+            self.dev
+                .write_blocks(start, &buf, WriteKind::Async)
+                .map_err(FsError::device)?;
+            if !by_cleaner {
+                self.bytes_since_checkpoint += buf.len() as u64;
+            }
+            self.stats.partial_writes += 1;
+            item_idx += c.n_items;
+        }
+        self.write_seq = seq;
+        self.cur_seg = plan.end_seg;
+        self.cur_off = plan.end_off;
+
+        // ---- clear dirty state --------------------------------------------
+        for (ino, bno) in std::mem::take(&mut self.dirty_blocks) {
+            if let Some(b) = self.blocks.get_mut(&(ino, bno)) {
+                b.dirty = false;
+            }
+        }
+        self.dirty_bytes = 0;
+        for c in self.inodes.values_mut() {
+            c.dirty = false;
+        }
+        for c in self.inds.values_mut() {
+            c.dirty = false;
+        }
+        self.dirty_files.clear();
+        self.dirlog_pending.clear();
+        self.maybe_evict_after_flush();
+        Ok(())
+    }
+
+    fn maybe_evict_after_flush(&mut self) {
+        // Reuse the normal eviction policy via a no-op block touch.
+        let limit = (self.cfg.cache_limit_bytes / BLOCK_SIZE as u64) as usize;
+        if self.blocks.len() <= limit {
+            return;
+        }
+        let mut clean: Vec<((Ino, u64), u64)> = self
+            .blocks
+            .iter()
+            .filter(|(_, b)| !b.dirty)
+            .map(|(&k, b)| (k, b.lru))
+            .collect();
+        clean.sort_by_key(|&(_, lru)| lru);
+        let excess = self.blocks.len() - limit;
+        for (k, _) in clean.into_iter().take(excess) {
+            self.blocks.remove(&k);
+        }
+    }
+
+    /// Computes chunk placement for `n_items` blocks without mutating
+    /// anything.
+    fn layout(&self, n_items: usize) -> FsResult<LayoutPlan> {
+        let seg_blocks = self.sb.seg_blocks;
+        let mut chunks = Vec::new();
+        let mut allocated = Vec::new();
+        let mut seg = self.cur_seg;
+        let mut off = self.cur_off;
+        let mut remaining = n_items;
+        // Clean segments available for allocation, in index order. Normal
+        // writes must leave a couple of segments for the cleaner, which
+        // needs somewhere to copy live data even when the log is full —
+        // without this reserve the file system can wedge with free space
+        // it cannot reach.
+        let mut avail: Vec<u32> = self
+            .usage
+            .iter()
+            .filter(|(s, u)| u.state == SegState::Clean && *s != seg)
+            .map(|(s, _)| s)
+            .collect();
+        // Normal writes leave segments for the cleaner; the cleaner's own
+        // relocations and a checkpoint's settle writes may use everything
+        // (the selection budget guarantees they fit, and completing them
+        // is what regenerates free space).
+        let reserve = if self.cleaning || self.settling {
+            0
+        } else {
+            CLEANER_RESERVE_SEGS
+        };
+        let keep = avail.len().saturating_sub(reserve);
+        avail.truncate(keep);
+        avail.reverse(); // Pop from the low end.
+        while remaining > 0 {
+            let space = seg_blocks.saturating_sub(off) as usize;
+            if space < 2 {
+                // No room for a summary plus at least one block.
+                match avail.pop() {
+                    Some(s) => {
+                        allocated.push(s);
+                        seg = s;
+                        off = 0;
+                        continue;
+                    }
+                    None => return Err(FsError::NoSpace),
+                }
+            }
+            let n = remaining.min(space - 1).min(MAX_SUMMARY_ENTRIES);
+            chunks.push(ChunkPlan {
+                seg,
+                off,
+                n_items: n,
+            });
+            off += 1 + n as u32;
+            remaining -= n;
+        }
+        Ok(LayoutPlan {
+            chunks,
+            allocated,
+            end_seg: seg,
+            end_off: off,
+        })
+    }
+
+    /// Writes a checkpoint: flushes everything, lets the metadata settle,
+    /// promotes cleaned segments, and writes the alternate checkpoint
+    /// region (§4.1).
+    pub fn checkpoint(&mut self) -> FsResult<()> {
+        self.flush()?;
+        // Let the inode map and usage table reach the log; their own
+        // relocations are accounted quietly, so this settles quickly.
+        // Settle writes may dip into the cleaner's reserve — finishing
+        // this checkpoint is what turns pending segments clean again.
+        self.settling = true;
+        let settle = (|| -> FsResult<()> {
+            for _ in 0..4 {
+                if !self.imap.has_dirty() && !self.usage.has_dirty() {
+                    break;
+                }
+                self.flush()?;
+            }
+            Ok(())
+        })();
+        self.settling = false;
+        settle?;
+        let cp = crate::checkpoint::Checkpoint {
+            epoch: self.epoch,
+            seq: self.write_seq,
+            timestamp: self.clock,
+            cur_seg: self.cur_seg,
+            cur_off: self.cur_off,
+            imap_addrs: self.imap.block_addr_vec().to_vec(),
+            usage_addrs: self.usage.block_addr_vec().to_vec(),
+            live_bytes: self.usage.live_vec(),
+        };
+        let region = self.sb.checkpoint_addrs()[self.next_cr];
+        cp.write_to(&mut self.dev, region)?;
+        self.next_cr = 1 - self.next_cr;
+        self.checkpoint_seq = self.write_seq;
+        self.bytes_since_checkpoint = 0;
+        self.stats.checkpoints += 1;
+        // Only now do the cleaned segments become allocatable: the
+        // checkpoint just written covers their relocations (the cleaner's
+        // flush preceded it), so even a crash right after this point
+        // recovers safely. The on-disk usage table still says PendingFree
+        // until the next checkpoint; `mount` promotes such segments on
+        // load, which is sound for the same reason — any checkpoint that
+        // recorded PendingFree was written after the relocation flush.
+        self.usage.promote_pending(self.checkpoint_seq);
+        Ok(())
+    }
+}
+
+fn entry_stats_kind(item: &Item) -> BlockKind {
+    item.stats_kind()
+}

@@ -1,0 +1,1273 @@
+//! The `Lfs` file system: state, caching, addressing, and the VFS surface.
+//!
+//! The write path is the paper's: modifications accumulate in the file
+//! cache ([`Lfs`] keeps dirty blocks, inodes, and indirect blocks in
+//! memory) and reach disk only through large sequential partial writes
+//! built by the flush machinery in `flush.rs`. Reads consult the cache
+//! first and otherwise walk inode pointers exactly as Unix FFS would —
+//! "once a file's inode has been found, the number of disk I/Os required
+//! to read the file is identical in Sprite LFS and Unix FFS" (§3.1).
+
+use std::collections::{BTreeSet, HashMap};
+
+use blockdev::{BlockDevice, BLOCK_SIZE};
+use vfs::{DirEntry, FileSystem, FileType, FsError, FsResult, Ino, Metadata, StatFs, ROOT_INO};
+
+use crate::config::LfsConfig;
+use crate::dir::{self, DirRecord};
+use crate::dirlog::{DirLogRecord, DirOp};
+use crate::inode::{IndirectBlock, Inode};
+use crate::inodemap::InodeMap;
+use crate::layout::{
+    blocks_for_size, classify_block, BlockClass, DiskAddr, MAX_FILE_SIZE, NIL_ADDR,
+};
+use crate::stats::LfsStats;
+use crate::superblock::Superblock;
+use crate::usage::{SegState, UsageTable};
+
+/// A cached file (or directory) data block.
+pub(crate) struct CachedBlock {
+    pub(crate) data: Box<[u8]>,
+    pub(crate) dirty: bool,
+    pub(crate) lru: u64,
+    /// The block's modification time — per *block*, not per file, which
+    /// is the refinement §3.6 of the paper says Sprite planned. The
+    /// cleaner preserves it across relocations so segment ages and
+    /// age-sorting reflect true block ages.
+    pub(crate) mtime: u64,
+}
+
+/// A cached inode.
+pub(crate) struct CachedInode {
+    pub(crate) inode: Inode,
+    pub(crate) dirty: bool,
+}
+
+/// Identifies one indirect block of a file: `Single(k)` is single-indirect
+/// block `k` (k = 0 hangs off `inode.indirect`; k ≥ 1 off slot `k-1` of the
+/// double-indirect block); `Double` is the double-indirect block itself.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub(crate) enum IndKey {
+    Single(u32),
+    Double,
+}
+
+/// A cached indirect block together with its current on-disk home.
+pub(crate) struct CachedInd {
+    pub(crate) blk: IndirectBlock,
+    pub(crate) dirty: bool,
+    /// Where the block currently lives on disk ([`NIL_ADDR`] if never
+    /// written); flush uses this to retire the old copy's live bytes.
+    pub(crate) disk_addr: DiskAddr,
+}
+
+/// One name in the in-memory directory cache.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct DirSlot {
+    pub(crate) ino: Ino,
+    pub(crate) ftype: FileType,
+    /// Directory data block that holds the entry.
+    pub(crate) blk: u64,
+}
+
+/// The cached view of one directory.
+#[derive(Default)]
+pub(crate) struct DirCache {
+    pub(crate) map: HashMap<String, DirSlot>,
+    /// Hint: a block index known to have had free space recently.
+    pub(crate) space_hint: u64,
+}
+
+/// Sprite LFS over a block device.
+///
+/// See the crate-level documentation for the overall design, and
+/// [`Lfs::format`] / [`Lfs::mount`] for how instances come to be.
+pub struct Lfs<D: BlockDevice> {
+    pub(crate) dev: D,
+    pub(crate) sb: Superblock,
+    pub(crate) cfg: LfsConfig,
+    /// Mount epoch (stamped into summaries; see `summary.rs`).
+    pub(crate) epoch: u32,
+    pub(crate) imap: InodeMap,
+    pub(crate) usage: UsageTable,
+    pub(crate) inodes: HashMap<Ino, CachedInode>,
+    pub(crate) blocks: HashMap<(Ino, u64), CachedBlock>,
+    pub(crate) dirty_blocks: BTreeSet<(Ino, u64)>,
+    pub(crate) inds: HashMap<(Ino, IndKey), CachedInd>,
+    pub(crate) dcache: HashMap<Ino, DirCache>,
+    /// Files with any dirty state (data, indirect, or inode).
+    pub(crate) dirty_files: BTreeSet<Ino>,
+    /// Directory-op records not yet written to the log.
+    pub(crate) dirlog_pending: Vec<DirLogRecord>,
+    /// Segment currently being filled.
+    pub(crate) cur_seg: u32,
+    /// Next free block offset within it.
+    pub(crate) cur_off: u32,
+    /// Sequence number of the last partial write.
+    pub(crate) write_seq: u64,
+    /// Sequence number covered by the last checkpoint.
+    pub(crate) checkpoint_seq: u64,
+    /// Which checkpoint region the *next* checkpoint goes to.
+    pub(crate) next_cr: usize,
+    /// Logical clock (incremented per mutation).
+    pub(crate) clock: u64,
+    pub(crate) lru_tick: u64,
+    /// Bytes of dirty data blocks awaiting flush.
+    pub(crate) dirty_bytes: u64,
+    /// New log bytes since the last checkpoint (drives the
+    /// `checkpoint_every_bytes` policy).
+    pub(crate) bytes_since_checkpoint: u64,
+    /// Live files + directories, excluding the root.
+    pub(crate) nfiles: u64,
+    /// Re-entrancy guard for the cleaner.
+    pub(crate) cleaning: bool,
+    /// Set while a checkpoint writes its final metadata: those writes may
+    /// use every clean segment, including the cleaner's reserve, because
+    /// completing the checkpoint is what makes reserved space reusable.
+    pub(crate) settling: bool,
+    pub(crate) stats: LfsStats,
+}
+
+impl<D: BlockDevice> Lfs<D> {
+    /// Formats `dev` as a fresh log-structured file system containing only
+    /// the root directory, writes both checkpoint regions, and returns the
+    /// mounted file system.
+    pub fn format(dev: D, cfg: LfsConfig) -> FsResult<Lfs<D>> {
+        let sb = Superblock::compute(dev.num_blocks(), cfg.seg_blocks, cfg.max_inodes)
+            .ok_or(FsError::InvalidArgument("device too small for geometry"))?;
+        let mut fs = Lfs::bare(dev, sb, cfg);
+        let sb_block = {
+            let enc = fs.sb.encode();
+            let mut b = [0u8; BLOCK_SIZE];
+            b.copy_from_slice(&enc);
+            b
+        };
+        fs.dev
+            .write_block(
+                crate::layout::SUPERBLOCK_ADDR,
+                &sb_block,
+                blockdev::WriteKind::Sync,
+            )
+            .map_err(FsError::device)?;
+
+        // Create the root directory through the normal machinery.
+        fs.imap.reserve(ROOT_INO);
+        let now = fs.now();
+        let root = Inode::new(ROOT_INO, 0, FileType::Directory, now);
+        fs.inodes.insert(
+            ROOT_INO,
+            CachedInode {
+                inode: root,
+                dirty: true,
+            },
+        );
+        fs.dirty_files.insert(ROOT_INO);
+        fs.usage.set_state(0, SegState::Active);
+
+        // Write the initial state to *both* regions so `read_latest`
+        // always has two candidates.
+        fs.checkpoint()?;
+        fs.checkpoint()?;
+        Ok(fs)
+    }
+
+    /// Constructs the in-memory state shared by `format` and `mount`.
+    pub(crate) fn bare(dev: D, sb: Superblock, cfg: LfsConfig) -> Lfs<D> {
+        Lfs {
+            dev,
+            imap: InodeMap::new(sb.max_inodes),
+            usage: UsageTable::new(sb.nsegments),
+            sb,
+            cfg,
+            epoch: 0,
+            inodes: HashMap::new(),
+            blocks: HashMap::new(),
+            dirty_blocks: BTreeSet::new(),
+            inds: HashMap::new(),
+            dcache: HashMap::new(),
+            dirty_files: BTreeSet::new(),
+            dirlog_pending: Vec::new(),
+            cur_seg: 0,
+            cur_off: 0,
+            write_seq: 0,
+            checkpoint_seq: 0,
+            next_cr: 0,
+            clock: 0,
+            lru_tick: 0,
+            dirty_bytes: 0,
+            bytes_since_checkpoint: 0,
+            nfiles: 0,
+            cleaning: false,
+            settling: false,
+            stats: LfsStats::default(),
+        }
+    }
+
+    /// Returns the underlying device (e.g. to inspect [`blockdev::IoStats`]).
+    pub fn device(&self) -> &D {
+        &self.dev
+    }
+
+    /// Mutable access to the underlying device.
+    pub fn device_mut(&mut self) -> &mut D {
+        &mut self.dev
+    }
+
+    /// Consumes the file system (without syncing) and returns the device.
+    pub fn into_device(self) -> D {
+        self.dev
+    }
+
+    /// File-system statistics (Table 2 / Table 4 inputs).
+    pub fn stats(&self) -> &LfsStats {
+        &self.stats
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &LfsConfig {
+        &self.cfg
+    }
+
+    /// The superblock geometry.
+    pub fn superblock(&self) -> &Superblock {
+        &self.sb
+    }
+
+    /// Current logical time.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Advances the logical clock — workload generators use this to give
+    /// data realistic ages for the cost-benefit policy.
+    pub fn advance_clock(&mut self, delta: u64) {
+        self.clock += delta;
+    }
+
+    /// Number of clean (immediately writable) segments.
+    pub fn clean_segment_count(&self) -> u32 {
+        self.usage.clean_count()
+    }
+
+    /// Per-segment `last_write` times (the age input to the cost-benefit
+    /// policy). With per-block modification times in the summaries, a
+    /// segment full of cold blocks keeps its old age even while the
+    /// owning files' mtimes advance.
+    pub fn segment_ages(&self) -> Vec<u64> {
+        self.usage.iter().map(|(_, u)| u.last_write).collect()
+    }
+
+    /// Per-segment `(state, utilization)` snapshot — the data behind
+    /// Figure 10.
+    pub fn segment_snapshot(&self) -> Vec<(SegState, f64)> {
+        let seg_bytes = self.cfg.seg_bytes();
+        self.usage
+            .iter()
+            .map(|(_, u)| (u.state, u.utilization(seg_bytes)))
+            .collect()
+    }
+
+    /// Drops all *clean* cached file data (and cached indirect blocks of
+    /// clean files), so subsequent reads exercise the disk. Benchmarks use
+    /// this between phases to measure cold-cache read behaviour, the way
+    /// the paper's machine (32 MB RAM) could not keep the working set
+    /// resident.
+    pub fn drop_caches(&mut self) {
+        self.blocks.retain(|_, b| b.dirty);
+        self.inds.retain(|_, e| e.dirty);
+        let dirty: std::collections::HashSet<Ino> = self.dirty_files.iter().copied().collect();
+        self.inodes.retain(|ino, c| c.dirty || dirty.contains(ino));
+        self.dcache.clear();
+    }
+
+    /// Advances and returns the logical clock.
+    pub(crate) fn now(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    // ----- inode cache -------------------------------------------------
+
+    /// Ensures `ino` is in the inode cache, loading it from the log if
+    /// needed.
+    pub(crate) fn ensure_inode(&mut self, ino: Ino) -> FsResult<()> {
+        if self.inodes.contains_key(&ino) {
+            return Ok(());
+        }
+        let entry = *self.imap.get(ino)?;
+        if !entry.is_live() {
+            return Err(FsError::InvalidArgument("no such inode"));
+        }
+        let mut buf = [0u8; BLOCK_SIZE];
+        self.dev
+            .read_block(entry.addr, &mut buf)
+            .map_err(FsError::device)?;
+        // Inodes are packed 16 to a block exactly so that one read serves
+        // many files; adopt every still-current inode in the block, not
+        // just the requested one (a big win for "read files in creation
+        // order" workloads — Figure 8's read phase).
+        for slot in 0..crate::layout::INODES_PER_BLOCK {
+            let off = slot * crate::inode::INODE_DISK_SIZE;
+            let Some(inode) = Inode::decode(&buf[off..off + crate::inode::INODE_DISK_SIZE])? else {
+                continue;
+            };
+            let other = inode.ino;
+            if self.inodes.contains_key(&other) {
+                continue;
+            }
+            let current = match self.imap.get(other) {
+                Ok(e) => e.is_live() && e.addr == entry.addr && e.slot == slot as u8,
+                Err(_) => false,
+            };
+            if current {
+                self.inodes.insert(
+                    other,
+                    CachedInode {
+                        inode,
+                        dirty: false,
+                    },
+                );
+            }
+        }
+        if !self.inodes.contains_key(&ino) {
+            return Err(FsError::Corrupt(format!(
+                "inode {ino}: slot {} of block {} does not hold it",
+                entry.slot, entry.addr
+            )));
+        }
+        Ok(())
+    }
+
+    /// Returns a copy of the cached inode.
+    pub(crate) fn inode_clone(&mut self, ino: Ino) -> FsResult<Inode> {
+        self.ensure_inode(ino)?;
+        Ok(self.inodes[&ino].inode.clone())
+    }
+
+    /// Stores a modified inode back into the cache and marks it dirty.
+    pub(crate) fn put_inode(&mut self, inode: Inode) {
+        let ino = inode.ino;
+        self.inodes
+            .insert(inode.ino, CachedInode { inode, dirty: true });
+        self.dirty_files.insert(ino);
+    }
+
+    // ----- indirect blocks ---------------------------------------------
+
+    /// Disk address of the indirect block `key` of `ino`, as recorded in
+    /// its parent pointer, or [`NIL_ADDR`].
+    fn ind_parent_ptr(&mut self, ino: Ino, key: IndKey) -> FsResult<DiskAddr> {
+        let inode = self.inode_clone(ino)?;
+        Ok(match key {
+            IndKey::Single(0) => inode.indirect,
+            IndKey::Double => inode.dindirect,
+            IndKey::Single(k) => {
+                if inode.dindirect == NIL_ADDR && !self.inds.contains_key(&(ino, IndKey::Double)) {
+                    NIL_ADDR
+                } else {
+                    self.ensure_ind(ino, IndKey::Double, false)?;
+                    match self.inds.get(&(ino, IndKey::Double)) {
+                        Some(d) => d.blk.ptrs[(k - 1) as usize],
+                        None => NIL_ADDR,
+                    }
+                }
+            }
+        })
+    }
+
+    /// Ensures the indirect block `key` of `ino` is cached. With
+    /// `create`, a missing block is materialised empty (it becomes dirty
+    /// only when a pointer is stored). Returns whether the block exists.
+    pub(crate) fn ensure_ind(&mut self, ino: Ino, key: IndKey, create: bool) -> FsResult<bool> {
+        if self.inds.contains_key(&(ino, key)) {
+            return Ok(true);
+        }
+        let addr = self.ind_parent_ptr(ino, key)?;
+        if addr == NIL_ADDR {
+            if !create {
+                return Ok(false);
+            }
+            self.inds.insert(
+                (ino, key),
+                CachedInd {
+                    blk: IndirectBlock::new(),
+                    dirty: false,
+                    disk_addr: NIL_ADDR,
+                },
+            );
+            return Ok(true);
+        }
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        self.dev
+            .read_blocks(addr, &mut buf)
+            .map_err(FsError::device)?;
+        self.inds.insert(
+            (ino, key),
+            CachedInd {
+                blk: IndirectBlock::decode(&buf),
+                dirty: false,
+                disk_addr: addr,
+            },
+        );
+        Ok(true)
+    }
+
+    /// Current disk address of file block `bno` of `ino` ([`NIL_ADDR`] for
+    /// holes).
+    pub(crate) fn block_ptr(&mut self, ino: Ino, bno: u64) -> FsResult<DiskAddr> {
+        match classify_block(bno).ok_or(FsError::FileTooLarge)? {
+            BlockClass::Direct(i) => Ok(self.inode_clone(ino)?.direct[i]),
+            BlockClass::Indirect1(i) => {
+                if !self.ensure_ind(ino, IndKey::Single(0), false)? {
+                    return Ok(NIL_ADDR);
+                }
+                Ok(self.inds[&(ino, IndKey::Single(0))].blk.ptrs[i])
+            }
+            BlockClass::Indirect2(i, j) => {
+                let key = IndKey::Single(i as u32 + 1);
+                if !self.ensure_ind(ino, key, false)? {
+                    return Ok(NIL_ADDR);
+                }
+                Ok(self.inds[&(ino, key)].blk.ptrs[j])
+            }
+        }
+    }
+
+    /// Stores a new address for file block `bno`, returning the old one.
+    ///
+    /// Dirties whatever holds the pointer (inode or indirect block); the
+    /// caller is responsible for usage-table accounting.
+    pub(crate) fn set_block_ptr(
+        &mut self,
+        ino: Ino,
+        bno: u64,
+        addr: DiskAddr,
+    ) -> FsResult<DiskAddr> {
+        match classify_block(bno).ok_or(FsError::FileTooLarge)? {
+            BlockClass::Direct(i) => {
+                let mut inode = self.inode_clone(ino)?;
+                let old = inode.direct[i];
+                inode.direct[i] = addr;
+                self.put_inode(inode);
+                Ok(old)
+            }
+            BlockClass::Indirect1(i) => {
+                self.ensure_ind(ino, IndKey::Single(0), true)?;
+                let e = self.inds.get_mut(&(ino, IndKey::Single(0))).unwrap();
+                let old = e.blk.ptrs[i];
+                e.blk.ptrs[i] = addr;
+                e.dirty = true;
+                self.dirty_files.insert(ino);
+                Ok(old)
+            }
+            BlockClass::Indirect2(i, j) => {
+                let key = IndKey::Single(i as u32 + 1);
+                self.ensure_ind(ino, IndKey::Double, true)?;
+                self.ensure_ind(ino, key, true)?;
+                // The double-indirect block will need rewriting once the
+                // single relocates; mark it conservatively now.
+                self.inds.get_mut(&(ino, IndKey::Double)).unwrap().dirty = true;
+                let e = self.inds.get_mut(&(ino, key)).unwrap();
+                let old = e.blk.ptrs[j];
+                e.blk.ptrs[j] = addr;
+                e.dirty = true;
+                self.dirty_files.insert(ino);
+                Ok(old)
+            }
+        }
+    }
+
+    // ----- data block cache --------------------------------------------
+
+    fn touch_lru(&mut self) -> u64 {
+        self.lru_tick += 1;
+        self.lru_tick
+    }
+
+    /// Ensures file block `bno` of `ino` is cached (reading from disk or
+    /// materialising zeros for a hole).
+    pub(crate) fn ensure_block(&mut self, ino: Ino, bno: u64) -> FsResult<()> {
+        if self.blocks.contains_key(&(ino, bno)) {
+            return Ok(());
+        }
+        let addr = self.block_ptr(ino, bno)?;
+        let mut data = vec![0u8; BLOCK_SIZE].into_boxed_slice();
+        if addr != NIL_ADDR {
+            self.dev
+                .read_blocks(addr, &mut data)
+                .map_err(FsError::device)?;
+        }
+        let lru = self.touch_lru();
+        let mtime = self.clock;
+        self.blocks.insert(
+            (ino, bno),
+            CachedBlock {
+                data,
+                dirty: false,
+                lru,
+                mtime,
+            },
+        );
+        self.maybe_evict();
+        Ok(())
+    }
+
+    /// Marks a cached block dirty, tracking flush bookkeeping and
+    /// stamping the block's modification time.
+    pub(crate) fn mark_block_dirty(&mut self, ino: Ino, bno: u64) {
+        let now = self.clock;
+        let b = self.blocks.get_mut(&(ino, bno)).expect("block not cached");
+        b.mtime = now;
+        if !b.dirty {
+            b.dirty = true;
+            self.dirty_bytes += BLOCK_SIZE as u64;
+            self.dirty_blocks.insert((ino, bno));
+        }
+        self.dirty_files.insert(ino);
+    }
+
+    /// Evicts clean blocks when the cache exceeds its limit.
+    fn maybe_evict(&mut self) {
+        let limit = (self.cfg.cache_limit_bytes / BLOCK_SIZE as u64) as usize;
+        if self.blocks.len() <= limit + limit / 8 {
+            return;
+        }
+        let mut clean: Vec<((Ino, u64), u64)> = self
+            .blocks
+            .iter()
+            .filter(|(_, b)| !b.dirty)
+            .map(|(&k, b)| (k, b.lru))
+            .collect();
+        clean.sort_by_key(|&(_, lru)| lru);
+        let excess = self.blocks.len().saturating_sub(limit);
+        for (k, _) in clean.into_iter().take(excess) {
+            self.blocks.remove(&k);
+        }
+    }
+
+    /// Drops all cached state for a deleted file.
+    pub(crate) fn purge_file(&mut self, ino: Ino) {
+        self.inodes.remove(&ino);
+        self.inds.retain(|&(i, _), _| i != ino);
+        let keys: Vec<(Ino, u64)> = self
+            .blocks
+            .keys()
+            .filter(|&&(i, _)| i == ino)
+            .copied()
+            .collect();
+        for k in keys {
+            if let Some(b) = self.blocks.remove(&k) {
+                if b.dirty {
+                    self.dirty_bytes -= BLOCK_SIZE as u64;
+                }
+            }
+            self.dirty_blocks.remove(&k);
+        }
+        self.dirty_files.remove(&ino);
+        self.dcache.remove(&ino);
+    }
+
+    // ----- file data I/O -----------------------------------------------
+
+    /// The shared write path (used for regular files and, internally, for
+    /// directory content).
+    pub(crate) fn write_internal(
+        &mut self,
+        ino: Ino,
+        offset: u64,
+        data: &[u8],
+        count_app_bytes: bool,
+    ) -> FsResult<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        let end = offset
+            .checked_add(data.len() as u64)
+            .ok_or(FsError::FileTooLarge)?;
+        if end > MAX_FILE_SIZE {
+            return Err(FsError::FileTooLarge);
+        }
+        let mut inode = self.inode_clone(ino)?;
+        let old_size = inode.size;
+        let mut pos = 0usize;
+        while pos < data.len() {
+            // Flush incrementally *before* buffering more: a single huge
+            // write must not demand more clean segments at once than the
+            // cleaner maintains, and a failing flush must not leave ever
+            // more dirty data stranded in the cache.
+            if self.dirty_bytes >= self.cfg.flush_threshold_bytes {
+                // Keep the inode's size current so a crash mid-write
+                // recovers a correct prefix.
+                let mut partial = self.inode_clone(ino)?;
+                partial.size = partial.size.max(offset + pos as u64);
+                self.put_inode(partial);
+                self.flush()?;
+                self.maybe_clean()?;
+                // The flush rewired this inode's block pointers; work from
+                // the fresh copy, not the pre-flush clone.
+                inode = self.inode_clone(ino)?;
+            }
+            let abs = offset + pos as u64;
+            let bno = abs / BLOCK_SIZE as u64;
+            let off_in = (abs % BLOCK_SIZE as u64) as usize;
+            let n = (BLOCK_SIZE - off_in).min(data.len() - pos);
+            let full_overwrite = off_in == 0 && n == BLOCK_SIZE;
+            if full_overwrite {
+                // No read needed: replace or insert the whole block.
+                let lru = self.touch_lru();
+                let existing = self.blocks.get_mut(&(ino, bno));
+                match existing {
+                    Some(b) => {
+                        b.data.copy_from_slice(&data[pos..pos + n]);
+                        b.lru = lru;
+                    }
+                    None => {
+                        let mut d = vec![0u8; BLOCK_SIZE].into_boxed_slice();
+                        d.copy_from_slice(&data[pos..pos + n]);
+                        let mtime = self.clock;
+                        self.blocks.insert(
+                            (ino, bno),
+                            CachedBlock {
+                                data: d,
+                                dirty: false,
+                                lru,
+                                mtime,
+                            },
+                        );
+                    }
+                }
+            } else {
+                self.ensure_block(ino, bno)?;
+                let b = self.blocks.get_mut(&(ino, bno)).unwrap();
+                b.data[off_in..off_in + n].copy_from_slice(&data[pos..pos + n]);
+            }
+            self.mark_block_dirty(ino, bno);
+            pos += n;
+        }
+        let now = self.now();
+        inode.size = old_size.max(end);
+        inode.mtime = now;
+        self.put_inode(inode);
+        if count_app_bytes {
+            self.stats.app_bytes_written += data.len() as u64;
+        }
+        self.after_mutation()?;
+        Ok(())
+    }
+
+    /// The shared read path.
+    pub(crate) fn read_internal(
+        &mut self,
+        ino: Ino,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> FsResult<usize> {
+        let inode = self.inode_clone(ino)?;
+        if offset >= inode.size {
+            return Ok(0);
+        }
+        let n = buf.len().min((inode.size - offset) as usize);
+        let mut pos = 0usize;
+        while pos < n {
+            let abs = offset + pos as u64;
+            let bno = abs / BLOCK_SIZE as u64;
+            let off_in = (abs % BLOCK_SIZE as u64) as usize;
+            let len = (BLOCK_SIZE - off_in).min(n - pos);
+            self.ensure_block(ino, bno)?;
+            let b = self.blocks.get_mut(&(ino, bno)).unwrap();
+            buf[pos..pos + len].copy_from_slice(&b.data[off_in..off_in + len]);
+            pos += len;
+        }
+        let now = self.clock;
+        self.imap.set_atime_quiet(ino, now);
+        Ok(n)
+    }
+
+    /// Frees all blocks of `ino` past `new_blocks` file blocks, adjusting
+    /// usage accounting and pruning emptied indirect blocks.
+    pub(crate) fn free_blocks_from(&mut self, ino: Ino, new_blocks: u64) -> FsResult<()> {
+        let inode = self.inode_clone(ino)?;
+        let old_blocks = blocks_for_size(inode.size);
+        // Dirty blocks can exist beyond the recorded size (a write that
+        // buffered data and then failed before updating the size); drop
+        // them too, or they leak in the cache forever.
+        let zombies: Vec<(Ino, u64)> = self
+            .dirty_blocks
+            .range((ino, old_blocks.max(new_blocks))..=(ino, u64::MAX))
+            .copied()
+            .collect();
+        for key in zombies {
+            if let Some(b) = self.blocks.remove(&key) {
+                if b.dirty {
+                    self.dirty_bytes -= BLOCK_SIZE as u64;
+                }
+            }
+            self.dirty_blocks.remove(&key);
+        }
+        for bno in new_blocks..old_blocks {
+            // Drop the cached copy first.
+            if let Some(b) = self.blocks.remove(&(ino, bno)) {
+                if b.dirty {
+                    self.dirty_bytes -= BLOCK_SIZE as u64;
+                }
+            }
+            self.dirty_blocks.remove(&(ino, bno));
+            let old = match classify_block(bno) {
+                Some(BlockClass::Direct(_)) => self.set_block_ptr(ino, bno, NIL_ADDR)?,
+                Some(_) => {
+                    // Only touch indirect trees that exist.
+                    if self.block_ptr(ino, bno)? == NIL_ADDR {
+                        NIL_ADDR
+                    } else {
+                        self.set_block_ptr(ino, bno, NIL_ADDR)?
+                    }
+                }
+                None => NIL_ADDR,
+            };
+            if old != NIL_ADDR {
+                if let Some(seg) = self.sb.seg_of(old) {
+                    self.usage.sub_live(seg, BLOCK_SIZE as u32);
+                }
+            }
+        }
+        self.prune_indirect(ino)?;
+        Ok(())
+    }
+
+    /// Releases indirect blocks that no longer hold any pointers.
+    fn prune_indirect(&mut self, ino: Ino) -> FsResult<()> {
+        let keys: Vec<IndKey> = self
+            .inds
+            .keys()
+            .filter(|&&(i, _)| i == ino)
+            .map(|&(_, k)| k)
+            .collect();
+        let mut freed_single = Vec::new();
+        for key in keys {
+            if let IndKey::Single(k) = key {
+                let e = &self.inds[&(ino, key)];
+                if e.blk.is_empty() {
+                    let old = e.disk_addr;
+                    self.inds.remove(&(ino, key));
+                    if old != NIL_ADDR {
+                        if let Some(seg) = self.sb.seg_of(old) {
+                            self.usage.sub_live(seg, BLOCK_SIZE as u32);
+                        }
+                    }
+                    freed_single.push(k);
+                }
+            }
+        }
+        if !freed_single.is_empty() {
+            let mut inode = self.inode_clone(ino)?;
+            let mut inode_changed = false;
+            for k in &freed_single {
+                if *k == 0 {
+                    inode.indirect = NIL_ADDR;
+                    inode_changed = true;
+                } else if self.inds.contains_key(&(ino, IndKey::Double)) {
+                    let d = self.inds.get_mut(&(ino, IndKey::Double)).unwrap();
+                    d.blk.ptrs[(*k - 1) as usize] = NIL_ADDR;
+                    d.dirty = true;
+                }
+            }
+            // Now check whether the double-indirect block emptied out.
+            if let Some(d) = self.inds.get(&(ino, IndKey::Double)) {
+                if d.blk.is_empty() {
+                    let old = d.disk_addr;
+                    self.inds.remove(&(ino, IndKey::Double));
+                    if old != NIL_ADDR {
+                        if let Some(seg) = self.sb.seg_of(old) {
+                            self.usage.sub_live(seg, BLOCK_SIZE as u32);
+                        }
+                    }
+                    inode.dindirect = NIL_ADDR;
+                    inode_changed = true;
+                }
+            }
+            if inode_changed {
+                self.put_inode(inode);
+            } else {
+                self.dirty_files.insert(ino);
+            }
+        }
+        Ok(())
+    }
+
+    /// Deletes a file whose link count reached zero.
+    pub(crate) fn delete_file(&mut self, ino: Ino) -> FsResult<()> {
+        self.free_blocks_from(ino, 0)?;
+        // Retire the on-disk inode slot.
+        let entry = *self.imap.get(ino)?;
+        if entry.is_live() {
+            if let Some(seg) = self.sb.seg_of(entry.addr) {
+                self.usage
+                    .sub_live(seg, crate::inode::INODE_DISK_SIZE as u32);
+            }
+        }
+        self.imap.free(ino);
+        self.purge_file(ino);
+        self.nfiles -= 1;
+        Ok(())
+    }
+
+    // ----- directories ---------------------------------------------------
+
+    /// Loads a directory's entries into the directory cache.
+    pub(crate) fn ensure_dcache(&mut self, dirino: Ino) -> FsResult<()> {
+        if self.dcache.contains_key(&dirino) {
+            return Ok(());
+        }
+        let inode = self.inode_clone(dirino)?;
+        if inode.ftype != FileType::Directory {
+            return Err(FsError::NotADirectory);
+        }
+        let nblocks = blocks_for_size(inode.size);
+        let mut cache = DirCache::default();
+        for blk in 0..nblocks {
+            self.ensure_block(dirino, blk)?;
+            let records = dir::decode_block(&self.blocks[&(dirino, blk)].data)?;
+            for rec in records {
+                cache.map.insert(
+                    rec.name,
+                    DirSlot {
+                        ino: rec.ino,
+                        ftype: rec.ftype,
+                        blk,
+                    },
+                );
+            }
+        }
+        self.dcache.insert(dirino, cache);
+        Ok(())
+    }
+
+    /// Looks up `name` in directory `dirino`.
+    pub(crate) fn dir_lookup(&mut self, dirino: Ino, name: &str) -> FsResult<Option<DirSlot>> {
+        self.ensure_dcache(dirino)?;
+        Ok(self.dcache[&dirino].map.get(name).copied())
+    }
+
+    /// Reads the records of one directory block from cache.
+    fn dir_block_records(&mut self, dirino: Ino, blk: u64) -> FsResult<Vec<DirRecord>> {
+        self.ensure_block(dirino, blk)?;
+        dir::decode_block(&self.blocks[&(dirino, blk)].data)
+    }
+
+    /// Rewrites one directory block with `records`.
+    fn dir_block_write(&mut self, dirino: Ino, blk: u64, records: &[DirRecord]) -> FsResult<()> {
+        let buf = dir::encode_block(records);
+        self.write_internal(dirino, blk * BLOCK_SIZE as u64, &buf, false)
+    }
+
+    /// Inserts an entry into a directory.
+    ///
+    /// The caller must already have checked that the name is free.
+    pub(crate) fn dir_insert(
+        &mut self,
+        dirino: Ino,
+        name: &str,
+        ino: Ino,
+        ftype: FileType,
+    ) -> FsResult<()> {
+        self.ensure_dcache(dirino)?;
+        let inode = self.inode_clone(dirino)?;
+        let nblocks = blocks_for_size(inode.size);
+        let new_rec = DirRecord {
+            ino,
+            ftype,
+            name: name.to_string(),
+        };
+        let hint = self.dcache[&dirino]
+            .space_hint
+            .min(nblocks.saturating_sub(1));
+        // Try the hint block first, then every block, then append.
+        let mut target = None;
+        let order = std::iter::once(hint).chain((0..nblocks).filter(|&b| b != hint));
+        let candidates: Vec<u64> = if nblocks == 0 {
+            vec![]
+        } else {
+            order.collect()
+        };
+        for blk in candidates {
+            let mut records = self.dir_block_records(dirino, blk)?;
+            records.push(new_rec.clone());
+            if dir::fits(&records) {
+                target = Some((blk, records));
+                break;
+            }
+        }
+        let (blk, records) = match target {
+            Some(t) => t,
+            None => (nblocks, vec![new_rec.clone()]),
+        };
+        self.dir_block_write(dirino, blk, &records)?;
+        let cache = self.dcache.get_mut(&dirino).unwrap();
+        cache
+            .map
+            .insert(name.to_string(), DirSlot { ino, ftype, blk });
+        cache.space_hint = blk;
+        Ok(())
+    }
+
+    /// Removes an entry from a directory, returning what it referred to.
+    pub(crate) fn dir_remove(&mut self, dirino: Ino, name: &str) -> FsResult<DirSlot> {
+        self.ensure_dcache(dirino)?;
+        let slot = self.dcache[&dirino]
+            .map
+            .get(name)
+            .copied()
+            .ok_or(FsError::NotFound)?;
+        let mut records = self.dir_block_records(dirino, slot.blk)?;
+        records.retain(|r| r.name != name);
+        self.dir_block_write(dirino, slot.blk, &records)?;
+        let cache = self.dcache.get_mut(&dirino).unwrap();
+        cache.map.remove(name);
+        cache.space_hint = slot.blk;
+        Ok(slot)
+    }
+
+    /// All live entries of a directory.
+    pub(crate) fn dir_entries(&mut self, dirino: Ino) -> FsResult<Vec<(String, DirSlot)>> {
+        self.ensure_dcache(dirino)?;
+        let mut out: Vec<(String, DirSlot)> = self.dcache[&dirino]
+            .map
+            .iter()
+            .map(|(n, s)| (n.clone(), *s))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(out)
+    }
+
+    // ----- path resolution ----------------------------------------------
+
+    /// Resolves a path to an inode number.
+    pub(crate) fn resolve(&mut self, path: &str) -> FsResult<Ino> {
+        let parts = vfs::path::components(path)?;
+        let mut cur = ROOT_INO;
+        for part in parts {
+            let inode = self.inode_clone(cur)?;
+            if inode.ftype != FileType::Directory {
+                return Err(FsError::NotADirectory);
+            }
+            cur = self.dir_lookup(cur, part)?.ok_or(FsError::NotFound)?.ino;
+        }
+        Ok(cur)
+    }
+
+    /// Resolves a path to `(parent directory inode, final name)`.
+    pub(crate) fn resolve_parent<'p>(&mut self, path: &'p str) -> FsResult<(Ino, &'p str)> {
+        let (parent_parts, name) = vfs::path::split_parent(path)?;
+        let mut cur = ROOT_INO;
+        for part in parent_parts {
+            let inode = self.inode_clone(cur)?;
+            if inode.ftype != FileType::Directory {
+                return Err(FsError::NotADirectory);
+            }
+            cur = self.dir_lookup(cur, part)?.ok_or(FsError::NotFound)?.ino;
+        }
+        let inode = self.inode_clone(cur)?;
+        if inode.ftype != FileType::Directory {
+            return Err(FsError::NotADirectory);
+        }
+        Ok((cur, name))
+    }
+
+    // ----- common post-mutation policy -----------------------------------
+
+    /// Applies the flush / clean / checkpoint policies after a mutation.
+    pub(crate) fn after_mutation(&mut self) -> FsResult<()> {
+        if self.dirty_bytes >= self.cfg.flush_threshold_bytes {
+            self.flush()?;
+        }
+        if self.cfg.checkpoint_every_bytes > 0
+            && self.bytes_since_checkpoint >= self.cfg.checkpoint_every_bytes
+        {
+            self.checkpoint()?;
+        }
+        self.maybe_clean()?;
+        Ok(())
+    }
+
+    /// Creates a file or directory (the shared half of `create`/`mkdir`).
+    fn create_node(&mut self, path: &str, ftype: FileType) -> FsResult<Ino> {
+        let (parent, name) = self.resolve_parent(path)?;
+        if self.dir_lookup(parent, name)?.is_some() {
+            return Err(FsError::AlreadyExists);
+        }
+        let ino = self.imap.allocate().ok_or(FsError::NoInodes)?;
+        let now = self.now();
+        let version = self.imap.version(ino);
+        let inode = Inode::new(ino, version, ftype, now);
+        self.put_inode(inode);
+        self.nfiles += 1;
+        self.dirlog_pending.push(DirLogRecord {
+            op: match ftype {
+                FileType::Regular => DirOp::Create,
+                FileType::Directory => DirOp::Mkdir,
+            },
+            dir: parent,
+            name: name.to_string(),
+            ino,
+            nlink: 1,
+            version,
+            dir2: 0,
+            name2: String::new(),
+        });
+        self.dir_insert(parent, name, ino, ftype)?;
+        self.after_mutation()?;
+        Ok(ino)
+    }
+}
+
+impl<D: BlockDevice> FileSystem for Lfs<D> {
+    fn create(&mut self, path: &str) -> FsResult<Ino> {
+        self.create_node(path, FileType::Regular)
+    }
+
+    fn mkdir(&mut self, path: &str) -> FsResult<Ino> {
+        self.create_node(path, FileType::Directory)
+    }
+
+    fn lookup(&mut self, path: &str) -> FsResult<Ino> {
+        self.resolve(path)
+    }
+
+    fn write(&mut self, ino: Ino, offset: u64, data: &[u8]) -> FsResult<()> {
+        let inode = self.inode_clone(ino)?;
+        if inode.ftype == FileType::Directory {
+            return Err(FsError::IsADirectory);
+        }
+        self.write_internal(ino, offset, data, true)
+    }
+
+    fn read(&mut self, ino: Ino, offset: u64, buf: &mut [u8]) -> FsResult<usize> {
+        let inode = self.inode_clone(ino)?;
+        if inode.ftype == FileType::Directory {
+            return Err(FsError::IsADirectory);
+        }
+        self.read_internal(ino, offset, buf)
+    }
+
+    fn truncate(&mut self, ino: Ino, size: u64) -> FsResult<()> {
+        let mut inode = self.inode_clone(ino)?;
+        if inode.ftype == FileType::Directory {
+            return Err(FsError::IsADirectory);
+        }
+        if size > MAX_FILE_SIZE {
+            return Err(FsError::FileTooLarge);
+        }
+        if size < inode.size {
+            let new_blocks = blocks_for_size(size);
+            self.free_blocks_from(ino, new_blocks)?;
+            // Zero the tail of the now-final partial block so a later
+            // extension reads back zeros.
+            if !size.is_multiple_of(BLOCK_SIZE as u64) {
+                let bno = size / BLOCK_SIZE as u64;
+                if self.block_ptr(ino, bno)? != NIL_ADDR || self.blocks.contains_key(&(ino, bno)) {
+                    self.ensure_block(ino, bno)?;
+                    let off = (size % BLOCK_SIZE as u64) as usize;
+                    let b = self.blocks.get_mut(&(ino, bno)).unwrap();
+                    b.data[off..].fill(0);
+                    self.mark_block_dirty(ino, bno);
+                }
+            }
+            if size == 0 {
+                // "The version number is incremented whenever the file is
+                // deleted or truncated to length zero" (§3.3).
+                let v = self.imap.bump_version(ino);
+                inode = self.inode_clone(ino)?;
+                inode.version = v;
+            } else {
+                inode = self.inode_clone(ino)?;
+            }
+        }
+        let now = self.now();
+        inode.size = size;
+        inode.mtime = now;
+        self.put_inode(inode);
+        self.after_mutation()?;
+        Ok(())
+    }
+
+    fn unlink(&mut self, path: &str) -> FsResult<()> {
+        let (parent, name) = self.resolve_parent(path)?;
+        let slot = self.dir_lookup(parent, name)?.ok_or(FsError::NotFound)?;
+        if slot.ftype == FileType::Directory {
+            return Err(FsError::IsADirectory);
+        }
+        let mut inode = self.inode_clone(slot.ino)?;
+        inode.nlink -= 1;
+        let nlink = inode.nlink;
+        let version = inode.version;
+        self.dirlog_pending.push(DirLogRecord {
+            op: DirOp::Unlink,
+            dir: parent,
+            name: name.to_string(),
+            ino: slot.ino,
+            nlink,
+            version,
+            dir2: 0,
+            name2: String::new(),
+        });
+        self.dir_remove(parent, name)?;
+        if nlink == 0 {
+            self.delete_file(slot.ino)?;
+        } else {
+            self.put_inode(inode);
+        }
+        self.after_mutation()?;
+        Ok(())
+    }
+
+    fn rmdir(&mut self, path: &str) -> FsResult<()> {
+        let (parent, name) = self.resolve_parent(path)?;
+        let slot = self.dir_lookup(parent, name)?.ok_or(FsError::NotFound)?;
+        if slot.ftype != FileType::Directory {
+            return Err(FsError::NotADirectory);
+        }
+        if !self.dir_entries(slot.ino)?.is_empty() {
+            return Err(FsError::DirectoryNotEmpty);
+        }
+        let version = self.imap.version(slot.ino);
+        self.dirlog_pending.push(DirLogRecord {
+            op: DirOp::Rmdir,
+            dir: parent,
+            name: name.to_string(),
+            ino: slot.ino,
+            nlink: 0,
+            version,
+            dir2: 0,
+            name2: String::new(),
+        });
+        self.dir_remove(parent, name)?;
+        self.delete_file(slot.ino)?;
+        self.after_mutation()?;
+        Ok(())
+    }
+
+    fn rename(&mut self, from: &str, to: &str) -> FsResult<()> {
+        let (from_parent, from_name) = self.resolve_parent(from)?;
+        let src = self
+            .dir_lookup(from_parent, from_name)?
+            .ok_or(FsError::NotFound)?;
+        let (to_parent, to_name) = self.resolve_parent(to)?;
+        if let Some(dst) = self.dir_lookup(to_parent, to_name)? {
+            if dst.ino == src.ino {
+                return Ok(());
+            }
+            if src.ftype == FileType::Directory || dst.ftype == FileType::Directory {
+                return Err(FsError::AlreadyExists);
+            }
+            // Replace a regular-file target: unlink it as part of the
+            // atomic rename.
+            let mut dst_inode = self.inode_clone(dst.ino)?;
+            dst_inode.nlink -= 1;
+            let nlink = dst_inode.nlink;
+            let version = dst_inode.version;
+            self.dirlog_pending.push(DirLogRecord {
+                op: DirOp::Unlink,
+                dir: to_parent,
+                name: to_name.to_string(),
+                ino: dst.ino,
+                nlink,
+                version,
+                dir2: 0,
+                name2: String::new(),
+            });
+            self.dir_remove(to_parent, to_name)?;
+            if nlink == 0 {
+                self.delete_file(dst.ino)?;
+            } else {
+                self.put_inode(dst_inode);
+            }
+        }
+        let src_inode = self.inode_clone(src.ino)?;
+        self.dirlog_pending.push(DirLogRecord {
+            op: DirOp::Rename,
+            dir: from_parent,
+            name: from_name.to_string(),
+            ino: src.ino,
+            nlink: src_inode.nlink,
+            version: src_inode.version,
+            dir2: to_parent,
+            name2: to_name.to_string(),
+        });
+        self.dir_remove(from_parent, from_name)?;
+        self.dir_insert(to_parent, to_name, src.ino, src.ftype)?;
+        self.after_mutation()?;
+        Ok(())
+    }
+
+    fn link(&mut self, existing: &str, new: &str) -> FsResult<()> {
+        let src_ino = self.resolve(existing)?;
+        let mut inode = self.inode_clone(src_ino)?;
+        if inode.ftype == FileType::Directory {
+            return Err(FsError::IsADirectory);
+        }
+        let (parent, name) = self.resolve_parent(new)?;
+        if self.dir_lookup(parent, name)?.is_some() {
+            return Err(FsError::AlreadyExists);
+        }
+        inode.nlink += 1;
+        let now = self.now();
+        inode.ctime = now;
+        let nlink = inode.nlink;
+        let version = inode.version;
+        self.put_inode(inode);
+        self.dirlog_pending.push(DirLogRecord {
+            op: DirOp::Link,
+            dir: parent,
+            name: name.to_string(),
+            ino: src_ino,
+            nlink,
+            version,
+            dir2: 0,
+            name2: String::new(),
+        });
+        self.dir_insert(parent, name, src_ino, FileType::Regular)?;
+        self.after_mutation()?;
+        Ok(())
+    }
+
+    fn metadata(&mut self, ino: Ino) -> FsResult<Metadata> {
+        let inode = self.inode_clone(ino)?;
+        let mut m = inode.metadata();
+        if let Ok(e) = self.imap.get(ino) {
+            m.atime = m.atime.max(e.atime);
+        }
+        Ok(m)
+    }
+
+    fn readdir(&mut self, path: &str) -> FsResult<Vec<DirEntry>> {
+        let dirino = self.resolve(path)?;
+        let inode = self.inode_clone(dirino)?;
+        if inode.ftype != FileType::Directory {
+            return Err(FsError::NotADirectory);
+        }
+        Ok(self
+            .dir_entries(dirino)?
+            .into_iter()
+            .map(|(name, slot)| DirEntry {
+                name,
+                ino: slot.ino,
+                ftype: slot.ftype,
+            })
+            .collect())
+    }
+
+    fn sync(&mut self) -> FsResult<()> {
+        self.checkpoint()
+    }
+
+    fn statfs(&mut self) -> FsResult<StatFs> {
+        let live: u64 = self.usage.iter().map(|(_, u)| u.live_bytes as u64).sum();
+        // Include data that is dirty in the cache but not yet on disk.
+        let pending = self.dirty_bytes;
+        Ok(StatFs {
+            total_bytes: self.sb.nsegments as u64 * self.cfg.seg_bytes(),
+            live_bytes: live + pending,
+            num_files: self.nfiles,
+        })
+    }
+}

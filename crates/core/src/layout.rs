@@ -1,0 +1,160 @@
+//! On-disk layout constants and address types.
+//!
+//! The disk is laid out as:
+//!
+//! ```text
+//! block 0            superblock                      (fixed)
+//! blocks 1..1+CR     checkpoint region A             (fixed)
+//! blocks 1+CR..1+2CR checkpoint region B             (fixed)
+//! remainder          segments 0..nsegments           (the log)
+//! ```
+//!
+//! Everything except the superblock and the two checkpoint regions lives in
+//! the log, exactly as in Table 1 of the paper. There is no bitmap and no
+//! free list.
+
+use blockdev::BLOCK_SIZE;
+
+/// A disk block address.
+pub type DiskAddr = u64;
+
+/// The "no address" sentinel (an unwritten or freed pointer).
+pub const NIL_ADDR: DiskAddr = u64::MAX;
+
+/// Number of blocks reserved for each checkpoint region.
+pub const CR_BLOCKS: u64 = 32;
+
+/// Disk block of the superblock.
+pub const SUPERBLOCK_ADDR: DiskAddr = 0;
+
+/// Disk block where checkpoint region A starts.
+pub const CR0_ADDR: DiskAddr = 1;
+
+/// Disk block where checkpoint region B starts.
+pub const CR1_ADDR: DiskAddr = CR0_ADDR + CR_BLOCKS;
+
+/// First block available for segments.
+pub const SEGMENTS_START: DiskAddr = CR1_ADDR + CR_BLOCKS;
+
+/// Direct block pointers per inode (as in Unix FFS and the paper: the
+/// inode holds "the disk addresses of the first ten blocks").
+pub const NUM_DIRECT: usize = 10;
+
+/// Block-address pointers per indirect block.
+pub const PTRS_PER_BLOCK: usize = BLOCK_SIZE / 8;
+
+/// Inodes packed into one inode block.
+pub const INODES_PER_BLOCK: usize = BLOCK_SIZE / crate::inode::INODE_DISK_SIZE;
+
+/// First file block covered by the single-indirect tree.
+pub const IND1_START: u64 = NUM_DIRECT as u64;
+
+/// First file block covered by the double-indirect tree.
+pub const IND2_START: u64 = IND1_START + PTRS_PER_BLOCK as u64;
+
+/// One past the largest addressable file block.
+pub const MAX_FILE_BLOCKS: u64 = IND2_START + (PTRS_PER_BLOCK * PTRS_PER_BLOCK) as u64;
+
+/// Maximum file size in bytes.
+pub const MAX_FILE_SIZE: u64 = MAX_FILE_BLOCKS * BLOCK_SIZE as u64;
+
+/// Where a file block's address is stored.
+///
+/// Computed by [`classify_block`]; this is the indexing scheme of
+/// Section 3.1 (inode → direct pointers, single-indirect block,
+/// double-indirect tree).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockClass {
+    /// `direct[i]` in the inode.
+    Direct(usize),
+    /// Slot `i` of the single-indirect block (`inode.indirect`).
+    Indirect1(usize),
+    /// Slot `j` of single-indirect block `i` hanging off the
+    /// double-indirect block (`inode.dindirect[i][j]`).
+    Indirect2(usize, usize),
+}
+
+/// Maps a file block number to its pointer location.
+///
+/// Returns `None` if `bno` exceeds [`MAX_FILE_BLOCKS`].
+pub fn classify_block(bno: u64) -> Option<BlockClass> {
+    if bno < IND1_START {
+        Some(BlockClass::Direct(bno as usize))
+    } else if bno < IND2_START {
+        Some(BlockClass::Indirect1((bno - IND1_START) as usize))
+    } else if bno < MAX_FILE_BLOCKS {
+        let off = bno - IND2_START;
+        Some(BlockClass::Indirect2(
+            (off / PTRS_PER_BLOCK as u64) as usize,
+            (off % PTRS_PER_BLOCK as u64) as usize,
+        ))
+    } else {
+        None
+    }
+}
+
+/// Number of file blocks needed to hold `size` bytes.
+pub fn blocks_for_size(size: u64) -> u64 {
+    size.div_ceil(BLOCK_SIZE as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_blocks_classify_direct() {
+        assert_eq!(classify_block(0), Some(BlockClass::Direct(0)));
+        assert_eq!(classify_block(9), Some(BlockClass::Direct(9)));
+    }
+
+    #[test]
+    fn indirect_boundaries_are_exact() {
+        assert_eq!(classify_block(10), Some(BlockClass::Indirect1(0)));
+        assert_eq!(
+            classify_block(IND2_START - 1),
+            Some(BlockClass::Indirect1(PTRS_PER_BLOCK - 1))
+        );
+        assert_eq!(
+            classify_block(IND2_START),
+            Some(BlockClass::Indirect2(0, 0))
+        );
+        assert_eq!(
+            classify_block(IND2_START + PTRS_PER_BLOCK as u64),
+            Some(BlockClass::Indirect2(1, 0))
+        );
+    }
+
+    #[test]
+    fn max_file_block_is_rejected() {
+        assert_eq!(classify_block(MAX_FILE_BLOCKS), None);
+        assert!(classify_block(MAX_FILE_BLOCKS - 1).is_some());
+    }
+
+    #[test]
+    fn max_file_size_exceeds_one_gigabyte() {
+        // 10 direct + 512 indirect + 512*512 double-indirect 4 KB blocks.
+        const { assert!(MAX_FILE_SIZE > 1 << 30) };
+    }
+
+    #[test]
+    fn blocks_for_size_rounds_up() {
+        assert_eq!(blocks_for_size(0), 0);
+        assert_eq!(blocks_for_size(1), 1);
+        assert_eq!(blocks_for_size(BLOCK_SIZE as u64), 1);
+        assert_eq!(blocks_for_size(BLOCK_SIZE as u64 + 1), 2);
+    }
+
+    #[test]
+    fn fixed_regions_do_not_overlap() {
+        const { assert!(CR0_ADDR > SUPERBLOCK_ADDR) };
+        assert_eq!(CR1_ADDR, CR0_ADDR + CR_BLOCKS);
+        assert_eq!(SEGMENTS_START, CR1_ADDR + CR_BLOCKS);
+    }
+
+    #[test]
+    fn sixteen_inodes_per_block() {
+        assert_eq!(INODES_PER_BLOCK, 16);
+        assert_eq!(PTRS_PER_BLOCK, 512);
+    }
+}

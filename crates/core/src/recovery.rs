@@ -1,0 +1,551 @@
+//! Mount and crash recovery: checkpoints plus roll-forward (§4).
+//!
+//! Mount reads both checkpoint regions and initialises the in-memory state
+//! from the valid one with the newest sequence number. With roll-forward
+//! enabled, the log tail written after that checkpoint is then scanned:
+//! new inodes found in summaries are adopted into the inode map (which
+//! automatically incorporates their data blocks), segment utilizations are
+//! adjusted for the overwrites and deletions the tail implies, and the
+//! directory-operation log is replayed to restore consistency between
+//! directory entries and inodes — completing half-done operations or
+//! undoing the unfinishable ones (a create whose inode never reached the
+//! log). Without roll-forward, the tail is simply discarded, which is how
+//! the production Sprite systems ran.
+
+use std::collections::HashMap;
+
+use blockdev::{BlockDevice, BLOCK_SIZE};
+use vfs::{FileSystem, FsError, FsResult, Ino};
+
+use crate::checkpoint::Checkpoint;
+use crate::config::LfsConfig;
+use crate::dirlog::{self, DirLogRecord, DirOp};
+use crate::fs::Lfs;
+use crate::inode::{IndirectBlock, Inode, INODE_DISK_SIZE};
+use crate::layout::{DiskAddr, NIL_ADDR, SUPERBLOCK_ADDR};
+use crate::summary::{EntryKind, Summary};
+use crate::superblock::Superblock;
+use crate::usage::SegState;
+
+impl<D: BlockDevice> Lfs<D> {
+    /// Mounts an existing file system, recovering from a crash if the log
+    /// extends past the last checkpoint.
+    pub fn mount(mut dev: D, cfg: LfsConfig) -> FsResult<Lfs<D>> {
+        let mut sb_buf = [0u8; BLOCK_SIZE];
+        dev.read_block(SUPERBLOCK_ADDR, &mut sb_buf)
+            .map_err(FsError::device)?;
+        let sb = Superblock::decode(&sb_buf)?;
+        if sb.device_blocks != dev.num_blocks() {
+            return Err(FsError::Corrupt(format!(
+                "superblock says {} blocks, device has {}",
+                sb.device_blocks,
+                dev.num_blocks()
+            )));
+        }
+        let (cp, idx) = Checkpoint::read_latest(
+            &mut dev,
+            [sb.checkpoint_addrs()[0], sb.checkpoint_addrs()[1]],
+        )?;
+        let mut cfg = cfg;
+        cfg.seg_blocks = sb.seg_blocks;
+        cfg.max_inodes = sb.max_inodes;
+        let mut fs = Lfs::bare(dev, sb, cfg);
+
+        // Load the inode map and segment usage table from the addresses
+        // in the checkpoint.
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        for (i, &addr) in cp.imap_addrs.iter().enumerate() {
+            if addr == NIL_ADDR {
+                continue;
+            }
+            fs.dev
+                .read_blocks(addr, &mut buf)
+                .map_err(FsError::device)?;
+            fs.imap.load_block(i, &buf, addr);
+        }
+        for (i, &addr) in cp.usage_addrs.iter().enumerate() {
+            if addr == NIL_ADDR {
+                continue;
+            }
+            fs.dev
+                .read_blocks(addr, &mut buf)
+                .map_err(FsError::device)?;
+            fs.usage.load_block(i, &buf, addr);
+        }
+        // The checkpoint carries the authoritative live counts (the table
+        // blocks in the log can be quietly stale for the segments they
+        // themselves landed in).
+        fs.usage.overlay_live(&cp.live_bytes);
+        fs.imap.rebuild_free_list();
+        // Segments recorded as PendingFree are safe to reuse: any
+        // checkpoint that stored that state was written after the
+        // cleaner's relocations reached the log.
+        fs.usage.promote_pending(cp.seq);
+        fs.epoch = cp.epoch + 1;
+        fs.write_seq = cp.seq;
+        fs.checkpoint_seq = cp.seq;
+        fs.clock = cp.timestamp;
+        fs.next_cr = 1 - idx;
+        fs.cur_seg = cp.cur_seg;
+        fs.cur_off = cp.cur_off;
+        fs.usage.set_state(fs.cur_seg, SegState::Active);
+
+        // Allocation safety across the mount: every segment that looks
+        // Clean here was Clean (or PendingFree with its relocation
+        // already covered) in the loaded checkpoint, so writing into it
+        // cannot destroy anything the checkpoint references. Roll-forward
+        // itself only reads; its mutations reach the log through the
+        // end-of-mount checkpoint below.
+        if fs.cfg.roll_forward {
+            fs.roll_forward(&cp)?;
+            // Usage blocks recovered from the log tail may reintroduce
+            // PendingFree states; those covered by the loaded checkpoint
+            // are promotable, the rest wait for the end-of-mount
+            // checkpoint below.
+            fs.usage.promote_pending(cp.seq);
+        }
+        fs.nfiles = fs.imap.live_count().saturating_sub(1);
+        // Commit the new epoch (and anything recovery changed).
+        fs.checkpoint()?;
+        Ok(fs)
+    }
+
+    /// Scans the log tail written after checkpoint `cp` and recovers it.
+    fn roll_forward(&mut self, cp: &Checkpoint) -> FsResult<()> {
+        let seg_blocks = self.sb.seg_blocks;
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        // Fast path: probe the position right after the checkpoint. If no
+        // valid continuation summary is there, the shutdown was clean and
+        // there is nothing to roll forward — recovery cost stays
+        // independent of disk size.
+        if cp.cur_off + 1 < seg_blocks {
+            let probe = self.sb.seg_start(cp.cur_seg) + cp.cur_off as u64;
+            self.dev
+                .read_blocks(probe, &mut buf)
+                .map_err(FsError::device)?;
+            match Summary::decode(&buf) {
+                Ok(s) if s.epoch == cp.epoch && s.seq == cp.seq + 1 => {}
+                _ => return Ok(()),
+            }
+        } else {
+            // The checkpoint filled its segment exactly; a tail, if any,
+            // starts in some other segment — fall through to the scan.
+        }
+        // Index the first summary of every segment so the traversal can
+        // follow the log across segment boundaries by sequence number.
+        let mut heads: HashMap<u64, u32> = HashMap::new();
+        for seg in 0..self.sb.nsegments {
+            let addr = self.sb.seg_start(seg);
+            if self.dev.read_blocks(addr, &mut buf).is_err() {
+                continue;
+            }
+            if let Ok(s) = Summary::decode(&buf) {
+                if s.epoch == cp.epoch && s.seq > cp.seq {
+                    heads.insert(s.seq, seg);
+                }
+            }
+        }
+
+        let mut seg = cp.cur_seg;
+        let mut off = cp.cur_off;
+        let mut expected = cp.seq + 1;
+        let mut records: Vec<DirLogRecord> = Vec::new();
+        loop {
+            if off + 1 >= seg_blocks {
+                // No room for another partial write here; follow the chain.
+                match heads.get(&expected) {
+                    Some(&next) => {
+                        self.usage.set_state(seg, SegState::Dirty);
+                        self.usage.set_seal_seq(seg, expected - 1);
+                        seg = next;
+                        off = 0;
+                    }
+                    None => break,
+                }
+            }
+            let addr = self.sb.seg_start(seg) + off as u64;
+            self.dev
+                .read_blocks(addr, &mut buf)
+                .map_err(FsError::device)?;
+            let summary = match Summary::decode(&buf) {
+                Ok(s) => s,
+                Err(_) => break,
+            };
+            if summary.epoch != cp.epoch || summary.seq != expected {
+                // Possibly the chain continues in another segment (this
+                // position holds stale data from the segment's previous
+                // life).
+                match heads.get(&expected) {
+                    Some(&next) if next != seg || off != 0 => {
+                        self.usage.set_state(seg, SegState::Dirty);
+                        self.usage.set_seal_seq(seg, expected - 1);
+                        seg = next;
+                        off = 0;
+                        continue;
+                    }
+                    _ => break,
+                }
+            }
+            let n = summary.entries.len() as u32;
+            if off + 1 + n > seg_blocks {
+                break;
+            }
+            self.replay_partial_write(&summary, addr + 1, &mut records)?;
+            self.usage.set_state(seg, SegState::Dirty);
+            off += 1 + n;
+            self.write_seq = summary.seq;
+            self.clock = self.clock.max(summary.write_time);
+            expected += 1;
+        }
+        self.cur_seg = seg;
+        self.cur_off = off;
+        self.usage.set_state(seg, SegState::Active);
+
+        // Replay the directory operation log (§4.2).
+        for rec in records {
+            self.replay_record(&rec)?;
+        }
+        Ok(())
+    }
+
+    /// Processes the blocks of one recovered partial write.
+    fn replay_partial_write(
+        &mut self,
+        summary: &Summary,
+        first_block: DiskAddr,
+        records: &mut Vec<DirLogRecord>,
+    ) -> FsResult<()> {
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        for (j, entry) in summary.entries.iter().enumerate() {
+            let addr = first_block + j as u64;
+            match entry.kind {
+                EntryKind::InodeBlock => {
+                    self.dev
+                        .read_blocks(addr, &mut buf)
+                        .map_err(FsError::device)?;
+                    for slot in 0..crate::layout::INODES_PER_BLOCK {
+                        let chunk = &buf[slot * INODE_DISK_SIZE..(slot + 1) * INODE_DISK_SIZE];
+                        let Some(inode) = Inode::decode(chunk)? else {
+                            continue;
+                        };
+                        self.adopt_inode(&inode, addr, slot as u8)?;
+                    }
+                }
+                EntryKind::ImapBlock => {
+                    let idx = entry.offset as usize;
+                    if idx < self.imap.num_blocks() {
+                        // Account the relocation of the map block itself
+                        // (done quietly at runtime, so it must be redone
+                        // here for the counts to stay exact).
+                        let old = self.imap.block_addr(idx);
+                        if old != NIL_ADDR {
+                            if let Some(seg) = self.sb.seg_of(old) {
+                                self.usage.sub_live_quiet(seg, BLOCK_SIZE as u32);
+                            }
+                        }
+                        if let Some(seg) = self.sb.seg_of(addr) {
+                            self.usage
+                                .add_live_quiet(seg, BLOCK_SIZE as u32, summary.write_time);
+                        }
+                        self.dev
+                            .read_blocks(addr, &mut buf)
+                            .map_err(FsError::device)?;
+                        // A live -> free transition in the incoming block
+                        // is a deletion becoming durable; its liveness
+                        // accounting never reached the checkpoint, so
+                        // retire the dead file's blocks here, from the
+                        // about-to-be-replaced entry.
+                        for (ino, incoming) in self.imap.peek_block(idx, &buf) {
+                            let cur = match self.imap.get(ino) {
+                                Ok(e) => *e,
+                                Err(_) => continue,
+                            };
+                            if cur.is_live() && !incoming.is_live() {
+                                if let Some(seg) = self.sb.seg_of(cur.addr) {
+                                    self.usage.sub_live(seg, INODE_DISK_SIZE as u32);
+                                }
+                                if let Ok(dead) = self.read_inode_at(cur.addr, cur.slot, ino) {
+                                    self.visit_inode_blocks(&dead, |fs, a| {
+                                        if let Some(seg) = fs.sb.seg_of(a) {
+                                            fs.usage.sub_live(seg, BLOCK_SIZE as u32);
+                                        }
+                                    })?;
+                                }
+                            }
+                        }
+                        self.imap.load_block(idx, &buf, addr);
+                    }
+                }
+                EntryKind::UsageBlock => {
+                    let idx = entry.offset as usize;
+                    if idx < self.usage.num_blocks() {
+                        let old = self.usage.block_addr(idx);
+                        if old != NIL_ADDR {
+                            if let Some(seg) = self.sb.seg_of(old) {
+                                self.usage.sub_live_quiet(seg, BLOCK_SIZE as u32);
+                            }
+                        }
+                        if let Some(seg) = self.sb.seg_of(addr) {
+                            self.usage
+                                .add_live_quiet(seg, BLOCK_SIZE as u32, summary.write_time);
+                        }
+                        self.dev
+                            .read_blocks(addr, &mut buf)
+                            .map_err(FsError::device)?;
+                        // Live counts stay under incremental tracking.
+                        self.usage.load_block_preserving_live(idx, &buf, addr);
+                    }
+                }
+                EntryKind::DirLog => {
+                    self.dev
+                        .read_blocks(addr, &mut buf)
+                        .map_err(FsError::device)?;
+                    records.extend(dirlog::decode_block(&buf)?);
+                }
+                // Data and indirect blocks are incorporated through their
+                // inode: "when a summary block indicates the presence of a
+                // new inode, Sprite LFS updates the inode map ..., [which]
+                // automatically incorporates the file's new data blocks.
+                // If data blocks are discovered for a file without a new
+                // copy of the file's inode ... the roll-forward code ...
+                // ignores the new data blocks" (§4.2).
+                EntryKind::Data | EntryKind::Indirect1 | EntryKind::Indirect2 => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Adopts a newer inode found in the log tail, adjusting segment
+    /// utilizations for everything the old version referenced and the new
+    /// version references.
+    fn adopt_inode(&mut self, inode: &Inode, addr: DiskAddr, slot: u8) -> FsResult<bool> {
+        let ino = inode.ino;
+        if ino as usize >= self.imap.capacity() as usize {
+            return Ok(false);
+        }
+        let old = *self.imap.get(ino)?;
+        if old.is_live() && old.version > inode.version {
+            return Ok(false); // Stale: the file has since been reincarnated.
+        }
+        if old.is_live() && old.addr == addr && old.slot == slot {
+            return Ok(false); // Already current (e.g. imap block covered it).
+        }
+        // Retire the old version's blocks from the usage accounting.
+        if old.is_live() {
+            if let Some(seg) = self.sb.seg_of(old.addr) {
+                self.usage.sub_live(seg, INODE_DISK_SIZE as u32);
+            }
+            if let Ok(old_inode) = self.read_inode_at(old.addr, old.slot, ino) {
+                self.visit_inode_blocks(&old_inode, |fs, a| {
+                    if let Some(seg) = fs.sb.seg_of(a) {
+                        fs.usage.sub_live(seg, BLOCK_SIZE as u32);
+                    }
+                })?;
+            }
+        }
+        // Adopt the new version.
+        self.imap.set_entry(ino, addr, slot, inode.version);
+        if let Some(seg) = self.sb.seg_of(addr) {
+            self.usage
+                .add_live(seg, INODE_DISK_SIZE as u32, inode.mtime);
+        }
+        let mtime = inode.mtime;
+        self.visit_inode_blocks(inode, |fs, a| {
+            if let Some(seg) = fs.sb.seg_of(a) {
+                fs.usage.add_live(seg, BLOCK_SIZE as u32, mtime);
+            }
+        })?;
+        // Invalidate any cached copy.
+        self.inodes.remove(&ino);
+        self.dcache.remove(&ino);
+        let stale: Vec<(Ino, u64)> = self
+            .blocks
+            .keys()
+            .filter(|&&(i, _)| i == ino)
+            .copied()
+            .collect();
+        for k in stale {
+            self.blocks.remove(&k);
+        }
+        self.inds.retain(|&(i, _), _| i != ino);
+        Ok(true)
+    }
+
+    /// Reads one inode directly from an inode block on disk.
+    fn read_inode_at(&mut self, addr: DiskAddr, slot: u8, expect: Ino) -> FsResult<Inode> {
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        self.dev
+            .read_blocks(addr, &mut buf)
+            .map_err(FsError::device)?;
+        let chunk = &buf[slot as usize * INODE_DISK_SIZE..(slot as usize + 1) * INODE_DISK_SIZE];
+        let inode = Inode::decode(chunk)?
+            .ok_or_else(|| FsError::Corrupt(format!("inode {expect}: empty slot")))?;
+        if inode.ino != expect {
+            return Err(FsError::Corrupt(format!(
+                "inode {expect}: slot holds {}",
+                inode.ino
+            )));
+        }
+        Ok(inode)
+    }
+
+    /// Calls `f` with the address of every block (data and indirect) that
+    /// `inode` references, reading indirect blocks directly from disk.
+    fn visit_inode_blocks<F: FnMut(&mut Self, DiskAddr)>(
+        &mut self,
+        inode: &Inode,
+        mut f: F,
+    ) -> FsResult<()> {
+        for &a in &inode.direct {
+            if a != NIL_ADDR {
+                f(self, a);
+            }
+        }
+        let mut singles: Vec<DiskAddr> = Vec::new();
+        if inode.indirect != NIL_ADDR {
+            singles.push(inode.indirect);
+        }
+        if inode.dindirect != NIL_ADDR {
+            f(self, inode.dindirect);
+            let mut buf = vec![0u8; BLOCK_SIZE];
+            self.dev
+                .read_blocks(inode.dindirect, &mut buf)
+                .map_err(FsError::device)?;
+            let dind = IndirectBlock::decode(&buf);
+            singles.extend(dind.ptrs.iter().copied().filter(|&p| p != NIL_ADDR));
+        }
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        for s in singles {
+            f(self, s);
+            self.dev.read_blocks(s, &mut buf).map_err(FsError::device)?;
+            let ind = IndirectBlock::decode(&buf);
+            for &p in ind.ptrs.iter() {
+                if p != NIL_ADDR {
+                    f(self, p);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Replays one directory-operation-log record, restoring consistency
+    /// between the directory entry and the inode's reference count.
+    fn replay_record(&mut self, rec: &DirLogRecord) -> FsResult<()> {
+        match rec.op {
+            DirOp::Create | DirOp::Mkdir | DirOp::Link => {
+                let inode_live = self
+                    .imap
+                    .get(rec.ino)
+                    .map(|e| e.is_live() && e.version == rec.version)
+                    .unwrap_or(false);
+                let dir_live = self.imap.get(rec.dir).map(|e| e.is_live()).unwrap_or(false);
+                if !dir_live {
+                    return Ok(());
+                }
+                let existing = self.dir_lookup(rec.dir, &rec.name)?;
+                if inode_live {
+                    // Complete the operation: entry present, nlink right.
+                    if existing.map(|s| s.ino) != Some(rec.ino) {
+                        if existing.is_some() {
+                            self.dir_remove(rec.dir, &rec.name)?;
+                        }
+                        let ftype = self.inode_clone(rec.ino)?.ftype;
+                        self.dir_insert(rec.dir, &rec.name, rec.ino, ftype)?;
+                    }
+                    let mut inode = self.inode_clone(rec.ino)?;
+                    if inode.nlink != rec.nlink {
+                        inode.nlink = rec.nlink;
+                        self.put_inode(inode);
+                    }
+                } else if existing.map(|s| s.ino) == Some(rec.ino) {
+                    // "The only operation that can't be completed is the
+                    // creation of a new file for which the inode is never
+                    // written; in this case the directory entry will be
+                    // removed" (§4.2).
+                    self.dir_remove(rec.dir, &rec.name)?;
+                }
+            }
+            DirOp::Unlink | DirOp::Rmdir => {
+                let dir_live = self.imap.get(rec.dir).map(|e| e.is_live()).unwrap_or(false);
+                if dir_live {
+                    if let Some(slot) = self.dir_lookup(rec.dir, &rec.name)? {
+                        if slot.ino == rec.ino {
+                            self.dir_remove(rec.dir, &rec.name)?;
+                        }
+                    }
+                }
+                let live_same_version = self
+                    .imap
+                    .get(rec.ino)
+                    .map(|e| e.is_live() && e.version == rec.version)
+                    .unwrap_or(false);
+                if live_same_version {
+                    if rec.nlink == 0 {
+                        self.delete_file(rec.ino)?;
+                    } else {
+                        let mut inode = self.inode_clone(rec.ino)?;
+                        if inode.nlink != rec.nlink {
+                            inode.nlink = rec.nlink;
+                            self.put_inode(inode);
+                        }
+                    }
+                }
+                // Deletions that became durable through the tail's
+                // inode-map blocks have their liveness retired by the
+                // live->free diff in `replay_partial_write`.
+            }
+            DirOp::Rename => {
+                let inode_live = self
+                    .imap
+                    .get(rec.ino)
+                    .map(|e| e.is_live() && e.version == rec.version)
+                    .unwrap_or(false);
+                // Remove the source entry.
+                if self.imap.get(rec.dir).map(|e| e.is_live()).unwrap_or(false) {
+                    if let Some(slot) = self.dir_lookup(rec.dir, &rec.name)? {
+                        if slot.ino == rec.ino {
+                            self.dir_remove(rec.dir, &rec.name)?;
+                        }
+                    }
+                }
+                // Install the destination entry.
+                if inode_live
+                    && self
+                        .imap
+                        .get(rec.dir2)
+                        .map(|e| e.is_live())
+                        .unwrap_or(false)
+                {
+                    let existing = self.dir_lookup(rec.dir2, &rec.name2)?;
+                    if existing.map(|s| s.ino) != Some(rec.ino) {
+                        if existing.is_some() {
+                            self.dir_remove(rec.dir2, &rec.name2)?;
+                        }
+                        let ftype = self.inode_clone(rec.ino)?.ftype;
+                        self.dir_insert(rec.dir2, &rec.name2, rec.ino, ftype)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A convenience for tests and tools: mounts, runs `f`, and unmounts
+/// (checkpointing) — returning the device.
+pub fn with_mounted<D, T, F>(dev: D, cfg: LfsConfig, f: F) -> FsResult<(D, T)>
+where
+    D: BlockDevice,
+    F: FnOnce(&mut Lfs<D>) -> FsResult<T>,
+{
+    let mut fs = Lfs::mount(dev, cfg)?;
+    let out = f(&mut fs)?;
+    fs.sync()?;
+    Ok((fs.into_device(), out))
+}
+
+/// Returns true when a path exists on the mounted file system — a small
+/// helper used by recovery tests.
+pub fn exists<D: BlockDevice>(fs: &mut Lfs<D>, path: &str) -> bool {
+    fs.lookup(path).is_ok()
+}

@@ -1,0 +1,405 @@
+//! The segment usage table.
+//!
+//! "For each segment, the table records the number of live bytes in the
+//! segment and the most recent modified time of any block in the segment.
+//! These two values are used by the segment cleaner when choosing segments
+//! to clean" (§3.6). The blocks of the table are written to the log and
+//! their addresses are stored in the checkpoint regions.
+//!
+//! The live-byte counts are *advisory*: the cleaning mechanism re-verifies
+//! every block's liveness against the inode map and inode pointers before
+//! copying it (§3.3), so a count that is one flush stale can never corrupt
+//! data — it can only make the policy slightly suboptimal. This is what
+//! lets Sprite LFS do without a bitmap or free list.
+
+use blockdev::BLOCK_SIZE;
+
+use crate::codec::{Reader, Writer};
+use crate::layout::{DiskAddr, NIL_ADDR};
+
+/// Bytes per on-disk usage-table entry.
+pub const USAGE_ENTRY_SIZE: usize = 24;
+
+/// Usage-table entries per disk block.
+pub const USAGE_ENTRIES_PER_BLOCK: usize = BLOCK_SIZE / USAGE_ENTRY_SIZE;
+
+/// Life-cycle state of a segment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SegState {
+    /// Contains no live data and may be allocated for writing.
+    Clean,
+    /// The segment currently being filled by the log.
+    Active,
+    /// Sealed and holding (possibly stale) data.
+    Dirty,
+    /// Cleaned, but its old contents must survive until the next
+    /// checkpoint makes the relocation durable — only then does it become
+    /// [`SegState::Clean`]. Without this, a crash after cleaning could
+    /// leave the last checkpoint's inode map pointing into a reused
+    /// segment.
+    PendingFree,
+}
+
+impl SegState {
+    fn encode(self) -> u8 {
+        match self {
+            SegState::Clean => 0,
+            SegState::Active => 1,
+            SegState::Dirty => 2,
+            SegState::PendingFree => 3,
+        }
+    }
+
+    fn decode(v: u8) -> SegState {
+        match v {
+            1 => SegState::Active,
+            2 => SegState::Dirty,
+            3 => SegState::PendingFree,
+            _ => SegState::Clean,
+        }
+    }
+}
+
+/// Per-segment bookkeeping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SegUsage {
+    /// Live bytes still in the segment.
+    pub live_bytes: u32,
+    /// Most recent modified time of any block written to the segment —
+    /// the age input to the cost-benefit policy.
+    pub last_write: u64,
+    /// Life-cycle state.
+    pub state: SegState,
+    /// Log sequence number at which the segment was sealed (used to keep
+    /// the cleaner away from segments the roll-forward still needs).
+    pub seal_seq: u64,
+}
+
+impl SegUsage {
+    const CLEAN: SegUsage = SegUsage {
+        live_bytes: 0,
+        last_write: 0,
+        state: SegState::Clean,
+        seal_seq: 0,
+    };
+
+    /// Utilization `u` of this segment given its capacity in bytes.
+    pub fn utilization(&self, seg_bytes: u64) -> f64 {
+        self.live_bytes as f64 / seg_bytes as f64
+    }
+}
+
+/// The in-memory segment usage table with dirty-block tracking.
+pub struct UsageTable {
+    entries: Vec<SegUsage>,
+    block_addrs: Vec<DiskAddr>,
+    dirty: Vec<bool>,
+}
+
+impl UsageTable {
+    /// A table for `nsegments` segments, all clean.
+    pub fn new(nsegments: u32) -> UsageTable {
+        let nblocks = (nsegments as usize).div_ceil(USAGE_ENTRIES_PER_BLOCK);
+        UsageTable {
+            entries: vec![SegUsage::CLEAN; nsegments as usize],
+            block_addrs: vec![NIL_ADDR; nblocks],
+            dirty: vec![false; nblocks],
+        }
+    }
+
+    /// Number of table blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.block_addrs.len()
+    }
+
+    /// Number of segments tracked.
+    pub fn nsegments(&self) -> u32 {
+        self.entries.len() as u32
+    }
+
+    /// The table block holding segment `seg`.
+    pub fn block_of(seg: u32) -> usize {
+        seg as usize / USAGE_ENTRIES_PER_BLOCK
+    }
+
+    /// Reads a segment's entry.
+    pub fn get(&self, seg: u32) -> &SegUsage {
+        &self.entries[seg as usize]
+    }
+
+    /// Adds live bytes to a segment (a block was appended) and refreshes
+    /// its age with the block's modification time.
+    pub fn add_live(&mut self, seg: u32, bytes: u32, block_mtime: u64) {
+        let e = &mut self.entries[seg as usize];
+        e.live_bytes += bytes;
+        e.last_write = e.last_write.max(block_mtime);
+        self.dirty[Self::block_of(seg)] = true;
+    }
+
+    /// Removes live bytes from a segment (a block there was superseded or
+    /// deleted). Saturates rather than panicking: during roll-forward the
+    /// counts are rebuilt from scratch and transient underflow is
+    /// harmless.
+    pub fn sub_live(&mut self, seg: u32, bytes: u32) {
+        let e = &mut self.entries[seg as usize];
+        e.live_bytes = e.live_bytes.saturating_sub(bytes);
+        self.dirty[Self::block_of(seg)] = true;
+    }
+
+    /// Like [`UsageTable::add_live`] but without dirtying the table block.
+    ///
+    /// Used for the table's (and inode map's) *own* block relocations:
+    /// accounting them loudly would re-dirty the table on every metadata
+    /// flush and the checkpoint stabilisation loop would never terminate.
+    /// The in-memory counts stay exact; the on-disk copy of the affected
+    /// entry is at most one flush stale, which is safe because liveness is
+    /// always re-verified by the cleaning mechanism (§3.3).
+    pub fn add_live_quiet(&mut self, seg: u32, bytes: u32, block_mtime: u64) {
+        let e = &mut self.entries[seg as usize];
+        e.live_bytes += bytes;
+        e.last_write = e.last_write.max(block_mtime);
+    }
+
+    /// Quiet counterpart of [`UsageTable::sub_live`]; see
+    /// [`UsageTable::add_live_quiet`].
+    pub fn sub_live_quiet(&mut self, seg: u32, bytes: u32) {
+        let e = &mut self.entries[seg as usize];
+        e.live_bytes = e.live_bytes.saturating_sub(bytes);
+    }
+
+    /// Exact live counts for all segments (persisted by the checkpoint).
+    pub fn live_vec(&self) -> Vec<u32> {
+        self.entries.iter().map(|e| e.live_bytes).collect()
+    }
+
+    /// Restores exact live counts (from a checkpoint) without touching
+    /// states, ages, or dirty bits.
+    pub fn overlay_live(&mut self, live: &[u32]) {
+        for (e, &l) in self.entries.iter_mut().zip(live) {
+            e.live_bytes = l;
+        }
+    }
+
+    /// Like [`UsageTable::load_block`] but keeps the in-memory live-byte
+    /// counts (used by roll-forward, which tracks liveness incrementally
+    /// from the checkpoint's exact counts).
+    pub fn load_block_preserving_live(&mut self, idx: usize, buf: &[u8], addr: DiskAddr) {
+        let start = idx * USAGE_ENTRIES_PER_BLOCK;
+        let end = (start + USAGE_ENTRIES_PER_BLOCK).min(self.entries.len());
+        let saved: Vec<u32> = self.entries[start..end]
+            .iter()
+            .map(|e| e.live_bytes)
+            .collect();
+        self.load_block(idx, buf, addr);
+        for (e, live) in self.entries[start..end].iter_mut().zip(saved) {
+            e.live_bytes = live;
+        }
+    }
+
+    /// Overwrites a segment's live-byte count (recovery's recompute).
+    pub fn set_live(&mut self, seg: u32, bytes: u32) {
+        self.entries[seg as usize].live_bytes = bytes;
+        self.dirty[Self::block_of(seg)] = true;
+    }
+
+    /// Sets a segment's state.
+    pub fn set_state(&mut self, seg: u32, state: SegState) {
+        self.entries[seg as usize].state = state;
+        self.dirty[Self::block_of(seg)] = true;
+    }
+
+    /// Records the sequence number at which a segment was sealed.
+    pub fn set_seal_seq(&mut self, seg: u32, seq: u64) {
+        self.entries[seg as usize].seal_seq = seq;
+        self.dirty[Self::block_of(seg)] = true;
+    }
+
+    /// Number of segments in [`SegState::Clean`].
+    pub fn clean_count(&self) -> u32 {
+        self.entries
+            .iter()
+            .filter(|e| e.state == SegState::Clean)
+            .count() as u32
+    }
+
+    /// Finds a clean segment to allocate, preferring low indices.
+    pub fn find_clean(&self) -> Option<u32> {
+        self.entries
+            .iter()
+            .position(|e| e.state == SegState::Clean)
+            .map(|i| i as u32)
+    }
+
+    /// Promotes [`SegState::PendingFree`] segments whose relocations are
+    /// covered by a durable checkpoint (their `seal_seq` — set to the log
+    /// sequence of the relocation — is ≤ `covered_seq`).
+    pub fn promote_pending(&mut self, covered_seq: u64) -> u32 {
+        let mut n = 0;
+        for i in 0..self.entries.len() {
+            if self.entries[i].state == SegState::PendingFree
+                && self.entries[i].seal_seq <= covered_seq
+            {
+                self.entries[i] = SegUsage::CLEAN;
+                self.dirty[Self::block_of(i as u32)] = true;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Iterates `(seg, usage)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &SegUsage)> + '_ {
+        self.entries.iter().enumerate().map(|(i, e)| (i as u32, e))
+    }
+
+    /// Indices of dirty table blocks.
+    pub fn dirty_blocks(&self) -> Vec<usize> {
+        (0..self.dirty.len()).filter(|&i| self.dirty[i]).collect()
+    }
+
+    /// True if any table block is dirty.
+    pub fn has_dirty(&self) -> bool {
+        self.dirty.iter().any(|&d| d)
+    }
+
+    /// Serializes table block `idx`.
+    pub fn encode_block(&self, idx: usize) -> Box<[u8]> {
+        let mut buf = vec![0u8; BLOCK_SIZE].into_boxed_slice();
+        let start = idx * USAGE_ENTRIES_PER_BLOCK;
+        let end = (start + USAGE_ENTRIES_PER_BLOCK).min(self.entries.len());
+        let mut w = Writer::new(&mut buf);
+        for e in &self.entries[start..end] {
+            w.put_u32(e.live_bytes);
+            w.put_u8(e.state.encode());
+            w.pad(3);
+            w.put_u64(e.last_write);
+            w.put_u64(e.seal_seq);
+        }
+        buf
+    }
+
+    /// Loads table block `idx` from a raw disk block.
+    pub fn load_block(&mut self, idx: usize, buf: &[u8], addr: DiskAddr) {
+        let start = idx * USAGE_ENTRIES_PER_BLOCK;
+        let end = (start + USAGE_ENTRIES_PER_BLOCK).min(self.entries.len());
+        let mut r = Reader::new(buf);
+        for i in start..end {
+            let live_bytes = r.get_u32();
+            let state = SegState::decode(r.get_u8());
+            r.skip(3);
+            let last_write = r.get_u64();
+            let seal_seq = r.get_u64();
+            self.entries[i] = SegUsage {
+                live_bytes,
+                last_write,
+                state,
+                seal_seq,
+            };
+        }
+        self.block_addrs[idx] = addr;
+        self.dirty[idx] = false;
+    }
+
+    /// Marks block `idx` as written at `addr` and clears its dirty bit.
+    pub fn block_written(&mut self, idx: usize, addr: DiskAddr) {
+        self.block_addrs[idx] = addr;
+        self.dirty[idx] = false;
+    }
+
+    /// Current on-disk address of table block `idx`.
+    pub fn block_addr(&self, idx: usize) -> DiskAddr {
+        self.block_addrs[idx]
+    }
+
+    /// The full on-disk address vector (persisted by the checkpoint).
+    pub fn block_addr_vec(&self) -> &[DiskAddr] {
+        &self.block_addrs
+    }
+
+    /// Marks a table block dirty (used by the cleaner to relocate it).
+    pub fn mark_block_dirty(&mut self, idx: usize) {
+        self.dirty[idx] = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_table_is_all_clean() {
+        let t = UsageTable::new(10);
+        assert_eq!(t.clean_count(), 10);
+        assert_eq!(t.find_clean(), Some(0));
+    }
+
+    #[test]
+    fn add_and_sub_live_track_bytes_and_age() {
+        let mut t = UsageTable::new(4);
+        t.add_live(1, 4096, 100);
+        t.add_live(1, 4096, 50); // Older block must not lower last_write.
+        assert_eq!(t.get(1).live_bytes, 8192);
+        assert_eq!(t.get(1).last_write, 100);
+        t.sub_live(1, 4096);
+        assert_eq!(t.get(1).live_bytes, 4096);
+    }
+
+    #[test]
+    fn sub_live_saturates() {
+        let mut t = UsageTable::new(2);
+        t.sub_live(0, 4096);
+        assert_eq!(t.get(0).live_bytes, 0);
+    }
+
+    #[test]
+    fn state_transitions_and_promotion() {
+        let mut t = UsageTable::new(3);
+        t.set_state(0, SegState::Active);
+        t.set_state(1, SegState::Dirty);
+        t.set_state(2, SegState::PendingFree);
+        t.set_seal_seq(2, 5);
+        assert_eq!(t.clean_count(), 0);
+        // Not yet covered by a checkpoint at seq 4.
+        assert_eq!(t.promote_pending(4), 0);
+        assert_eq!(t.promote_pending(5), 1);
+        assert_eq!(t.get(2).state, SegState::Clean);
+        assert_eq!(t.clean_count(), 1);
+        assert_eq!(t.find_clean(), Some(2));
+    }
+
+    #[test]
+    fn encode_load_roundtrip() {
+        let mut t = UsageTable::new(300);
+        t.add_live(0, 123, 9);
+        t.set_state(0, SegState::Dirty);
+        t.set_seal_seq(0, 77);
+        t.add_live(299, 456, 8);
+        let b0 = t.encode_block(0);
+        let b1 = t.encode_block(1);
+
+        let mut t2 = UsageTable::new(300);
+        t2.load_block(0, &b0, 11);
+        t2.load_block(1, &b1, 12);
+        assert_eq!(t2.get(0), t.get(0));
+        assert_eq!(t2.get(299), t.get(299));
+        assert_eq!(t2.block_addr(0), 11);
+        assert!(!t2.has_dirty());
+    }
+
+    #[test]
+    fn utilization_is_fraction_of_capacity() {
+        let mut t = UsageTable::new(1);
+        t.add_live(0, 512 * 1024, 1);
+        assert!((t.get(0).utilization(1 << 20) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dirty_blocks_reflect_touched_segments() {
+        let mut t = UsageTable::new(USAGE_ENTRIES_PER_BLOCK as u32 + 5);
+        t.add_live(0, 1, 1);
+        t.add_live(USAGE_ENTRIES_PER_BLOCK as u32, 1, 1);
+        assert_eq!(t.dirty_blocks(), vec![0, 1]);
+        t.block_written(0, 5);
+        assert_eq!(t.dirty_blocks(), vec![1]);
+    }
+}

@@ -1,0 +1,487 @@
+//! End-to-end tests for the log-structured file system.
+
+use blockdev::{CrashDisk, MemDisk};
+use lfs_core::{CleaningPolicy, Lfs, LfsConfig};
+use vfs::{FileSystem, FsError};
+
+/// A 16 MB memory disk.
+fn disk() -> MemDisk {
+    MemDisk::new(4096)
+}
+
+fn small_fs() -> Lfs<MemDisk> {
+    Lfs::format(disk(), LfsConfig::small()).unwrap()
+}
+
+fn check_clean(fs: &mut Lfs<MemDisk>) {
+    fs.sync().unwrap();
+    let report = fs.check().unwrap();
+    assert!(report.is_clean(), "fsck errors: {:#?}", report.errors);
+}
+
+#[test]
+fn create_write_read_many_small_files() {
+    let mut fs = small_fs();
+    fs.mkdir("/d").unwrap();
+    let mut inos = Vec::new();
+    for i in 0..200 {
+        let data = vec![i as u8; 1024];
+        let ino = fs.write_file(&format!("/d/file{i}"), &data).unwrap();
+        inos.push((ino, data));
+    }
+    for (ino, data) in &inos {
+        assert_eq!(&fs.read_to_vec(*ino).unwrap(), data);
+    }
+    check_clean(&mut fs);
+}
+
+#[test]
+fn large_file_through_indirect_blocks() {
+    // A file spanning direct, single-indirect, and double-indirect
+    // pointers: > (10 + 512) blocks.
+    let mut fs = Lfs::format(MemDisk::new(8192), LfsConfig::small()).unwrap();
+    let nblocks = 560u64;
+    let ino = fs.create("/big").unwrap();
+    let mut expect = Vec::new();
+    for b in 0..nblocks {
+        let chunk = vec![(b % 251) as u8; 4096];
+        fs.write(ino, b * 4096, &chunk).unwrap();
+        expect.extend_from_slice(&chunk);
+    }
+    fs.sync().unwrap();
+    let back = fs.read_to_vec(ino).unwrap();
+    assert_eq!(back.len(), expect.len());
+    assert_eq!(back, expect);
+    check_clean(&mut fs);
+}
+
+#[test]
+fn sparse_file_reads_zero_in_holes() {
+    let mut fs = small_fs();
+    let ino = fs.create("/sparse").unwrap();
+    // Write one block far into the file (inside the indirect range).
+    fs.write(ino, 100 * 4096, b"end").unwrap();
+    fs.sync().unwrap();
+    let mut buf = [1u8; 16];
+    assert_eq!(fs.read(ino, 50 * 4096, &mut buf).unwrap(), 16);
+    assert!(buf.iter().all(|&b| b == 0));
+    let mut tail = [0u8; 3];
+    fs.read(ino, 100 * 4096, &mut tail).unwrap();
+    assert_eq!(&tail, b"end");
+    check_clean(&mut fs);
+}
+
+#[test]
+fn overwrite_supersedes_old_blocks() {
+    let mut fs = small_fs();
+    let ino = fs.write_file("/f", &[1u8; 8192]).unwrap();
+    fs.sync().unwrap();
+    let live_before = fs.statfs().unwrap().live_bytes;
+    fs.write(ino, 0, &[2u8; 8192]).unwrap();
+    fs.sync().unwrap();
+    let live_after = fs.statfs().unwrap().live_bytes;
+    // Overwriting in place must not grow live data.
+    assert_eq!(live_before, live_after);
+    assert_eq!(fs.read_to_vec(ino).unwrap(), vec![2u8; 8192]);
+    check_clean(&mut fs);
+}
+
+#[test]
+fn unlink_frees_space() {
+    let mut fs = small_fs();
+    fs.sync().unwrap();
+    let base = fs.statfs().unwrap().live_bytes;
+    for i in 0..20 {
+        fs.write_file(&format!("/f{i}"), &[7u8; 16384]).unwrap();
+    }
+    fs.sync().unwrap();
+    assert!(fs.statfs().unwrap().live_bytes > base + 20 * 16384);
+    for i in 0..20 {
+        fs.unlink(&format!("/f{i}")).unwrap();
+    }
+    fs.sync().unwrap();
+    let after = fs.statfs().unwrap().live_bytes;
+    // All the file data must be dead again (metadata may differ slightly).
+    assert!(
+        after < base + 8 * 4096,
+        "live after deletes: {after} vs {base}"
+    );
+    check_clean(&mut fs);
+}
+
+#[test]
+fn truncate_shrink_extend_zeroes() {
+    let mut fs = small_fs();
+    let ino = fs.write_file("/t", b"abcdefgh").unwrap();
+    fs.truncate(ino, 3).unwrap();
+    fs.truncate(ino, 6).unwrap();
+    assert_eq!(fs.read_to_vec(ino).unwrap(), b"abc\0\0\0");
+    check_clean(&mut fs);
+}
+
+#[test]
+fn truncate_to_zero_bumps_version() {
+    let mut fs = small_fs();
+    let ino = fs.write_file("/v", &[9u8; 4096]).unwrap();
+    fs.sync().unwrap();
+    fs.truncate(ino, 0).unwrap();
+    fs.write(ino, 0, &[1u8; 100]).unwrap();
+    fs.sync().unwrap();
+    assert_eq!(fs.read_to_vec(ino).unwrap(), vec![1u8; 100]);
+    check_clean(&mut fs);
+}
+
+#[test]
+fn rename_and_hard_links() {
+    let mut fs = small_fs();
+    fs.mkdir("/a").unwrap();
+    fs.mkdir("/b").unwrap();
+    let ino = fs.write_file("/a/x", b"payload").unwrap();
+    fs.link("/a/x", "/b/y").unwrap();
+    assert_eq!(fs.metadata(ino).unwrap().nlink, 2);
+    fs.rename("/a/x", "/b/z").unwrap();
+    assert!(fs.lookup("/a/x").is_err());
+    assert_eq!(fs.lookup("/b/z").unwrap(), ino);
+    assert_eq!(fs.lookup("/b/y").unwrap(), ino);
+    fs.unlink("/b/y").unwrap();
+    assert_eq!(fs.metadata(ino).unwrap().nlink, 1);
+    assert_eq!(fs.read_to_vec(ino).unwrap(), b"payload");
+    check_clean(&mut fs);
+}
+
+#[test]
+fn rename_replaces_target_file() {
+    let mut fs = small_fs();
+    let a = fs.write_file("/a", b"aaa").unwrap();
+    fs.write_file("/b", b"bbb").unwrap();
+    fs.rename("/a", "/b").unwrap();
+    assert_eq!(fs.lookup("/b").unwrap(), a);
+    assert_eq!(fs.read_to_vec(a).unwrap(), b"aaa");
+    assert!(fs.lookup("/a").is_err());
+    check_clean(&mut fs);
+}
+
+#[test]
+fn directory_with_many_entries_spans_blocks() {
+    let mut fs = Lfs::format(MemDisk::new(8192), LfsConfig::small()).unwrap();
+    fs.mkdir("/big").unwrap();
+    for i in 0..600 {
+        fs.create(&format!("/big/file-with-a-longer-name-{i:05}"))
+            .unwrap();
+    }
+    let entries = fs.readdir("/big").unwrap();
+    assert_eq!(entries.len(), 600);
+    // Sorted by name.
+    let mut names: Vec<String> = entries.iter().map(|e| e.name.clone()).collect();
+    let mut sorted = names.clone();
+    sorted.sort();
+    assert_eq!(names, sorted);
+    // Remove half, re-list.
+    for i in (0..600).step_by(2) {
+        fs.unlink(&format!("/big/file-with-a-longer-name-{i:05}"))
+            .unwrap();
+    }
+    names = fs
+        .readdir("/big")
+        .unwrap()
+        .iter()
+        .map(|e| e.name.clone())
+        .collect();
+    assert_eq!(names.len(), 300);
+    check_clean(&mut fs);
+}
+
+#[test]
+fn rmdir_semantics() {
+    let mut fs = small_fs();
+    fs.mkdir("/d").unwrap();
+    fs.create("/d/f").unwrap();
+    assert!(matches!(fs.rmdir("/d"), Err(FsError::DirectoryNotEmpty)));
+    fs.unlink("/d/f").unwrap();
+    fs.rmdir("/d").unwrap();
+    assert!(fs.lookup("/d").is_err());
+    assert!(matches!(fs.rmdir("/d"), Err(FsError::NotFound)));
+    check_clean(&mut fs);
+}
+
+#[test]
+fn remount_preserves_everything() {
+    let mut fs = small_fs();
+    fs.mkdir("/dir1").unwrap();
+    fs.mkdir("/dir1/sub").unwrap();
+    let ino = fs.write_file("/dir1/sub/data", &[0x5a; 10_000]).unwrap();
+    fs.write_file("/top", b"hello").unwrap();
+    fs.sync().unwrap();
+    let dev = fs.into_device();
+
+    let mut fs2 = Lfs::mount(dev, LfsConfig::small()).unwrap();
+    assert_eq!(fs2.lookup("/dir1/sub/data").unwrap(), ino);
+    assert_eq!(fs2.read_to_vec(ino).unwrap(), vec![0x5a; 10_000]);
+    let top = fs2.lookup("/top").unwrap();
+    assert_eq!(fs2.read_to_vec(top).unwrap(), b"hello");
+    assert_eq!(fs2.statfs().unwrap().num_files, 4);
+    check_clean(&mut fs2);
+}
+
+#[test]
+fn remount_twice_is_stable() {
+    let mut fs = small_fs();
+    fs.write_file("/f", b"x").unwrap();
+    fs.sync().unwrap();
+    let dev = fs.into_device();
+    let fs2 = Lfs::mount(dev, LfsConfig::small()).unwrap();
+    let dev = fs2.into_device();
+    let mut fs3 = Lfs::mount(dev, LfsConfig::small()).unwrap();
+    let ino = fs3.lookup("/f").unwrap();
+    assert_eq!(fs3.read_to_vec(ino).unwrap(), b"x");
+    check_clean(&mut fs3);
+}
+
+#[test]
+fn cleaner_reclaims_overwritten_segments() {
+    // Small disk; write and overwrite until the cleaner must run.
+    let mut fs = Lfs::format(MemDisk::new(4096), LfsConfig::small()).unwrap();
+    let ino = fs.create("/churn").unwrap();
+    // 16 MB disk, ~60 KB segments: overwrite a 256 KB file many times.
+    for round in 0..200u32 {
+        let data = vec![(round % 251) as u8; 64 * 1024];
+        fs.write(ino, 0, &data).unwrap();
+    }
+    let stats = *fs.stats();
+    assert!(
+        stats.cleaner.segments_cleaned > 0,
+        "cleaner never ran: {stats:?}"
+    );
+    assert_eq!(fs.read_to_vec(ino).unwrap(), vec![199u8; 64 * 1024]);
+    check_clean(&mut fs);
+}
+
+#[test]
+fn cleaner_preserves_cold_data() {
+    let mut fs = Lfs::format(MemDisk::new(1536), LfsConfig::small()).unwrap();
+    // Cold files written once.
+    let mut cold = Vec::new();
+    for i in 0..30 {
+        let data = vec![i as u8; 8192];
+        let ino = fs.write_file(&format!("/cold{i}"), &data).unwrap();
+        cold.push((ino, data));
+    }
+    // Hot churn to force cleaning. Rotate the offset so each round
+    // dirties fresh blocks — overwrites of still-dirty blocks would just
+    // coalesce in the write buffer and never reach the log.
+    let hot = fs.create("/hot").unwrap();
+    for round in 0..300u32 {
+        let off = (round % 8) as u64 * 32 * 1024;
+        fs.write(hot, off, &vec![(round % 256) as u8; 32 * 1024])
+            .unwrap();
+    }
+    assert!(fs.stats().cleaner.segments_cleaned > 0);
+    for (ino, data) in &cold {
+        assert_eq!(
+            &fs.read_to_vec(*ino).unwrap(),
+            data,
+            "cold file {ino} damaged"
+        );
+    }
+    check_clean(&mut fs);
+}
+
+#[test]
+fn greedy_policy_also_works() {
+    let mut fs = Lfs::format(MemDisk::new(1024), LfsConfig::small().greedy()).unwrap();
+    let ino = fs.create("/churn").unwrap();
+    for round in 0..150u32 {
+        fs.write(ino, 0, &vec![(round % 251) as u8; 64 * 1024])
+            .unwrap();
+    }
+    assert!(fs.stats().cleaner.segments_cleaned > 0);
+    assert_eq!(fs.config().policy, CleaningPolicy::Greedy);
+    check_clean(&mut fs);
+}
+
+#[test]
+fn no_space_is_reported_not_corrupted() {
+    // A tiny disk fills up; writes must fail with NoSpace and the data
+    // already written must survive.
+    let mut fs = Lfs::format(MemDisk::new(512), LfsConfig::small()).unwrap();
+    let mut written = Vec::new();
+    let mut failed = false;
+    for i in 0..200 {
+        match fs.write_file(&format!("/f{i}"), &vec![i as u8; 16384]) {
+            Ok(ino) => written.push((i, ino)),
+            Err(FsError::NoSpace) => {
+                failed = true;
+                break;
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert!(failed, "disk never filled");
+    // Everything fully written must still read back. (The failed write
+    // may have been partially applied, which POSIX allows.)
+    for (i, ino) in &written[..written.len() - 1] {
+        assert_eq!(fs.read_to_vec(*ino).unwrap(), vec![*i as u8; 16384]);
+    }
+}
+
+#[test]
+fn crash_without_sync_loses_tail_but_stays_consistent() {
+    let mut cfg = LfsConfig::small();
+    cfg.roll_forward = false;
+    let crash = CrashDisk::new(4096);
+    let mut fs = Lfs::format(crash, cfg).unwrap();
+    fs.write_file("/durable", b"safe").unwrap();
+    fs.sync().unwrap();
+    fs.write_file("/volatile", b"gone").unwrap();
+    // Crash now (no sync).
+    let image = {
+        let crash: &CrashDisk = fs.device();
+        crash.image_after(crash.num_writes())
+    };
+    let mut fs2 = Lfs::mount(image, cfg).unwrap();
+    let d = fs2.lookup("/durable").unwrap();
+    assert_eq!(fs2.read_to_vec(d).unwrap(), b"safe");
+    // Without roll-forward, the unsynced file is gone.
+    assert!(fs2.lookup("/volatile").is_err());
+    let report = fs2.check().unwrap();
+    assert!(report.is_clean(), "{:#?}", report.errors);
+}
+
+#[test]
+fn roll_forward_recovers_flushed_but_not_checkpointed_data() {
+    let cfg = LfsConfig::small();
+    let crash = CrashDisk::new(4096);
+    let mut fs = Lfs::format(crash, cfg).unwrap();
+    fs.write_file("/durable", b"safe").unwrap();
+    fs.sync().unwrap();
+    // Write and flush (to the log) but do NOT checkpoint.
+    let v = fs.write_file("/recovered", &[0xab; 9000]).unwrap();
+    fs.flush().unwrap();
+    let image = {
+        let crash: &CrashDisk = fs.device();
+        crash.image_after(crash.num_writes())
+    };
+    let mut fs2 = Lfs::mount(image, cfg).unwrap();
+    let r = fs2.lookup("/recovered").unwrap();
+    assert_eq!(r, v);
+    assert_eq!(fs2.read_to_vec(r).unwrap(), vec![0xab; 9000]);
+    let report = fs2.check().unwrap();
+    assert!(report.is_clean(), "{:#?}", report.errors);
+}
+
+#[test]
+fn roll_forward_removes_half_finished_creates() {
+    // Crash at every single write boundary of a small workload; every
+    // crash image must mount to a consistent file system.
+    let cfg = LfsConfig::small();
+    let crash = CrashDisk::new(2048);
+    let mut fs = Lfs::format(crash, cfg).unwrap();
+    fs.device_mut().checkpoint_baseline();
+    fs.mkdir("/d").unwrap();
+    fs.write_file("/d/a", b"aaaa").unwrap();
+    fs.flush().unwrap();
+    fs.write_file("/d/b", b"bbbb").unwrap();
+    fs.rename("/d/a", "/d/c").unwrap();
+    fs.unlink("/d/b").unwrap();
+    fs.sync().unwrap();
+
+    let crash_ref: &CrashDisk = fs.device();
+    let n = crash_ref.num_writes();
+    for cut in 0..=n {
+        let image = crash_ref.image_after(cut);
+        let mut fs2 = match Lfs::mount(image, cfg) {
+            Ok(f) => f,
+            Err(e) => panic!("cut {cut}/{n}: mount failed: {e}"),
+        };
+        let report = fs2.check().unwrap();
+        assert!(
+            report.is_clean(),
+            "cut {cut}/{n}: fsck errors: {:#?}",
+            report.errors
+        );
+    }
+    // The full image must contain the final state.
+    let image = crash_ref.image_after(n);
+    let mut fs3 = Lfs::mount(image, cfg).unwrap();
+    assert!(fs3.lookup("/d/c").is_ok());
+    assert!(fs3.lookup("/d/a").is_err());
+    assert!(fs3.lookup("/d/b").is_err());
+}
+
+#[test]
+fn atomic_rename_under_crashes() {
+    // After a rename, any crash point shows exactly one of: old name, new
+    // name — never both, never neither.
+    let cfg = LfsConfig::small();
+    let crash = CrashDisk::new(2048);
+    let mut fs = Lfs::format(crash, cfg).unwrap();
+    let ino = fs.write_file("/old", b"content").unwrap();
+    fs.sync().unwrap();
+    fs.device_mut().checkpoint_baseline();
+    fs.rename("/old", "/new").unwrap();
+    fs.sync().unwrap();
+
+    let crash_ref: &CrashDisk = fs.device();
+    let n = crash_ref.num_writes();
+    for cut in 0..=n {
+        let image = crash_ref.image_after(cut);
+        let mut fs2 = Lfs::mount(image, cfg).unwrap();
+        let old = fs2.lookup("/old").is_ok();
+        let new = fs2.lookup("/new").is_ok();
+        assert!(
+            old ^ new,
+            "cut {cut}/{n}: old={old} new={new} — rename not atomic"
+        );
+        let name = if old { "/old" } else { "/new" };
+        let i = fs2.lookup(name).unwrap();
+        assert_eq!(i, ino);
+        assert_eq!(fs2.read_to_vec(i).unwrap(), b"content");
+    }
+}
+
+#[test]
+fn stats_track_write_cost_components() {
+    let mut fs = small_fs();
+    for i in 0..50 {
+        fs.write_file(&format!("/f{i}"), &[1u8; 4096]).unwrap();
+    }
+    fs.sync().unwrap();
+    let s = fs.stats();
+    assert!(s.new_log_bytes() > 50 * 4096);
+    assert!(s.write_cost() >= 1.0);
+    assert!(s.log_bytes(lfs_core::BlockKind::Data) >= 50 * 4096);
+    assert!(s.log_bytes(lfs_core::BlockKind::Summary) > 0);
+    assert!(s.log_bytes(lfs_core::BlockKind::Inode) > 0);
+}
+
+#[test]
+fn segment_snapshot_reflects_usage() {
+    let mut fs = small_fs();
+    fs.write_file("/f", &[1u8; 65536]).unwrap();
+    fs.sync().unwrap();
+    let snap = fs.segment_snapshot();
+    assert_eq!(snap.len(), fs.superblock().nsegments as usize);
+    let used: f64 = snap.iter().map(|(_, u)| u).sum();
+    assert!(used > 0.0);
+}
+
+#[test]
+fn read_write_at_odd_offsets() {
+    let mut fs = small_fs();
+    let ino = fs.create("/odd").unwrap();
+    // Overlapping unaligned writes.
+    fs.write(ino, 100, &[1u8; 5000]).unwrap();
+    fs.write(ino, 4000, &[2u8; 3000]).unwrap();
+    fs.write(ino, 0, &[3u8; 50]).unwrap();
+    let mut expect = vec![0u8; 7000];
+    expect[100..5100].fill(1);
+    expect[4000..7000].fill(2);
+    expect[0..50].fill(3);
+    assert_eq!(fs.read_to_vec(ino).unwrap(), expect);
+    // Unaligned read.
+    let mut buf = vec![0u8; 1234];
+    let n = fs.read(ino, 3999, &mut buf).unwrap();
+    assert_eq!(n, 1234);
+    assert_eq!(&buf[..], &expect[3999..3999 + 1234]);
+    check_clean(&mut fs);
+}

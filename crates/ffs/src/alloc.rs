@@ -1,0 +1,157 @@
+//! Bitmap allocation: the structures Sprite LFS proudly does without.
+
+use blockdev::BLOCK_SIZE;
+
+/// A block-sized bitmap managing up to `BLOCK_SIZE * 8` items.
+#[derive(Clone)]
+pub struct Bitmap {
+    bits: Vec<u8>,
+    capacity: u32,
+    free: u32,
+    dirty: bool,
+}
+
+impl Bitmap {
+    /// An all-free bitmap for `capacity` items.
+    pub fn new(capacity: u32) -> Bitmap {
+        assert!(capacity as usize <= BLOCK_SIZE * 8);
+        Bitmap {
+            bits: vec![0u8; BLOCK_SIZE],
+            capacity,
+            free: capacity,
+            dirty: false,
+        }
+    }
+
+    /// Loads a bitmap from a raw block.
+    pub fn from_block(buf: &[u8], capacity: u32) -> Bitmap {
+        let mut b = Bitmap::new(capacity);
+        b.bits.copy_from_slice(buf);
+        b.free = (0..capacity).filter(|&i| !b.is_set(i)).count() as u32;
+        b.dirty = false;
+        b
+    }
+
+    /// Serializes into a block buffer.
+    pub fn as_block(&self) -> &[u8] {
+        &self.bits
+    }
+
+    /// Items still free.
+    pub fn free_count(&self) -> u32 {
+        self.free
+    }
+
+    /// True if the bitmap changed since the last [`Bitmap::clear_dirty`].
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// Acknowledges a write-back.
+    pub fn clear_dirty(&mut self) {
+        self.dirty = false;
+    }
+
+    /// Tests bit `i`.
+    pub fn is_set(&self, i: u32) -> bool {
+        self.bits[(i / 8) as usize] & (1 << (i % 8)) != 0
+    }
+
+    /// Marks item `i` allocated; returns false if it already was.
+    pub fn set(&mut self, i: u32) -> bool {
+        if self.is_set(i) {
+            return false;
+        }
+        self.bits[(i / 8) as usize] |= 1 << (i % 8);
+        self.free -= 1;
+        self.dirty = true;
+        true
+    }
+
+    /// Frees item `i`; returns false if it wasn't allocated.
+    pub fn clear(&mut self, i: u32) -> bool {
+        if !self.is_set(i) {
+            return false;
+        }
+        self.bits[(i / 8) as usize] &= !(1 << (i % 8));
+        self.free += 1;
+        self.dirty = true;
+        true
+    }
+
+    /// Allocates the free item nearest at or after `hint` (wrapping),
+    /// or `None` when full.
+    pub fn alloc_near(&mut self, hint: u32) -> Option<u32> {
+        if self.free == 0 {
+            return None;
+        }
+        let n = self.capacity;
+        let start = hint % n.max(1);
+        for d in 0..n {
+            let i = (start + d) % n;
+            if !self.is_set(i) {
+                self.set(i);
+                return Some(i);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let mut b = Bitmap::new(100);
+        assert_eq!(b.free_count(), 100);
+        let i = b.alloc_near(0).unwrap();
+        assert_eq!(i, 0);
+        assert!(b.is_set(0));
+        assert_eq!(b.free_count(), 99);
+        assert!(b.clear(0));
+        assert_eq!(b.free_count(), 100);
+        assert!(!b.clear(0));
+    }
+
+    #[test]
+    fn alloc_near_prefers_hint_and_wraps() {
+        let mut b = Bitmap::new(10);
+        assert_eq!(b.alloc_near(7), Some(7));
+        assert_eq!(b.alloc_near(7), Some(8));
+        assert_eq!(b.alloc_near(9), Some(9));
+        assert_eq!(b.alloc_near(9), Some(0)); // Wraps.
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut b = Bitmap::new(3);
+        for _ in 0..3 {
+            assert!(b.alloc_near(0).is_some());
+        }
+        assert_eq!(b.alloc_near(0), None);
+    }
+
+    #[test]
+    fn block_roundtrip_preserves_state() {
+        let mut b = Bitmap::new(50);
+        b.set(3);
+        b.set(49);
+        let b2 = Bitmap::from_block(b.as_block(), 50);
+        assert!(b2.is_set(3));
+        assert!(b2.is_set(49));
+        assert_eq!(b2.free_count(), 48);
+        assert!(!b2.is_dirty());
+    }
+
+    #[test]
+    fn dirty_tracking() {
+        let mut b = Bitmap::new(8);
+        assert!(!b.is_dirty());
+        b.set(1);
+        assert!(b.is_dirty());
+        b.clear_dirty();
+        assert!(!b.is_dirty());
+    }
+}

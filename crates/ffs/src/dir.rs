@@ -1,0 +1,122 @@
+//! FFS directory block format (a simplified BSD dirent layout).
+//!
+//! Each 4 KB block packs records `{ino: u32, ftype: u8, name_len: u8,
+//! name}` terminated by an all-zero header; records never span blocks.
+
+use blockdev::BLOCK_SIZE;
+use vfs::{FileType, FsError, FsResult, Ino};
+
+const RECORD_HEADER: usize = 6;
+
+/// One directory entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DirRecord {
+    /// Target inode.
+    pub ino: Ino,
+    /// Target type.
+    pub ftype: FileType,
+    /// Entry name.
+    pub name: String,
+}
+
+impl DirRecord {
+    /// Bytes this record occupies.
+    pub fn encoded_len(&self) -> usize {
+        RECORD_HEADER + self.name.len()
+    }
+}
+
+/// True if `records` fit in one block (with terminator space unless
+/// exactly full).
+pub fn fits(records: &[DirRecord]) -> bool {
+    let len: usize = records.iter().map(DirRecord::encoded_len).sum();
+    len <= BLOCK_SIZE - RECORD_HEADER || len == BLOCK_SIZE
+}
+
+/// Encodes records into one block.
+///
+/// # Panics
+///
+/// Panics if they don't fit.
+pub fn encode_block(records: &[DirRecord]) -> Box<[u8]> {
+    assert!(fits(records));
+    let mut buf = vec![0u8; BLOCK_SIZE].into_boxed_slice();
+    let mut pos = 0;
+    for r in records {
+        buf[pos..pos + 4].copy_from_slice(&r.ino.to_le_bytes());
+        buf[pos + 4] = match r.ftype {
+            FileType::Regular => 1,
+            FileType::Directory => 2,
+        };
+        buf[pos + 5] = r.name.len() as u8;
+        buf[pos + 6..pos + 6 + r.name.len()].copy_from_slice(r.name.as_bytes());
+        pos += r.encoded_len();
+    }
+    buf
+}
+
+/// Decodes all records in a block.
+pub fn decode_block(buf: &[u8]) -> FsResult<Vec<DirRecord>> {
+    let mut out = Vec::new();
+    let mut pos = 0;
+    while pos + RECORD_HEADER <= BLOCK_SIZE {
+        let ino = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap());
+        let tbyte = buf[pos + 4];
+        let nlen = buf[pos + 5] as usize;
+        if ino == 0 && nlen == 0 {
+            break;
+        }
+        if ino == 0 || pos + RECORD_HEADER + nlen > BLOCK_SIZE {
+            return Err(FsError::Corrupt("ffs dir block: bad record".into()));
+        }
+        let ftype = match tbyte {
+            1 => FileType::Regular,
+            2 => FileType::Directory,
+            t => return Err(FsError::Corrupt(format!("ffs dir block: bad type {t}"))),
+        };
+        let name = String::from_utf8(buf[pos + 6..pos + 6 + nlen].to_vec())
+            .map_err(|_| FsError::Corrupt("ffs dir block: non-UTF-8 name".into()))?;
+        out.push(DirRecord { ino, ftype, name });
+        pos += RECORD_HEADER + nlen;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let recs = vec![
+            DirRecord {
+                ino: 1,
+                ftype: FileType::Directory,
+                name: "subdir".into(),
+            },
+            DirRecord {
+                ino: 2,
+                ftype: FileType::Regular,
+                name: "file.txt".into(),
+            },
+        ];
+        assert_eq!(decode_block(&encode_block(&recs)).unwrap(), recs);
+    }
+
+    #[test]
+    fn empty_block() {
+        assert!(decode_block(&vec![0u8; BLOCK_SIZE]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn overflow_detected_by_fits() {
+        let recs: Vec<DirRecord> = (0..1000)
+            .map(|i| DirRecord {
+                ino: i + 1,
+                ftype: FileType::Regular,
+                name: format!("{i:06}"),
+            })
+            .collect();
+        assert!(!fits(&recs));
+    }
+}

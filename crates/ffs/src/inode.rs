@@ -1,0 +1,199 @@
+//! FFS inodes (fixed locations in per-group inode tables).
+
+use vfs::{FileType, FsError, FsResult, Ino};
+
+use crate::layout::{DiskAddr, INODE_DISK_SIZE, NIL_ADDR, NUM_DIRECT, PTRS_PER_BLOCK};
+
+/// The on-disk inode. Structurally identical to the LFS inode (§3.1:
+/// "the basic structures used by Sprite LFS are identical to those used in
+/// Unix FFS"), but it lives at a *fixed* disk address computed from its
+/// number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Inode {
+    /// Inode number (0 = free slot).
+    pub ino: Ino,
+    /// Regular file or directory.
+    pub ftype: FileType,
+    /// Protection bits.
+    pub mode: u16,
+    /// Directory entries referring to this inode.
+    pub nlink: u32,
+    /// Size in bytes.
+    pub size: u64,
+    /// Modification time.
+    pub mtime: u64,
+    /// Direct block pointers.
+    pub direct: [DiskAddr; NUM_DIRECT],
+    /// Single-indirect block.
+    pub indirect: DiskAddr,
+    /// Double-indirect block.
+    pub dindirect: DiskAddr,
+}
+
+impl Inode {
+    /// A fresh inode.
+    pub fn new(ino: Ino, ftype: FileType, now: u64) -> Inode {
+        Inode {
+            ino,
+            ftype,
+            mode: match ftype {
+                FileType::Regular => 0o644,
+                FileType::Directory => 0o755,
+            },
+            nlink: 1,
+            size: 0,
+            mtime: now,
+            direct: [NIL_ADDR; NUM_DIRECT],
+            indirect: NIL_ADDR,
+            dindirect: NIL_ADDR,
+        }
+    }
+
+    /// Serializes into an inode-table slot.
+    pub fn encode_into(&self, buf: &mut [u8]) {
+        debug_assert_eq!(buf.len(), INODE_DISK_SIZE);
+        buf.fill(0);
+        buf[0..4].copy_from_slice(&self.ino.to_le_bytes());
+        buf[4] = match self.ftype {
+            FileType::Regular => 1,
+            FileType::Directory => 2,
+        };
+        buf[6..8].copy_from_slice(&self.mode.to_le_bytes());
+        buf[8..12].copy_from_slice(&self.nlink.to_le_bytes());
+        buf[16..24].copy_from_slice(&self.size.to_le_bytes());
+        buf[24..32].copy_from_slice(&self.mtime.to_le_bytes());
+        let mut off = 32;
+        for a in self.direct {
+            buf[off..off + 8].copy_from_slice(&a.to_le_bytes());
+            off += 8;
+        }
+        buf[off..off + 8].copy_from_slice(&self.indirect.to_le_bytes());
+        buf[off + 8..off + 16].copy_from_slice(&self.dindirect.to_le_bytes());
+    }
+
+    /// Parses an inode slot; `None` for a free slot.
+    pub fn decode(buf: &[u8]) -> FsResult<Option<Inode>> {
+        debug_assert_eq!(buf.len(), INODE_DISK_SIZE);
+        let ino = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+        if ino == 0 {
+            return Ok(None);
+        }
+        let ftype = match buf[4] {
+            1 => FileType::Regular,
+            2 => FileType::Directory,
+            t => return Err(FsError::Corrupt(format!("ffs inode {ino}: bad type {t}"))),
+        };
+        let mode = u16::from_le_bytes(buf[6..8].try_into().unwrap());
+        let nlink = u32::from_le_bytes(buf[8..12].try_into().unwrap());
+        let size = u64::from_le_bytes(buf[16..24].try_into().unwrap());
+        let mtime = u64::from_le_bytes(buf[24..32].try_into().unwrap());
+        let mut direct = [NIL_ADDR; NUM_DIRECT];
+        let mut off = 32;
+        for d in &mut direct {
+            *d = u64::from_le_bytes(buf[off..off + 8].try_into().unwrap());
+            off += 8;
+        }
+        let indirect = u64::from_le_bytes(buf[off..off + 8].try_into().unwrap());
+        let dindirect = u64::from_le_bytes(buf[off + 8..off + 16].try_into().unwrap());
+        Ok(Some(Inode {
+            ino,
+            ftype,
+            mode,
+            nlink,
+            size,
+            mtime,
+            direct,
+            indirect,
+            dindirect,
+        }))
+    }
+
+    /// VFS metadata view.
+    pub fn metadata(&self) -> vfs::Metadata {
+        vfs::Metadata {
+            ino: self.ino,
+            ftype: self.ftype,
+            size: self.size,
+            nlink: self.nlink,
+            mode: self.mode,
+            mtime: self.mtime,
+            atime: self.mtime,
+            ctime: self.mtime,
+        }
+    }
+}
+
+/// An indirect block of pointers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IndirectBlock {
+    /// The pointer slots.
+    pub ptrs: Box<[DiskAddr; PTRS_PER_BLOCK]>,
+}
+
+impl Default for IndirectBlock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IndirectBlock {
+    /// All-empty indirect block.
+    pub fn new() -> IndirectBlock {
+        IndirectBlock {
+            ptrs: Box::new([NIL_ADDR; PTRS_PER_BLOCK]),
+        }
+    }
+
+    /// Serializes into a block.
+    pub fn encode(&self) -> Box<[u8]> {
+        let mut buf = vec![0u8; blockdev::BLOCK_SIZE].into_boxed_slice();
+        for (i, p) in self.ptrs.iter().enumerate() {
+            buf[i * 8..i * 8 + 8].copy_from_slice(&p.to_le_bytes());
+        }
+        buf
+    }
+
+    /// Parses from a raw block.
+    pub fn decode(buf: &[u8]) -> IndirectBlock {
+        let mut b = IndirectBlock::new();
+        for (i, p) in b.ptrs.iter_mut().enumerate() {
+            *p = u64::from_le_bytes(buf[i * 8..i * 8 + 8].try_into().unwrap());
+        }
+        b
+    }
+
+    /// True if no pointer is set.
+    pub fn is_empty(&self) -> bool {
+        self.ptrs.iter().all(|&p| p == NIL_ADDR)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inode_roundtrip() {
+        let mut i = Inode::new(42, FileType::Regular, 99);
+        i.size = 123456;
+        i.nlink = 3;
+        i.direct[2] = 777;
+        i.indirect = 888;
+        let mut buf = [0u8; INODE_DISK_SIZE];
+        i.encode_into(&mut buf);
+        assert_eq!(Inode::decode(&buf).unwrap().unwrap(), i);
+    }
+
+    #[test]
+    fn free_slot_is_none() {
+        assert!(Inode::decode(&[0u8; INODE_DISK_SIZE]).unwrap().is_none());
+    }
+
+    #[test]
+    fn indirect_roundtrip() {
+        let mut b = IndirectBlock::new();
+        b.ptrs[7] = 7777;
+        assert_eq!(IndirectBlock::decode(&b.encode()), b);
+        assert!(!b.is_empty());
+    }
+}

@@ -1,0 +1,307 @@
+//! Geometry: superblock and cylinder groups.
+//!
+//! Disk layout:
+//!
+//! ```text
+//! block 0                  superblock
+//! then, per cylinder group:
+//!   +0                     inode bitmap
+//!   +1                     block bitmap
+//!   +2 .. +2+itab          inode table
+//!   +2+itab .. cg_blocks   data blocks
+//! ```
+
+use blockdev::BLOCK_SIZE;
+use vfs::{FsError, FsResult};
+
+/// A disk block address.
+pub type DiskAddr = u64;
+
+/// The "no address" sentinel.
+pub const NIL_ADDR: DiskAddr = u64::MAX;
+
+/// Bytes one on-disk inode occupies.
+pub const INODE_DISK_SIZE: usize = 256;
+
+/// Inodes per inode-table block.
+pub const INODES_PER_BLOCK: usize = BLOCK_SIZE / INODE_DISK_SIZE;
+
+/// Direct pointers per inode.
+pub const NUM_DIRECT: usize = 10;
+
+/// Pointers per indirect block.
+pub const PTRS_PER_BLOCK: usize = BLOCK_SIZE / 8;
+
+const MAGIC: u64 = 0x4646_5342_4153_4531; // "FFSBASE1"
+
+/// Configuration for [`crate::Ffs`].
+#[derive(Clone, Copy, Debug)]
+pub struct FfsConfig {
+    /// Blocks per cylinder group.
+    pub cg_blocks: u32,
+    /// Inodes per cylinder group.
+    pub inodes_per_cg: u32,
+    /// Cluster contiguous dirty data into single large writes — the
+    /// "FFS improved" variant (McVoy & Kleiman); without it every data
+    /// block is its own I/O, as in the SunOS the paper measured.
+    pub clustered: bool,
+    /// Write each new file's inode twice, as Unix FFS does "to ease
+    /// recovery from crashes" (Figure 1 caption).
+    pub double_inode_write: bool,
+    /// Flush the write-behind cache after this many dirty bytes.
+    pub flush_threshold_bytes: u64,
+    /// Keep this fraction of data blocks free (FFS reserves 10% so the
+    /// allocator keeps working well; §3.4).
+    pub reserve_fraction: f64,
+}
+
+impl FfsConfig {
+    /// Production-like defaults: 8 MB groups, classic behaviour.
+    pub fn default_config() -> FfsConfig {
+        FfsConfig {
+            cg_blocks: 2048,
+            inodes_per_cg: 1024,
+            clustered: false,
+            double_inode_write: true,
+            flush_threshold_bytes: 1 << 20,
+            reserve_fraction: 0.10,
+        }
+    }
+
+    /// Small groups for tests.
+    pub fn small() -> FfsConfig {
+        FfsConfig {
+            cg_blocks: 256,
+            inodes_per_cg: 128,
+            clustered: false,
+            double_inode_write: true,
+            flush_threshold_bytes: 256 << 10,
+            reserve_fraction: 0.10,
+        }
+    }
+
+    /// The "FFS improved" variant: clustered writes.
+    pub fn improved(mut self) -> FfsConfig {
+        self.clustered = true;
+        self
+    }
+
+    /// Inode-table blocks per group.
+    pub fn itab_blocks(&self) -> u32 {
+        self.inodes_per_cg.div_ceil(INODES_PER_BLOCK as u32)
+    }
+
+    /// Data blocks per group.
+    pub fn data_blocks_per_cg(&self) -> u32 {
+        self.cg_blocks - 2 - self.itab_blocks()
+    }
+}
+
+impl Default for FfsConfig {
+    fn default() -> Self {
+        FfsConfig::default_config()
+    }
+}
+
+/// The on-disk superblock.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Superblock {
+    /// Blocks per cylinder group.
+    pub cg_blocks: u32,
+    /// Number of cylinder groups.
+    pub cg_count: u32,
+    /// Inodes per group.
+    pub inodes_per_cg: u32,
+    /// Device size (sanity check).
+    pub device_blocks: u64,
+}
+
+impl Superblock {
+    /// Computes the geometry, or `None` if the device can't hold one group.
+    pub fn compute(device_blocks: u64, cfg: &FfsConfig) -> Option<Superblock> {
+        let usable = device_blocks.checked_sub(1)?;
+        let cg_count = usable / cfg.cg_blocks as u64;
+        if cg_count == 0 {
+            return None;
+        }
+        Some(Superblock {
+            cg_blocks: cfg.cg_blocks,
+            cg_count: u32::try_from(cg_count).ok()?,
+            inodes_per_cg: cfg.inodes_per_cg,
+            device_blocks,
+        })
+    }
+
+    /// Total inodes.
+    pub fn max_inodes(&self) -> u32 {
+        self.cg_count * self.inodes_per_cg
+    }
+
+    /// First block of cylinder group `cg`.
+    pub fn cg_start(&self, cg: u32) -> DiskAddr {
+        1 + cg as u64 * self.cg_blocks as u64
+    }
+
+    /// Address of the inode bitmap of group `cg`.
+    pub fn inode_bitmap_addr(&self, cg: u32) -> DiskAddr {
+        self.cg_start(cg)
+    }
+
+    /// Address of the block bitmap of group `cg`.
+    pub fn block_bitmap_addr(&self, cg: u32) -> DiskAddr {
+        self.cg_start(cg) + 1
+    }
+
+    /// Address of the inode-table block holding `ino`, plus its slot.
+    pub fn inode_location(&self, ino: vfs::Ino) -> (DiskAddr, usize) {
+        let idx = (ino - 1) as u64;
+        let cg = (idx / self.inodes_per_cg as u64) as u32;
+        let within = idx % self.inodes_per_cg as u64;
+        let blk = self.cg_start(cg) + 2 + within / INODES_PER_BLOCK as u64;
+        (blk, (within % INODES_PER_BLOCK as u64) as usize)
+    }
+
+    /// Cylinder group of an inode.
+    pub fn cg_of_ino(&self, ino: vfs::Ino) -> u32 {
+        ((ino - 1) as u64 / self.inodes_per_cg as u64) as u32
+    }
+
+    /// Cylinder group containing disk address `addr`, if it is a data
+    /// block.
+    pub fn cg_of_addr(&self, addr: DiskAddr) -> Option<u32> {
+        if addr == 0 {
+            return None;
+        }
+        let cg = (addr - 1) / self.cg_blocks as u64;
+        (cg < self.cg_count as u64).then_some(cg as u32)
+    }
+
+    /// First data block of group `cg` given the inode-table size.
+    pub fn data_start(&self, cg: u32, itab_blocks: u32) -> DiskAddr {
+        self.cg_start(cg) + 2 + itab_blocks as u64
+    }
+
+    /// Serializes into one block.
+    pub fn encode(&self) -> [u8; BLOCK_SIZE] {
+        let mut buf = [0u8; BLOCK_SIZE];
+        buf[0..8].copy_from_slice(&MAGIC.to_le_bytes());
+        buf[8..12].copy_from_slice(&self.cg_blocks.to_le_bytes());
+        buf[12..16].copy_from_slice(&self.cg_count.to_le_bytes());
+        buf[16..20].copy_from_slice(&self.inodes_per_cg.to_le_bytes());
+        buf[20..28].copy_from_slice(&self.device_blocks.to_le_bytes());
+        buf
+    }
+
+    /// Parses a superblock.
+    pub fn decode(buf: &[u8; BLOCK_SIZE]) -> FsResult<Superblock> {
+        let magic = u64::from_le_bytes(buf[0..8].try_into().unwrap());
+        if magic != MAGIC {
+            return Err(FsError::Corrupt("ffs superblock: bad magic".into()));
+        }
+        Ok(Superblock {
+            cg_blocks: u32::from_le_bytes(buf[8..12].try_into().unwrap()),
+            cg_count: u32::from_le_bytes(buf[12..16].try_into().unwrap()),
+            inodes_per_cg: u32::from_le_bytes(buf[16..20].try_into().unwrap()),
+            device_blocks: u64::from_le_bytes(buf[20..28].try_into().unwrap()),
+        })
+    }
+}
+
+/// Where a file block's pointer lives (same tree shape as the LFS inode —
+/// both mimic Unix FFS, §3.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockClass {
+    /// `direct[i]`.
+    Direct(usize),
+    /// Slot `i` of the single-indirect block.
+    Indirect1(usize),
+    /// Slot `j` of single-indirect block `i` under the double-indirect.
+    Indirect2(usize, usize),
+}
+
+/// First file block covered by the double-indirect tree.
+pub const IND2_START: u64 = NUM_DIRECT as u64 + PTRS_PER_BLOCK as u64;
+
+/// One past the largest addressable file block.
+pub const MAX_FILE_BLOCKS: u64 = IND2_START + (PTRS_PER_BLOCK * PTRS_PER_BLOCK) as u64;
+
+/// Maximum file size in bytes.
+pub const MAX_FILE_SIZE: u64 = MAX_FILE_BLOCKS * BLOCK_SIZE as u64;
+
+/// Maps a file block number to its pointer location.
+pub fn classify_block(bno: u64) -> Option<BlockClass> {
+    if bno < NUM_DIRECT as u64 {
+        Some(BlockClass::Direct(bno as usize))
+    } else if bno < IND2_START {
+        Some(BlockClass::Indirect1((bno - NUM_DIRECT as u64) as usize))
+    } else if bno < MAX_FILE_BLOCKS {
+        let off = bno - IND2_START;
+        Some(BlockClass::Indirect2(
+            (off / PTRS_PER_BLOCK as u64) as usize,
+            (off % PTRS_PER_BLOCK as u64) as usize,
+        ))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn superblock_roundtrip() {
+        let sb = Superblock::compute(100_000, &FfsConfig::default_config()).unwrap();
+        let buf = sb.encode();
+        assert_eq!(Superblock::decode(&buf).unwrap(), sb);
+    }
+
+    #[test]
+    fn geometry_math() {
+        let cfg = FfsConfig::small();
+        let sb = Superblock::compute(1 + 3 * 256, &cfg).unwrap();
+        assert_eq!(sb.cg_count, 3);
+        assert_eq!(sb.cg_start(0), 1);
+        assert_eq!(sb.cg_start(1), 257);
+        assert_eq!(sb.inode_bitmap_addr(2), 513);
+        assert_eq!(sb.block_bitmap_addr(2), 514);
+    }
+
+    #[test]
+    fn inode_location_roundtrip() {
+        let cfg = FfsConfig::small();
+        let sb = Superblock::compute(1 + 4 * 256, &cfg).unwrap();
+        // Root (ino 1) is slot 0 of the first itab block of cg 0.
+        assert_eq!(sb.inode_location(1), (3, 0));
+        assert_eq!(sb.cg_of_ino(1), 0);
+        // First inode of cg 1.
+        let ino = cfg.inodes_per_cg + 1;
+        let (blk, slot) = sb.inode_location(ino);
+        assert_eq!(blk, sb.cg_start(1) + 2);
+        assert_eq!(slot, 0);
+        assert_eq!(sb.cg_of_ino(ino), 1);
+    }
+
+    #[test]
+    fn too_small_device_rejected() {
+        assert!(Superblock::compute(100, &FfsConfig::default_config()).is_none());
+    }
+
+    #[test]
+    fn classify_matches_lfs_scheme() {
+        assert_eq!(classify_block(0), Some(BlockClass::Direct(0)));
+        assert_eq!(classify_block(10), Some(BlockClass::Indirect1(0)));
+        assert_eq!(
+            classify_block(IND2_START),
+            Some(BlockClass::Indirect2(0, 0))
+        );
+        assert_eq!(classify_block(MAX_FILE_BLOCKS), None);
+    }
+
+    #[test]
+    fn itab_sizing() {
+        let cfg = FfsConfig::small();
+        assert_eq!(cfg.itab_blocks(), 8);
+        assert_eq!(cfg.data_blocks_per_cg(), 256 - 2 - 8);
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! A Unix FFS-style baseline file system.
+//!
+//! This crate reimplements the disk behaviour of the Berkeley Unix fast
+//! file system as the paper describes it (§2.3), to serve as the
+//! comparison baseline for the evaluation:
+//!
+//! - the disk is divided into **cylinder groups**, each with an inode
+//!   bitmap, a block bitmap, a fixed **inode table**, and data blocks;
+//! - allocation policy spreads directories across groups and keeps a
+//!   file's inode, its data, and its directory together ("logical
+//!   locality");
+//! - **metadata is written synchronously**: creating a file costs separate
+//!   small I/Os for the file's inode (written twice, "to ease recovery
+//!   from crashes"), the directory's data, and the directory's inode, each
+//!   typically preceded by a seek;
+//! - file data is written back asynchronously from the cache, one block
+//!   per I/O — or, with [`FfsConfig::clustered`], in contiguous runs,
+//!   modelling the McVoy–Kleiman "FFS improved" variant the paper uses as
+//!   its stronger reference point;
+//! - consistency after a crash requires [`Ffs::fsck`], a full metadata
+//!   scan.
+//!
+//! The public surface is the same [`vfs::FileSystem`] trait the LFS
+//! implements, so every benchmark drives both systems identically.
+
+mod alloc;
+mod dir;
+mod fs;
+mod fsck;
+mod inode;
+mod layout;
+
+pub use fs::Ffs;
+pub use fsck::{fsck, FsckReport};
+pub use layout::FfsConfig;

@@ -1,0 +1,57 @@
+//! The "FFS improved" variant: write clustering must reduce I/O requests
+//! without changing semantics.
+
+use blockdev::{BlockDevice, DiskModel, SimDisk};
+use ffs_baseline::{Ffs, FfsConfig};
+use vfs::FileSystem;
+
+fn run(clustered: bool) -> (blockdev::IoStats, Vec<u8>) {
+    let cfg = if clustered {
+        FfsConfig::small().improved()
+    } else {
+        FfsConfig::small()
+    };
+    let mut fs = Ffs::format(SimDisk::new(4096, DiskModel::wren_iv()), cfg).unwrap();
+    let ino = fs.create("/big").unwrap();
+    let data: Vec<u8> = (0..64 * 1024).map(|i| (i % 251) as u8).collect();
+    let before = fs.device().stats();
+    fs.write(ino, 0, &data).unwrap();
+    fs.sync().unwrap();
+    let delta = fs.device().stats().since(&before);
+    let back = fs.read_to_vec(ino).unwrap();
+    (delta, back)
+}
+
+#[test]
+fn clustering_reduces_write_requests_same_contents() {
+    let (classic, classic_data) = run(false);
+    let (improved, improved_data) = run(true);
+    assert_eq!(classic_data, improved_data);
+    assert!(
+        improved.writes < classic.writes,
+        "clustered {} vs classic {} write requests",
+        improved.writes,
+        classic.writes
+    );
+    // Clustering means fewer positioning events on the simulated disk.
+    assert!(improved.positioning_ns <= classic.positioning_ns);
+}
+
+#[test]
+fn improved_variant_passes_fsck() {
+    let mut fs = Ffs::format(
+        SimDisk::new(4096, DiskModel::wren_iv()),
+        FfsConfig::small().improved(),
+    )
+    .unwrap();
+    fs.mkdir("/d").unwrap();
+    for i in 0..50 {
+        fs.write_file(&format!("/d/f{i}"), &vec![i as u8; 3000])
+            .unwrap();
+    }
+    for i in (0..50).step_by(3) {
+        fs.unlink(&format!("/d/f{i}")).unwrap();
+    }
+    let report = fs.fsck().unwrap();
+    assert!(report.is_clean(), "{:#?}", report.errors);
+}

@@ -1,0 +1,302 @@
+//! End-to-end tests for the FFS baseline.
+
+use blockdev::{BlockDevice, DiskModel, MemDisk, SimDisk};
+use ffs_baseline::{Ffs, FfsConfig};
+use proptest::prelude::*;
+use vfs::{model::ModelFs, FileSystem, FsError};
+
+fn small_fs() -> Ffs<MemDisk> {
+    Ffs::format(MemDisk::new(2048), FfsConfig::small()).unwrap()
+}
+
+fn fsck_clean(fs: &mut Ffs<MemDisk>) {
+    let report = fs.fsck().unwrap();
+    assert!(report.is_clean(), "fsck: {:#?}", report.errors);
+}
+
+#[test]
+fn create_write_read_delete() {
+    let mut fs = small_fs();
+    fs.mkdir("/d").unwrap();
+    let ino = fs.write_file("/d/f", b"hello ffs").unwrap();
+    assert_eq!(fs.read_to_vec(ino).unwrap(), b"hello ffs");
+    fs.unlink("/d/f").unwrap();
+    assert!(fs.lookup("/d/f").is_err());
+    fsck_clean(&mut fs);
+}
+
+#[test]
+fn many_small_files() {
+    let mut fs = small_fs();
+    for i in 0..100 {
+        fs.write_file(&format!("/f{i}"), &vec![i as u8; 1024])
+            .unwrap();
+    }
+    for i in 0..100 {
+        let ino = fs.lookup(&format!("/f{i}")).unwrap();
+        assert_eq!(fs.read_to_vec(ino).unwrap(), vec![i as u8; 1024]);
+    }
+    fsck_clean(&mut fs);
+}
+
+#[test]
+fn large_file_spans_indirect() {
+    let mut fs = Ffs::format(MemDisk::new(8192), FfsConfig::small()).unwrap();
+    let ino = fs.create("/big").unwrap();
+    let nblocks = 560u64;
+    for b in 0..nblocks {
+        fs.write(ino, b * 4096, &vec![(b % 251) as u8; 4096])
+            .unwrap();
+    }
+    fs.sync().unwrap();
+    for b in (0..nblocks).step_by(37) {
+        let mut buf = vec![0u8; 4096];
+        fs.read(ino, b * 4096, &mut buf).unwrap();
+        assert_eq!(buf, vec![(b % 251) as u8; 4096], "block {b}");
+    }
+    fsck_clean(&mut fs);
+}
+
+#[test]
+fn remount_preserves_data() {
+    let mut fs = small_fs();
+    fs.mkdir("/dir").unwrap();
+    let ino = fs.write_file("/dir/file", &[0x77; 10000]).unwrap();
+    fs.sync().unwrap();
+    let dev = fs.into_device();
+    let mut fs2 = Ffs::mount(dev, FfsConfig::small()).unwrap();
+    assert_eq!(fs2.lookup("/dir/file").unwrap(), ino);
+    assert_eq!(fs2.read_to_vec(ino).unwrap(), vec![0x77; 10000]);
+    fsck_clean(&mut fs2);
+}
+
+#[test]
+fn sync_metadata_writes_are_counted() {
+    let mut fs = small_fs();
+    let before = fs.stats().sync_metadata_writes;
+    fs.create("/newfile").unwrap();
+    let per_create = fs.stats().sync_metadata_writes - before;
+    // Two inode writes + directory data + directory inode = at least 4
+    // synchronous metadata I/Os per create (§2.3 / Figure 1).
+    assert!(per_create >= 4, "only {per_create} sync writes per create");
+}
+
+#[test]
+fn data_blocks_allocated_contiguously() {
+    // Sequential writes should allocate mostly-contiguous blocks so
+    // sequential reads are fast (FFS's logical locality).
+    let mut fs = small_fs();
+    let ino = fs.create("/seq").unwrap();
+    fs.write(ino, 0, &vec![1u8; 10 * 4096]).unwrap();
+    fs.sync().unwrap();
+    // Reading the file back on a SimDisk should show few seeks; here we
+    // check allocation directly through read behaviour: byte-identical.
+    assert_eq!(fs.read_to_vec(ino).unwrap(), vec![1u8; 10 * 4096]);
+    fsck_clean(&mut fs);
+}
+
+#[test]
+fn no_space_when_reserve_hit() {
+    let mut fs = Ffs::format(MemDisk::new(600), FfsConfig::small()).unwrap();
+    let mut got_nospace = false;
+    for i in 0..200 {
+        match fs.write_file(&format!("/f{i}"), &vec![0u8; 16384]) {
+            Ok(_) => {}
+            Err(FsError::NoSpace) => {
+                got_nospace = true;
+                break;
+            }
+            Err(e) => panic!("unexpected: {e}"),
+        }
+    }
+    assert!(got_nospace);
+    // The reserve keeps ~10% free.
+    let s = fs.statfs().unwrap();
+    assert!(s.live_bytes as f64 / s.total_bytes as f64 <= 0.95);
+}
+
+#[test]
+fn rename_link_rmdir_semantics() {
+    let mut fs = small_fs();
+    fs.mkdir("/a").unwrap();
+    let ino = fs.write_file("/a/x", b"data").unwrap();
+    fs.link("/a/x", "/y").unwrap();
+    assert_eq!(fs.metadata(ino).unwrap().nlink, 2);
+    fs.rename("/a/x", "/z").unwrap();
+    fs.unlink("/z").unwrap();
+    assert_eq!(fs.metadata(ino).unwrap().nlink, 1);
+    fs.unlink("/y").unwrap();
+    assert!(fs.metadata(ino).is_err());
+    fs.rmdir("/a").unwrap();
+    fsck_clean(&mut fs);
+}
+
+#[test]
+fn works_on_simdisk() {
+    // The benchmarks run FFS over the simulated Wren IV; sanity-check the
+    // pairing and that synchronous creates accrue sync busy time.
+    let mut fs = Ffs::format(SimDisk::new(4096, DiskModel::wren_iv()), FfsConfig::small()).unwrap();
+    let s0 = fs.device().stats();
+    fs.write_file("/f", &[1u8; 1024]).unwrap();
+    let s1 = fs.device().stats().since(&s0);
+    assert!(s1.sync_busy_ns > 0, "create must block on the disk");
+    assert!(s1.seeks > 0);
+}
+
+fn path_for(n: u8) -> String {
+    match n % 10 {
+        0 => "/a".into(),
+        1 => "/b".into(),
+        2 => "/dir1".into(),
+        3 => "/dir2".into(),
+        4 => "/dir1/x".into(),
+        5 => "/dir1/y".into(),
+        6 => "/dir2/x".into(),
+        7 => "/dir2/sub".into(),
+        8 => "/dir2/sub/z".into(),
+        _ => "/c".into(),
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    Create(u8),
+    Mkdir(u8),
+    Write(u8, u16, u16, u8),
+    Truncate(u8, u16),
+    Unlink(u8),
+    Rmdir(u8),
+    Rename(u8, u8),
+    Link(u8, u8),
+    Remount,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        any::<u8>().prop_map(Op::Create),
+        any::<u8>().prop_map(Op::Mkdir),
+        (any::<u8>(), any::<u16>(), 0u16..5000, any::<u8>())
+            .prop_map(|(f, o, l, v)| Op::Write(f, o, l, v)),
+        (any::<u8>(), any::<u16>()).prop_map(|(f, s)| Op::Truncate(f, s)),
+        any::<u8>().prop_map(Op::Unlink),
+        any::<u8>().prop_map(Op::Rmdir),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Rename(a, b)),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Link(a, b)),
+        Just(Op::Remount),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn ffs_matches_model(ops in proptest::collection::vec(op_strategy(), 1..100)) {
+        let fs = Ffs::format(MemDisk::new(4096), FfsConfig::small()).unwrap();
+        let mut model = ModelFs::new();
+        let mut fs_opt = Some(fs);
+        for (step, op) in ops.iter().enumerate() {
+            let fs = fs_opt.as_mut().unwrap();
+            match op {
+                Op::Create(n) => {
+                    let p = path_for(*n);
+                    prop_assert_eq!(fs.create(&p).is_ok(), model.create(&p).is_ok(), "step {} create {}", step, p);
+                }
+                Op::Mkdir(n) => {
+                    let p = path_for(*n);
+                    prop_assert_eq!(fs.mkdir(&p).is_ok(), model.mkdir(&p).is_ok(), "step {} mkdir {}", step, p);
+                }
+                Op::Write(f, o, l, v) => {
+                    let p = path_for(*f);
+                    if let (Ok(a), Ok(b)) = (fs.lookup(&p), model.lookup(&p)) {
+                        let data = vec![*v; *l as usize];
+                        let ra = fs.write(a, *o as u64, &data);
+                        let rb = model.write(b, *o as u64, &data);
+                        prop_assert_eq!(ra.is_ok(), rb.is_ok(), "step {} write {}", step, p);
+                    }
+                }
+                Op::Truncate(f, s) => {
+                    let p = path_for(*f);
+                    if let (Ok(a), Ok(b)) = (fs.lookup(&p), model.lookup(&p)) {
+                        let ra = fs.truncate(a, *s as u64);
+                        let rb = model.truncate(b, *s as u64);
+                        prop_assert_eq!(ra.is_ok(), rb.is_ok(), "step {} truncate {}", step, p);
+                    }
+                }
+                Op::Unlink(n) => {
+                    let p = path_for(*n);
+                    prop_assert_eq!(fs.unlink(&p).is_ok(), model.unlink(&p).is_ok(), "step {} unlink {}", step, p);
+                }
+                Op::Rmdir(n) => {
+                    let p = path_for(*n);
+                    prop_assert_eq!(fs.rmdir(&p).is_ok(), model.rmdir(&p).is_ok(), "step {} rmdir {}", step, p);
+                }
+                Op::Rename(a, b) => {
+                    let from = path_for(*a);
+                    let to = path_for(*b);
+                    if to.starts_with(&format!("{from}/")) || from == to {
+                        continue;
+                    }
+                    prop_assert_eq!(
+                        fs.rename(&from, &to).is_ok(),
+                        model.rename(&from, &to).is_ok(),
+                        "step {} rename {} {}", step, from, to
+                    );
+                }
+                Op::Link(a, b) => {
+                    let ex = path_for(*a);
+                    let nw = path_for(*b);
+                    prop_assert_eq!(
+                        fs.link(&ex, &nw).is_ok(),
+                        model.link(&ex, &nw).is_ok(),
+                        "step {} link {} {}", step, ex, nw
+                    );
+                }
+                Op::Remount => {
+                    let mut f = fs_opt.take().unwrap();
+                    f.sync().unwrap();
+                    fs_opt = Some(Ffs::mount(f.into_device(), FfsConfig::small()).unwrap());
+                }
+            }
+        }
+        // Compare final state.
+        let fs = fs_opt.as_mut().unwrap();
+        compare(fs, &mut model, "/")?;
+        let report = fs.fsck().unwrap();
+        prop_assert!(report.is_clean(), "fsck: {:#?}", report.errors);
+    }
+}
+
+fn compare(fs: &mut Ffs<MemDisk>, model: &mut ModelFs, path: &str) -> Result<(), TestCaseError> {
+    let a = fs.readdir(path).unwrap();
+    let b = model.readdir(path).unwrap();
+    let na: Vec<&str> = a.iter().map(|e| e.name.as_str()).collect();
+    let nb: Vec<&str> = b.iter().map(|e| e.name.as_str()).collect();
+    prop_assert_eq!(na, nb, "dir {} differs", path);
+    for e in &a {
+        let child = if path == "/" {
+            format!("/{}", e.name)
+        } else {
+            format!("{path}/{}", e.name)
+        };
+        match e.ftype {
+            vfs::FileType::Directory => compare(fs, model, &child)?,
+            vfs::FileType::Regular => {
+                let ia = fs.lookup(&child).unwrap();
+                let ib = model.lookup(&child).unwrap();
+                prop_assert_eq!(
+                    fs.read_to_vec(ia).unwrap(),
+                    model.read_to_vec(ib).unwrap(),
+                    "{} contents",
+                    child
+                );
+                prop_assert_eq!(
+                    fs.metadata(ia).unwrap().nlink,
+                    model.metadata(ib).unwrap().nlink,
+                    "{} nlink",
+                    child
+                );
+            }
+        }
+    }
+    Ok(())
+}

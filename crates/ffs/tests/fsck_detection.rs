@@ -1,0 +1,162 @@
+//! `fsck` must detect injected corruption — the paper's point about FFS
+//! recovery is that *everything* rests on this full-disk scan.
+
+use blockdev::{BlockDevice, MemDisk, WriteKind, BLOCK_SIZE};
+use ffs_baseline::{fsck, Ffs, FfsConfig};
+use vfs::FileSystem;
+
+/// Builds a populated, synced FFS image.
+fn image() -> MemDisk {
+    let mut fs = Ffs::format(MemDisk::new(2048), FfsConfig::small()).unwrap();
+    fs.mkdir("/d").unwrap();
+    for i in 0..20 {
+        fs.write_file(&format!("/d/f{i}"), &vec![i as u8; 5000]).unwrap();
+    }
+    fs.link("/d/f0", "/alias").unwrap();
+    fs.sync().unwrap();
+    fs.into_device()
+}
+
+#[test]
+fn clean_image_passes() {
+    let mut dev = image();
+    let report = fsck(&mut dev, &FfsConfig::small()).unwrap();
+    assert!(report.is_clean(), "{:#?}", report.errors);
+    assert_eq!(report.inodes, 22); // root + dir + 20 files.
+}
+
+#[test]
+fn corrupt_inode_bitmap_detected() {
+    let mut dev = image();
+    // Flip a bit in cg 0's inode bitmap (claim a free inode).
+    let mut buf = [0u8; BLOCK_SIZE];
+    dev.read_block(1, &mut buf).unwrap(); // cg0 inode bitmap.
+    buf[5] ^= 0x10;
+    dev.write_block(1, &buf, WriteKind::Sync).unwrap();
+    let report = fsck(&mut dev, &FfsConfig::small()).unwrap();
+    assert!(!report.is_clean());
+    assert!(
+        report.errors.iter().any(|e| e.contains("inode bitmap")),
+        "{:#?}",
+        report.errors
+    );
+}
+
+#[test]
+fn corrupt_block_bitmap_detected() {
+    let mut dev = image();
+    let mut buf = [0u8; BLOCK_SIZE];
+    dev.read_block(2, &mut buf).unwrap(); // cg0 block bitmap.
+    buf[20] ^= 0xff; // Bits 160-167: inside the data-block range.
+    dev.write_block(2, &buf, WriteKind::Sync).unwrap();
+    let report = fsck(&mut dev, &FfsConfig::small()).unwrap();
+    assert!(!report.is_clean());
+    assert!(
+        report.errors.iter().any(|e| e.contains("block bitmap")),
+        "{:#?}",
+        report.errors
+    );
+}
+
+#[test]
+fn zeroed_inode_detected_via_dangling_entry() {
+    let mut dev = image();
+    // Zero an occupied inode-table slot that a directory entry points at
+    // (search all groups: the allocator spreads directories around).
+    let cfg = FfsConfig::small();
+    let mut zeroed = false;
+    'outer: for cg in 0..7u64 {
+        let itab0 = 1 + cg * cfg.cg_blocks as u64 + 2;
+        for tb in 0..cfg.itab_blocks() as u64 {
+            let mut buf = [0u8; BLOCK_SIZE];
+            if dev.read_block(itab0 + tb, &mut buf).is_err() {
+                continue 'outer;
+            }
+            for slot in 0..(BLOCK_SIZE / 256) {
+                let off = slot * 256;
+                let ino = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap());
+                // Skip root (ino 1) — zeroing it changes the failure mode.
+                if ino > 2 {
+                    buf[off..off + 256].fill(0);
+                    dev.write_block(itab0 + tb, &buf, WriteKind::Sync).unwrap();
+                    zeroed = true;
+                    break 'outer;
+                }
+            }
+        }
+    }
+    assert!(zeroed, "no inode slot found to zero");
+    let report = fsck(&mut dev, &FfsConfig::small()).unwrap();
+    assert!(!report.is_clean());
+    assert!(
+        report
+            .errors
+            .iter()
+            .any(|e| e.contains("missing inode") || e.contains("bitmap")),
+        "{:#?}",
+        report.errors
+    );
+}
+
+#[test]
+fn wrong_nlink_detected() {
+    // Corrupt the nlink of the hard-linked file (offset 8..12 in its
+    // inode slot).
+    let mut dev = image();
+    let mut found = false;
+    // Scan every group's inode table for an inode with nlink == 2 (the
+    // allocator may have placed /d in any cylinder group).
+    let cfg = FfsConfig::small();
+    'outer: for cg in 0..7u64 {
+        let itab0 = 1 + cg * cfg.cg_blocks as u64 + 2;
+        for tb in 0..cfg.itab_blocks() as u64 {
+            let mut buf = [0u8; BLOCK_SIZE];
+            if dev.read_block(itab0 + tb, &mut buf).is_err() {
+                continue 'outer;
+            }
+            for slot in 0..(BLOCK_SIZE / 256) {
+                let off = slot * 256;
+                let ino = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap());
+                let nlink = u32::from_le_bytes(buf[off + 8..off + 12].try_into().unwrap());
+                if ino != 0 && nlink == 2 {
+                    buf[off + 8..off + 12].copy_from_slice(&7u32.to_le_bytes());
+                    dev.write_block(itab0 + tb, &buf, WriteKind::Sync).unwrap();
+                    found = true;
+                    break 'outer;
+                }
+            }
+        }
+    }
+    assert!(found, "no hard-linked inode found to corrupt");
+    let report = fsck(&mut dev, &FfsConfig::small()).unwrap();
+    assert!(!report.is_clean());
+    assert!(
+        report.errors.iter().any(|e| e.contains("nlink")),
+        "{:#?}",
+        report.errors
+    );
+}
+
+#[test]
+fn fsck_cost_scales_with_disk_size() {
+    // The §4 point: FFS consistency checking must scan all metadata, so
+    // its cost grows with the disk, not with the damage.
+    let small_scan = {
+        let mut fs = Ffs::format(MemDisk::new(1024), FfsConfig::small()).unwrap();
+        fs.write_file("/one", b"x").unwrap();
+        fs.sync().unwrap();
+        let mut dev = fs.into_device();
+        fsck(&mut dev, &FfsConfig::small()).unwrap().blocks_scanned
+    };
+    let big_scan = {
+        let mut fs = Ffs::format(MemDisk::new(8192), FfsConfig::small()).unwrap();
+        fs.write_file("/one", b"x").unwrap();
+        fs.sync().unwrap();
+        let mut dev = fs.into_device();
+        fsck(&mut dev, &FfsConfig::small()).unwrap().blocks_scanned
+    };
+    assert!(
+        big_scan > 6 * small_scan,
+        "fsck scanned {small_scan} vs {big_scan} blocks"
+    );
+}

@@ -1,0 +1,62 @@
+//! Prints the steady-state cleaning dynamics (write cost, average
+//! cleaned utilization, distribution masses) for the four §3.5
+//! configurations. Useful for exploring the regime calibration discussed
+//! in DESIGN.md.
+
+use cleaner_sim::*;
+
+fn run(label: &str, pattern: AccessPattern, policy: Policy, age_sort: bool) {
+    let cfg = SimConfig {
+        nsegments: 300,
+        blocks_per_segment: 64,
+        disk_utilization: 0.75,
+        pattern,
+        policy,
+        age_sort,
+        clean_target: 4,
+        segs_per_pass: 4,
+        seed: 7,
+    };
+    let mut s = Simulator::new(cfg);
+    // Extra-long manual warmup: several full transits of the cold ladder.
+    for _ in 0..cfg.num_files() as u64 * 60 {
+        s.step();
+    }
+    let r = s.run_until_stable();
+    let h = &r.cleaning_histogram;
+    println!(
+        "{label:28} wc={:.2} cleaned_u={:.2} dist: lo[0-0.3]={:.2} mid[0.3-0.7]={:.2} hi[0.7-1]={:.2}",
+        r.write_cost,
+        r.avg_cleaned_utilization,
+        h.mass_in(0.0, 0.3),
+        h.mass_in(0.3, 0.7),
+        h.mass_in(0.7, 1.01)
+    );
+}
+
+fn main() {
+    run(
+        "uniform greedy",
+        AccessPattern::Uniform,
+        Policy::Greedy,
+        false,
+    );
+    run(
+        "hotcold greedy+agesort",
+        AccessPattern::hot_cold_default(),
+        Policy::Greedy,
+        true,
+    );
+    run(
+        "hotcold greedy no-sort",
+        AccessPattern::hot_cold_default(),
+        Policy::Greedy,
+        false,
+    );
+    run(
+        "hotcold costbenefit+agesort",
+        AccessPattern::hot_cold_default(),
+        Policy::CostBenefit,
+        true,
+    );
+}

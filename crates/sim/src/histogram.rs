@@ -1,0 +1,97 @@
+//! Utilization histograms (Figures 5, 6, and 10).
+
+/// A histogram over segment utilizations in `[0, 1]`.
+///
+/// Accumulates counts and reports each bucket as a *fraction of segments*,
+/// matching the y-axis of the paper's distribution figures.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// A histogram with `nbuckets` equal-width buckets.
+    pub fn new(nbuckets: usize) -> Histogram {
+        Histogram {
+            buckets: vec![0; nbuckets],
+            total: 0,
+        }
+    }
+
+    /// Records one segment utilization.
+    pub fn add(&mut self, u: f64) {
+        let n = self.buckets.len();
+        let idx = ((u * n as f64) as usize).min(n - 1);
+        self.buckets[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Number of samples recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// `(bucket midpoint, fraction of samples)` pairs.
+    pub fn fractions(&self) -> Vec<(f64, f64)> {
+        let n = self.buckets.len() as f64;
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                let mid = (i as f64 + 0.5) / n;
+                let frac = if self.total == 0 {
+                    0.0
+                } else {
+                    c as f64 / self.total as f64
+                };
+                (mid, frac)
+            })
+            .collect()
+    }
+
+    /// Fraction of samples whose utilization fell in `[lo, hi)`.
+    pub fn mass_in(&self, lo: f64, hi: f64) -> f64 {
+        self.fractions()
+            .iter()
+            .filter(|(mid, _)| *mid >= lo && *mid < hi)
+            .map(|(_, f)| f)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_unit_interval() {
+        let mut h = Histogram::new(10);
+        h.add(0.0);
+        h.add(0.05);
+        h.add(0.95);
+        h.add(1.0); // Clamped into the last bucket.
+        let f = h.fractions();
+        assert_eq!(f.len(), 10);
+        assert!((f[0].1 - 0.5).abs() < 1e-12);
+        assert!((f[9].1 - 0.5).abs() < 1e-12);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn mass_in_sums_buckets() {
+        let mut h = Histogram::new(4);
+        for _ in 0..3 {
+            h.add(0.1);
+        }
+        h.add(0.9);
+        assert!((h.mass_in(0.0, 0.5) - 0.75).abs() < 1e-12);
+        assert!((h.mass_in(0.5, 1.01) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = Histogram::new(5);
+        assert!(h.fractions().iter().all(|(_, f)| *f == 0.0));
+    }
+}

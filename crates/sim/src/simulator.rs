@@ -1,0 +1,524 @@
+//! The simulator core.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::histogram::Histogram;
+use crate::{AccessPattern, Policy, SimConfig};
+
+const NO_SEG: u32 = u32::MAX;
+
+/// Where a file's single block currently lives.
+#[derive(Clone, Copy)]
+struct FileLoc {
+    seg: u32,
+    pos: u32,
+}
+
+/// One simulated segment.
+#[derive(Clone)]
+struct Segment {
+    /// Blocks appended, in order: `(file id, write time of the block)`.
+    entries: Vec<(u32, u64)>,
+    live: u32,
+    /// Most recent modified time of any block in the segment (§3.6).
+    youngest: u64,
+    clean: bool,
+}
+
+impl Segment {
+    fn fresh() -> Segment {
+        Segment {
+            entries: Vec::new(),
+            live: 0,
+            youngest: 0,
+            clean: true,
+        }
+    }
+}
+
+/// Result of running the simulator to convergence.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// The stabilised write cost.
+    pub write_cost: f64,
+    /// Utilization distribution of segments available to the cleaner,
+    /// sampled whenever cleaning started (Figures 5 and 6).
+    pub cleaning_histogram: Histogram,
+    /// Utilization distribution of the segments actually *cleaned* —
+    /// bimodal under cost-benefit ("most of the segments cleaned had
+    /// utilizations around 15%", Figure 6 caption).
+    pub cleaned_histogram: Histogram,
+    /// Average utilization of the segments actually cleaned.
+    pub avg_cleaned_utilization: f64,
+    /// Steps executed.
+    pub steps: u64,
+}
+
+/// The Section 3.5 simulator.
+pub struct Simulator {
+    cfg: SimConfig,
+    rng: StdRng,
+    files: Vec<FileLoc>,
+    segs: Vec<Segment>,
+    cur_seg: u32,
+    clock: u64,
+    // Write-cost accounting (current measurement window).
+    new_blocks: u64,
+    cleaner_read_blocks: u64,
+    cleaner_written_blocks: u64,
+    cleaning_histogram: Histogram,
+    cleaned_histogram: Histogram,
+    cleaned_util_sum: f64,
+    cleaned_count: u64,
+}
+
+impl Simulator {
+    /// Builds the simulator and performs the initial sequential layout of
+    /// all files (the "initially all the free space is in a single extent"
+    /// state of §3.2).
+    pub fn new(cfg: SimConfig) -> Simulator {
+        let nfiles = cfg.num_files();
+        assert!(
+            (nfiles as u64) < cfg.nsegments as u64 * cfg.blocks_per_segment as u64,
+            "disk utilization must be below 1.0"
+        );
+        let mut sim = Simulator {
+            rng: StdRng::seed_from_u64(cfg.seed),
+            files: vec![
+                FileLoc {
+                    seg: NO_SEG,
+                    pos: 0
+                };
+                nfiles as usize
+            ],
+            segs: vec![Segment::fresh(); cfg.nsegments as usize],
+            cur_seg: 0,
+            clock: 0,
+            new_blocks: 0,
+            cleaner_read_blocks: 0,
+            cleaner_written_blocks: 0,
+            cleaning_histogram: Histogram::new(50),
+            cleaned_histogram: Histogram::new(50),
+            cleaned_util_sum: 0.0,
+            cleaned_count: 0,
+            cfg,
+        };
+        sim.segs[0].clean = false;
+        for f in 0..nfiles {
+            sim.append_block(f, 0, false);
+        }
+        sim
+    }
+
+    fn pick_file(&mut self) -> u32 {
+        let n = self.files.len() as u32;
+        match self.cfg.pattern {
+            AccessPattern::Uniform => self.rng.gen_range(0..n),
+            AccessPattern::HotCold {
+                hot_fraction,
+                hot_access_fraction,
+            } => {
+                let hot_files = ((n as f64 * hot_fraction) as u32).max(1).min(n);
+                if hot_files == n || self.rng.gen_bool(hot_access_fraction) {
+                    self.rng.gen_range(0..hot_files)
+                } else {
+                    self.rng.gen_range(hot_files..n)
+                }
+            }
+        }
+    }
+
+    /// Appends one block for file `f` to the log, invalidating its old
+    /// copy. `mtime` is the block's modification time carried along by
+    /// the cleaner; new writes use the current clock.
+    fn append_block(&mut self, f: u32, mtime: u64, by_cleaner: bool) {
+        // Advance to a clean segment if the current one is full.
+        if self.segs[self.cur_seg as usize].entries.len() >= self.cfg.blocks_per_segment as usize {
+            let next = self
+                .segs
+                .iter()
+                .position(|s| s.clean)
+                .expect("out of clean segments — cleaner invariant broken");
+            self.cur_seg = next as u32;
+            let seg = &mut self.segs[next];
+            seg.clean = false;
+            seg.entries.clear();
+            seg.live = 0;
+            seg.youngest = 0;
+        }
+        // Invalidate the old copy.
+        let old = self.files[f as usize];
+        if old.seg != NO_SEG {
+            self.segs[old.seg as usize].live -= 1;
+        }
+        let seg = &mut self.segs[self.cur_seg as usize];
+        let pos = seg.entries.len() as u32;
+        seg.entries.push((f, mtime));
+        seg.live += 1;
+        seg.youngest = seg.youngest.max(mtime);
+        self.files[f as usize] = FileLoc {
+            seg: self.cur_seg,
+            pos,
+        };
+        if by_cleaner {
+            self.cleaner_written_blocks += 1;
+        }
+    }
+
+    fn clean_segments_available(&self) -> u32 {
+        self.segs.iter().filter(|s| s.clean).count() as u32
+    }
+
+    /// One simulation step: overwrite one file; clean if out of space.
+    pub fn step(&mut self) {
+        self.clock += 1;
+        // Ensure space exists before writing (the cleaner needs the
+        // segments it fills to already be clean).
+        if self.clean_segments_available() == 0
+            && self.segs[self.cur_seg as usize].entries.len()
+                >= self.cfg.blocks_per_segment as usize
+        {
+            self.run_cleaner();
+        }
+        let f = self.pick_file();
+        let now = self.clock;
+        self.append_block(f, now, false);
+        self.new_blocks += 1;
+    }
+
+    /// Runs the cleaner until enough clean segments exist — "the simulator
+    /// runs until all clean segments are exhausted, then simulates the
+    /// actions of a cleaner until a threshold number of clean segments is
+    /// available again."
+    ///
+    /// The target is capped at what the live data physically allows:
+    /// at high disk utilizations, `clean_target` clean segments may not be
+    /// achievable, and cleaning fully-live segments (`u = 1`) would move
+    /// bytes without reclaiming anything — the cleaner skips those and
+    /// stops when no candidate can make progress.
+    fn run_cleaner(&mut self) {
+        // Snapshot the distribution the cleaner sees (Figures 5/6).
+        for (i, s) in self.segs.iter().enumerate() {
+            if !s.clean && i as u32 != self.cur_seg {
+                self.cleaning_histogram
+                    .add(s.live as f64 / self.cfg.blocks_per_segment as f64);
+            }
+        }
+        let spb = self.cfg.blocks_per_segment;
+        let min_live_segs = (self.files.len() as u32).div_ceil(spb);
+        let max_clean = self
+            .cfg
+            .nsegments
+            .saturating_sub(min_live_segs)
+            .saturating_sub(2);
+        let target = self.cfg.clean_target.min(max_clean).max(1);
+        let mut stalled = 0;
+        while self.clean_segments_available() < target {
+            let before = self.clean_segments_available();
+            let mut ranked: Vec<(f64, u32)> = self
+                .segs
+                .iter()
+                .enumerate()
+                .filter(|&(i, s)| !s.clean && i as u32 != self.cur_seg && s.live < spb)
+                .map(|(i, s)| {
+                    let u = s.live as f64 / self.cfg.blocks_per_segment as f64;
+                    let score = match self.cfg.policy {
+                        Policy::Greedy => 1.0 - u,
+                        Policy::CostBenefit => {
+                            let age = (self.clock.saturating_sub(s.youngest) + 1) as f64;
+                            (1.0 - u) * age / (1.0 + u)
+                        }
+                    };
+                    (score, i as u32)
+                })
+                .collect();
+            if ranked.is_empty() {
+                break; // Only fully-live segments remain.
+            }
+            ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+            let picked: Vec<u32> = ranked
+                .iter()
+                .take(self.cfg.segs_per_pass as usize)
+                .map(|&(_, i)| i)
+                .collect();
+
+            // Gather live blocks of the picked segments.
+            let mut live: Vec<(u32, u64)> = Vec::new();
+            for &si in &picked {
+                let seg = &self.segs[si as usize];
+                let u = seg.live as f64 / self.cfg.blocks_per_segment as f64;
+                self.cleaned_util_sum += u;
+                self.cleaned_histogram.add(u);
+                self.cleaned_count += 1;
+                if seg.live > 0 {
+                    // "If a segment to be cleaned has no live blocks then
+                    // it need not be read at all."
+                    self.cleaner_read_blocks += self.cfg.blocks_per_segment as u64;
+                    let entries = seg.entries.clone();
+                    for (pos, (f, t)) in entries.into_iter().enumerate() {
+                        let loc = self.files[f as usize];
+                        if loc.seg == si && loc.pos == pos as u32 {
+                            live.push((f, t));
+                            // Detach the file from its (about to be
+                            // recycled) source so the re-append below does
+                            // not decrement the zeroed segment.
+                            self.files[f as usize].seg = NO_SEG;
+                        }
+                    }
+                }
+            }
+            if self.cfg.age_sort {
+                // Oldest first, so cold data segregates together.
+                live.sort_by_key(|&(_, t)| t);
+            }
+            // Mark sources clean, then write the live blocks back to the
+            // head of the log.
+            for &si in &picked {
+                let seg = &mut self.segs[si as usize];
+                seg.entries.clear();
+                seg.live = 0;
+                seg.youngest = 0;
+                seg.clean = true;
+            }
+            for (f, t) in live {
+                self.append_block(f, t, true);
+            }
+            // Guard against zero-net oscillation near the packing limit.
+            if self.clean_segments_available() <= before {
+                stalled += 1;
+                if stalled >= 3 {
+                    break;
+                }
+            } else {
+                stalled = 0;
+            }
+        }
+        assert!(
+            self.clean_segments_available() > 0
+                || self.segs[self.cur_seg as usize].entries.len()
+                    < self.cfg.blocks_per_segment as usize,
+            "cleaner could not reclaim any space — disk utilization too high"
+        );
+    }
+
+    /// Write cost accumulated in the current measurement window.
+    fn window_write_cost(&self) -> f64 {
+        if self.new_blocks == 0 {
+            return 1.0;
+        }
+        (self.new_blocks + self.cleaner_read_blocks + self.cleaner_written_blocks) as f64
+            / self.new_blocks as f64
+    }
+
+    fn reset_window(&mut self) {
+        self.new_blocks = 0;
+        self.cleaner_read_blocks = 0;
+        self.cleaner_written_blocks = 0;
+    }
+
+    /// Runs until the write cost stabilises ("in each run the simulator
+    /// was allowed to run until the write cost stabilized and all
+    /// cold-start variance had been removed").
+    pub fn run_until_stable(&mut self) -> SimResult {
+        let n = self.files.len() as u64;
+        let window = (n * 8).max(50_000);
+        // Warm-up must remove *all* cold-start variance (the paper's
+        // phrase): under hot-and-cold access a cold file is overwritten
+        // only once per `0.9 n / 0.1` steps, and the standing population
+        // of slowly-decaying cold segments is exactly what the greedy
+        // pathology of Figure 5 depends on. Run long enough for every
+        // cold file to have been rewritten several times.
+        let warmup = match self.cfg.pattern {
+            AccessPattern::Uniform => n * 20,
+            AccessPattern::HotCold { .. } => n * 60,
+        }
+        .max(100_000);
+        for _ in 0..warmup {
+            self.step();
+        }
+        self.reset_window();
+        // Drop the cold-start histogram too.
+        self.cleaning_histogram = Histogram::new(50);
+        self.cleaned_histogram = Histogram::new(50);
+        self.cleaned_util_sum = 0.0;
+        self.cleaned_count = 0;
+
+        let mut prev = f64::INFINITY;
+        let mut steps = window;
+        for _round in 0..40 {
+            for _ in 0..window {
+                self.step();
+            }
+            steps += window;
+            let wc = self.window_write_cost();
+            if (wc - prev).abs() / wc < 0.01 {
+                prev = wc;
+                break;
+            }
+            prev = wc;
+            self.reset_window();
+        }
+        SimResult {
+            write_cost: prev,
+            cleaning_histogram: self.cleaning_histogram.clone(),
+            cleaned_histogram: self.cleaned_histogram.clone(),
+            avg_cleaned_utilization: if self.cleaned_count == 0 {
+                0.0
+            } else {
+                self.cleaned_util_sum / self.cleaned_count as f64
+            },
+            steps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::write_cost_formula;
+
+    fn quick(cfg: SimConfig) -> SimResult {
+        Simulator::new(cfg).run_until_stable()
+    }
+
+    /// A scaled-down version of the calibrated default regime: the clean
+    /// pool stays small relative to the hot working set (see
+    /// `SimConfig::default_at`).
+    fn small(util: f64) -> SimConfig {
+        SimConfig {
+            nsegments: 150,
+            blocks_per_segment: 32,
+            disk_utilization: util,
+            clean_target: 3,
+            segs_per_pass: 3,
+            ..SimConfig::default_at(util)
+        }
+    }
+
+    #[test]
+    fn low_utilization_write_cost_near_one() {
+        let r = quick(small(0.10));
+        assert!(
+            r.write_cost < 2.0,
+            "write cost {} at 10% utilization",
+            r.write_cost
+        );
+    }
+
+    #[test]
+    fn write_cost_grows_with_utilization() {
+        let lo = quick(small(0.3)).write_cost;
+        let hi = quick(small(0.8)).write_cost;
+        assert!(hi > lo * 1.5, "lo={lo} hi={hi}");
+    }
+
+    #[test]
+    fn greedy_uniform_beats_no_variance_formula() {
+        // "Even with uniform random access patterns, the variance in
+        // segment utilization allows a substantially lower write cost
+        // than would be predicted from the overall disk capacity
+        // utilization and formula (1)."
+        let util = 0.75;
+        let r = quick(small(util));
+        assert!(
+            r.write_cost < write_cost_formula(util),
+            "measured {} vs formula {}",
+            r.write_cost,
+            write_cost_formula(util)
+        );
+        // And the segments cleaned have lower utilization than the disk
+        // average (~0.55 at 75% in the paper).
+        assert!(
+            r.avg_cleaned_utilization < util,
+            "cleaned at u={}",
+            r.avg_cleaned_utilization
+        );
+    }
+
+    #[test]
+    fn hot_cold_greedy_worse_than_uniform_greedy() {
+        // The surprising Figure 4 result: locality + greedy is WORSE.
+        let mut u = small(0.75);
+        u.seed = 7;
+        let uniform = quick(u).write_cost;
+        let mut hc = small(0.75);
+        hc.pattern = AccessPattern::hot_cold_default();
+        hc.age_sort = true;
+        hc.seed = 7;
+        let hotcold = quick(hc).write_cost;
+        assert!(
+            hotcold > uniform,
+            "hot-and-cold {hotcold} should exceed uniform {uniform}"
+        );
+    }
+
+    #[test]
+    fn cost_benefit_beats_greedy_on_hot_cold() {
+        // Figure 7: cost-benefit reduces write cost substantially under
+        // locality.
+        let mut g = small(0.75);
+        g.pattern = AccessPattern::hot_cold_default();
+        g.policy = Policy::Greedy;
+        g.age_sort = true;
+        let greedy = quick(g).write_cost;
+        let mut cb = g;
+        cb.policy = Policy::CostBenefit;
+        let cost_benefit = quick(cb).write_cost;
+        assert!(
+            cost_benefit < greedy,
+            "cost-benefit {cost_benefit} vs greedy {greedy}"
+        );
+    }
+
+    #[test]
+    fn cost_benefit_distribution_is_bimodal() {
+        // Figure 6: cold segments cleaned around high utilization, hot
+        // around low — mass at both ends of the cleaned distribution.
+        let mut cfg = small(0.75);
+        cfg.pattern = AccessPattern::hot_cold_default();
+        cfg.policy = Policy::CostBenefit;
+        cfg.age_sort = true;
+        let r = quick(cfg);
+        let h = &r.cleaned_histogram;
+        assert!(h.total() > 0);
+        let low = h.mass_in(0.0, 0.35);
+        let high = h.mass_in(0.6, 1.01);
+        assert!(
+            low > 0.1 && high > 0.1,
+            "expected bimodal cleaned distribution: low {low}, high {high}"
+        );
+    }
+
+    #[test]
+    fn locality_with_greedy_never_beats_uniform() {
+        // The paper also reports that greedy got "worse and worse as the
+        // locality increased" (§3.5). In our simulator the *direction*
+        // (locality hurts greedy relative to uniform) reproduces, but the
+        // monotonic sharpening does not: a very small hot set decays fully
+        // between cleanings and gets cheap again. EXPERIMENTS.md records
+        // this divergence. Here we pin the part that does hold: both
+        // locality settings stay at or above the uniform cost.
+        let uniform_wc = quick(SimConfig::default_at(0.75)).write_cost;
+        for (hf, ha) in [(0.1, 0.9), (0.05, 0.95)] {
+            let mut cfg = SimConfig::default_at(0.75);
+            cfg.pattern = AccessPattern::HotCold {
+                hot_fraction: hf,
+                hot_access_fraction: ha,
+            };
+            cfg.age_sort = true;
+            let wc = quick(cfg).write_cost;
+            assert!(
+                wc > uniform_wc * 0.9,
+                "hot/cold {hf}/{ha}: {wc} collapsed below uniform {uniform_wc}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = quick(small(0.5)).write_cost;
+        let b = quick(small(0.5)).write_cost;
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,45 @@
+//! `lfsck` — offline consistency check of an LFS disk image.
+//!
+//! Mounts the image (running roll-forward recovery if the log extends
+//! past the last checkpoint) and verifies every cross-structure
+//! invariant: inode map ↔ inodes ↔ block pointers ↔ segment usage table,
+//! plus directory-tree connectivity and link counts.
+//!
+//! Usage: `lfsck <image-path>`
+
+use blockdev::FileDisk;
+use lfs_core::{Lfs, LfsConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() != 2 {
+        eprintln!("usage: lfsck <image-path>");
+        std::process::exit(2);
+    }
+    let path = &args[1];
+    let disk = FileDisk::open(path).unwrap_or_else(|e| {
+        eprintln!("lfsck: cannot open {path}: {e}");
+        std::process::exit(1);
+    });
+    let mut fs = Lfs::mount(disk, LfsConfig::default()).unwrap_or_else(|e| {
+        eprintln!("lfsck: mount failed: {e}");
+        std::process::exit(1);
+    });
+    let report = fs.check().unwrap_or_else(|e| {
+        eprintln!("lfsck: check aborted: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "lfsck: {} files, {} directories, {} data blocks",
+        report.files, report.dirs, report.data_blocks
+    );
+    if report.is_clean() {
+        println!("lfsck: clean");
+    } else {
+        println!("lfsck: {} error(s):", report.errors.len());
+        for e in &report.errors {
+            println!("  {e}");
+        }
+        std::process::exit(1);
+    }
+}

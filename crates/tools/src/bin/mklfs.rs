@@ -1,0 +1,48 @@
+//! `mklfs` — format a disk image file as a log-structured file system.
+//!
+//! Usage: `mklfs <image-path> <size-mb> [--seg-kb 512|1024]`
+
+use blockdev::FileDisk;
+use lfs_core::{Lfs, LfsConfig};
+use vfs::FileSystem;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() < 3 {
+        eprintln!("usage: mklfs <image-path> <size-mb> [--seg-kb 512|1024]");
+        std::process::exit(2);
+    }
+    let path = &args[1];
+    let size_mb: u64 = args[2].parse().unwrap_or_else(|_| {
+        eprintln!("bad size: {}", args[2]);
+        std::process::exit(2);
+    });
+    let mut cfg = LfsConfig::default();
+    if let Some(i) = args.iter().position(|a| a == "--seg-kb") {
+        match args.get(i + 1).map(String::as_str) {
+            Some("512") => cfg = cfg.with_half_megabyte_segments(),
+            Some("1024") => {}
+            other => {
+                eprintln!("bad --seg-kb value: {other:?} (use 512 or 1024)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let disk = FileDisk::create(path, size_mb * 256).unwrap_or_else(|e| {
+        eprintln!("mklfs: cannot create {path}: {e}");
+        std::process::exit(1);
+    });
+    let mut fs = Lfs::format(disk, cfg).unwrap_or_else(|e| {
+        eprintln!("mklfs: format failed: {e}");
+        std::process::exit(1);
+    });
+    fs.sync().unwrap();
+    let sb = fs.superblock();
+    println!(
+        "formatted {path}: {} MB, {} segments of {} KB, {} max inodes",
+        size_mb,
+        sb.nsegments,
+        sb.seg_blocks * 4,
+        sb.max_inodes
+    );
+}

@@ -1,0 +1,104 @@
+//! End-to-end tests of the command-line tools on real image files.
+
+use std::process::Command;
+
+fn tmpdir() -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("lfs-tools-test-{}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+#[test]
+fn mklfs_dump_fsck_pipeline() {
+    let dir = tmpdir();
+    let img = dir.join("disk.img");
+    let img_s = img.to_str().unwrap();
+
+    // mklfs
+    let out = Command::new(env!("CARGO_BIN_EXE_mklfs"))
+        .args([img_s, "16"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "mklfs: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("formatted"), "{stdout}");
+
+    // Populate the image through the library.
+    {
+        use vfs::FileSystem;
+        let disk = blockdev::FileDisk::open(&img).unwrap();
+        let mut fs = lfs_core::Lfs::mount(disk, lfs_core::LfsConfig::default()).unwrap();
+        fs.mkdir("/docs").unwrap();
+        fs.write_file("/docs/readme.txt", b"tool test").unwrap();
+        fs.sync().unwrap();
+    }
+
+    // lfsdump
+    let out = Command::new(env!("CARGO_BIN_EXE_lfsdump"))
+        .args([img_s, "--segments", "--tree"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "lfsdump: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("superblock:"), "{stdout}");
+    assert!(stdout.contains("checkpoint 0:"), "{stdout}");
+    assert!(stdout.contains("readme.txt"), "{stdout}");
+    assert!(stdout.contains("ACTIVE"), "{stdout}");
+
+    // lfsck
+    let out = Command::new(env!("CARGO_BIN_EXE_lfsck"))
+        .arg(img_s)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "lfsck: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("clean"), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn mklfs_512kb_segments() {
+    let dir = tmpdir();
+    let img = dir.join("disk512.img");
+    let out = Command::new(env!("CARGO_BIN_EXE_mklfs"))
+        .args([img.to_str().unwrap(), "8", "--seg-kb", "512"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("512 KB"));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn lfsck_rejects_garbage() {
+    let dir = tmpdir();
+    let img = dir.join("junk.img");
+    std::fs::write(&img, vec![0xa5u8; 64 * 4096]).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_lfsck"))
+        .arg(img.to_str().unwrap())
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn tools_usage_errors() {
+    for bin in [env!("CARGO_BIN_EXE_mklfs"), env!("CARGO_BIN_EXE_lfsck")] {
+        let out = Command::new(bin).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "{bin} without args");
+    }
+}

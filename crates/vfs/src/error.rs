@@ -1,0 +1,90 @@
+//! The shared file-system error type.
+
+use core::fmt;
+
+/// Result alias for file-system operations.
+pub type FsResult<T> = core::result::Result<T, FsError>;
+
+/// Errors shared by all [`crate::FileSystem`] implementations.
+#[derive(Debug)]
+pub enum FsError {
+    /// A path component does not exist.
+    NotFound,
+    /// The target name already exists.
+    AlreadyExists,
+    /// A non-final path component, or the target of a directory operation,
+    /// is not a directory.
+    NotADirectory,
+    /// A file operation was applied to a directory.
+    IsADirectory,
+    /// `rmdir`/`rename` target directory is not empty.
+    DirectoryNotEmpty,
+    /// The device is out of usable space.
+    NoSpace,
+    /// All inodes are in use.
+    NoInodes,
+    /// A path component exceeds [`crate::MAX_NAME_LEN`] bytes.
+    NameTooLong,
+    /// A path is syntactically invalid (empty component, empty path, …).
+    InvalidPath,
+    /// The file would exceed the maximum size addressable by the inode.
+    FileTooLarge,
+    /// An invalid argument (bad inode number, offset, …).
+    InvalidArgument(&'static str),
+    /// On-disk state failed a consistency check; the string says what.
+    Corrupt(String),
+    /// An error from the underlying block device.
+    Device(blockdev_error::BlockErrorString),
+}
+
+/// A tiny indirection so `vfs` does not depend on `blockdev` directly:
+/// device errors are carried as strings. Implementations convert with
+/// [`FsError::device`].
+pub mod blockdev_error {
+    /// Stringified block-device error.
+    #[derive(Debug)]
+    pub struct BlockErrorString(pub String);
+}
+
+impl FsError {
+    /// Wraps a device-layer error.
+    pub fn device<E: fmt::Display>(e: E) -> FsError {
+        FsError::Device(blockdev_error::BlockErrorString(e.to_string()))
+    }
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NotFound => write!(f, "no such file or directory"),
+            FsError::AlreadyExists => write!(f, "file exists"),
+            FsError::NotADirectory => write!(f, "not a directory"),
+            FsError::IsADirectory => write!(f, "is a directory"),
+            FsError::DirectoryNotEmpty => write!(f, "directory not empty"),
+            FsError::NoSpace => write!(f, "no space left on device"),
+            FsError::NoInodes => write!(f, "no free inodes"),
+            FsError::NameTooLong => write!(f, "file name too long"),
+            FsError::InvalidPath => write!(f, "invalid path"),
+            FsError::FileTooLarge => write!(f, "file too large"),
+            FsError::InvalidArgument(s) => write!(f, "invalid argument: {s}"),
+            FsError::Corrupt(s) => write!(f, "file system corrupt: {s}"),
+            FsError::Device(e) => write!(f, "device error: {}", e.0),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(FsError::NotFound.to_string(), "no such file or directory");
+        assert!(FsError::Corrupt("bad magic".into())
+            .to_string()
+            .contains("bad magic"));
+        assert!(FsError::device("boom").to_string().contains("boom"));
+    }
+}

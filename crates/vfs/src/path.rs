@@ -1,0 +1,108 @@
+//! Path parsing shared by all file systems.
+
+use crate::error::{FsError, FsResult};
+use crate::MAX_NAME_LEN;
+
+/// Splits a path into validated components.
+///
+/// Leading and trailing slashes are ignored; empty paths or paths
+/// containing empty components (`a//b`) are rejected. `.` and `..` are
+/// rejected — the workloads never generate them and supporting them would
+/// only complicate the directory code without touching anything the paper
+/// evaluates.
+///
+/// # Examples
+///
+/// ```
+/// let parts = vfs::path::components("/usr/local/bin").unwrap();
+/// assert_eq!(parts, vec!["usr", "local", "bin"]);
+/// assert_eq!(vfs::path::components("/").unwrap(), Vec::<&str>::new());
+/// ```
+pub fn components(path: &str) -> FsResult<Vec<&str>> {
+    let trimmed = path.trim_matches('/');
+    if trimmed.is_empty() {
+        // "/" or "" — the root itself.
+        if path.is_empty() {
+            return Err(FsError::InvalidPath);
+        }
+        return Ok(Vec::new());
+    }
+    let mut out = Vec::new();
+    for part in trimmed.split('/') {
+        if part.is_empty() || part == "." || part == ".." {
+            return Err(FsError::InvalidPath);
+        }
+        if part.len() > MAX_NAME_LEN {
+            return Err(FsError::NameTooLong);
+        }
+        out.push(part);
+    }
+    Ok(out)
+}
+
+/// Splits a path into (parent components, final name).
+///
+/// Fails with [`FsError::InvalidPath`] if the path names the root.
+pub fn split_parent(path: &str) -> FsResult<(Vec<&str>, &str)> {
+    let mut parts = components(path)?;
+    match parts.pop() {
+        Some(name) => Ok((parts, name)),
+        None => Err(FsError::InvalidPath),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_absolute_and_relative_identically() {
+        assert_eq!(components("/a/b").unwrap(), components("a/b").unwrap());
+    }
+
+    #[test]
+    fn root_is_empty_component_list() {
+        assert!(components("/").unwrap().is_empty());
+    }
+
+    #[test]
+    fn empty_path_is_invalid() {
+        assert!(matches!(components(""), Err(FsError::InvalidPath)));
+    }
+
+    #[test]
+    fn double_slash_inside_is_invalid() {
+        assert!(matches!(components("a//b"), Err(FsError::InvalidPath)));
+    }
+
+    #[test]
+    fn dot_components_are_rejected() {
+        assert!(matches!(components("a/./b"), Err(FsError::InvalidPath)));
+        assert!(matches!(components("a/../b"), Err(FsError::InvalidPath)));
+    }
+
+    #[test]
+    fn long_names_are_rejected() {
+        let long = "x".repeat(MAX_NAME_LEN + 1);
+        assert!(matches!(components(&long), Err(FsError::NameTooLong)));
+        let ok = "x".repeat(MAX_NAME_LEN);
+        assert_eq!(components(&ok).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn split_parent_returns_dir_and_name() {
+        let (parent, name) = split_parent("/a/b/c").unwrap();
+        assert_eq!(parent, vec!["a", "b"]);
+        assert_eq!(name, "c");
+    }
+
+    #[test]
+    fn split_parent_of_root_fails() {
+        assert!(split_parent("/").is_err());
+    }
+
+    #[test]
+    fn trailing_slash_is_tolerated() {
+        assert_eq!(components("a/b/").unwrap(), vec!["a", "b"]);
+    }
+}

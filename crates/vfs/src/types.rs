@@ -1,0 +1,113 @@
+//! Common metadata types.
+
+use crate::Ino;
+
+/// The type of a file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FileType {
+    /// A regular file.
+    Regular,
+    /// A directory.
+    Directory,
+}
+
+/// Attributes of a file, as returned by [`crate::FileSystem::metadata`].
+///
+/// This corresponds to the contents of an inode in the paper's Table 1
+/// ("holds protection bits, modify time, etc.").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Metadata {
+    /// Inode number.
+    pub ino: Ino,
+    /// Regular file or directory.
+    pub ftype: FileType,
+    /// Size in bytes.
+    pub size: u64,
+    /// Number of directory entries referring to this inode.
+    pub nlink: u32,
+    /// Protection bits (kept for fidelity; not enforced).
+    pub mode: u16,
+    /// Last modification time (logical nanoseconds).
+    pub mtime: u64,
+    /// Last access time (logical nanoseconds).
+    pub atime: u64,
+    /// Inode change time (logical nanoseconds).
+    pub ctime: u64,
+}
+
+impl Metadata {
+    /// Returns true if this is a directory.
+    pub fn is_dir(&self) -> bool {
+        self.ftype == FileType::Directory
+    }
+}
+
+/// One entry of a directory listing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DirEntry {
+    /// Name of the entry within its directory.
+    pub name: String,
+    /// Inode the entry refers to.
+    pub ino: Ino,
+    /// Type of the file the entry refers to.
+    pub ftype: FileType,
+}
+
+/// File-system-wide statistics, as returned by
+/// [`crate::FileSystem::statfs`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatFs {
+    /// Total data capacity in bytes.
+    pub total_bytes: u64,
+    /// Bytes currently occupied by live data.
+    pub live_bytes: u64,
+    /// Number of live files (excluding the root directory).
+    pub num_files: u64,
+}
+
+impl StatFs {
+    /// Overall disk capacity utilization — the x-axis of Figures 4 and 7.
+    pub fn utilization(&self) -> f64 {
+        if self.total_bytes == 0 {
+            return 0.0;
+        }
+        self.live_bytes as f64 / self.total_bytes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_is_live_over_total() {
+        let s = StatFs {
+            total_bytes: 1000,
+            live_bytes: 250,
+            num_files: 3,
+        };
+        assert!((s.utilization() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_of_empty_statfs_is_zero() {
+        assert_eq!(StatFs::default().utilization(), 0.0);
+    }
+
+    #[test]
+    fn metadata_is_dir() {
+        let mut m = Metadata {
+            ino: 1,
+            ftype: FileType::Directory,
+            size: 0,
+            nlink: 2,
+            mode: 0o755,
+            mtime: 0,
+            atime: 0,
+            ctime: 0,
+        };
+        assert!(m.is_dir());
+        m.ftype = FileType::Regular;
+        assert!(!m.is_dir());
+    }
+}

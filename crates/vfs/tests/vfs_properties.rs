@@ -1,0 +1,61 @@
+//! Property tests for path handling and the model file system.
+
+use proptest::prelude::*;
+use vfs::{model::ModelFs, path, FileSystem};
+
+proptest! {
+    /// Leading/trailing slashes never change the parsed components.
+    #[test]
+    fn slashes_are_normalised(parts in proptest::collection::vec("[a-z]{1,8}", 1..6)) {
+        let plain = parts.join("/");
+        let slashed = format!("/{}/", parts.join("/"));
+        prop_assert_eq!(
+            path::components(&plain).unwrap(),
+            path::components(&slashed).unwrap()
+        );
+    }
+
+    /// split_parent + join is the identity.
+    #[test]
+    fn split_parent_roundtrip(parts in proptest::collection::vec("[a-z]{1,8}", 1..6)) {
+        let p = format!("/{}", parts.join("/"));
+        let (parent, name) = path::split_parent(&p).unwrap();
+        prop_assert_eq!(name, parts.last().unwrap().as_str());
+        prop_assert_eq!(parent.len(), parts.len() - 1);
+    }
+
+    /// Whatever bytes we write at whatever offsets, the model reads back
+    /// exactly the overlay.
+    #[test]
+    fn model_write_read_exact(
+        writes in proptest::collection::vec((0u32..50_000, proptest::collection::vec(any::<u8>(), 1..500)), 1..20)
+    ) {
+        let mut fs = ModelFs::new();
+        let ino = fs.create("/f").unwrap();
+        let mut shadow: Vec<u8> = Vec::new();
+        for (off, data) in &writes {
+            fs.write(ino, *off as u64, data).unwrap();
+            let end = *off as usize + data.len();
+            if shadow.len() < end {
+                shadow.resize(end, 0);
+            }
+            shadow[*off as usize..end].copy_from_slice(data);
+        }
+        prop_assert_eq!(fs.read_to_vec(ino).unwrap(), shadow);
+    }
+
+    /// Creating then deleting any set of names leaves the root empty.
+    #[test]
+    fn create_delete_is_clean(names in proptest::collection::btree_set("[a-z]{1,10}", 1..20)) {
+        let mut fs = ModelFs::new();
+        for n in &names {
+            fs.create(&format!("/{n}")).unwrap();
+        }
+        prop_assert_eq!(fs.readdir("/").unwrap().len(), names.len());
+        for n in &names {
+            fs.unlink(&format!("/{n}")).unwrap();
+        }
+        prop_assert!(fs.readdir("/").unwrap().is_empty());
+        prop_assert_eq!(fs.statfs().unwrap().num_files, 0);
+    }
+}

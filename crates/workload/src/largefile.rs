@@ -1,0 +1,153 @@
+//! The Figure 9 large-file micro-benchmark.
+//!
+//! "A benchmark that creates a 100-Mbyte file with sequential writes, then
+//! reads the file back sequentially, then writes 100 Mbytes randomly to
+//! the existing file, then reads 100 Mbytes randomly from the file, and
+//! finally reads the file sequentially again."
+
+use rand::Rng;
+use vfs::{FileSystem, FsResult, Ino};
+
+/// The five phases of the benchmark, in paper order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LargeFilePhase {
+    /// Sequential write (file creation).
+    SeqWrite,
+    /// Sequential read.
+    SeqRead,
+    /// Random writes totalling the file size.
+    RandWrite,
+    /// Random reads totalling the file size.
+    RandRead,
+    /// Sequential re-read (after the random writes).
+    Reread,
+}
+
+impl LargeFilePhase {
+    /// All phases in order.
+    pub const ALL: [LargeFilePhase; 5] = [
+        LargeFilePhase::SeqWrite,
+        LargeFilePhase::SeqRead,
+        LargeFilePhase::RandWrite,
+        LargeFilePhase::RandRead,
+        LargeFilePhase::Reread,
+    ];
+
+    /// Figure 9's x-axis label.
+    pub fn label(self) -> &'static str {
+        match self {
+            LargeFilePhase::SeqWrite => "Write Sequential",
+            LargeFilePhase::SeqRead => "Read Sequential",
+            LargeFilePhase::RandWrite => "Write Random",
+            LargeFilePhase::RandRead => "Read Random",
+            LargeFilePhase::Reread => "Reread Sequential",
+        }
+    }
+}
+
+/// The large-file benchmark.
+#[derive(Clone, Copy, Debug)]
+pub struct LargeFileBench {
+    /// Total file size (the paper uses 100 MB).
+    pub file_bytes: u64,
+    /// Transfer unit per call.
+    pub io_size: usize,
+    /// PRNG seed for the random phases.
+    pub seed: u64,
+}
+
+impl LargeFileBench {
+    /// The paper's configuration, scaled by `scale` (1.0 = 100 MB).
+    pub fn paper_scaled(scale: f64) -> LargeFileBench {
+        LargeFileBench {
+            file_bytes: ((100u64 << 20) as f64 * scale) as u64,
+            io_size: 8192,
+            seed: 0xf19,
+        }
+    }
+
+    fn nchunks(&self) -> u64 {
+        self.file_bytes / self.io_size as u64
+    }
+
+    /// Creates the file and runs the sequential-write phase, returning the
+    /// inode for the later phases.
+    pub fn setup<F: FileSystem>(&self, fs: &mut F) -> FsResult<Ino> {
+        let ino = fs.create("/bigfile")?;
+        Ok(ino)
+    }
+
+    /// Runs one phase against an already-created file.
+    pub fn run_phase<F: FileSystem>(
+        &self,
+        fs: &mut F,
+        ino: Ino,
+        phase: LargeFilePhase,
+    ) -> FsResult<()> {
+        let mut rng = crate::rng(self.seed ^ phase as u64);
+        let chunk = vec![0x42u8; self.io_size];
+        let mut buf = vec![0u8; self.io_size];
+        let n = self.nchunks();
+        match phase {
+            LargeFilePhase::SeqWrite => {
+                for i in 0..n {
+                    fs.write(ino, i * self.io_size as u64, &chunk)?;
+                }
+                fs.sync()?;
+            }
+            LargeFilePhase::SeqRead | LargeFilePhase::Reread => {
+                for i in 0..n {
+                    fs.read(ino, i * self.io_size as u64, &mut buf)?;
+                }
+            }
+            LargeFilePhase::RandWrite => {
+                for _ in 0..n {
+                    let i = rng.gen_range(0..n);
+                    fs.write(ino, i * self.io_size as u64, &chunk)?;
+                }
+                fs.sync()?;
+            }
+            LargeFilePhase::RandRead => {
+                for _ in 0..n {
+                    let i = rng.gen_range(0..n);
+                    fs.read(ino, i * self.io_size as u64, &mut buf)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vfs::model::ModelFs;
+
+    #[test]
+    fn all_phases_run_on_model() {
+        let b = LargeFileBench {
+            file_bytes: 1 << 20,
+            io_size: 8192,
+            seed: 3,
+        };
+        let mut fs = ModelFs::new();
+        let ino = b.setup(&mut fs).unwrap();
+        for phase in LargeFilePhase::ALL {
+            b.run_phase(&mut fs, ino, phase).unwrap();
+        }
+        assert_eq!(fs.metadata(ino).unwrap().size, 1 << 20);
+    }
+
+    #[test]
+    fn scaling_changes_size_not_unit() {
+        let b = LargeFileBench::paper_scaled(0.1);
+        assert_eq!(b.file_bytes, 10 << 20);
+        assert_eq!(b.io_size, 8192);
+    }
+
+    #[test]
+    fn labels_match_figure_nine() {
+        assert_eq!(LargeFilePhase::SeqWrite.label(), "Write Sequential");
+        assert_eq!(LargeFilePhase::Reread.label(), "Reread Sequential");
+    }
+}

@@ -1,0 +1,435 @@
+//! Synthetic stand-ins for the production partitions of Table 2.
+//!
+//! The paper measured five partitions over four months. We have no Sprite
+//! users, so each partition becomes a parameterised generator that
+//! reproduces the properties §5.2 identifies as the *causes* of the
+//! measured behaviour:
+//!
+//! 1. realistic, right-skewed file sizes around the reported mean — "there
+//!    are a substantial number of longer files, and they tend to be written
+//!    and deleted as a whole", producing whole-segment deadness;
+//! 2. a target overall disk utilization (11–75% across partitions);
+//! 3. strong locality with a very cold tail — "there are large numbers of
+//!    files that are almost never written";
+//! 4. for `/swap2`: large sparse files updated non-sequentially in place,
+//!    with swap-outs arriving as runs of consecutive pages.
+
+use rand::Rng;
+use vfs::{FileSystem, FsError, FsResult, Ino};
+
+use crate::sample_file_size;
+
+/// Parameters describing one production partition.
+#[derive(Clone, Copy, Debug)]
+pub struct PartitionModel {
+    /// Partition name (as in Table 2).
+    pub name: &'static str,
+    /// Mean file size in bytes (Table 2 column "Avg File Size").
+    pub mean_file_size: f64,
+    /// Target overall disk capacity utilization (column "In Use").
+    pub target_utilization: f64,
+    /// Fraction of files that are hot.
+    pub hot_fraction: f64,
+    /// Fraction of write operations that touch the hot group.
+    pub hot_access_fraction: f64,
+    /// Probability that a write rewrites the whole file (vs. a partial
+    /// in-place update). Office files are mostly rewritten whole.
+    pub whole_file_rewrite: f64,
+    /// Swap-style workload: few large sparse files, page-sized in-place
+    /// random writes, no deletes.
+    pub swap_style: bool,
+    /// Fraction of the primed population that is *frozen* — never written
+    /// again. "Cold segments in reality are much colder than the cold
+    /// segments in the simulations. A log-structured file system will
+    /// isolate the very cold files in segments and never clean them"
+    /// (§5.2).
+    pub frozen_fraction: f64,
+    /// Probability that an operation rewrites a contiguous *run* of
+    /// recently-created files (a build regenerating a directory, an editor
+    /// saving a project). Batch deaths are what produce the paper's
+    /// totally-empty segments: files written together die together.
+    pub batch_rewrite: f64,
+}
+
+impl PartitionModel {
+    /// `/user6` — home directories: program development, text processing.
+    pub fn user6() -> PartitionModel {
+        PartitionModel {
+            name: "/user6",
+            mean_file_size: 23.5 * 1024.0,
+            target_utilization: 0.75,
+            hot_fraction: 0.05,
+            hot_access_fraction: 0.90,
+            whole_file_rewrite: 0.9,
+            swap_style: false,
+            frozen_fraction: 0.6,
+            batch_rewrite: 0.10,
+        }
+    }
+
+    /// `/pcs` — research project home directories.
+    pub fn pcs() -> PartitionModel {
+        PartitionModel {
+            name: "/pcs",
+            mean_file_size: 10.5 * 1024.0,
+            target_utilization: 0.63,
+            hot_fraction: 0.05,
+            hot_access_fraction: 0.90,
+            whole_file_rewrite: 0.9,
+            swap_style: false,
+            frozen_fraction: 0.6,
+            batch_rewrite: 0.10,
+        }
+    }
+
+    /// `/src/kernel` — sources and binaries of the Sprite kernel.
+    pub fn src_kernel() -> PartitionModel {
+        PartitionModel {
+            name: "/src/kernel",
+            mean_file_size: 37.5 * 1024.0,
+            target_utilization: 0.72,
+            hot_fraction: 0.03,
+            hot_access_fraction: 0.95,
+            whole_file_rewrite: 0.95,
+            swap_style: false,
+            frozen_fraction: 0.7,
+            batch_rewrite: 0.20,
+        }
+    }
+
+    /// `/tmp` — temporary files: short-lived, low utilization.
+    pub fn tmp() -> PartitionModel {
+        PartitionModel {
+            name: "/tmp",
+            mean_file_size: 28.9 * 1024.0,
+            target_utilization: 0.11,
+            hot_fraction: 0.5,
+            hot_access_fraction: 0.9,
+            whole_file_rewrite: 1.0,
+            swap_style: false,
+            frozen_fraction: 0.0,
+            batch_rewrite: 0.15,
+        }
+    }
+
+    /// `/swap2` — client workstation swap files: "large, sparse, and
+    /// accessed nonsequentially".
+    pub fn swap2() -> PartitionModel {
+        PartitionModel {
+            name: "/swap2",
+            mean_file_size: 68.1 * 1024.0,
+            target_utilization: 0.65,
+            hot_fraction: 0.08,
+            hot_access_fraction: 0.9,
+            whole_file_rewrite: 0.0,
+            swap_style: true,
+            frozen_fraction: 0.0,
+            batch_rewrite: 0.0,
+        }
+    }
+
+    /// All five partitions in Table 2 row order.
+    pub fn all() -> Vec<PartitionModel> {
+        vec![
+            PartitionModel::user6(),
+            PartitionModel::pcs(),
+            PartitionModel::src_kernel(),
+            PartitionModel::tmp(),
+            PartitionModel::swap2(),
+        ]
+    }
+}
+
+struct LiveFile {
+    ino: Ino,
+    path: String,
+    size: u64,
+}
+
+/// Drives a [`PartitionModel`] against a file system.
+pub struct ProductionWorkload {
+    model: PartitionModel,
+    rng: rand::rngs::StdRng,
+    files: Vec<LiveFile>,
+    next_id: u64,
+    /// Bytes of new data written so far.
+    pub bytes_written: u64,
+}
+
+impl ProductionWorkload {
+    /// Creates the workload driver.
+    pub fn new(model: PartitionModel, seed: u64) -> ProductionWorkload {
+        ProductionWorkload {
+            model,
+            rng: crate::rng(seed),
+            files: Vec::new(),
+            next_id: 0,
+            bytes_written: 0,
+        }
+    }
+
+    fn fresh_path(&mut self) -> String {
+        let id = self.next_id;
+        self.next_id += 1;
+        format!("/p{:02}/f{id:07}", id % 32)
+    }
+
+    fn sample_size(&mut self) -> u64 {
+        if self.model.swap_style {
+            // Swap files: a few large backing files (one per diskless
+            // workstation), megabytes each. The configured mean is the
+            // paper's *reported average*, which mixes in small control
+            // files; the mechanics that matter — multi-segment runs dying
+            // together on re-swap — need the large ones.
+            let m = (self.model.mean_file_size * 40.0).max(2.0 * 1024.0 * 1024.0);
+            self.rng.gen_range((m * 0.5) as u64..(m * 1.5) as u64)
+        } else {
+            sample_file_size(&mut self.rng, self.model.mean_file_size)
+        }
+    }
+
+    fn create_one<F: FileSystem>(&mut self, fs: &mut F) -> FsResult<()> {
+        let path = self.fresh_path();
+        let mut size = self.sample_size();
+        // Never try to create a file larger than half the remaining free
+        // space — the fat tail of the distribution would otherwise wedge
+        // small devices.
+        if let Ok(s) = fs.statfs() {
+            let free = s.total_bytes.saturating_sub(s.live_bytes);
+            // Bound files to a small fraction of the free space and of
+            // the device: the paper's partitions never see single files
+            // that are a double-digit percentage of the disk, and a
+            // log-structured file system near capacity legitimately
+            // cannot absorb one.
+            let cap = (free / 4).min(s.total_bytes / 64).max(4096);
+            size = size.clamp(1, cap);
+        }
+        let ino = match fs.create(&path) {
+            Ok(ino) => ino,
+            Err(FsError::NoSpace) => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        let result = (|| -> FsResult<()> {
+            if self.model.swap_style {
+                // Swap files are large and sparse: a written body with a
+                // trailing hole. Bounding the hole keeps later in-place
+                // page rewrites from growing live data past the device.
+                let pages = (size / 4096).max(1);
+                let body = (pages * 3 / 4).max(1);
+                let data = vec![0x5au8; (body * 4096) as usize];
+                fs.write(ino, 0, &data)?;
+                self.bytes_written += body * 4096;
+                fs.truncate(ino, size)?;
+            } else {
+                let data = vec![0x6bu8; size as usize];
+                fs.write(ino, 0, &data)?;
+                self.bytes_written += size;
+            }
+            Ok(())
+        })();
+        match result {
+            Ok(()) => {
+                self.files.push(LiveFile { ino, path, size });
+                Ok(())
+            }
+            Err(FsError::NoSpace) => {
+                // The fat tail of the size distribution can exceed the
+                // remaining space; give the space back and move on — real
+                // applications see ENOSPC and cope too.
+                let _ = fs.truncate(ino, 0);
+                let _ = fs.unlink(&path);
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Fills the file system until the target utilization is reached
+    /// (sparse swap files prime slightly below target: later hole-filling
+    /// writes grow them toward it).
+    pub fn prime<F: FileSystem>(&mut self, fs: &mut F) -> FsResult<()> {
+        for d in 0..32 {
+            fs.mkdir(&format!("/p{d:02}"))?;
+        }
+        let mut stalled = 0;
+        loop {
+            let s = fs.statfs()?;
+            let target = if self.model.swap_style {
+                self.model.target_utilization * 0.85
+            } else {
+                self.model.target_utilization
+            };
+            if s.utilization() >= target {
+                break;
+            }
+            let before = s.live_bytes;
+            self.create_one(fs)?;
+            if fs.statfs()?.live_bytes <= before {
+                stalled += 1;
+                if stalled > 50 {
+                    break; // Target unreachable on this device; run anyway.
+                }
+            } else {
+                stalled = 0;
+            }
+        }
+        fs.sync()?;
+        Ok(())
+    }
+
+    fn pick_file(&mut self) -> usize {
+        let n = self.files.len();
+        // The frozen prefix of the primed population is never touched —
+        // truly cold data the cleaner should isolate and skip.
+        let frozen = ((n as f64 * self.model.frozen_fraction) as usize).min(n.saturating_sub(1));
+        let hot = ((n as f64 * self.model.hot_fraction) as usize)
+            .max(1)
+            .min(n - frozen);
+        if self.rng.gen_bool(self.model.hot_access_fraction) {
+            // The hot group is the most recently created tail.
+            n - 1 - self.rng.gen_range(0..hot)
+        } else {
+            self.rng.gen_range(frozen..n)
+        }
+    }
+
+    /// Executes `n` steady-state operations (writes, whole-file rewrites
+    /// via delete + recreate, swap-page updates), keeping utilization
+    /// near the target.
+    pub fn run_ops<F: FileSystem>(&mut self, fs: &mut F, n: u64) -> FsResult<()> {
+        for _ in 0..n {
+            if self.files.is_empty() {
+                self.create_one(fs)?;
+                continue;
+            }
+            if self.model.swap_style {
+                // Swap traffic arrives as runs of consecutive pages (a
+                // process being swapped out rewrites the same regions of
+                // its backing file over and over). Quantising the run
+                // starts makes repeated swap-outs kill their previous
+                // incarnation wholesale — whole-segment deaths, just like
+                // the paper's 66%-empty /swap2 cleaning.
+                let idx = self.pick_file();
+                let (ino, pages) = {
+                    let f = &self.files[idx];
+                    (f.ino, (f.size / 4096).max(1))
+                };
+                let run = 256u64.min(pages); // 1 MB swap-out granularity.
+                let slots = (pages / run).max(1);
+                let start = self.rng.gen_range(0..slots) * run;
+                let data = vec![0x77u8; (run * 4096) as usize];
+                match fs.write(ino, start * 4096, &data) {
+                    Ok(()) => self.bytes_written += run * 4096,
+                    Err(FsError::NoSpace) => {}
+                    Err(e) => return Err(e),
+                }
+                continue;
+            }
+            if self.model.batch_rewrite > 0.0 && self.rng.gen_bool(self.model.batch_rewrite) {
+                // Rewrite a contiguous run of recent files: they were
+                // created together (and live in the same segments), so
+                // their joint death leaves whole segments empty.
+                let n = self.files.len();
+                let frozen =
+                    ((n as f64 * self.model.frozen_fraction) as usize).min(n.saturating_sub(1));
+                let span = self.rng.gen_range(16..96).min(n - frozen);
+                let hi = n;
+                let lo = hi - span;
+                // Delete the run back-to-front (indices stay valid), then
+                // recreate the same count.
+                for i in (lo..hi).rev() {
+                    let f = self.files.swap_remove(i);
+                    match fs.unlink(&f.path) {
+                        Ok(()) | Err(FsError::NotFound) => {}
+                        Err(e) => return Err(e),
+                    }
+                }
+                for _ in 0..span {
+                    self.create_one(fs)?;
+                }
+                continue;
+            }
+            let whole = self.rng.gen_bool(self.model.whole_file_rewrite);
+            let idx = self.pick_file();
+            if whole {
+                // Files "tend to be written and deleted as a whole":
+                // delete the old file and create a fresh one.
+                let f = self.files.swap_remove(idx);
+                match fs.unlink(&f.path) {
+                    Ok(()) => {}
+                    Err(FsError::NotFound) => {}
+                    Err(e) => return Err(e),
+                }
+                self.create_one(fs)?;
+            } else {
+                let f = &self.files[idx];
+                let off = self.rng.gen_range(0..f.size.max(1));
+                let len = 4096.min(f.size as usize).max(1);
+                match fs.write(f.ino, off, &vec![0x33u8; len]) {
+                    Ok(()) => self.bytes_written += len as u64,
+                    Err(FsError::NoSpace) => {}
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of live files.
+    pub fn live_files(&self) -> usize {
+        self.files.len()
+    }
+
+    /// The model being driven.
+    pub fn model(&self) -> &PartitionModel {
+        &self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vfs::model::ModelFs;
+
+    #[test]
+    fn all_partitions_present_in_order() {
+        let names: Vec<&str> = PartitionModel::all().iter().map(|m| m.name).collect();
+        assert_eq!(
+            names,
+            vec!["/user6", "/pcs", "/src/kernel", "/tmp", "/swap2"]
+        );
+    }
+
+    #[test]
+    fn workload_runs_on_model_fs() {
+        // ModelFs has unbounded capacity, so prime() would never finish;
+        // run the op mix directly.
+        let mut fs = ModelFs::new();
+        for d in 0..32 {
+            fs.mkdir(&format!("/p{d:02}")).unwrap();
+        }
+        let mut w = ProductionWorkload::new(PartitionModel::user6(), 11);
+        for _ in 0..20 {
+            w.create_one(&mut fs).unwrap();
+        }
+        w.run_ops(&mut fs, 200).unwrap();
+        assert!(w.bytes_written > 0);
+        assert!(w.live_files() > 0);
+    }
+
+    #[test]
+    fn swap_workload_is_sparse_and_stable() {
+        let mut fs = ModelFs::new();
+        for d in 0..32 {
+            fs.mkdir(&format!("/p{d:02}")).unwrap();
+        }
+        let mut w = ProductionWorkload::new(PartitionModel::swap2(), 5);
+        for _ in 0..5 {
+            w.create_one(&mut fs).unwrap();
+        }
+        let files_before = w.live_files();
+        w.run_ops(&mut fs, 100).unwrap();
+        // Swap files are updated in place, never created/deleted.
+        assert_eq!(w.live_files(), files_before);
+    }
+}

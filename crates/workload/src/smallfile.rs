@@ -1,0 +1,107 @@
+//! The Figure 8 small-file micro-benchmark.
+//!
+//! "A benchmark that created 10000 one-kilobyte files, then read them back
+//! in the same order as created, then deleted them." The three phases are
+//! exposed separately so the harness can snapshot simulated-disk
+//! statistics between them.
+
+use vfs::{FileSystem, FsResult};
+
+/// The create / read / delete small-file benchmark.
+#[derive(Clone, Copy, Debug)]
+pub struct SmallFileBench {
+    /// Number of files (the paper uses 10000).
+    pub nfiles: u32,
+    /// Bytes per file (the paper uses 1 KB).
+    pub file_size: usize,
+    /// Files per directory; the benchmark spreads files over
+    /// `nfiles / files_per_dir` directories as the Sprite benchmark did.
+    pub files_per_dir: u32,
+}
+
+impl SmallFileBench {
+    /// The paper's configuration: 10000 × 1 KB.
+    pub fn paper() -> SmallFileBench {
+        SmallFileBench {
+            nfiles: 10_000,
+            file_size: 1024,
+            files_per_dir: 100,
+        }
+    }
+
+    /// A scaled-down variant for tests.
+    pub fn tiny() -> SmallFileBench {
+        SmallFileBench {
+            nfiles: 100,
+            file_size: 1024,
+            files_per_dir: 10,
+        }
+    }
+
+    fn dir_of(&self, i: u32) -> u32 {
+        i / self.files_per_dir
+    }
+
+    fn path_of(&self, i: u32) -> String {
+        format!("/d{:04}/f{:06}", self.dir_of(i), i)
+    }
+
+    /// Phase 1: create all files (directories included).
+    pub fn create_phase<F: FileSystem>(&self, fs: &mut F) -> FsResult<()> {
+        let data = vec![0xabu8; self.file_size];
+        let ndirs = self.nfiles.div_ceil(self.files_per_dir);
+        for d in 0..ndirs {
+            fs.mkdir(&format!("/d{d:04}"))?;
+        }
+        for i in 0..self.nfiles {
+            fs.write_file(&self.path_of(i), &data)?;
+        }
+        fs.sync()?;
+        Ok(())
+    }
+
+    /// Phase 2: read every file back, in creation order.
+    pub fn read_phase<F: FileSystem>(&self, fs: &mut F) -> FsResult<()> {
+        let mut buf = vec![0u8; self.file_size];
+        for i in 0..self.nfiles {
+            let ino = fs.lookup(&self.path_of(i))?;
+            let n = fs.read(ino, 0, &mut buf)?;
+            debug_assert_eq!(n, self.file_size);
+        }
+        Ok(())
+    }
+
+    /// Phase 3: delete every file.
+    pub fn delete_phase<F: FileSystem>(&self, fs: &mut F) -> FsResult<()> {
+        for i in 0..self.nfiles {
+            fs.unlink(&self.path_of(i))?;
+        }
+        fs.sync()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vfs::model::ModelFs;
+
+    #[test]
+    fn all_phases_run_on_model() {
+        let b = SmallFileBench::tiny();
+        let mut fs = ModelFs::new();
+        b.create_phase(&mut fs).unwrap();
+        assert_eq!(fs.statfs().unwrap().num_files as u32, b.nfiles + 10);
+        b.read_phase(&mut fs).unwrap();
+        b.delete_phase(&mut fs).unwrap();
+        // Only the directories remain.
+        assert_eq!(fs.statfs().unwrap().num_files as u32, 10);
+    }
+
+    #[test]
+    fn paper_configuration() {
+        let b = SmallFileBench::paper();
+        assert_eq!(b.nfiles, 10_000);
+        assert_eq!(b.file_size, 1024);
+    }
+}

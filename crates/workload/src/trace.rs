@@ -1,0 +1,374 @@
+//! Operation traces: record a workload once, replay it anywhere.
+//!
+//! The paper's workload characterisation rests on trace-driven analysis
+//! (§2.2 cites the BSD trace study). This module provides the plumbing:
+//! a [`TraceOp`] is one file-system operation in a serialisable form; a
+//! [`Tracer`] wraps any [`FileSystem`] and records everything driven
+//! through it; [`replay`] applies a trace to any other file system.
+//!
+//! Two uses in this repository:
+//!
+//! - reproducibility: a benchmark's exact operation stream can be saved
+//!   (JSONL) and re-applied to both file systems or to a future version;
+//! - the `nvram_journal` example: §2.1 notes that "for applications that
+//!   require better crash recovery, non-volatile RAM may be used for the
+//!   write buffer". An operation journal in stable memory is the
+//!   software shape of that idea — after a crash, recovery replays the
+//!   journal tail over the recovered file system, eliminating the
+//!   lost-seconds window.
+
+use serde::{Deserialize, Serialize};
+use vfs::{FileSystem, FsResult, Ino};
+
+/// One recorded operation.
+///
+/// Paths are recorded instead of inode numbers so a trace is meaningful
+/// on a file system with different inode allocation.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceOp {
+    /// `create(path)`.
+    Create {
+        /// Path of the new file.
+        path: String,
+    },
+    /// `mkdir(path)`.
+    Mkdir {
+        /// Path of the new directory.
+        path: String,
+    },
+    /// `write(lookup(path), offset, data)`. Data is stored as a fill
+    /// byte + length when it is a constant run, else raw bytes.
+    Write {
+        /// File path.
+        path: String,
+        /// Byte offset.
+        offset: u64,
+        /// Literal data (empty when `fill` is used).
+        #[serde(default, skip_serializing_if = "Vec::is_empty")]
+        data: Vec<u8>,
+        /// Constant-fill representation: `(byte, length)`.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        fill: Option<(u8, u64)>,
+    },
+    /// `truncate(lookup(path), size)`.
+    Truncate {
+        /// File path.
+        path: String,
+        /// New size.
+        size: u64,
+    },
+    /// `unlink(path)`.
+    Unlink {
+        /// Path to remove.
+        path: String,
+    },
+    /// `rmdir(path)`.
+    Rmdir {
+        /// Directory to remove.
+        path: String,
+    },
+    /// `rename(from, to)`.
+    Rename {
+        /// Source path.
+        from: String,
+        /// Destination path.
+        to: String,
+    },
+    /// `link(existing, new)`.
+    Link {
+        /// Existing file.
+        existing: String,
+        /// New hard link.
+        new: String,
+    },
+    /// `sync()`.
+    Sync,
+}
+
+impl TraceOp {
+    /// Applies this operation to `fs`. Errors from the underlying file
+    /// system propagate (a trace replayed on a too-small disk can
+    /// legitimately fail with `NoSpace`).
+    pub fn apply<F: FileSystem>(&self, fs: &mut F) -> FsResult<()> {
+        match self {
+            TraceOp::Create { path } => fs.create(path).map(|_| ()),
+            TraceOp::Mkdir { path } => fs.mkdir(path).map(|_| ()),
+            TraceOp::Write {
+                path,
+                offset,
+                data,
+                fill,
+            } => {
+                let ino = fs.lookup(path)?;
+                match fill {
+                    Some((byte, len)) => fs.write(ino, *offset, &vec![*byte; *len as usize]),
+                    None => fs.write(ino, *offset, data),
+                }
+            }
+            TraceOp::Truncate { path, size } => {
+                let ino = fs.lookup(path)?;
+                fs.truncate(ino, *size)
+            }
+            TraceOp::Unlink { path } => fs.unlink(path),
+            TraceOp::Rmdir { path } => fs.rmdir(path),
+            TraceOp::Rename { from, to } => fs.rename(from, to),
+            TraceOp::Link { existing, new } => fs.link(existing, new),
+            TraceOp::Sync => fs.sync(),
+        }
+    }
+
+    /// Serialises to one JSON line.
+    pub fn to_jsonl(&self) -> String {
+        serde_json::to_string(self).expect("trace op serialises")
+    }
+
+    /// Parses one JSON line.
+    pub fn from_jsonl(line: &str) -> Option<TraceOp> {
+        serde_json::from_str(line).ok()
+    }
+}
+
+/// Compresses constant-fill data into the compact representation.
+fn compress(data: &[u8]) -> (Vec<u8>, Option<(u8, u64)>) {
+    match data.first() {
+        Some(&b) if data.iter().all(|&x| x == b) => (Vec::new(), Some((b, data.len() as u64))),
+        _ => (data.to_vec(), None),
+    }
+}
+
+/// A recording wrapper: drives an inner file system and remembers every
+/// mutation as a [`TraceOp`]. Reads are not recorded (they don't change
+/// state); inode-based calls are translated back to paths via an internal
+/// reverse map maintained from the recorded operations.
+pub struct Tracer<F: FileSystem> {
+    inner: F,
+    ops: Vec<TraceOp>,
+    paths: std::collections::HashMap<Ino, String>,
+}
+
+impl<F: FileSystem> Tracer<F> {
+    /// Wraps `fs` with recording.
+    pub fn new(fs: F) -> Tracer<F> {
+        Tracer {
+            inner: fs,
+            ops: Vec::new(),
+            paths: std::collections::HashMap::new(),
+        }
+    }
+
+    /// The recorded operations so far.
+    pub fn ops(&self) -> &[TraceOp] {
+        &self.ops
+    }
+
+    /// Consumes the tracer, returning the inner file system and the trace.
+    pub fn into_parts(self) -> (F, Vec<TraceOp>) {
+        (self.inner, self.ops)
+    }
+
+    /// Operations recorded since index `from` (the journal tail).
+    pub fn tail(&self, from: usize) -> &[TraceOp] {
+        &self.ops[from..]
+    }
+
+    fn path_of(&self, ino: Ino) -> FsResult<String> {
+        self.paths
+            .get(&ino)
+            .cloned()
+            .ok_or(vfs::FsError::InvalidArgument(
+                "inode was not opened through this tracer",
+            ))
+    }
+}
+
+impl<F: FileSystem> FileSystem for Tracer<F> {
+    fn create(&mut self, path: &str) -> FsResult<Ino> {
+        let ino = self.inner.create(path)?;
+        self.paths.insert(ino, path.to_string());
+        self.ops.push(TraceOp::Create { path: path.into() });
+        Ok(ino)
+    }
+
+    fn mkdir(&mut self, path: &str) -> FsResult<Ino> {
+        let ino = self.inner.mkdir(path)?;
+        self.paths.insert(ino, path.to_string());
+        self.ops.push(TraceOp::Mkdir { path: path.into() });
+        Ok(ino)
+    }
+
+    fn lookup(&mut self, path: &str) -> FsResult<Ino> {
+        let ino = self.inner.lookup(path)?;
+        self.paths.insert(ino, path.to_string());
+        Ok(ino)
+    }
+
+    fn write(&mut self, ino: Ino, offset: u64, data: &[u8]) -> FsResult<()> {
+        self.inner.write(ino, offset, data)?;
+        let path = self.path_of(ino)?;
+        let (raw, fill) = compress(data);
+        self.ops.push(TraceOp::Write {
+            path,
+            offset,
+            data: raw,
+            fill,
+        });
+        Ok(())
+    }
+
+    fn read(&mut self, ino: Ino, offset: u64, buf: &mut [u8]) -> FsResult<usize> {
+        self.inner.read(ino, offset, buf)
+    }
+
+    fn truncate(&mut self, ino: Ino, size: u64) -> FsResult<()> {
+        self.inner.truncate(ino, size)?;
+        let path = self.path_of(ino)?;
+        self.ops.push(TraceOp::Truncate { path, size });
+        Ok(())
+    }
+
+    fn unlink(&mut self, path: &str) -> FsResult<()> {
+        self.inner.unlink(path)?;
+        self.ops.push(TraceOp::Unlink { path: path.into() });
+        Ok(())
+    }
+
+    fn rmdir(&mut self, path: &str) -> FsResult<()> {
+        self.inner.rmdir(path)?;
+        self.ops.push(TraceOp::Rmdir { path: path.into() });
+        Ok(())
+    }
+
+    fn rename(&mut self, from: &str, to: &str) -> FsResult<()> {
+        self.inner.rename(from, to)?;
+        // Keep the reverse map coherent for later inode-based writes.
+        let moved: Vec<Ino> = self
+            .paths
+            .iter()
+            .filter(|(_, p)| p.as_str() == from)
+            .map(|(&i, _)| i)
+            .collect();
+        for ino in moved {
+            self.paths.insert(ino, to.to_string());
+        }
+        self.ops.push(TraceOp::Rename {
+            from: from.into(),
+            to: to.into(),
+        });
+        Ok(())
+    }
+
+    fn link(&mut self, existing: &str, new: &str) -> FsResult<()> {
+        self.inner.link(existing, new)?;
+        self.ops.push(TraceOp::Link {
+            existing: existing.into(),
+            new: new.into(),
+        });
+        Ok(())
+    }
+
+    fn metadata(&mut self, ino: Ino) -> FsResult<vfs::Metadata> {
+        self.inner.metadata(ino)
+    }
+
+    fn readdir(&mut self, path: &str) -> FsResult<Vec<vfs::DirEntry>> {
+        self.inner.readdir(path)
+    }
+
+    fn sync(&mut self) -> FsResult<()> {
+        self.inner.sync()?;
+        self.ops.push(TraceOp::Sync);
+        Ok(())
+    }
+
+    fn statfs(&mut self) -> FsResult<vfs::StatFs> {
+        self.inner.statfs()
+    }
+}
+
+/// Replays a trace onto `fs`, stopping at the first error.
+pub fn replay<F: FileSystem>(fs: &mut F, ops: &[TraceOp]) -> FsResult<usize> {
+    for (i, op) in ops.iter().enumerate() {
+        op.apply(fs).map_err(|e| {
+            // Keep the index visible for debugging failed replays.
+            let _ = i;
+            e
+        })?;
+    }
+    Ok(ops.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vfs::model::ModelFs;
+
+    fn sample_trace() -> (Vec<TraceOp>, Vec<(String, Vec<u8>)>) {
+        let mut t = Tracer::new(ModelFs::new());
+        t.mkdir("/d").unwrap();
+        let a = t.create("/d/a").unwrap();
+        t.write(a, 0, &[7u8; 500]).unwrap();
+        t.write(a, 250, b"mixed-content!").unwrap();
+        let b = t.create("/b").unwrap();
+        t.write(b, 10, &[3u8; 100]).unwrap();
+        t.truncate(b, 50).unwrap();
+        t.rename("/d/a", "/d/z").unwrap();
+        t.link("/d/z", "/zz").unwrap();
+        t.unlink("/b").unwrap();
+        t.sync().unwrap();
+        // A post-rename inode-based write must resolve to the new path.
+        let z = t.lookup("/d/z").unwrap();
+        t.write(z, 0, b"after-rename").unwrap();
+
+        let (mut fs, ops) = t.into_parts();
+        let mut state = Vec::new();
+        for p in ["/d/z", "/zz"] {
+            let ino = fs.lookup(p).unwrap();
+            state.push((p.to_string(), fs.read_to_vec(ino).unwrap()));
+        }
+        (ops, state)
+    }
+
+    #[test]
+    fn replay_reproduces_state_exactly() {
+        let (ops, expected) = sample_trace();
+        let mut fresh = ModelFs::new();
+        replay(&mut fresh, &ops).unwrap();
+        for (path, data) in &expected {
+            let ino = fresh.lookup(path).unwrap();
+            assert_eq!(&fresh.read_to_vec(ino).unwrap(), data, "{path}");
+        }
+        assert!(fresh.lookup("/b").is_err());
+    }
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let (ops, _) = sample_trace();
+        let lines: Vec<String> = ops.iter().map(TraceOp::to_jsonl).collect();
+        let back: Vec<TraceOp> = lines
+            .iter()
+            .map(|l| TraceOp::from_jsonl(l).unwrap())
+            .collect();
+        assert_eq!(back, ops);
+    }
+
+    #[test]
+    fn constant_fills_are_compressed() {
+        let mut t = Tracer::new(ModelFs::new());
+        let f = t.create("/f").unwrap();
+        t.write(f, 0, &[9u8; 10_000]).unwrap();
+        let (_, ops) = t.into_parts();
+        let line = ops.last().unwrap().to_jsonl();
+        assert!(line.len() < 200, "fill not compressed: {} bytes", line.len());
+    }
+
+    #[test]
+    fn tail_is_the_journal_since_a_sync() {
+        let mut t = Tracer::new(ModelFs::new());
+        t.create("/a").unwrap();
+        t.sync().unwrap();
+        let mark = t.ops().len();
+        t.create("/b").unwrap();
+        t.create("/c").unwrap();
+        assert_eq!(t.tail(mark).len(), 2);
+    }
+}

@@ -1,0 +1,106 @@
+//! Background cleaning: §3.4's first policy question — *when* should the
+//! cleaner execute?
+//!
+//! Sprite LFS cleans on demand when clean segments run low; the paper
+//! speculates that "in practice it may be possible to perform much of the
+//! cleaning at night or during other idle periods". This example runs a
+//! writer thread and a low-priority cleaner thread against one file
+//! system: the writer signals idle moments over a channel, and the
+//! cleaner opportunistically runs passes then — so that on-demand
+//! cleaning (which stalls the writer) almost never triggers.
+//!
+//! ```sh
+//! cargo run --release --example background_cleaner
+//! ```
+
+use std::sync::Arc;
+use std::thread;
+
+use blockdev::MemDisk;
+use crossbeam::channel;
+use lfs_core::{Lfs, LfsConfig};
+use parking_lot::Mutex;
+use vfs::FileSystem;
+
+fn main() {
+    let mut cfg = LfsConfig::small();
+    // Lower the on-demand trigger so demand cleaning is a last resort;
+    // the background thread keeps the pool topped up well above it.
+    cfg.clean_low_water = 4;
+    cfg.clean_high_water = 8;
+    let fs = Arc::new(Mutex::new(
+        Lfs::format(MemDisk::new(2048), cfg).expect("format"),
+    ));
+
+    let (idle_tx, idle_rx) = channel::bounded::<()>(1);
+    let (done_tx, done_rx) = channel::bounded::<()>(0);
+
+    // --- Cleaner thread: runs a pass whenever the writer reports idle ---
+    let cleaner_fs = Arc::clone(&fs);
+    let cleaner = thread::spawn(move || {
+        let mut background_passes = 0u32;
+        loop {
+            channel::select! {
+                recv(idle_rx) -> msg => {
+                    if msg.is_err() {
+                        break;
+                    }
+                    let mut fs = cleaner_fs.lock();
+                    if fs.clean_segment_count() < 16 {
+                        if let Ok(n) = fs.clean_pass() {
+                            if n > 0 {
+                                background_passes += 1;
+                            }
+                        }
+                    }
+                }
+                recv(done_rx) -> _ => break,
+            }
+        }
+        background_passes
+    });
+
+    // --- Writer thread (this one): bursts of churn with idle gaps -------
+    {
+        let mut hot_round = 0u32;
+        for burst in 0..30 {
+            {
+                let mut fs = fs.lock();
+                for _ in 0..10 {
+                    let path = format!("/burst{burst}/f{hot_round}");
+                    if hot_round % 10 == 0 {
+                        let _ = fs.mkdir(&format!("/burst{burst}"));
+                    }
+                    let _ = fs.write_file(&path, &vec![hot_round as u8; 24 * 1024]);
+                    // Delete the previous burst's files: segment-sized
+                    // deadness for the cleaner to harvest.
+                    if burst > 0 && hot_round % 2 == 0 {
+                        let _ = fs.unlink(&format!("/burst{}/f{}", burst - 1, hot_round - 10));
+                    }
+                    hot_round += 1;
+                }
+            } // Lock released: the burst is over.
+            let _ = idle_tx.try_send(()); // Signal an idle window.
+            thread::yield_now();
+        }
+    }
+    drop(idle_tx);
+    let _ = done_tx.send(());
+    let background_passes = cleaner.join().expect("cleaner thread");
+
+    let mut fs = fs.lock();
+    fs.sync().expect("sync");
+    let stats = fs.stats();
+    println!(
+        "writer finished: {} segments cleaned total, {} background passes,",
+        stats.cleaner.segments_cleaned, background_passes
+    );
+    println!(
+        "write cost {:.2}, {} clean segments in reserve",
+        stats.write_cost(),
+        fs.clean_segment_count()
+    );
+    let report = fs.check().expect("fsck");
+    assert!(report.is_clean(), "fsck: {:#?}", report.errors);
+    println!("file system consistent after concurrent cleaning — done.");
+}

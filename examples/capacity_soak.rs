@@ -1,0 +1,48 @@
+//! Debug/soak harness for cleaner behaviour near capacity.
+//!
+//! Runs the /user6 production model at 75% utilization and reports how the
+//! cleaner copes. See DESIGN.md ("known limitations") for the tiny-segment
+//! caveat this exercised during development.
+
+#![allow(clippy::field_reassign_with_default)]
+
+use blockdev::{DiskModel, SimDisk};
+use lfs_core::{Lfs, LfsConfig};
+use vfs::FileSystem;
+
+fn main() {
+    let disk = SimDisk::new(64 * 256, DiskModel::wren_iv()); // 64 MB
+    let mut cfg = LfsConfig::default();
+    cfg.seg_blocks = 128; // 512 KB segments
+    cfg.flush_threshold_bytes = 127 * 4096;
+    cfg.max_inodes = 8192;
+    cfg.clean_low_water = 6;
+    cfg.clean_high_water = 12;
+    cfg.segs_per_clean = 8;
+    let mut fs = Lfs::format(disk, cfg).unwrap();
+    let mut w = workload::ProductionWorkload::new(workload::PartitionModel::user6(), 42);
+    w.prime(&mut fs).unwrap();
+    eprintln!(
+        "primed: util {:.3} files {}",
+        fs.statfs().unwrap().utilization(),
+        w.live_files()
+    );
+    let t0 = std::time::Instant::now();
+    match w.run_ops(&mut fs, 3000) {
+        Ok(()) => eprintln!(
+            "ops done in {:.1}s: wc {:.2} cleaned {} ({:.0}% empty)",
+            t0.elapsed().as_secs_f64(),
+            fs.stats().write_cost(),
+            fs.stats().cleaner.segments_cleaned,
+            fs.stats().cleaner.empty_fraction() * 100.0
+        ),
+        Err(e) => eprintln!(
+            "run_ops failed: {e}; util {:.3} clean {}",
+            fs.statfs().unwrap().utilization(),
+            fs.clean_segment_count()
+        ),
+    }
+    fs.sync().unwrap();
+    let rep = fs.check().unwrap();
+    eprintln!("fsck clean: {}", rep.is_clean());
+}

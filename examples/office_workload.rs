@@ -1,0 +1,105 @@
+//! The paper's motivating scenario: an office/engineering workload
+//! dominated by small files (§2.2), run against BOTH file systems on
+//! identical simulated disks, with a side-by-side report of how they
+//! use the disk.
+//!
+//! ```sh
+//! cargo run --release --example office_workload
+//! ```
+
+use blockdev::{BlockDevice, DiskModel, IoStats, SimDisk};
+use ffs_baseline::{Ffs, FfsConfig};
+use lfs_core::{Lfs, LfsConfig};
+use vfs::FileSystem;
+use workload::{rng, sample_file_size};
+
+use rand::Rng;
+
+/// Runs an office-style session: create many small files across
+/// directories, edit some of them, delete others.
+fn office_session<F: FileSystem>(fs: &mut F) -> u64 {
+    let mut r = rng(2026);
+    let mut bytes = 0u64;
+    for d in 0..20 {
+        fs.mkdir(&format!("/proj{d:02}")).unwrap();
+    }
+    let mut files: Vec<(String, u64)> = Vec::new();
+    // Create 600 small files (mean ~16 KB, heavily right-skewed).
+    for i in 0..600 {
+        let size = sample_file_size(&mut r, 16.0 * 1024.0);
+        let path = format!("/proj{:02}/file{i:04}", i % 20);
+        let data = vec![(i % 251) as u8; size as usize];
+        fs.write_file(&path, &data).unwrap();
+        bytes += size;
+        files.push((path, size));
+    }
+    // Edit a third of them (whole-file rewrite — the common office save).
+    for i in (0..files.len()).step_by(3) {
+        let (path, _) = &files[i];
+        let size = sample_file_size(&mut r, 16.0 * 1024.0);
+        let ino = fs.lookup(path).unwrap();
+        fs.truncate(ino, 0).unwrap();
+        fs.write(ino, 0, &vec![0xe0u8; size as usize]).unwrap();
+        bytes += size;
+    }
+    // Delete a quarter.
+    for i in (0..files.len()).step_by(4) {
+        let _ = fs.unlink(&files[i].0);
+    }
+    // And a burst of temporary files.
+    for i in 0..100 {
+        let path = format!("/proj00/tmp{i}");
+        let size = r.gen_range(512..4096);
+        fs.write_file(&path, &vec![1u8; size]).unwrap();
+        bytes += size as u64;
+        fs.unlink(&path).unwrap();
+    }
+    fs.sync().unwrap();
+    bytes
+}
+
+fn report(name: &str, d: IoStats, new_bytes: u64) {
+    let busy_s = d.busy_ns as f64 / 1e9;
+    println!("{name}:");
+    println!("  new data written:    {:>8} KB", new_bytes / 1024);
+    println!(
+        "  disk writes:         {:>8} requests, {} KB",
+        d.writes,
+        d.bytes_written / 1024
+    );
+    println!("  seeks:               {:>8}", d.seeks);
+    println!("  disk busy:           {busy_s:>8.2} s (simulated)");
+    println!(
+        "  bandwidth used for new data: {:.0}%",
+        new_bytes as f64 / (busy_s * 1_300_000.0) * 100.0
+    );
+}
+
+fn main() {
+    println!("Office/engineering small-file workload on a simulated Wren IV disk\n");
+
+    let mut lfs = Lfs::format(
+        SimDisk::new(64 * 256, DiskModel::wren_iv()),
+        LfsConfig::default(),
+    )
+    .unwrap();
+    let before = lfs.device().stats();
+    let bytes = office_session(&mut lfs);
+    report("Sprite LFS", lfs.device().stats().since(&before), bytes);
+
+    println!();
+
+    let mut ffs = Ffs::format(
+        SimDisk::new(64 * 256, DiskModel::wren_iv()),
+        FfsConfig::default(),
+    )
+    .unwrap();
+    let before = ffs.device().stats();
+    let bytes = office_session(&mut ffs);
+    report("Unix FFS", ffs.device().stats().since(&before), bytes);
+
+    println!(
+        "\nThe paper's claim (§1): an order-of-magnitude difference in how much\n\
+         of the disk's raw bandwidth goes to new data (LFS 65-75% vs FFS 5-10%)."
+    );
+}

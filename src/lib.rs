@@ -1,0 +1,20 @@
+//! Umbrella crate for the LFS reproduction workspace.
+//!
+//! This crate re-exports the workspace members so that the examples under
+//! `examples/` and the integration tests under `tests/` can exercise the
+//! whole system through a single dependency. The real functionality lives
+//! in the member crates:
+//!
+//! - [`blockdev`] — block-device substrate (simulated disk, crash injection).
+//! - [`vfs`] — the file-system trait both implementations share.
+//! - [`lfs_core`] — Sprite LFS, the paper's contribution.
+//! - [`ffs_baseline`] — the Unix FFS comparison baseline.
+//! - [`cleaner_sim`] — the Section 3.5 cleaning-policy simulator.
+//! - [`workload`] — workload generators for the evaluation.
+
+pub use blockdev;
+pub use cleaner_sim;
+pub use ffs_baseline;
+pub use lfs_core;
+pub use vfs;
+pub use workload;

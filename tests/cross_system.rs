@@ -1,0 +1,284 @@
+//! Cross-crate integration tests: the same workloads driven against
+//! Sprite LFS, the FFS baseline, and the in-memory model through the
+//! shared `vfs::FileSystem` trait, plus checks that the *systems-level*
+//! claims of the paper hold on the simulated disk.
+
+#![allow(clippy::field_reassign_with_default)]
+
+use blockdev::{BlockDevice, DiskModel, SimDisk};
+use ffs_baseline::{Ffs, FfsConfig};
+use lfs_core::{Lfs, LfsConfig};
+use vfs::{model::ModelFs, FileSystem};
+use workload::{LargeFileBench, LargeFilePhase, SmallFileBench};
+
+fn sim_disk_mb(mb: u64) -> SimDisk {
+    SimDisk::new(mb * 256, DiskModel::wren_iv())
+}
+
+/// Runs a fixed mixed workload and returns a digest of the final state.
+fn mixed_workload<F: FileSystem>(fs: &mut F) -> Vec<(String, Vec<u8>)> {
+    fs.mkdir("/docs").unwrap();
+    fs.mkdir("/src").unwrap();
+    for i in 0..40 {
+        fs.write_file(
+            &format!("/docs/d{i:02}"),
+            &vec![i as u8; 700 + i as usize * 37],
+        )
+        .unwrap();
+    }
+    for i in 0..40 {
+        fs.write_file(&format!("/src/s{i:02}"), &vec![(40 + i) as u8; 3000])
+            .unwrap();
+    }
+    // Edits.
+    for i in (0..40).step_by(3) {
+        let ino = fs.lookup(&format!("/src/s{i:02}")).unwrap();
+        fs.write(ino, 1500, &[0xaa; 2000]).unwrap();
+    }
+    // Deletes and renames.
+    for i in (0..40).step_by(4) {
+        fs.unlink(&format!("/docs/d{i:02}")).unwrap();
+    }
+    fs.rename("/src/s01", "/docs/moved").unwrap();
+    fs.link("/src/s02", "/docs/linked").unwrap();
+    let ino = fs.lookup("/src/s03").unwrap();
+    fs.truncate(ino, 123).unwrap();
+    fs.sync().unwrap();
+
+    // Digest: every reachable file path and its contents.
+    let mut out = Vec::new();
+    let mut stack = vec!["/".to_string()];
+    while let Some(dir) = stack.pop() {
+        for e in fs.readdir(&dir).unwrap() {
+            let child = if dir == "/" {
+                format!("/{}", e.name)
+            } else {
+                format!("{dir}/{}", e.name)
+            };
+            match e.ftype {
+                vfs::FileType::Directory => stack.push(child),
+                vfs::FileType::Regular => {
+                    let ino = fs.lookup(&child).unwrap();
+                    out.push((child, fs.read_to_vec(ino).unwrap()));
+                }
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+#[test]
+fn all_three_systems_agree_on_mixed_workload() {
+    let mut lfs = Lfs::format(sim_disk_mb(16), LfsConfig::small()).unwrap();
+    let mut ffs = Ffs::format(sim_disk_mb(16), FfsConfig::small()).unwrap();
+    let mut model = ModelFs::new();
+    let a = mixed_workload(&mut lfs);
+    let b = mixed_workload(&mut ffs);
+    let c = mixed_workload(&mut model);
+    assert_eq!(a, c, "LFS disagrees with the model");
+    assert_eq!(b, c, "FFS disagrees with the model");
+    // And both real systems are internally consistent.
+    assert!(lfs.check().unwrap().is_clean());
+    assert!(ffs.fsck().unwrap().is_clean());
+}
+
+#[test]
+fn lfs_uses_radically_fewer_seeks_for_small_files() {
+    // The systems-level core of Figure 8: creating many small files is a
+    // few large sequential writes on LFS and many seek-separated
+    // synchronous writes on FFS.
+    let bench = SmallFileBench {
+        nfiles: 200,
+        file_size: 1024,
+        files_per_dir: 20,
+    };
+    let mut lfs = Lfs::format(sim_disk_mb(32), LfsConfig::default()).unwrap();
+    let before = lfs.device().stats();
+    bench.create_phase(&mut lfs).unwrap();
+    let lfs_d = lfs.device().stats().since(&before);
+
+    let mut ffs = Ffs::format(sim_disk_mb(32), FfsConfig::default()).unwrap();
+    let before = ffs.device().stats();
+    bench.create_phase(&mut ffs).unwrap();
+    let ffs_d = ffs.device().stats().since(&before);
+
+    assert!(
+        ffs_d.writes > 4 * lfs_d.writes,
+        "FFS {} writes vs LFS {}",
+        ffs_d.writes,
+        lfs_d.writes
+    );
+    assert!(
+        ffs_d.sync_busy_ns > 10 * lfs_d.sync_busy_ns.max(1),
+        "FFS sync time {} vs LFS {}",
+        ffs_d.sync_busy_ns,
+        lfs_d.sync_busy_ns
+    );
+    // And the simulated elapsed disk time is an order of magnitude apart.
+    assert!(
+        ffs_d.busy_ns > 3 * lfs_d.busy_ns,
+        "FFS busy {} vs LFS busy {}",
+        ffs_d.busy_ns,
+        lfs_d.busy_ns
+    );
+}
+
+#[test]
+fn lfs_wins_random_writes_loses_seq_reread_after_them() {
+    // The Figure 9 asymmetry on the simulated disk.
+    let bench = LargeFileBench {
+        file_bytes: 4 << 20,
+        io_size: 8192,
+        seed: 99,
+    };
+    // LFS: random writes become sequential log writes.
+    let mut lfs = Lfs::format(sim_disk_mb(32), LfsConfig::default()).unwrap();
+    let ino = bench.setup(&mut lfs).unwrap();
+    bench
+        .run_phase(&mut lfs, ino, LargeFilePhase::SeqWrite)
+        .unwrap();
+    let s0 = lfs.device().stats();
+    bench
+        .run_phase(&mut lfs, ino, LargeFilePhase::RandWrite)
+        .unwrap();
+    let lfs_rand_write = lfs.device().stats().since(&s0);
+    lfs.drop_caches();
+    let s1 = lfs.device().stats();
+    bench
+        .run_phase(&mut lfs, ino, LargeFilePhase::Reread)
+        .unwrap();
+    let lfs_reread = lfs.device().stats().since(&s1);
+
+    let mut ffs = Ffs::format(sim_disk_mb(32), FfsConfig::default()).unwrap();
+    let ino = bench.setup(&mut ffs).unwrap();
+    bench
+        .run_phase(&mut ffs, ino, LargeFilePhase::SeqWrite)
+        .unwrap();
+    let f0 = ffs.device().stats();
+    bench
+        .run_phase(&mut ffs, ino, LargeFilePhase::RandWrite)
+        .unwrap();
+    let ffs_rand_write = ffs.device().stats().since(&f0);
+    ffs.drop_caches();
+    let f1 = ffs.device().stats();
+    bench
+        .run_phase(&mut ffs, ino, LargeFilePhase::Reread)
+        .unwrap();
+    let ffs_reread = ffs.device().stats().since(&f1);
+
+    // LFS random writes are much cheaper in disk time.
+    assert!(
+        lfs_rand_write.busy_ns * 2 < ffs_rand_write.busy_ns,
+        "rand write: LFS {} vs FFS {}",
+        lfs_rand_write.busy_ns,
+        ffs_rand_write.busy_ns
+    );
+    // FFS rereads sequentially what LFS must seek for.
+    assert!(
+        ffs_reread.busy_ns < lfs_reread.busy_ns,
+        "reread: FFS {} vs LFS {}",
+        ffs_reread.busy_ns,
+        lfs_reread.busy_ns
+    );
+}
+
+#[test]
+fn lfs_recovery_reads_less_than_ffs_fsck_scans() {
+    // §4: FFS must scan all metadata (cost grows with disk size); LFS
+    // reads the checkpoint regions and the log tail (roughly constant).
+    let mut lfs = Lfs::format(sim_disk_mb(128), LfsConfig::default()).unwrap();
+    for i in 0..100 {
+        lfs.write_file(&format!("/f{i}"), &[1u8; 2048]).unwrap();
+    }
+    lfs.sync().unwrap();
+    let image = lfs.into_device();
+    let mut fresh = SimDisk::from_image(image.image().to_vec(), DiskModel::wren_iv());
+    let _ = &mut fresh;
+    let before = fresh.stats();
+    let _remounted = Lfs::mount(fresh, LfsConfig::default()).unwrap();
+    let lfs_recovery_reads = {
+        let d = _remounted.device().stats().since(&before);
+        d.bytes_read
+    };
+
+    let mut ffs = Ffs::format(sim_disk_mb(128), FfsConfig::default()).unwrap();
+    for i in 0..100 {
+        ffs.write_file(&format!("/f{i}"), &[1u8; 2048]).unwrap();
+    }
+    ffs.sync().unwrap();
+    let before = ffs.device().stats();
+    let report = ffs.fsck().unwrap();
+    assert!(report.is_clean());
+    let ffs_fsck_reads = ffs.device().stats().since(&before).bytes_read;
+
+    assert!(
+        lfs_recovery_reads * 3 < ffs_fsck_reads,
+        "LFS recovery read {lfs_recovery_reads} bytes, FFS fsck {ffs_fsck_reads}"
+    );
+}
+
+#[test]
+fn long_term_write_cost_stays_low_under_office_churn() {
+    // Table 2's qualitative claim on the real file system: whole-file
+    // rewrite/delete locality keeps the write cost far below the
+    // simulator's hot-and-cold predictions.
+    let mut cfg = LfsConfig::default();
+    cfg.seg_blocks = 128; // 512 KB segments, proportionate to a 64 MB disk.
+    cfg.flush_threshold_bytes = 127 * 4096;
+    cfg.max_inodes = 8192;
+    cfg.clean_low_water = 6;
+    cfg.clean_high_water = 12;
+    cfg.segs_per_clean = 8;
+    let mut fs = Lfs::format(sim_disk_mb(64), cfg).unwrap();
+    let mut w = workload::ProductionWorkload::new(workload::PartitionModel::user6(), 42);
+    w.prime(&mut fs).unwrap();
+    w.run_ops(&mut fs, 3_000).unwrap();
+    fs.sync().unwrap();
+    let stats = fs.stats();
+    assert!(
+        stats.cleaner.segments_cleaned > 0,
+        "workload never triggered cleaning"
+    );
+    let wc = stats.write_cost();
+    assert!(wc < 4.0, "write cost {wc} unexpectedly high");
+    assert!(fs.check().unwrap().is_clean());
+}
+
+#[test]
+fn lfs_advantage_holds_on_modern_disk_parameters() {
+    // The paper's conclusions weren't an artifact of 1991 hardware — the
+    // seek/transfer imbalance only widened. Repeat the small-file create
+    // comparison on a modern-HDD model (7200 RPM, 150 MB/s, 8 ms seeks).
+    let bench = SmallFileBench {
+        nfiles: 200,
+        file_size: 1024,
+        files_per_dir: 20,
+    };
+    let mut lfs = Lfs::format(
+        SimDisk::new(32 * 256, DiskModel::modern_hdd()),
+        LfsConfig::default(),
+    )
+    .unwrap();
+    let before = lfs.device().stats();
+    bench.create_phase(&mut lfs).unwrap();
+    let lfs_d = lfs.device().stats().since(&before);
+
+    let mut ffs = Ffs::format(
+        SimDisk::new(32 * 256, DiskModel::modern_hdd()),
+        FfsConfig::default(),
+    )
+    .unwrap();
+    let before = ffs.device().stats();
+    bench.create_phase(&mut ffs).unwrap();
+    let ffs_d = ffs.device().stats().since(&before);
+
+    // The gap is LARGER on the modern disk: transfers got ~100x faster,
+    // positioning only ~2x, so seek-bound FFS falls further behind.
+    assert!(
+        ffs_d.busy_ns > 10 * lfs_d.busy_ns,
+        "modern disk: FFS busy {} vs LFS {}",
+        ffs_d.busy_ns,
+        lfs_d.busy_ns
+    );
+}
