@@ -1,0 +1,39 @@
+//! Steps/sec of the §3.5 cleaning-policy simulator.
+//!
+//! Benchmarks the simulator's steady state (past the initial sequential
+//! layout, with the cleaner running periodically) at two disk sizes: the
+//! unit-test scale (150 segments) and a larger disk (1000 segments) where
+//! any per-step full-disk scan dominates.
+
+use cleaner_sim::{AccessPattern, Policy, SimConfig, Simulator};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn cfg_at(nsegments: u32) -> SimConfig {
+    let mut cfg = SimConfig::default_at(0.75);
+    cfg.nsegments = nsegments;
+    cfg.pattern = AccessPattern::hot_cold_default();
+    cfg.policy = Policy::CostBenefit;
+    cfg.age_sort = true;
+    cfg
+}
+
+fn bench_sim_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_step");
+    for &nseg in &[150u32, 1000] {
+        // Warm past cold start so the measured steps exercise the
+        // steady-state mix of appends and cleaning passes.
+        let mut sim = Simulator::new(cfg_at(nseg));
+        for _ in 0..50_000 {
+            sim.step();
+        }
+        g.bench_function(format!("nsegments_{nseg}"), |b| b.iter(|| sim.step()));
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_sim_step
+}
+criterion_main!(benches);

@@ -8,7 +8,7 @@
 //!   greedy cleaning *worse*.
 
 use cleaner_sim::{
-    write_cost_formula, AccessPattern, Policy, SimConfig, Simulator, FFS_IMPROVED_WRITE_COST,
+    sweep, write_cost_formula, AccessPattern, Policy, SimConfig, FFS_IMPROVED_WRITE_COST,
     FFS_TODAY_WRITE_COST,
 };
 use lfs_bench::{append_jsonl, smoke_mode, Table};
@@ -49,9 +49,16 @@ fn main() {
         "FFS today",
         "FFS improved",
     ]);
-    for &u in &utils {
-        let uniform = Simulator::new(config(u, false, smoke)).run_until_stable();
-        let hotcold = Simulator::new(config(u, true, smoke)).run_until_stable();
+    // Two independent points per utilization; the sweep runs them all
+    // across threads and hands results back in input order.
+    let points: Vec<SimConfig> = utils
+        .iter()
+        .flat_map(|&u| [config(u, false, smoke), config(u, true, smoke)])
+        .collect();
+    let results = sweep::run(&points);
+    for (i, &u) in utils.iter().enumerate() {
+        let uniform = &results[2 * i];
+        let hotcold = &results[2 * i + 1];
         table.row(vec![
             format!("{u:.2}"),
             format!("{:.2}", write_cost_formula(u)),

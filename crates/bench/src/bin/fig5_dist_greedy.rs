@@ -6,7 +6,7 @@
 //! With locality ("hot-and-cold") the distribution skews toward the
 //! cleaning point: cold segments linger just above it.
 
-use cleaner_sim::{AccessPattern, Policy, SimConfig, Simulator};
+use cleaner_sim::{sweep, AccessPattern, Policy, SimConfig};
 use lfs_bench::{append_jsonl, smoke_mode, Table};
 
 fn main() {
@@ -26,13 +26,15 @@ fn main() {
 
     let mut uniform_cfg = base;
     uniform_cfg.policy = Policy::Greedy;
-    let uniform = Simulator::new(uniform_cfg).run_until_stable();
 
     let mut hc_cfg = base;
     hc_cfg.policy = Policy::Greedy;
     hc_cfg.pattern = AccessPattern::hot_cold_default();
     hc_cfg.age_sort = true;
-    let hotcold = Simulator::new(hc_cfg).run_until_stable();
+
+    // Both curves are independent points; run them through the sweep.
+    let results = sweep::run(&[uniform_cfg, hc_cfg]);
+    let (uniform, hotcold) = (&results[0], &results[1]);
 
     let mut table = Table::new(&["segment utilization", "Uniform", "Hot-and-cold"]);
     let uf = uniform.cleaning_histogram.fractions();

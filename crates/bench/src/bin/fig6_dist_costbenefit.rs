@@ -6,7 +6,7 @@
 //! segments at about 75% utilization but waits until hot segments reach a
 //! utilization of about 15% before cleaning them."
 
-use cleaner_sim::{AccessPattern, Policy, SimConfig, Simulator};
+use cleaner_sim::{sweep, AccessPattern, Policy, SimConfig};
 use lfs_bench::{append_jsonl, smoke_mode, Table};
 
 fn main() {
@@ -28,13 +28,15 @@ fn main() {
     cb.pattern = AccessPattern::hot_cold_default();
     cb.policy = Policy::CostBenefit;
     cb.age_sort = true;
-    let cost_benefit = Simulator::new(cb).run_until_stable();
 
     let mut gr = base;
     gr.pattern = AccessPattern::hot_cold_default();
     gr.policy = Policy::Greedy;
     gr.age_sort = true;
-    let greedy = Simulator::new(gr).run_until_stable();
+
+    // Both policies are independent points; run them through the sweep.
+    let results = sweep::run(&[cb, gr]);
+    let (cost_benefit, greedy) = (&results[0], &results[1]);
 
     let mut table = Table::new(&["segment utilization", "LFS Cost-Benefit", "LFS Greedy"]);
     let cf = cost_benefit.cleaning_histogram.fractions();

@@ -6,7 +6,7 @@
 //! capacity utilizations above 60%."
 
 use cleaner_sim::{
-    write_cost_formula, AccessPattern, Policy, SimConfig, Simulator, FFS_IMPROVED_WRITE_COST,
+    sweep, write_cost_formula, AccessPattern, Policy, SimConfig, FFS_IMPROVED_WRITE_COST,
     FFS_TODAY_WRITE_COST,
 };
 use lfs_bench::{append_jsonl, smoke_mode, Table};
@@ -45,9 +45,21 @@ fn main() {
         "FFS today",
         "FFS improved",
     ]);
-    for &u in &utils {
-        let greedy = Simulator::new(config(u, Policy::Greedy, smoke)).run_until_stable();
-        let cb = Simulator::new(config(u, Policy::CostBenefit, smoke)).run_until_stable();
+    // Two independent points per utilization; the sweep runs them all
+    // across threads and hands results back in input order.
+    let points: Vec<SimConfig> = utils
+        .iter()
+        .flat_map(|&u| {
+            [
+                config(u, Policy::Greedy, smoke),
+                config(u, Policy::CostBenefit, smoke),
+            ]
+        })
+        .collect();
+    let results = sweep::run(&points);
+    for (i, &u) in utils.iter().enumerate() {
+        let greedy = &results[2 * i];
+        let cb = &results[2 * i + 1];
         table.row(vec![
             format!("{u:.2}"),
             format!("{:.2}", write_cost_formula(u)),

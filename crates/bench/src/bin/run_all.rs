@@ -1,8 +1,16 @@
-//! Runs every figure and table binary in sequence — the full paper
-//! evaluation. Binaries are located next to this executable (all are
-//! built by `cargo build -p lfs-bench --release --bins`).
+//! Runs every figure and table binary — the full paper evaluation.
+//! Binaries are located next to this executable (all are built by
+//! `cargo build -p lfs-bench --release --bins`).
+//!
+//! By default the binaries run in sequence. With `--parallel` they run
+//! concurrently as independent child processes (each binary writes its
+//! own `bench_results/<name>.jsonl`, so there is no shared output state),
+//! and their captured output is printed in the usual order as they
+//! finish. Results are identical either way: every simulator point is
+//! seeded by its own config, never by scheduling.
 
 use std::process::Command;
+use std::sync::Mutex;
 
 const BINS: &[&str] = &[
     "fig1_layout",
@@ -19,14 +27,17 @@ const BINS: &[&str] = &[
     "table4_overheads",
 ];
 
-fn main() {
-    let me = std::env::current_exe().expect("current_exe");
-    let dir = me.parent().expect("bin dir");
+fn banner(bin: &str) {
+    println!("\n================================================================");
+    println!("==== {bin}");
+    println!("================================================================\n");
+}
+
+/// Sequential mode: inherit stdout so output streams live.
+fn run_serial(dir: &std::path::Path) -> Vec<&'static str> {
     let mut failures = Vec::new();
     for bin in BINS {
-        println!("\n================================================================");
-        println!("==== {bin}");
-        println!("================================================================\n");
+        banner(bin);
         let path = dir.join(bin);
         if !path.exists() {
             println!("(not built — run `cargo build -p lfs-bench --release --bins`)");
@@ -38,6 +49,60 @@ fn main() {
             failures.push(*bin);
         }
     }
+    failures
+}
+
+/// One finished binary: captured output (None when not built) + success.
+type BinOutcome = (Option<String>, bool);
+
+/// Parallel mode: run every binary as a concurrent child process, capture
+/// its output, and print the captures in `BINS` order.
+fn run_parallel(dir: &std::path::Path) -> Vec<&'static str> {
+    let slots: Vec<Mutex<Option<BinOutcome>>> = BINS.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for (bin, slot) in BINS.iter().zip(&slots) {
+            s.spawn(move || {
+                let path = dir.join(bin);
+                let outcome = if path.exists() {
+                    match Command::new(&path).output() {
+                        Ok(out) => {
+                            let mut text = String::from_utf8_lossy(&out.stdout).into_owned();
+                            text.push_str(&String::from_utf8_lossy(&out.stderr));
+                            (Some(text), out.status.success())
+                        }
+                        Err(e) => (Some(format!("failed to spawn: {e}")), false),
+                    }
+                } else {
+                    (None, false)
+                };
+                *slot.lock().expect("result slot") = Some(outcome);
+            });
+        }
+    });
+    let mut failures = Vec::new();
+    for (bin, slot) in BINS.iter().zip(slots) {
+        banner(bin);
+        let (output, ok) = slot.into_inner().expect("result slot").expect("joined");
+        match output {
+            Some(text) => print!("{text}"),
+            None => println!("(not built — run `cargo build -p lfs-bench --release --bins`)"),
+        }
+        if !ok {
+            failures.push(*bin);
+        }
+    }
+    failures
+}
+
+fn main() {
+    let parallel = std::env::args().any(|a| a == "--parallel");
+    let me = std::env::current_exe().expect("current_exe");
+    let dir = me.parent().expect("bin dir").to_path_buf();
+    let failures = if parallel {
+        run_parallel(&dir)
+    } else {
+        run_serial(&dir)
+    };
     if failures.is_empty() {
         println!("\nAll {} benchmarks completed.", BINS.len());
     } else {

@@ -1,0 +1,63 @@
+//! Records raw simulator step throughput to `bench_results/sim_throughput.jsonl`.
+//!
+//! Companion to the `sim_step` criterion benchmark: measures steady-state
+//! steps/sec at two disk sizes and appends one labelled JSONL record per
+//! size, so before/after numbers for simulator optimizations stay on file.
+//!
+//! ```sh
+//! cargo run --release -p lfs-bench --bin sim_throughput -- <variant-label>
+//! ```
+
+use std::time::Instant;
+
+use cleaner_sim::{AccessPattern, Policy, SimConfig, Simulator};
+use lfs_bench::{append_jsonl, smoke_mode, Table};
+use serde_json::json;
+
+fn cfg_at(nsegments: u32) -> SimConfig {
+    let mut cfg = SimConfig::default_at(0.75);
+    cfg.nsegments = nsegments;
+    cfg.pattern = AccessPattern::hot_cold_default();
+    cfg.policy = Policy::CostBenefit;
+    cfg.age_sort = true;
+    cfg
+}
+
+fn steps_per_sec(nsegments: u32, warmup: u64, measured: u64) -> f64 {
+    let mut sim = Simulator::new(cfg_at(nsegments));
+    for _ in 0..warmup {
+        sim.step();
+    }
+    let t = Instant::now();
+    for _ in 0..measured {
+        sim.step();
+    }
+    measured as f64 / t.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let variant = std::env::args().nth(1).unwrap_or_else(|| "current".into());
+    let (warmup, measured) = if smoke_mode() {
+        (20_000, 20_000)
+    } else {
+        (100_000, 400_000)
+    };
+    let mut table = Table::new(&["nsegments", "steps/sec"]);
+    for nseg in [150u32, 1000] {
+        let sps = steps_per_sec(nseg, warmup, measured);
+        table.row(vec![nseg.to_string(), format!("{sps:.0}")]);
+        append_jsonl(
+            "sim_throughput",
+            &json!({
+                "bench": "sim_step",
+                "variant": variant,
+                "nsegments": nseg,
+                "warmup_steps": warmup,
+                "measured_steps": measured,
+                "steps_per_sec": sps,
+            }),
+        );
+    }
+    println!("sim_throughput ({variant})");
+    table.print();
+}

@@ -44,6 +44,36 @@ pub fn rank(policy: CleaningPolicy, u: f64, age: u64) -> f64 {
     }
 }
 
+/// Max-heap entry for candidate selection: `(score, seg, live_bytes)`
+/// ordered by score descending with ties to the lower segment id — the
+/// same order the previous full stable sort produced.
+struct HeapCand((f64, u32, u64));
+
+impl PartialEq for HeapCand {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for HeapCand {}
+
+impl PartialOrd for HeapCand {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapCand {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+             .0
+            .partial_cmp(&other.0 .0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            // Lower segment id wins ties, so it must compare greater.
+            .then(other.0 .1.cmp(&self.0 .1))
+    }
+}
+
 impl<D: BlockDevice> Lfs<D> {
     /// Runs the cleaner if the number of clean segments has fallen below
     /// the low-water mark, continuing until the high-water mark is
@@ -133,7 +163,20 @@ impl<D: BlockDevice> Lfs<D> {
     fn select_candidates(&self) -> Vec<u32> {
         let seg_bytes = self.cfg.seg_bytes();
         let now = self.clock;
-        let mut ranked: Vec<(f64, u32, u64)> = self
+        // Split candidates as they stream out of the usage table: empty
+        // segments go to their own (small, capped) list, the rest into a
+        // max-heap popped lazily below. Only the handful of segments a
+        // pass actually picks pay ordering cost, instead of a full sort
+        // of every dirty segment on each pass. Ties break toward the
+        // lower segment id, matching what the previous stable sort (over
+        // the id-ordered usage iterator) produced.
+        let desc = |a: &(f64, u32, u64), b: &(f64, u32, u64)| {
+            b.0.partial_cmp(&a.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.cmp(&b.1))
+        };
+        let mut empties: Vec<(f64, u32, u64)> = Vec::new();
+        let mut heap: std::collections::BinaryHeap<HeapCand> = self
             .usage
             .iter()
             .filter(|&(seg, u)| {
@@ -142,13 +185,25 @@ impl<D: BlockDevice> Lfs<D> {
                     && u.seal_seq <= self.checkpoint_seq
                     && (u.live_bytes as u64) < seg_bytes
             })
-            .map(|(seg, u)| {
+            .filter_map(|(seg, u)| {
                 let util = u.utilization(seg_bytes);
                 let age = now.saturating_sub(u.last_write) + 1;
-                (rank(self.cfg.policy, util, age), seg, u.live_bytes as u64)
+                let cand = (rank(self.cfg.policy, util, age), seg, u.live_bytes as u64);
+                if u.live_bytes == 0 {
+                    empties.push(cand);
+                    None
+                } else {
+                    Some(HeapCand(cand))
+                }
             })
             .collect();
-        ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        let empty_cap = 2 * self.cfg.clean_high_water as usize;
+        if empties.len() > empty_cap {
+            // Top-k selection: only the best `empty_cap` empties matter.
+            empties.select_nth_unstable_by(empty_cap - 1, desc);
+            empties.truncate(empty_cap);
+        }
+        empties.sort_by(desc);
 
         // Don't pick more live data than we can write back into the free
         // space we currently have — otherwise the relocation itself runs
@@ -177,21 +232,18 @@ impl<D: BlockDevice> Lfs<D> {
         // reclaim ("need not be read at all") but, under cost-benefit
         // ranking, young empty segments can paradoxically rank below old
         // half-full ones and starve the free pool.
-        for &(_, seg, live) in &ranked {
-            if live == 0 && picked.len() < 2 * self.cfg.clean_high_water as usize {
-                reclaim_total += seg_bytes;
-                picked.push(seg);
-            }
+        for &(_, seg, _) in &empties {
+            reclaim_total += seg_bytes;
+            picked.push(seg);
         }
-        let empties = picked.len();
-        for (_, seg, live) in ranked {
-            if live == 0 {
-                continue; // Already taken above.
-            }
-            if picked.len() - empties >= self.cfg.segs_per_clean as usize {
+        let nempties = picked.len();
+        // Lazy best-first pop: most passes examine only a few segments
+        // beyond the `segs_per_clean` they pick (budget skips excepted).
+        while picked.len() - nempties < self.cfg.segs_per_clean as usize {
+            let Some(HeapCand((_, seg, live))) = heap.pop() else {
                 break;
-            }
-            if live > 0 && live_total + live > budget {
+            };
+            if live_total + live > budget {
                 continue; // An emptier segment later may still fit.
             }
             live_total += live;

@@ -807,7 +807,9 @@ impl<D: BlockDevice> Lfs<D> {
         }
         self.imap.free(ino);
         self.purge_file(ino);
-        self.nfiles -= 1;
+        // Saturating: during roll-forward replay the counter is still 0
+        // (mount recomputes it from the inode map after replay finishes).
+        self.nfiles = self.nfiles.saturating_sub(1);
         Ok(())
     }
 

@@ -4,7 +4,7 @@
 
 use lfs_core::checkpoint::Checkpoint;
 use lfs_core::dirlog::{decode_block, encode_records, DirLogRecord, DirOp};
-use lfs_core::inode::{Inode, IndirectBlock, INODE_DISK_SIZE};
+use lfs_core::inode::{IndirectBlock, Inode, INODE_DISK_SIZE};
 use lfs_core::summary::{EntryKind, Summary, SummaryEntry, MAX_SUMMARY_ENTRIES};
 use lfs_core::NIL_ADDR;
 use proptest::prelude::*;
@@ -77,16 +77,18 @@ fn arb_dirlog_record() -> impl Strategy<Value = DirLogRecord> {
         1u32..10_000,
         "[a-zA-Z0-9._-]{0,64}",
     )
-        .prop_map(|(op, dir, name, ino, nlink, version, dir2, name2)| DirLogRecord {
-            op,
-            dir,
-            name,
-            ino,
-            nlink,
-            version,
-            dir2,
-            name2,
-        })
+        .prop_map(
+            |(op, dir, name, ino, nlink, version, dir2, name2)| DirLogRecord {
+                op,
+                dir,
+                name,
+                ino,
+                nlink,
+                version,
+                dir2,
+                name2,
+            },
+        )
 }
 
 proptest! {

@@ -10,7 +10,8 @@ fn image() -> MemDisk {
     let mut fs = Ffs::format(MemDisk::new(2048), FfsConfig::small()).unwrap();
     fs.mkdir("/d").unwrap();
     for i in 0..20 {
-        fs.write_file(&format!("/d/f{i}"), &vec![i as u8; 5000]).unwrap();
+        fs.write_file(&format!("/d/f{i}"), &vec![i as u8; 5000])
+            .unwrap();
     }
     fs.link("/d/f0", "/alias").unwrap();
     fs.sync().unwrap();

@@ -23,6 +23,7 @@
 
 mod histogram;
 mod simulator;
+pub mod sweep;
 
 pub use histogram::Histogram;
 pub use simulator::{SimResult, Simulator};

@@ -1,5 +1,7 @@
 //! The simulator core.
 
+use std::collections::VecDeque;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -61,6 +63,11 @@ pub struct Simulator {
     rng: StdRng,
     files: Vec<FileLoc>,
     segs: Vec<Segment>,
+    /// Ring of clean segment ids. Invariant: a segment id is in the ring
+    /// iff its `clean` flag is set, so `free_list.len()` is the clean
+    /// count and both the space check in `step()` and the advance in
+    /// `append_block()` are O(1) instead of scans over every segment.
+    free_list: VecDeque<u32>,
     cur_seg: u32,
     clock: u64,
     // Write-cost accounting (current measurement window).
@@ -93,6 +100,9 @@ impl Simulator {
                 nfiles as usize
             ],
             segs: vec![Segment::fresh(); cfg.nsegments as usize],
+            // Segment 0 becomes the initial log head below; the rest are
+            // the clean pool.
+            free_list: (1..cfg.nsegments).collect(),
             cur_seg: 0,
             clock: 0,
             new_blocks: 0,
@@ -136,12 +146,11 @@ impl Simulator {
         // Advance to a clean segment if the current one is full.
         if self.segs[self.cur_seg as usize].entries.len() >= self.cfg.blocks_per_segment as usize {
             let next = self
-                .segs
-                .iter()
-                .position(|s| s.clean)
+                .free_list
+                .pop_front()
                 .expect("out of clean segments — cleaner invariant broken");
-            self.cur_seg = next as u32;
-            let seg = &mut self.segs[next];
+            self.cur_seg = next;
+            let seg = &mut self.segs[next as usize];
             seg.clean = false;
             seg.entries.clear();
             seg.live = 0;
@@ -167,7 +176,7 @@ impl Simulator {
     }
 
     fn clean_segments_available(&self) -> u32 {
-        self.segs.iter().filter(|s| s.clean).count() as u32
+        self.free_list.len() as u32
     }
 
     /// One simulation step: overwrite one file; clean if out of space.
@@ -175,7 +184,7 @@ impl Simulator {
         self.clock += 1;
         // Ensure space exists before writing (the cleaner needs the
         // segments it fills to already be clean).
-        if self.clean_segments_available() == 0
+        if self.free_list.is_empty()
             && self.segs[self.cur_seg as usize].entries.len()
                 >= self.cfg.blocks_per_segment as usize
         {
@@ -198,11 +207,14 @@ impl Simulator {
     /// bytes without reclaiming anything — the cleaner skips those and
     /// stops when no candidate can make progress.
     fn run_cleaner(&mut self) {
-        // Snapshot the distribution the cleaner sees (Figures 5/6).
+        // One reciprocal for every utilization computed below: the
+        // snapshot loop alone divides once per segment per cleaning.
+        let inv_spb = 1.0 / self.cfg.blocks_per_segment as f64;
+        // Snapshot the distribution the cleaner sees (Figures 5/6),
+        // skipping clean segments (nothing for the cleaner to look at).
         for (i, s) in self.segs.iter().enumerate() {
             if !s.clean && i as u32 != self.cur_seg {
-                self.cleaning_histogram
-                    .add(s.live as f64 / self.cfg.blocks_per_segment as f64);
+                self.cleaning_histogram.add(s.live as f64 * inv_spb);
             }
         }
         let spb = self.cfg.blocks_per_segment;
@@ -222,7 +234,7 @@ impl Simulator {
                 .enumerate()
                 .filter(|&(i, s)| !s.clean && i as u32 != self.cur_seg && s.live < spb)
                 .map(|(i, s)| {
-                    let u = s.live as f64 / self.cfg.blocks_per_segment as f64;
+                    let u = s.live as f64 * inv_spb;
                     let score = match self.cfg.policy {
                         Policy::Greedy => 1.0 - u,
                         Policy::CostBenefit => {
@@ -236,18 +248,23 @@ impl Simulator {
             if ranked.is_empty() {
                 break; // Only fully-live segments remain.
             }
-            ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
-            let picked: Vec<u32> = ranked
-                .iter()
-                .take(self.cfg.segs_per_pass as usize)
-                .map(|&(_, i)| i)
-                .collect();
+            // Only the top `segs_per_pass` scores matter: a linear-time
+            // selection beats sorting the whole candidate list, and the
+            // (small) selected prefix is then ordered best-first.
+            let k = (self.cfg.segs_per_pass as usize).min(ranked.len());
+            let desc = |a: &(f64, u32), b: &(f64, u32)| b.0.partial_cmp(&a.0).unwrap();
+            if k < ranked.len() {
+                ranked.select_nth_unstable_by(k - 1, desc);
+                ranked.truncate(k);
+            }
+            ranked.sort_by(desc);
+            let picked: Vec<u32> = ranked.iter().map(|&(_, i)| i).collect();
 
             // Gather live blocks of the picked segments.
             let mut live: Vec<(u32, u64)> = Vec::new();
             for &si in &picked {
                 let seg = &self.segs[si as usize];
-                let u = seg.live as f64 / self.cfg.blocks_per_segment as f64;
+                let u = seg.live as f64 * inv_spb;
                 self.cleaned_util_sum += u;
                 self.cleaned_histogram.add(u);
                 self.cleaned_count += 1;
@@ -255,8 +272,11 @@ impl Simulator {
                     // "If a segment to be cleaned has no live blocks then
                     // it need not be read at all."
                     self.cleaner_read_blocks += self.cfg.blocks_per_segment as u64;
-                    let entries = seg.entries.clone();
-                    for (pos, (f, t)) in entries.into_iter().enumerate() {
+                    // Take the entries out instead of cloning them; the
+                    // drained (empty, capacity kept) vector goes back so
+                    // the segment's buffer is reused across cleanings.
+                    let mut entries = std::mem::take(&mut self.segs[si as usize].entries);
+                    for (pos, (f, t)) in entries.drain(..).enumerate() {
                         let loc = self.files[f as usize];
                         if loc.seg == si && loc.pos == pos as u32 {
                             live.push((f, t));
@@ -266,6 +286,7 @@ impl Simulator {
                             self.files[f as usize].seg = NO_SEG;
                         }
                     }
+                    self.segs[si as usize].entries = entries;
                 }
             }
             if self.cfg.age_sort {
@@ -280,6 +301,7 @@ impl Simulator {
                 seg.live = 0;
                 seg.youngest = 0;
                 seg.clean = true;
+                self.free_list.push_back(si);
             }
             for (f, t) in live {
                 self.append_block(f, t, true);

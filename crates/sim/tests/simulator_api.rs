@@ -19,7 +19,12 @@ fn tiny(util: f64) -> SimConfig {
 #[test]
 fn histogram_fractions_sum_to_one() {
     let r = Simulator::new(tiny(0.6)).run_until_stable();
-    let total: f64 = r.cleaning_histogram.fractions().iter().map(|(_, f)| f).sum();
+    let total: f64 = r
+        .cleaning_histogram
+        .fractions()
+        .iter()
+        .map(|(_, f)| f)
+        .sum();
     assert!((total - 1.0).abs() < 1e-9, "fractions sum to {total}");
     let total: f64 = r.cleaned_histogram.fractions().iter().map(|(_, f)| f).sum();
     assert!((total - 1.0).abs() < 1e-9);
@@ -56,7 +61,12 @@ fn different_seeds_agree_qualitatively() {
     let ra = Simulator::new(a).run_until_stable();
     let rb = Simulator::new(b).run_until_stable();
     let rel = (ra.write_cost - rb.write_cost).abs() / ra.write_cost;
-    assert!(rel < 0.25, "seeds diverge: {} vs {}", ra.write_cost, rb.write_cost);
+    assert!(
+        rel < 0.25,
+        "seeds diverge: {} vs {}",
+        ra.write_cost,
+        rb.write_cost
+    );
 }
 
 #[test]

@@ -97,13 +97,18 @@ fn main() {
                 counts[((u * (BUCKETS as f64 - 0.001)) as usize).min(BUCKETS - 1)] += 1;
             }
         }
-        println!("\nsegment utilization histogram ({} segments, {clean} clean):", snap.len());
+        println!(
+            "\nsegment utilization histogram ({} segments, {clean} clean):",
+            snap.len()
+        );
         let max = counts.iter().copied().max().unwrap_or(1).max(1);
         for (i, &c) in counts.iter().enumerate() {
             let bar = "#".repeat(c * 40 / max);
-            println!("  {:>4.0}-{:<3.0}% {c:5} {bar}",
+            println!(
+                "  {:>4.0}-{:<3.0}% {c:5} {bar}",
                 i as f64 * 100.0 / BUCKETS as f64,
-                (i + 1) as f64 * 100.0 / BUCKETS as f64);
+                (i + 1) as f64 * 100.0 / BUCKETS as f64
+            );
         }
     }
 

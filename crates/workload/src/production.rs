@@ -332,7 +332,7 @@ impl ProductionWorkload {
                 let n = self.files.len();
                 let frozen =
                     ((n as f64 * self.model.frozen_fraction) as usize).min(n.saturating_sub(1));
-                let span = self.rng.gen_range(16..96).min(n - frozen);
+                let span = self.rng.gen_range(16usize..96).min(n - frozen);
                 let hi = n;
                 let lo = hi - span;
                 // Delete the run back-to-front (indices stay valid), then

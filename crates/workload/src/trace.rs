@@ -17,14 +17,14 @@
 //!   journal tail over the recovered file system, eliminating the
 //!   lost-seconds window.
 
-use serde::{Deserialize, Serialize};
+use serde_json::Value;
 use vfs::{FileSystem, FsResult, Ino};
 
 /// One recorded operation.
 ///
 /// Paths are recorded instead of inode numbers so a trace is meaningful
 /// on a file system with different inode allocation.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TraceOp {
     /// `create(path)`.
     Create {
@@ -43,11 +43,11 @@ pub enum TraceOp {
         path: String,
         /// Byte offset.
         offset: u64,
-        /// Literal data (empty when `fill` is used).
-        #[serde(default, skip_serializing_if = "Vec::is_empty")]
+        /// Literal data (empty when `fill` is used; omitted from the
+        /// JSONL form when empty).
         data: Vec<u8>,
-        /// Constant-fill representation: `(byte, length)`.
-        #[serde(default, skip_serializing_if = "Option::is_none")]
+        /// Constant-fill representation: `(byte, length)`; omitted from
+        /// the JSONL form when absent.
         fill: Option<(u8, u64)>,
     },
     /// `truncate(lookup(path), size)`.
@@ -117,14 +117,133 @@ impl TraceOp {
         }
     }
 
-    /// Serialises to one JSON line.
+    /// Serialises to one JSON line (externally-tagged, the same shape
+    /// serde would produce: `{"Create":{"path":"/a"}}`, `"Sync"`).
     pub fn to_jsonl(&self) -> String {
-        serde_json::to_string(self).expect("trace op serialises")
+        fn tag(name: &str, fields: Vec<(String, Value)>) -> Value {
+            Value::Object(vec![(name.to_string(), Value::Object(fields))])
+        }
+        fn s(v: &str) -> Value {
+            Value::String(v.to_string())
+        }
+        let path_field = |p: &String| ("path".to_string(), s(p));
+        let value = match self {
+            TraceOp::Create { path } => tag("Create", vec![path_field(path)]),
+            TraceOp::Mkdir { path } => tag("Mkdir", vec![path_field(path)]),
+            TraceOp::Write {
+                path,
+                offset,
+                data,
+                fill,
+            } => {
+                let mut fields = vec![path_field(path), ("offset".to_string(), json_u64(*offset))];
+                if !data.is_empty() {
+                    fields.push((
+                        "data".to_string(),
+                        Value::Array(data.iter().map(|&b| json_u64(b as u64)).collect()),
+                    ));
+                }
+                if let Some((byte, len)) = fill {
+                    fields.push((
+                        "fill".to_string(),
+                        Value::Array(vec![json_u64(*byte as u64), json_u64(*len)]),
+                    ));
+                }
+                tag("Write", fields)
+            }
+            TraceOp::Truncate { path, size } => tag(
+                "Truncate",
+                vec![path_field(path), ("size".to_string(), json_u64(*size))],
+            ),
+            TraceOp::Unlink { path } => tag("Unlink", vec![path_field(path)]),
+            TraceOp::Rmdir { path } => tag("Rmdir", vec![path_field(path)]),
+            TraceOp::Rename { from, to } => tag(
+                "Rename",
+                vec![("from".to_string(), s(from)), ("to".to_string(), s(to))],
+            ),
+            TraceOp::Link { existing, new } => tag(
+                "Link",
+                vec![
+                    ("existing".to_string(), s(existing)),
+                    ("new".to_string(), s(new)),
+                ],
+            ),
+            TraceOp::Sync => s("Sync"),
+        };
+        value.to_string()
     }
 
     /// Parses one JSON line.
     pub fn from_jsonl(line: &str) -> Option<TraceOp> {
-        serde_json::from_str(line).ok()
+        let value = serde_json::from_str(line).ok()?;
+        if value.as_str() == Some("Sync") {
+            return Some(TraceOp::Sync);
+        }
+        let Value::Object(members) = &value else {
+            return None;
+        };
+        let (variant, body) = members.first()?;
+        let field = |name: &str| body.get(name);
+        let path_of = |name: &str| field(name).and_then(Value::as_str).map(String::from);
+        match variant.as_str() {
+            "Create" => Some(TraceOp::Create {
+                path: path_of("path")?,
+            }),
+            "Mkdir" => Some(TraceOp::Mkdir {
+                path: path_of("path")?,
+            }),
+            "Write" => {
+                let data = match field("data") {
+                    Some(v) => v
+                        .as_array()?
+                        .iter()
+                        .map(|b| b.as_u64().map(|u| u as u8))
+                        .collect::<Option<Vec<u8>>>()?,
+                    None => Vec::new(),
+                };
+                let fill = match field("fill") {
+                    Some(v) => {
+                        let pair = v.as_array()?;
+                        Some((pair.first()?.as_u64()? as u8, pair.get(1)?.as_u64()?))
+                    }
+                    None => None,
+                };
+                Some(TraceOp::Write {
+                    path: path_of("path")?,
+                    offset: field("offset")?.as_u64()?,
+                    data,
+                    fill,
+                })
+            }
+            "Truncate" => Some(TraceOp::Truncate {
+                path: path_of("path")?,
+                size: field("size")?.as_u64()?,
+            }),
+            "Unlink" => Some(TraceOp::Unlink {
+                path: path_of("path")?,
+            }),
+            "Rmdir" => Some(TraceOp::Rmdir {
+                path: path_of("path")?,
+            }),
+            "Rename" => Some(TraceOp::Rename {
+                from: path_of("from")?,
+                to: path_of("to")?,
+            }),
+            "Link" => Some(TraceOp::Link {
+                existing: path_of("existing")?,
+                new: path_of("new")?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+fn json_u64(v: u64) -> Value {
+    use serde_json::Number;
+    if v <= i64::MAX as u64 {
+        Value::Number(Number::I64(v as i64))
+    } else {
+        Value::Number(Number::U64(v))
     }
 }
 
@@ -288,10 +407,9 @@ impl<F: FileSystem> FileSystem for Tracer<F> {
 /// Replays a trace onto `fs`, stopping at the first error.
 pub fn replay<F: FileSystem>(fs: &mut F, ops: &[TraceOp]) -> FsResult<usize> {
     for (i, op) in ops.iter().enumerate() {
-        op.apply(fs).map_err(|e| {
+        op.apply(fs).inspect_err(|_| {
             // Keep the index visible for debugging failed replays.
             let _ = i;
-            e
         })?;
     }
     Ok(ops.len())
@@ -358,7 +476,11 @@ mod tests {
         t.write(f, 0, &[9u8; 10_000]).unwrap();
         let (_, ops) = t.into_parts();
         let line = ops.last().unwrap().to_jsonl();
-        assert!(line.len() < 200, "fill not compressed: {} bytes", line.len());
+        assert!(
+            line.len() < 200,
+            "fill not compressed: {} bytes",
+            line.len()
+        );
     }
 
     #[test]

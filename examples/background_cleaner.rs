@@ -13,14 +13,21 @@
 //! cargo run --release --example background_cleaner
 //! ```
 
-use std::sync::Arc;
+use std::sync::mpsc::{sync_channel, TrySendError};
+use std::sync::{Arc, Mutex};
 use std::thread;
 
 use blockdev::MemDisk;
-use crossbeam::channel;
 use lfs_core::{Lfs, LfsConfig};
-use parking_lot::Mutex;
 use vfs::FileSystem;
+
+/// Messages from the writer to the cleaner thread.
+enum Signal {
+    /// The writer paused; an opportunistic cleaning window is open.
+    Idle,
+    /// The workload is finished.
+    Done,
+}
 
 fn main() {
     let mut cfg = LfsConfig::small();
@@ -32,29 +39,20 @@ fn main() {
         Lfs::format(MemDisk::new(2048), cfg).expect("format"),
     ));
 
-    let (idle_tx, idle_rx) = channel::bounded::<()>(1);
-    let (done_tx, done_rx) = channel::bounded::<()>(0);
+    let (tx, rx) = sync_channel::<Signal>(1);
 
     // --- Cleaner thread: runs a pass whenever the writer reports idle ---
     let cleaner_fs = Arc::clone(&fs);
     let cleaner = thread::spawn(move || {
         let mut background_passes = 0u32;
-        loop {
-            channel::select! {
-                recv(idle_rx) -> msg => {
-                    if msg.is_err() {
-                        break;
-                    }
-                    let mut fs = cleaner_fs.lock();
-                    if fs.clean_segment_count() < 16 {
-                        if let Ok(n) = fs.clean_pass() {
-                            if n > 0 {
-                                background_passes += 1;
-                            }
-                        }
+        while let Ok(Signal::Idle) = rx.recv() {
+            let mut fs = cleaner_fs.lock().expect("lock");
+            if fs.clean_segment_count() < 16 {
+                if let Ok(n) = fs.clean_pass() {
+                    if n > 0 {
+                        background_passes += 1;
                     }
                 }
-                recv(done_rx) -> _ => break,
             }
         }
         background_passes
@@ -65,30 +63,33 @@ fn main() {
         let mut hot_round = 0u32;
         for burst in 0..30 {
             {
-                let mut fs = fs.lock();
+                let mut fs = fs.lock().expect("lock");
                 for _ in 0..10 {
                     let path = format!("/burst{burst}/f{hot_round}");
-                    if hot_round % 10 == 0 {
+                    if hot_round.is_multiple_of(10) {
                         let _ = fs.mkdir(&format!("/burst{burst}"));
                     }
                     let _ = fs.write_file(&path, &vec![hot_round as u8; 24 * 1024]);
                     // Delete the previous burst's files: segment-sized
                     // deadness for the cleaner to harvest.
-                    if burst > 0 && hot_round % 2 == 0 {
+                    if burst > 0 && hot_round.is_multiple_of(2) {
                         let _ = fs.unlink(&format!("/burst{}/f{}", burst - 1, hot_round - 10));
                     }
                     hot_round += 1;
                 }
             } // Lock released: the burst is over.
-            let _ = idle_tx.try_send(()); // Signal an idle window.
+              // Signal an idle window; skip if one is already pending.
+            if let Err(TrySendError::Disconnected(_)) = tx.try_send(Signal::Idle) {
+                break;
+            }
             thread::yield_now();
         }
     }
-    drop(idle_tx);
-    let _ = done_tx.send(());
+    let _ = tx.send(Signal::Done);
+    drop(tx);
     let background_passes = cleaner.join().expect("cleaner thread");
 
-    let mut fs = fs.lock();
+    let mut fs = fs.lock().expect("lock");
     fs.sync().expect("sync");
     let stats = fs.stats();
     println!(

@@ -1,0 +1,267 @@
+//! Offline drop-in subset of the `criterion` API.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors a small wall-clock benchmarking harness behind the
+//! criterion API surface it uses: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], `Bencher::{iter, iter_batched,
+//! iter_batched_ref}`, [`BatchSize`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Semantics: each benchmark runs a short warm-up, then `sample_size`
+//! timed samples, and reports min / mean / max per-iteration time plus
+//! derived throughput. Runs in seconds, not minutes — statistical rigor
+//! is traded for usability in CI. Set `CRITERION_SAMPLE_SIZE` to raise
+//! the sample count. When invoked by `cargo test` (criterion-style
+//! `--test` flag) each benchmark executes exactly one iteration as a
+//! smoke test.
+
+use std::time::{Duration, Instant};
+
+/// How batched setup output is sized; accepted for API compatibility,
+/// the stub treats every batch as one routine call per sample.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Prevents the compiler from optimising a value away.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Clone, Copy)]
+struct Config {
+    sample_size: usize,
+    smoke: bool,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    cfg: Config,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let smoke = std::env::args().any(|a| a == "--test");
+        let sample_size = std::env::var("CRITERION_SAMPLE_SIZE")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(10);
+        Criterion {
+            cfg: Config { sample_size, smoke },
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.cfg.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        f: F,
+    ) -> &mut Criterion {
+        run_bench(id.as_ref(), self.cfg, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n== group: {name}");
+        BenchmarkGroup {
+            name: name.to_string(),
+            cfg: self.cfg,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    cfg: Config,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.cfg.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, id.as_ref()), self.cfg, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, cfg: Config, mut f: F) {
+    let samples = if cfg.smoke { 1 } else { cfg.sample_size };
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    // Warm-up / calibration pass (skipped under --test smoke mode).
+    if !cfg.smoke {
+        f(&mut b);
+        // Aim for samples of at least ~10ms so Instant resolution noise
+        // stays below 1%.
+        let per_iter = b.elapsed.as_secs_f64() / b.iters as f64;
+        if per_iter > 0.0 && per_iter < 0.010 {
+            b.iters = ((0.010 / per_iter).ceil() as u64).clamp(1, 1_000_000);
+        }
+    }
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        b.elapsed = Duration::ZERO;
+        f(&mut b);
+        times.push(b.elapsed.as_secs_f64() / b.iters as f64);
+    }
+    let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = times.iter().cloned().fold(0.0, f64::max);
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    println!(
+        "{id:<40} time: [{} {} {}]",
+        fmt_time(min),
+        fmt_time(mean),
+        fmt_time(max)
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Measures one benchmark body.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the calibrated iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+
+    /// Times `routine` over fresh inputs built by `setup` (setup excluded
+    /// from the measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+        }
+    }
+
+    /// Like [`Bencher::iter_batched`] but passes the input by `&mut`.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        for _ in 0..self.iters {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            self.elapsed += start.elapsed();
+        }
+    }
+}
+
+/// Declares a benchmark group in criterion's macro form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            $(
+                {
+                    let mut c: $crate::Criterion = $config;
+                    $target(&mut c);
+                }
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut calls = 0u32;
+        let mut c = Criterion::default().sample_size(2);
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        assert!(calls >= 2);
+    }
+
+    #[test]
+    fn batched_setup_is_not_timed_into_routine_output() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.bench_function("batched", |b| {
+            b.iter_batched_ref(|| vec![0u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

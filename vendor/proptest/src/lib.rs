@@ -1,0 +1,677 @@
+//! Offline drop-in subset of the `proptest` API.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the property-testing surface its tests use: the
+//! [`proptest!`] macro (with `#![proptest_config]`), the `prop_assert*`
+//! macros, [`prop_oneof!`], [`Just`], [`any`], range / tuple / string
+//! strategies, `collection::{vec, btree_set}`, and [`sample::Index`].
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! - **No shrinking.** A failing case panics with the generated inputs
+//!   formatted into the panic message, but is not minimised.
+//! - **Deterministic generation.** Each test derives its RNG seed from
+//!   the test function's name, so failures reproduce exactly across runs.
+//! - String "regex" strategies support the character-class subset the
+//!   workspace uses (`[a-z]{1,10}`-style patterns).
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, RngCore, SeedableRng};
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Accepted for upstream compatibility; this subset never shrinks,
+    /// so the value is unused. Its presence also keeps callers'
+    /// `..ProptestConfig::default()` struct updates meaningful.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig {
+            cases,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// The per-test random source.
+pub struct TestRng(pub StdRng);
+
+impl TestRng {
+    /// Derives a deterministic RNG from a test's name.
+    pub fn for_test(name: &str) -> TestRng {
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a.
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A source of generated values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erases the strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed strategies (built by [`prop_oneof!`]).
+pub struct Union<T>(pub Vec<BoxedStrategy<T>>);
+
+impl<T> Union<T> {
+    /// Builds a union; panics when empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union(arms)
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = (rng.next_u64() % self.0.len() as u64) as usize;
+        self.0[i].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                if hi == <$t>::MAX {
+                    if lo == <$t>::MIN {
+                        return rng.next_u64() as $t;
+                    }
+                    // Sample [lo-1, hi) then shift.
+                    return rng.0.gen_range(lo - 1..hi) + 1;
+                }
+                rng.0.gen_range(lo..hi + 1)
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.0.gen_range(self.clone())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4);
+    (A 0, B 1, C 2, D 3, E 4, F 5);
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6);
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7);
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7, I 8);
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7, I 8, J 9);
+}
+
+/// Types with a canonical "anything" strategy.
+pub trait Arbitrary: Sized {
+    /// Generates an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// String strategies from `[class]{m,n}`-style patterns.
+mod pattern {
+    use super::{Strategy, TestRng};
+
+    enum Atom {
+        Class(Vec<char>, usize, usize),
+        Literal(char),
+    }
+
+    /// Compiled character-class pattern.
+    pub struct StringPattern(Vec<Atom>);
+
+    fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<char> {
+        let mut set = Vec::new();
+        let mut pending: Option<char> = None;
+        loop {
+            let c = chars.next().expect("unterminated [class] in pattern");
+            match c {
+                ']' => {
+                    if let Some(p) = pending {
+                        set.push(p);
+                    }
+                    return set;
+                }
+                '-' => {
+                    // Range if we have a start and a following end char;
+                    // literal '-' otherwise (e.g. trailing "-]").
+                    match (pending.take(), chars.peek().copied()) {
+                        (Some(lo), Some(hi)) if hi != ']' => {
+                            chars.next();
+                            assert!(lo <= hi, "bad class range {lo}-{hi}");
+                            set.extend(lo..=hi);
+                        }
+                        (p, _) => {
+                            if let Some(p) = p {
+                                set.push(p);
+                            }
+                            set.push('-');
+                        }
+                    }
+                }
+                c => {
+                    if let Some(p) = pending.replace(c) {
+                        set.push(p);
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_repeat(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    ) -> Option<(usize, usize)> {
+        if chars.peek() != Some(&'{') {
+            return None;
+        }
+        chars.next();
+        let mut spec = String::new();
+        for c in chars.by_ref() {
+            if c == '}' {
+                let (lo, hi) = match spec.split_once(',') {
+                    Some((a, b)) => (a.trim().parse().unwrap(), b.trim().parse().unwrap()),
+                    None => {
+                        let n = spec.trim().parse().unwrap();
+                        (n, n)
+                    }
+                };
+                return Some((lo, hi));
+            }
+            spec.push(c);
+        }
+        panic!("unterminated {{m,n}} in pattern");
+    }
+
+    impl StringPattern {
+        /// Compiles the pattern subset: classes with optional repeats and
+        /// literal characters.
+        pub fn compile(pat: &str) -> StringPattern {
+            let mut atoms = Vec::new();
+            let mut chars = pat.chars().peekable();
+            while let Some(c) = chars.next() {
+                match c {
+                    '[' => {
+                        let set = parse_class(&mut chars);
+                        let (lo, hi) = parse_repeat(&mut chars).unwrap_or((1, 1));
+                        atoms.push(Atom::Class(set, lo, hi));
+                    }
+                    c => atoms.push(Atom::Literal(c)),
+                }
+            }
+            StringPattern(atoms)
+        }
+    }
+
+    impl Strategy for StringPattern {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for atom in &self.0 {
+                match atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Class(set, lo, hi) => {
+                        let n = if lo == hi {
+                            *lo
+                        } else {
+                            (*lo as u64 + rng.next_u64() % (*hi - *lo + 1) as u64) as usize
+                        };
+                        for _ in 0..n {
+                            let i = (rng.next_u64() % set.len() as u64) as usize;
+                            out.push(set[i]);
+                        }
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        // Compile per call; patterns in tests are tiny.
+        pattern::StringPattern::compile(self).generate(rng)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::BTreeSet;
+
+    /// Anything usable as a collection size: a fixed count or a range.
+    pub trait IntoSizeRange {
+        /// `(min, max)` inclusive bounds.
+        fn bounds(self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(self) -> (usize, usize) {
+            (self, self)
+        }
+    }
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn bounds(self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty size range");
+            (self.start, self.end - 1)
+        }
+    }
+    impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+        fn bounds(self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// Strategy for `Vec<T>`.
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    /// Generates vectors whose length falls in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy { element, min, max }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = if self.min == self.max {
+                self.min
+            } else {
+                self.min + (rng.next_u64() % (self.max - self.min + 1) as u64) as usize
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<T>`.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    /// Generates sets whose size falls in `size` (element collisions are
+    /// retried a bounded number of times).
+    pub fn btree_set<S: Strategy>(element: S, size: impl IntoSizeRange) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        let (min, max) = size.bounds();
+        BTreeSetStrategy { element, min, max }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = if self.min == self.max {
+                self.min
+            } else {
+                self.min + (rng.next_u64() % (self.max - self.min + 1) as u64) as usize
+            };
+            let mut out = BTreeSet::new();
+            let mut attempts = 0;
+            while out.len() < target && attempts < target * 50 + 100 {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+/// Sampling helpers.
+pub mod sample {
+    use super::{Arbitrary, TestRng};
+
+    /// An index into a collection of not-yet-known size.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Resolves the index against a concrete length.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Index {
+            Index(rng.next_u64())
+        }
+    }
+}
+
+/// `Option<T>` strategies (`proptest::option::of`).
+pub mod option {
+    use crate::{Strategy, TestRng};
+
+    pub struct OfStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OfStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            // Match upstream's default: Some with probability 0.5.
+            if rng.next_u64() & 1 == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+
+    /// Strategy producing `None` half the time, `Some(inner)` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OfStrategy<S> {
+        OfStrategy(inner)
+    }
+}
+
+/// A recoverable test-case failure. Property bodies (and helpers they call)
+/// may return `Result<(), TestCaseError>` and use `?`; an `Err` fails the
+/// current case just like a panicking assertion.
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Everything tests import.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Compatibility module path (`proptest::test_runner::ProptestConfig`).
+pub mod test_runner {
+    pub use crate::ProptestConfig;
+}
+
+/// Boolean property assertion; panics with the formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Equality property assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Inequality property assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![ $( {
+            // Callers parenthesise range arms out of habit; don't lint.
+            #[allow(unused_parens)]
+            let __arm = $crate::Strategy::boxed($strat);
+            __arm
+        } ),+ ])
+    };
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...)` becomes a
+/// `#[test]` that runs `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!{ @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!{ @cfg($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..cfg.cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                    || -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body;
+                        Ok(())
+                    },
+                ));
+                match result {
+                    Ok(Ok(())) => {}
+                    Ok(Err(err)) => panic!(
+                        "proptest case {}/{} failed in {}: {} (generation is \
+                         deterministic: rerun reproduces it)",
+                        case + 1, cfg.cases, stringify!($name), err,
+                    ),
+                    Err(payload) => {
+                        eprintln!(
+                            "proptest case {}/{} failed in {} (generation is \
+                             deterministic: rerun reproduces it)",
+                            case + 1, cfg.cases, stringify!($name),
+                        );
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items!{ @cfg($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_pattern_shapes() {
+        let mut rng = crate::TestRng::for_test("string_pattern_shapes");
+        for _ in 0..200 {
+            let s = crate::Strategy::generate(&"[a-z]{1,8}", &mut rng);
+            assert!((1..=8).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let t = crate::Strategy::generate(&"[a-zA-Z0-9._-]{1,64}", &mut rng);
+            assert!((1..=64).contains(&t.len()));
+            assert!(t
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || ".-_".contains(c)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        /// Self-check: ranges respect bounds.
+        #[test]
+        fn ranges_in_bounds(x in 10u32..20, y in 1u8..=255, f in 0.0f64..1.0) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!(y >= 1);
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        /// Self-check: collections respect sizes; oneof maps compose.
+        #[test]
+        fn collections_and_oneof(
+            v in crate::collection::vec((0u32..5, any::<u8>()).prop_map(|(a, b)| (a, b)), 1..10),
+            s in crate::collection::btree_set("[a-z]{1,10}", 1..10),
+            pick in prop_oneof![Just(1u32), Just(2u32), (5u32..7)],
+            idx in any::<crate::sample::Index>(),
+        ) {
+            prop_assert!((1..10).contains(&v.len()));
+            prop_assert!(!s.is_empty() && s.len() < 10);
+            prop_assert!(pick == 1 || pick == 2 || (5..7).contains(&pick));
+            prop_assert!(idx.index(7) < 7);
+        }
+    }
+}

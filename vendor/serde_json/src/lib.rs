@@ -1,0 +1,582 @@
+//! Offline drop-in subset of the `serde_json` API.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the slice it uses: a [`Value`] tree, the [`json!`]
+//! constructor macro, `Display` serialisation, and [`from_str`] parsing.
+//! There is no serde data model underneath — code that previously used
+//! `#[derive(Serialize)]` constructs [`Value`]s explicitly instead.
+//!
+//! Object key order is preserved (insertion order), so a record built by
+//! the same code always serialises to the same bytes — the property the
+//! parallel-vs-serial determinism tests rely on.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+/// A JSON number: integer representations are kept exact.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Number {
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer too large for `i64`.
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+}
+
+impl Value {
+    /// Member lookup on objects; `Null` otherwise.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::I64(i)) => Some(*i as f64),
+            Value::Number(Number::U64(u)) => Some(*u as f64),
+            Value::Number(Number::F64(f)) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64` if it is an unsigned integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::I64(i)) if *i >= 0 => Some(*i as u64),
+            Value::Number(Number::U64(u)) => Some(*u),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str` if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a slice if it is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+/// Conversions used by the `json!` macro.
+pub trait ToValue {
+    /// Converts `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+impl ToValue for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl ToValue for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl ToValue for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+impl ToValue for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl ToValue for &str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+macro_rules! to_value_int {
+    ($($t:ty),*) => {$(
+        impl ToValue for $t {
+            fn to_value(&self) -> Value { Value::Number(Number::I64(*self as i64)) }
+        }
+    )*};
+}
+to_value_int!(i8, i16, i32, i64, isize, u8, u16, u32);
+impl ToValue for u64 {
+    fn to_value(&self) -> Value {
+        if *self <= i64::MAX as u64 {
+            Value::Number(Number::I64(*self as i64))
+        } else {
+            Value::Number(Number::U64(*self))
+        }
+    }
+}
+impl ToValue for usize {
+    fn to_value(&self) -> Value {
+        (*self as u64).to_value()
+    }
+}
+impl ToValue for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F64(*self))
+    }
+}
+impl ToValue for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F64(*self as f64))
+    }
+}
+impl<T: ToValue> ToValue for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: ToValue> ToValue for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(ToValue::to_value).collect())
+    }
+}
+impl<T: ToValue> ToValue for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(ToValue::to_value).collect())
+    }
+}
+impl<T: ToValue> ToValue for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<V: ToValue> ToValue for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(Number::I64(i)) => write!(f, "{i}"),
+            Value::Number(Number::U64(u)) => write!(f, "{u}"),
+            Value::Number(Number::F64(x)) => {
+                if x.is_finite() {
+                    if x.fract() == 0.0 && x.abs() < 1e15 {
+                        // Keep a float marker so the value parses back as
+                        // a float, the way serde_json prints e.g. `1.0`.
+                        write!(f, "{x:.1}")
+                    } else {
+                        write!(f, "{x}")
+                    }
+                } else {
+                    f.write_str("null") // JSON has no NaN/Inf.
+                }
+            }
+            Value::String(s) => {
+                let mut buf = String::with_capacity(s.len() + 2);
+                escape_into(&mut buf, s);
+                f.write_str(&buf)
+            }
+            Value::Array(items) => {
+                f.write_str("[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(members) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    let mut kb = String::with_capacity(k.len() + 2);
+                    escape_into(&mut kb, k);
+                    write!(f, "{kb}:{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Serialises any [`ToValue`] to its compact JSON text.
+pub fn to_string<T: ToValue + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_string())
+}
+
+/// A parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+    at: usize,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Parses JSON text into a [`Value`].
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let bytes = s.as_bytes();
+    let mut p = Parser { bytes, pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        Error {
+            msg: msg.to_string(),
+            at: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("unexpected character")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            if self.pos + 4 >= self.bytes.len() {
+                                return Err(self.err("truncated \\u escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            // Surrogate pairs are not needed by this
+                            // workspace's own output, which only escapes
+                            // control characters.
+                            out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Copy the full UTF-8 scalar, not just one byte.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::I64(i)));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::U64(u)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|f| Value::Number(Number::F64(f)))
+            .map_err(|_| self.err("invalid number"))
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            members.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(members));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Builds a [`Value`] from JSON-like syntax. Supports the object, array,
+/// literal, and interpolated-expression forms used in this workspace.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elems:tt)* ]) => { $crate::json_array!([ $($elems)* ]) };
+    ({ $($members:tt)* }) => { $crate::json_object!({} $($members)*) };
+    ($other:expr) => { $crate::ToValue::to_value(&$other) };
+}
+
+/// Internal: array builder (TT muncher).
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_array {
+    ([ $($elems:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::json!($elems) ),* ])
+    };
+}
+
+/// Internal: object builder (TT muncher over `"key": value` pairs).
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_object {
+    // Done.
+    ({ $($done:tt)* }) => { $crate::Value::Object(vec![ $($done)* ]) };
+    // Trailing comma.
+    ({ $($done:tt)* } , ) => { $crate::json_object!({ $($done)* }) };
+    // Separator comma left behind by the nested-object/array arms.
+    ({ $($done:tt)* } , $($rest:tt)+) => { $crate::json_object!({ $($done)* } $($rest)+) };
+    // "key": { nested object }, rest...
+    ({ $($done:tt)* } $key:literal : { $($inner:tt)* } $($rest:tt)*) => {
+        $crate::json_object!({ $($done)* ($key.to_string(), $crate::json!({ $($inner)* })), } $($rest)*)
+    };
+    // "key": [ nested array ], rest...
+    ({ $($done:tt)* } $key:literal : [ $($inner:tt)* ] $($rest:tt)*) => {
+        $crate::json_object!({ $($done)* ($key.to_string(), $crate::json!([ $($inner)* ])), } $($rest)*)
+    };
+    // "key": null, rest...   (null is a keyword to this macro, not an expr)
+    ({ $($done:tt)* } $key:literal : null $($rest:tt)*) => {
+        $crate::json_object!({ $($done)* ($key.to_string(), $crate::Value::Null), } $($rest)*)
+    };
+    // "key": expr, rest...   (expression extends to the next top-level comma)
+    ({ $($done:tt)* } $key:literal : $value:expr , $($rest:tt)*) => {
+        $crate::json_object!({ $($done)* ($key.to_string(), $crate::json!($value)), } $($rest)*)
+    };
+    // "key": expr   (final member, no trailing comma)
+    ({ $($done:tt)* } $key:literal : $value:expr) => {
+        $crate::json_object!({ $($done)* ($key.to_string(), $crate::json!($value)), })
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_macro_preserves_order_and_types() {
+        let steps: u64 = 12;
+        let v = json!({
+            "util": 0.75, "name": "fig4", "steps": steps,
+            "flag": true, "nothing": null,
+        });
+        assert_eq!(
+            v.to_string(),
+            r#"{"util":0.75,"name":"fig4","steps":12,"flag":true,"nothing":null}"#
+        );
+    }
+
+    #[test]
+    fn nested_structures() {
+        let v = json!({"a": [1, 2, 3], "b": {"c": "x"}});
+        assert_eq!(v.to_string(), r#"{"a":[1,2,3],"b":{"c":"x"}}"#);
+    }
+
+    #[test]
+    fn expression_values() {
+        fn cost(u: f64) -> f64 {
+            2.0 / (1.0 - u)
+        }
+        let v = json!({"wc": cost(0.5), "sum": 1 + 2});
+        assert_eq!(v.to_string(), r#"{"wc":4.0,"sum":3}"#);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let src = r#"{"a":[1,2.5,"x\n"],"b":null,"c":true,"d":{"e":-7}}"#;
+        let v = from_str(src).unwrap();
+        assert_eq!(v.to_string(), src);
+        assert_eq!(v.get("d").unwrap().get("e").unwrap().as_f64(), Some(-7.0));
+    }
+
+    #[test]
+    fn float_integers_keep_marker() {
+        assert_eq!(json!(3.0).to_string(), "3.0");
+        assert_eq!(json!(3u32).to_string(), "3");
+    }
+
+    #[test]
+    fn string_escaping() {
+        let v = json!({"s": "tab\there \"quoted\""});
+        assert_eq!(from_str(&v.to_string()).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(from_str("{").is_err());
+        assert!(from_str("[1,]").is_err());
+        assert!(from_str("nulll").is_err());
+    }
+}
