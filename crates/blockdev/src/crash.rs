@@ -1,7 +1,7 @@
 //! Crash injection: record the write stream, materialise any prefix.
 
 use crate::device::{check_request, BlockDevice, WriteKind};
-use crate::error::Result;
+use crate::error::{BlockError, Result};
 use crate::mem::MemDisk;
 use crate::stats::IoStats;
 use crate::BLOCK_SIZE;
@@ -11,6 +11,15 @@ use crate::BLOCK_SIZE;
 struct LoggedWrite {
     start: u64,
     data: Vec<u8>,
+    kind: WriteKind,
+}
+
+/// SplitMix64 step, used to derive the torn-block subset deterministically.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
 }
 
 /// A block device that records every write so a crash can be simulated.
@@ -22,11 +31,20 @@ struct LoggedWrite {
 /// point. This is the substitute for the real crashes used to measure
 /// Table 3 of the paper, and it drives the roll-forward recovery tests.
 ///
-/// Writes are recorded at request granularity; [`CrashDisk::num_writes`]
-/// reports how many cut points are available. A multi-block request is
-/// atomic in this model, matching the paper's assumption that the disk
-/// completes or drops whole requests. Finer (block-level) tearing can be
-/// simulated by issuing single-block writes.
+/// Two granularities of cut point are available:
+///
+/// - [`CrashDisk::image_after`] cuts between whole requests
+///   ([`CrashDisk::num_writes`] cut points) — the paper's clean
+///   whole-request-atomic crash model.
+/// - [`CrashDisk::torn_image_after`] cuts in units of *blocks*
+///   ([`CrashDisk::num_block_cuts`] cut points), so a crash can land inside
+///   a multi-block segment write. The request straddling the cut persists a
+///   seed-chosen arbitrary subset of its remaining blocks — not just a
+///   prefix — modelling drive-level write reordering.
+///
+/// The journal records each write's [`WriteKind`], so sweeps can optionally
+/// treat `Sync` writes as barriers (see [`CrashDisk::torn_image_after`]'s
+/// `sync_atomic` flag and [`CrashDisk::write_kind`]).
 ///
 /// # Examples
 ///
@@ -39,7 +57,7 @@ struct LoggedWrite {
 /// d.write_block(0, &a, WriteKind::Async).unwrap();
 /// d.write_block(1, &b, WriteKind::Async).unwrap();
 /// // Crash after the first write: block 1 never made it.
-/// let mut crashed = d.image_after(1);
+/// let mut crashed = d.image_after(1).unwrap();
 /// let mut buf = [0u8; BLOCK_SIZE];
 /// crashed.read_block(1, &mut buf).unwrap();
 /// assert!(buf.iter().all(|&x| x == 0));
@@ -75,30 +93,109 @@ impl CrashDisk {
         }
     }
 
-    /// Number of writes recorded so far (the number of possible cut points).
+    /// Number of writes recorded so far (the number of possible
+    /// request-granular cut points).
     pub fn num_writes(&self) -> usize {
         self.journal.len()
+    }
+
+    /// Total number of *blocks* journaled so far (the number of possible
+    /// sub-request cut points for [`CrashDisk::torn_image_after`]).
+    pub fn num_block_cuts(&self) -> usize {
+        self.journal.iter().map(|w| w.data.len() / BLOCK_SIZE).sum()
+    }
+
+    /// Returns the [`WriteKind`] of the `i`-th journaled write, or `None`
+    /// past the end of the journal.
+    pub fn write_kind(&self, i: usize) -> Option<WriteKind> {
+        self.journal.get(i).map(|w| w.kind)
     }
 
     /// Materialises the disk as it would look after the first
     /// `writes_survived` recorded writes, i.e. a crash that lost everything
     /// after that point.
     ///
-    /// # Panics
-    ///
-    /// Panics if `writes_survived > self.num_writes()`.
-    pub fn image_after(&self, writes_survived: usize) -> MemDisk {
-        assert!(
-            writes_survived <= self.journal.len(),
-            "cut point {writes_survived} beyond {} recorded writes",
-            self.journal.len()
-        );
+    /// Returns [`BlockError::InvalidCut`] if `writes_survived` exceeds
+    /// [`CrashDisk::num_writes`].
+    pub fn image_after(&self, writes_survived: usize) -> Result<MemDisk> {
+        if writes_survived > self.journal.len() {
+            return Err(BlockError::InvalidCut {
+                cut: writes_survived,
+                max: self.journal.len(),
+            });
+        }
         let mut image = self.initial.clone();
         for w in &self.journal[..writes_survived] {
             let off = w.start as usize * BLOCK_SIZE;
             image[off..off + w.data.len()].copy_from_slice(&w.data);
         }
-        MemDisk::from_image(image)
+        Ok(MemDisk::from_image(image))
+    }
+
+    /// Materialises the disk after a crash that persisted exactly
+    /// `blocks_survived` journaled *blocks* — cutting inside a multi-block
+    /// request if the budget runs out mid-write.
+    ///
+    /// Writes wholly before the cut persist completely. The request
+    /// straddling the cut persists a `seed`-chosen arbitrary subset of its
+    /// blocks of size equal to the remaining budget — an arbitrary subset,
+    /// not a prefix, because drives reorder sectors within a request.
+    /// Everything after is lost.
+    ///
+    /// With `sync_atomic` set, a `Sync` write straddling the cut persists
+    /// *nothing*: the synchronous barrier either completed or it did not,
+    /// modelling a drive that honours flush boundaries.
+    ///
+    /// Returns [`BlockError::InvalidCut`] if `blocks_survived` exceeds
+    /// [`CrashDisk::num_block_cuts`].
+    pub fn torn_image_after(
+        &self,
+        blocks_survived: usize,
+        seed: u64,
+        sync_atomic: bool,
+    ) -> Result<MemDisk> {
+        let max = self.num_block_cuts();
+        if blocks_survived > max {
+            return Err(BlockError::InvalidCut {
+                cut: blocks_survived,
+                max,
+            });
+        }
+        let mut image = self.initial.clone();
+        let mut budget = blocks_survived;
+        for w in &self.journal {
+            let nblocks = w.data.len() / BLOCK_SIZE;
+            if budget == 0 {
+                break;
+            }
+            if nblocks <= budget {
+                // Fully before the cut: persists whole.
+                let off = w.start as usize * BLOCK_SIZE;
+                image[off..off + w.data.len()].copy_from_slice(&w.data);
+                budget -= nblocks;
+            } else {
+                // Straddles the cut: persist a seed-chosen subset of
+                // `budget` blocks (or nothing, for an atomic Sync write).
+                if !(sync_atomic && w.kind == WriteKind::Sync) {
+                    let mut idx: Vec<usize> = (0..nblocks).collect();
+                    // Partial Fisher-Yates: pick `budget` distinct blocks.
+                    let mut h = splitmix64(seed ^ w.start ^ ((nblocks as u64) << 32));
+                    for i in 0..budget {
+                        h = splitmix64(h);
+                        let j = i + (h as usize) % (nblocks - i);
+                        idx.swap(i, j);
+                    }
+                    for &b in &idx[..budget] {
+                        let src = b * BLOCK_SIZE;
+                        let dst = (w.start as usize + b) * BLOCK_SIZE;
+                        image[dst..dst + BLOCK_SIZE]
+                            .copy_from_slice(&w.data[src..src + BLOCK_SIZE]);
+                    }
+                }
+                break;
+            }
+        }
+        Ok(MemDisk::from_image(image))
     }
 
     /// Materialises the current (no-crash) state of the disk.
@@ -130,6 +227,7 @@ impl BlockDevice for CrashDisk {
         self.journal.push(LoggedWrite {
             start,
             data: buf.to_vec(),
+            kind,
         });
         self.current.write_blocks(start, buf, kind)
     }
@@ -153,7 +251,7 @@ mod tests {
         d.write_block(0, &blk(1), WriteKind::Sync).unwrap();
         d.write_block(2, &blk(2), WriteKind::Sync).unwrap();
         d.write_block(0, &blk(3), WriteKind::Sync).unwrap();
-        let replayed = d.image_after(d.num_writes());
+        let replayed = d.image_after(d.num_writes()).unwrap();
         assert_eq!(replayed.image(), d.image_now().image());
     }
 
@@ -162,7 +260,7 @@ mod tests {
         let mut d = CrashDisk::new(4);
         d.write_block(0, &blk(1), WriteKind::Sync).unwrap();
         d.write_block(0, &blk(9), WriteKind::Sync).unwrap();
-        let mut crashed = d.image_after(1);
+        let mut crashed = d.image_after(1).unwrap();
         let mut b = [0u8; BLOCK_SIZE];
         crashed.read_block(0, &mut b).unwrap();
         assert_eq!(b, blk(1));
@@ -172,7 +270,7 @@ mod tests {
     fn zero_cut_point_is_initial_image() {
         let mut d = CrashDisk::new(2);
         d.write_block(1, &blk(5), WriteKind::Sync).unwrap();
-        let mut crashed = d.image_after(0);
+        let mut crashed = d.image_after(0).unwrap();
         let mut b = [9u8; BLOCK_SIZE];
         crashed.read_block(1, &mut b).unwrap();
         assert!(b.iter().all(|&x| x == 0));
@@ -185,16 +283,104 @@ mod tests {
         d.checkpoint_baseline();
         assert_eq!(d.num_writes(), 0);
         // The baseline now includes the first write.
-        let mut crashed = d.image_after(0);
+        let mut crashed = d.image_after(0).unwrap();
         let mut b = [0u8; BLOCK_SIZE];
         crashed.read_block(0, &mut b).unwrap();
         assert_eq!(b, blk(1));
     }
 
     #[test]
-    #[should_panic(expected = "beyond")]
-    fn cut_point_past_journal_panics() {
+    fn cut_point_past_journal_is_an_error() {
         let d = CrashDisk::new(2);
-        let _ = d.image_after(1);
+        assert!(matches!(
+            d.image_after(1),
+            Err(BlockError::InvalidCut { cut: 1, max: 0 })
+        ));
+        assert!(matches!(
+            d.torn_image_after(1, 0, false),
+            Err(BlockError::InvalidCut { cut: 1, max: 0 })
+        ));
+    }
+
+    #[test]
+    fn journal_records_write_kind() {
+        let mut d = CrashDisk::new(4);
+        d.write_block(0, &blk(1), WriteKind::Async).unwrap();
+        d.write_block(1, &blk(2), WriteKind::Sync).unwrap();
+        assert_eq!(d.write_kind(0), Some(WriteKind::Async));
+        assert_eq!(d.write_kind(1), Some(WriteKind::Sync));
+        assert_eq!(d.write_kind(2), None);
+    }
+
+    #[test]
+    fn block_cuts_count_blocks_not_requests() {
+        let mut d = CrashDisk::new(16);
+        let big: Vec<u8> = vec![3; 4 * BLOCK_SIZE];
+        d.write_blocks(0, &big, WriteKind::Async).unwrap();
+        d.write_block(8, &blk(1), WriteKind::Sync).unwrap();
+        assert_eq!(d.num_writes(), 2);
+        assert_eq!(d.num_block_cuts(), 5);
+    }
+
+    #[test]
+    fn torn_cut_persists_exact_block_count_as_arbitrary_subset() {
+        let mut d = CrashDisk::new(16);
+        let big: Vec<u8> = (0..8 * BLOCK_SIZE)
+            .map(|i| (i / BLOCK_SIZE) as u8 + 1)
+            .collect();
+        d.write_blocks(4, &big, WriteKind::Async).unwrap();
+        for cut in 0..=8 {
+            let img = d.torn_image_after(cut, 99, false).unwrap();
+            let survived = (0..8)
+                .filter(|i| img.image()[(4 + i) * BLOCK_SIZE] != 0)
+                .count();
+            assert_eq!(survived, cut, "cut {cut}");
+        }
+        // At least one intermediate cut must be a non-prefix subset.
+        let mut saw_non_prefix = false;
+        for cut in 1..8 {
+            let img = d.torn_image_after(cut, 99, false).unwrap();
+            let is_prefix = (0..cut).all(|i| img.image()[(4 + i) * BLOCK_SIZE] != 0);
+            if !is_prefix {
+                saw_non_prefix = true;
+            }
+        }
+        assert!(saw_non_prefix, "tearing should not always persist a prefix");
+    }
+
+    #[test]
+    fn torn_cut_is_deterministic_in_seed() {
+        let mut d = CrashDisk::new(16);
+        let big: Vec<u8> = vec![7; 6 * BLOCK_SIZE];
+        d.write_blocks(2, &big, WriteKind::Async).unwrap();
+        let a = d.torn_image_after(3, 1, false).unwrap();
+        let b = d.torn_image_after(3, 1, false).unwrap();
+        assert_eq!(a.image(), b.image());
+    }
+
+    #[test]
+    fn sync_atomic_drops_straddled_sync_write_entirely() {
+        let mut d = CrashDisk::new(16);
+        let big: Vec<u8> = vec![5; 4 * BLOCK_SIZE];
+        d.write_blocks(0, &big, WriteKind::Sync).unwrap();
+        let img = d.torn_image_after(2, 42, true).unwrap();
+        assert!(
+            img.image().iter().all(|&x| x == 0),
+            "straddled Sync write should persist nothing under sync_atomic"
+        );
+        // Without the barrier flag the same cut tears the write.
+        let img = d.torn_image_after(2, 42, false).unwrap();
+        let survived = (0..4).filter(|i| img.image()[i * BLOCK_SIZE] != 0).count();
+        assert_eq!(survived, 2);
+    }
+
+    #[test]
+    fn full_torn_replay_equals_current_state() {
+        let mut d = CrashDisk::new(8);
+        let big: Vec<u8> = vec![9; 3 * BLOCK_SIZE];
+        d.write_blocks(1, &big, WriteKind::Async).unwrap();
+        d.write_block(5, &blk(4), WriteKind::Sync).unwrap();
+        let img = d.torn_image_after(d.num_block_cuts(), 0, true).unwrap();
+        assert_eq!(img.image(), d.image_now().image());
     }
 }

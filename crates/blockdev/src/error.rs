@@ -22,8 +22,18 @@ pub enum BlockError {
         /// The offending buffer length in bytes.
         len: usize,
     },
-    /// An underlying I/O error (only produced by [`crate::FileDisk`]).
+    /// An underlying I/O error, produced by [`crate::FileDisk`] for real
+    /// file failures and by [`crate::FaultDisk`] for injected transient
+    /// faults.
     Io(std::io::Error),
+    /// A crash cut point addressed more history than the journal holds
+    /// (see [`crate::CrashDisk::image_after`]).
+    InvalidCut {
+        /// The requested cut point.
+        cut: usize,
+        /// The largest valid cut point.
+        max: usize,
+    },
 }
 
 impl fmt::Display for BlockError {
@@ -42,6 +52,9 @@ impl fmt::Display for BlockError {
                 write!(f, "buffer length {len} is not a multiple of the block size")
             }
             BlockError::Io(e) => write!(f, "I/O error: {e}"),
+            BlockError::InvalidCut { cut, max } => {
+                write!(f, "crash cut point {cut} beyond {max} recorded writes")
+            }
         }
     }
 }

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 //! Block-device substrate for the LFS reproduction.
 //!
@@ -19,7 +20,11 @@
 //!   Wren IV parameters ([`DiskModel::wren_iv`]).
 //! - [`CrashDisk`] — a wrapper that records the ordered write stream and can
 //!   materialise the image as it would look had power failed after any
-//!   prefix of the writes; drives the crash-recovery experiments (Table 3).
+//!   prefix of the writes (or mid-request, with block tearing); drives the
+//!   crash-recovery experiments (Table 3).
+//! - [`FaultDisk`] — a wrapper that injects deterministic, seed-driven
+//!   faults per a [`FaultPlan`]: transient I/O errors, torn multi-block
+//!   writes, and silent bit-rot; drives the fault-injection torture tests.
 //! - [`FileDisk`] — an image-file-backed disk for the command-line tools.
 //!
 //! All devices implement the [`BlockDevice`] trait. Blocks are
@@ -30,6 +35,7 @@
 mod crash;
 mod device;
 mod error;
+mod fault;
 mod file;
 mod mem;
 mod sim;
@@ -38,6 +44,7 @@ mod stats;
 pub use crash::CrashDisk;
 pub use device::{BlockDevice, WriteKind};
 pub use error::{BlockError, Result};
+pub use fault::{FaultCounts, FaultDisk, FaultPlan};
 pub use file::FileDisk;
 pub use mem::MemDisk;
 pub use sim::{DiskModel, SimDisk};

@@ -38,10 +38,12 @@ impl MemDisk {
     ///
     /// Panics if `num_blocks * BLOCK_SIZE` overflows `usize`.
     pub fn new(num_blocks: u64) -> MemDisk {
-        let bytes = usize::try_from(num_blocks)
+        let Some(bytes) = usize::try_from(num_blocks)
             .ok()
             .and_then(|n| n.checked_mul(BLOCK_SIZE))
-            .expect("MemDisk size overflows usize");
+        else {
+            panic!("MemDisk size overflows usize");
+        };
         MemDisk {
             data: vec![0; bytes],
             num_blocks,

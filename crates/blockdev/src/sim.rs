@@ -117,10 +117,12 @@ impl SimDisk {
     ///
     /// Panics if `num_blocks * BLOCK_SIZE` overflows `usize`.
     pub fn new(num_blocks: u64, model: DiskModel) -> SimDisk {
-        let bytes = usize::try_from(num_blocks)
+        let Some(bytes) = usize::try_from(num_blocks)
             .ok()
             .and_then(|n| n.checked_mul(BLOCK_SIZE))
-            .expect("SimDisk size overflows usize");
+        else {
+            panic!("SimDisk size overflows usize");
+        };
         SimDisk {
             data: vec![0; bytes],
             num_blocks,

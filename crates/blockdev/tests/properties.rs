@@ -52,12 +52,12 @@ proptest! {
             }
         }
         let n = crash.num_writes();
-        let full = crash.image_after(n);
+        let full = crash.image_after(n).unwrap();
         let now = crash.image_now();
         prop_assert_eq!(full.image(), now.image());
         // Prefix images are monotone: each applies one more write.
         for cut in 0..n {
-            let img = crash.image_after(cut);
+            let img = crash.image_after(cut).unwrap();
             prop_assert_eq!(img.image().len(), 32 * BLOCK_SIZE);
         }
     }

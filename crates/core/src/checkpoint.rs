@@ -15,6 +15,8 @@
 //! the payload blocks so the checksum can never cover data that is not yet
 //! on disk.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 use blockdev::{BlockDevice, WriteKind, BLOCK_SIZE};
 use vfs::{FsError, FsResult};
 
@@ -127,7 +129,9 @@ impl Checkpoint {
         if len > buf.len() || len != HEADER_SIZE + 8 * (n_imap + n_usage) + 4 * n_live + 8 {
             return Err(FsError::Corrupt("checkpoint: bad length".into()));
         }
-        let stored = u64::from_le_bytes(buf[len - 8..len].try_into().unwrap());
+        let mut stored_bytes = [0u8; 8];
+        stored_bytes.copy_from_slice(&buf[len - 8..len]);
+        let stored = u64::from_le_bytes(stored_bytes);
         if checksum(&buf[..len - 8]) != stored {
             return Err(FsError::Corrupt("checkpoint: bad checksum".into()));
         }
@@ -201,6 +205,29 @@ impl Checkpoint {
             (Err(_), Ok(b)) => Ok((b, 1)),
             (Err(e), Err(_)) => Err(e),
         }
+    }
+
+    /// Reads both regions and returns every *valid* checkpoint, newest
+    /// (highest `seq`) first, each paired with its region index.
+    ///
+    /// Mount tries candidates in this order: if the newest checkpoint is
+    /// internally consistent but describes impossible geometry (a torn or
+    /// rotted region that still checksums, or cross-written garbage),
+    /// mount falls back to the next candidate instead of failing — the
+    /// alternating-region discipline of §4.1 extended to arbitrary
+    /// corruption, not just torn header blocks.
+    pub fn read_candidates<D: BlockDevice>(
+        dev: &mut D,
+        regions: [DiskAddr; 2],
+    ) -> Vec<(Checkpoint, usize)> {
+        let mut found: Vec<(Checkpoint, usize)> = Vec::new();
+        for (i, &addr) in regions.iter().enumerate() {
+            if let Ok(cp) = Checkpoint::read_from(dev, addr) {
+                found.push((cp, i));
+            }
+        }
+        found.sort_by_key(|c| std::cmp::Reverse(c.0.seq));
+        found
     }
 }
 

@@ -119,6 +119,14 @@ impl<D: BlockDevice> Lfs<D> {
     }
 
     fn clean_until_high_water(&mut self) -> FsResult<()> {
+        if self.nsop_depth > 0 {
+            // Checkpoints are deferred while a namespace operation is
+            // mid-flight (see `Lfs::checkpoint`), and without them cleaned
+            // segments cannot be promoted to reusable — so copying now
+            // would only burn log space. Cleaning resumes at the
+            // operation's end-of-mutation policy.
+            return Ok(());
+        }
         let mut stalled = 0;
         loop {
             if self.usage.clean_count() >= self.cfg.clean_high_water {
@@ -366,9 +374,7 @@ impl<D: BlockDevice> Lfs<D> {
         let seg_blocks = self.sb.seg_blocks as usize;
         let mut buf = vec![0u8; seg_blocks * BLOCK_SIZE];
         let start = self.sb.seg_start(seg);
-        self.dev
-            .read_blocks(start, &mut buf)
-            .map_err(FsError::device)?;
+        self.read_retry(start, &mut buf)?;
         self.stats.cleaner.bytes_read += buf.len() as u64;
 
         let mut off = 0usize;
@@ -410,9 +416,7 @@ impl<D: BlockDevice> Lfs<D> {
         let mut off = 0usize;
         let mut prev_seq = 0u64;
         while off + 1 < seg_blocks {
-            self.dev
-                .read_blocks(start + off as u64, &mut sbuf)
-                .map_err(FsError::device)?;
+            self.read_retry(start + off as u64, &mut sbuf)?;
             self.stats.cleaner.bytes_read += BLOCK_SIZE as u64;
             let summary = match Summary::decode(&sbuf) {
                 Ok(s) => s,
@@ -451,9 +455,7 @@ impl<D: BlockDevice> Lfs<D> {
                 if !worth_reading {
                     continue;
                 }
-                self.dev
-                    .read_blocks(addr, &mut content)
-                    .map_err(FsError::device)?;
+                self.read_retry(addr, &mut content)?;
                 self.stats.cleaner.bytes_read += BLOCK_SIZE as u64;
                 self.stage_if_live(entry, addr, &content)?;
             }
@@ -485,6 +487,19 @@ impl<D: BlockDevice> Lfs<D> {
                 let bno = entry.offset as u64;
                 if self.block_ptr(ino, bno)? != addr {
                     return Ok(());
+                }
+                // The block is confirmed live; refuse to relocate it if
+                // the media rotted it (silent propagation of bad data is
+                // worse than a loud failure). Dead blocks are never
+                // checked — a torn chunk in a crashed segment legally
+                // holds garbage behind a valid summary.
+                if crate::codec::block_checksum(content) != entry.csum
+                    && !self.blocks.contains_key(&(ino, bno))
+                {
+                    return Err(FsError::Corrupt(format!(
+                        "cleaner: live block (ino {ino} blk {bno}) at addr {addr} \
+                         failed its summary checksum (media rot?)"
+                    )));
                 }
                 // Stage the block: dirty cache state relocates on flush.
                 // Crucially, keep the block's ORIGINAL modification time
@@ -549,7 +564,14 @@ impl<D: BlockDevice> Lfs<D> {
             EntryKind::InodeBlock => {
                 for slot in 0..crate::layout::INODES_PER_BLOCK {
                     let b = &content[slot * INODE_DISK_SIZE..(slot + 1) * INODE_DISK_SIZE];
-                    let Some(inode) = Inode::decode(b)? else {
+                    // An undecodable slot in a dead chunk is legal (torn
+                    // write behind a valid summary); skip it rather than
+                    // abort the pass. Live-but-rotted inodes surface in
+                    // `clean_segments`' live-bytes audit instead.
+                    let Ok(decoded) = Inode::decode(b) else {
+                        continue;
+                    };
+                    let Some(inode) = decoded else {
                         continue;
                     };
                     let ino = inode.ino;

@@ -114,6 +114,13 @@ impl<'a> Reader<'a> {
     pub fn skip(&mut self, n: usize) {
         self.pos += n;
     }
+
+    /// Bytes left to read. Decoders that parse attacker-controlled input
+    /// check this before every read so truncated records surface as
+    /// corruption errors instead of slice panics.
+    pub fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
 }
 
 /// FNV-1a over `data` — the checksum used by summaries and checkpoints.
@@ -128,6 +135,13 @@ pub fn checksum(data: &[u8]) -> u64 {
         h = h.wrapping_mul(0x100000001b3);
     }
     h
+}
+
+/// 32-bit fold of [`checksum`], used where space is tight (per-block
+/// checksums in segment-summary entries).
+pub fn block_checksum(data: &[u8]) -> u32 {
+    let h = checksum(data);
+    (h ^ (h >> 32)) as u32
 }
 
 #[cfg(test)]

@@ -102,11 +102,20 @@ impl DirLogRecord {
     }
 
     fn decode_from(r: &mut Reader<'_>) -> FsResult<Option<DirLogRecord>> {
+        // The block contents may be arbitrary garbage (torn write, media
+        // rot), so every read is bounds-checked: truncation is corruption,
+        // not a panic.
+        if r.remaining() < 1 {
+            return Ok(None); // Block exhausted exactly at a record boundary.
+        }
         let op_byte = r.get_u8();
         if op_byte == 0 {
             return Ok(None); // End-of-block marker.
         }
         let op = DirOp::decode(op_byte)?;
+        if r.remaining() < 23 {
+            return Err(FsError::Corrupt("dirlog: truncated record header".into()));
+        }
         let name_len = r.get_u8() as usize;
         let name2_len = r.get_u8() as usize;
         r.skip(1);
@@ -115,6 +124,9 @@ impl DirLogRecord {
         let nlink = r.get_u32();
         let version = r.get_u32();
         let dir2 = r.get_u32();
+        if r.remaining() < name_len + name2_len {
+            return Err(FsError::Corrupt("dirlog: truncated record names".into()));
+        }
         let name = String::from_utf8(r.get_bytes(name_len).to_vec())
             .map_err(|_| FsError::Corrupt("dirlog: non-UTF-8 name".into()))?;
         let name2 = String::from_utf8(r.get_bytes(name2_len).to_vec())
@@ -241,6 +253,24 @@ mod tests {
     fn bad_op_is_corrupt() {
         let mut buf = vec![0u8; BLOCK_SIZE];
         buf[0] = 200;
+        assert!(decode_block(&buf).is_err());
+    }
+
+    #[test]
+    fn garbage_block_is_corrupt_not_panic() {
+        // A block of 0x01 bytes parses as an endless run of tiny Create
+        // records until the tail truncates one; that must surface as
+        // `Corrupt`, never as a slice panic.
+        assert!(decode_block(&[1u8; BLOCK_SIZE]).is_err());
+    }
+
+    #[test]
+    fn truncated_names_are_corrupt() {
+        // Valid 24-byte header claiming a long name with no bytes behind
+        // it: the name read must not run off the end of the buffer.
+        let mut buf = vec![0u8; 24];
+        buf[0] = 1; // Create
+        buf[1] = 200; // name_len far beyond the buffer tail
         assert!(decode_block(&buf).is_err());
     }
 

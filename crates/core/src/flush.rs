@@ -397,7 +397,7 @@ impl<D: BlockDevice> Lfs<D> {
             let mut buf = vec![0u8; (1 + c.n_items) * BLOCK_SIZE];
             for (j, item) in chunk_items.iter().enumerate() {
                 let dst = &mut buf[(1 + j) * BLOCK_SIZE..(2 + j) * BLOCK_SIZE];
-                let entry = match item {
+                let mut entry = match item {
                     Item::DirLog(data) => {
                         dst.copy_from_slice(data);
                         SummaryEntry::meta(EntryKind::DirLog, 0, time)
@@ -417,6 +417,7 @@ impl<D: BlockDevice> Lfs<D> {
                                 offset: *k,
                                 version: self.imap.version(*ino),
                                 mtime: time,
+                                csum: 0,
                             },
                             IndKey::Double => SummaryEntry {
                                 kind: EntryKind::Indirect2,
@@ -424,6 +425,7 @@ impl<D: BlockDevice> Lfs<D> {
                                 offset: 0,
                                 version: self.imap.version(*ino),
                                 mtime: time,
+                                csum: 0,
                             },
                         }
                     }
@@ -446,6 +448,11 @@ impl<D: BlockDevice> Lfs<D> {
                         SummaryEntry::meta(EntryKind::UsageBlock, *idx as u32, time)
                     }
                 };
+                // Per-block content checksum: roll-forward refuses to
+                // replay a chunk whose blocks do not all verify, so a
+                // torn segment write is indistinguishable from the end
+                // of the log instead of being replayed as garbage.
+                entry.csum = crate::codec::block_checksum(dst);
                 self.stats
                     .add_log_bytes(entry_stats_kind(item), BLOCK_SIZE as u64, by_cleaner);
                 entries.push(entry);
@@ -460,9 +467,9 @@ impl<D: BlockDevice> Lfs<D> {
             self.stats
                 .add_log_bytes(BlockKind::Summary, BLOCK_SIZE as u64, by_cleaner);
             let start = self.sb.seg_start(c.seg) + c.off as u64;
-            self.dev
-                .write_blocks(start, &buf, WriteKind::Async)
-                .map_err(FsError::device)?;
+            // Bounded retry: transient device errors must not abort a
+            // flush that the cache can simply reissue.
+            self.write_retry(start, &buf, WriteKind::Async)?;
             if !by_cleaner {
                 self.bytes_since_checkpoint += buf.len() as u64;
             }
@@ -578,6 +585,16 @@ impl<D: BlockDevice> Lfs<D> {
     /// promotes cleaned segments, and writes the alternate checkpoint
     /// region (§4.1).
     pub fn checkpoint(&mut self) -> FsResult<()> {
+        if self.nsop_depth > 0 {
+            // A namespace operation is mid-flight: its directory-log
+            // record is (or will be) in the log, but the matching
+            // directory/inode mutations may be half-applied. A checkpoint
+            // now would declare that intermediate state complete and bury
+            // the repair record where roll-forward never replays it — so
+            // only flush, and let the operation's own `after_mutation`
+            // write the real checkpoint.
+            return self.flush();
+        }
         self.flush()?;
         // Let the inode map and usage table reach the log; their own
         // relocations are accounted quietly, so this settles quickly.
@@ -606,7 +623,14 @@ impl<D: BlockDevice> Lfs<D> {
             live_bytes: self.usage.live_vec(),
         };
         let region = self.sb.checkpoint_addrs()[self.next_cr];
-        cp.write_to(&mut self.dev, region)?;
+        // Write the region payload-first, header-last (see
+        // `Checkpoint::write_to`), retrying transient device errors so a
+        // flaky disk does not abort the checkpoint.
+        let enc = cp.encode()?;
+        if enc.len() > BLOCK_SIZE {
+            self.write_retry(region + 1, &enc[BLOCK_SIZE..], WriteKind::Sync)?;
+        }
+        self.write_retry(region, &enc[..BLOCK_SIZE], WriteKind::Sync)?;
         self.next_cr = 1 - self.next_cr;
         self.checkpoint_seq = self.write_seq;
         self.bytes_since_checkpoint = 0;

@@ -25,6 +25,25 @@ use crate::stats::LfsStats;
 use crate::superblock::Superblock;
 use crate::usage::{SegState, UsageTable};
 
+/// Attempts per device operation on the retry paths (1 initial + 4
+/// retries). Paired with [`blockdev::FaultPlan`]'s default burst length
+/// this lets transient faults clear; persistent faults still surface
+/// within a bounded delay.
+pub(crate) const IO_ATTEMPTS: u32 = 5;
+
+/// Whether a device error is worth retrying. Geometry errors are
+/// deterministic (a retry cannot fix an out-of-range request); only
+/// `Io` errors model conditions that can clear.
+pub(crate) fn is_transient(e: &blockdev::BlockError) -> bool {
+    matches!(e, blockdev::BlockError::Io(_))
+}
+
+/// Exponential backoff between retries: 20 µs, 40 µs, 80 µs, ...
+/// Short enough not to matter in tests, present so the policy is honest.
+pub(crate) fn backoff(attempt: u32) {
+    std::thread::sleep(std::time::Duration::from_micros(20u64 << attempt));
+}
+
 /// A cached file (or directory) data block.
 pub(crate) struct CachedBlock {
     pub(crate) data: Box<[u8]>,
@@ -99,6 +118,9 @@ pub struct Lfs<D: BlockDevice> {
     pub(crate) dirty_files: BTreeSet<Ino>,
     /// Directory-op records not yet written to the log.
     pub(crate) dirlog_pending: Vec<DirLogRecord>,
+    /// Depth of in-flight namespace operations (see [`Lfs::with_nsop`]).
+    /// While non-zero, `checkpoint` degrades to a plain flush.
+    pub(crate) nsop_depth: u32,
     /// Segment currently being filled.
     pub(crate) cur_seg: u32,
     /// Next free block offset within it.
@@ -187,6 +209,7 @@ impl<D: BlockDevice> Lfs<D> {
             dcache: HashMap::new(),
             dirty_files: BTreeSet::new(),
             dirlog_pending: Vec::new(),
+            nsop_depth: 0,
             cur_seg: 0,
             cur_off: 0,
             write_seq: 0,
@@ -201,6 +224,60 @@ impl<D: BlockDevice> Lfs<D> {
             settling: false,
             stats: LfsStats::default(),
         }
+    }
+
+    /// Writes `buf` at `start`, retrying transient device errors with
+    /// exponential backoff.
+    ///
+    /// Only [`blockdev::BlockError::Io`] is considered transient; geometry
+    /// errors (`OutOfRange`, `Misaligned`) are bugs or corruption and fail
+    /// immediately. Each absorbed retry bumps [`LfsStats::io_retries`];
+    /// exhausting the budget bumps [`LfsStats::io_giveups`] (the
+    /// degraded-mode signal) and surfaces the last error as
+    /// [`FsError::Device`].
+    pub(crate) fn write_retry(
+        &mut self,
+        start: u64,
+        buf: &[u8],
+        kind: blockdev::WriteKind,
+    ) -> FsResult<()> {
+        for attempt in 0..IO_ATTEMPTS {
+            match self.dev.write_blocks(start, buf, kind) {
+                Ok(()) => return Ok(()),
+                Err(e) if is_transient(&e) && attempt + 1 < IO_ATTEMPTS => {
+                    self.stats.io_retries += 1;
+                    backoff(attempt);
+                }
+                Err(e) => {
+                    if is_transient(&e) {
+                        self.stats.io_giveups += 1;
+                    }
+                    return Err(FsError::device(e));
+                }
+            }
+        }
+        unreachable!("retry loop always returns")
+    }
+
+    /// Reads into `buf` from `start`, retrying transient device errors.
+    /// See [`Lfs::write_retry`] for the retry policy.
+    pub(crate) fn read_retry(&mut self, start: u64, buf: &mut [u8]) -> FsResult<()> {
+        for attempt in 0..IO_ATTEMPTS {
+            match self.dev.read_blocks(start, buf) {
+                Ok(()) => return Ok(()),
+                Err(e) if is_transient(&e) && attempt + 1 < IO_ATTEMPTS => {
+                    self.stats.io_retries += 1;
+                    backoff(attempt);
+                }
+                Err(e) => {
+                    if is_transient(&e) {
+                        self.stats.io_giveups += 1;
+                    }
+                    return Err(FsError::device(e));
+                }
+            }
+        }
+        unreachable!("retry loop always returns")
     }
 
     /// Returns the underlying device (e.g. to inspect [`blockdev::IoStats`]).
@@ -977,6 +1054,25 @@ impl<D: BlockDevice> Lfs<D> {
 
     // ----- common post-mutation policy -----------------------------------
 
+    /// Runs `f` as one atomic *namespace operation*.
+    ///
+    /// Flushes inside `f` are safe: the directory-operation log record is
+    /// pushed before the mutations, so roll-forward can finish or undo a
+    /// half-applied operation after a crash (§4.2). A *checkpoint*,
+    /// however, declares the on-disk state complete and puts the repair
+    /// record behind the checkpoint where replay never sees it — so a
+    /// checkpoint landing between, say, a rename's entry removal and its
+    /// entry insertion would freeze the orphaned intermediate state
+    /// forever. While the guard is held, [`Lfs::checkpoint`] degrades to
+    /// a plain flush and the cleaner defers segment promotion; the
+    /// caller's `after_mutation` (outside the guard) checkpoints normally.
+    fn with_nsop<T>(&mut self, f: impl FnOnce(&mut Self) -> FsResult<T>) -> FsResult<T> {
+        self.nsop_depth += 1;
+        let r = f(self);
+        self.nsop_depth -= 1;
+        r
+    }
+
     /// Applies the flush / clean / checkpoint policies after a mutation.
     pub(crate) fn after_mutation(&mut self) -> FsResult<()> {
         if self.dirty_bytes >= self.cfg.flush_threshold_bytes {
@@ -997,26 +1093,29 @@ impl<D: BlockDevice> Lfs<D> {
         if self.dir_lookup(parent, name)?.is_some() {
             return Err(FsError::AlreadyExists);
         }
-        let ino = self.imap.allocate().ok_or(FsError::NoInodes)?;
-        let now = self.now();
-        let version = self.imap.version(ino);
-        let inode = Inode::new(ino, version, ftype, now);
-        self.put_inode(inode);
-        self.nfiles += 1;
-        self.dirlog_pending.push(DirLogRecord {
-            op: match ftype {
-                FileType::Regular => DirOp::Create,
-                FileType::Directory => DirOp::Mkdir,
-            },
-            dir: parent,
-            name: name.to_string(),
-            ino,
-            nlink: 1,
-            version,
-            dir2: 0,
-            name2: String::new(),
-        });
-        self.dir_insert(parent, name, ino, ftype)?;
+        let ino = self.with_nsop(|fs| {
+            let ino = fs.imap.allocate().ok_or(FsError::NoInodes)?;
+            let now = fs.now();
+            let version = fs.imap.version(ino);
+            let inode = Inode::new(ino, version, ftype, now);
+            fs.put_inode(inode);
+            fs.nfiles += 1;
+            fs.dirlog_pending.push(DirLogRecord {
+                op: match ftype {
+                    FileType::Regular => DirOp::Create,
+                    FileType::Directory => DirOp::Mkdir,
+                },
+                dir: parent,
+                name: name.to_string(),
+                ino,
+                nlink: 1,
+                version,
+                dir2: 0,
+                name2: String::new(),
+            });
+            fs.dir_insert(parent, name, ino, ftype)?;
+            Ok(ino)
+        })?;
         self.after_mutation()?;
         Ok(ino)
     }
@@ -1102,22 +1201,25 @@ impl<D: BlockDevice> FileSystem for Lfs<D> {
         inode.nlink -= 1;
         let nlink = inode.nlink;
         let version = inode.version;
-        self.dirlog_pending.push(DirLogRecord {
-            op: DirOp::Unlink,
-            dir: parent,
-            name: name.to_string(),
-            ino: slot.ino,
-            nlink,
-            version,
-            dir2: 0,
-            name2: String::new(),
-        });
-        self.dir_remove(parent, name)?;
-        if nlink == 0 {
-            self.delete_file(slot.ino)?;
-        } else {
-            self.put_inode(inode);
-        }
+        self.with_nsop(|fs| {
+            fs.dirlog_pending.push(DirLogRecord {
+                op: DirOp::Unlink,
+                dir: parent,
+                name: name.to_string(),
+                ino: slot.ino,
+                nlink,
+                version,
+                dir2: 0,
+                name2: String::new(),
+            });
+            fs.dir_remove(parent, name)?;
+            if nlink == 0 {
+                fs.delete_file(slot.ino)
+            } else {
+                fs.put_inode(inode);
+                Ok(())
+            }
+        })?;
         self.after_mutation()?;
         Ok(())
     }
@@ -1132,18 +1234,20 @@ impl<D: BlockDevice> FileSystem for Lfs<D> {
             return Err(FsError::DirectoryNotEmpty);
         }
         let version = self.imap.version(slot.ino);
-        self.dirlog_pending.push(DirLogRecord {
-            op: DirOp::Rmdir,
-            dir: parent,
-            name: name.to_string(),
-            ino: slot.ino,
-            nlink: 0,
-            version,
-            dir2: 0,
-            name2: String::new(),
-        });
-        self.dir_remove(parent, name)?;
-        self.delete_file(slot.ino)?;
+        self.with_nsop(|fs| {
+            fs.dirlog_pending.push(DirLogRecord {
+                op: DirOp::Rmdir,
+                dir: parent,
+                name: name.to_string(),
+                ino: slot.ino,
+                nlink: 0,
+                version,
+                dir2: 0,
+                name2: String::new(),
+            });
+            fs.dir_remove(parent, name)?;
+            fs.delete_file(slot.ino)
+        })?;
         self.after_mutation()?;
         Ok(())
     }
@@ -1161,42 +1265,46 @@ impl<D: BlockDevice> FileSystem for Lfs<D> {
             if src.ftype == FileType::Directory || dst.ftype == FileType::Directory {
                 return Err(FsError::AlreadyExists);
             }
-            // Replace a regular-file target: unlink it as part of the
-            // atomic rename.
-            let mut dst_inode = self.inode_clone(dst.ino)?;
-            dst_inode.nlink -= 1;
-            let nlink = dst_inode.nlink;
-            let version = dst_inode.version;
-            self.dirlog_pending.push(DirLogRecord {
-                op: DirOp::Unlink,
-                dir: to_parent,
-                name: to_name.to_string(),
-                ino: dst.ino,
-                nlink,
-                version,
-                dir2: 0,
-                name2: String::new(),
-            });
-            self.dir_remove(to_parent, to_name)?;
-            if nlink == 0 {
-                self.delete_file(dst.ino)?;
-            } else {
-                self.put_inode(dst_inode);
-            }
         }
-        let src_inode = self.inode_clone(src.ino)?;
-        self.dirlog_pending.push(DirLogRecord {
-            op: DirOp::Rename,
-            dir: from_parent,
-            name: from_name.to_string(),
-            ino: src.ino,
-            nlink: src_inode.nlink,
-            version: src_inode.version,
-            dir2: to_parent,
-            name2: to_name.to_string(),
-        });
-        self.dir_remove(from_parent, from_name)?;
-        self.dir_insert(to_parent, to_name, src.ino, src.ftype)?;
+        self.with_nsop(|fs| {
+            if let Some(dst) = fs.dir_lookup(to_parent, to_name)? {
+                // Replace a regular-file target: unlink it as part of the
+                // atomic rename.
+                let mut dst_inode = fs.inode_clone(dst.ino)?;
+                dst_inode.nlink -= 1;
+                let nlink = dst_inode.nlink;
+                let version = dst_inode.version;
+                fs.dirlog_pending.push(DirLogRecord {
+                    op: DirOp::Unlink,
+                    dir: to_parent,
+                    name: to_name.to_string(),
+                    ino: dst.ino,
+                    nlink,
+                    version,
+                    dir2: 0,
+                    name2: String::new(),
+                });
+                fs.dir_remove(to_parent, to_name)?;
+                if nlink == 0 {
+                    fs.delete_file(dst.ino)?;
+                } else {
+                    fs.put_inode(dst_inode);
+                }
+            }
+            let src_inode = fs.inode_clone(src.ino)?;
+            fs.dirlog_pending.push(DirLogRecord {
+                op: DirOp::Rename,
+                dir: from_parent,
+                name: from_name.to_string(),
+                ino: src.ino,
+                nlink: src_inode.nlink,
+                version: src_inode.version,
+                dir2: to_parent,
+                name2: to_name.to_string(),
+            });
+            fs.dir_remove(from_parent, from_name)?;
+            fs.dir_insert(to_parent, to_name, src.ino, src.ftype)
+        })?;
         self.after_mutation()?;
         Ok(())
     }
@@ -1216,18 +1324,20 @@ impl<D: BlockDevice> FileSystem for Lfs<D> {
         inode.ctime = now;
         let nlink = inode.nlink;
         let version = inode.version;
-        self.put_inode(inode);
-        self.dirlog_pending.push(DirLogRecord {
-            op: DirOp::Link,
-            dir: parent,
-            name: name.to_string(),
-            ino: src_ino,
-            nlink,
-            version,
-            dir2: 0,
-            name2: String::new(),
-        });
-        self.dir_insert(parent, name, src_ino, FileType::Regular)?;
+        self.with_nsop(|fs| {
+            fs.put_inode(inode);
+            fs.dirlog_pending.push(DirLogRecord {
+                op: DirOp::Link,
+                dir: parent,
+                name: name.to_string(),
+                ino: src_ino,
+                nlink,
+                version,
+                dir2: 0,
+                name2: String::new(),
+            });
+            fs.dir_insert(parent, name, src_ino, FileType::Regular)
+        })?;
         self.after_mutation()?;
         Ok(())
     }

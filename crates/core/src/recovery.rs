@@ -11,6 +11,16 @@
 //! undoing the unfinishable ones (a create whose inode never reached the
 //! log). Without roll-forward, the tail is simply discarded, which is how
 //! the production Sprite systems ran.
+//!
+//! Nothing in this module trusts bytes read from the device: checkpoint
+//! regions, segment summaries, inode blocks, and directory-log records are
+//! all validated (checksums plus geometry) before use, and any hostile
+//! byte sequence surfaces as [`FsError::Corrupt`] rather than a panic. A
+//! newest checkpoint region that checksums but describes impossible state
+//! is *skipped* — mount falls back to the older region, the behaviour the
+//! alternating-region design of §4.1 exists to provide.
+
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 use std::collections::HashMap;
 
@@ -30,6 +40,12 @@ use crate::usage::SegState;
 impl<D: BlockDevice> Lfs<D> {
     /// Mounts an existing file system, recovering from a crash if the log
     /// extends past the last checkpoint.
+    ///
+    /// Checkpoint regions are tried newest-first: if the newest valid
+    /// region describes impossible state (torn or rotted but still
+    /// checksummed), mount falls back to the older region instead of
+    /// failing. Only when no region yields a mountable state does this
+    /// return [`FsError::Corrupt`].
     pub fn mount(mut dev: D, cfg: LfsConfig) -> FsResult<Lfs<D>> {
         let mut sb_buf = [0u8; BLOCK_SIZE];
         dev.read_block(SUPERBLOCK_ADDR, &mut sb_buf)
@@ -42,14 +58,95 @@ impl<D: BlockDevice> Lfs<D> {
                 dev.num_blocks()
             )));
         }
-        let (cp, idx) = Checkpoint::read_latest(
+        if sb.seg_start(sb.nsegments) > sb.device_blocks {
+            return Err(FsError::Corrupt(format!(
+                "superblock geometry ({} segments of {} blocks) exceeds device",
+                sb.nsegments, sb.seg_blocks
+            )));
+        }
+        let candidates = Checkpoint::read_candidates(
             &mut dev,
             [sb.checkpoint_addrs()[0], sb.checkpoint_addrs()[1]],
-        )?;
+        );
+        if candidates.is_empty() {
+            return Err(FsError::Corrupt(
+                "no valid checkpoint region (both torn or corrupt)".into(),
+            ));
+        }
+        let mut last_err = FsError::Corrupt("no checkpoint candidate".into());
+        for (cp, idx) in candidates {
+            match Self::mount_at_checkpoint(dev, sb, cfg, &cp, idx) {
+                Ok(mut fs) => {
+                    fs.nfiles = fs.imap.live_count().saturating_sub(1);
+                    // Commit the new epoch (and anything recovery
+                    // changed). This happens *outside* the fallback loop:
+                    // a device-write failure here is not corruption and
+                    // must not send mount chasing the older region.
+                    fs.checkpoint()?;
+                    return Ok(fs);
+                }
+                Err((returned, e)) => {
+                    dev = returned;
+                    last_err = e;
+                }
+            }
+        }
+        Err(last_err)
+    }
+
+    /// Attempts to bring up the file system from one specific checkpoint.
+    /// On failure the (unmodified) device is handed back so the caller can
+    /// try the other region. Nothing in here writes to the device:
+    /// roll-forward's mutations live in the cache until the end-of-mount
+    /// checkpoint.
+    #[allow(clippy::type_complexity)]
+    fn mount_at_checkpoint(
+        dev: D,
+        sb: Superblock,
+        cfg: LfsConfig,
+        cp: &Checkpoint,
+        idx: usize,
+    ) -> Result<Lfs<D>, (D, FsError)> {
         let mut cfg = cfg;
         cfg.seg_blocks = sb.seg_blocks;
         cfg.max_inodes = sb.max_inodes;
         let mut fs = Lfs::bare(dev, sb, cfg);
+        match fs.load_checkpoint_state(cp, idx) {
+            Ok(()) => Ok(fs),
+            Err(e) => Err((fs.into_device(), e)),
+        }
+    }
+
+    /// Validates a checkpoint against the superblock geometry and loads
+    /// the in-memory state from it. Every quantity the checkpoint supplies
+    /// is range-checked before use — a checksummed region can still be a
+    /// stale or hostile one.
+    fn load_checkpoint_state(&mut self, cp: &Checkpoint, idx: usize) -> FsResult<()> {
+        let corrupt = |what: &str| FsError::Corrupt(format!("checkpoint: {what}"));
+        if cp.cur_seg >= self.sb.nsegments {
+            return Err(corrupt("log head segment out of range"));
+        }
+        if cp.cur_off > self.sb.seg_blocks {
+            return Err(corrupt("log head offset out of range"));
+        }
+        if cp.imap_addrs.len() != self.imap.num_blocks() {
+            return Err(corrupt("inode-map block count mismatch"));
+        }
+        if cp.usage_addrs.len() != self.usage.num_blocks() {
+            return Err(corrupt("usage-table block count mismatch"));
+        }
+        if cp.live_bytes.len() != self.sb.nsegments as usize {
+            return Err(corrupt("live-byte vector length mismatch"));
+        }
+        let in_range = |addr: DiskAddr| addr == NIL_ADDR || addr < self.sb.device_blocks;
+        if !cp
+            .imap_addrs
+            .iter()
+            .chain(cp.usage_addrs.iter())
+            .all(|&a| in_range(a))
+        {
+            return Err(corrupt("metadata block address out of range"));
+        }
 
         // Load the inode map and segment usage table from the addresses
         // in the checkpoint.
@@ -58,56 +155,49 @@ impl<D: BlockDevice> Lfs<D> {
             if addr == NIL_ADDR {
                 continue;
             }
-            fs.dev
-                .read_blocks(addr, &mut buf)
-                .map_err(FsError::device)?;
-            fs.imap.load_block(i, &buf, addr);
+            self.read_retry(addr, &mut buf)?;
+            self.imap.load_block(i, &buf, addr);
         }
         for (i, &addr) in cp.usage_addrs.iter().enumerate() {
             if addr == NIL_ADDR {
                 continue;
             }
-            fs.dev
-                .read_blocks(addr, &mut buf)
-                .map_err(FsError::device)?;
-            fs.usage.load_block(i, &buf, addr);
+            self.read_retry(addr, &mut buf)?;
+            self.usage.load_block(i, &buf, addr);
         }
         // The checkpoint carries the authoritative live counts (the table
         // blocks in the log can be quietly stale for the segments they
         // themselves landed in).
-        fs.usage.overlay_live(&cp.live_bytes);
-        fs.imap.rebuild_free_list();
+        self.usage.overlay_live(&cp.live_bytes);
+        self.imap.rebuild_free_list();
         // Segments recorded as PendingFree are safe to reuse: any
         // checkpoint that stored that state was written after the
         // cleaner's relocations reached the log.
-        fs.usage.promote_pending(cp.seq);
-        fs.epoch = cp.epoch + 1;
-        fs.write_seq = cp.seq;
-        fs.checkpoint_seq = cp.seq;
-        fs.clock = cp.timestamp;
-        fs.next_cr = 1 - idx;
-        fs.cur_seg = cp.cur_seg;
-        fs.cur_off = cp.cur_off;
-        fs.usage.set_state(fs.cur_seg, SegState::Active);
+        self.usage.promote_pending(cp.seq);
+        self.epoch = cp.epoch + 1;
+        self.write_seq = cp.seq;
+        self.checkpoint_seq = cp.seq;
+        self.clock = cp.timestamp;
+        self.next_cr = 1 - idx;
+        self.cur_seg = cp.cur_seg;
+        self.cur_off = cp.cur_off;
+        self.usage.set_state(self.cur_seg, SegState::Active);
 
         // Allocation safety across the mount: every segment that looks
         // Clean here was Clean (or PendingFree with its relocation
         // already covered) in the loaded checkpoint, so writing into it
         // cannot destroy anything the checkpoint references. Roll-forward
         // itself only reads; its mutations reach the log through the
-        // end-of-mount checkpoint below.
-        if fs.cfg.roll_forward {
-            fs.roll_forward(&cp)?;
+        // end-of-mount checkpoint.
+        if self.cfg.roll_forward {
+            self.roll_forward(cp)?;
             // Usage blocks recovered from the log tail may reintroduce
             // PendingFree states; those covered by the loaded checkpoint
             // are promotable, the rest wait for the end-of-mount
-            // checkpoint below.
-            fs.usage.promote_pending(cp.seq);
+            // checkpoint.
+            self.usage.promote_pending(cp.seq);
         }
-        fs.nfiles = fs.imap.live_count().saturating_sub(1);
-        // Commit the new epoch (and anything recovery changed).
-        fs.checkpoint()?;
-        Ok(fs)
+        Ok(())
     }
 
     /// Scans the log tail written after checkpoint `cp` and recovers it.
@@ -190,7 +280,24 @@ impl<D: BlockDevice> Lfs<D> {
             if off + 1 + n > seg_blocks {
                 break;
             }
-            self.replay_partial_write(&summary, addr + 1, &mut records)?;
+            // Verify the whole chunk against the summary's per-block
+            // checksums *before* adopting anything from it. A torn
+            // segment write can persist the summary but lose some of the
+            // blocks it describes; any mismatch means this chunk never
+            // fully reached the disk, so the log effectively ends at the
+            // previous partial write.
+            let mut chunk = vec![0u8; n as usize * BLOCK_SIZE];
+            if self.dev.read_blocks(addr + 1, &mut chunk).is_err() {
+                break;
+            }
+            let verified = summary.entries.iter().enumerate().all(|(j, e)| {
+                let b = &chunk[j * BLOCK_SIZE..(j + 1) * BLOCK_SIZE];
+                crate::codec::block_checksum(b) == e.csum
+            });
+            if !verified {
+                break;
+            }
+            self.replay_partial_write(&summary, addr + 1, &chunk, &mut records)?;
             self.usage.set_state(seg, SegState::Dirty);
             off += 1 + n;
             self.write_seq = summary.seq;
@@ -208,21 +315,21 @@ impl<D: BlockDevice> Lfs<D> {
         Ok(())
     }
 
-    /// Processes the blocks of one recovered partial write.
+    /// Processes the blocks of one recovered partial write. `chunk` holds
+    /// the checksum-verified contents of the write's blocks (one per
+    /// summary entry), so nothing here re-reads the tail from the device.
     fn replay_partial_write(
         &mut self,
         summary: &Summary,
         first_block: DiskAddr,
+        chunk: &[u8],
         records: &mut Vec<DirLogRecord>,
     ) -> FsResult<()> {
-        let mut buf = vec![0u8; BLOCK_SIZE];
         for (j, entry) in summary.entries.iter().enumerate() {
             let addr = first_block + j as u64;
+            let buf = &chunk[j * BLOCK_SIZE..(j + 1) * BLOCK_SIZE];
             match entry.kind {
                 EntryKind::InodeBlock => {
-                    self.dev
-                        .read_blocks(addr, &mut buf)
-                        .map_err(FsError::device)?;
                     for slot in 0..crate::layout::INODES_PER_BLOCK {
                         let chunk = &buf[slot * INODE_DISK_SIZE..(slot + 1) * INODE_DISK_SIZE];
                         let Some(inode) = Inode::decode(chunk)? else {
@@ -247,15 +354,12 @@ impl<D: BlockDevice> Lfs<D> {
                             self.usage
                                 .add_live_quiet(seg, BLOCK_SIZE as u32, summary.write_time);
                         }
-                        self.dev
-                            .read_blocks(addr, &mut buf)
-                            .map_err(FsError::device)?;
                         // A live -> free transition in the incoming block
                         // is a deletion becoming durable; its liveness
                         // accounting never reached the checkpoint, so
                         // retire the dead file's blocks here, from the
                         // about-to-be-replaced entry.
-                        for (ino, incoming) in self.imap.peek_block(idx, &buf) {
+                        for (ino, incoming) in self.imap.peek_block(idx, buf) {
                             let cur = match self.imap.get(ino) {
                                 Ok(e) => *e,
                                 Err(_) => continue,
@@ -273,7 +377,7 @@ impl<D: BlockDevice> Lfs<D> {
                                 }
                             }
                         }
-                        self.imap.load_block(idx, &buf, addr);
+                        self.imap.load_block(idx, buf, addr);
                     }
                 }
                 EntryKind::UsageBlock => {
@@ -289,18 +393,12 @@ impl<D: BlockDevice> Lfs<D> {
                             self.usage
                                 .add_live_quiet(seg, BLOCK_SIZE as u32, summary.write_time);
                         }
-                        self.dev
-                            .read_blocks(addr, &mut buf)
-                            .map_err(FsError::device)?;
                         // Live counts stay under incremental tracking.
-                        self.usage.load_block_preserving_live(idx, &buf, addr);
+                        self.usage.load_block_preserving_live(idx, buf, addr);
                     }
                 }
                 EntryKind::DirLog => {
-                    self.dev
-                        .read_blocks(addr, &mut buf)
-                        .map_err(FsError::device)?;
-                    records.extend(dirlog::decode_block(&buf)?);
+                    records.extend(dirlog::decode_block(buf)?);
                 }
                 // Data and indirect blocks are incorporated through their
                 // inode: "when a summary block indicates the presence of a

@@ -113,9 +113,21 @@ pub struct LfsStats {
     pub partial_writes: u64,
     /// Bytes of new file data accepted from applications.
     pub app_bytes_written: u64,
+    /// Transient device errors absorbed by retrying.
+    pub io_retries: u64,
+    /// Device operations abandoned after the retry budget was exhausted.
+    /// Any non-zero value means the file system is running degraded: an
+    /// error was surfaced to the caller instead of silently absorbed.
+    pub io_giveups: u64,
 }
 
 impl LfsStats {
+    /// True when at least one device operation exhausted its retry budget
+    /// (the degraded-mode signal of the fault-injection experiments).
+    pub fn degraded(&self) -> bool {
+        self.io_giveups > 0
+    }
+
     /// Records `bytes` of kind `kind` appended to the log.
     pub fn add_log_bytes(&mut self, kind: BlockKind, bytes: u64, by_cleaner: bool) {
         if by_cleaner {

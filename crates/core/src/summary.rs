@@ -20,7 +20,7 @@ use crate::codec::{checksum, Reader, Writer};
 
 const MAGIC: u32 = 0x5347_5355; // "SUGS"
 const HEADER_SIZE: usize = 40;
-const ENTRY_SIZE: usize = 24;
+const ENTRY_SIZE: usize = 28;
 
 /// Maximum blocks one summary can describe.
 pub const MAX_SUMMARY_ENTRIES: usize = (BLOCK_SIZE - HEADER_SIZE) / ENTRY_SIZE;
@@ -91,6 +91,14 @@ pub struct SummaryEntry {
     /// the cleaner's age-sort and the usage table's segment ages work on
     /// true block ages, and relocation preserves them.
     pub mtime: u64,
+    /// Checksum ([`crate::codec::block_checksum`]) of the described
+    /// block's contents at write time. Roll-forward verifies every block
+    /// of a chunk against this before replaying any of it, so a torn
+    /// segment write (summary persisted, some data blocks lost) is
+    /// detected as the end of the log instead of being replayed as
+    /// garbage; the cleaner uses it to refuse to relocate rotted live
+    /// blocks.
+    pub csum: u32,
 }
 
 impl SummaryEntry {
@@ -102,6 +110,7 @@ impl SummaryEntry {
             offset,
             version,
             mtime,
+            csum: 0,
         }
     }
 
@@ -113,6 +122,7 @@ impl SummaryEntry {
             offset,
             version: 0,
             mtime,
+            csum: 0,
         }
     }
 }
@@ -157,6 +167,7 @@ impl Summary {
                 w.put_u32(e.offset);
                 w.put_u32(e.version);
                 w.put_u64(e.mtime);
+                w.put_u32(e.csum);
             }
         }
         let sum = Self::compute_checksum(&buf, self.entries.len());
@@ -193,12 +204,14 @@ impl Summary {
             let offset = r.get_u32();
             let version = r.get_u32();
             let mtime = r.get_u64();
+            let csum = r.get_u32();
             entries.push(SummaryEntry {
                 kind,
                 ino,
                 offset,
                 version,
                 mtime,
+                csum,
             });
         }
         Ok(Summary {
@@ -241,6 +254,7 @@ mod tests {
                     offset: 0,
                     version: 2,
                     mtime: 15,
+                    csum: 0xdead_beef,
                 },
             ],
         }
@@ -297,8 +311,15 @@ mod tests {
     }
 
     #[test]
-    fn capacity_is_169_blocks() {
-        assert_eq!(MAX_SUMMARY_ENTRIES, 169);
+    fn capacity_is_144_blocks() {
+        assert_eq!(MAX_SUMMARY_ENTRIES, 144);
+    }
+
+    #[test]
+    fn flipped_csum_field_fails_checksum() {
+        let mut buf = sample().encode();
+        buf[HEADER_SIZE + ENTRY_SIZE - 1] ^= 0x80; // csum byte of entry 0
+        assert!(Summary::decode(&buf).is_err());
     }
 
     #[test]

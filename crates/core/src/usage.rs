@@ -128,10 +128,11 @@ impl UsageTable {
     }
 
     /// Adds live bytes to a segment (a block was appended) and refreshes
-    /// its age with the block's modification time.
+    /// its age with the block's modification time. Saturates: counts
+    /// seeded from a hostile checkpoint image must not overflow-panic.
     pub fn add_live(&mut self, seg: u32, bytes: u32, block_mtime: u64) {
         let e = &mut self.entries[seg as usize];
-        e.live_bytes += bytes;
+        e.live_bytes = e.live_bytes.saturating_add(bytes);
         e.last_write = e.last_write.max(block_mtime);
         self.dirty[Self::block_of(seg)] = true;
     }
@@ -156,7 +157,7 @@ impl UsageTable {
     /// always re-verified by the cleaning mechanism (§3.3).
     pub fn add_live_quiet(&mut self, seg: u32, bytes: u32, block_mtime: u64) {
         let e = &mut self.entries[seg as usize];
-        e.live_bytes += bytes;
+        e.live_bytes = e.live_bytes.saturating_add(bytes);
         e.last_write = e.last_write.max(block_mtime);
     }
 

@@ -49,13 +49,15 @@ fn arb_entry() -> impl Strategy<Value = SummaryEntry> {
         any::<u32>(),
         any::<u32>(),
         any::<u64>(),
+        any::<u32>(),
     )
-        .prop_map(|(kind, ino, offset, version, mtime)| SummaryEntry {
+        .prop_map(|(kind, ino, offset, version, mtime, csum)| SummaryEntry {
             kind,
             ino,
             offset,
             version,
             mtime,
+            csum,
         })
 }
 
@@ -130,7 +132,7 @@ proptest! {
     ) {
         let s = Summary { epoch: 3, seq: 9, write_time: 7, entries };
         let mut enc = s.encode();
-        let payload_len = 40 + s.entries.len() * 24;
+        let payload_len = 40 + s.entries.len() * 28;
         let idx = corrupt_at.index(payload_len);
         enc[idx] ^= flip;
         // Either decoding fails, or (for a flip that only touches fields

@@ -1,0 +1,172 @@
+//! Fault-injection integration tests: checkpoint fallback, transient
+//! device errors, and media rot must all surface as recovered state or a
+//! clean `FsError` — never as a panic.
+
+use blockdev::{BlockDevice, FaultDisk, FaultPlan, MemDisk, WriteKind, BLOCK_SIZE};
+use lfs_core::checkpoint::Checkpoint;
+use lfs_core::layout::{CR0_ADDR, CR1_ADDR};
+use lfs_core::{Lfs, LfsConfig};
+use vfs::{FileSystem, FsError};
+
+const CR_ADDRS: [u64; 2] = [CR0_ADDR, CR1_ADDR];
+
+/// Formats a small file system, writes `/a`, checkpoints, writes `/b`,
+/// checkpoints again, and returns the raw device. The newest checkpoint
+/// region knows about both files; the older one only about `/a`.
+fn two_checkpoint_image(cfg: LfsConfig) -> MemDisk {
+    let mut fs = Lfs::format(MemDisk::new(2048), cfg).unwrap();
+    fs.write_file("/a", b"alpha").unwrap();
+    fs.sync().unwrap();
+    fs.write_file("/b", b"beta").unwrap();
+    fs.sync().unwrap();
+    fs.into_device()
+}
+
+/// Config used by the fallback tests: roll-forward off, so mounting from
+/// the older checkpoint region visibly loses `/b` instead of replaying it
+/// back from the log.
+fn no_replay_cfg() -> LfsConfig {
+    let mut cfg = LfsConfig::small();
+    cfg.roll_forward = false;
+    cfg
+}
+
+#[test]
+fn torn_newest_checkpoint_falls_back_to_older_region() {
+    let cfg = no_replay_cfg();
+    let mut dev = two_checkpoint_image(cfg);
+    let (_, newest) = Checkpoint::read_latest(&mut dev, CR_ADDRS).unwrap();
+
+    // Tear the newest region: garbage over its header block, as if the
+    // crash hit mid-way through the checkpoint write.
+    let garbage = [0xffu8; BLOCK_SIZE];
+    dev.write_block(CR_ADDRS[newest], &garbage, WriteKind::Sync)
+        .unwrap();
+
+    let mut fs = Lfs::mount(dev, cfg).expect("mount must fall back to the older region");
+    assert!(fs.lookup("/a").is_ok(), "older checkpoint state lost");
+    assert!(
+        matches!(fs.lookup("/b"), Err(FsError::NotFound)),
+        "/b postdates the surviving checkpoint and roll-forward is off"
+    );
+    assert!(fs.check().unwrap().is_clean());
+}
+
+#[test]
+fn geometry_corrupt_but_checksummed_checkpoint_falls_back() {
+    let cfg = no_replay_cfg();
+    let mut dev = two_checkpoint_image(cfg);
+    let (mut cp, newest) = Checkpoint::read_latest(&mut dev, CR_ADDRS).unwrap();
+
+    // The checksum is valid but the geometry is impossible: the claimed
+    // log head segment does not exist. Mount must reject this region on
+    // semantic grounds and fall back, not index out of bounds.
+    cp.cur_seg = u32::MAX / 2;
+    cp.write_to(&mut dev, CR_ADDRS[newest]).unwrap();
+
+    let mut fs = Lfs::mount(dev, cfg).expect("mount must reject impossible geometry");
+    assert!(fs.lookup("/a").is_ok());
+    assert!(matches!(fs.lookup("/b"), Err(FsError::NotFound)));
+    assert!(fs.check().unwrap().is_clean());
+}
+
+#[test]
+fn both_checkpoint_regions_torn_is_corrupt_not_panic() {
+    let cfg = no_replay_cfg();
+    let mut dev = two_checkpoint_image(cfg);
+    let garbage = [0xa5u8; BLOCK_SIZE];
+    for addr in CR_ADDRS {
+        dev.write_block(addr, &garbage, WriteKind::Sync).unwrap();
+    }
+    match Lfs::mount(dev, cfg) {
+        Err(FsError::Corrupt(_)) => {}
+        Err(e) => panic!("expected Corrupt, got {e}"),
+        Ok(_) => panic!("mount succeeded with no valid checkpoint"),
+    }
+}
+
+#[test]
+fn transient_write_faults_are_absorbed_by_retry() {
+    let cfg = LfsConfig::small();
+    let clean = Lfs::format(MemDisk::new(2048), cfg).unwrap().into_device();
+
+    // Every second-ish write request fails twice before succeeding; the
+    // file system's retry budget (5 attempts) rides it out.
+    let plan = FaultPlan::new(0x51ed)
+        .with_write_faults(0.5)
+        .with_transient_failures(2);
+    let mut fs = Lfs::mount(FaultDisk::new(clean, plan), cfg).unwrap();
+    for i in 0..20 {
+        fs.write_file(&format!("/f{i}"), &vec![i as u8; 3000])
+            .unwrap();
+    }
+    fs.sync().unwrap();
+
+    assert!(fs.stats().io_retries > 0, "no faults were injected");
+    assert_eq!(fs.stats().io_giveups, 0);
+    assert!(!fs.stats().degraded());
+    assert!(fs.device().counts().write_faults > 0);
+
+    // Unwrap the fault layer: the persisted image is fully consistent.
+    let image = fs.into_device().into_inner();
+    let mut fs2 = Lfs::mount(image, cfg).unwrap();
+    assert!(fs2.check().unwrap().is_clean());
+    for i in 0..20 {
+        let ino = fs2.lookup(&format!("/f{i}")).unwrap();
+        assert_eq!(fs2.read_to_vec(ino).unwrap(), vec![i as u8; 3000]);
+    }
+}
+
+#[test]
+fn exhausted_retries_surface_device_error_and_degraded_stat() {
+    let cfg = LfsConfig::small();
+    let clean = Lfs::format(MemDisk::new(2048), cfg).unwrap().into_device();
+
+    // Mount through a quiet fault layer, then arm a fault burst longer
+    // than the retry budget: flush must fail with `Device`, not panic.
+    let mut fs = Lfs::mount(FaultDisk::new(clean, FaultPlan::new(7)), cfg).unwrap();
+    {
+        let plan = fs.device_mut().plan_mut();
+        plan.write_fault_rate = 1.0;
+        plan.transient_failures = 100;
+    }
+    fs.write_file("/doomed", &[1u8; 5000]).unwrap();
+    match fs.flush() {
+        Err(FsError::Device(_)) => {}
+        Err(e) => panic!("expected Device error, got {e}"),
+        Ok(()) => panic!("flush succeeded through a permanent fault"),
+    }
+    assert!(fs.stats().io_giveups > 0);
+    assert!(fs.stats().degraded());
+}
+
+#[test]
+fn rotted_checkpoint_headers_fail_mount_cleanly() {
+    let cfg = LfsConfig::small();
+    let dev = two_checkpoint_image(cfg);
+    // Seed chosen so the deterministic flips land inside the validated
+    // prefix of both header blocks (flips in the region's dead padding are
+    // harmless by design — the checksum only covers live bytes).
+    let plan = FaultPlan::new(0)
+        .with_bitrot(CR0_ADDR)
+        .with_bitrot(CR1_ADDR);
+    match Lfs::mount(FaultDisk::new(dev, plan), cfg) {
+        Err(FsError::Corrupt(_)) => {}
+        Err(e) => panic!("expected Corrupt, got {e}"),
+        Ok(_) => panic!("mount trusted rotted checkpoint headers"),
+    }
+}
+
+#[test]
+fn rotted_newest_checkpoint_falls_back_to_older_region() {
+    let cfg = no_replay_cfg();
+    let mut dev = two_checkpoint_image(cfg);
+    let (_, newest) = Checkpoint::read_latest(&mut dev, CR_ADDRS).unwrap();
+
+    let plan = FaultPlan::new(3).with_bitrot(CR_ADDRS[newest]);
+    let mut fs = Lfs::mount(FaultDisk::new(dev, plan), cfg)
+        .expect("mount must fall back past the rotted region");
+    assert!(fs.lookup("/a").is_ok());
+    assert!(matches!(fs.lookup("/b"), Err(FsError::NotFound)));
+    assert!(fs.check().unwrap().is_clean());
+}

@@ -336,7 +336,7 @@ fn crash_without_sync_loses_tail_but_stays_consistent() {
     // Crash now (no sync).
     let image = {
         let crash: &CrashDisk = fs.device();
-        crash.image_after(crash.num_writes())
+        crash.image_after(crash.num_writes()).unwrap()
     };
     let mut fs2 = Lfs::mount(image, cfg).unwrap();
     let d = fs2.lookup("/durable").unwrap();
@@ -359,7 +359,7 @@ fn roll_forward_recovers_flushed_but_not_checkpointed_data() {
     fs.flush().unwrap();
     let image = {
         let crash: &CrashDisk = fs.device();
-        crash.image_after(crash.num_writes())
+        crash.image_after(crash.num_writes()).unwrap()
     };
     let mut fs2 = Lfs::mount(image, cfg).unwrap();
     let r = fs2.lookup("/recovered").unwrap();
@@ -388,7 +388,7 @@ fn roll_forward_removes_half_finished_creates() {
     let crash_ref: &CrashDisk = fs.device();
     let n = crash_ref.num_writes();
     for cut in 0..=n {
-        let image = crash_ref.image_after(cut);
+        let image = crash_ref.image_after(cut).unwrap();
         let mut fs2 = match Lfs::mount(image, cfg) {
             Ok(f) => f,
             Err(e) => panic!("cut {cut}/{n}: mount failed: {e}"),
@@ -401,7 +401,7 @@ fn roll_forward_removes_half_finished_creates() {
         );
     }
     // The full image must contain the final state.
-    let image = crash_ref.image_after(n);
+    let image = crash_ref.image_after(n).unwrap();
     let mut fs3 = Lfs::mount(image, cfg).unwrap();
     assert!(fs3.lookup("/d/c").is_ok());
     assert!(fs3.lookup("/d/a").is_err());
@@ -424,7 +424,7 @@ fn atomic_rename_under_crashes() {
     let crash_ref: &CrashDisk = fs.device();
     let n = crash_ref.num_writes();
     for cut in 0..=n {
-        let image = crash_ref.image_after(cut);
+        let image = crash_ref.image_after(cut).unwrap();
         let mut fs2 = Lfs::mount(image, cfg).unwrap();
         let old = fs2.lookup("/old").is_ok();
         let new = fs2.lookup("/new").is_ok();

@@ -1,0 +1,95 @@
+//! Fuzz-style mount tests: `Lfs::mount` on an arbitrarily mutated image
+//! must return `Ok` or `Err` — it must never panic. When it returns `Ok`,
+//! the offline checker must also run to completion without panicking
+//! (a dirty report is acceptable; a crash is not).
+//!
+//! The mutations start from a real formatted image so the corruption lands
+//! on structures the mount path actually parses (superblock, checkpoint
+//! regions, segment summaries, inodes, dirlog blocks), not just on zeroed
+//! free space.
+
+use std::sync::OnceLock;
+
+use blockdev::{MemDisk, BLOCK_SIZE};
+use lfs_core::{Lfs, LfsConfig};
+use proptest::prelude::*;
+use vfs::FileSystem;
+
+fn cfg() -> LfsConfig {
+    LfsConfig::small()
+}
+
+/// A populated image exercising files, directories, renames, and enough
+/// data volume to span several segments.
+fn base_image() -> &'static [u8] {
+    static IMG: OnceLock<Vec<u8>> = OnceLock::new();
+    IMG.get_or_init(|| {
+        let mut fs = Lfs::format(MemDisk::new(1024), cfg()).unwrap();
+        fs.mkdir("/dir").unwrap();
+        fs.write_file("/dir/f", &[7u8; 20_000]).unwrap();
+        fs.write_file("/g", b"hello").unwrap();
+        fs.rename("/g", "/dir/g").unwrap();
+        fs.link("/dir/f", "/alias").unwrap();
+        fs.sync().unwrap();
+        fs.write_file("/late", &[9u8; 6_000]).unwrap();
+        fs.flush().unwrap(); // past the checkpoint: exercises roll-forward
+        fs.into_device().into_image()
+    })
+}
+
+/// Mounts the image and, if it mounts, runs the checker; the only failure
+/// mode this harness rejects is a panic (which `proptest!` catches and
+/// reports with the deterministic case number).
+fn mount_must_not_panic(img: Vec<u8>) {
+    if let Ok(mut fs) = Lfs::mount(MemDisk::from_image(img), cfg()) {
+        let _ = fs.check();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn mount_survives_scattered_byte_corruption(
+        edits in proptest::collection::vec(
+            (any::<proptest::sample::Index>(), any::<u8>()),
+            1..96,
+        )
+    ) {
+        let mut img = base_image().to_vec();
+        for (idx, val) in edits {
+            let i = idx.index(img.len());
+            img[i] = val;
+        }
+        mount_must_not_panic(img);
+    }
+
+    #[test]
+    fn mount_survives_whole_block_trashing(
+        blocks in proptest::collection::vec(
+            (any::<proptest::sample::Index>(), any::<u8>()),
+            1..8,
+        )
+    ) {
+        let mut img = base_image().to_vec();
+        let nblocks = img.len() / BLOCK_SIZE;
+        for (idx, fill) in blocks {
+            let b = idx.index(nblocks);
+            img[b * BLOCK_SIZE..(b + 1) * BLOCK_SIZE].fill(fill);
+        }
+        mount_must_not_panic(img);
+    }
+
+    #[test]
+    fn mount_survives_truncated_tail(
+        keep in any::<proptest::sample::Index>(),
+        fill in any::<u8>(),
+    ) {
+        // Zero (or fill) everything past an arbitrary point, simulating a
+        // device that lost its tail.
+        let mut img = base_image().to_vec();
+        let cut = keep.index(img.len());
+        img[cut..].fill(fill);
+        mount_must_not_panic(img);
+    }
+}

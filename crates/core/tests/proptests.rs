@@ -348,7 +348,7 @@ proptest! {
         let n = crash.num_writes();
         for frac in &cuts {
             let cut = ((n as f64) * frac) as usize;
-            let image = crash.image_after(cut);
+            let image = crash.image_after(cut).unwrap();
             let mut recovered = Lfs::mount(image, cfg)
                 .map_err(|e| TestCaseError::fail(format!("cut {cut}/{n}: mount: {e}")))?;
             let report = recovered.check().unwrap();

@@ -9,6 +9,19 @@
 
 use blockdev::FileDisk;
 use lfs_core::{Lfs, LfsConfig};
+use vfs::FsError;
+
+/// Exit code for an image whose on-disk structures are corrupt — distinct
+/// from exit 1 (inconsistent-but-parseable, or an I/O error) so scripts
+/// can triage.
+const EXIT_CORRUPT: i32 = 2;
+
+fn exit_for(e: &FsError) -> i32 {
+    match e {
+        FsError::Corrupt(_) => EXIT_CORRUPT,
+        _ => 1,
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -23,11 +36,11 @@ fn main() {
     });
     let mut fs = Lfs::mount(disk, LfsConfig::default()).unwrap_or_else(|e| {
         eprintln!("lfsck: mount failed: {e}");
-        std::process::exit(1);
+        std::process::exit(exit_for(&e));
     });
     let report = fs.check().unwrap_or_else(|e| {
         eprintln!("lfsck: check aborted: {e}");
-        std::process::exit(1);
+        std::process::exit(exit_for(&e));
     });
     println!(
         "lfsck: {} files, {} directories, {} data blocks",

@@ -8,7 +8,17 @@ use lfs_core::checkpoint::Checkpoint;
 use lfs_core::superblock::Superblock;
 use lfs_core::usage::SegState;
 use lfs_core::{Lfs, LfsConfig};
-use vfs::FileSystem;
+use vfs::{FileSystem, FsError};
+
+/// Exit code for a structurally corrupt image (vs. 1 for I/O errors).
+const EXIT_CORRUPT: i32 = 2;
+
+fn exit_for(e: &FsError) -> i32 {
+    match e {
+        FsError::Corrupt(_) => EXIT_CORRUPT,
+        _ => 1,
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -28,12 +38,15 @@ fn main() {
 
     // Superblock.
     let mut buf = [0u8; BLOCK_SIZE];
-    disk.read_block(0, &mut buf).unwrap();
+    if let Err(e) = disk.read_block(0, &mut buf) {
+        eprintln!("lfsdump: cannot read superblock: {e}");
+        std::process::exit(1);
+    }
     let sb = match Superblock::decode(&buf) {
         Ok(sb) => sb,
         Err(e) => {
             eprintln!("lfsdump: {e}");
-            std::process::exit(1);
+            std::process::exit(exit_for(&e));
         }
     };
     println!("superblock:");
@@ -60,9 +73,12 @@ fn main() {
     // Mount (read-only interrogation).
     let mut fs = Lfs::mount(disk, LfsConfig::default()).unwrap_or_else(|e| {
         eprintln!("lfsdump: mount failed: {e}");
-        std::process::exit(1);
+        std::process::exit(exit_for(&e));
     });
-    let s = fs.statfs().unwrap();
+    let s = fs.statfs().unwrap_or_else(|e| {
+        eprintln!("lfsdump: statfs failed: {e}");
+        std::process::exit(exit_for(&e));
+    });
     println!(
         "mounted: {} files, {:.1} MB live ({:.0}% of {:.0} MB)",
         s.num_files,

@@ -1,0 +1,340 @@
+//! `torture` — randomized crash + fault-injection torture for the LFS.
+//!
+//! Each seed drives one independent round:
+//!
+//! 1. Format a small file system on a journaling [`CrashDisk`] wrapped in
+//!    a [`FaultDisk`], write a set of *base* files, and checkpoint them.
+//! 2. Arm transient read/write faults and write tearing, then run a
+//!    randomized workload (writes, unlinks, renames, flushes, syncs) on a
+//!    separate set of *hot* files, tracking every content version each
+//!    path has ever held.
+//! 3. Crash: cut the write journal at random *block* granularity — the
+//!    straddling request persists an arbitrary subset of its blocks — and
+//!    remount the surviving image on a plain [`MemDisk`].
+//! 4. Verify: the mount must succeed, the offline checker must report
+//!    clean, the base files must be byte-exact, and every surviving hot
+//!    file must hold one of its historical contents (torn intermediate
+//!    states are format bugs, not bad luck).
+//!
+//! With `--rot`, random bit flips are also applied to the crashed image;
+//! in that mode a mount may legitimately fail with a corruption error, so
+//! only panics and dirty-but-mounted states count as failures.
+//!
+//! Everything is deterministic in the seed: `torture --start S --seeds 1`
+//! replays round S bit-for-bit.
+//!
+//! Usage: `torture [--seeds N] [--start S] [--ops K] [--cuts C] [--rot] [--verbose]`
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use blockdev::{CrashDisk, FaultDisk, FaultPlan, MemDisk, BLOCK_SIZE};
+use lfs_core::{Lfs, LfsConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vfs::{FileSystem, FsError};
+
+const DISK_BLOCKS: u64 = 512;
+const HOT_FILES: usize = 8;
+const BASE_FILES: usize = 6;
+
+struct Options {
+    seeds: u64,
+    start: u64,
+    ops: usize,
+    cuts: usize,
+    rot: bool,
+    verbose: bool,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: torture [--seeds N] [--start S] [--ops K] [--cuts C] [--rot] [--verbose]");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        seeds: 10,
+        start: 0,
+        ops: 500,
+        cuts: 3,
+        rot: false,
+        verbose: false,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> u64 {
+            *i += 1;
+            args.get(*i)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--seeds" => opts.seeds = take(&mut i),
+            "--start" => opts.start = take(&mut i),
+            "--ops" => opts.ops = take(&mut i) as usize,
+            "--cuts" => opts.cuts = take(&mut i) as usize,
+            "--rot" => opts.rot = true,
+            "--verbose" => opts.verbose = true,
+            _ => usage(),
+        }
+        i += 1;
+    }
+    opts
+}
+
+fn hot_path(n: usize) -> String {
+    format!("/hot{n}")
+}
+
+fn base_path(n: usize) -> String {
+    format!("/base{n}")
+}
+
+/// Version-tagged file content: unique enough that distinct versions never
+/// collide, cheap enough to generate thousands of times.
+fn version_content(seed: u64, version: u32, len: usize) -> Vec<u8> {
+    let mut v = vec![0u8; len];
+    for (i, b) in v.iter_mut().enumerate() {
+        *b = (seed as u8)
+            .wrapping_add(version as u8)
+            .wrapping_add(i as u8)
+            .wrapping_mul(31);
+    }
+    if len >= 8 {
+        v[..4].copy_from_slice(&version.to_le_bytes());
+        v[4..8].copy_from_slice(&(seed as u32).to_le_bytes());
+    }
+    v
+}
+
+/// Tolerable workload-op outcomes: namespace races the generator walks
+/// into on purpose. Anything else is a real failure.
+fn tolerable(e: &FsError) -> bool {
+    matches!(
+        e,
+        FsError::NotFound
+            | FsError::AlreadyExists
+            | FsError::NoSpace
+            | FsError::DirectoryNotEmpty
+            | FsError::IsADirectory
+            | FsError::NotADirectory
+    )
+}
+
+/// One torture round. `Err` carries a human-readable diagnosis.
+fn run_seed(seed: u64, opts: &Options) -> Result<(), String> {
+    let cfg = LfsConfig::small();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Phase 1: quiet device, base files, checkpoint, journal baseline.
+    let disk = FaultDisk::new(CrashDisk::new(DISK_BLOCKS), FaultPlan::new(seed));
+    let mut fs = Lfs::format(disk, cfg).map_err(|e| format!("format: {e}"))?;
+    let mut base = Vec::new();
+    for i in 0..BASE_FILES {
+        let content = version_content(seed, i as u32, 2000 + 3000 * i);
+        fs.write_file(&base_path(i), &content)
+            .map_err(|e| format!("base write: {e}"))?;
+        base.push(content);
+    }
+    fs.sync().map_err(|e| format!("base sync: {e}"))?;
+    fs.device_mut().inner_mut().checkpoint_baseline();
+
+    // Phase 2: arm the fault plan and churn the hot namespace.
+    {
+        let plan = fs.device_mut().plan_mut();
+        plan.seed = rng.gen_range(0u64..u64::MAX);
+        plan.read_fault_rate = 0.1;
+        plan.write_fault_rate = 0.15;
+        plan.transient_failures = 2; // < the fs retry budget, so ops succeed
+        plan.tear_writes = true;
+    }
+    // Every content version each hot path has ever held.
+    let mut history: HashMap<String, Vec<Vec<u8>>> = HashMap::new();
+    let mut live: HashMap<String, Vec<u8>> = HashMap::new();
+    let mut version = BASE_FILES as u32;
+
+    for opno in 0..opts.ops {
+        let roll = rng.gen_range(0u32..100);
+        let r = if roll < 55 {
+            let path = hot_path(rng.gen_range(0usize..HOT_FILES));
+            version += 1;
+            let len = rng.gen_range(0usize..16_000);
+            let content = version_content(seed, version, len);
+            // Record the attempt *before* issuing it: even a write that
+            // fails mid-way (NoSpace) may leave a prefix of this content
+            // on disk after a crash.
+            history
+                .entry(path.clone())
+                .or_default()
+                .push(content.clone());
+            match fs.write_file(&path, &content) {
+                Ok(_) => {
+                    live.insert(path, content);
+                    Ok(())
+                }
+                Err(e) => Err(e),
+            }
+        } else if roll < 70 {
+            let path = hot_path(rng.gen_range(0usize..HOT_FILES));
+            match fs.unlink(&path) {
+                Ok(()) => {
+                    live.remove(&path);
+                    Ok(())
+                }
+                Err(e) => Err(e),
+            }
+        } else if roll < 80 {
+            let src = hot_path(rng.gen_range(0usize..HOT_FILES));
+            let dst = hot_path(rng.gen_range(0usize..HOT_FILES));
+            match fs.rename(&src, &dst) {
+                Ok(()) => {
+                    if let Some(content) = live.remove(&src) {
+                        history
+                            .entry(dst.clone())
+                            .or_default()
+                            .push(content.clone());
+                        live.insert(dst, content);
+                    }
+                    Ok(())
+                }
+                Err(e) => Err(e),
+            }
+        } else if roll < 90 {
+            fs.flush()
+        } else {
+            fs.sync()
+        };
+        if let Err(e) = r {
+            if !tolerable(&e) {
+                return Err(format!("op {opno}: {e}"));
+            }
+        }
+    }
+
+    if fs.stats().degraded() {
+        return Err("fs went degraded despite transient-only faults".into());
+    }
+    let fault_counts = fs.device().counts();
+
+    // Phase 3 + 4: crash at random block cuts and verify the survivor.
+    let journal = fs.device().inner();
+    let max_cut = journal.num_block_cuts();
+    for c in 0..opts.cuts {
+        let cut = rng.gen_range(0usize..max_cut + 1);
+        let torn_seed = rng.gen_range(0u64..u64::MAX);
+        let sync_atomic = rng.gen_bool(0.5);
+        let image = journal
+            .torn_image_after(cut, torn_seed, sync_atomic)
+            .map_err(|e| format!("cut {cut}/{max_cut}: {e}"))?;
+        let mut img = image.into_image();
+        if opts.rot {
+            for _ in 0..rng.gen_range(1usize..4) {
+                let block = rng.gen_range(0usize..img.len() / BLOCK_SIZE);
+                let byte = rng.gen_range(0usize..BLOCK_SIZE);
+                img[block * BLOCK_SIZE + byte] ^= 1 << rng.gen_range(0u32..8);
+            }
+        }
+        let tag = format!("seed {seed} cut {c} ({cut}/{max_cut} blocks)");
+        let mut rfs = match Lfs::mount(MemDisk::from_image(img), cfg) {
+            Ok(rfs) => rfs,
+            Err(_) if opts.rot => continue, // rot may hit anything; Err is legal
+            Err(e) => return Err(format!("{tag}: mount failed: {e}")),
+        };
+        let report = match rfs.check() {
+            Ok(r) => r,
+            Err(_) if opts.rot => continue,
+            Err(e) => return Err(format!("{tag}: check aborted: {e}")),
+        };
+        if !report.is_clean() {
+            if opts.rot {
+                continue;
+            }
+            return Err(format!("{tag}: fsck dirty: {:?}", report.errors));
+        }
+        if opts.rot {
+            continue; // rot can silently alter live data; skip content checks
+        }
+        for (i, content) in base.iter().enumerate() {
+            let ino = rfs
+                .lookup(&base_path(i))
+                .map_err(|e| format!("{tag}: base{i} lost: {e}"))?;
+            let data = rfs
+                .read_to_vec(ino)
+                .map_err(|e| format!("{tag}: base{i} unreadable: {e}"))?;
+            if &data != content {
+                return Err(format!("{tag}: base{i} corrupted ({} bytes)", data.len()));
+            }
+        }
+        for n in 0..HOT_FILES {
+            let path = hot_path(n);
+            match rfs.lookup(&path) {
+                Ok(ino) => {
+                    let data = rfs
+                        .read_to_vec(ino)
+                        .map_err(|e| format!("{tag}: {path} unreadable: {e}"))?;
+                    // Crash atomicity is per *flush*, not per operation:
+                    // large writes flush incrementally and deliberately
+                    // recover as a correct prefix (see `Lfs::write`), and
+                    // a cut between a create's dirlog chunk and its data
+                    // chunk leaves the file empty. So the legal states
+                    // are: any prefix of any version this path has held
+                    // (empty is the zero-length prefix).
+                    let known = data.is_empty()
+                        || history
+                            .get(&path)
+                            .is_some_and(|versions| versions.iter().any(|v| v.starts_with(&data)));
+                    if !known {
+                        return Err(format!(
+                            "{tag}: {path} holds a never-written state ({} bytes)",
+                            data.len()
+                        ));
+                    }
+                }
+                Err(FsError::NotFound) => {}
+                Err(e) => return Err(format!("{tag}: {path}: {e}")),
+            }
+        }
+    }
+
+    if opts.verbose {
+        println!(
+            "seed {seed}: ok ({} write faults, {} read faults, {} torn, {} retries, {} segs cleaned)",
+            fault_counts.write_faults,
+            fault_counts.read_faults,
+            fault_counts.torn_writes,
+            fs.stats().io_retries,
+            fs.stats().cleaner.segments_cleaned,
+        );
+    }
+    Ok(())
+}
+
+fn main() {
+    let opts = parse_args();
+    let mut failures = 0u64;
+    for seed in opts.start..opts.start + opts.seeds {
+        let outcome = catch_unwind(AssertUnwindSafe(|| run_seed(seed, &opts)));
+        match outcome {
+            Ok(Ok(())) => {}
+            Ok(Err(msg)) => {
+                failures += 1;
+                eprintln!("torture: seed {seed} FAILED: {msg}");
+            }
+            Err(_) => {
+                failures += 1;
+                eprintln!("torture: seed {seed} PANICKED (replay with --start {seed} --seeds 1)");
+            }
+        }
+    }
+    println!(
+        "torture: {}/{} seeds passed{}",
+        opts.seeds - failures,
+        opts.seeds,
+        if opts.rot { " (rot mode)" } else { "" }
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -96,6 +96,67 @@ fn lfsck_rejects_garbage() {
 }
 
 #[test]
+fn corrupt_image_is_diagnosed_with_exit_code_2() {
+    let dir = tmpdir().join("corrupt-exit2");
+    std::fs::create_dir_all(&dir).unwrap();
+    let img = dir.join("junk.img");
+    std::fs::write(&img, vec![0x5au8; 80 * 4096]).unwrap();
+    for bin in [env!("CARGO_BIN_EXE_lfsck"), env!("CARGO_BIN_EXE_lfsdump")] {
+        let out = Command::new(bin)
+            .arg(img.to_str().unwrap())
+            .output()
+            .unwrap();
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{bin} on garbage image: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(
+            !out.stderr.is_empty(),
+            "{bin} must print a diagnostic for a corrupt image"
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn torn_checkpoints_are_corrupt_not_crash() {
+    // A valid superblock with both checkpoint regions trashed must yield a
+    // clean diagnostic and exit 2, not a panic (exit 101).
+    let dir = tmpdir().join("torn-cp");
+    std::fs::create_dir_all(&dir).unwrap();
+    let img = dir.join("torn.img");
+    let img_s = img.to_str().unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_mklfs"))
+        .args([img_s, "16"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // Checkpoint regions live at blocks 1 and 33; overwrite their headers.
+    let mut bytes = std::fs::read(&img).unwrap();
+    for cr_block in [1usize, 33] {
+        bytes[cr_block * 4096..(cr_block + 1) * 4096].fill(0xee);
+    }
+    std::fs::write(&img, bytes).unwrap();
+
+    let out = Command::new(env!("CARGO_BIN_EXE_lfsck"))
+        .arg(img_s)
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("checkpoint"), "{stderr}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn tools_usage_errors() {
     for bin in [env!("CARGO_BIN_EXE_mklfs"), env!("CARGO_BIN_EXE_lfsck")] {
         let out = Command::new(bin).output().unwrap();

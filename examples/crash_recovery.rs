@@ -56,14 +56,14 @@ fn main() {
     // Crash right after the un-checkpointed creates were flushed.
     let crash: &CrashDisk = fs.device();
     probe(
-        crash.image_after(cut_flushed),
+        crash.image_after(cut_flushed).unwrap(),
         cfg,
         "crash after flush        ",
     );
 
     // Crash after the rename hit the log.
     probe(
-        crash.image_after(cut_renamed),
+        crash.image_after(cut_renamed).unwrap(),
         cfg,
         "crash after rename flush ",
     );
@@ -73,7 +73,7 @@ fn main() {
     let mut no_rf = cfg;
     no_rf.roll_forward = false;
     probe(
-        crash.image_after(cut_renamed),
+        crash.image_after(cut_renamed).unwrap(),
         no_rf,
         "same, roll-forward OFF   ",
     );

@@ -47,7 +47,7 @@ fn main() {
     let (fs, _) = traced.into_parts();
     let image = {
         let crash: &CrashDisk = fs.device();
-        crash.image_after(crash.num_writes())
+        crash.image_after(crash.num_writes()).unwrap()
     };
     drop(fs);
 
