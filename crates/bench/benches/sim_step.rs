@@ -27,6 +27,19 @@ fn bench_sim_step(c: &mut Criterion) {
             sim.step();
         }
         g.bench_function(format!("nsegments_{nseg}"), |b| b.iter(|| sim.step()));
+
+        // Same steady state with trace recording attached: quantifies the
+        // cost of the cleaner-pass emit path (the only trace site). The
+        // untraced variant above is the <2% regression guard for the
+        // default (tracing-off) configuration.
+        let mut traced = Simulator::new(cfg_at(nseg));
+        traced.set_trace(lfs_obs::Trace::ring(1024));
+        for _ in 0..50_000 {
+            traced.step();
+        }
+        g.bench_function(format!("nsegments_{nseg}_traced"), |b| {
+            b.iter(|| traced.step())
+        });
     }
     g.finish();
 }

@@ -6,12 +6,12 @@
 //! bimodal — "large numbers of fully utilized segments and totally empty
 //! segments".
 
-use lfs_bench::{append_jsonl, disk_mb, smoke_mode, Table};
+use lfs_bench::{append_jsonl, disk_mb, finish, or_die, smoke_mode, Table};
 use lfs_core::Lfs;
 use vfs::FileSystem;
 use workload::{PartitionModel, ProductionWorkload};
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let smoke = smoke_mode();
     let (mb, ops) = if smoke {
         (48u64, 3_000u64)
@@ -21,11 +21,11 @@ fn main() {
     println!("Figure 10: segment utilization distribution under the /user6 workload\n");
 
     let cfg = lfs_bench::production_lfs_config(mb);
-    let mut fs = Lfs::format(disk_mb(mb), cfg).unwrap();
+    let mut fs = or_die("format LFS", Lfs::format(disk_mb(mb), cfg));
     let mut w = ProductionWorkload::new(PartitionModel::user6(), 0xfeed);
-    w.prime(&mut fs).unwrap();
-    w.run_ops(&mut fs, ops).unwrap();
-    fs.sync().unwrap();
+    or_die("prime workload", w.prime(&mut fs));
+    or_die("run workload", w.run_ops(&mut fs, ops));
+    or_die("sync", fs.sync());
 
     // Histogram of per-segment utilization.
     let snap = fs.segment_snapshot();
@@ -61,4 +61,5 @@ fn main() {
         fs.stats().cleaner.empty_fraction() * 100.0,
         fs.stats().write_cost()
     );
+    finish()
 }

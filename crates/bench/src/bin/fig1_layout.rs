@@ -7,11 +7,11 @@
 
 use blockdev::{BlockDevice, DiskModel, SimDisk};
 use ffs_baseline::{Ffs, FfsConfig};
-use lfs_bench::{append_jsonl, Table};
+use lfs_bench::{append_jsonl, finish, or_die, Table};
 use lfs_core::{Lfs, LfsConfig};
 use vfs::FileSystem;
 
-fn main() {
+fn main() -> std::process::ExitCode {
     println!("Figure 1: creating dir1/file1 and dir2/file2 on each file system\n");
     let mut table = Table::new(&[
         "system",
@@ -23,17 +23,25 @@ fn main() {
     ]);
 
     // --- Sprite LFS ----------------------------------------------------
-    let mut lfs = Lfs::format(
-        SimDisk::new(64 * 256, DiskModel::wren_iv()),
-        LfsConfig::default(),
-    )
-    .unwrap();
+    let mut lfs = or_die(
+        "format LFS",
+        Lfs::format(
+            SimDisk::new(64 * 256, DiskModel::wren_iv()),
+            LfsConfig::default(),
+        ),
+    );
     let before = lfs.device().stats();
-    lfs.mkdir("/dir1").unwrap();
-    lfs.write_file("/dir1/file1", &[1u8; 4096]).unwrap();
-    lfs.mkdir("/dir2").unwrap();
-    lfs.write_file("/dir2/file2", &[2u8; 4096]).unwrap();
-    lfs.flush().unwrap();
+    or_die("LFS mkdir /dir1", lfs.mkdir("/dir1"));
+    or_die(
+        "LFS write file1",
+        lfs.write_file("/dir1/file1", &[1u8; 4096]),
+    );
+    or_die("LFS mkdir /dir2", lfs.mkdir("/dir2"));
+    or_die(
+        "LFS write file2",
+        lfs.write_file("/dir2/file2", &[2u8; 4096]),
+    );
+    or_die("LFS flush", lfs.flush());
     let d = lfs.device().stats().since(&before);
     table.row(vec![
         "Sprite LFS".into(),
@@ -52,17 +60,25 @@ fn main() {
     );
 
     // --- Unix FFS -------------------------------------------------------
-    let mut ffs = Ffs::format(
-        SimDisk::new(64 * 256, DiskModel::wren_iv()),
-        FfsConfig::default(),
-    )
-    .unwrap();
+    let mut ffs = or_die(
+        "format FFS",
+        Ffs::format(
+            SimDisk::new(64 * 256, DiskModel::wren_iv()),
+            FfsConfig::default(),
+        ),
+    );
     let before = ffs.device().stats();
-    ffs.mkdir("/dir1").unwrap();
-    ffs.write_file("/dir1/file1", &[1u8; 4096]).unwrap();
-    ffs.mkdir("/dir2").unwrap();
-    ffs.write_file("/dir2/file2", &[2u8; 4096]).unwrap();
-    ffs.sync().unwrap();
+    or_die("FFS mkdir /dir1", ffs.mkdir("/dir1"));
+    or_die(
+        "FFS write file1",
+        ffs.write_file("/dir1/file1", &[1u8; 4096]),
+    );
+    or_die("FFS mkdir /dir2", ffs.mkdir("/dir2"));
+    or_die(
+        "FFS write file2",
+        ffs.write_file("/dir2/file2", &[2u8; 4096]),
+    );
+    or_die("FFS sync", ffs.sync());
     let d = ffs.device().stats().since(&before);
     table.row(vec![
         "Unix FFS".into(),
@@ -86,4 +102,5 @@ fn main() {
          twice, directory data, directory inodes), while LFS performs the same\n\
          logical updates in a small number of large sequential log writes."
     );
+    finish()
 }

@@ -8,7 +8,7 @@
 use cleaner_sim::{write_cost_formula, FFS_IMPROVED_WRITE_COST, FFS_TODAY_WRITE_COST};
 use lfs_bench::{append_jsonl, Table};
 
-fn main() {
+fn main() -> std::process::ExitCode {
     println!("Figure 3: write cost as a function of u for small files\n");
     let mut table = Table::new(&["u", "LFS write cost", "FFS today", "FFS improved"]);
     for i in 0..=18 {
@@ -34,4 +34,5 @@ fn main() {
         "\nCrossovers: LFS beats FFS-today for u < {cross_today:.2}, \
          FFS-improved for u < {cross_improved:.2} (paper: 0.8 and 0.5)."
     );
+    lfs_bench::finish()
 }

@@ -33,7 +33,7 @@ fn config(util: f64, hot_cold: bool, smoke: bool) -> SimConfig {
     cfg
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let smoke = smoke_mode();
     println!("Figure 4: initial simulation results (greedy cleaning)\n");
     let utils: Vec<f64> = if smoke {
@@ -82,4 +82,5 @@ fn main() {
         "\nExpected shape (paper): both curves below the no-variance line;\n\
          hot-and-cold *above* uniform — locality makes greedy cleaning worse."
     );
+    lfs_bench::finish()
 }

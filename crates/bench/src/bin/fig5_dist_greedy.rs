@@ -9,7 +9,7 @@
 use cleaner_sim::{sweep, AccessPattern, Policy, SimConfig};
 use lfs_bench::{append_jsonl, smoke_mode, Table};
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let smoke = smoke_mode();
     println!("Figure 5: segment utilization distributions, greedy cleaner, 75% disk util\n");
     let base = if smoke {
@@ -56,4 +56,5 @@ fn main() {
          just above the cleaning threshold than uniform — cold segments tie up\n\
          free space for long periods."
     );
+    lfs_bench::finish()
 }

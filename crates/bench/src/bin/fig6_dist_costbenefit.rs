@@ -9,7 +9,7 @@
 use cleaner_sim::{sweep, AccessPattern, Policy, SimConfig};
 use lfs_bench::{append_jsonl, smoke_mode, Table};
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let smoke = smoke_mode();
     println!("Figure 6: segment utilization distribution, cost-benefit policy\n");
     let base = if smoke {
@@ -61,4 +61,5 @@ fn main() {
         "Expected shape (paper): cost-benefit is bimodal — most cleaned segments\n\
          around u≈0.15 (hot) with a second population near u≈0.75 (cold)."
     );
+    lfs_bench::finish()
 }

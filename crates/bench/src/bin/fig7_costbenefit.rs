@@ -29,7 +29,7 @@ fn config(util: f64, policy: Policy, smoke: bool) -> SimConfig {
     cfg
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let smoke = smoke_mode();
     println!("Figure 7: write cost, greedy vs cost-benefit (hot-and-cold)\n");
     let utils: Vec<f64> = if smoke {
@@ -82,4 +82,5 @@ fn main() {
         "\nExpected shape (paper): cost-benefit reduces write cost by up to ~50%\n\
          over greedy, and stays below FFS-improved (4.0) even at high utilization."
     );
+    lfs_bench::finish()
 }

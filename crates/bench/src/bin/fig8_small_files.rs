@@ -9,7 +9,9 @@
 
 use blockdev::{BlockDevice, IoStats};
 use ffs_baseline::{Ffs, FfsConfig};
-use lfs_bench::{append_jsonl, paper_disk, smoke_mode, HostModel, PhaseMeasurement, Table};
+use lfs_bench::{
+    append_jsonl, finish, or_die, paper_disk, smoke_mode, HostModel, PhaseMeasurement, Table,
+};
 use lfs_core::{Lfs, LfsConfig};
 use workload::SmallFileBench;
 
@@ -36,7 +38,7 @@ fn measure(
     }
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let smoke = smoke_mode();
     let bench = if smoke {
         SmallFileBench {
@@ -55,30 +57,36 @@ fn main() {
     );
 
     // ---------------- Sprite LFS ----------------------------------------
-    let mut lfs = Lfs::format(paper_disk(), LfsConfig::default()).unwrap();
+    let mut lfs = or_die(
+        "format LFS",
+        Lfs::format(paper_disk(), LfsConfig::default()),
+    );
     let s0 = lfs.device().stats();
-    bench.create_phase(&mut lfs).unwrap();
+    or_die("LFS create phase", bench.create_phase(&mut lfs));
     let s1 = lfs.device().stats();
     lfs.drop_caches();
     let s1b = lfs.device().stats();
-    bench.read_phase(&mut lfs).unwrap();
+    or_die("LFS read phase", bench.read_phase(&mut lfs));
     let s2 = lfs.device().stats();
-    bench.delete_phase(&mut lfs).unwrap();
+    or_die("LFS delete phase", bench.delete_phase(&mut lfs));
     let s3 = lfs.device().stats();
     let lfs_create = measure(s0, s1, &host, &bench);
     let lfs_read = measure(s1b, s2, &host, &bench);
     let lfs_delete = measure(s2, s3, &host, &bench);
 
     // ---------------- SunOS (FFS baseline) ------------------------------
-    let mut ffs = Ffs::format(paper_disk(), FfsConfig::default()).unwrap();
+    let mut ffs = or_die(
+        "format FFS",
+        Ffs::format(paper_disk(), FfsConfig::default()),
+    );
     let f0 = ffs.device().stats();
-    bench.create_phase(&mut ffs).unwrap();
+    or_die("FFS create phase", bench.create_phase(&mut ffs));
     let f1 = ffs.device().stats();
     ffs.drop_caches();
     let f1b = ffs.device().stats();
-    bench.read_phase(&mut ffs).unwrap();
+    or_die("FFS read phase", bench.read_phase(&mut ffs));
     let f2 = ffs.device().stats();
-    bench.delete_phase(&mut ffs).unwrap();
+    or_die("FFS delete phase", bench.delete_phase(&mut ffs));
     let f3 = ffs.device().stats();
     let ffs_create = measure(f0, f1, &host, &bench);
     let ffs_read = measure(f1b, f2, &host, &bench);
@@ -138,4 +146,5 @@ fn main() {
         "\nExpected shape (paper): LFS create scales 4-6x with CPU speed while\n\
          SunOS barely improves (its disk is already ~85% busy)."
     );
+    finish()
 }

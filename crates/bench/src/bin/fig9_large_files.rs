@@ -9,11 +9,13 @@
 
 use blockdev::{BlockDevice, IoStats};
 use ffs_baseline::{Ffs, FfsConfig};
-use lfs_bench::{append_jsonl, paper_disk, smoke_mode, HostModel, PhaseMeasurement, Table};
+use lfs_bench::{
+    append_jsonl, finish, or_die, paper_disk, smoke_mode, HostModel, PhaseMeasurement, Table,
+};
 use lfs_core::{Lfs, LfsConfig};
 use workload::{LargeFileBench, LargeFilePhase};
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let smoke = smoke_mode();
     let bench = if smoke {
         LargeFileBench::paper_scaled(0.02) // 2 MB
@@ -31,22 +33,28 @@ fn main() {
         let mut out = Vec::new();
         match name {
             "lfs" => {
-                let mut fs = Lfs::format(paper_disk(), LfsConfig::default()).unwrap();
-                let ino = bench.setup(&mut fs).unwrap();
+                let mut fs = or_die(
+                    "format LFS",
+                    Lfs::format(paper_disk(), LfsConfig::default()),
+                );
+                let ino = or_die("LFS setup", bench.setup(&mut fs));
                 for phase in LargeFilePhase::ALL {
                     fs.drop_caches();
                     let before = fs.device().stats();
-                    bench.run_phase(&mut fs, ino, phase).unwrap();
+                    or_die(phase.label(), bench.run_phase(&mut fs, ino, phase));
                     out.push((phase, fs.device().stats().since(&before)));
                 }
             }
             _ => {
-                let mut fs = Ffs::format(paper_disk(), FfsConfig::default()).unwrap();
-                let ino = bench.setup(&mut fs).unwrap();
+                let mut fs = or_die(
+                    "format FFS",
+                    Ffs::format(paper_disk(), FfsConfig::default()),
+                );
+                let ino = or_die("FFS setup", bench.setup(&mut fs));
                 for phase in LargeFilePhase::ALL {
                     fs.drop_caches();
                     let before = fs.device().stats();
-                    bench.run_phase(&mut fs, ino, phase).unwrap();
+                    or_die(phase.label(), bench.run_phase(&mut fs, ino, phase));
                     out.push((phase, fs.device().stats().since(&before)));
                 }
             }
@@ -81,4 +89,5 @@ fn main() {
         "\nExpected shape (paper): LFS ≥ SunOS everywhere except the final\n\
          sequential reread of a randomly-written file."
     );
+    finish()
 }

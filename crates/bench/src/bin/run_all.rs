@@ -8,9 +8,19 @@
 //! and their captured output is printed in the usual order as they
 //! finish. Results are identical either way: every simulator point is
 //! seeded by its own config, never by scheduling.
+//!
+//! With `--metrics <path>` a short instrumented probe workload runs
+//! in-process (a production-like workload on a simulated Wren IV with
+//! observability recording) and its `lfs-metrics/1` snapshot is written
+//! to `<path>` — see EXPERIMENTS.md for the schema. `--probe-only` skips
+//! the child binaries, so CI can validate the snapshot cheaply.
 
+use lfs_bench::{disk_mb, or_die};
+use lfs_core::Lfs;
 use std::process::Command;
 use std::sync::Mutex;
+use vfs::FileSystem;
+use workload::{PartitionModel, ProductionWorkload};
 
 const BINS: &[&str] = &[
     "fig1_layout",
@@ -44,9 +54,13 @@ fn run_serial(dir: &std::path::Path) -> Vec<&'static str> {
             failures.push(*bin);
             continue;
         }
-        let status = Command::new(&path).status().expect("spawn benchmark");
-        if !status.success() {
-            failures.push(*bin);
+        match Command::new(&path).status() {
+            Ok(status) if status.success() => {}
+            Ok(_) => failures.push(*bin),
+            Err(e) => {
+                println!("failed to spawn: {e}");
+                failures.push(*bin);
+            }
         }
     }
     failures
@@ -75,14 +89,20 @@ fn run_parallel(dir: &std::path::Path) -> Vec<&'static str> {
                 } else {
                     (None, false)
                 };
-                *slot.lock().expect("result slot") = Some(outcome);
+                // A poisoned slot means the writer panicked mid-store;
+                // take the lock anyway — the Option tells us what landed.
+                *slot.lock().unwrap_or_else(|p| p.into_inner()) = Some(outcome);
             });
         }
     });
     let mut failures = Vec::new();
     for (bin, slot) in BINS.iter().zip(slots) {
         banner(bin);
-        let (output, ok) = slot.into_inner().expect("result slot").expect("joined");
+        let outcome = slot.into_inner().unwrap_or_else(|p| p.into_inner());
+        let (output, ok) = match outcome {
+            Some(o) => o,
+            None => (Some("worker thread produced no result".into()), false),
+        };
         match output {
             Some(text) => print!("{text}"),
             None => println!("(not built — run `cargo build -p lfs-bench --release --bins`)"),
@@ -94,10 +114,65 @@ fn run_parallel(dir: &std::path::Path) -> Vec<&'static str> {
     failures
 }
 
-fn main() {
-    let parallel = std::env::args().any(|a| a == "--parallel");
-    let me = std::env::current_exe().expect("current_exe");
-    let dir = me.parent().expect("bin dir").to_path_buf();
+/// Runs a short instrumented workload and writes its metrics snapshot
+/// (schema `lfs-metrics/1`) to `path`.
+fn run_probe(path: &str) {
+    println!("Running instrumented probe workload (metrics -> {path})\n");
+    let model = PartitionModel::all()[0];
+    let mut fs = or_die(
+        "format LFS",
+        Lfs::format(disk_mb(32), lfs_bench::production_lfs_config(32)),
+    );
+    fs.set_obs(lfs_obs::Obs::recording(4096));
+    let mut w = ProductionWorkload::new(model, 0x0b5e);
+    or_die("prime probe workload", w.prime(&mut fs));
+    or_die("run probe workload", w.run_ops(&mut fs, 2_000));
+    or_die("sync", fs.sync());
+    let snap = fs
+        .metrics_snapshot()
+        .expect("probe runs with a registry attached");
+    or_die(
+        "write metrics snapshot",
+        std::fs::write(path, snap.to_json_string()),
+    );
+    println!(
+        "Probe complete: {} disk writes, write cost {:.2}; snapshot saved.",
+        snap.counter("disk.writes"),
+        fs.stats().write_cost(),
+    );
+}
+
+fn main() -> std::process::ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parallel = args.iter().any(|a| a == "--parallel");
+    let probe_only = args.iter().any(|a| a == "--probe-only");
+    let metrics_path = args.iter().position(|a| a == "--metrics").map(|i| {
+        or_die(
+            "--metrics requires a path",
+            args.get(i + 1).ok_or("missing value"),
+        )
+        .clone()
+    });
+
+    if let Some(path) = &metrics_path {
+        run_probe(path);
+    }
+    if probe_only {
+        if metrics_path.is_none() {
+            eprintln!("error: --probe-only requires --metrics <path>");
+            return std::process::ExitCode::FAILURE;
+        }
+        return lfs_bench::finish();
+    }
+
+    let me = or_die("locate current executable", std::env::current_exe());
+    let dir = match me.parent() {
+        Some(d) => d.to_path_buf(),
+        None => {
+            eprintln!("error: current executable has no parent directory");
+            return std::process::ExitCode::FAILURE;
+        }
+    };
     let failures = if parallel {
         run_parallel(&dir)
     } else {
@@ -105,8 +180,9 @@ fn main() {
     };
     if failures.is_empty() {
         println!("\nAll {} benchmarks completed.", BINS.len());
+        lfs_bench::finish()
     } else {
         println!("\nFAILED: {failures:?}");
-        std::process::exit(1);
+        std::process::ExitCode::FAILURE
     }
 }

@@ -35,7 +35,7 @@ fn steps_per_sec(nsegments: u32, warmup: u64, measured: u64) -> f64 {
     measured as f64 / t.elapsed().as_secs_f64()
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let variant = std::env::args().nth(1).unwrap_or_else(|| "current".into());
     let (warmup, measured) = if smoke_mode() {
         (20_000, 20_000)
@@ -60,4 +60,5 @@ fn main() {
     }
     println!("sim_throughput ({variant})");
     table.print();
+    lfs_bench::finish()
 }

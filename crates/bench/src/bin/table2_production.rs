@@ -11,12 +11,12 @@
 //! simulation's predictions — because real workloads delete whole files
 //! and leave many segments entirely empty.
 
-use lfs_bench::{append_jsonl, disk_mb, smoke_mode, Table};
+use lfs_bench::{append_jsonl, disk_mb, finish, or_die, smoke_mode, Table};
 use lfs_core::Lfs;
 use vfs::FileSystem;
 use workload::{PartitionModel, ProductionWorkload};
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let smoke = smoke_mode();
     let (mb, ops) = if smoke {
         (32u64, 2_000u64)
@@ -38,13 +38,13 @@ fn main() {
 
     for model in PartitionModel::all() {
         let cfg = lfs_bench::production_lfs_config(mb);
-        let mut fs = Lfs::format(disk_mb(mb), cfg).unwrap();
+        let mut fs = or_die("format LFS", Lfs::format(disk_mb(mb), cfg));
         let mut w = ProductionWorkload::new(model, 0xdead ^ model.name.len() as u64);
-        w.prime(&mut fs).unwrap();
-        w.run_ops(&mut fs, ops).unwrap();
-        fs.sync().unwrap();
+        or_die("prime workload", w.prime(&mut fs));
+        or_die("run workload", w.run_ops(&mut fs, ops));
+        or_die("sync", fs.sync());
 
-        let s = fs.statfs().unwrap();
+        let s = or_die("statfs", fs.statfs());
         let st = fs.stats();
         let c = &st.cleaner;
         let avg_file_kb = if w.live_files() > 0 {
@@ -80,4 +80,5 @@ fn main() {
          cleaned at u ~ 0.13-0.54, overall write cost 1.2-1.6 — much better than\n\
          the hot-and-cold simulations predicted."
     );
+    finish()
 }

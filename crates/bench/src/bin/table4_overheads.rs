@@ -7,12 +7,12 @@
 //! (inodes, inode map, usage table) written over and over because of the
 //! short checkpoint interval.
 
-use lfs_bench::{append_jsonl, disk_mb, smoke_mode, Table};
+use lfs_bench::{append_jsonl, disk_mb, finish, or_die, smoke_mode, Table};
 use lfs_core::{BlockKind, Lfs};
 use vfs::FileSystem;
 use workload::{PartitionModel, ProductionWorkload};
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let smoke = smoke_mode();
     let (mb, ops) = if smoke {
         (32u64, 2_000u64)
@@ -25,13 +25,13 @@ fn main() {
     // The paper attributes the metadata share of the log to the short
     // (30-second) checkpoint interval; model it with frequent checkpoints.
     cfg.checkpoint_every_bytes = 1 << 20;
-    let mut fs = Lfs::format(disk_mb(mb), cfg).unwrap();
+    let mut fs = or_die("format LFS", Lfs::format(disk_mb(mb), cfg));
     let mut w = ProductionWorkload::new(PartitionModel::user6(), 0x1234);
-    w.prime(&mut fs).unwrap();
-    w.run_ops(&mut fs, ops).unwrap();
-    fs.sync().unwrap();
+    or_die("prime workload", w.prime(&mut fs));
+    or_die("run workload", w.run_ops(&mut fs, ops));
+    or_die("sync", fs.sync());
 
-    let live = fs.live_bytes_by_kind().unwrap();
+    let live = or_die("live-bytes scan", fs.live_bytes_by_kind());
     let live_total: u64 = live.iter().sum();
     let stats = *fs.stats();
 
@@ -63,4 +63,5 @@ fn main() {
          smaller share of log bandwidth; inodes + inode map + usage table\n\
          consume ~13% of the log despite being ~0.4% of live data."
     );
+    finish()
 }

@@ -20,7 +20,7 @@ pub mod host;
 pub mod output;
 
 pub use host::{HostModel, PhaseMeasurement};
-pub use output::{append_jsonl, Table};
+pub use output::{append_jsonl, finish, or_die, results_dir, try_append_jsonl, Table};
 
 use blockdev::{DiskModel, SimDisk};
 use lfs_core::LfsConfig;

@@ -3,6 +3,7 @@
 use std::fs::OpenOptions;
 use std::io::Write as _;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// A simple fixed-width table printer for the figure/table binaries.
 pub struct Table {
@@ -60,20 +61,77 @@ impl Table {
     }
 }
 
-/// Appends one JSON value as a line to `bench_results/<name>.jsonl`
-/// (relative to the workspace root or current directory).
+/// Set once any [`append_jsonl`] call fails, so [`finish`] can turn the
+/// loss of machine-readable output into a nonzero exit instead of a
+/// silently incomplete `bench_results/` directory.
+static OUTPUT_FAILED: AtomicBool = AtomicBool::new(false);
+
+/// Appends one JSON value as a line to `<results dir>/<name>.jsonl`.
+///
+/// The results directory is `$LFS_BENCH_RESULTS_DIR` when set, else
+/// `bench_results/` under the workspace root (or the current directory).
+///
+/// I/O failures are reported on stderr and remembered; call [`finish`] at
+/// the end of `main` to turn them into a nonzero exit. Rows written
+/// before a failure stay on disk — a benchmark keeps running and keeps
+/// its partial results.
 pub fn append_jsonl(name: &str, value: &serde_json::Value) {
-    let dir = results_dir();
-    if std::fs::create_dir_all(&dir).is_err() {
-        return;
-    }
-    let path = dir.join(format!("{name}.jsonl"));
-    if let Ok(mut f) = OpenOptions::new().create(true).append(true).open(path) {
-        let _ = writeln!(f, "{value}");
+    if let Err(e) = try_append_jsonl(name, value) {
+        // One diagnostic per process is enough; the failure flag carries
+        // the rest.
+        if !OUTPUT_FAILED.swap(true, Ordering::Relaxed) {
+            eprintln!(
+                "warning: could not append to {}/{name}.jsonl: {e} \
+                 (benchmark continues; exit will be nonzero)",
+                results_dir().display()
+            );
+        }
     }
 }
 
-fn results_dir() -> PathBuf {
+/// Fallible core of [`append_jsonl`], for callers that want the error.
+pub fn try_append_jsonl(name: &str, value: &serde_json::Value) -> std::io::Result<()> {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.jsonl"));
+    let mut f = OpenOptions::new().create(true).append(true).open(path)?;
+    writeln!(f, "{value}")
+}
+
+/// Flushes stdout and reports the process outcome: failure when any
+/// machine-readable output was lost. Benchmark `main`s return this.
+pub fn finish() -> std::process::ExitCode {
+    let _ = std::io::stdout().flush();
+    if OUTPUT_FAILED.load(Ordering::Relaxed) {
+        eprintln!("error: some benchmark results were not persisted");
+        std::process::ExitCode::FAILURE
+    } else {
+        std::process::ExitCode::SUCCESS
+    }
+}
+
+/// Unwraps `r`, or flushes stdout (keeping any partial tables/rows
+/// visible), prints a diagnostic naming the failed step, and exits 1.
+/// The benchmark binaries use this instead of `unwrap`/`expect` on their
+/// I/O paths so a failed run explains itself without a panic backtrace.
+pub fn or_die<T, E: std::fmt::Display>(what: &str, r: Result<T, E>) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => {
+            let _ = std::io::stdout().flush();
+            eprintln!("error: {what}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The directory JSONL results are appended to.
+pub fn results_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("LFS_BENCH_RESULTS_DIR") {
+        if !dir.is_empty() {
+            return PathBuf::from(dir);
+        }
+    }
     // Prefer the workspace root when running via cargo.
     if let Ok(mut dir) = std::env::current_dir() {
         loop {
@@ -112,5 +170,27 @@ mod tests {
     fn row_width_mismatch_panics() {
         let mut t = Table::new(&["a", "b"]);
         t.row(vec!["only-one".into()]);
+    }
+
+    /// Env override and failure reporting in one test: the env var is
+    /// process-global, so splitting these would race under the parallel
+    /// test runner.
+    #[test]
+    fn results_dir_override_and_failure_surface() {
+        let tmp = std::env::temp_dir().join(format!("lfs-bench-out-{}", std::process::id()));
+        std::env::set_var("LFS_BENCH_RESULTS_DIR", &tmp);
+        assert_eq!(results_dir(), tmp);
+        try_append_jsonl("probe", &serde_json::json!({"ok": true})).unwrap();
+        let line = std::fs::read_to_string(tmp.join("probe.jsonl")).unwrap();
+        assert!(line.contains("\"ok\""));
+
+        // A results dir that cannot be created must surface as Err
+        // (regression: this used to be silently swallowed).
+        let blocked = tmp.join("probe.jsonl").join("not-a-dir");
+        std::env::set_var("LFS_BENCH_RESULTS_DIR", &blocked);
+        assert!(try_append_jsonl("probe", &serde_json::json!({})).is_err());
+
+        std::env::remove_var("LFS_BENCH_RESULTS_DIR");
+        let _ = std::fs::remove_dir_all(&tmp);
     }
 }

@@ -235,6 +235,10 @@ impl BlockDevice for CrashDisk {
     fn stats(&self) -> IoStats {
         self.current.stats()
     }
+
+    fn attach_obs(&mut self, obs: crate::DeviceObs) {
+        self.current.attach_obs(obs);
+    }
 }
 
 #[cfg(test)]
@@ -372,6 +376,42 @@ mod tests {
         let img = d.torn_image_after(2, 42, false).unwrap();
         let survived = (0..4).filter(|i| img.image()[i * BLOCK_SIZE] != 0).count();
         assert_eq!(survived, 2);
+    }
+
+    /// Audit (ISSUE 3): journaling a write must charge the backing store
+    /// exactly once — the journal copy is bookkeeping, not device traffic.
+    #[test]
+    fn crash_disk_charges_each_write_once() {
+        let mut d = CrashDisk::new(8);
+        let big: Vec<u8> = vec![1; 3 * BLOCK_SIZE];
+        d.write_blocks(0, &big, WriteKind::Async).unwrap();
+        d.write_block(5, &blk(2), WriteKind::Sync).unwrap();
+        let mut r = [0u8; BLOCK_SIZE];
+        d.read_block(5, &mut r).unwrap();
+        let s = d.stats();
+        assert_eq!(s.writes, 2);
+        assert_eq!(s.bytes_written, 4 * BLOCK_SIZE as u64);
+        assert_eq!(s.reads, 1);
+    }
+
+    /// Audit (ISSUE 3): the composed torture stack — FaultDisk over
+    /// CrashDisk — reports one success for a faulted-then-retried write.
+    #[test]
+    fn fault_over_crash_stack_charges_retry_once() {
+        let plan = crate::FaultPlan::new(11)
+            .with_write_faults(1.0)
+            .with_torn_writes()
+            .with_transient_failures(1);
+        let mut d = crate::FaultDisk::new(CrashDisk::new(16), plan);
+        let data: Vec<u8> = vec![6; 8 * BLOCK_SIZE];
+        assert!(d.write_blocks(4, &data, WriteKind::Async).is_err());
+        assert_eq!(d.counts().torn_writes, 1);
+        d.write_blocks(4, &data, WriteKind::Async).unwrap();
+        let s = d.stats();
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.bytes_written, 8 * BLOCK_SIZE as u64);
+        // The journal still records every physical persist for crash cuts.
+        assert!(d.inner().num_writes() > 1);
     }
 
     #[test]

@@ -54,6 +54,13 @@ pub trait BlockDevice {
     /// count operations and bytes.
     fn stats(&self) -> IoStats;
 
+    /// Attaches per-request latency histograms (see [`crate::DeviceObs`]).
+    ///
+    /// The default is a no-op, so devices that do not model time may
+    /// simply ignore observability. Wrapper devices forward the handles
+    /// to the device they wrap.
+    fn attach_obs(&mut self, _obs: crate::DeviceObs) {}
+
     /// Reads a single block into `buf`.
     fn read_block(&mut self, block: u64, buf: &mut [u8; BLOCK_SIZE]) -> Result<()> {
         self.read_blocks(block, buf.as_mut_slice())

@@ -186,6 +186,13 @@ pub struct FaultDisk<D: BlockDevice> {
     plan: FaultPlan,
     states: HashMap<(u64, u64), KeyState>,
     counts: FaultCounts,
+    /// Inner-device charges incurred persisting the partial block subsets
+    /// of torn writes. [`FaultDisk::stats`] deducts these so the reported
+    /// stream matches what the *caller* successfully issued: a
+    /// faulted-then-retried write charges exactly one success instead of
+    /// the torn fragments plus the full retry (which skewed write-cost
+    /// deltas measured across a fault window).
+    tear_overhead: IoStats,
 }
 
 impl<D: BlockDevice> FaultDisk<D> {
@@ -196,6 +203,7 @@ impl<D: BlockDevice> FaultDisk<D> {
             plan,
             states: HashMap::new(),
             counts: FaultCounts::default(),
+            tear_overhead: IoStats::default(),
         }
     }
 
@@ -277,6 +285,7 @@ impl<D: BlockDevice> FaultDisk<D> {
 
     /// Persists a seed-chosen strict subset of the request's blocks.
     fn tear(&mut self, start: u64, buf: &[u8], kind: WriteKind) -> Result<()> {
+        let before = self.inner.stats();
         let nblocks = buf.len() / BLOCK_SIZE;
         let occ = self
             .states
@@ -302,6 +311,12 @@ impl<D: BlockDevice> FaultDisk<D> {
             }
         }
         self.counts.torn_writes += 1;
+        // The partial persists above charged the inner device; remember
+        // the delta so `stats()` can report the logical stream (the torn
+        // request *failed* — its surviving fragments must not be billed
+        // on top of the caller's eventual successful retry).
+        self.tear_overhead
+            .accumulate(&self.inner.stats().since(&before));
         Ok(())
     }
 }
@@ -349,8 +364,18 @@ impl<D: BlockDevice> BlockDevice for FaultDisk<D> {
         self.inner.sync()
     }
 
+    /// Statistics of the *logical* request stream: inner-device charges
+    /// from the partial persists of torn (failed) writes are deducted, so
+    /// a faulted-then-retried write counts as exactly one success. The
+    /// physical activity (torn fragments included) remains visible on
+    /// `inner().stats()` and in any attached [`crate::DeviceObs`]
+    /// histograms.
     fn stats(&self) -> IoStats {
-        self.inner.stats()
+        self.inner.stats().since(&self.tear_overhead)
+    }
+
+    fn attach_obs(&mut self, obs: crate::DeviceObs) {
+        self.inner.attach_obs(obs);
     }
 }
 
@@ -462,6 +487,68 @@ mod tests {
             Err(crate::error::BlockError::OutOfRange { .. })
         ));
         assert_eq!(d.counts().write_faults, 0);
+    }
+
+    /// Regression (ISSUE 3): a torn write persists some blocks on the
+    /// inner device, and the caller's retry then writes all of them again.
+    /// The pass-through stats used to bill both, inflating write-cost
+    /// deltas measured across a fault window. A faulted-then-retried
+    /// write must charge exactly one success.
+    #[test]
+    fn faulted_then_retried_write_charges_exactly_one_success() {
+        let plan = FaultPlan::new(11)
+            .with_write_faults(1.0)
+            .with_torn_writes()
+            .with_transient_failures(1);
+        let mut d = FaultDisk::new(MemDisk::new(16), plan);
+        let data: Vec<u8> = vec![0xcd; 8 * BLOCK_SIZE];
+        assert!(d.write_blocks(4, &data, WriteKind::Async).is_err());
+        assert_eq!(d.counts().torn_writes, 1, "the fault must actually tear");
+        // Retry, as the fs retry loop would.
+        d.write_blocks(4, &data, WriteKind::Async).unwrap();
+        let s = d.stats();
+        assert_eq!(s.writes, 1, "exactly one successful write request");
+        assert_eq!(s.bytes_written, 8 * BLOCK_SIZE as u64);
+        // The physical fragments stay visible on the inner device.
+        assert!(d.inner().stats().writes > 1);
+    }
+
+    /// Non-torn transient write faults never reach the inner device, so a
+    /// faulted-then-retried single-block write also charges one success.
+    #[test]
+    fn transient_fault_without_tearing_charges_once() {
+        let plan = FaultPlan::new(7)
+            .with_write_faults(1.0)
+            .with_transient_failures(2);
+        let mut d = FaultDisk::new(MemDisk::new(4), plan);
+        let b = blk(1);
+        assert!(d.write_block(0, &b, WriteKind::Sync).is_err());
+        assert!(d.write_block(0, &b, WriteKind::Sync).is_err());
+        d.write_block(0, &b, WriteKind::Sync).unwrap();
+        let s = d.stats();
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.bytes_written, BLOCK_SIZE as u64);
+    }
+
+    /// The stats correction never undercounts: reads and unrelated writes
+    /// pass through untouched alongside a torn write.
+    #[test]
+    fn tear_correction_leaves_other_traffic_untouched() {
+        let plan = FaultPlan::new(11)
+            .with_write_faults(1.0)
+            .with_torn_writes()
+            .with_transient_failures(1);
+        let mut d = FaultDisk::new(MemDisk::new(16), plan);
+        let data: Vec<u8> = vec![1; 4 * BLOCK_SIZE];
+        let _ = d.write_blocks(0, &data, WriteKind::Async); // torn, fails
+        d.write_blocks(0, &data, WriteKind::Async).unwrap(); // retry
+        let mut r = vec![0u8; 4 * BLOCK_SIZE];
+        d.read_blocks(0, &mut r).unwrap();
+        let s = d.stats();
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.bytes_read, 4 * BLOCK_SIZE as u64);
+        assert_eq!(s.writes, 1);
+        assert!(d.inner().stats().dominates(&s));
     }
 
     #[test]

@@ -17,6 +17,7 @@ pub struct FileDisk {
     file: File,
     num_blocks: u64,
     stats: IoStats,
+    obs: Option<crate::DeviceObs>,
 }
 
 impl FileDisk {
@@ -33,6 +34,7 @@ impl FileDisk {
             file,
             num_blocks,
             stats: IoStats::default(),
+            obs: None,
         })
     }
 
@@ -47,6 +49,7 @@ impl FileDisk {
             file,
             num_blocks: len / BLOCK_SIZE as u64,
             stats: IoStats::default(),
+            obs: None,
         })
     }
 }
@@ -62,6 +65,9 @@ impl BlockDevice for FileDisk {
         self.file.read_exact(buf)?;
         self.stats.reads += 1;
         self.stats.bytes_read += buf.len() as u64;
+        if let Some(obs) = &self.obs {
+            obs.record(true, 0); // no timing model: count the request only
+        }
         Ok(())
     }
 
@@ -71,6 +77,9 @@ impl BlockDevice for FileDisk {
         self.file.write_all(buf)?;
         self.stats.writes += 1;
         self.stats.bytes_written += buf.len() as u64;
+        if let Some(obs) = &self.obs {
+            obs.record(false, 0); // no timing model: count the request only
+        }
         Ok(())
     }
 
@@ -81,6 +90,10 @@ impl BlockDevice for FileDisk {
 
     fn stats(&self) -> IoStats {
         self.stats
+    }
+
+    fn attach_obs(&mut self, obs: crate::DeviceObs) {
+        self.obs = Some(obs);
     }
 }
 

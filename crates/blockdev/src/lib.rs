@@ -38,6 +38,7 @@ mod error;
 mod fault;
 mod file;
 mod mem;
+mod obs;
 mod sim;
 mod stats;
 
@@ -47,6 +48,7 @@ pub use error::{BlockError, Result};
 pub use fault::{FaultCounts, FaultDisk, FaultPlan};
 pub use file::FileDisk;
 pub use mem::MemDisk;
+pub use obs::DeviceObs;
 pub use sim::{DiskModel, SimDisk};
 pub use stats::IoStats;
 

@@ -29,6 +29,7 @@ pub struct MemDisk {
     data: Vec<u8>,
     num_blocks: u64,
     stats: IoStats,
+    obs: Option<crate::DeviceObs>,
 }
 
 impl MemDisk {
@@ -48,6 +49,7 @@ impl MemDisk {
             data: vec![0; bytes],
             num_blocks,
             stats: IoStats::default(),
+            obs: None,
         }
     }
 
@@ -67,6 +69,7 @@ impl MemDisk {
             data: image,
             num_blocks,
             stats: IoStats::default(),
+            obs: None,
         }
     }
 
@@ -96,6 +99,9 @@ impl BlockDevice for MemDisk {
         buf.copy_from_slice(&self.data[self.byte_range(start, buf.len())]);
         self.stats.reads += 1;
         self.stats.bytes_read += buf.len() as u64;
+        if let Some(obs) = &self.obs {
+            obs.record(true, 0); // no timing model: count the request only
+        }
         Ok(())
     }
 
@@ -105,11 +111,18 @@ impl BlockDevice for MemDisk {
         self.data[range].copy_from_slice(buf);
         self.stats.writes += 1;
         self.stats.bytes_written += buf.len() as u64;
+        if let Some(obs) = &self.obs {
+            obs.record(false, 0); // no timing model: count the request only
+        }
         Ok(())
     }
 
     fn stats(&self) -> IoStats {
         self.stats
+    }
+
+    fn attach_obs(&mut self, obs: crate::DeviceObs) {
+        self.obs = Some(obs);
     }
 }
 

@@ -1,0 +1,44 @@
+//! Device-level observability: per-request simulated-latency histograms.
+
+use std::sync::Arc;
+
+use lfs_obs::{Histogram, Registry};
+
+/// Histogram handles a device records into, one sample per request.
+///
+/// Samples are the *service time* of each request in simulated
+/// nanoseconds. Devices without a timing model ([`crate::MemDisk`],
+/// [`crate::FileDisk`]) record zero-valued samples, so request counts are
+/// still visible in the histograms even when no latency figure exists.
+///
+/// Wrapper devices ([`crate::FaultDisk`], [`crate::CrashDisk`]) forward
+/// the handles to the device they wrap, so the histograms always describe
+/// physical requests — including the partial block subset a torn write
+/// persists (unlike [`crate::BlockDevice::stats`] on `FaultDisk`, which
+/// reports the logical request stream; see `fault.rs`).
+#[derive(Clone, Debug)]
+pub struct DeviceObs {
+    read_ns: Arc<Histogram>,
+    write_ns: Arc<Histogram>,
+}
+
+impl DeviceObs {
+    /// Registers `{prefix}.read_ns` / `{prefix}.write_ns` histograms in
+    /// `registry` (the conventional prefix is `"disk"`).
+    pub fn register(registry: &Registry, prefix: &str) -> DeviceObs {
+        DeviceObs {
+            read_ns: registry.histogram(&format!("{prefix}.read_ns")),
+            write_ns: registry.histogram(&format!("{prefix}.write_ns")),
+        }
+    }
+
+    /// Records one serviced request.
+    #[inline]
+    pub fn record(&self, is_read: bool, service_ns: u64) {
+        if is_read {
+            self.read_ns.record(service_ns);
+        } else {
+            self.write_ns.record(service_ns);
+        }
+    }
+}

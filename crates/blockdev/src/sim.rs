@@ -108,6 +108,7 @@ pub struct SimDisk {
     /// Block the head will be over after the last request (one past its end).
     head: u64,
     stats: IoStats,
+    obs: Option<crate::DeviceObs>,
 }
 
 impl SimDisk {
@@ -130,6 +131,7 @@ impl SimDisk {
             model,
             head: 0,
             stats: IoStats::default(),
+            obs: None,
         }
     }
 
@@ -152,6 +154,7 @@ impl SimDisk {
             model,
             head: 0,
             stats: IoStats::default(),
+            obs: None,
         }
     }
 
@@ -200,6 +203,9 @@ impl SimDisk {
             self.stats.writes += 1;
             self.stats.bytes_written += bytes;
         }
+        if let Some(obs) = &self.obs {
+            obs.record(is_read, service);
+        }
         self.head = start + count;
     }
 
@@ -239,11 +245,36 @@ impl BlockDevice for SimDisk {
     fn stats(&self) -> IoStats {
         self.stats
     }
+
+    fn attach_obs(&mut self, obs: crate::DeviceObs) {
+        self.obs = Some(obs);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn attached_obs_records_request_service_times() {
+        let reg = lfs_obs::Registry::new();
+        let mut d = SimDisk::new(1024, DiskModel::wren_iv());
+        d.attach_obs(crate::DeviceObs::register(&reg, "disk"));
+        let b = [0u8; BLOCK_SIZE];
+        d.write_block(0, &b, WriteKind::Async).unwrap();
+        d.write_block(1, &b, WriteKind::Async).unwrap();
+        let mut r = [0u8; BLOCK_SIZE];
+        d.read_blocks(0, &mut r).unwrap();
+        let snap = reg.snapshot();
+        let writes = snap.hist("disk.write_ns").expect("registered");
+        let reads = snap.hist("disk.read_ns").expect("registered");
+        assert_eq!(writes.count, 2);
+        assert_eq!(reads.count, 1);
+        // Histogram sums equal the stats' busy time split by direction.
+        assert_eq!(writes.sum + reads.sum, d.stats().busy_ns);
+        // The second (sequential) write is pure transfer time.
+        assert_eq!(writes.min, d.model().transfer_ns(BLOCK_SIZE as u64));
+    }
 
     #[test]
     fn sequential_writes_pay_no_positioning_after_first() {

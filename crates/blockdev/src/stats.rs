@@ -29,18 +29,55 @@ pub struct IoStats {
 }
 
 impl IoStats {
-    /// Returns the difference `self - earlier`, field by field.
+    /// True when every counter in `self` is at least as large as the
+    /// corresponding counter in `other`, i.e. `self` is a later snapshot
+    /// of the same device.
+    pub fn dominates(&self, other: &IoStats) -> bool {
+        self.reads >= other.reads
+            && self.writes >= other.writes
+            && self.bytes_read >= other.bytes_read
+            && self.bytes_written >= other.bytes_written
+            && self.seeks >= other.seeks
+            && self.busy_ns >= other.busy_ns
+            && self.sync_busy_ns >= other.sync_busy_ns
+            && self.positioning_ns >= other.positioning_ns
+    }
+
+    /// Returns the difference `self - earlier`, field by field, saturating
+    /// at zero.
     ///
     /// Useful for measuring a single phase of a benchmark: snapshot before,
-    /// snapshot after, subtract.
-    ///
-    /// # Panics
-    ///
-    /// Panics in debug builds if `earlier` has larger counters than `self`
-    /// (i.e. the snapshots are in the wrong order).
+    /// snapshot after, subtract. Passing the snapshots in the wrong order
+    /// trips a debug assertion; in release builds each field saturates to
+    /// zero instead of wrapping to a garbage ~`u64::MAX` delta. Use
+    /// [`IoStats::checked_since`] when the order is not statically known.
     #[must_use]
     pub fn since(&self, earlier: &IoStats) -> IoStats {
+        debug_assert!(
+            self.dominates(earlier),
+            "IoStats::since: snapshots passed in the wrong order \
+             (earlier has larger counters than self)"
+        );
         IoStats {
+            reads: self.reads.saturating_sub(earlier.reads),
+            writes: self.writes.saturating_sub(earlier.writes),
+            bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
+            bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
+            seeks: self.seeks.saturating_sub(earlier.seeks),
+            busy_ns: self.busy_ns.saturating_sub(earlier.busy_ns),
+            sync_busy_ns: self.sync_busy_ns.saturating_sub(earlier.sync_busy_ns),
+            positioning_ns: self.positioning_ns.saturating_sub(earlier.positioning_ns),
+        }
+    }
+
+    /// Like [`IoStats::since`], but returns `None` instead of saturating
+    /// when the snapshots are out of order.
+    #[must_use]
+    pub fn checked_since(&self, earlier: &IoStats) -> Option<IoStats> {
+        if !self.dominates(earlier) {
+            return None;
+        }
+        Some(IoStats {
             reads: self.reads - earlier.reads,
             writes: self.writes - earlier.writes,
             bytes_read: self.bytes_read - earlier.bytes_read,
@@ -49,7 +86,19 @@ impl IoStats {
             busy_ns: self.busy_ns - earlier.busy_ns,
             sync_busy_ns: self.sync_busy_ns - earlier.sync_busy_ns,
             positioning_ns: self.positioning_ns - earlier.positioning_ns,
-        }
+        })
+    }
+
+    /// Adds `delta` into `self`, field by field.
+    pub fn accumulate(&mut self, delta: &IoStats) {
+        self.reads += delta.reads;
+        self.writes += delta.writes;
+        self.bytes_read += delta.bytes_read;
+        self.bytes_written += delta.bytes_written;
+        self.seeks += delta.seeks;
+        self.busy_ns += delta.busy_ns;
+        self.sync_busy_ns += delta.sync_busy_ns;
+        self.positioning_ns += delta.positioning_ns;
     }
 
     /// Total bytes moved to and from the disk.
@@ -60,11 +109,15 @@ impl IoStats {
     /// Fraction of busy time spent transferring data (as opposed to
     /// positioning the arm). This is the paper's notion of how much of the
     /// disk's raw bandwidth is actually used.
-    pub fn transfer_efficiency(&self) -> f64 {
+    ///
+    /// Returns `None` for an idle disk (`busy_ns == 0`): a phase that did
+    /// no I/O has no bandwidth-utilization figure, rather than a
+    /// misleading "100% of bandwidth used".
+    pub fn transfer_efficiency(&self) -> Option<f64> {
         if self.busy_ns == 0 {
-            return 1.0;
+            return None;
         }
-        1.0 - self.positioning_ns as f64 / self.busy_ns as f64
+        Some(1.0 - self.positioning_ns as f64 / self.busy_ns as f64)
     }
 }
 
@@ -105,9 +158,11 @@ mod tests {
         assert_eq!(d.positioning_ns, 300);
     }
 
+    /// Regression (ISSUE 3): an idle disk used to report 100% bandwidth
+    /// utilization; it must report "no figure" instead.
     #[test]
-    fn transfer_efficiency_of_idle_disk_is_one() {
-        assert_eq!(IoStats::default().transfer_efficiency(), 1.0);
+    fn transfer_efficiency_of_idle_disk_is_none() {
+        assert_eq!(IoStats::default().transfer_efficiency(), None);
     }
 
     #[test]
@@ -117,6 +172,56 @@ mod tests {
             positioning_ns: 250,
             ..IoStats::default()
         };
-        assert!((s.transfer_efficiency() - 0.75).abs() < 1e-12);
+        let eff = s.transfer_efficiency().expect("busy disk has a figure");
+        assert!((eff - 0.75).abs() < 1e-12);
+    }
+
+    /// Regression (ISSUE 3): out-of-order snapshots used to wrap to
+    /// ~u64::MAX deltas in release builds. `since` now saturates (and
+    /// debug-asserts), and `checked_since` reports the misuse.
+    #[test]
+    fn checked_since_rejects_wrong_order() {
+        let later = IoStats {
+            reads: 10,
+            busy_ns: 1000,
+            ..IoStats::default()
+        };
+        let earlier = IoStats {
+            reads: 4,
+            busy_ns: 300,
+            ..IoStats::default()
+        };
+        assert!(later.checked_since(&earlier).is_some());
+        assert_eq!(earlier.checked_since(&later), None);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn since_saturates_in_release_on_wrong_order() {
+        let later = IoStats {
+            reads: 10,
+            ..IoStats::default()
+        };
+        let earlier = IoStats {
+            reads: 4,
+            ..IoStats::default()
+        };
+        let d = earlier.since(&later);
+        assert_eq!(d.reads, 0, "must saturate, not wrap to ~u64::MAX");
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "wrong order")]
+    fn since_panics_in_debug_on_wrong_order() {
+        let later = IoStats {
+            reads: 10,
+            ..IoStats::default()
+        };
+        let earlier = IoStats {
+            reads: 4,
+            ..IoStats::default()
+        };
+        let _ = earlier.since(&later);
     }
 }

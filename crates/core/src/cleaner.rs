@@ -272,8 +272,31 @@ impl<D: BlockDevice> Lfs<D> {
     /// The cleaning mechanism: read segments, identify live blocks, stage
     /// them for rewriting, flush, and retire the sources.
     pub(crate) fn clean_segments(&mut self, segs: &[u32]) -> FsResult<()> {
+        self.timed(|o| &o.clean, |fs| fs.clean_segments_inner(segs))
+    }
+
+    fn clean_segments_inner(&mut self, segs: &[u32]) -> FsResult<()> {
         self.stats.cleaner.passes += 1;
         let seg_bytes = self.cfg.seg_bytes();
+        // Gathered before scavenging mutates the usage table, so the
+        // trace shows the utilizations the pick policy actually saw.
+        let mut empty = 0u32;
+        let mut utilizations = Vec::new();
+        if self.obs.obs.trace.is_on() {
+            for &seg in segs {
+                let u = self.usage.get(seg);
+                if u.live_bytes == 0 {
+                    empty += 1;
+                } else {
+                    utilizations.push(u.live_bytes as f64 / seg_bytes as f64);
+                }
+            }
+        }
+        self.emit(|| lfs_obs::TraceEvent::CleanerPass {
+            segments: segs.len() as u32,
+            empty,
+            utilizations,
+        });
         for &seg in segs {
             let usage = *self.usage.get(seg);
             self.stats.cleaner.segments_cleaned += 1;

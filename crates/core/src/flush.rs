@@ -87,7 +87,10 @@ impl<D: BlockDevice> Lfs<D> {
         if !self.needs_flush() {
             return Ok(());
         }
+        self.timed(|o| &o.flush, |fs| fs.flush_inner())
+    }
 
+    fn flush_inner(&mut self) -> FsResult<()> {
         // ---- gather -----------------------------------------------------
         let dirlog_blocks = dirlog::encode_records(&self.dirlog_pending);
 
@@ -474,6 +477,11 @@ impl<D: BlockDevice> Lfs<D> {
                 self.bytes_since_checkpoint += buf.len() as u64;
             }
             self.stats.partial_writes += 1;
+            self.emit(|| lfs_obs::TraceEvent::SegmentWrite {
+                seg: c.seg,
+                blocks: c.n_items as u32 + 1, // items + the summary block
+                by_cleaner,
+            });
             item_idx += c.n_items;
         }
         self.write_seq = seq;
@@ -595,6 +603,10 @@ impl<D: BlockDevice> Lfs<D> {
             // write the real checkpoint.
             return self.flush();
         }
+        self.timed(|o| &o.checkpoint, |fs| fs.checkpoint_inner())
+    }
+
+    fn checkpoint_inner(&mut self) -> FsResult<()> {
         self.flush()?;
         // Let the inode map and usage table reach the log; their own
         // relocations are accounted quietly, so this settles quickly.
@@ -631,10 +643,15 @@ impl<D: BlockDevice> Lfs<D> {
             self.write_retry(region + 1, &enc[BLOCK_SIZE..], WriteKind::Sync)?;
         }
         self.write_retry(region, &enc[..BLOCK_SIZE], WriteKind::Sync)?;
+        let written_cr = self.next_cr;
         self.next_cr = 1 - self.next_cr;
         self.checkpoint_seq = self.write_seq;
         self.bytes_since_checkpoint = 0;
         self.stats.checkpoints += 1;
+        self.emit(|| lfs_obs::TraceEvent::Checkpoint {
+            seq: self.write_seq,
+            region: written_cr as u8,
+        });
         // Only now do the cleaned segments become allocatable: the
         // checkpoint just written covers their relocations (the cleaner's
         // flush preceded it), so even a crash right after this point

@@ -148,6 +148,8 @@ pub struct Lfs<D: BlockDevice> {
     /// completing the checkpoint is what makes reserved space reusable.
     pub(crate) settling: bool,
     pub(crate) stats: LfsStats,
+    /// Observability handles (tracing + metrics); off by default.
+    pub(crate) obs: crate::obs::FsObs,
 }
 
 impl<D: BlockDevice> Lfs<D> {
@@ -223,6 +225,7 @@ impl<D: BlockDevice> Lfs<D> {
             cleaning: false,
             settling: false,
             stats: LfsStats::default(),
+            obs: crate::obs::FsObs::default(),
         }
     }
 
@@ -246,11 +249,16 @@ impl<D: BlockDevice> Lfs<D> {
                 Ok(()) => return Ok(()),
                 Err(e) if is_transient(&e) && attempt + 1 < IO_ATTEMPTS => {
                     self.stats.io_retries += 1;
+                    self.emit(|| lfs_obs::TraceEvent::Retry {
+                        write: true,
+                        attempt: attempt + 1,
+                    });
                     backoff(attempt);
                 }
                 Err(e) => {
                     if is_transient(&e) {
                         self.stats.io_giveups += 1;
+                        self.emit(|| lfs_obs::TraceEvent::Giveup { write: true });
                     }
                     return Err(FsError::device(e));
                 }
@@ -267,11 +275,16 @@ impl<D: BlockDevice> Lfs<D> {
                 Ok(()) => return Ok(()),
                 Err(e) if is_transient(&e) && attempt + 1 < IO_ATTEMPTS => {
                     self.stats.io_retries += 1;
+                    self.emit(|| lfs_obs::TraceEvent::Retry {
+                        write: false,
+                        attempt: attempt + 1,
+                    });
                     backoff(attempt);
                 }
                 Err(e) => {
                     if is_transient(&e) {
                         self.stats.io_giveups += 1;
+                        self.emit(|| lfs_obs::TraceEvent::Giveup { write: false });
                     }
                     return Err(FsError::device(e));
                 }
@@ -1123,7 +1136,7 @@ impl<D: BlockDevice> Lfs<D> {
 
 impl<D: BlockDevice> FileSystem for Lfs<D> {
     fn create(&mut self, path: &str) -> FsResult<Ino> {
-        self.create_node(path, FileType::Regular)
+        self.timed(|o| &o.create, |fs| fs.create_node(path, FileType::Regular))
     }
 
     fn mkdir(&mut self, path: &str) -> FsResult<Ino> {
@@ -1135,19 +1148,29 @@ impl<D: BlockDevice> FileSystem for Lfs<D> {
     }
 
     fn write(&mut self, ino: Ino, offset: u64, data: &[u8]) -> FsResult<()> {
-        let inode = self.inode_clone(ino)?;
-        if inode.ftype == FileType::Directory {
-            return Err(FsError::IsADirectory);
-        }
-        self.write_internal(ino, offset, data, true)
+        self.timed(
+            |o| &o.write,
+            |fs| {
+                let inode = fs.inode_clone(ino)?;
+                if inode.ftype == FileType::Directory {
+                    return Err(FsError::IsADirectory);
+                }
+                fs.write_internal(ino, offset, data, true)
+            },
+        )
     }
 
     fn read(&mut self, ino: Ino, offset: u64, buf: &mut [u8]) -> FsResult<usize> {
-        let inode = self.inode_clone(ino)?;
-        if inode.ftype == FileType::Directory {
-            return Err(FsError::IsADirectory);
-        }
-        self.read_internal(ino, offset, buf)
+        self.timed(
+            |o| &o.read,
+            |fs| {
+                let inode = fs.inode_clone(ino)?;
+                if inode.ftype == FileType::Directory {
+                    return Err(FsError::IsADirectory);
+                }
+                fs.read_internal(ino, offset, buf)
+            },
+        )
     }
 
     fn truncate(&mut self, ino: Ino, size: u64) -> FsResult<()> {
@@ -1192,36 +1215,41 @@ impl<D: BlockDevice> FileSystem for Lfs<D> {
     }
 
     fn unlink(&mut self, path: &str) -> FsResult<()> {
-        let (parent, name) = self.resolve_parent(path)?;
-        let slot = self.dir_lookup(parent, name)?.ok_or(FsError::NotFound)?;
-        if slot.ftype == FileType::Directory {
-            return Err(FsError::IsADirectory);
-        }
-        let mut inode = self.inode_clone(slot.ino)?;
-        inode.nlink -= 1;
-        let nlink = inode.nlink;
-        let version = inode.version;
-        self.with_nsop(|fs| {
-            fs.dirlog_pending.push(DirLogRecord {
-                op: DirOp::Unlink,
-                dir: parent,
-                name: name.to_string(),
-                ino: slot.ino,
-                nlink,
-                version,
-                dir2: 0,
-                name2: String::new(),
-            });
-            fs.dir_remove(parent, name)?;
-            if nlink == 0 {
-                fs.delete_file(slot.ino)
-            } else {
-                fs.put_inode(inode);
+        self.timed(
+            |o| &o.unlink,
+            |this| {
+                let (parent, name) = this.resolve_parent(path)?;
+                let slot = this.dir_lookup(parent, name)?.ok_or(FsError::NotFound)?;
+                if slot.ftype == FileType::Directory {
+                    return Err(FsError::IsADirectory);
+                }
+                let mut inode = this.inode_clone(slot.ino)?;
+                inode.nlink -= 1;
+                let nlink = inode.nlink;
+                let version = inode.version;
+                this.with_nsop(|fs| {
+                    fs.dirlog_pending.push(DirLogRecord {
+                        op: DirOp::Unlink,
+                        dir: parent,
+                        name: name.to_string(),
+                        ino: slot.ino,
+                        nlink,
+                        version,
+                        dir2: 0,
+                        name2: String::new(),
+                    });
+                    fs.dir_remove(parent, name)?;
+                    if nlink == 0 {
+                        fs.delete_file(slot.ino)
+                    } else {
+                        fs.put_inode(inode);
+                        Ok(())
+                    }
+                })?;
+                this.after_mutation()?;
                 Ok(())
-            }
-        })?;
-        self.after_mutation()?;
-        Ok(())
+            },
+        )
     }
 
     fn rmdir(&mut self, path: &str) -> FsResult<()> {

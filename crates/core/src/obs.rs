@@ -1,0 +1,178 @@
+//! Observability wiring for the file system: per-operation simulated
+//! latency histograms, trace-event emission, and metrics publication.
+//!
+//! Everything here is cheap when observability is off (the default):
+//! [`Lfs::timed`] is one `Option` check and [`Lfs::emit`] one branch, so
+//! the hot paths pay nothing for the instrumentation.
+
+use std::sync::Arc;
+
+use blockdev::{BlockDevice, DeviceObs};
+use lfs_obs::{Histogram, MetricsSnapshot, Obs, Registry, TraceEvent};
+use vfs::FsResult;
+
+use crate::fs::Lfs;
+use crate::stats::{BlockKind, LfsStats};
+
+/// Pre-registered per-operation latency histograms. Samples are the
+/// simulated disk time (`busy_ns` delta) each operation consumed,
+/// including any flush or cleaning it triggered.
+#[derive(Clone, Debug)]
+pub(crate) struct OpHists {
+    pub create: Arc<Histogram>,
+    pub write: Arc<Histogram>,
+    pub read: Arc<Histogram>,
+    pub unlink: Arc<Histogram>,
+    pub flush: Arc<Histogram>,
+    pub checkpoint: Arc<Histogram>,
+    pub clean: Arc<Histogram>,
+}
+
+impl OpHists {
+    fn register(reg: &Registry) -> OpHists {
+        OpHists {
+            create: reg.histogram("op.create_ns"),
+            write: reg.histogram("op.write_ns"),
+            read: reg.histogram("op.read_ns"),
+            unlink: reg.histogram("op.unlink_ns"),
+            flush: reg.histogram("op.flush_ns"),
+            checkpoint: reg.histogram("op.checkpoint_ns"),
+            clean: reg.histogram("op.clean_ns"),
+        }
+    }
+}
+
+/// The file system's observability state: the shared [`Obs`] handle plus
+/// handles registered against it. Default is fully off.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct FsObs {
+    pub obs: Obs,
+    pub ops: Option<OpHists>,
+}
+
+impl<D: BlockDevice> Lfs<D> {
+    /// Attaches an observability handle: registers per-operation and
+    /// device histograms (when `obs` carries a registry) and routes trace
+    /// events into `obs.trace`. Call any time after `format`/`mount`; use
+    /// [`Lfs::mount_with_obs`](crate::Lfs) to also capture recovery
+    /// events.
+    pub fn set_obs(&mut self, obs: Obs) {
+        if let Some(reg) = &obs.registry {
+            self.obs.ops = Some(OpHists::register(reg));
+            self.dev.attach_obs(DeviceObs::register(reg, "disk"));
+        } else {
+            self.obs.ops = None;
+        }
+        self.obs.obs = obs;
+    }
+
+    /// The attached observability handle (off by default).
+    pub fn obs(&self) -> &Obs {
+        &self.obs.obs
+    }
+
+    /// Runs `f`, recording its simulated disk time (`busy_ns` delta) into
+    /// the histogram `pick` selects. One `Option` check when metrics are
+    /// off. Nested timings (a write that triggers a flush that triggers a
+    /// clean) each record their own inclusive sample.
+    #[inline]
+    pub(crate) fn timed<T>(
+        &mut self,
+        pick: impl FnOnce(&OpHists) -> &Arc<Histogram>,
+        f: impl FnOnce(&mut Self) -> FsResult<T>,
+    ) -> FsResult<T> {
+        let Some(hist) = self.obs.ops.as_ref().map(|ops| pick(ops).clone()) else {
+            return f(self);
+        };
+        let t0 = self.dev.stats().busy_ns;
+        let r = f(self);
+        hist.record(self.dev.stats().busy_ns.saturating_sub(t0));
+        r
+    }
+
+    /// Emits a trace event stamped with the device's simulated clock.
+    /// One branch when tracing is off; `make` never runs then.
+    #[inline]
+    pub(crate) fn emit(&self, make: impl FnOnce() -> TraceEvent) {
+        let trace = &self.obs.obs.trace;
+        if trace.is_on() {
+            trace.emit(self.dev.stats().busy_ns, make);
+        }
+    }
+
+    /// Publishes the current [`LfsStats`] and device [`blockdev::IoStats`]
+    /// into the attached registry (no-op without one). Counters are
+    /// *stored*, not re-accumulated, so the registry mirrors the single
+    /// authoritative accumulation in `LfsStats` — a snapshot therefore
+    /// reproduces Table 2 / Table 4 figures exactly.
+    pub fn publish_metrics(&self) {
+        let Some(reg) = self.obs.obs.registry.as_deref() else {
+            return;
+        };
+        self.stats().publish(reg);
+        let d = self.dev.stats();
+        reg.counter("disk.reads").store(d.reads);
+        reg.counter("disk.writes").store(d.writes);
+        reg.counter("disk.bytes_read").store(d.bytes_read);
+        reg.counter("disk.bytes_written").store(d.bytes_written);
+        reg.counter("disk.seeks").store(d.seeks);
+        reg.counter("disk.busy_ns").store(d.busy_ns);
+        reg.counter("disk.sync_busy_ns").store(d.sync_busy_ns);
+        reg.counter("disk.positioning_ns").store(d.positioning_ns);
+        if let Some(eff) = d.transfer_efficiency() {
+            reg.gauge("disk.transfer_efficiency").set(eff);
+        }
+    }
+
+    /// Publishes current statistics and returns a metrics snapshot, or
+    /// `None` when no registry is attached.
+    pub fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
+        self.publish_metrics();
+        self.obs.obs.snapshot()
+    }
+}
+
+impl BlockKind {
+    /// Stable metric-name slug (`lfs.log_bytes.<slug>`).
+    pub fn slug(self) -> &'static str {
+        match self {
+            BlockKind::Data => "data",
+            BlockKind::Indirect => "indirect",
+            BlockKind::Inode => "inode",
+            BlockKind::Imap => "imap",
+            BlockKind::Usage => "usage",
+            BlockKind::Summary => "summary",
+            BlockKind::DirLog => "dirlog",
+        }
+    }
+}
+
+impl LfsStats {
+    /// Stores every statistic into `reg` under the `lfs.` prefix. See
+    /// EXPERIMENTS.md ("Metrics snapshot schema") for the name list.
+    pub fn publish(&self, reg: &Registry) {
+        for kind in BlockKind::ALL {
+            reg.counter(&format!("lfs.log_bytes.{}", kind.slug()))
+                .store(self.log_bytes_new(kind));
+            reg.counter(&format!("lfs.cleaner_log_bytes.{}", kind.slug()))
+                .store(self.log_bytes_cleaner(kind));
+        }
+        reg.counter("lfs.checkpoints").store(self.checkpoints);
+        reg.counter("lfs.partial_writes").store(self.partial_writes);
+        reg.counter("lfs.app_bytes_written")
+            .store(self.app_bytes_written);
+        reg.counter("lfs.io_retries").store(self.io_retries);
+        reg.counter("lfs.io_giveups").store(self.io_giveups);
+        let c = &self.cleaner;
+        reg.counter("lfs.cleaner.segments_cleaned")
+            .store(c.segments_cleaned);
+        reg.counter("lfs.cleaner.segments_empty")
+            .store(c.segments_empty);
+        reg.counter("lfs.cleaner.bytes_read").store(c.bytes_read);
+        reg.counter("lfs.cleaner.bytes_written")
+            .store(c.bytes_written);
+        reg.counter("lfs.cleaner.passes").store(c.passes);
+        reg.gauge("lfs.cleaner.utilization_sum")
+            .set(c.utilization_sum);
+    }
+}

@@ -46,7 +46,14 @@ impl<D: BlockDevice> Lfs<D> {
     /// checksummed), mount falls back to the older region instead of
     /// failing. Only when no region yields a mountable state does this
     /// return [`FsError::Corrupt`].
-    pub fn mount(mut dev: D, cfg: LfsConfig) -> FsResult<Lfs<D>> {
+    pub fn mount(dev: D, cfg: LfsConfig) -> FsResult<Lfs<D>> {
+        Self::mount_with_obs(dev, cfg, lfs_obs::Obs::off())
+    }
+
+    /// Like [`Lfs::mount`], but with observability attached *before*
+    /// recovery runs, so roll-forward trace events (and the end-of-mount
+    /// checkpoint) are captured.
+    pub fn mount_with_obs(mut dev: D, cfg: LfsConfig, obs: lfs_obs::Obs) -> FsResult<Lfs<D>> {
         let mut sb_buf = [0u8; BLOCK_SIZE];
         dev.read_block(SUPERBLOCK_ADDR, &mut sb_buf)
             .map_err(FsError::device)?;
@@ -75,7 +82,7 @@ impl<D: BlockDevice> Lfs<D> {
         }
         let mut last_err = FsError::Corrupt("no checkpoint candidate".into());
         for (cp, idx) in candidates {
-            match Self::mount_at_checkpoint(dev, sb, cfg, &cp, idx) {
+            match Self::mount_at_checkpoint(dev, sb, cfg, &cp, idx, obs.clone()) {
                 Ok(mut fs) => {
                     fs.nfiles = fs.imap.live_count().saturating_sub(1);
                     // Commit the new epoch (and anything recovery
@@ -106,11 +113,13 @@ impl<D: BlockDevice> Lfs<D> {
         cfg: LfsConfig,
         cp: &Checkpoint,
         idx: usize,
+        obs: lfs_obs::Obs,
     ) -> Result<Lfs<D>, (D, FsError)> {
         let mut cfg = cfg;
         cfg.seg_blocks = sb.seg_blocks;
         cfg.max_inodes = sb.max_inodes;
         let mut fs = Lfs::bare(dev, sb, cfg);
+        fs.set_obs(obs);
         match fs.load_checkpoint_state(cp, idx) {
             Ok(()) => Ok(fs),
             Err(e) => Err((fs.into_device(), e)),
@@ -298,6 +307,10 @@ impl<D: BlockDevice> Lfs<D> {
                 break;
             }
             self.replay_partial_write(&summary, addr + 1, &chunk, &mut records)?;
+            self.emit(|| lfs_obs::TraceEvent::RollForward {
+                seq: summary.seq,
+                seg,
+            });
             self.usage.set_state(seg, SegState::Dirty);
             off += 1 + n;
             self.write_seq = summary.seq;

@@ -142,6 +142,16 @@ impl LfsStats {
         self.log_bytes[kind.index()] + self.cleaner_log_bytes[kind.index()]
     }
 
+    /// Bytes of `kind` appended by normal operation only.
+    pub fn log_bytes_new(&self, kind: BlockKind) -> u64 {
+        self.log_bytes[kind.index()]
+    }
+
+    /// Bytes of `kind` appended by the cleaner only.
+    pub fn log_bytes_cleaner(&self, kind: BlockKind) -> u64 {
+        self.cleaner_log_bytes[kind.index()]
+    }
+
     /// Total bytes appended to the log.
     pub fn total_log_bytes(&self) -> u64 {
         BlockKind::ALL.iter().map(|&k| self.log_bytes(k)).sum()

@@ -86,6 +86,8 @@ pub struct Ffs<D: BlockDevice> {
     dirty_bytes: u64,
     nfiles: u64,
     stats: FfsStats,
+    /// Observability handle (off by default).
+    obs: lfs_obs::Obs,
 }
 
 impl<D: BlockDevice> Ffs<D> {
@@ -115,6 +117,7 @@ impl<D: BlockDevice> Ffs<D> {
             dirty_bytes: 0,
             nfiles: 0,
             stats: FfsStats::default(),
+            obs: lfs_obs::Obs::off(),
         };
         let sb_block = fs.sb.encode();
         fs.dev
@@ -180,6 +183,7 @@ impl<D: BlockDevice> Ffs<D> {
             dirty_bytes: 0,
             nfiles: 0,
             stats: FfsStats::default(),
+            obs: lfs_obs::Obs::off(),
         };
         fs.nfiles = fs.count_files()?;
         Ok(fs)
@@ -195,6 +199,40 @@ impl<D: BlockDevice> Ffs<D> {
             }
         }
         Ok(n.saturating_sub(1)) // Exclude the root.
+    }
+
+    /// Attaches an observability handle: the device's per-request service
+    /// times feed `disk.read_ns` / `disk.write_ns` histograms when `obs`
+    /// carries a registry. The baseline has no trace events of its own.
+    pub fn set_obs(&mut self, obs: lfs_obs::Obs) {
+        if let Some(reg) = &obs.registry {
+            self.dev
+                .attach_obs(blockdev::DeviceObs::register(reg, "disk"));
+        }
+        self.obs = obs;
+    }
+
+    /// Publishes [`FfsStats`] and device counters into the attached
+    /// registry and returns a snapshot (`None` without a registry).
+    pub fn metrics_snapshot(&self) -> Option<lfs_obs::MetricsSnapshot> {
+        let reg = self.obs.registry.as_deref()?;
+        reg.counter("ffs.sync_metadata_writes")
+            .store(self.stats.sync_metadata_writes);
+        reg.counter("ffs.data_writes").store(self.stats.data_writes);
+        reg.counter("ffs.app_bytes_written")
+            .store(self.stats.app_bytes_written);
+        let d = self.dev.stats();
+        reg.counter("disk.reads").store(d.reads);
+        reg.counter("disk.writes").store(d.writes);
+        reg.counter("disk.bytes_read").store(d.bytes_read);
+        reg.counter("disk.bytes_written").store(d.bytes_written);
+        reg.counter("disk.busy_ns").store(d.busy_ns);
+        reg.counter("disk.sync_busy_ns").store(d.sync_busy_ns);
+        reg.counter("disk.positioning_ns").store(d.positioning_ns);
+        if let Some(eff) = d.transfer_efficiency() {
+            reg.gauge("disk.transfer_efficiency").set(eff);
+        }
+        self.obs.snapshot()
     }
 
     /// Device access (for stats).

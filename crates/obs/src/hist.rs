@@ -1,0 +1,287 @@
+//! Log2-bucketed latency histogram.
+//!
+//! Values are `u64` nanoseconds of *simulated* time. Bucket `0` holds the
+//! exact value `0`; bucket `i` (for `i >= 1`) holds values in
+//! `[2^(i-1), 2^i - 1]`. With 65 buckets the full `u64` range is covered,
+//! so `record` never saturates or clips.
+//!
+//! Recording is lock-free (`AtomicU64` per bucket, relaxed ordering): the
+//! histogram is shared between the device layer and snapshot readers via
+//! `Arc` without a mutex on the hot path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde_json::{json, Value};
+
+/// Number of buckets: one for zero plus one per bit of `u64`.
+pub const NUM_BUCKETS: usize = 65;
+
+/// Bucket index for a value: `0` for `0`, else `64 - leading_zeros`.
+#[inline]
+pub fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Smallest value that lands in bucket `i`.
+#[inline]
+pub fn bucket_floor(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+/// Largest value that lands in bucket `i` (inclusive).
+#[inline]
+pub fn bucket_ceil(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// Concurrent log2 histogram. Create via [`Histogram::new`], share via `Arc`.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded samples (wrapping on overflow of u64 ns ≈ 584 years).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Immutable copy of the current state.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        HistSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain-data copy of a [`Histogram`], suitable for merging, quantile
+/// queries, and JSON export.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Per-bucket sample counts, `NUM_BUCKETS` entries.
+    pub buckets: Vec<u64>,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Smallest sample (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest sample (`0` when empty).
+    pub max: u64,
+}
+
+impl Default for HistSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistSnapshot {
+    /// An empty snapshot.
+    pub fn empty() -> Self {
+        HistSnapshot {
+            buckets: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Merge `other` into `self`. Bucket counts, totals, and extrema all
+    /// combine exactly, so merging is associative and commutative and
+    /// preserves total count.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        // `Histogram::record` accumulates the sum with a wrapping atomic
+        // add; merging wraps the same way so the two paths agree.
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Upper bound of the bucket containing quantile `q` (0.0..=1.0),
+    /// clamped to the observed max. Returns `None` for an empty histogram.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target sample, 1-based.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_ceil(i).min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Mean sample value; `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+
+    /// JSON form: non-empty buckets as `[index, count]` pairs plus
+    /// summary fields (see EXPERIMENTS.md, "Metrics snapshot schema").
+    pub fn to_json(&self) -> Value {
+        let buckets: Vec<Value> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| json!([i as u64, c]))
+            .collect();
+        json!({
+            "count": self.count,
+            "sum": self.sum,
+            "min": if self.count == 0 { Value::Null } else { json!(self.min) },
+            "max": if self.count == 0 { Value::Null } else { json!(self.max) },
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+            "buckets": Value::Array(buckets),
+        })
+    }
+
+    /// Parse the JSON form produced by [`HistSnapshot::to_json`].
+    pub fn from_json(v: &Value) -> Option<HistSnapshot> {
+        let mut snap = HistSnapshot::empty();
+        snap.count = v.get("count")?.as_u64()?;
+        snap.sum = v.get("sum")?.as_u64()?;
+        snap.min = v.get("min").and_then(Value::as_u64).unwrap_or(u64::MAX);
+        snap.max = v.get("max").and_then(Value::as_u64).unwrap_or(0);
+        for pair in v.get("buckets")?.as_array()? {
+            let pair = pair.as_array()?;
+            let i = pair.first()?.as_u64()? as usize;
+            let c = pair.get(1)?.as_u64()?;
+            if i >= NUM_BUCKETS {
+                return None;
+            }
+            snap.buckets[i] = c;
+        }
+        Some(snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for i in 0..NUM_BUCKETS {
+            assert_eq!(bucket_of(bucket_floor(i)), i);
+            assert_eq!(bucket_of(bucket_ceil(i)), i);
+        }
+    }
+
+    #[test]
+    fn record_and_quantiles() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 5, 5, 100, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 1111);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 1000);
+        assert!(s.quantile(0.0).is_some());
+        assert_eq!(s.quantile(1.0), Some(1000));
+        // p50 of 6 samples is the 3rd: value 5 → bucket [4,7].
+        assert_eq!(s.quantile(0.5), Some(7));
+    }
+
+    #[test]
+    fn empty_quantile_is_none() {
+        assert_eq!(HistSnapshot::empty().quantile(0.5), None);
+        assert_eq!(HistSnapshot::empty().mean(), None);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let h = Histogram::new();
+        for v in [3u64, 9, 90, 1_000_000, u64::MAX] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let text = s.to_json().to_string();
+        let back = HistSnapshot::from_json(&serde_json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(back, s);
+    }
+}

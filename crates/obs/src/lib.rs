@@ -1,0 +1,92 @@
+//! `lfs-obs` — observability substrate for the LFS reproduction.
+//!
+//! Three pieces, all usable independently:
+//!
+//! - [`Histogram`]: lock-free log2-bucketed latency histogram (simulated
+//!   nanoseconds), with plain-data [`HistSnapshot`] for merging,
+//!   quantiles, and JSON export.
+//! - [`Registry`]: named counters / gauges / histograms; snapshots to the
+//!   `lfs-metrics/1` JSON schema ([`MetricsSnapshot`]).
+//! - [`Trace`]: a cheap-when-off structured event recorder (ring buffer
+//!   of [`TraceEvent`]s with simulated-time stamps, JSONL export).
+//!
+//! [`Obs`] bundles a trace and a registry into the single handle the file
+//! system, devices, and tools pass around. `Obs::default()` is fully off:
+//! every emit is one branch and no allocation.
+
+#![warn(missing_docs)]
+
+mod hist;
+mod metrics;
+mod trace;
+
+pub use hist::{bucket_ceil, bucket_floor, bucket_of, HistSnapshot, Histogram, NUM_BUCKETS};
+pub use metrics::{Counter, Gauge, MetricsSnapshot, Registry};
+pub use trace::{TimedEvent, Trace, TraceBuffer, TraceEvent};
+
+use std::sync::Arc;
+
+/// A trace plus a metrics registry: the one handle wired through the
+/// stack. Clones share the same underlying sinks.
+#[derive(Debug, Clone, Default)]
+pub struct Obs {
+    /// Structured event trace (off by default).
+    pub trace: Trace,
+    /// Metrics registry (absent by default).
+    pub registry: Option<Arc<Registry>>,
+}
+
+impl Obs {
+    /// Fully disabled observability (the default).
+    pub fn off() -> Self {
+        Obs::default()
+    }
+
+    /// Recording: a fresh registry plus a trace ring of `trace_cap` events.
+    pub fn recording(trace_cap: usize) -> Self {
+        Obs {
+            trace: Trace::ring(trace_cap),
+            registry: Some(Arc::new(Registry::new())),
+        }
+    }
+
+    /// Whether any sink is attached.
+    pub fn is_on(&self) -> bool {
+        self.trace.is_on() || self.registry.is_some()
+    }
+
+    /// Registry snapshot merged with trace tallies. `None` when no
+    /// registry is attached.
+    pub fn snapshot(&self) -> Option<MetricsSnapshot> {
+        let reg = self.registry.as_ref()?;
+        let mut snap = reg.snapshot();
+        snap.trace_counts = self.trace.counts();
+        snap.trace_dropped = self.trace.dropped();
+        Some(snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_obs_is_off() {
+        let obs = Obs::default();
+        assert!(!obs.is_on());
+        assert!(obs.snapshot().is_none());
+    }
+
+    #[test]
+    fn recording_obs_snapshots_trace_counts() {
+        let obs = Obs::recording(16);
+        assert!(obs.is_on());
+        obs.trace.emit(5, || TraceEvent::Giveup { write: false });
+        if let Some(reg) = &obs.registry {
+            reg.counter("x").add(2);
+        }
+        let snap = obs.snapshot().expect("registry attached");
+        assert_eq!(snap.counter("x"), 2);
+        assert_eq!(snap.trace_counts.get("giveup"), Some(&1));
+    }
+}

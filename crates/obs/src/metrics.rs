@@ -1,0 +1,318 @@
+//! Named-metric registry: counters, gauges, and latency histograms.
+//!
+//! Handles are `Arc`s handed out once (at wiring time) and then updated
+//! lock-free; the registry mutex is only taken on registration and
+//! snapshot, never on the hot path.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use serde_json::{json, Value};
+
+use crate::hist::{HistSnapshot, Histogram};
+
+/// Monotone event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Overwrite the value. Used when mirroring an externally-accumulated
+    /// statistic (e.g. `LfsStats`) into the registry at snapshot time.
+    #[inline]
+    pub fn store(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Point-in-time float value (stored as `f64` bits in an `AtomicU64`).
+#[derive(Debug)]
+pub struct Gauge(AtomicU64);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Gauge {
+    /// A gauge reading `0.0`.
+    pub fn new() -> Self {
+        Gauge(AtomicU64::new(0f64.to_bits()))
+    }
+
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Registry of named metrics. Cloningly cheap via `Arc<Registry>`.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    hists: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Get or create the counter named `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(Counter::new()))
+            .clone()
+    }
+
+    /// Get or create the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().unwrap_or_else(|e| e.into_inner());
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(Gauge::new()))
+            .clone()
+    }
+
+    /// Get or create the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.hists.lock().unwrap_or_else(|e| e.into_inner());
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(Histogram::new()))
+            .clone()
+    }
+
+    /// Immutable copy of every metric's current value.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let hists = self
+            .hists
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            hists,
+            trace_counts: BTreeMap::new(),
+            trace_dropped: 0,
+        }
+    }
+}
+
+/// Plain-data snapshot of a [`Registry`] (plus trace-event tallies when
+/// taken through [`crate::Obs::snapshot`]). Serializes to the
+/// `lfs-metrics/1` JSON schema documented in EXPERIMENTS.md.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram snapshots by name.
+    pub hists: BTreeMap<String, HistSnapshot>,
+    /// Recorded trace events by kind (includes events evicted from the ring).
+    pub trace_counts: BTreeMap<String, u64>,
+    /// Events evicted from the trace ring because it was full.
+    pub trace_dropped: u64,
+}
+
+impl MetricsSnapshot {
+    /// Counter value, or 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value, or `None` when absent.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Histogram snapshot, or `None` when absent.
+    pub fn hist(&self, name: &str) -> Option<&HistSnapshot> {
+        self.hists.get(name)
+    }
+
+    /// The `lfs-metrics/1` JSON form.
+    pub fn to_json(&self) -> Value {
+        let counters = Value::Object(
+            self.counters
+                .iter()
+                .map(|(k, v)| (k.clone(), json!(*v)))
+                .collect(),
+        );
+        let gauges = Value::Object(
+            self.gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), json!(*v)))
+                .collect(),
+        );
+        let hists = Value::Object(
+            self.hists
+                .iter()
+                .map(|(k, v)| (k.clone(), v.to_json()))
+                .collect(),
+        );
+        let trace_counts = Value::Object(
+            self.trace_counts
+                .iter()
+                .map(|(k, v)| (k.clone(), json!(*v)))
+                .collect(),
+        );
+        json!({
+            "schema": "lfs-metrics/1",
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": hists,
+            "trace": {
+                "events": trace_counts,
+                "dropped": self.trace_dropped,
+            },
+        })
+    }
+
+    /// Parse the JSON form. Returns `None` on schema mismatch.
+    pub fn from_json(v: &Value) -> Option<MetricsSnapshot> {
+        if v.get("schema")?.as_str()? != "lfs-metrics/1" {
+            return None;
+        }
+        let mut snap = MetricsSnapshot::default();
+        if let Some(Value::Object(members)) = v.get("counters") {
+            for (k, val) in members {
+                snap.counters.insert(k.clone(), val.as_u64()?);
+            }
+        }
+        if let Some(Value::Object(members)) = v.get("gauges") {
+            for (k, val) in members {
+                snap.gauges.insert(k.clone(), val.as_f64()?);
+            }
+        }
+        if let Some(Value::Object(members)) = v.get("histograms") {
+            for (k, val) in members {
+                snap.hists.insert(k.clone(), HistSnapshot::from_json(val)?);
+            }
+        }
+        if let Some(trace) = v.get("trace") {
+            if let Some(Value::Object(members)) = trace.get("events") {
+                for (k, val) in members {
+                    snap.trace_counts.insert(k.clone(), val.as_u64()?);
+                }
+            }
+            snap.trace_dropped = trace.get("dropped").and_then(Value::as_u64).unwrap_or(0);
+        }
+        Some(snap)
+    }
+
+    /// Serialize to pretty-enough compact JSON text (single line).
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string()
+    }
+
+    /// Write the snapshot JSON to `path`.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json_string() + "\n")
+    }
+
+    /// Load a snapshot from a JSON file.
+    pub fn load(path: &std::path::Path) -> std::io::Result<MetricsSnapshot> {
+        let text = std::fs::read_to_string(path)?;
+        let value = serde_json::from_str(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        MetricsSnapshot::from_json(&value).ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "not an lfs-metrics/1 snapshot",
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let reg = Registry::new();
+        let c = reg.counter("x.count");
+        c.add(41);
+        c.inc();
+        reg.gauge("x.frac").set(0.25);
+        reg.histogram("x.ns").record(7);
+        // Same name returns the same underlying metric.
+        assert_eq!(reg.counter("x.count").get(), 42);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("x.count"), 42);
+        assert_eq!(snap.gauge("x.frac"), Some(0.25));
+        assert_eq!(snap.hist("x.ns").map(|h| h.count), Some(1));
+    }
+
+    #[test]
+    fn snapshot_json_roundtrip() {
+        let reg = Registry::new();
+        reg.counter("a").add(3);
+        reg.gauge("b").set(1.5);
+        reg.histogram("c").record(1024);
+        let mut snap = reg.snapshot();
+        snap.trace_counts.insert("checkpoint".into(), 2);
+        snap.trace_dropped = 1;
+        let text = snap.to_json_string();
+        let back = MetricsSnapshot::from_json(&serde_json::from_str(&text).expect("parse"))
+            .expect("schema");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn missing_metric_defaults() {
+        let snap = MetricsSnapshot::default();
+        assert_eq!(snap.counter("nope"), 0);
+        assert_eq!(snap.gauge("nope"), None);
+        assert!(snap.hist("nope").is_none());
+    }
+}

@@ -1,0 +1,300 @@
+//! Structured trace recorder: a bounded ring of typed events with
+//! simulated-time timestamps.
+//!
+//! The sink is `Option<Arc<Mutex<…>>>`; a disabled [`Trace`] is a `None`
+//! and [`Trace::emit`] is a single branch — event payloads are built
+//! inside a closure that never runs when tracing is off.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+use serde_json::{json, Value};
+
+/// A typed trace event. Fields carry enough to reconstruct the paper's
+/// telemetry: what was written, what the cleaner picked (and how full the
+/// victims were), what recovery replayed, and which I/Os misbehaved.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// One partial-segment (chunk) write appended to the log.
+    SegmentWrite {
+        /// Segment index written into.
+        seg: u32,
+        /// Blocks in this chunk, summary included.
+        blocks: u32,
+        /// True when the chunk was written by the cleaner.
+        by_cleaner: bool,
+    },
+    /// One cleaner pass over a set of victim segments.
+    CleanerPass {
+        /// Victim segments scavenged.
+        segments: u32,
+        /// Victims that turned out fully empty (freed without copying).
+        empty: u32,
+        /// Live-byte utilization of each picked segment at selection time.
+        utilizations: Vec<f64>,
+    },
+    /// A checkpoint committed to a checkpoint region.
+    Checkpoint {
+        /// Checkpoint sequence number.
+        seq: u64,
+        /// Which of the two checkpoint regions was written.
+        region: u8,
+    },
+    /// Roll-forward replayed one log record during recovery.
+    RollForward {
+        /// Write sequence number of the replayed chunk.
+        seq: u64,
+        /// Segment the chunk lives in.
+        seg: u32,
+    },
+    /// A failed I/O attempt that will be retried.
+    Retry {
+        /// True for a write, false for a read.
+        write: bool,
+        /// 1-based attempt number that failed.
+        attempt: u32,
+    },
+    /// An I/O abandoned after exhausting the retry budget.
+    Giveup {
+        /// True for a write, false for a read.
+        write: bool,
+    },
+}
+
+impl TraceEvent {
+    /// Stable kind tag used in JSONL output and per-kind tallies.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::SegmentWrite { .. } => "segment_write",
+            TraceEvent::CleanerPass { .. } => "cleaner_pass",
+            TraceEvent::Checkpoint { .. } => "checkpoint",
+            TraceEvent::RollForward { .. } => "roll_forward",
+            TraceEvent::Retry { .. } => "retry",
+            TraceEvent::Giveup { .. } => "giveup",
+        }
+    }
+
+    fn payload_json(&self) -> Value {
+        match self {
+            TraceEvent::SegmentWrite {
+                seg,
+                blocks,
+                by_cleaner,
+            } => json!({"seg": *seg, "blocks": *blocks, "by_cleaner": *by_cleaner}),
+            TraceEvent::CleanerPass {
+                segments,
+                empty,
+                utilizations,
+            } => json!({
+                "segments": *segments,
+                "empty": *empty,
+                "utilizations": utilizations.clone(),
+            }),
+            TraceEvent::Checkpoint { seq, region } => json!({"seq": *seq, "region": *region}),
+            TraceEvent::RollForward { seq, seg } => json!({"seq": *seq, "seg": *seg}),
+            TraceEvent::Retry { write, attempt } => json!({"write": *write, "attempt": *attempt}),
+            TraceEvent::Giveup { write } => json!({"write": *write}),
+        }
+    }
+}
+
+/// One recorded event with its simulated-time timestamp (device
+/// `busy_ns` at emission; a pure-simulation caller may pass step counts).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedEvent {
+    /// Simulated nanoseconds (or steps) when the event fired.
+    pub t_sim_ns: u64,
+    /// The event itself.
+    pub event: TraceEvent,
+}
+
+impl TimedEvent {
+    /// One JSONL line: `{"t": …, "kind": …, …payload fields…}`.
+    pub fn to_json(&self) -> Value {
+        let mut members = vec![
+            ("t".to_string(), json!(self.t_sim_ns)),
+            ("kind".to_string(), json!(self.event.kind())),
+        ];
+        if let Value::Object(payload) = self.event.payload_json() {
+            members.extend(payload);
+        }
+        Value::Object(members)
+    }
+}
+
+/// Bounded ring of [`TimedEvent`]s plus lifetime tallies per kind.
+#[derive(Debug)]
+pub struct TraceBuffer {
+    cap: usize,
+    ring: VecDeque<TimedEvent>,
+    counts: BTreeMap<&'static str, u64>,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    /// An empty buffer keeping at most `cap` events (cap 0 keeps tallies only).
+    pub fn new(cap: usize) -> Self {
+        TraceBuffer {
+            cap,
+            ring: VecDeque::with_capacity(cap.min(4096)),
+            counts: BTreeMap::new(),
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, ev: TimedEvent) {
+        *self.counts.entry(ev.event.kind()).or_insert(0) += 1;
+        if self.cap == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.ring.len() == self.cap {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(ev);
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TimedEvent> {
+        self.ring.iter()
+    }
+
+    /// Lifetime tallies per event kind (includes evicted events).
+    pub fn counts(&self) -> BTreeMap<String, u64> {
+        self.counts
+            .iter()
+            .map(|(k, v)| (k.to_string(), *v))
+            .collect()
+    }
+
+    /// Events evicted (or never retained) because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+/// Cheap-when-off handle to a shared [`TraceBuffer`].
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    sink: Option<Arc<Mutex<TraceBuffer>>>,
+}
+
+impl Trace {
+    /// A disabled trace; [`Trace::emit`] is a no-op branch.
+    pub fn off() -> Self {
+        Trace { sink: None }
+    }
+
+    /// An enabled trace retaining the most recent `cap` events.
+    pub fn ring(cap: usize) -> Self {
+        Trace {
+            sink: Some(Arc::new(Mutex::new(TraceBuffer::new(cap)))),
+        }
+    }
+
+    /// Whether events are being recorded.
+    #[inline]
+    pub fn is_on(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Record an event. `make` runs only when the trace is on, so payload
+    /// construction (allocations included) costs nothing when off.
+    #[inline]
+    pub fn emit(&self, t_sim_ns: u64, make: impl FnOnce() -> TraceEvent) {
+        if let Some(sink) = &self.sink {
+            let ev = TimedEvent {
+                t_sim_ns,
+                event: make(),
+            };
+            sink.lock().unwrap_or_else(|e| e.into_inner()).push(ev);
+        }
+    }
+
+    /// Lifetime per-kind tallies; empty when the trace is off.
+    pub fn counts(&self) -> BTreeMap<String, u64> {
+        match &self.sink {
+            Some(sink) => sink.lock().unwrap_or_else(|e| e.into_inner()).counts(),
+            None => BTreeMap::new(),
+        }
+    }
+
+    /// Events evicted from the ring so far.
+    pub fn dropped(&self) -> u64 {
+        match &self.sink {
+            Some(sink) => sink.lock().unwrap_or_else(|e| e.into_inner()).dropped(),
+            None => 0,
+        }
+    }
+
+    /// Retained events as JSONL text (one event per line, oldest first).
+    pub fn to_jsonl(&self) -> String {
+        let Some(sink) = &self.sink else {
+            return String::new();
+        };
+        let buf = sink.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = String::new();
+        for ev in buf.events() {
+            out.push_str(&ev.to_json().to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_trace_records_nothing_and_skips_payload() {
+        let t = Trace::off();
+        let mut built = false;
+        t.emit(0, || {
+            built = true;
+            TraceEvent::Giveup { write: true }
+        });
+        assert!(!built, "payload closure must not run when off");
+        assert!(t.counts().is_empty());
+        assert_eq!(t.to_jsonl(), "");
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_keeps_tallies() {
+        let t = Trace::ring(2);
+        for i in 0..5u64 {
+            t.emit(i, || TraceEvent::Checkpoint {
+                seq: i,
+                region: (i % 2) as u8,
+            });
+        }
+        assert_eq!(t.counts().get("checkpoint"), Some(&5));
+        assert_eq!(t.dropped(), 3);
+        let jsonl = t.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"t\":3"));
+        assert!(lines[1].contains("\"t\":4"));
+    }
+
+    #[test]
+    fn jsonl_lines_parse_and_tag_kind() {
+        let t = Trace::ring(8);
+        t.emit(10, || TraceEvent::CleanerPass {
+            segments: 2,
+            empty: 1,
+            utilizations: vec![0.0, 0.5],
+        });
+        t.emit(11, || TraceEvent::SegmentWrite {
+            seg: 7,
+            blocks: 32,
+            by_cleaner: false,
+        });
+        for line in t.to_jsonl().lines() {
+            let v = serde_json::from_str(line).expect("valid JSON line");
+            assert!(v.get("kind").and_then(Value::as_str).is_some());
+            assert!(v.get("t").and_then(Value::as_u64).is_some());
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for the log2 latency histogram (ISSUE 3 satellite):
+//! merge associativity, bucket monotonicity, and count preservation.
+
+use lfs_obs::{bucket_ceil, bucket_floor, bucket_of, HistSnapshot, Histogram, NUM_BUCKETS};
+use proptest::prelude::*;
+
+fn snap_of(values: &[u64]) -> HistSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Merging is associative: (a ⊔ b) ⊔ c == a ⊔ (b ⊔ c).
+    #[test]
+    fn merge_is_associative(
+        a in proptest::collection::vec(any::<u64>(), 0..50),
+        b in proptest::collection::vec(any::<u64>(), 0..50),
+        c in proptest::collection::vec(any::<u64>(), 0..50),
+    ) {
+        let (sa, sb, sc) = (snap_of(&a), snap_of(&b), snap_of(&c));
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Merging is commutative and preserves the total sample count and sum.
+    #[test]
+    fn merge_preserves_counts(
+        a in proptest::collection::vec(0u64..1_000_000_000, 0..80),
+        b in proptest::collection::vec(0u64..1_000_000_000, 0..80),
+    ) {
+        let (sa, sb) = (snap_of(&a), snap_of(&b));
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(ab.count, (a.len() + b.len()) as u64);
+        let direct: u64 = a.iter().chain(&b).sum();
+        prop_assert_eq!(ab.sum, direct);
+        prop_assert_eq!(ab.buckets.iter().sum::<u64>(), ab.count);
+    }
+
+    /// Bucket assignment is monotone in the sample value, and every value
+    /// lands inside its bucket's [floor, ceil] range.
+    #[test]
+    fn buckets_are_monotone(v in any::<u64>(), w in any::<u64>()) {
+        let (lo, hi) = if v <= w { (v, w) } else { (w, v) };
+        prop_assert!(bucket_of(lo) <= bucket_of(hi));
+        let i = bucket_of(v);
+        prop_assert!(i < NUM_BUCKETS);
+        prop_assert!(bucket_floor(i) <= v && v <= bucket_ceil(i));
+    }
+
+    /// Recording preserves count/sum exactly and quantiles stay within
+    /// the observed range.
+    #[test]
+    fn record_preserves_totals(values in proptest::collection::vec(any::<u64>(), 1..100)) {
+        let snap = snap_of(&values);
+        prop_assert_eq!(snap.count, values.len() as u64);
+        let sum = values.iter().fold(0u64, |acc, &v| acc.wrapping_add(v));
+        prop_assert_eq!(snap.sum, sum);
+        let min = *values.iter().min().expect("non-empty");
+        let max = *values.iter().max().expect("non-empty");
+        prop_assert_eq!(snap.min, min);
+        prop_assert_eq!(snap.max, max);
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            let est = snap.quantile(q).expect("non-empty");
+            prop_assert!(est <= max);
+            // The estimate is a bucket upper bound, so it is never below
+            // the true minimum's bucket floor.
+            prop_assert!(est >= bucket_floor(bucket_of(min)));
+        }
+    }
+
+    /// Bucket floors are strictly increasing (after the zero bucket) and
+    /// ceil(i) + 1 == floor(i + 1): the buckets tile the u64 range.
+    #[test]
+    fn buckets_tile_the_range(i in 1usize..NUM_BUCKETS - 1) {
+        prop_assert!(bucket_floor(i) < bucket_floor(i + 1));
+        prop_assert_eq!(bucket_ceil(i) + 1, bucket_floor(i + 1));
+        prop_assert!(bucket_floor(i) <= bucket_ceil(i));
+    }
+
+    /// JSON round-trip is lossless for arbitrary recorded data.
+    #[test]
+    fn json_roundtrip(values in proptest::collection::vec(any::<u64>(), 0..60)) {
+        let snap = snap_of(&values);
+        let text = snap.to_json().to_string();
+        let v = serde_json::from_str(&text).expect("snapshot JSON parses");
+        let back = HistSnapshot::from_json(&v).expect("schema");
+        prop_assert_eq!(back, snap);
+    }
+}

@@ -78,6 +78,10 @@ pub struct Simulator {
     cleaned_histogram: Histogram,
     cleaned_util_sum: f64,
     cleaned_count: u64,
+    /// Trace sink for cleaner-pass events. Off by default; `step()` never
+    /// touches it (the only emit site is inside `run_cleaner`), so the
+    /// hot loop pays nothing for the instrumentation.
+    trace: lfs_obs::Trace,
 }
 
 impl Simulator {
@@ -112,6 +116,7 @@ impl Simulator {
             cleaned_histogram: Histogram::new(50),
             cleaned_util_sum: 0.0,
             cleaned_count: 0,
+            trace: lfs_obs::Trace::off(),
             cfg,
         };
         sim.segs[0].clean = false;
@@ -119,6 +124,17 @@ impl Simulator {
             sim.append_block(f, 0, false);
         }
         sim
+    }
+
+    /// Routes cleaner-pass trace events (picked-segment utilizations,
+    /// empty counts) into `trace`, timestamped with the simulation clock.
+    pub fn set_trace(&mut self, trace: lfs_obs::Trace) {
+        self.trace = trace;
+    }
+
+    /// The attached trace handle (off by default).
+    pub fn trace(&self) -> &lfs_obs::Trace {
+        &self.trace
     }
 
     fn pick_file(&mut self) -> u32 {
@@ -259,6 +275,25 @@ impl Simulator {
             }
             ranked.sort_by(desc);
             let picked: Vec<u32> = ranked.iter().map(|&(_, i)| i).collect();
+
+            if self.trace.is_on() {
+                let mut empty = 0u32;
+                let mut utilizations = Vec::with_capacity(picked.len());
+                for &si in &picked {
+                    let seg = &self.segs[si as usize];
+                    if seg.live == 0 {
+                        empty += 1;
+                    } else {
+                        utilizations.push(seg.live as f64 * inv_spb);
+                    }
+                }
+                self.trace
+                    .emit(self.clock, || lfs_obs::TraceEvent::CleanerPass {
+                        segments: picked.len() as u32,
+                        empty,
+                        utilizations,
+                    });
+            }
 
             // Gather live blocks of the picked segments.
             let mut live: Vec<(u32, u64)> = Vec::new();
@@ -415,6 +450,30 @@ mod tests {
             clean_target: 3,
             segs_per_pass: 3,
             ..SimConfig::default_at(util)
+        }
+    }
+
+    #[test]
+    fn trace_records_cleaner_passes_with_utilizations() {
+        let mut sim = Simulator::new(small(0.75));
+        sim.set_trace(lfs_obs::Trace::ring(1024));
+        for _ in 0..50_000 {
+            sim.step();
+        }
+        let counts = sim.trace().counts();
+        assert!(
+            counts.get("cleaner_pass").copied().unwrap_or(0) > 0,
+            "no cleaner passes traced: {counts:?}"
+        );
+        // Utilizations in the events must be valid fractions.
+        for line in sim.trace().to_jsonl().lines() {
+            let v = serde_json::from_str(line).expect("trace line parses");
+            if let Some(us) = v.get("utilizations").and_then(|u| u.as_array()) {
+                for u in us {
+                    let u = u.as_f64().unwrap();
+                    assert!((0.0..=1.0).contains(&u), "utilization {u} out of range");
+                }
+            }
         }
     }
 

@@ -1,0 +1,91 @@
+//! Overhead guard for the observability hooks.
+//!
+//! `Simulator::step` never touches the trace handle — the only emit site
+//! is inside the cleaner pass, behind an `is_on` check — so stepping with
+//! tracing disabled must cost the same as before the hooks existed, and
+//! even *recording* must stay within the 2% budget. The guard measures
+//! both configurations interleaved (so frequency scaling and cache state
+//! hit them equally) and compares medians.
+//!
+//! Timing-sensitive, so ignored by default; CI runs it explicitly with
+//! `cargo test -p cleaner-sim --release -- --ignored`.
+
+use cleaner_sim::{AccessPattern, Policy, SimConfig, Simulator};
+use lfs_obs::Trace;
+use std::time::Instant;
+
+const WARMUP_STEPS: usize = 50_000;
+const MEASURED_STEPS: usize = 200_000;
+const ROUNDS: usize = 7;
+
+fn cfg() -> SimConfig {
+    let mut cfg = SimConfig::default_at(0.75);
+    cfg.nsegments = 150;
+    cfg.pattern = AccessPattern::hot_cold_default();
+    cfg.policy = Policy::CostBenefit;
+    cfg.age_sort = true;
+    cfg
+}
+
+fn steady_sim(trace: Trace) -> Simulator {
+    let mut sim = Simulator::new(cfg());
+    sim.set_trace(trace);
+    for _ in 0..WARMUP_STEPS {
+        sim.step();
+    }
+    sim
+}
+
+/// Seconds for `MEASURED_STEPS` steps.
+fn time_steps(sim: &mut Simulator) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..MEASURED_STEPS {
+        sim.step();
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+/// Minimum over rounds: the stable estimator for per-step cost under
+/// frequency scaling and scheduler noise (all interference is additive).
+fn min_of(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+#[test]
+#[ignore = "timing-sensitive; run with `cargo test --release -- --ignored`"]
+fn tracing_overhead_under_two_percent() {
+    let mut off = steady_sim(Trace::off());
+    let mut on = steady_sim(Trace::ring(1024));
+
+    let mut t_off = Vec::with_capacity(ROUNDS);
+    let mut t_on = Vec::with_capacity(ROUNDS);
+    for _ in 0..ROUNDS {
+        t_off.push(time_steps(&mut off));
+        t_on.push(time_steps(&mut on));
+    }
+    let off_min = min_of(&t_off);
+    let on_min = min_of(&t_on);
+    let ratio = on_min / off_min;
+    eprintln!(
+        "sim_step overhead guard: off {:.1} ns/step, recording {:.1} ns/step, ratio {ratio:.4}",
+        off_min * 1e9 / MEASURED_STEPS as f64,
+        on_min * 1e9 / MEASURED_STEPS as f64,
+    );
+    // Recording bounds disabled-tracing overhead from above: the off
+    // configuration does strictly less work per step.
+    assert!(
+        ratio < 1.02,
+        "tracing overhead {:.2}% exceeds the 2% budget",
+        (ratio - 1.0) * 100.0
+    );
+
+    // The trace actually recorded cleaner passes while we measured.
+    assert!(
+        on.trace()
+            .counts()
+            .get("cleaner_pass")
+            .copied()
+            .unwrap_or(0)
+            > 0
+    );
+}

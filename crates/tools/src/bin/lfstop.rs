@@ -1,0 +1,127 @@
+//! `lfstop` — render an `lfs-metrics/1` snapshot as human-readable tables.
+//!
+//! The snapshot comes from `run_all --metrics out.json` or
+//! `torture --metrics out.json` (see the "Metrics snapshot schema" section
+//! of EXPERIMENTS.md). Shows counters, gauges, latency histograms with
+//! p50/p90/p99, and trace-event tallies.
+//!
+//! Usage: `lfstop <snapshot.json>`
+
+use lfs_obs::MetricsSnapshot;
+
+/// Minimal two-space-separated aligned table.
+fn render(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, c) in row.iter().enumerate() {
+            widths[i] = widths[i].max(c.len());
+        }
+    }
+    let line = |cells: &[String]| -> String {
+        let mut out = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            out.push_str(&format!("{:<w$}", c, w = widths[i]));
+            if i + 1 < cells.len() {
+                out.push_str("  ");
+            }
+        }
+        out.trim_end().to_string() + "\n"
+    };
+    let mut out = line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&line(row));
+    }
+    out
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+fn print_snapshot(snap: &MetricsSnapshot) {
+    if !snap.counters.is_empty() {
+        println!("Counters:");
+        let rows: Vec<Vec<String>> = snap
+            .counters
+            .iter()
+            .map(|(k, v)| vec![k.clone(), v.to_string()])
+            .collect();
+        println!("{}", render(&["name", "value"], &rows));
+    }
+    if !snap.gauges.is_empty() {
+        println!("Gauges:");
+        let rows: Vec<Vec<String>> = snap
+            .gauges
+            .iter()
+            .map(|(k, v)| vec![k.clone(), format!("{v:.4}")])
+            .collect();
+        println!("{}", render(&["name", "value"], &rows));
+    }
+    if !snap.hists.is_empty() {
+        println!("Latency histograms (log2 buckets, simulated ns):");
+        let rows: Vec<Vec<String>> = snap
+            .hists
+            .iter()
+            .map(|(k, h)| {
+                let q = |q: f64| h.quantile(q).map_or("-".into(), fmt_ns);
+                vec![
+                    k.clone(),
+                    h.count.to_string(),
+                    h.mean().map_or("-".into(), |m| fmt_ns(m as u64)),
+                    q(0.50),
+                    q(0.90),
+                    q(0.99),
+                    fmt_ns(h.max),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render(
+                &["name", "count", "mean", "p50", "p90", "p99", "max"],
+                &rows
+            )
+        );
+    }
+    if !snap.trace_counts.is_empty() {
+        println!("Trace events:");
+        let rows: Vec<Vec<String>> = snap
+            .trace_counts
+            .iter()
+            .map(|(k, v)| vec![k.clone(), v.to_string()])
+            .collect();
+        println!("{}", render(&["kind", "count"], &rows));
+        if snap.trace_dropped > 0 {
+            println!(
+                "({} events evicted from the trace ring)",
+                snap.trace_dropped
+            );
+        }
+    }
+}
+
+fn main() {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: lfstop <snapshot.json>");
+        std::process::exit(2);
+    };
+    let snap = match MetricsSnapshot::load(std::path::Path::new(&path)) {
+        Ok(snap) => snap,
+        Err(e) => {
+            eprintln!("lfstop: cannot load {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("lfs-metrics/1 snapshot: {path}\n");
+    print_snapshot(&snap);
+}

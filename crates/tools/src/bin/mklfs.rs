@@ -36,7 +36,10 @@ fn main() {
         eprintln!("mklfs: format failed: {e}");
         std::process::exit(1);
     });
-    fs.sync().unwrap();
+    if let Err(e) = fs.sync() {
+        eprintln!("mklfs: sync failed: {e}");
+        std::process::exit(1);
+    }
     let sb = fs.superblock();
     println!(
         "formatted {path}: {} MB, {} segments of {} KB, {} max inodes",

@@ -23,7 +23,13 @@
 //! Everything is deterministic in the seed: `torture --start S --seeds 1`
 //! replays round S bit-for-bit.
 //!
-//! Usage: `torture [--seeds N] [--start S] [--ops K] [--cuts C] [--rot] [--verbose]`
+//! With `--metrics <path>` an observability registry is shared across all
+//! rounds: operation/disk latency histograms and trace-event tallies
+//! accumulate over every seed (counters mirror the final round's stats),
+//! and the `lfs-metrics/1` snapshot is written to `<path>` at exit —
+//! render it with `lfstop <path>`.
+//!
+//! Usage: `torture [--seeds N] [--start S] [--ops K] [--cuts C] [--rot] [--verbose] [--metrics PATH]`
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -45,10 +51,14 @@ struct Options {
     cuts: usize,
     rot: bool,
     verbose: bool,
+    metrics: Option<String>,
 }
 
 fn usage() -> ! {
-    eprintln!("usage: torture [--seeds N] [--start S] [--ops K] [--cuts C] [--rot] [--verbose]");
+    eprintln!(
+        "usage: torture [--seeds N] [--start S] [--ops K] [--cuts C] [--rot] [--verbose] \
+         [--metrics PATH]"
+    );
     std::process::exit(2);
 }
 
@@ -60,6 +70,7 @@ fn parse_args() -> Options {
         cuts: 3,
         rot: false,
         verbose: false,
+        metrics: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -76,6 +87,10 @@ fn parse_args() -> Options {
             "--ops" => opts.ops = take(&mut i) as usize,
             "--cuts" => opts.cuts = take(&mut i) as usize,
             "--rot" => opts.rot = true,
+            "--metrics" => {
+                i += 1;
+                opts.metrics = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
             "--verbose" => opts.verbose = true,
             _ => usage(),
         }
@@ -124,13 +139,16 @@ fn tolerable(e: &FsError) -> bool {
 }
 
 /// One torture round. `Err` carries a human-readable diagnosis.
-fn run_seed(seed: u64, opts: &Options) -> Result<(), String> {
+fn run_seed(seed: u64, opts: &Options, obs: &lfs_obs::Obs) -> Result<(), String> {
     let cfg = LfsConfig::small();
     let mut rng = StdRng::seed_from_u64(seed);
 
     // Phase 1: quiet device, base files, checkpoint, journal baseline.
     let disk = FaultDisk::new(CrashDisk::new(DISK_BLOCKS), FaultPlan::new(seed));
     let mut fs = Lfs::format(disk, cfg).map_err(|e| format!("format: {e}"))?;
+    if obs.is_on() {
+        fs.set_obs(obs.clone());
+    }
     let mut base = Vec::new();
     for i in 0..BASE_FILES {
         let content = version_content(seed, i as u32, 2000 + 3000 * i);
@@ -237,7 +255,12 @@ fn run_seed(seed: u64, opts: &Options) -> Result<(), String> {
             }
         }
         let tag = format!("seed {seed} cut {c} ({cut}/{max_cut} blocks)");
-        let mut rfs = match Lfs::mount(MemDisk::from_image(img), cfg) {
+        let mounted = if obs.is_on() {
+            Lfs::mount_with_obs(MemDisk::from_image(img), cfg, obs.clone())
+        } else {
+            Lfs::mount(MemDisk::from_image(img), cfg)
+        };
+        let mut rfs = match mounted {
             Ok(rfs) => rfs,
             Err(_) if opts.rot => continue, // rot may hit anything; Err is legal
             Err(e) => return Err(format!("{tag}: mount failed: {e}")),
@@ -298,6 +321,10 @@ fn run_seed(seed: u64, opts: &Options) -> Result<(), String> {
         }
     }
 
+    // Counters mirror this (the most recent) round; histograms and trace
+    // tallies accumulate across rounds because the sinks are shared.
+    fs.publish_metrics();
+
     if opts.verbose {
         println!(
             "seed {seed}: ok ({} write faults, {} read faults, {} torn, {} retries, {} segs cleaned)",
@@ -313,9 +340,14 @@ fn run_seed(seed: u64, opts: &Options) -> Result<(), String> {
 
 fn main() {
     let opts = parse_args();
+    let obs = if opts.metrics.is_some() {
+        lfs_obs::Obs::recording(16_384)
+    } else {
+        lfs_obs::Obs::off()
+    };
     let mut failures = 0u64;
     for seed in opts.start..opts.start + opts.seeds {
-        let outcome = catch_unwind(AssertUnwindSafe(|| run_seed(seed, &opts)));
+        let outcome = catch_unwind(AssertUnwindSafe(|| run_seed(seed, &opts, &obs)));
         match outcome {
             Ok(Ok(())) => {}
             Ok(Err(msg)) => {
@@ -334,6 +366,18 @@ fn main() {
         opts.seeds,
         if opts.rot { " (rot mode)" } else { "" }
     );
+    if let Some(path) = &opts.metrics {
+        if let Some(reg) = obs.registry.as_deref() {
+            reg.counter("torture.seeds_run").store(opts.seeds);
+            reg.counter("torture.seeds_failed").store(failures);
+        }
+        let snap = obs.snapshot().expect("metrics mode always has a registry");
+        if let Err(e) = snap.save(std::path::Path::new(path)) {
+            eprintln!("torture: cannot write metrics snapshot {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("torture: metrics snapshot saved to {path}");
+    }
     if failures > 0 {
         std::process::exit(1);
     }
