@@ -38,6 +38,55 @@ fn measure(
     }
 }
 
+/// Create/read/delete results for one system (one sweep point).
+struct SystemRun {
+    create: PhaseResult,
+    read: PhaseResult,
+    delete: PhaseResult,
+}
+
+fn run_lfs(bench: &SmallFileBench, host: &HostModel) -> SystemRun {
+    let mut lfs = or_die(
+        "format LFS",
+        Lfs::format(paper_disk(), LfsConfig::default()),
+    );
+    let s0 = lfs.device().stats();
+    or_die("LFS create phase", bench.create_phase(&mut lfs));
+    let s1 = lfs.device().stats();
+    lfs.drop_caches();
+    let s1b = lfs.device().stats();
+    or_die("LFS read phase", bench.read_phase(&mut lfs));
+    let s2 = lfs.device().stats();
+    or_die("LFS delete phase", bench.delete_phase(&mut lfs));
+    let s3 = lfs.device().stats();
+    SystemRun {
+        create: measure(s0, s1, host, bench),
+        read: measure(s1b, s2, host, bench),
+        delete: measure(s2, s3, host, bench),
+    }
+}
+
+fn run_ffs(bench: &SmallFileBench, host: &HostModel) -> SystemRun {
+    let mut ffs = or_die(
+        "format FFS",
+        Ffs::format(paper_disk(), FfsConfig::default()),
+    );
+    let f0 = ffs.device().stats();
+    or_die("FFS create phase", bench.create_phase(&mut ffs));
+    let f1 = ffs.device().stats();
+    ffs.drop_caches();
+    let f1b = ffs.device().stats();
+    or_die("FFS read phase", bench.read_phase(&mut ffs));
+    let f2 = ffs.device().stats();
+    or_die("FFS delete phase", bench.delete_phase(&mut ffs));
+    let f3 = ffs.device().stats();
+    SystemRun {
+        create: measure(f0, f1, host, bench),
+        read: measure(f1b, f2, host, bench),
+        delete: measure(f2, f3, host, bench),
+    }
+}
+
 fn main() -> std::process::ExitCode {
     let smoke = smoke_mode();
     let bench = if smoke {
@@ -56,41 +105,21 @@ fn main() -> std::process::ExitCode {
         bench.file_size / 1024
     );
 
-    // ---------------- Sprite LFS ----------------------------------------
-    let mut lfs = or_die(
-        "format LFS",
-        Lfs::format(paper_disk(), LfsConfig::default()),
-    );
-    let s0 = lfs.device().stats();
-    or_die("LFS create phase", bench.create_phase(&mut lfs));
-    let s1 = lfs.device().stats();
-    lfs.drop_caches();
-    let s1b = lfs.device().stats();
-    or_die("LFS read phase", bench.read_phase(&mut lfs));
-    let s2 = lfs.device().stats();
-    or_die("LFS delete phase", bench.delete_phase(&mut lfs));
-    let s3 = lfs.device().stats();
-    let lfs_create = measure(s0, s1, &host, &bench);
-    let lfs_read = measure(s1b, s2, &host, &bench);
-    let lfs_delete = measure(s2, s3, &host, &bench);
-
-    // ---------------- SunOS (FFS baseline) ------------------------------
-    let mut ffs = or_die(
-        "format FFS",
-        Ffs::format(paper_disk(), FfsConfig::default()),
-    );
-    let f0 = ffs.device().stats();
-    or_die("FFS create phase", bench.create_phase(&mut ffs));
-    let f1 = ffs.device().stats();
-    ffs.drop_caches();
-    let f1b = ffs.device().stats();
-    or_die("FFS read phase", bench.read_phase(&mut ffs));
-    let f2 = ffs.device().stats();
-    or_die("FFS delete phase", bench.delete_phase(&mut ffs));
-    let f3 = ffs.device().stats();
-    let ffs_create = measure(f0, f1, &host, &bench);
-    let ffs_read = measure(f1b, f2, &host, &bench);
-    let ffs_delete = measure(f2, f3, &host, &bench);
+    // Sprite LFS and the SunOS (FFS) baseline are independent sweep
+    // points — each formats its own fresh paper disk — so they run on
+    // worker threads and come back in input order, bit-identical to the
+    // old back-to-back loop.
+    let mut runs = lfs_bench::sweep::run(2, |i| {
+        if i == 0 {
+            run_lfs(&bench, &host)
+        } else {
+            run_ffs(&bench, &host)
+        }
+    });
+    let ffs_run = runs.pop().expect("ffs sweep point");
+    let lfs_run = runs.pop().expect("lfs sweep point");
+    let (lfs_create, lfs_read, lfs_delete) = (lfs_run.create, lfs_run.read, lfs_run.delete);
+    let (ffs_create, ffs_read, ffs_delete) = (ffs_run.create, ffs_run.read, ffs_run.delete);
 
     let mut table = Table::new(&["phase", "Sprite LFS files/s", "SunOS files/s", "LFS/FFS"]);
     for (phase, l, f) in [

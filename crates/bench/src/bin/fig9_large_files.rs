@@ -62,8 +62,12 @@ fn main() -> std::process::ExitCode {
         out
     };
 
-    let lfs = run("lfs");
-    let ffs = run("ffs");
+    // The two systems are independent sweep points (each owns a fresh
+    // paper disk), so they run on worker threads; results come back in
+    // input order, bit-identical to running them back to back.
+    let mut runs = lfs_bench::sweep::run(2, |i| run(if i == 0 { "lfs" } else { "ffs" }));
+    let ffs = runs.pop().expect("ffs sweep point");
+    let lfs = runs.pop().expect("lfs sweep point");
 
     let mut table = Table::new(&["phase", "Sprite LFS KB/s", "SunOS KB/s"]);
     let nops = bench.file_bytes / bench.io_size as u64;

@@ -1,0 +1,380 @@
+//! Records host-side (wall-clock) file-system throughput to
+//! `bench_results/fs_throughput.jsonl`.
+//!
+//! Companion to the figure binaries, which report *simulated* disk time on
+//! a 1989 Wren IV: this binary instead measures how fast the `lfs-core`
+//! implementation itself runs on the host, over a `MemDisk` with no timing
+//! model, so the repository keeps a trajectory of FS-side performance the
+//! same way `sim_throughput.jsonl` tracks the cleaning simulator. See
+//! EXPERIMENTS.md ("Host-side performance methodology").
+//!
+//! Mixes: small-file create/read/delete (the Figure 8 workload shape) and
+//! large-file sequential write/read (the Figure 9 shape). Each mix is run
+//! `REPS` times and the best wall-clock time is kept, which filters
+//! scheduler noise the same way criterion's minimum-of-samples does.
+//!
+//! The default configuration is the tuned read path: coalesced reads plus
+//! a 32-block read-ahead window. `--gate` additionally runs every mix with
+//! the legacy per-block path (`coalesced_reads = false`) on the same host
+//! and fails if the tuned path has regressed against it — a
+//! host-independent CI check, since both sides run in the same job. The
+//! tuned and legacy reps of a mix are interleaved so CPU-speed drift over
+//! the run biases both sides equally rather than whichever ran last.
+//!
+//! ```sh
+//! cargo run --release -p lfs-bench --bin fs_throughput -- <variant-label>
+//! cargo run --release -p lfs-bench --bin fs_throughput -- --gate
+//! ```
+
+use std::time::Instant;
+
+use blockdev::{BlockDevice, MemDisk};
+use lfs_bench::{append_jsonl, or_die, smoke_mode, Table};
+use lfs_core::Lfs;
+use serde_json::json;
+use workload::{LargeFileBench, LargeFilePhase, SmallFileBench};
+
+const REPS: u32 = 5;
+
+/// Read-ahead window of the tuned configuration, in blocks (128 KB).
+const READ_AHEAD_BLOCKS: u32 = 32;
+
+/// `--gate`: fail if a tuned mix falls below this fraction of the legacy
+/// per-block path's throughput.
+const GATE_MIN_RATIO: f64 = 0.8;
+
+/// `--gate`: the sequential-read-heavy mix must reach the device in at
+/// least this factor fewer read requests than the per-block path, or
+/// coalescing has stopped batching. (Request counts are deterministic, so
+/// unlike a wall-clock ratio this check cannot flake: on a RAM-backed
+/// `MemDisk` a request costs next to nothing, which is exactly why the
+/// batching claim is checked on the request counter and not on time.)
+const GATE_MIN_READ_BATCHING: u64 = 8;
+
+fn mem_lfs(mb: u64, tuned: bool) -> Lfs<MemDisk> {
+    let mut cfg = lfs_bench::production_lfs_config(mb);
+    if tuned {
+        cfg.read_ahead_blocks = READ_AHEAD_BLOCKS;
+    } else {
+        cfg.coalesced_reads = false;
+        cfg.read_ahead_blocks = 0;
+    }
+    or_die(
+        "format LFS on MemDisk",
+        Lfs::format(MemDisk::new(mb * 256), cfg),
+    )
+}
+
+struct MixResult {
+    mix: &'static str,
+    ops: u64,
+    bytes: u64,
+    wall_ns: u128,
+    /// Read requests the mix's timed phase issued to the device
+    /// (deterministic — every rep sees the same value).
+    dev_reads: u64,
+}
+
+impl MixResult {
+    fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 * 1e9 / self.wall_ns as f64
+    }
+    fn mb_per_sec(&self) -> f64 {
+        self.bytes as f64 * 1e9 / (self.wall_ns as f64 * (1 << 20) as f64)
+    }
+}
+
+/// One timed rep: wall-clock plus the device read requests it issued.
+struct Sample {
+    wall_ns: u128,
+    dev_reads: u64,
+}
+
+/// One workload mix: `run(tuned)` builds fresh state and times the phase.
+struct MixSpec {
+    name: &'static str,
+    ops: u64,
+    bytes: u64,
+    run: Box<dyn Fn(bool) -> Sample>,
+}
+
+fn timed<S>(
+    setup: impl FnOnce() -> S,
+    f: impl FnOnce(&mut S),
+    reads: impl Fn(&S) -> u64,
+) -> Sample {
+    let mut state = setup();
+    let before = reads(&state);
+    let t = Instant::now();
+    f(&mut state);
+    let wall_ns = t.elapsed().as_nanos();
+    Sample {
+        wall_ns,
+        dev_reads: reads(&state) - before,
+    }
+}
+
+/// The five mixes, in recording order.
+fn mix_specs() -> Vec<MixSpec> {
+    let (nfiles, large_mb, read_passes) = if smoke_mode() {
+        (2_000, 8u64, 2u64)
+    } else {
+        (10_000, 64, 4)
+    };
+    let small = SmallFileBench {
+        nfiles,
+        file_size: 1024,
+        files_per_dir: 100,
+    };
+    let large = LargeFileBench {
+        file_bytes: large_mb << 20,
+        io_size: 8192,
+        seed: 0xf19,
+    };
+    let disk_mb = (large_mb * 4).max(64);
+    let sops = small.nfiles as u64;
+    let sbytes = sops * small.file_size as u64;
+    let lops = large.file_bytes / large.io_size as u64;
+
+    vec![
+        // Small-file mixes: create, read back in order, delete (the
+        // Figure 8 shape).
+        MixSpec {
+            name: "small_create",
+            ops: sops,
+            bytes: sbytes,
+            run: Box::new(move |tuned| {
+                timed(
+                    || mem_lfs(disk_mb, tuned),
+                    |fs| or_die("small create", small.create_phase(fs)),
+                    |fs| fs.device().stats().reads,
+                )
+            }),
+        },
+        MixSpec {
+            name: "small_read",
+            ops: sops,
+            bytes: sbytes,
+            run: Box::new(move |tuned| {
+                timed(
+                    || {
+                        let mut fs = mem_lfs(disk_mb, tuned);
+                        or_die("small create", small.create_phase(&mut fs));
+                        fs.drop_caches();
+                        fs
+                    },
+                    |fs| or_die("small read", small.read_phase(fs)),
+                    |fs| fs.device().stats().reads,
+                )
+            }),
+        },
+        MixSpec {
+            name: "small_delete",
+            ops: sops,
+            bytes: sbytes,
+            run: Box::new(move |tuned| {
+                timed(
+                    || {
+                        let mut fs = mem_lfs(disk_mb, tuned);
+                        or_die("small create", small.create_phase(&mut fs));
+                        fs
+                    },
+                    |fs| or_die("small delete", small.delete_phase(fs)),
+                    |fs| fs.device().stats().reads,
+                )
+            }),
+        },
+        // Large-file mixes: sequential write, then a sequential-read-heavy
+        // mix (every pass starts cold, so each block is fetched from the
+        // device).
+        MixSpec {
+            name: "seq_write",
+            ops: lops,
+            bytes: large.file_bytes,
+            run: Box::new(move |tuned| {
+                timed(
+                    || mem_lfs(disk_mb, tuned),
+                    |fs| {
+                        let ino = or_die("large setup", large.setup(fs));
+                        or_die(
+                            "seq write",
+                            large.run_phase(fs, ino, LargeFilePhase::SeqWrite),
+                        );
+                    },
+                    |fs| fs.device().stats().reads,
+                )
+            }),
+        },
+        MixSpec {
+            name: "seq_read",
+            ops: lops * read_passes,
+            bytes: large.file_bytes * read_passes,
+            run: Box::new(move |tuned| {
+                timed(
+                    || {
+                        let mut fs = mem_lfs(disk_mb, tuned);
+                        let ino = or_die("large setup", large.setup(&mut fs));
+                        or_die(
+                            "seq write",
+                            large.run_phase(&mut fs, ino, LargeFilePhase::SeqWrite),
+                        );
+                        (fs, ino)
+                    },
+                    |(fs, ino)| {
+                        for _ in 0..read_passes {
+                            fs.drop_caches();
+                            or_die(
+                                "seq read",
+                                large.run_phase(fs, *ino, LargeFilePhase::SeqRead),
+                            );
+                        }
+                    },
+                    |(fs, _)| fs.device().stats().reads,
+                )
+            }),
+        },
+    ]
+}
+
+/// Measures every mix, keeping each side's fastest rep. With `gate` the
+/// tuned and legacy reps alternate, so machine-speed drift cannot bias
+/// the comparison toward whichever side ran later.
+fn measure(gate: bool) -> (Vec<MixResult>, Vec<MixResult>) {
+    let mut tuned = Vec::new();
+    let mut legacy = Vec::new();
+    for spec in mix_specs() {
+        let mut best_tuned = Sample {
+            wall_ns: u128::MAX,
+            dev_reads: 0,
+        };
+        let mut best_legacy = Sample {
+            wall_ns: u128::MAX,
+            dev_reads: 0,
+        };
+        for _ in 0..REPS {
+            let s = (spec.run)(true);
+            if s.wall_ns < best_tuned.wall_ns {
+                best_tuned = s;
+            }
+            if gate {
+                let s = (spec.run)(false);
+                if s.wall_ns < best_legacy.wall_ns {
+                    best_legacy = s;
+                }
+            }
+        }
+        tuned.push(MixResult {
+            mix: spec.name,
+            ops: spec.ops,
+            bytes: spec.bytes,
+            wall_ns: best_tuned.wall_ns,
+            dev_reads: best_tuned.dev_reads,
+        });
+        if gate {
+            legacy.push(MixResult {
+                mix: spec.name,
+                ops: spec.ops,
+                bytes: spec.bytes,
+                wall_ns: best_legacy.wall_ns,
+                dev_reads: best_legacy.dev_reads,
+            });
+        }
+    }
+    (tuned, legacy)
+}
+
+fn print_results(title: &str, results: &[MixResult]) {
+    println!("{title}");
+    let mut table = Table::new(&["mix", "ops/sec", "MB/sec", "wall ms", "dev reads"]);
+    for r in results {
+        table.row(vec![
+            r.mix.into(),
+            format!("{:.0}", r.ops_per_sec()),
+            format!("{:.1}", r.mb_per_sec()),
+            format!("{:.1}", r.wall_ns as f64 / 1e6),
+            format!("{}", r.dev_reads),
+        ]);
+    }
+    table.print();
+}
+
+fn record(variant: &str, results: &[MixResult]) {
+    let smoke = smoke_mode();
+    for r in results {
+        append_jsonl(
+            "fs_throughput",
+            &json!({
+                "bench": "fs_throughput",
+                "variant": variant,
+                "smoke": smoke,
+                "mix": r.mix,
+                "ops": r.ops,
+                "bytes": r.bytes,
+                "wall_ns": r.wall_ns as u64,
+                "dev_reads": r.dev_reads,
+                "ops_per_sec": r.ops_per_sec(),
+                "mb_per_sec": r.mb_per_sec(),
+            }),
+        );
+    }
+}
+
+/// Compares tuned vs legacy and returns the failures.
+fn gate_failures(tuned: &[MixResult], legacy: &[MixResult]) -> Vec<String> {
+    let mut failures = Vec::new();
+    for (t, l) in tuned.iter().zip(legacy) {
+        let ratio = t.ops_per_sec() / l.ops_per_sec();
+        println!(
+            "  {:<14} tuned/legacy = {ratio:.2}x  dev reads {} vs {}",
+            t.mix, t.dev_reads, l.dev_reads
+        );
+        if ratio < GATE_MIN_RATIO {
+            failures.push(format!(
+                "{}: tuned path is {ratio:.2}x the legacy path (floor {GATE_MIN_RATIO})",
+                t.mix
+            ));
+        }
+        if t.mix == "seq_read" && t.dev_reads * GATE_MIN_READ_BATCHING > l.dev_reads {
+            failures.push(format!(
+                "seq_read: {} coalesced read requests vs {} per-block — \
+                 batching fell below {GATE_MIN_READ_BATCHING}x",
+                t.dev_reads, l.dev_reads
+            ));
+        }
+    }
+    failures
+}
+
+fn main() -> std::process::ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let gate = args.iter().any(|a| a == "--gate");
+    let variant = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "current".into());
+    let smoke = smoke_mode();
+    let suffix = if smoke { " [smoke]" } else { "" };
+
+    let (tuned, legacy) = measure(gate);
+    print_results(&format!("fs_throughput ({variant}){suffix}"), &tuned);
+    record(&variant, &tuned);
+
+    if gate {
+        print_results(
+            &format!("\nfs_throughput (legacy per-block path){suffix}"),
+            &legacy,
+        );
+        record(&format!("{variant}-legacy"), &legacy);
+        println!("\ngate: tuned vs legacy");
+        let failures = gate_failures(&tuned, &legacy);
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("GATE FAILURE: {f}");
+            }
+            return std::process::ExitCode::FAILURE;
+        }
+        println!("gate passed");
+    }
+    lfs_bench::finish()
+}

@@ -36,7 +36,22 @@ fn main() -> std::process::ExitCode {
         "Write cost",
     ]);
 
-    for model in PartitionModel::all() {
+    // Every partition model is an independent sweep point: its own disk,
+    // its own LFS, its own seeded workload. Run the points on worker
+    // threads and emit rows afterwards in model order, bit-identical to
+    // the old serial loop.
+    let models = PartitionModel::all();
+    struct ModelResult {
+        name: &'static str,
+        avg_file_kb: f64,
+        utilization: f64,
+        segments_cleaned: u64,
+        empty_fraction: f64,
+        avg_nonempty_u: f64,
+        write_cost: f64,
+    }
+    let results = lfs_bench::sweep::run(models.len(), |i| {
+        let model = models[i];
         let cfg = lfs_bench::production_lfs_config(mb);
         let mut fs = or_die("format LFS", Lfs::format(disk_mb(mb), cfg));
         let mut w = ProductionWorkload::new(model, 0xdead ^ model.name.len() as u64);
@@ -52,25 +67,36 @@ fn main() -> std::process::ExitCode {
         } else {
             0.0
         };
+        ModelResult {
+            name: model.name,
+            avg_file_kb,
+            utilization: s.utilization(),
+            segments_cleaned: c.segments_cleaned,
+            empty_fraction: c.empty_fraction(),
+            avg_nonempty_u: c.avg_nonempty_utilization(),
+            write_cost: st.write_cost(),
+        }
+    });
+    for r in &results {
         table.row(vec![
-            model.name.into(),
+            r.name.into(),
             format!("{mb}"),
-            format!("{avg_file_kb:.1}"),
-            format!("{:.0}%", s.utilization() * 100.0),
-            format!("{}", c.segments_cleaned),
-            format!("{:.0}%", c.empty_fraction() * 100.0),
-            format!("{:.3}", c.avg_nonempty_utilization()),
-            format!("{:.2}", st.write_cost()),
+            format!("{:.1}", r.avg_file_kb),
+            format!("{:.0}%", r.utilization * 100.0),
+            format!("{}", r.segments_cleaned),
+            format!("{:.0}%", r.empty_fraction * 100.0),
+            format!("{:.3}", r.avg_nonempty_u),
+            format!("{:.2}", r.write_cost),
         ]);
         append_jsonl(
             "table2",
             &serde_json::json!({
-                "partition": model.name,
-                "utilization": s.utilization(),
-                "segments_cleaned": c.segments_cleaned,
-                "empty_fraction": c.empty_fraction(),
-                "avg_nonempty_u": c.avg_nonempty_utilization(),
-                "write_cost": st.write_cost(),
+                "partition": r.name,
+                "utilization": r.utilization,
+                "segments_cleaned": r.segments_cleaned,
+                "empty_fraction": r.empty_fraction,
+                "avg_nonempty_u": r.avg_nonempty_u,
+                "write_cost": r.write_cost,
             }),
         );
     }

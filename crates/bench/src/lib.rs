@@ -18,6 +18,7 @@
 
 pub mod host;
 pub mod output;
+pub mod sweep;
 
 pub use host::{HostModel, PhaseMeasurement};
 pub use output::{append_jsonl, finish, or_die, results_dir, try_append_jsonl, Table};

@@ -1,0 +1,97 @@
+//! Parallel sweeps over independent real-file-system benchmark points.
+//!
+//! The figure and table binaries that drive a real `Lfs`/`Ffs` instance
+//! (Figures 8 and 9, Tables 2 and 3) evaluate several independent
+//! configuration points: each point formats its own fresh simulated disk,
+//! runs its own workload, and reads its own `IoStats`. Nothing is shared,
+//! so the points can run on worker threads exactly like the §3.5
+//! simulator sweeps in `cleaner_sim::sweep` — results are deposited into
+//! per-point slots and consumed in input order, making the output
+//! bit-identical to a serial loop no matter how the threads are
+//! scheduled.
+//!
+//! Thread count defaults to the host's available parallelism and can be
+//! overridden with the `LFS_SWEEP_THREADS` environment variable
+//! (`LFS_SWEEP_THREADS=1` forces the serial path).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Worker-thread count: `LFS_SWEEP_THREADS` if set, else the host's
+/// available parallelism.
+pub fn default_threads() -> usize {
+    if let Some(n) = std::env::var("LFS_SWEEP_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+    {
+        return n.max(1);
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Evaluates `f(0..n)` across `threads` workers and returns the results
+/// indexed exactly like the inputs.
+///
+/// `f` must be a pure function of its index (every benchmark point owns
+/// its file system, disk, and RNG), which is what makes the parallel run
+/// bit-identical to the serial one.
+pub fn run_parallel<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.clamp(1, n.max(1));
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let result = f(i);
+                *slots[i].lock().expect("sweep slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("sweep slot poisoned")
+                .expect("sweep worker skipped a point")
+        })
+        .collect()
+}
+
+/// Evaluates `f(0..n)` with [`default_threads`] workers.
+pub fn run<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_parallel(n, default_threads(), f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_matches_serial_in_order() {
+        let serial: Vec<u64> = (0..17).map(|i| (i as u64) * 31 + 7).collect();
+        let parallel = run_parallel(17, 8, |i| (i as u64) * 31 + 7);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn single_point_runs_inline() {
+        assert_eq!(run_parallel(1, 8, |i| i), vec![0]);
+    }
+}

@@ -222,6 +222,14 @@ impl BlockDevice for CrashDisk {
         self.current.read_blocks(start, buf)
     }
 
+    fn read_run(&mut self, start: u64, buf: &mut [u8]) -> Result<()> {
+        self.current.read_run(start, buf)
+    }
+
+    fn read_run_scatter(&mut self, start: u64, bufs: &mut [&mut [u8]]) -> Result<()> {
+        self.current.read_run_scatter(start, bufs)
+    }
+
     fn write_blocks(&mut self, start: u64, buf: &[u8], kind: WriteKind) -> Result<()> {
         check_request(self.current.num_blocks(), start, buf.len())?;
         self.journal.push(LoggedWrite {

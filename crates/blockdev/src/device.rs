@@ -43,6 +43,46 @@ pub trait BlockDevice {
     /// `buf.len()` must be a non-zero multiple of [`BLOCK_SIZE`].
     fn write_blocks(&mut self, start: u64, buf: &[u8], kind: WriteKind) -> Result<()>;
 
+    /// Reads a *run* of contiguous blocks as one request, charging exactly
+    /// the service time of issuing each block as its own back-to-back
+    /// single-block read.
+    ///
+    /// Coalesced read paths (file read-runs, cleaner segment scavenging)
+    /// use this instead of [`BlockDevice::read_blocks`] so that batching
+    /// never changes simulated time: on a timed device a run is one
+    /// request (one positioning charge — the same one the first
+    /// single-block read of the sequence would pay, since the rest start
+    /// where the head already is) but transfer time is quantized
+    /// *per block*, because `transfer_ns` rounds down per request and
+    /// `N * floor(x)` differs from `floor(N * x)` for the paper's disk
+    /// parameters.
+    ///
+    /// The default delegates to [`BlockDevice::read_blocks`], which is
+    /// correct for devices without a timing model.
+    fn read_run(&mut self, start: u64, buf: &mut [u8]) -> Result<()> {
+        self.read_blocks(start, buf)
+    }
+
+    /// [`BlockDevice::read_run`], scattering block `start + i` of the run
+    /// into `bufs[i]` instead of one contiguous buffer.
+    ///
+    /// Identical request accounting and (on timed devices) service time to
+    /// `read_run` over the same range. Block caches use this to fetch a
+    /// run directly into per-block cache entries without staging the run
+    /// in a bounce buffer.
+    ///
+    /// Each buffer must be exactly [`BLOCK_SIZE`] bytes and `bufs` must be
+    /// non-empty. The default stages through `read_run`; memory-backed
+    /// devices override it to copy each block straight to its destination.
+    fn read_run_scatter(&mut self, start: u64, bufs: &mut [&mut [u8]]) -> Result<()> {
+        let mut bounce = vec![0u8; bufs.len() * BLOCK_SIZE];
+        self.read_run(start, &mut bounce)?;
+        for (i, b) in bufs.iter_mut().enumerate() {
+            b.copy_from_slice(&bounce[i * BLOCK_SIZE..(i + 1) * BLOCK_SIZE]);
+        }
+        Ok(())
+    }
+
     /// Flushes any buffered state to stable storage.
     fn sync(&mut self) -> Result<()> {
         Ok(())

@@ -271,6 +271,23 @@ impl<D: BlockDevice> FaultDisk<D> {
         ))
     }
 
+    /// Rots any planned blocks inside a just-read request's buffer.
+    fn apply_bitrot(&mut self, start: u64, count: u64, buf: &mut [u8]) {
+        if self.plan.bitrot.is_empty() {
+            return;
+        }
+        for i in 0..count {
+            let block = start + i;
+            if self.plan.bitrot.contains(&block) {
+                let off = i as usize * BLOCK_SIZE;
+                let mut chunk = buf[off..off + BLOCK_SIZE].to_vec();
+                self.rot_block(block, &mut chunk);
+                buf[off..off + BLOCK_SIZE].copy_from_slice(&chunk);
+                self.counts.rotted_reads += 1;
+            }
+        }
+    }
+
     /// Applies deterministic bit flips to one block's worth of data.
     fn rot_block(&self, block: u64, data: &mut [u8]) {
         // Flip one bit in each of 8 seed-chosen bytes: enough to defeat
@@ -333,17 +350,30 @@ impl<D: BlockDevice> BlockDevice for FaultDisk<D> {
             return Err(Self::injected_error());
         }
         self.inner.read_blocks(start, buf)?;
-        if !self.plan.bitrot.is_empty() {
-            for i in 0..count {
-                let block = start + i;
-                if self.plan.bitrot.contains(&block) {
-                    let off = i as usize * BLOCK_SIZE;
-                    let mut chunk = buf[off..off + BLOCK_SIZE].to_vec();
-                    self.rot_block(block, &mut chunk);
-                    buf[off..off + BLOCK_SIZE].copy_from_slice(&chunk);
-                    self.counts.rotted_reads += 1;
-                }
-            }
+        self.apply_bitrot(start, count, buf);
+        Ok(())
+    }
+
+    fn read_run(&mut self, start: u64, buf: &mut [u8]) -> Result<()> {
+        let count = check_request(self.inner.num_blocks(), start, buf.len())?;
+        if self.decide(OP_READ, start, self.plan.read_fault_rate) {
+            self.counts.read_faults += 1;
+            return Err(Self::injected_error());
+        }
+        self.inner.read_run(start, buf)?;
+        self.apply_bitrot(start, count, buf);
+        Ok(())
+    }
+
+    fn read_run_scatter(&mut self, start: u64, bufs: &mut [&mut [u8]]) -> Result<()> {
+        check_request(self.inner.num_blocks(), start, bufs.len() * BLOCK_SIZE)?;
+        if self.decide(OP_READ, start, self.plan.read_fault_rate) {
+            self.counts.read_faults += 1;
+            return Err(Self::injected_error());
+        }
+        self.inner.read_run_scatter(start, bufs)?;
+        for (i, b) in bufs.iter_mut().enumerate() {
+            self.apply_bitrot(start + i as u64, 1, b);
         }
         Ok(())
     }

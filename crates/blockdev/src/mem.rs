@@ -105,6 +105,20 @@ impl BlockDevice for MemDisk {
         Ok(())
     }
 
+    fn read_run_scatter(&mut self, start: u64, bufs: &mut [&mut [u8]]) -> Result<()> {
+        let len = bufs.len() * BLOCK_SIZE;
+        check_request(self.num_blocks, start, len)?;
+        for (i, b) in bufs.iter_mut().enumerate() {
+            b.copy_from_slice(&self.data[self.byte_range(start + i as u64, BLOCK_SIZE)]);
+        }
+        self.stats.reads += 1;
+        self.stats.bytes_read += len as u64;
+        if let Some(obs) = &self.obs {
+            obs.record(true, 0); // no timing model: count the request only
+        }
+        Ok(())
+    }
+
     fn write_blocks(&mut self, start: u64, buf: &[u8], _kind: WriteKind) -> Result<()> {
         check_request(self.num_blocks, start, buf.len())?;
         let range = self.byte_range(start, buf.len());

@@ -188,6 +188,23 @@ impl SimDisk {
     fn account(&mut self, start: u64, count: u64, bytes: u64, sync: bool, is_read: bool) {
         let positioning = self.positioning_ns(start);
         let service = positioning + self.model.transfer_ns(bytes);
+        self.charge(start, count, bytes, positioning, service, sync, is_read);
+    }
+
+    /// Records an already-computed positioning/service charge and moves
+    /// the head. Split from [`SimDisk::account`] so `read_run` can charge
+    /// per-block-quantized transfer time.
+    #[allow(clippy::too_many_arguments)]
+    fn charge(
+        &mut self,
+        start: u64,
+        count: u64,
+        bytes: u64,
+        positioning: u64,
+        service: u64,
+        sync: bool,
+        is_read: bool,
+    ) {
         if positioning > 0 {
             self.stats.seeks += 1;
         }
@@ -239,6 +256,40 @@ impl BlockDevice for SimDisk {
             kind == WriteKind::Sync,
             false,
         );
+        Ok(())
+    }
+
+    fn read_run(&mut self, start: u64, buf: &mut [u8]) -> Result<()> {
+        let count = check_request(self.num_blocks, start, buf.len())?;
+        buf.copy_from_slice(&self.data[self.byte_range(start, buf.len())]);
+        // Exactly what `count` back-to-back single-block reads would pay:
+        // the first pays positioning (zero when sequential), the rest
+        // start where the head already is. Transfer time is quantized per
+        // block because `transfer_ns` rounds down per request.
+        let positioning = self.positioning_ns(start);
+        let service = positioning + count * self.model.transfer_ns(BLOCK_SIZE as u64);
+        self.charge(
+            start,
+            count,
+            buf.len() as u64,
+            positioning,
+            service,
+            true,
+            true,
+        );
+        Ok(())
+    }
+
+    fn read_run_scatter(&mut self, start: u64, bufs: &mut [&mut [u8]]) -> Result<()> {
+        let len = bufs.len() * BLOCK_SIZE;
+        let count = check_request(self.num_blocks, start, len)?;
+        for (i, b) in bufs.iter_mut().enumerate() {
+            b.copy_from_slice(&self.data[self.byte_range(start + i as u64, BLOCK_SIZE)]);
+        }
+        // Charged exactly like `read_run` over the same range.
+        let positioning = self.positioning_ns(start);
+        let service = positioning + count * self.model.transfer_ns(BLOCK_SIZE as u64);
+        self.charge(start, count, len as u64, positioning, service, true, true);
         Ok(())
     }
 
@@ -364,6 +415,73 @@ mod tests {
     fn rotational_latency_matches_rpm() {
         assert_eq!(DiskModel::wren_iv().avg_rotational_ns(), 8_333_333);
         assert_eq!(DiskModel::modern_hdd().avg_rotational_ns(), 4_166_666);
+    }
+
+    #[test]
+    fn read_run_costs_exactly_n_single_block_reads() {
+        // Counts chosen so the per-request floor in transfer_ns would
+        // bite: at 1.3 MB/s a 4 KB block transfers in 3150769 + 3/13 ns,
+        // so floor(n*x) exceeds n*floor(x) from n = 5 upward.
+        for &(first, n) in &[(7u64, 1u64), (100, 4), (100, 13), (2000, 256)] {
+            let model = DiskModel::wren_iv();
+            let mut a = SimDisk::new(4096, model);
+            let mut b = SimDisk::new(4096, model);
+            let img: Vec<u8> = (0..n as usize * BLOCK_SIZE)
+                .map(|i| (i % 253) as u8)
+                .collect();
+            a.write_blocks(first, &img, WriteKind::Async).unwrap();
+            b.write_blocks(first, &img, WriteKind::Async).unwrap();
+            // Park both heads at the same spot away from the run.
+            let blk = [0u8; BLOCK_SIZE];
+            a.write_block(0, &blk, WriteKind::Async).unwrap();
+            b.write_block(0, &blk, WriteKind::Async).unwrap();
+            let a0 = a.stats();
+            let b0 = b.stats();
+
+            let mut one = vec![0u8; BLOCK_SIZE];
+            let mut per_block = Vec::new();
+            for i in 0..n {
+                a.read_blocks(first + i, &mut one).unwrap();
+                per_block.extend_from_slice(&one);
+            }
+            let mut run = vec![0u8; n as usize * BLOCK_SIZE];
+            b.read_run(first, &mut run).unwrap();
+
+            assert_eq!(run, per_block);
+            let da = a.stats().since(&a0);
+            let db = b.stats().since(&b0);
+            assert_eq!(da.busy_ns, db.busy_ns, "n={n}");
+            assert_eq!(da.positioning_ns, db.positioning_ns, "n={n}");
+            assert_eq!(da.sync_busy_ns, db.sync_busy_ns, "n={n}");
+            assert_eq!(da.seeks, db.seeks, "n={n}");
+            assert_eq!(da.bytes_read, db.bytes_read, "n={n}");
+            assert_eq!(da.reads, n);
+            assert_eq!(db.reads, 1);
+            assert_eq!(a.head, b.head);
+        }
+    }
+
+    #[test]
+    fn read_blocks_is_not_a_substitute_for_read_run() {
+        // Documents why read_run exists: a 13-block read_blocks request
+        // rounds its transfer time down once, not 13 times, so its service
+        // time differs from 13 back-to-back single-block reads by a few ns
+        // — enough to shift every downstream figure float.
+        let model = DiskModel::wren_iv();
+        let n = 13u64;
+        let mut a = SimDisk::new(1024, model);
+        let mut b = SimDisk::new(1024, model);
+        let mut one = vec![0u8; BLOCK_SIZE];
+        for i in 0..n {
+            a.read_blocks(i, &mut one).unwrap();
+        }
+        let mut big = vec![0u8; n as usize * BLOCK_SIZE];
+        b.read_blocks(0, &mut big).unwrap();
+        assert_ne!(a.stats().busy_ns, b.stats().busy_ns);
+        assert_eq!(
+            a.stats().busy_ns + 3, // 13 * (3/13 ns) of per-request floor
+            b.stats().busy_ns
+        );
     }
 
     #[test]

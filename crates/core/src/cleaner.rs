@@ -449,10 +449,12 @@ impl<D: BlockDevice> Lfs<D> {
                 break;
             }
             prev_seq = summary.seq;
-            let mut content = vec![0u8; BLOCK_SIZE];
+            // Pass 1: the fast liveness pre-checks, which need no block
+            // contents (confirming a data pointer may load an indirect
+            // block, but never the data itself).
+            let mut worth: Vec<(usize, DiskAddr)> = Vec::new();
             for (j, entry) in summary.entries.iter().enumerate() {
                 let addr = start + (off + 1 + j) as u64;
-                // Fast liveness pre-check that needs no block contents.
                 let worth_reading = match entry.kind {
                     EntryKind::Data => {
                         let e = match self.imap.get(entry.ino) {
@@ -475,12 +477,34 @@ impl<D: BlockDevice> Lfs<D> {
                     }
                     EntryKind::DirLog => false,
                 };
-                if !worth_reading {
-                    continue;
+                if worth_reading {
+                    worth.push((j, addr));
                 }
-                self.read_retry(addr, &mut content)?;
-                self.stats.cleaner.bytes_read += BLOCK_SIZE as u64;
-                self.stage_if_live(entry, addr, &content)?;
+            }
+            // Pass 2: fetch the survivors. Entries adjacent in the chunk
+            // occupy adjacent disk blocks, so every maximal stretch of
+            // consecutive addresses is one contiguous run — read it as a
+            // single device request instead of block by block. Staging
+            // re-verifies liveness per block, so batching never relocates
+            // anything the per-block order would not have.
+            let mut i = 0usize;
+            while i < worth.len() {
+                let mut end = i + 1;
+                while end < worth.len() && worth[end].1 == worth[end - 1].1 + 1 {
+                    end += 1;
+                }
+                let count = end - i;
+                let mut content = vec![0u8; count * BLOCK_SIZE];
+                self.read_run_retry(worth[i].1, &mut content)?;
+                self.stats.cleaner.bytes_read += content.len() as u64;
+                for (k, &(j, addr)) in worth[i..end].iter().enumerate() {
+                    self.stage_if_live(
+                        &summary.entries[j],
+                        addr,
+                        &content[k * BLOCK_SIZE..(k + 1) * BLOCK_SIZE],
+                    )?;
+                }
+                i = end;
             }
             off += 1 + summary.entries.len();
         }

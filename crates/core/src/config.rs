@@ -65,6 +65,19 @@ pub struct LfsConfig {
     /// utilization is very low (we haven't tried this in Sprite LFS)"
     /// (§3.4). 0.0 disables it, matching Sprite; see the ablation bench.
     pub read_live_threshold: f64,
+    /// Fetch runs of file blocks with contiguous disk addresses as one
+    /// device request instead of one request per block. The coalesced path
+    /// is exactly equivalent — same bytes, same simulated service time
+    /// (see [`blockdev::BlockDevice::read_run`]), same cache/eviction
+    /// behaviour — so this exists only to keep the legacy per-block path
+    /// testable against it.
+    pub coalesced_reads: bool,
+    /// Extend a coalesced read run by up to this many blocks past the
+    /// requested range, as long as the addresses stay contiguous and the
+    /// blocks are not already cached. 0 disables read-ahead, which keeps
+    /// the set of blocks fetched — and therefore the figure benchmarks —
+    /// bit-identical to the per-block path.
+    pub read_ahead_blocks: u32,
 }
 
 impl LfsConfig {
@@ -83,6 +96,8 @@ impl LfsConfig {
             checkpoint_every_bytes: 8 << 20,
             cache_limit_bytes: 64 << 20,
             read_live_threshold: 0.0,
+            coalesced_reads: true,
+            read_ahead_blocks: 0,
         }
     }
 
@@ -103,6 +118,8 @@ impl LfsConfig {
             checkpoint_every_bytes: 1 << 20,
             cache_limit_bytes: 8 << 20,
             read_live_threshold: 0.0,
+            coalesced_reads: true,
+            read_ahead_blocks: 0,
         }
     }
 

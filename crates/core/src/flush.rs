@@ -130,9 +130,10 @@ impl<D: BlockDevice> Lfs<D> {
                     .range((ino, 0)..=(ino, u64::MAX))
                     .filter_map(|k| self.blocks.get(k).map(|b| b.mtime))
                     .min();
-                let key = oldest_block
-                    .or_else(|| self.inode_clone(ino).ok().map(|i| i.mtime))
-                    .unwrap_or(0);
+                let key = match oldest_block {
+                    Some(t) => t,
+                    None => self.inode_ref(ino).map(|i| i.mtime).unwrap_or(0),
+                };
                 keyed.push((key, ino));
             }
             keyed.sort_unstable();
@@ -221,13 +222,16 @@ impl<D: BlockDevice> Lfs<D> {
         }
         usage_blocks.insert(crate::usage::UsageTable::block_of(self.cur_seg));
 
+        // Usage items are appended in place and truncated off again when
+        // the layout touches new segments — no per-round clone of the
+        // whole item list (which holds dirlog payloads and inode groups).
+        let base_len = items.len();
         let plan = loop {
-            let mut attempt = items.clone();
             for &idx in &usage_blocks {
-                attempt.push(Item::Usage(idx));
+                items.push(Item::Usage(idx));
             }
             let plan = {
-                let mut plan = self.layout(attempt.len());
+                let mut plan = self.layout(items.len());
                 // Out of clean segments: let the cleaner regenerate some
                 // (it has a reserved allocation pool precisely so it can
                 // still run now), then retry. Several rounds may be
@@ -238,7 +242,7 @@ impl<D: BlockDevice> Lfs<D> {
                     let res = self.clean_for_space();
                     self.cleaning = false;
                     res?;
-                    plan = self.layout(attempt.len());
+                    plan = self.layout(items.len());
                     rounds += 1;
                 }
                 plan?
@@ -250,9 +254,9 @@ impl<D: BlockDevice> Lfs<D> {
                 }
             }
             if !grew {
-                items = attempt;
                 break plan;
             }
+            items.truncate(base_len);
         };
 
         // ---- commit segment allocation -----------------------------------
@@ -298,9 +302,7 @@ impl<D: BlockDevice> Lfs<D> {
                     // Update the parent pointer.
                     match key {
                         IndKey::Single(0) => {
-                            let mut inode = self.inode_clone(*ino)?;
-                            inode.indirect = addr;
-                            self.put_inode(inode);
+                            self.inode_mut(*ino)?.indirect = addr;
                         }
                         IndKey::Single(k) => {
                             let d = self
@@ -311,9 +313,7 @@ impl<D: BlockDevice> Lfs<D> {
                             d.dirty = true;
                         }
                         IndKey::Double => {
-                            let mut inode = self.inode_clone(*ino)?;
-                            inode.dindirect = addr;
-                            self.put_inode(inode);
+                            self.inode_mut(*ino)?.dindirect = addr;
                         }
                     }
                     let e = self.inds.get_mut(&(*ino, *key)).unwrap();

@@ -16,10 +16,11 @@ use vfs::{DirEntry, FileSystem, FileType, FsError, FsResult, Ino, Metadata, Stat
 use crate::config::LfsConfig;
 use crate::dir::{self, DirRecord};
 use crate::dirlog::{DirLogRecord, DirOp};
-use crate::inode::{IndirectBlock, Inode};
+use crate::inode::{IndirectBlock, Inode, InodeAttrs};
 use crate::inodemap::InodeMap;
 use crate::layout::{
-    blocks_for_size, classify_block, BlockClass, DiskAddr, MAX_FILE_SIZE, NIL_ADDR,
+    blocks_for_size, classify_block, BlockClass, DiskAddr, IND1_START, IND2_START, MAX_FILE_SIZE,
+    NIL_ADDR, PTRS_PER_BLOCK,
 };
 use crate::stats::LfsStats;
 use crate::superblock::Superblock;
@@ -152,6 +153,13 @@ pub struct Lfs<D: BlockDevice> {
     pub(crate) obs: crate::obs::FsObs,
 }
 
+/// Looks `bno` up in a pointer window (see [`Lfs::ptr_window`]).
+fn win_lookup(win: &Option<(u64, Vec<DiskAddr>)>, bno: u64) -> Option<DiskAddr> {
+    let (start, ptrs) = win.as_ref()?;
+    ptrs.get(usize::try_from(bno.checked_sub(*start)?).ok()?)
+        .copied()
+}
+
 impl<D: BlockDevice> Lfs<D> {
     /// Formats `dev` as a fresh log-structured file system containing only
     /// the root directory, writes both checkpoint regions, and returns the
@@ -272,6 +280,34 @@ impl<D: BlockDevice> Lfs<D> {
     pub(crate) fn read_retry(&mut self, start: u64, buf: &mut [u8]) -> FsResult<()> {
         for attempt in 0..IO_ATTEMPTS {
             match self.dev.read_blocks(start, buf) {
+                Ok(()) => return Ok(()),
+                Err(e) if is_transient(&e) && attempt + 1 < IO_ATTEMPTS => {
+                    self.stats.io_retries += 1;
+                    self.emit(|| lfs_obs::TraceEvent::Retry {
+                        write: false,
+                        attempt: attempt + 1,
+                    });
+                    backoff(attempt);
+                }
+                Err(e) => {
+                    if is_transient(&e) {
+                        self.stats.io_giveups += 1;
+                        self.emit(|| lfs_obs::TraceEvent::Giveup { write: false });
+                    }
+                    return Err(FsError::device(e));
+                }
+            }
+        }
+        unreachable!("retry loop always returns")
+    }
+
+    /// Reads a contiguous run of blocks as *one* device request (see
+    /// [`BlockDevice::read_run`] for why this costs exactly the same
+    /// simulated time as per-block reads), retrying transient errors.
+    /// See [`Lfs::write_retry`] for the retry policy.
+    pub(crate) fn read_run_retry(&mut self, start: u64, buf: &mut [u8]) -> FsResult<()> {
+        for attempt in 0..IO_ATTEMPTS {
+            match self.dev.read_run(start, buf) {
                 Ok(()) => return Ok(()),
                 Err(e) if is_transient(&e) && attempt + 1 < IO_ATTEMPTS => {
                     self.stats.io_retries += 1;
@@ -434,6 +470,30 @@ impl<D: BlockDevice> Lfs<D> {
         Ok(self.inodes[&ino].inode.clone())
     }
 
+    /// Borrows the cached inode. The hot paths use this instead of
+    /// [`Lfs::inode_clone`]: most callers only need one or two fields.
+    pub(crate) fn inode_ref(&mut self, ino: Ino) -> FsResult<&Inode> {
+        self.ensure_inode(ino)?;
+        Ok(&self.inodes[&ino].inode)
+    }
+
+    /// Copies out just the scalar attributes — what stat and name
+    /// resolution need — without cloning the block-pointer arrays.
+    pub(crate) fn inode_attrs(&mut self, ino: Ino) -> FsResult<InodeAttrs> {
+        Ok(self.inode_ref(ino)?.attrs())
+    }
+
+    /// Mutably borrows the cached inode, marking it dirty. Replaces the
+    /// clone-mutate-[`Lfs::put_inode`] dance on paths that always commit
+    /// their change; do not use for conditional mutations.
+    pub(crate) fn inode_mut(&mut self, ino: Ino) -> FsResult<&mut Inode> {
+        self.ensure_inode(ino)?;
+        self.dirty_files.insert(ino);
+        let c = self.inodes.get_mut(&ino).expect("ensured above");
+        c.dirty = true;
+        Ok(&mut c.inode)
+    }
+
     /// Stores a modified inode back into the cache and marks it dirty.
     pub(crate) fn put_inode(&mut self, inode: Inode) {
         let ino = inode.ino;
@@ -447,12 +507,15 @@ impl<D: BlockDevice> Lfs<D> {
     /// Disk address of the indirect block `key` of `ino`, as recorded in
     /// its parent pointer, or [`NIL_ADDR`].
     fn ind_parent_ptr(&mut self, ino: Ino, key: IndKey) -> FsResult<DiskAddr> {
-        let inode = self.inode_clone(ino)?;
+        let (indirect, dindirect) = {
+            let inode = self.inode_ref(ino)?;
+            (inode.indirect, inode.dindirect)
+        };
         Ok(match key {
-            IndKey::Single(0) => inode.indirect,
-            IndKey::Double => inode.dindirect,
+            IndKey::Single(0) => indirect,
+            IndKey::Double => dindirect,
             IndKey::Single(k) => {
-                if inode.dindirect == NIL_ADDR && !self.inds.contains_key(&(ino, IndKey::Double)) {
+                if dindirect == NIL_ADDR && !self.inds.contains_key(&(ino, IndKey::Double)) {
                     NIL_ADDR
                 } else {
                     self.ensure_ind(ino, IndKey::Double, false)?;
@@ -506,7 +569,7 @@ impl<D: BlockDevice> Lfs<D> {
     /// holes).
     pub(crate) fn block_ptr(&mut self, ino: Ino, bno: u64) -> FsResult<DiskAddr> {
         match classify_block(bno).ok_or(FsError::FileTooLarge)? {
-            BlockClass::Direct(i) => Ok(self.inode_clone(ino)?.direct[i]),
+            BlockClass::Direct(i) => Ok(self.inode_ref(ino)?.direct[i]),
             BlockClass::Indirect1(i) => {
                 if !self.ensure_ind(ino, IndKey::Single(0), false)? {
                     return Ok(NIL_ADDR);
@@ -535,10 +598,9 @@ impl<D: BlockDevice> Lfs<D> {
     ) -> FsResult<DiskAddr> {
         match classify_block(bno).ok_or(FsError::FileTooLarge)? {
             BlockClass::Direct(i) => {
-                let mut inode = self.inode_clone(ino)?;
+                let inode = self.inode_mut(ino)?;
                 let old = inode.direct[i];
                 inode.direct[i] = addr;
-                self.put_inode(inode);
                 Ok(old)
             }
             BlockClass::Indirect1(i) => {
@@ -587,6 +649,14 @@ impl<D: BlockDevice> Lfs<D> {
                 .read_blocks(addr, &mut data)
                 .map_err(FsError::device)?;
         }
+        self.insert_fetched(ino, bno, data);
+        Ok(())
+    }
+
+    /// Inserts one freshly fetched (clean) block, with exactly the cache
+    /// bookkeeping [`Lfs::ensure_block`] does: LRU touch, modification
+    /// stamp, eviction check.
+    fn insert_fetched(&mut self, ino: Ino, bno: u64, data: Box<[u8]>) {
         let lru = self.touch_lru();
         let mtime = self.clock;
         self.blocks.insert(
@@ -599,6 +669,168 @@ impl<D: BlockDevice> Lfs<D> {
             },
         );
         self.maybe_evict();
+    }
+
+    /// Ensures file blocks `first..=last` of `ino` are cached, fetching
+    /// runs of blocks with *contiguous disk addresses* as single device
+    /// requests.
+    ///
+    /// Exactly equivalent to calling [`Lfs::ensure_block`] on each block
+    /// in order: device requests happen in the same order (a pending run
+    /// is issued before anything that would itself touch the device — an
+    /// indirect-block load — and before skipping a cached block), blocks
+    /// enter the cache in the same order with the same LRU ticks, and a
+    /// run costs the same simulated time as its blocks read back-to-back
+    /// ([`BlockDevice::read_run`]). Only the device's *request count*
+    /// differs.
+    fn fetch_blocks(&mut self, ino: Ino, first: u64, last: u64) -> FsResult<()> {
+        // The run being assembled: (start address, first file block,
+        // block count).
+        let mut run: Option<(DiskAddr, u64, u64)> = None;
+        // Pointer window: one cloned stretch of pointers (the inode's
+        // direct array or a cached indirect block), so assembly resolves
+        // addresses with an array index per block instead of per-block
+        // cache lookups. Purely a lookup cache — loading it never touches
+        // the device.
+        let mut win: Option<(u64, Vec<DiskAddr>)> = None;
+        for bno in first..=last {
+            if self.blocks.contains_key(&(ino, bno)) {
+                self.fetch_run(ino, &mut run)?;
+                continue;
+            }
+            let addr = match win_lookup(&win, bno) {
+                Some(a) => a,
+                None => match self.ptr_window(ino, bno)? {
+                    Some(w) => {
+                        let a = w.1[(bno - w.0) as usize];
+                        win = Some(w);
+                        a
+                    }
+                    None => {
+                        // Resolving this pointer reads an indirect block;
+                        // issue the pending run first so device requests
+                        // stay in per-block order.
+                        self.fetch_run(ino, &mut run)?;
+                        let a = self.block_ptr(ino, bno)?;
+                        win = self.ptr_window(ino, bno)?;
+                        a
+                    }
+                },
+            };
+            if addr == NIL_ADDR {
+                // A hole: materialise zeros without a device read.
+                self.fetch_run(ino, &mut run)?;
+                self.insert_fetched(ino, bno, vec![0u8; BLOCK_SIZE].into_boxed_slice());
+                continue;
+            }
+            run = match run {
+                Some((start, rb, count)) if addr == start + count => Some((start, rb, count + 1)),
+                Some(prev) => {
+                    let mut prev = Some(prev);
+                    self.fetch_run(ino, &mut prev)?;
+                    Some((addr, bno, 1))
+                }
+                None => Some((addr, bno, 1)),
+            };
+        }
+        // Read-ahead: extend the final run through blocks whose addresses
+        // are already resolvable from cached state and stay contiguous.
+        // Stops at holes, cached blocks, pointers that would need their
+        // own device read, and end of file — so with the default window
+        // of 0 the fetched block set is identical to the per-block path.
+        if self.cfg.read_ahead_blocks > 0 && run.is_some() {
+            let file_blocks = blocks_for_size(self.inode_ref(ino)?.size);
+            let limit = last.saturating_add(self.cfg.read_ahead_blocks as u64);
+            let mut next = last + 1;
+            while next < file_blocks && next <= limit {
+                let (start, rb, count) = run.expect("checked above");
+                if self.blocks.contains_key(&(ino, next)) {
+                    break;
+                }
+                let addr = match win_lookup(&win, next) {
+                    Some(a) => Some(a),
+                    None => {
+                        win = self.ptr_window(ino, next)?;
+                        win.as_ref().map(|w| w.1[(next - w.0) as usize])
+                    }
+                };
+                match addr {
+                    Some(a) if a != NIL_ADDR && a == start + count => {
+                        run = Some((start, rb, count + 1));
+                    }
+                    _ => break,
+                }
+                next += 1;
+            }
+        }
+        self.fetch_run(ino, &mut run)
+    }
+
+    /// Returns the contiguous stretch of file-block pointers covering
+    /// `bno` that is resolvable from cached state alone: `(first file
+    /// block of the stretch, the pointer values)`. `None` exactly when an
+    /// indirect block would need its own device read first. A stretch
+    /// under an absent indirect tree comes back as [`NIL_ADDR`]s, matching
+    /// per-block hole semantics.
+    fn ptr_window(&mut self, ino: Ino, bno: u64) -> FsResult<Option<(u64, Vec<DiskAddr>)>> {
+        match classify_block(bno).ok_or(FsError::FileTooLarge)? {
+            BlockClass::Direct(_) => Ok(Some((0, self.inode_ref(ino)?.direct.to_vec()))),
+            BlockClass::Indirect1(_) => {
+                if let Some(e) = self.inds.get(&(ino, IndKey::Single(0))) {
+                    return Ok(Some((IND1_START, e.blk.ptrs.to_vec())));
+                }
+                if self.inode_ref(ino)?.indirect == NIL_ADDR {
+                    return Ok(Some((IND1_START, vec![NIL_ADDR; PTRS_PER_BLOCK])));
+                }
+                Ok(None)
+            }
+            BlockClass::Indirect2(i, _) => {
+                let win_start = IND2_START + (i * PTRS_PER_BLOCK) as u64;
+                let key = IndKey::Single(i as u32 + 1);
+                if let Some(e) = self.inds.get(&(ino, key)) {
+                    return Ok(Some((win_start, e.blk.ptrs.to_vec())));
+                }
+                if let Some(d) = self.inds.get(&(ino, IndKey::Double)) {
+                    if d.blk.ptrs[i] == NIL_ADDR {
+                        return Ok(Some((win_start, vec![NIL_ADDR; PTRS_PER_BLOCK])));
+                    }
+                    return Ok(None);
+                }
+                if self.inode_ref(ino)?.dindirect == NIL_ADDR {
+                    return Ok(Some((win_start, vec![NIL_ADDR; PTRS_PER_BLOCK])));
+                }
+                Ok(None)
+            }
+        }
+    }
+
+    /// Issues the pending run (if any) as one device request, scattered
+    /// straight into the blocks' final cache buffers (no bounce buffer,
+    /// no second copy), and inserts them in file order.
+    fn fetch_run(&mut self, ino: Ino, run: &mut Option<(DiskAddr, u64, u64)>) -> FsResult<()> {
+        let Some((start, first_bno, count)) = run.take() else {
+            return Ok(());
+        };
+        if count == 1 {
+            // Single-block run: skip the scatter-list machinery (this is
+            // the common case for small files).
+            let mut data = vec![0u8; BLOCK_SIZE].into_boxed_slice();
+            self.dev
+                .read_run(start, &mut data)
+                .map_err(FsError::device)?;
+            self.insert_fetched(ino, first_bno, data);
+            return Ok(());
+        }
+        let mut boxes: Vec<Box<[u8]>> = (0..count)
+            .map(|_| vec![0u8; BLOCK_SIZE].into_boxed_slice())
+            .collect();
+        let mut bufs: Vec<&mut [u8]> = boxes.iter_mut().map(|b| &mut b[..]).collect();
+        self.dev
+            .read_run_scatter(start, &mut bufs)
+            .map_err(FsError::device)?;
+        for (i, data) in boxes.into_iter().enumerate() {
+            self.insert_fetched(ino, first_bno + i as u64, data);
+        }
         Ok(())
     }
 
@@ -677,8 +909,7 @@ impl<D: BlockDevice> Lfs<D> {
         if end > MAX_FILE_SIZE {
             return Err(FsError::FileTooLarge);
         }
-        let mut inode = self.inode_clone(ino)?;
-        let old_size = inode.size;
+        let old_size = self.inode_ref(ino)?.size;
         let mut pos = 0usize;
         while pos < data.len() {
             // Flush incrementally *before* buffering more: a single huge
@@ -687,15 +918,13 @@ impl<D: BlockDevice> Lfs<D> {
             // more dirty data stranded in the cache.
             if self.dirty_bytes >= self.cfg.flush_threshold_bytes {
                 // Keep the inode's size current so a crash mid-write
-                // recovers a correct prefix.
-                let mut partial = self.inode_clone(ino)?;
-                partial.size = partial.size.max(offset + pos as u64);
-                self.put_inode(partial);
+                // recovers a correct prefix. (Mutating the cached inode in
+                // place means there is no pre-flush clone whose pointers
+                // could go stale.)
+                let m = self.inode_mut(ino)?;
+                m.size = m.size.max(offset + pos as u64);
                 self.flush()?;
                 self.maybe_clean()?;
-                // The flush rewired this inode's block pointers; work from
-                // the fresh copy, not the pre-flush clone.
-                inode = self.inode_clone(ino)?;
             }
             let abs = offset + pos as u64;
             let bno = abs / BLOCK_SIZE as u64;
@@ -735,9 +964,9 @@ impl<D: BlockDevice> Lfs<D> {
             pos += n;
         }
         let now = self.now();
-        inode.size = old_size.max(end);
-        inode.mtime = now;
-        self.put_inode(inode);
+        let m = self.inode_mut(ino)?;
+        m.size = old_size.max(end);
+        m.mtime = now;
         if count_app_bytes {
             self.stats.app_bytes_written += data.len() as u64;
         }
@@ -746,27 +975,43 @@ impl<D: BlockDevice> Lfs<D> {
     }
 
     /// The shared read path.
+    ///
+    /// With [`LfsConfig::coalesced_reads`] (the default) the missing
+    /// blocks of the range are fetched up front in contiguous-address
+    /// runs; otherwise each block is fetched on its own as the copy loop
+    /// reaches it. Both paths return the same bytes, leave the cache in
+    /// the same state, and cost the same simulated device time.
     pub(crate) fn read_internal(
         &mut self,
         ino: Ino,
         offset: u64,
         buf: &mut [u8],
     ) -> FsResult<usize> {
-        let inode = self.inode_clone(ino)?;
-        if offset >= inode.size {
+        let size = self.inode_ref(ino)?.size;
+        if offset >= size {
             return Ok(0);
         }
-        let n = buf.len().min((inode.size - offset) as usize);
+        let n = buf.len().min((size - offset) as usize);
+        if self.cfg.coalesced_reads {
+            let first = offset / BLOCK_SIZE as u64;
+            let last = (offset + n as u64 - 1) / BLOCK_SIZE as u64;
+            self.fetch_blocks(ino, first, last)?;
+        }
         let mut pos = 0usize;
         while pos < n {
             let abs = offset + pos as u64;
             let bno = abs / BLOCK_SIZE as u64;
             let off_in = (abs % BLOCK_SIZE as u64) as usize;
             let len = (BLOCK_SIZE - off_in).min(n - pos);
-            self.ensure_block(ino, bno)?;
-            let b = self.blocks.get_mut(&(ino, bno)).unwrap();
-            buf[pos..pos + len].copy_from_slice(&b.data[off_in..off_in + len]);
-            pos += len;
+            if let Some(b) = self.blocks.get(&(ino, bno)) {
+                buf[pos..pos + len].copy_from_slice(&b.data[off_in..off_in + len]);
+                pos += len;
+            } else {
+                // The per-block path lands here for every miss; the
+                // coalesced path only when a cache smaller than the
+                // request evicted a block between fetch and copy.
+                self.ensure_block(ino, bno)?;
+            }
         }
         let now = self.clock;
         self.imap.set_atime_quiet(ino, now);
@@ -776,8 +1021,7 @@ impl<D: BlockDevice> Lfs<D> {
     /// Frees all blocks of `ino` past `new_blocks` file blocks, adjusting
     /// usage accounting and pruning emptied indirect blocks.
     pub(crate) fn free_blocks_from(&mut self, ino: Ino, new_blocks: u64) -> FsResult<()> {
-        let inode = self.inode_clone(ino)?;
-        let old_blocks = blocks_for_size(inode.size);
+        let old_blocks = blocks_for_size(self.inode_ref(ino)?.size);
         // Dirty blocks can exist beyond the recorded size (a write that
         // buffered data and then failed before updating the size); drop
         // them too, or they leak in the cache forever.
@@ -910,11 +1154,11 @@ impl<D: BlockDevice> Lfs<D> {
         if self.dcache.contains_key(&dirino) {
             return Ok(());
         }
-        let inode = self.inode_clone(dirino)?;
-        if inode.ftype != FileType::Directory {
+        let attrs = self.inode_attrs(dirino)?;
+        if attrs.ftype != FileType::Directory {
             return Err(FsError::NotADirectory);
         }
-        let nblocks = blocks_for_size(inode.size);
+        let nblocks = blocks_for_size(attrs.size);
         let mut cache = DirCache::default();
         for blk in 0..nblocks {
             self.ensure_block(dirino, blk)?;
@@ -963,13 +1207,14 @@ impl<D: BlockDevice> Lfs<D> {
         ftype: FileType,
     ) -> FsResult<()> {
         self.ensure_dcache(dirino)?;
-        let inode = self.inode_clone(dirino)?;
-        let nblocks = blocks_for_size(inode.size);
-        let new_rec = DirRecord {
+        let nblocks = blocks_for_size(self.inode_ref(dirino)?.size);
+        // Built once and moved from block to block — popped back out of a
+        // candidate that could not fit it, never cloned.
+        let mut pending = Some(DirRecord {
             ino,
             ftype,
             name: name.to_string(),
-        };
+        });
         let hint = self.dcache[&dirino]
             .space_hint
             .min(nblocks.saturating_sub(1));
@@ -983,15 +1228,16 @@ impl<D: BlockDevice> Lfs<D> {
         };
         for blk in candidates {
             let mut records = self.dir_block_records(dirino, blk)?;
-            records.push(new_rec.clone());
+            records.push(pending.take().expect("record is pending"));
             if dir::fits(&records) {
                 target = Some((blk, records));
                 break;
             }
+            pending = records.pop();
         }
         let (blk, records) = match target {
             Some(t) => t,
-            None => (nblocks, vec![new_rec.clone()]),
+            None => (nblocks, vec![pending.expect("record is pending")]),
         };
         self.dir_block_write(dirino, blk, &records)?;
         let cache = self.dcache.get_mut(&dirino).unwrap();
@@ -1038,8 +1284,7 @@ impl<D: BlockDevice> Lfs<D> {
         let parts = vfs::path::components(path)?;
         let mut cur = ROOT_INO;
         for part in parts {
-            let inode = self.inode_clone(cur)?;
-            if inode.ftype != FileType::Directory {
+            if self.inode_ref(cur)?.ftype != FileType::Directory {
                 return Err(FsError::NotADirectory);
             }
             cur = self.dir_lookup(cur, part)?.ok_or(FsError::NotFound)?.ino;
@@ -1052,14 +1297,12 @@ impl<D: BlockDevice> Lfs<D> {
         let (parent_parts, name) = vfs::path::split_parent(path)?;
         let mut cur = ROOT_INO;
         for part in parent_parts {
-            let inode = self.inode_clone(cur)?;
-            if inode.ftype != FileType::Directory {
+            if self.inode_ref(cur)?.ftype != FileType::Directory {
                 return Err(FsError::NotADirectory);
             }
             cur = self.dir_lookup(cur, part)?.ok_or(FsError::NotFound)?.ino;
         }
-        let inode = self.inode_clone(cur)?;
-        if inode.ftype != FileType::Directory {
+        if self.inode_ref(cur)?.ftype != FileType::Directory {
             return Err(FsError::NotADirectory);
         }
         Ok((cur, name))
@@ -1151,8 +1394,7 @@ impl<D: BlockDevice> FileSystem for Lfs<D> {
         self.timed(
             |o| &o.write,
             |fs| {
-                let inode = fs.inode_clone(ino)?;
-                if inode.ftype == FileType::Directory {
+                if fs.inode_ref(ino)?.ftype == FileType::Directory {
                     return Err(FsError::IsADirectory);
                 }
                 fs.write_internal(ino, offset, data, true)
@@ -1164,8 +1406,7 @@ impl<D: BlockDevice> FileSystem for Lfs<D> {
         self.timed(
             |o| &o.read,
             |fs| {
-                let inode = fs.inode_clone(ino)?;
-                if inode.ftype == FileType::Directory {
+                if fs.inode_ref(ino)?.ftype == FileType::Directory {
                     return Err(FsError::IsADirectory);
                 }
                 fs.read_internal(ino, offset, buf)
@@ -1174,14 +1415,14 @@ impl<D: BlockDevice> FileSystem for Lfs<D> {
     }
 
     fn truncate(&mut self, ino: Ino, size: u64) -> FsResult<()> {
-        let mut inode = self.inode_clone(ino)?;
-        if inode.ftype == FileType::Directory {
+        let attrs = self.inode_attrs(ino)?;
+        if attrs.ftype == FileType::Directory {
             return Err(FsError::IsADirectory);
         }
         if size > MAX_FILE_SIZE {
             return Err(FsError::FileTooLarge);
         }
-        if size < inode.size {
+        if size < attrs.size {
             let new_blocks = blocks_for_size(size);
             self.free_blocks_from(ino, new_blocks)?;
             // Zero the tail of the now-final partial block so a later
@@ -1200,16 +1441,13 @@ impl<D: BlockDevice> FileSystem for Lfs<D> {
                 // "The version number is incremented whenever the file is
                 // deleted or truncated to length zero" (§3.3).
                 let v = self.imap.bump_version(ino);
-                inode = self.inode_clone(ino)?;
-                inode.version = v;
-            } else {
-                inode = self.inode_clone(ino)?;
+                self.inode_mut(ino)?.version = v;
             }
         }
         let now = self.now();
-        inode.size = size;
-        inode.mtime = now;
-        self.put_inode(inode);
+        let m = self.inode_mut(ino)?;
+        m.size = size;
+        m.mtime = now;
         self.after_mutation()?;
         Ok(())
     }
@@ -1371,8 +1609,8 @@ impl<D: BlockDevice> FileSystem for Lfs<D> {
     }
 
     fn metadata(&mut self, ino: Ino) -> FsResult<Metadata> {
-        let inode = self.inode_clone(ino)?;
-        let mut m = inode.metadata();
+        // Attrs only — stat must not clone the block-pointer arrays.
+        let mut m = self.inode_attrs(ino)?.metadata();
         if let Ok(e) = self.imap.get(ino) {
             m.atime = m.atime.max(e.atime);
         }
@@ -1381,8 +1619,7 @@ impl<D: BlockDevice> FileSystem for Lfs<D> {
 
     fn readdir(&mut self, path: &str) -> FsResult<Vec<DirEntry>> {
         let dirino = self.resolve(path)?;
-        let inode = self.inode_clone(dirino)?;
-        if inode.ftype != FileType::Directory {
+        if self.inode_ref(dirino)?.ftype != FileType::Directory {
             return Err(FsError::NotADirectory);
         }
         Ok(self

@@ -150,6 +150,63 @@ impl Inode {
             ctime: self.ctime,
         }
     }
+
+    /// Copies out just the scalar attributes, leaving the block-pointer
+    /// arrays behind. The stat path and name resolution need only these.
+    pub fn attrs(&self) -> InodeAttrs {
+        InodeAttrs {
+            ino: self.ino,
+            version: self.version,
+            ftype: self.ftype,
+            mode: self.mode,
+            nlink: self.nlink,
+            size: self.size,
+            mtime: self.mtime,
+            atime: self.atime,
+            ctime: self.ctime,
+        }
+    }
+}
+
+/// The scalar attributes of an inode — everything except the block
+/// pointers. Cheap to copy where cloning a whole [`Inode`] (with its
+/// ten-slot direct array and indirect addresses) would be waste.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InodeAttrs {
+    /// Inode number.
+    pub ino: Ino,
+    /// Version number (see [`Inode::version`]).
+    pub version: u32,
+    /// Regular file or directory.
+    pub ftype: FileType,
+    /// Protection bits.
+    pub mode: u16,
+    /// Number of directory entries referring to this inode.
+    pub nlink: u32,
+    /// Size in bytes.
+    pub size: u64,
+    /// Last data modification time (logical time).
+    pub mtime: u64,
+    /// Last access time (logical time).
+    pub atime: u64,
+    /// Last inode change time (logical time).
+    pub ctime: u64,
+}
+
+impl InodeAttrs {
+    /// Converts to the VFS metadata view.
+    pub fn metadata(&self) -> vfs::Metadata {
+        vfs::Metadata {
+            ino: self.ino,
+            ftype: self.ftype,
+            size: self.size,
+            nlink: self.nlink,
+            mode: self.mode,
+            mtime: self.mtime,
+            atime: self.atime,
+            ctime: self.ctime,
+        }
+    }
 }
 
 /// An indirect block: a block-sized array of disk addresses.
@@ -272,6 +329,13 @@ mod tests {
         let mut b = IndirectBlock::new();
         b.ptrs[3] = 0;
         assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn attrs_match_metadata() {
+        let ino = sample_inode();
+        assert_eq!(ino.attrs().metadata(), ino.metadata());
+        assert_eq!(ino.attrs().version, ino.version);
     }
 
     #[test]

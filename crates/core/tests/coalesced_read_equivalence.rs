@@ -1,0 +1,213 @@
+//! Property tests pinning the coalesced read path to the legacy per-block
+//! path.
+//!
+//! `coalesced_reads = true` (the default) batches runs of file blocks with
+//! contiguous disk addresses into single `read_run` device requests. The
+//! contract is exact equivalence: the same bytes come back, the final disk
+//! image is byte-identical, and on a simulated disk the service time is
+//! identical — `read_run` charges precisely what the individual
+//! back-to-back reads would have cost, so only the *request count* may
+//! differ. Read-ahead (`read_ahead_blocks > 0`) may fetch extra blocks
+//! (changing timing) but must never change file contents or the disk
+//! image.
+
+use blockdev::{BlockDevice, DiskModel, MemDisk, SimDisk};
+use lfs_core::{Lfs, LfsConfig};
+use proptest::prelude::*;
+use vfs::{FileSystem, Ino};
+
+/// 16 MB disk: enough for the workload plus cleaner headroom.
+const DISK_BLOCKS: u64 = 4096;
+
+const NFILES: u8 = 4;
+
+fn cfg(coalesced: bool, read_ahead: u32) -> LfsConfig {
+    let mut c = LfsConfig::small();
+    c.coalesced_reads = coalesced;
+    c.read_ahead_blocks = read_ahead;
+    c
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    Write {
+        file: u8,
+        offset: u32,
+        len: u16,
+        fill: u8,
+    },
+    Truncate {
+        file: u8,
+        size: u32,
+    },
+    Read {
+        file: u8,
+        offset: u32,
+        len: u16,
+    },
+    Sync,
+    DropCaches,
+}
+
+/// Offsets reach past the ten direct blocks (40 KB) so the indirect-block
+/// loads that break coalesced runs actually happen.
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..NFILES, 0u32..300_000, 1u16..16_384, any::<u8>()).prop_map(
+            |(file, offset, len, fill)| Op::Write {
+                file,
+                offset,
+                len,
+                fill
+            }
+        ),
+        (0..NFILES, 0u32..300_000).prop_map(|(file, size)| Op::Truncate { file, size }),
+        (0..NFILES, 0u32..320_000, 1u16..32_768).prop_map(|(file, offset, len)| Op::Read {
+            file,
+            offset,
+            len
+        }),
+        (0..NFILES, 0u32..320_000, 1u16..32_768).prop_map(|(file, offset, len)| Op::Read {
+            file,
+            offset,
+            len
+        }),
+        Just(Op::Sync),
+        Just(Op::DropCaches),
+    ]
+}
+
+/// Applies one op; returns the bytes a read produced so the instances can
+/// be compared.
+fn apply<D: BlockDevice>(fs: &mut Lfs<D>, inos: &[Ino], op: &Op) -> Option<Vec<u8>> {
+    match op {
+        Op::Write {
+            file,
+            offset,
+            len,
+            fill,
+        } => {
+            let data = vec![*fill; *len as usize];
+            fs.write(inos[*file as usize], *offset as u64, &data)
+                .expect("write");
+            None
+        }
+        Op::Truncate { file, size } => {
+            fs.truncate(inos[*file as usize], *size as u64)
+                .expect("truncate");
+            None
+        }
+        Op::Read { file, offset, len } => {
+            let mut buf = vec![0u8; *len as usize];
+            let n = fs
+                .read(inos[*file as usize], *offset as u64, &mut buf)
+                .expect("read");
+            buf.truncate(n);
+            Some(buf)
+        }
+        Op::Sync => {
+            fs.sync().expect("sync");
+            None
+        }
+        Op::DropCaches => {
+            fs.drop_caches();
+            None
+        }
+    }
+}
+
+fn setup<D: BlockDevice>(fs: &mut Lfs<D>) -> Vec<Ino> {
+    (0..NFILES)
+        .map(|i| fs.create(&format!("/f{i}")).expect("create"))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// The tentpole equivalence property: across random
+    /// write/truncate/read interleavings, the coalesced path returns
+    /// byte-identical data, leaves a byte-identical disk image, and costs
+    /// the identical simulated service time — only the request count may
+    /// shrink. A read-ahead instance (on a `MemDisk`, which exercises the
+    /// default `read_run`) must agree on data and image.
+    #[test]
+    fn coalesced_reads_are_equivalent(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let mut legacy = Lfs::format(
+            SimDisk::new(DISK_BLOCKS, DiskModel::wren_iv()), cfg(false, 0)).expect("format");
+        let mut coalesced = Lfs::format(
+            SimDisk::new(DISK_BLOCKS, DiskModel::wren_iv()), cfg(true, 0)).expect("format");
+        let mut readahead = Lfs::format(
+            MemDisk::new(DISK_BLOCKS), cfg(true, 8)).expect("format");
+        let inos_l = setup(&mut legacy);
+        let inos_c = setup(&mut coalesced);
+        let inos_r = setup(&mut readahead);
+
+        for op in &ops {
+            let out_l = apply(&mut legacy, &inos_l, op);
+            let out_c = apply(&mut coalesced, &inos_c, op);
+            let out_r = apply(&mut readahead, &inos_r, op);
+            prop_assert_eq!(&out_l, &out_c, "coalesced read bytes diverged on {:?}", op);
+            prop_assert_eq!(&out_l, &out_r, "read-ahead read bytes diverged on {:?}", op);
+        }
+
+        legacy.sync().expect("final sync");
+        coalesced.sync().expect("final sync");
+        readahead.sync().expect("final sync");
+
+        let sl = legacy.device().stats();
+        let sc = coalesced.device().stats();
+        // Simulated service time must not change at all; only the number
+        // of read requests may (one run replaces N single-block reads).
+        prop_assert_eq!(sl.busy_ns, sc.busy_ns);
+        prop_assert_eq!(sl.sync_busy_ns, sc.sync_busy_ns);
+        prop_assert_eq!(sl.positioning_ns, sc.positioning_ns);
+        prop_assert_eq!(sl.seeks, sc.seeks);
+        prop_assert_eq!(sl.bytes_read, sc.bytes_read);
+        prop_assert_eq!(sl.bytes_written, sc.bytes_written);
+        prop_assert_eq!(sl.writes, sc.writes);
+        prop_assert!(sc.reads <= sl.reads, "coalescing increased request count");
+
+        prop_assert_eq!(legacy.device().image(), coalesced.device().image());
+        prop_assert_eq!(legacy.device().image(), readahead.device().image());
+    }
+}
+
+/// The sparse cleaner path ("read just the live blocks", §3.4) must fetch
+/// maximal runs of consecutive live blocks as single device requests: for
+/// a segment whose liveness is clustered (whole small files), the request
+/// count stays below the block count.
+#[test]
+fn sparse_cleaner_reads_coalesce_runs() {
+    let mut c = LfsConfig::small();
+    c.read_live_threshold = 1.0; // Every scavenge takes the sparse path.
+    let mut fs = Lfs::format(SimDisk::new(DISK_BLOCKS, DiskModel::wren_iv()), c).expect("format");
+    for i in 0..32 {
+        fs.write_file(&format!("/f{i}"), &vec![i as u8; 3 * 4096])
+            .expect("write");
+    }
+    fs.sync().expect("sync");
+    for i in (0..32).step_by(2) {
+        fs.unlink(&format!("/f{i}")).expect("unlink");
+    }
+    fs.sync().expect("sync");
+
+    let before = fs.device().stats();
+    let cleaned = fs.clean_pass().expect("clean");
+    let after = fs.device().stats();
+    assert!(cleaned > 0, "cleaner found nothing to clean");
+    let requests = after.reads - before.reads;
+    let blocks = (after.bytes_read - before.bytes_read) / 4096;
+    assert!(
+        requests < blocks,
+        "sparse cleaner issued {requests} read requests for {blocks} blocks \
+         (runs were not coalesced)"
+    );
+
+    // And cleaning must not have corrupted anything.
+    for i in (1..32).step_by(2) {
+        let ino = fs.lookup(&format!("/f{i}")).expect("lookup");
+        let data = fs.read_to_vec(ino).expect("read back");
+        assert_eq!(data, vec![i as u8; 3 * 4096]);
+    }
+}

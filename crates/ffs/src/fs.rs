@@ -327,6 +327,13 @@ impl<D: BlockDevice> Ffs<D> {
         Ok(self.inodes[&ino].inode.clone())
     }
 
+    /// Borrows the cached inode. Read-only paths use this instead of
+    /// [`Ffs::inode_clone`] so the hot loops never copy the pointer arrays.
+    fn inode_ref(&mut self, ino: Ino) -> FsResult<&Inode> {
+        self.ensure_inode(ino)?;
+        Ok(&self.inodes[&ino].inode)
+    }
+
     fn put_inode(&mut self, inode: Inode) {
         self.inodes
             .insert(inode.ino, CachedInode { inode, dirty: true });
@@ -457,27 +464,60 @@ impl<D: BlockDevice> Ffs<D> {
     }
 
     fn block_ptr(&mut self, ino: Ino, bno: u64) -> FsResult<DiskAddr> {
-        let inode = self.inode_clone(ino)?;
         match classify_block(bno).ok_or(FsError::FileTooLarge)? {
-            BlockClass::Direct(i) => Ok(inode.direct[i]),
+            BlockClass::Direct(i) => Ok(self.inode_ref(ino)?.direct[i]),
             BlockClass::Indirect1(i) => {
-                if inode.indirect == NIL_ADDR {
+                let ind = self.inode_ref(ino)?.indirect;
+                if ind == NIL_ADDR {
                     return Ok(NIL_ADDR);
                 }
-                self.load_ind(inode.indirect)?;
-                Ok(self.inds[&inode.indirect].ptrs[i])
+                self.load_ind(ind)?;
+                Ok(self.inds[&ind].ptrs[i])
             }
             BlockClass::Indirect2(i, j) => {
-                if inode.dindirect == NIL_ADDR {
+                let dind = self.inode_ref(ino)?.dindirect;
+                if dind == NIL_ADDR {
                     return Ok(NIL_ADDR);
                 }
-                self.load_ind(inode.dindirect)?;
-                let single = self.inds[&inode.dindirect].ptrs[i];
+                self.load_ind(dind)?;
+                let single = self.inds[&dind].ptrs[i];
                 if single == NIL_ADDR {
                     return Ok(NIL_ADDR);
                 }
                 self.load_ind(single)?;
                 Ok(self.inds[&single].ptrs[j])
+            }
+        }
+    }
+
+    /// Resolves a block's address using only in-memory state. `None` means
+    /// an indirect block would have to be read from the device first; the
+    /// caller must fall back to [`Ffs::block_ptr`] (after flushing any
+    /// pending coalesced run, to keep device request order identical to the
+    /// per-block path).
+    fn block_ptr_cached(&mut self, ino: Ino, bno: u64) -> FsResult<Option<DiskAddr>> {
+        match classify_block(bno).ok_or(FsError::FileTooLarge)? {
+            BlockClass::Direct(i) => Ok(Some(self.inode_ref(ino)?.direct[i])),
+            BlockClass::Indirect1(i) => {
+                let ind = self.inode_ref(ino)?.indirect;
+                if ind == NIL_ADDR {
+                    return Ok(Some(NIL_ADDR));
+                }
+                Ok(self.inds.get(&ind).map(|b| b.ptrs[i]))
+            }
+            BlockClass::Indirect2(i, j) => {
+                let dind = self.inode_ref(ino)?.dindirect;
+                if dind == NIL_ADDR {
+                    return Ok(Some(NIL_ADDR));
+                }
+                let Some(d) = self.inds.get(&dind) else {
+                    return Ok(None);
+                };
+                let single = d.ptrs[i];
+                if single == NIL_ADDR {
+                    return Ok(Some(NIL_ADDR));
+                }
+                Ok(self.inds.get(&single).map(|b| b.ptrs[j]))
             }
         }
     }
@@ -550,6 +590,11 @@ impl<D: BlockDevice> Ffs<D> {
                 .read_blocks(addr, &mut data)
                 .map_err(FsError::device)?;
         }
+        self.insert_fetched(ino, bno, data);
+        Ok(())
+    }
+
+    fn insert_fetched(&mut self, ino: Ino, bno: u64, data: Box<[u8]>) {
         self.lru_tick += 1;
         let lru = self.lru_tick;
         self.blocks.insert(
@@ -560,7 +605,64 @@ impl<D: BlockDevice> Ffs<D> {
                 lru,
             },
         );
+    }
+
+    /// Issues the pending coalesced run (if any) as one device request and
+    /// caches its blocks in file order.
+    fn fetch_run(&mut self, ino: Ino, run: &mut Option<(DiskAddr, u64, usize)>) -> FsResult<()> {
+        let Some((start, first_bno, count)) = run.take() else {
+            return Ok(());
+        };
+        let mut buf = vec![0u8; count * BLOCK_SIZE];
+        self.dev
+            .read_run(start, &mut buf)
+            .map_err(FsError::device)?;
+        for k in 0..count {
+            let data = buf[k * BLOCK_SIZE..(k + 1) * BLOCK_SIZE]
+                .to_vec()
+                .into_boxed_slice();
+            self.insert_fetched(ino, first_bno + k as u64, data);
+        }
         Ok(())
+    }
+
+    /// Fetches the uncached blocks of `first..=last`, merging blocks with
+    /// contiguous disk addresses into single [`BlockDevice::read_run`]
+    /// requests. A run breaks at cached blocks, holes, address
+    /// discontinuities, and pointer resolutions that need device I/O, so
+    /// the device sees requests for the same addresses in the same order
+    /// as the per-block path — `read_run` then charges exactly what the
+    /// individual reads would have cost.
+    fn fetch_blocks(&mut self, ino: Ino, first: u64, last: u64) -> FsResult<()> {
+        let mut run: Option<(DiskAddr, u64, usize)> = None;
+        for bno in first..=last {
+            if self.blocks.contains_key(&(ino, bno)) {
+                self.fetch_run(ino, &mut run)?;
+                continue;
+            }
+            let addr = match self.block_ptr_cached(ino, bno)? {
+                Some(a) => a,
+                None => {
+                    self.fetch_run(ino, &mut run)?;
+                    self.block_ptr(ino, bno)?
+                }
+            };
+            if addr == NIL_ADDR {
+                self.fetch_run(ino, &mut run)?;
+                self.insert_fetched(ino, bno, vec![0u8; BLOCK_SIZE].into_boxed_slice());
+                continue;
+            }
+            let extends = matches!(run, Some((start, _, count)) if addr == start + count as u64);
+            if extends {
+                if let Some((_, _, count)) = &mut run {
+                    *count += 1;
+                }
+            } else {
+                self.fetch_run(ino, &mut run)?;
+                run = Some((addr, bno, 1));
+            }
+        }
+        self.fetch_run(ino, &mut run)
     }
 
     fn mark_block_dirty(&mut self, ino: Ino, bno: u64) {
@@ -629,12 +731,16 @@ impl<D: BlockDevice> Ffs<D> {
             }
         }
         // Inodes dirtied by data writes (size/mtime) go back lazily too.
-        let dirty_inos: Vec<Ino> = self
+        // Sorted: iterating the HashMap directly would write the inode
+        // table in a different order each run, and on a simulated disk
+        // that perturbs seek costs run to run.
+        let mut dirty_inos: Vec<Ino> = self
             .inodes
             .iter()
             .filter(|(_, c)| c.dirty)
             .map(|(&i, _)| i)
             .collect();
+        dirty_inos.sort_unstable();
         for ino in dirty_inos {
             let (blk, slot) = self.sb.inode_location(ino);
             let mut buf = self.itab_block(blk)?;
@@ -699,7 +805,7 @@ impl<D: BlockDevice> Ffs<D> {
         if self.dcache.contains_key(&dirino) {
             return Ok(());
         }
-        let inode = self.inode_clone(dirino)?;
+        let inode = self.inode_ref(dirino)?;
         if inode.ftype != FileType::Directory {
             return Err(FsError::NotADirectory);
         }
@@ -768,8 +874,7 @@ impl<D: BlockDevice> Ffs<D> {
 
     fn dir_insert(&mut self, dirino: Ino, name: &str, ino: Ino, ftype: FileType) -> FsResult<()> {
         self.ensure_dcache(dirino)?;
-        let inode = self.inode_clone(dirino)?;
-        let nblocks = inode.size.div_ceil(BLOCK_SIZE as u64);
+        let nblocks = self.inode_ref(dirino)?.size.div_ceil(BLOCK_SIZE as u64);
         let new_rec = DirRecord {
             ino,
             ftype,
@@ -842,8 +947,7 @@ impl<D: BlockDevice> Ffs<D> {
         let parts = vfs::path::components(path)?;
         let mut cur = ROOT_INO;
         for part in parts {
-            let inode = self.inode_clone(cur)?;
-            if inode.ftype != FileType::Directory {
+            if self.inode_ref(cur)?.ftype != FileType::Directory {
                 return Err(FsError::NotADirectory);
             }
             cur = self.dir_lookup(cur, part)?.ok_or(FsError::NotFound)?.ino;
@@ -855,14 +959,12 @@ impl<D: BlockDevice> Ffs<D> {
         let (parent_parts, name) = vfs::path::split_parent(path)?;
         let mut cur = ROOT_INO;
         for part in parent_parts {
-            let inode = self.inode_clone(cur)?;
-            if inode.ftype != FileType::Directory {
+            if self.inode_ref(cur)?.ftype != FileType::Directory {
                 return Err(FsError::NotADirectory);
             }
             cur = self.dir_lookup(cur, part)?.ok_or(FsError::NotFound)?.ino;
         }
-        let inode = self.inode_clone(cur)?;
-        if inode.ftype != FileType::Directory {
+        if self.inode_ref(cur)?.ftype != FileType::Directory {
             return Err(FsError::NotADirectory);
         }
         Ok((cur, name))
@@ -871,8 +973,7 @@ impl<D: BlockDevice> Ffs<D> {
     // ----- file deletion ------------------------------------------------------
 
     fn free_file_blocks(&mut self, ino: Ino, from_block: u64) -> FsResult<()> {
-        let inode = self.inode_clone(ino)?;
-        let old_blocks = inode.size.div_ceil(BLOCK_SIZE as u64);
+        let old_blocks = self.inode_ref(ino)?.size.div_ceil(BLOCK_SIZE as u64);
         for bno in from_block..old_blocks {
             if let Some(b) = self.blocks.remove(&(ino, bno)) {
                 if b.dirty {
@@ -891,12 +992,12 @@ impl<D: BlockDevice> Ffs<D> {
                         self.put_inode(inode);
                     }
                     BlockClass::Indirect1(i) => {
-                        let ind = self.inode_clone(ino)?.indirect;
+                        let ind = self.inode_ref(ino)?.indirect;
                         self.inds.get_mut(&ind).unwrap().ptrs[i] = NIL_ADDR;
                         self.dirty_inds.insert(ind);
                     }
                     BlockClass::Indirect2(i, j) => {
-                        let dind = self.inode_clone(ino)?.dindirect;
+                        let dind = self.inode_ref(ino)?.dindirect;
                         let single = self.inds[&dind].ptrs[i];
                         self.inds.get_mut(&single).unwrap().ptrs[j] = NIL_ADDR;
                         self.dirty_inds.insert(single);
@@ -1019,8 +1120,7 @@ impl<D: BlockDevice> FileSystem for Ffs<D> {
         if data.is_empty() {
             return Ok(());
         }
-        let inode = self.inode_clone(ino)?;
-        if inode.ftype == FileType::Directory {
+        if self.inode_ref(ino)?.ftype == FileType::Directory {
             return Err(FsError::IsADirectory);
         }
         let end = offset
@@ -1066,37 +1166,44 @@ impl<D: BlockDevice> FileSystem for Ffs<D> {
     }
 
     fn read(&mut self, ino: Ino, offset: u64, buf: &mut [u8]) -> FsResult<usize> {
-        let inode = self.inode_clone(ino)?;
+        let inode = self.inode_ref(ino)?;
         if inode.ftype == FileType::Directory {
             return Err(FsError::IsADirectory);
         }
-        if offset >= inode.size {
+        let size = inode.size;
+        if offset >= size {
             return Ok(0);
         }
-        let n = buf.len().min((inode.size - offset) as usize);
+        let n = buf.len().min((size - offset) as usize);
+        let first = offset / BLOCK_SIZE as u64;
+        let last = (offset + n as u64 - 1) / BLOCK_SIZE as u64;
+        self.fetch_blocks(ino, first, last)?;
         let mut pos = 0usize;
         while pos < n {
             let abs = offset + pos as u64;
             let bno = abs / BLOCK_SIZE as u64;
             let off_in = (abs % BLOCK_SIZE as u64) as usize;
             let len = (BLOCK_SIZE - off_in).min(n - pos);
-            self.ensure_block(ino, bno)?;
-            let b = &self.blocks[&(ino, bno)];
-            buf[pos..pos + len].copy_from_slice(&b.data[off_in..off_in + len]);
-            pos += len;
+            if let Some(b) = self.blocks.get(&(ino, bno)) {
+                buf[pos..pos + len].copy_from_slice(&b.data[off_in..off_in + len]);
+                pos += len;
+            } else {
+                self.ensure_block(ino, bno)?;
+            }
         }
         Ok(n)
     }
 
     fn truncate(&mut self, ino: Ino, size: u64) -> FsResult<()> {
-        let inode = self.inode_clone(ino)?;
+        let inode = self.inode_ref(ino)?;
         if inode.ftype == FileType::Directory {
             return Err(FsError::IsADirectory);
         }
+        let old_size = inode.size;
         if size > MAX_FILE_SIZE {
             return Err(FsError::FileTooLarge);
         }
-        if size < inode.size {
+        if size < old_size {
             self.free_file_blocks(ino, size.div_ceil(BLOCK_SIZE as u64))?;
             if !size.is_multiple_of(BLOCK_SIZE as u64) {
                 let bno = size / BLOCK_SIZE as u64;
@@ -1198,7 +1305,7 @@ impl<D: BlockDevice> FileSystem for Ffs<D> {
     }
 
     fn metadata(&mut self, ino: Ino) -> FsResult<Metadata> {
-        Ok(self.inode_clone(ino)?.metadata())
+        Ok(self.inode_ref(ino)?.metadata())
     }
 
     fn readdir(&mut self, path: &str) -> FsResult<Vec<DirEntry>> {
