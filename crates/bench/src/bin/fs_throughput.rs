@@ -13,13 +13,17 @@
 //! `REPS` times and the best wall-clock time is kept, which filters
 //! scheduler noise the same way criterion's minimum-of-samples does.
 //!
-//! The default configuration is the tuned read path: coalesced reads plus
-//! a 32-block read-ahead window. `--gate` additionally runs every mix with
-//! the legacy per-block path (`coalesced_reads = false`) on the same host
-//! and fails if the tuned path has regressed against it — a
-//! host-independent CI check, since both sides run in the same job. The
-//! tuned and legacy reps of a mix are interleaved so CPU-speed drift over
-//! the run biases both sides equally rather than whichever ran last.
+//! The default configuration is the tuned I/O path: coalesced reads plus a
+//! 32-block read-ahead window, and zero-copy gather writes. `--gate`
+//! additionally runs every mix with the legacy paths (`coalesced_reads =
+//! false`, `gather_writes = false`) on the same host and fails if the
+//! tuned path has regressed against it — a host-independent CI check,
+//! since both sides run in the same job. The tuned and legacy reps of a
+//! mix are interleaved so CPU-speed drift over the run biases both sides
+//! equally rather than whichever ran last. Alongside the wall-clock
+//! ratios, the gate checks a deterministic write-side counter: the gather
+//! path must copy strictly fewer host bytes (`lfs.flush_copy_bytes`) than
+//! the assemble-then-write path on the write-heavy mixes.
 //!
 //! ```sh
 //! cargo run --release -p lfs-bench --bin fs_throughput -- <variant-label>
@@ -51,6 +55,11 @@ const GATE_MIN_RATIO: f64 = 0.8;
 /// batching claim is checked on the request counter and not on time.)
 const GATE_MIN_READ_BATCHING: u64 = 8;
 
+/// `--gate`: write-heavy mixes where the gather path must beat the legacy
+/// path on the deterministic host-copy counter (strictly fewer bytes
+/// memcpy'd into write buffers).
+const GATE_WRITE_MIXES: [&str; 2] = ["small_create", "seq_write"];
+
 fn mem_lfs(mb: u64, tuned: bool) -> Lfs<MemDisk> {
     let mut cfg = lfs_bench::production_lfs_config(mb);
     if tuned {
@@ -58,6 +67,7 @@ fn mem_lfs(mb: u64, tuned: bool) -> Lfs<MemDisk> {
     } else {
         cfg.coalesced_reads = false;
         cfg.read_ahead_blocks = 0;
+        cfg.gather_writes = false;
     }
     or_die(
         "format LFS on MemDisk",
@@ -73,6 +83,9 @@ struct MixResult {
     /// Read requests the mix's timed phase issued to the device
     /// (deterministic — every rep sees the same value).
     dev_reads: u64,
+    /// Host bytes the flush path memcpy'd into write buffers during the
+    /// timed phase (deterministic, like `dev_reads`).
+    copy_bytes: u64,
 }
 
 impl MixResult {
@@ -84,10 +97,24 @@ impl MixResult {
     }
 }
 
-/// One timed rep: wall-clock plus the device read requests it issued.
+/// One timed rep: wall-clock plus the deterministic counters it moved.
 struct Sample {
     wall_ns: u128,
     dev_reads: u64,
+    copy_bytes: u64,
+}
+
+/// Counters probed before and after the timed phase.
+struct Counters {
+    dev_reads: u64,
+    copy_bytes: u64,
+}
+
+fn probe(fs: &Lfs<MemDisk>) -> Counters {
+    Counters {
+        dev_reads: fs.device().stats().reads,
+        copy_bytes: fs.stats().flush_copy_bytes,
+    }
 }
 
 /// One workload mix: `run(tuned)` builds fresh state and times the phase.
@@ -101,16 +128,18 @@ struct MixSpec {
 fn timed<S>(
     setup: impl FnOnce() -> S,
     f: impl FnOnce(&mut S),
-    reads: impl Fn(&S) -> u64,
+    counters: impl Fn(&S) -> Counters,
 ) -> Sample {
     let mut state = setup();
-    let before = reads(&state);
+    let before = counters(&state);
     let t = Instant::now();
     f(&mut state);
     let wall_ns = t.elapsed().as_nanos();
+    let after = counters(&state);
     Sample {
         wall_ns,
-        dev_reads: reads(&state) - before,
+        dev_reads: after.dev_reads - before.dev_reads,
+        copy_bytes: after.copy_bytes - before.copy_bytes,
     }
 }
 
@@ -147,7 +176,7 @@ fn mix_specs() -> Vec<MixSpec> {
                 timed(
                     || mem_lfs(disk_mb, tuned),
                     |fs| or_die("small create", small.create_phase(fs)),
-                    |fs| fs.device().stats().reads,
+                    probe,
                 )
             }),
         },
@@ -164,7 +193,7 @@ fn mix_specs() -> Vec<MixSpec> {
                         fs
                     },
                     |fs| or_die("small read", small.read_phase(fs)),
-                    |fs| fs.device().stats().reads,
+                    probe,
                 )
             }),
         },
@@ -180,7 +209,7 @@ fn mix_specs() -> Vec<MixSpec> {
                         fs
                     },
                     |fs| or_die("small delete", small.delete_phase(fs)),
-                    |fs| fs.device().stats().reads,
+                    probe,
                 )
             }),
         },
@@ -201,7 +230,7 @@ fn mix_specs() -> Vec<MixSpec> {
                             large.run_phase(fs, ino, LargeFilePhase::SeqWrite),
                         );
                     },
-                    |fs| fs.device().stats().reads,
+                    probe,
                 )
             }),
         },
@@ -229,7 +258,7 @@ fn mix_specs() -> Vec<MixSpec> {
                             );
                         }
                     },
-                    |(fs, _)| fs.device().stats().reads,
+                    |(fs, _)| probe(fs),
                 )
             }),
         },
@@ -246,10 +275,12 @@ fn measure(gate: bool) -> (Vec<MixResult>, Vec<MixResult>) {
         let mut best_tuned = Sample {
             wall_ns: u128::MAX,
             dev_reads: 0,
+            copy_bytes: 0,
         };
         let mut best_legacy = Sample {
             wall_ns: u128::MAX,
             dev_reads: 0,
+            copy_bytes: 0,
         };
         for _ in 0..REPS {
             let s = (spec.run)(true);
@@ -269,6 +300,7 @@ fn measure(gate: bool) -> (Vec<MixResult>, Vec<MixResult>) {
             bytes: spec.bytes,
             wall_ns: best_tuned.wall_ns,
             dev_reads: best_tuned.dev_reads,
+            copy_bytes: best_tuned.copy_bytes,
         });
         if gate {
             legacy.push(MixResult {
@@ -277,6 +309,7 @@ fn measure(gate: bool) -> (Vec<MixResult>, Vec<MixResult>) {
                 bytes: spec.bytes,
                 wall_ns: best_legacy.wall_ns,
                 dev_reads: best_legacy.dev_reads,
+                copy_bytes: best_legacy.copy_bytes,
             });
         }
     }
@@ -285,7 +318,14 @@ fn measure(gate: bool) -> (Vec<MixResult>, Vec<MixResult>) {
 
 fn print_results(title: &str, results: &[MixResult]) {
     println!("{title}");
-    let mut table = Table::new(&["mix", "ops/sec", "MB/sec", "wall ms", "dev reads"]);
+    let mut table = Table::new(&[
+        "mix",
+        "ops/sec",
+        "MB/sec",
+        "wall ms",
+        "dev reads",
+        "copy MB",
+    ]);
     for r in results {
         table.row(vec![
             r.mix.into(),
@@ -293,6 +333,7 @@ fn print_results(title: &str, results: &[MixResult]) {
             format!("{:.1}", r.mb_per_sec()),
             format!("{:.1}", r.wall_ns as f64 / 1e6),
             format!("{}", r.dev_reads),
+            format!("{:.1}", r.copy_bytes as f64 / (1 << 20) as f64),
         ]);
     }
     table.print();
@@ -312,6 +353,7 @@ fn record(variant: &str, results: &[MixResult]) {
                 "bytes": r.bytes,
                 "wall_ns": r.wall_ns as u64,
                 "dev_reads": r.dev_reads,
+                "copy_bytes": r.copy_bytes,
                 "ops_per_sec": r.ops_per_sec(),
                 "mb_per_sec": r.mb_per_sec(),
             }),
@@ -325,8 +367,8 @@ fn gate_failures(tuned: &[MixResult], legacy: &[MixResult]) -> Vec<String> {
     for (t, l) in tuned.iter().zip(legacy) {
         let ratio = t.ops_per_sec() / l.ops_per_sec();
         println!(
-            "  {:<14} tuned/legacy = {ratio:.2}x  dev reads {} vs {}",
-            t.mix, t.dev_reads, l.dev_reads
+            "  {:<14} tuned/legacy = {ratio:.2}x  dev reads {} vs {}  copy bytes {} vs {}",
+            t.mix, t.dev_reads, l.dev_reads, t.copy_bytes, l.copy_bytes
         );
         if ratio < GATE_MIN_RATIO {
             failures.push(format!(
@@ -339,6 +381,16 @@ fn gate_failures(tuned: &[MixResult], legacy: &[MixResult]) -> Vec<String> {
                 "seq_read: {} coalesced read requests vs {} per-block — \
                  batching fell below {GATE_MIN_READ_BATCHING}x",
                 t.dev_reads, l.dev_reads
+            ));
+        }
+        // Deterministic write-side check: on write-heavy mixes the gather
+        // path must stage strictly fewer host bytes than assemble-then-
+        // write (it copies only synthesized metadata, never cached data).
+        if GATE_WRITE_MIXES.contains(&t.mix) && t.copy_bytes >= l.copy_bytes {
+            failures.push(format!(
+                "{}: gather path copied {} bytes vs {} legacy — \
+                 zero-copy writes are not saving host copies",
+                t.mix, t.copy_bytes, l.copy_bytes
             ));
         }
     }

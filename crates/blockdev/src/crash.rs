@@ -240,6 +240,20 @@ impl BlockDevice for CrashDisk {
         self.current.write_blocks(start, buf, kind)
     }
 
+    fn write_run_gather(&mut self, start: u64, bufs: &[&[u8]], kind: WriteKind) -> Result<()> {
+        let count = crate::device::check_gather(self.current.num_blocks(), start, bufs)?;
+        // Journal the assembled request as one entry, so
+        // `torn_image_after` can cut inside it at block granularity — a
+        // crash mid-gather-write tears across the source slices exactly as
+        // it would across one contiguous buffer.
+        let mut data = Vec::with_capacity(count as usize * BLOCK_SIZE);
+        for b in bufs {
+            data.extend_from_slice(b);
+        }
+        self.journal.push(LoggedWrite { start, data, kind });
+        self.current.write_run_gather(start, bufs, kind)
+    }
+
     fn stats(&self) -> IoStats {
         self.current.stats()
     }
@@ -420,6 +434,32 @@ mod tests {
         assert_eq!(s.bytes_written, 8 * BLOCK_SIZE as u64);
         // The journal still records every physical persist for crash cuts.
         assert!(d.inner().num_writes() > 1);
+    }
+
+    #[test]
+    fn gather_write_journals_one_entry_tearable_per_block() {
+        let mut d = CrashDisk::new(16);
+        let blocks: Vec<Vec<u8>> = (1..=6u8).map(|v| vec![v; BLOCK_SIZE]).collect();
+        let slices: Vec<&[u8]> = blocks.iter().map(|v| v.as_slice()).collect();
+        d.write_run_gather(4, &slices, WriteKind::Async).unwrap();
+        // One journal entry, six block-granular cut points: a crash can
+        // land *inside* the gather write and persist any subset size.
+        assert_eq!(d.num_writes(), 1);
+        assert_eq!(d.num_block_cuts(), 6);
+        for cut in 0..=6 {
+            let img = d.torn_image_after(cut, 17, false).unwrap();
+            let survived = (0..6)
+                .filter(|i| img.image()[(4 + i) * BLOCK_SIZE] != 0)
+                .count();
+            assert_eq!(survived, cut, "cut {cut}");
+        }
+        // The full replay is exactly the gathered bytes in slice order.
+        assert_eq!(
+            d.torn_image_after(6, 17, false).unwrap().image(),
+            d.image_now().image()
+        );
+        // The device charge is still one request.
+        assert_eq!(d.stats().writes, 1);
     }
 
     #[test]

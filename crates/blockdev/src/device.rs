@@ -83,6 +83,34 @@ pub trait BlockDevice {
         Ok(())
     }
 
+    /// Writes a contiguous range of blocks *gathered* from multiple source
+    /// slices as one request, charged exactly like a single
+    /// [`BlockDevice::write_blocks`] call of the same total length at the
+    /// same start.
+    ///
+    /// This is the write-side twin of [`BlockDevice::read_run_scatter`],
+    /// but with the opposite timing contract: the flush path it serves
+    /// already issued each chunk as *one* contiguous `write_blocks`
+    /// request, so the gather variant must charge one request with a
+    /// single per-request transfer rounding — not per-block quantization —
+    /// for batching to stay invisible to simulated time. The only thing
+    /// that changes is where the bytes come from: straight out of
+    /// per-block cache entries instead of a host-side bounce buffer.
+    ///
+    /// Each slice in `bufs` must be a non-empty multiple of [`BLOCK_SIZE`]
+    /// (slices may span several blocks) and `bufs` must be non-empty. The
+    /// default assembles the slices into one buffer and forwards to
+    /// [`BlockDevice::write_blocks`]; memory-backed devices override it to
+    /// copy each slice straight to its destination.
+    fn write_run_gather(&mut self, start: u64, bufs: &[&[u8]], kind: WriteKind) -> Result<()> {
+        let len = check_gather(self.num_blocks(), start, bufs)? as usize * BLOCK_SIZE;
+        let mut bounce = Vec::with_capacity(len);
+        for b in bufs {
+            bounce.extend_from_slice(b);
+        }
+        self.write_blocks(start, &bounce, kind)
+    }
+
     /// Flushes any buffered state to stable storage.
     fn sync(&mut self) -> Result<()> {
         Ok(())
@@ -133,6 +161,21 @@ pub(crate) fn check_request(device_blocks: u64, start: u64, len: usize) -> Resul
     Ok(count)
 }
 
+/// Validates a gather-write request: every slice must be a non-empty
+/// multiple of [`BLOCK_SIZE`], and the combined range must fit the device.
+///
+/// Returns the total block count of the request.
+pub(crate) fn check_gather(device_blocks: u64, start: u64, bufs: &[&[u8]]) -> Result<u64> {
+    let mut len = 0usize;
+    for b in bufs {
+        if b.is_empty() || !b.len().is_multiple_of(BLOCK_SIZE) {
+            return Err(BlockError::Misaligned { len: b.len() });
+        }
+        len += b.len();
+    }
+    check_request(device_blocks, start, len)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,6 +210,35 @@ mod tests {
         assert!(matches!(
             check_request(8, 0, BLOCK_SIZE + 1),
             Err(BlockError::Misaligned { .. })
+        ));
+    }
+
+    #[test]
+    fn check_gather_sums_multi_block_slices() {
+        let a = vec![0u8; 2 * BLOCK_SIZE];
+        let b = vec![0u8; BLOCK_SIZE];
+        assert_eq!(check_gather(8, 4, &[&a, &b, &b]).unwrap(), 4);
+    }
+
+    #[test]
+    fn check_gather_rejects_bad_slices_and_overflow() {
+        let ok = vec![0u8; BLOCK_SIZE];
+        let bad = vec![0u8; BLOCK_SIZE - 1];
+        assert!(matches!(
+            check_gather(8, 0, &[&ok, &bad]),
+            Err(BlockError::Misaligned { .. })
+        ));
+        assert!(matches!(
+            check_gather(8, 0, &[&ok, &[]]),
+            Err(BlockError::Misaligned { len: 0 })
+        ));
+        assert!(matches!(
+            check_gather(8, 0, &[]),
+            Err(BlockError::Misaligned { len: 0 })
+        ));
+        assert!(matches!(
+            check_gather(2, 1, &[&ok, &ok]),
+            Err(BlockError::OutOfRange { .. })
         ));
     }
 }

@@ -14,7 +14,7 @@
 
 use std::collections::{BTreeSet, HashMap};
 
-use crate::device::{check_request, BlockDevice, WriteKind};
+use crate::device::{check_gather, check_request, BlockDevice, WriteKind};
 use crate::error::Result;
 use crate::stats::IoStats;
 use crate::BLOCK_SIZE;
@@ -390,6 +390,26 @@ impl<D: BlockDevice> BlockDevice for FaultDisk<D> {
         self.inner.write_blocks(start, buf, kind)
     }
 
+    fn write_run_gather(&mut self, start: u64, bufs: &[&[u8]], kind: WriteKind) -> Result<()> {
+        let count = check_gather(self.inner.num_blocks(), start, bufs)?;
+        if self.decide(OP_WRITE, start, self.plan.write_fault_rate) {
+            self.counts.write_faults += 1;
+            if self.plan.tear_writes && count > 1 {
+                // Assemble only on this (failing) path so the torn subset
+                // hashes over exactly the same (start, occurrence, block)
+                // inputs as a contiguous write of the same bytes —
+                // per-block tear semantics are identical either way.
+                let mut data = Vec::with_capacity(count as usize * BLOCK_SIZE);
+                for b in bufs {
+                    data.extend_from_slice(b);
+                }
+                self.tear(start, &data, kind)?;
+            }
+            return Err(Self::injected_error());
+        }
+        self.inner.write_run_gather(start, bufs, kind)
+    }
+
     fn sync(&mut self) -> Result<()> {
         self.inner.sync()
     }
@@ -579,6 +599,52 @@ mod tests {
         assert_eq!(s.bytes_read, 4 * BLOCK_SIZE as u64);
         assert_eq!(s.writes, 1);
         assert!(d.inner().stats().dominates(&s));
+    }
+
+    #[test]
+    fn torn_gather_write_matches_torn_contiguous_write() {
+        // The gather path must keep per-block tear semantics identical to
+        // a contiguous write of the same bytes: same faults, same torn
+        // subset, same stats correction.
+        let mk_plan = || {
+            FaultPlan::new(11)
+                .with_write_faults(1.0)
+                .with_torn_writes()
+                .with_transient_failures(1)
+        };
+        let blocks: Vec<Vec<u8>> = (1..=8u8).map(|v| vec![v; BLOCK_SIZE]).collect();
+        let contiguous: Vec<u8> = blocks.concat();
+        let slices: Vec<&[u8]> = blocks.iter().map(|v| v.as_slice()).collect();
+
+        let mut a = FaultDisk::new(MemDisk::new(16), mk_plan());
+        assert!(a.write_blocks(4, &contiguous, WriteKind::Async).is_err());
+        let mut b = FaultDisk::new(MemDisk::new(16), mk_plan());
+        assert!(b.write_run_gather(4, &slices, WriteKind::Async).is_err());
+        assert_eq!(a.counts().torn_writes, 1);
+        assert_eq!(b.counts().torn_writes, 1);
+        assert_eq!(a.inner().image(), b.inner().image(), "same torn subset");
+
+        // Retry both; logical stats charge exactly one success each.
+        a.write_blocks(4, &contiguous, WriteKind::Async).unwrap();
+        b.write_run_gather(4, &slices, WriteKind::Async).unwrap();
+        assert_eq!(a.inner().image(), b.inner().image());
+        assert_eq!(a.stats().writes, 1);
+        assert_eq!(b.stats().writes, 1);
+        assert_eq!(b.stats().bytes_written, 8 * BLOCK_SIZE as u64);
+    }
+
+    #[test]
+    fn bitrot_applies_to_gather_written_blocks_on_read() {
+        let plan = FaultPlan::new(13).with_bitrot(3);
+        let mut d = FaultDisk::new(MemDisk::new(8), plan);
+        let b = vec![0x55u8; BLOCK_SIZE];
+        d.write_run_gather(2, &[&b, &b, &b], WriteKind::Async)
+            .unwrap();
+        let mut back = [0u8; BLOCK_SIZE];
+        d.read_block(3, &mut back).unwrap();
+        assert_ne!(&back[..], b.as_slice(), "rotted block must differ");
+        d.read_block(2, &mut back).unwrap();
+        assert_eq!(&back[..], b.as_slice());
     }
 
     #[test]

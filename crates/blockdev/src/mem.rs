@@ -131,6 +131,23 @@ impl BlockDevice for MemDisk {
         Ok(())
     }
 
+    fn write_run_gather(&mut self, start: u64, bufs: &[&[u8]], _kind: WriteKind) -> Result<()> {
+        crate::device::check_gather(self.num_blocks, start, bufs)?;
+        let mut off = start as usize * BLOCK_SIZE;
+        let mut len = 0;
+        for b in bufs {
+            self.data[off..off + b.len()].copy_from_slice(b);
+            off += b.len();
+            len += b.len();
+        }
+        self.stats.writes += 1;
+        self.stats.bytes_written += len as u64;
+        if let Some(obs) = &self.obs {
+            obs.record(false, 0); // no timing model: count the request only
+        }
+        Ok(())
+    }
+
     fn stats(&self) -> IoStats {
         self.stats
     }
@@ -187,6 +204,37 @@ mod tests {
         assert_eq!(s.bytes_written, 2 * BLOCK_SIZE as u64);
         assert_eq!(s.bytes_read, BLOCK_SIZE as u64);
         assert_eq!(s.busy_ns, 0);
+    }
+
+    #[test]
+    fn gather_write_counts_one_request_and_lands_in_place() {
+        let mut d = MemDisk::new(8);
+        let a = vec![1u8; BLOCK_SIZE];
+        let b = vec![2u8; 2 * BLOCK_SIZE];
+        let c = vec![3u8; BLOCK_SIZE];
+        d.write_run_gather(2, &[&a, &b, &c], WriteKind::Async)
+            .unwrap();
+        let s = d.stats();
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.bytes_written, 4 * BLOCK_SIZE as u64);
+        let mut back = vec![0u8; 4 * BLOCK_SIZE];
+        d.read_blocks(2, &mut back).unwrap();
+        assert_eq!(&back[..BLOCK_SIZE], a.as_slice());
+        assert_eq!(&back[BLOCK_SIZE..3 * BLOCK_SIZE], b.as_slice());
+        assert_eq!(&back[3 * BLOCK_SIZE..], c.as_slice());
+    }
+
+    #[test]
+    fn gather_write_rejects_misaligned_slice() {
+        let mut d = MemDisk::new(8);
+        let ok = vec![0u8; BLOCK_SIZE];
+        let bad = vec![0u8; 3];
+        assert!(matches!(
+            d.write_run_gather(0, &[&ok, &bad], WriteKind::Async),
+            Err(BlockError::Misaligned { len: 3 })
+        ));
+        // Nothing was counted or written.
+        assert_eq!(d.stats().writes, 0);
     }
 
     #[test]

@@ -259,6 +259,25 @@ impl BlockDevice for SimDisk {
         Ok(())
     }
 
+    fn write_run_gather(&mut self, start: u64, bufs: &[&[u8]], kind: WriteKind) -> Result<()> {
+        let count = crate::device::check_gather(self.num_blocks, start, bufs)?;
+        let mut off = start as usize * BLOCK_SIZE;
+        let mut len = 0;
+        for b in bufs {
+            self.data[off..off + b.len()].copy_from_slice(b);
+            off += b.len();
+            len += b.len();
+        }
+        // Charged exactly like one contiguous `write_blocks` of the same
+        // total length: the flush path issues each chunk as a single
+        // request either way, so transfer time is rounded once per request
+        // (unlike `read_run`, which replaces N single-block reads and must
+        // quantize per block). Gathering only changes where the host reads
+        // the bytes from, never the simulated service time.
+        self.account(start, count, len as u64, kind == WriteKind::Sync, false);
+        Ok(())
+    }
+
     fn read_run(&mut self, start: u64, buf: &mut [u8]) -> Result<()> {
         let count = check_request(self.num_blocks, start, buf.len())?;
         buf.copy_from_slice(&self.data[self.byte_range(start, buf.len())]);
@@ -482,6 +501,61 @@ mod tests {
             a.stats().busy_ns + 3, // 13 * (3/13 ns) of per-request floor
             b.stats().busy_ns
         );
+    }
+
+    #[test]
+    fn write_run_gather_charges_exactly_one_contiguous_write() {
+        // The gather write's timing contract is the *opposite* of
+        // read_run's: it replaces one contiguous write_blocks request, so
+        // service time must match that single request bit-for-bit
+        // (positioning + one per-request transfer rounding), including at
+        // counts where per-block quantization would differ.
+        for &(first, n) in &[(7u64, 1usize), (100, 4), (100, 13), (2000, 256)] {
+            let model = DiskModel::wren_iv();
+            let mut a = SimDisk::new(4096, model);
+            let mut b = SimDisk::new(4096, model);
+            let blocks: Vec<Vec<u8>> = (0..n)
+                .map(|i| vec![(i % 251) as u8 + 1; BLOCK_SIZE])
+                .collect();
+            let contiguous: Vec<u8> = blocks.concat();
+            // Park both heads at the same spot away from the run.
+            let blk = [0u8; BLOCK_SIZE];
+            a.write_block(0, &blk, WriteKind::Async).unwrap();
+            b.write_block(0, &blk, WriteKind::Async).unwrap();
+            let a0 = a.stats();
+            let b0 = b.stats();
+
+            a.write_blocks(first, &contiguous, WriteKind::Sync).unwrap();
+            let slices: Vec<&[u8]> = blocks.iter().map(|v| v.as_slice()).collect();
+            b.write_run_gather(first, &slices, WriteKind::Sync).unwrap();
+
+            assert_eq!(a.image(), b.image(), "n={n}");
+            let da = a.stats().since(&a0);
+            let db = b.stats().since(&b0);
+            assert_eq!(da.busy_ns, db.busy_ns, "n={n}");
+            assert_eq!(da.sync_busy_ns, db.sync_busy_ns, "n={n}");
+            assert_eq!(da.positioning_ns, db.positioning_ns, "n={n}");
+            assert_eq!(da.seeks, db.seeks, "n={n}");
+            assert_eq!(da.writes, db.writes, "n={n}");
+            assert_eq!(da.bytes_written, db.bytes_written, "n={n}");
+            assert_eq!(a.head, b.head, "n={n}");
+        }
+    }
+
+    #[test]
+    fn write_run_gather_accepts_multi_block_slices() {
+        let model = DiskModel::wren_iv();
+        let mut a = SimDisk::new(64, model);
+        let mut b = SimDisk::new(64, model);
+        let big: Vec<u8> = (0..3 * BLOCK_SIZE).map(|i| (i % 239) as u8).collect();
+        let one = vec![7u8; BLOCK_SIZE];
+        let contiguous: Vec<u8> = [one.as_slice(), big.as_slice()].concat();
+        a.write_blocks(5, &contiguous, WriteKind::Async).unwrap();
+        b.write_run_gather(5, &[&one, &big], WriteKind::Async)
+            .unwrap();
+        assert_eq!(a.image(), b.image());
+        assert_eq!(a.stats().busy_ns, b.stats().busy_ns);
+        assert_eq!(a.stats().writes, b.stats().writes);
     }
 
     #[test]

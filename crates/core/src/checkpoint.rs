@@ -70,6 +70,15 @@ impl Checkpoint {
     /// ([`CR_BLOCKS`] blocks) — which would mean the file system was
     /// formatted with an impossibly large inode map.
     pub fn encode(&self) -> FsResult<Vec<u8>> {
+        let mut buf = Vec::new();
+        self.encode_into(&mut buf)?;
+        Ok(buf)
+    }
+
+    /// Serializes into a caller-provided buffer, reusing its allocation
+    /// (the flush scratch pool); the buffer is cleared and refilled with
+    /// exactly the bytes [`Checkpoint::encode`] would return.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) -> FsResult<()> {
         let len = self.payload_len();
         let padded = len.div_ceil(BLOCK_SIZE) * BLOCK_SIZE;
         if padded > (CR_BLOCKS as usize) * BLOCK_SIZE {
@@ -77,9 +86,10 @@ impl Checkpoint {
                 "checkpoint payload exceeds checkpoint region",
             ));
         }
-        let mut buf = vec![0u8; padded];
+        buf.clear();
+        buf.resize(padded, 0);
         {
-            let mut w = Writer::new(&mut buf);
+            let mut w = Writer::new(buf);
             w.put_u64(MAGIC);
             w.put_u32(self.epoch);
             w.put_u32(0);
@@ -104,7 +114,7 @@ impl Checkpoint {
         }
         let sum = checksum(&buf[..len - 8]);
         buf[len - 8..len].copy_from_slice(&sum.to_le_bytes());
-        Ok(buf)
+        Ok(())
     }
 
     /// Parses and validates a checkpoint region image.

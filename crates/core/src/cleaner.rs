@@ -594,7 +594,7 @@ impl<D: BlockDevice> Lfs<D> {
                 };
                 if let Some(cached) = self.inds.get_mut(&(ino, key)) {
                     if cached.disk_addr == addr {
-                        cached.dirty = true;
+                        crate::fs::set_dirty(&mut cached.dirty, &mut self.dirty_ind_count);
                         self.dirty_files.insert(ino);
                     }
                     return Ok(());
@@ -603,7 +603,7 @@ impl<D: BlockDevice> Lfs<D> {
                 if self.ensure_ind(ino, key, false)? {
                     let cached = self.inds.get_mut(&(ino, key)).unwrap();
                     if cached.disk_addr == addr {
-                        cached.dirty = true;
+                        crate::fs::set_dirty(&mut cached.dirty, &mut self.dirty_ind_count);
                         self.dirty_files.insert(ino);
                     }
                 }
@@ -628,7 +628,8 @@ impl<D: BlockDevice> Lfs<D> {
                     };
                     if e.is_live() && e.addr == addr && e.slot == slot as u8 {
                         self.ensure_inode(ino)?;
-                        self.inodes.get_mut(&ino).unwrap().dirty = true;
+                        let c = self.inodes.get_mut(&ino).unwrap();
+                        crate::fs::set_dirty(&mut c.dirty, &mut self.dirty_inode_count);
                         self.dirty_files.insert(ino);
                     }
                 }

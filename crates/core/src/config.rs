@@ -78,6 +78,14 @@ pub struct LfsConfig {
     /// the set of blocks fetched — and therefore the figure benchmarks —
     /// bit-identical to the per-block path.
     pub read_ahead_blocks: u32,
+    /// Hand data blocks to the device as borrowed slices (one gather
+    /// request per partial write) instead of assembling a fresh
+    /// contiguous buffer first. The gather path is exactly equivalent —
+    /// same bytes on disk, same simulated service time (see
+    /// [`blockdev::BlockDevice::write_run_gather`]) — it only removes
+    /// host-side copies, so this flag exists to keep the legacy
+    /// assemble-and-write path testable against it.
+    pub gather_writes: bool,
 }
 
 impl LfsConfig {
@@ -98,6 +106,7 @@ impl LfsConfig {
             read_live_threshold: 0.0,
             coalesced_reads: true,
             read_ahead_blocks: 0,
+            gather_writes: true,
         }
     }
 
@@ -120,6 +129,7 @@ impl LfsConfig {
             read_live_threshold: 0.0,
             coalesced_reads: true,
             read_ahead_blocks: 0,
+            gather_writes: true,
         }
     }
 

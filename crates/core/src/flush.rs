@@ -16,7 +16,7 @@ use blockdev::{BlockDevice, WriteKind, BLOCK_SIZE};
 use vfs::{FsError, FsResult, Ino};
 
 use crate::dirlog;
-use crate::fs::{IndKey, Lfs};
+use crate::fs::{gather_write_retry, set_dirty, IndKey, Lfs};
 use crate::inode::INODE_DISK_SIZE;
 use crate::layout::{classify_block, BlockClass, DiskAddr, NIL_ADDR};
 use crate::stats::BlockKind;
@@ -68,12 +68,23 @@ struct LayoutPlan {
 }
 
 impl<D: BlockDevice> Lfs<D> {
-    /// True if any state is waiting to reach the log.
+    /// True if any state is waiting to reach the log. O(1): the inode and
+    /// indirect-block dirty populations are running counts maintained at
+    /// every flag transition, not cache scans (this predicate runs on
+    /// every write while the caches hold the whole working set).
     pub fn needs_flush(&self) -> bool {
+        debug_assert_eq!(
+            self.dirty_inode_count,
+            self.inodes.values().filter(|c| c.dirty).count()
+        );
+        debug_assert_eq!(
+            self.dirty_ind_count,
+            self.inds.values().filter(|c| c.dirty).count()
+        );
         !self.dirty_blocks.is_empty()
             || !self.dirlog_pending.is_empty()
-            || self.inodes.values().any(|c| c.dirty)
-            || self.inds.values().any(|c| c.dirty)
+            || self.dirty_inode_count > 0
+            || self.dirty_ind_count > 0
             || self.imap.has_dirty()
             || self.usage.has_dirty()
     }
@@ -149,14 +160,17 @@ impl<D: BlockDevice> Lfs<D> {
                 BlockClass::Direct(_) => {}
                 BlockClass::Indirect1(_) => {
                     self.ensure_ind(ino, IndKey::Single(0), true)?;
-                    self.inds.get_mut(&(ino, IndKey::Single(0))).unwrap().dirty = true;
+                    let e = self.inds.get_mut(&(ino, IndKey::Single(0))).unwrap();
+                    set_dirty(&mut e.dirty, &mut self.dirty_ind_count);
                 }
                 BlockClass::Indirect2(i, _) => {
                     self.ensure_ind(ino, IndKey::Double, true)?;
-                    self.inds.get_mut(&(ino, IndKey::Double)).unwrap().dirty = true;
+                    let d = self.inds.get_mut(&(ino, IndKey::Double)).unwrap();
+                    set_dirty(&mut d.dirty, &mut self.dirty_ind_count);
                     let key = IndKey::Single(i as u32 + 1);
                     self.ensure_ind(ino, key, true)?;
-                    self.inds.get_mut(&(ino, key)).unwrap().dirty = true;
+                    let e = self.inds.get_mut(&(ino, key)).unwrap();
+                    set_dirty(&mut e.dirty, &mut self.dirty_ind_count);
                 }
             }
         }
@@ -310,7 +324,7 @@ impl<D: BlockDevice> Lfs<D> {
                                 .get_mut(&(*ino, IndKey::Double))
                                 .expect("double-indirect missing for child update");
                             d.blk.ptrs[(*k - 1) as usize] = addr;
-                            d.dirty = true;
+                            set_dirty(&mut d.dirty, &mut self.dirty_ind_count);
                         }
                         IndKey::Double => {
                             self.inode_mut(*ino)?.dindirect = addr;
@@ -396,85 +410,14 @@ impl<D: BlockDevice> Lfs<D> {
             seq += 1;
             let chunk_items = &items[item_idx..item_idx + c.n_items];
             let chunk_addrs = &addrs[item_idx..item_idx + c.n_items];
-            let mut entries = Vec::with_capacity(c.n_items);
-            let mut buf = vec![0u8; (1 + c.n_items) * BLOCK_SIZE];
-            for (j, item) in chunk_items.iter().enumerate() {
-                let dst = &mut buf[(1 + j) * BLOCK_SIZE..(2 + j) * BLOCK_SIZE];
-                let mut entry = match item {
-                    Item::DirLog(data) => {
-                        dst.copy_from_slice(data);
-                        SummaryEntry::meta(EntryKind::DirLog, 0, time)
-                    }
-                    Item::Data { ino, bno } => {
-                        let b = &self.blocks[&(*ino, *bno)];
-                        dst.copy_from_slice(&b.data);
-                        SummaryEntry::data(*ino, *bno as u32, self.imap.version(*ino), b.mtime)
-                    }
-                    Item::Ind { ino, key } => {
-                        let e = &self.inds[&(*ino, *key)];
-                        dst.copy_from_slice(&e.blk.encode());
-                        match key {
-                            IndKey::Single(k) => SummaryEntry {
-                                kind: EntryKind::Indirect1,
-                                ino: *ino,
-                                offset: *k,
-                                version: self.imap.version(*ino),
-                                mtime: time,
-                                csum: 0,
-                            },
-                            IndKey::Double => SummaryEntry {
-                                kind: EntryKind::Indirect2,
-                                ino: *ino,
-                                offset: 0,
-                                version: self.imap.version(*ino),
-                                mtime: time,
-                                csum: 0,
-                            },
-                        }
-                    }
-                    Item::InodeBlk { inos } => {
-                        for (slot, &ino) in inos.iter().enumerate() {
-                            let inode = &self.inodes[&ino].inode;
-                            inode.encode_into(
-                                &mut dst[slot * INODE_DISK_SIZE..(slot + 1) * INODE_DISK_SIZE],
-                            );
-                        }
-                        SummaryEntry::meta(EntryKind::InodeBlock, 0, time)
-                    }
-                    Item::Imap(idx) => {
-                        dst.copy_from_slice(&self.imap.encode_block(*idx));
-                        SummaryEntry::meta(EntryKind::ImapBlock, *idx as u32, time)
-                    }
-                    Item::Usage(idx) => {
-                        self.usage.block_written(*idx, chunk_addrs[j]);
-                        dst.copy_from_slice(&self.usage.encode_block(*idx));
-                        SummaryEntry::meta(EntryKind::UsageBlock, *idx as u32, time)
-                    }
-                };
-                // Per-block content checksum: roll-forward refuses to
-                // replay a chunk whose blocks do not all verify, so a
-                // torn segment write is indistinguishable from the end
-                // of the log instead of being replayed as garbage.
-                entry.csum = crate::codec::block_checksum(dst);
-                self.stats
-                    .add_log_bytes(entry_stats_kind(item), BLOCK_SIZE as u64, by_cleaner);
-                entries.push(entry);
-            }
-            let summary = Summary {
-                epoch: self.epoch,
-                seq,
-                write_time: time,
-                entries,
-            };
-            buf[..BLOCK_SIZE].copy_from_slice(&summary.encode());
-            self.stats
-                .add_log_bytes(BlockKind::Summary, BLOCK_SIZE as u64, by_cleaner);
             let start = self.sb.seg_start(c.seg) + c.off as u64;
-            // Bounded retry: transient device errors must not abort a
-            // flush that the cache can simply reissue.
-            self.write_retry(start, &buf, WriteKind::Async)?;
+            if self.cfg.gather_writes {
+                self.write_chunk_gather(chunk_items, chunk_addrs, start, seq, time, by_cleaner)?;
+            } else {
+                self.write_chunk_assembled(chunk_items, chunk_addrs, start, seq, time, by_cleaner)?;
+            }
             if !by_cleaner {
-                self.bytes_since_checkpoint += buf.len() as u64;
+                self.bytes_since_checkpoint += ((1 + c.n_items) * BLOCK_SIZE) as u64;
             }
             self.stats.partial_writes += 1;
             self.emit(|| lfs_obs::TraceEvent::SegmentWrite {
@@ -498,13 +441,250 @@ impl<D: BlockDevice> Lfs<D> {
         for c in self.inodes.values_mut() {
             c.dirty = false;
         }
+        self.dirty_inode_count = 0;
         for c in self.inds.values_mut() {
             c.dirty = false;
         }
+        self.dirty_ind_count = 0;
         self.dirty_files.clear();
         self.dirlog_pending.clear();
         self.maybe_evict_after_flush();
         Ok(())
+    }
+
+    /// Writes one partial-write chunk as a single gather request: data and
+    /// directory-log blocks go to the device as borrowed slices straight
+    /// from the cache; only genuinely synthesized blocks (the summary,
+    /// inode groups, indirect/imap/usage encodes) are rendered, into the
+    /// reusable scratch pool. Produces byte-for-byte the same disk image —
+    /// and, on the simulated disk, the same service time — as
+    /// [`Lfs::write_chunk_assembled`], minus one host copy per cached
+    /// block.
+    #[allow(clippy::too_many_arguments)]
+    fn write_chunk_gather(
+        &mut self,
+        items: &[Item],
+        addrs: &[DiskAddr],
+        start: u64,
+        seq: u64,
+        time: u64,
+        by_cleaner: bool,
+    ) -> FsResult<()> {
+        let n = items.len();
+        let need = (1 + n) * BLOCK_SIZE;
+        let mut scratch = std::mem::take(&mut self.scratch);
+        if scratch.len() < need {
+            scratch.resize(need, 0);
+        }
+        // Pass 1: render synthesized blocks into their scratch slots and
+        // build the summary entries. Each entry's content checksum (the
+        // torn-write detector roll-forward relies on) is computed over the
+        // exact bytes the device will receive — scratch slot or borrowed
+        // cache block.
+        let mut entries = Vec::with_capacity(n);
+        for (j, item) in items.iter().enumerate() {
+            let dst = &mut scratch[(1 + j) * BLOCK_SIZE..(2 + j) * BLOCK_SIZE];
+            let entry = match item {
+                Item::DirLog(data) => {
+                    let mut e = SummaryEntry::meta(EntryKind::DirLog, 0, time);
+                    e.csum = crate::codec::block_checksum(data);
+                    e
+                }
+                Item::Data { ino, bno } => {
+                    let b = &self.blocks[&(*ino, *bno)];
+                    let mut e =
+                        SummaryEntry::data(*ino, *bno as u32, self.imap.version(*ino), b.mtime);
+                    e.csum = crate::codec::block_checksum(&b.data);
+                    e
+                }
+                Item::Ind { ino, key } => {
+                    self.inds[&(*ino, *key)].blk.encode_into(dst);
+                    self.stats.flush_copy_bytes += BLOCK_SIZE as u64;
+                    let mut e = match key {
+                        IndKey::Single(k) => SummaryEntry {
+                            kind: EntryKind::Indirect1,
+                            ino: *ino,
+                            offset: *k,
+                            version: self.imap.version(*ino),
+                            mtime: time,
+                            csum: 0,
+                        },
+                        IndKey::Double => SummaryEntry {
+                            kind: EntryKind::Indirect2,
+                            ino: *ino,
+                            offset: 0,
+                            version: self.imap.version(*ino),
+                            mtime: time,
+                            csum: 0,
+                        },
+                    };
+                    e.csum = crate::codec::block_checksum(dst);
+                    e
+                }
+                Item::InodeBlk { inos } => {
+                    // The pool is reused: zero the slot so a partial inode
+                    // group leaves the same zero padding a fresh buffer had.
+                    dst.fill(0);
+                    for (slot, &ino) in inos.iter().enumerate() {
+                        let inode = &self.inodes[&ino].inode;
+                        inode.encode_into(
+                            &mut dst[slot * INODE_DISK_SIZE..(slot + 1) * INODE_DISK_SIZE],
+                        );
+                    }
+                    self.stats.flush_copy_bytes += BLOCK_SIZE as u64;
+                    let mut e = SummaryEntry::meta(EntryKind::InodeBlock, 0, time);
+                    e.csum = crate::codec::block_checksum(dst);
+                    e
+                }
+                Item::Imap(idx) => {
+                    self.imap.encode_block_into(*idx, dst);
+                    self.stats.flush_copy_bytes += BLOCK_SIZE as u64;
+                    let mut e = SummaryEntry::meta(EntryKind::ImapBlock, *idx as u32, time);
+                    e.csum = crate::codec::block_checksum(dst);
+                    e
+                }
+                Item::Usage(idx) => {
+                    self.usage.block_written(*idx, addrs[j]);
+                    self.usage.encode_block_into(*idx, dst);
+                    self.stats.flush_copy_bytes += BLOCK_SIZE as u64;
+                    let mut e = SummaryEntry::meta(EntryKind::UsageBlock, *idx as u32, time);
+                    e.csum = crate::codec::block_checksum(dst);
+                    e
+                }
+            };
+            self.stats
+                .add_log_bytes(entry_stats_kind(item), BLOCK_SIZE as u64, by_cleaner);
+            entries.push(entry);
+        }
+        let summary = Summary {
+            epoch: self.epoch,
+            seq,
+            write_time: time,
+            entries,
+        };
+        summary.encode_into(&mut scratch[..BLOCK_SIZE]);
+        self.stats.flush_copy_bytes += BLOCK_SIZE as u64;
+        self.stats
+            .add_log_bytes(BlockKind::Summary, BLOCK_SIZE as u64, by_cleaner);
+        // Pass 2: hand the device the block list without assembling it —
+        // scratch slots for synthesized blocks, borrowed cache data for
+        // the rest. `gather_write_retry` is a free function over disjoint
+        // fields precisely so these borrows can be live across the write.
+        let scratch_ref: &[u8] = &scratch;
+        let mut bufs: Vec<&[u8]> = Vec::with_capacity(1 + n);
+        bufs.push(&scratch_ref[..BLOCK_SIZE]);
+        for (j, item) in items.iter().enumerate() {
+            match item {
+                Item::DirLog(data) => bufs.push(data),
+                Item::Data { ino, bno } => bufs.push(&self.blocks[&(*ino, *bno)].data),
+                _ => bufs.push(&scratch_ref[(1 + j) * BLOCK_SIZE..(2 + j) * BLOCK_SIZE]),
+            }
+        }
+        let res = gather_write_retry(
+            &mut self.dev,
+            &mut self.stats,
+            &self.obs,
+            start,
+            &bufs,
+            WriteKind::Async,
+        );
+        drop(bufs);
+        self.scratch = scratch;
+        res
+    }
+
+    /// The legacy chunk writer: assembles the whole chunk into one fresh
+    /// contiguous buffer and issues a plain `write_blocks`. Kept (behind
+    /// `LfsConfig::gather_writes = false`) as the reference the gather
+    /// path is tested byte-for-byte against.
+    #[allow(clippy::too_many_arguments)]
+    fn write_chunk_assembled(
+        &mut self,
+        items: &[Item],
+        addrs: &[DiskAddr],
+        start: u64,
+        seq: u64,
+        time: u64,
+        by_cleaner: bool,
+    ) -> FsResult<()> {
+        let mut entries = Vec::with_capacity(items.len());
+        let mut buf = vec![0u8; (1 + items.len()) * BLOCK_SIZE];
+        for (j, item) in items.iter().enumerate() {
+            let dst = &mut buf[(1 + j) * BLOCK_SIZE..(2 + j) * BLOCK_SIZE];
+            let mut entry = match item {
+                Item::DirLog(data) => {
+                    dst.copy_from_slice(data);
+                    SummaryEntry::meta(EntryKind::DirLog, 0, time)
+                }
+                Item::Data { ino, bno } => {
+                    let b = &self.blocks[&(*ino, *bno)];
+                    dst.copy_from_slice(&b.data);
+                    SummaryEntry::data(*ino, *bno as u32, self.imap.version(*ino), b.mtime)
+                }
+                Item::Ind { ino, key } => {
+                    let e = &self.inds[&(*ino, *key)];
+                    dst.copy_from_slice(&e.blk.encode());
+                    match key {
+                        IndKey::Single(k) => SummaryEntry {
+                            kind: EntryKind::Indirect1,
+                            ino: *ino,
+                            offset: *k,
+                            version: self.imap.version(*ino),
+                            mtime: time,
+                            csum: 0,
+                        },
+                        IndKey::Double => SummaryEntry {
+                            kind: EntryKind::Indirect2,
+                            ino: *ino,
+                            offset: 0,
+                            version: self.imap.version(*ino),
+                            mtime: time,
+                            csum: 0,
+                        },
+                    }
+                }
+                Item::InodeBlk { inos } => {
+                    for (slot, &ino) in inos.iter().enumerate() {
+                        let inode = &self.inodes[&ino].inode;
+                        inode.encode_into(
+                            &mut dst[slot * INODE_DISK_SIZE..(slot + 1) * INODE_DISK_SIZE],
+                        );
+                    }
+                    SummaryEntry::meta(EntryKind::InodeBlock, 0, time)
+                }
+                Item::Imap(idx) => {
+                    dst.copy_from_slice(&self.imap.encode_block(*idx));
+                    SummaryEntry::meta(EntryKind::ImapBlock, *idx as u32, time)
+                }
+                Item::Usage(idx) => {
+                    self.usage.block_written(*idx, addrs[j]);
+                    dst.copy_from_slice(&self.usage.encode_block(*idx));
+                    SummaryEntry::meta(EntryKind::UsageBlock, *idx as u32, time)
+                }
+            };
+            // Per-block content checksum: roll-forward refuses to
+            // replay a chunk whose blocks do not all verify, so a
+            // torn segment write is indistinguishable from the end
+            // of the log instead of being replayed as garbage.
+            entry.csum = crate::codec::block_checksum(dst);
+            self.stats.flush_copy_bytes += BLOCK_SIZE as u64;
+            self.stats
+                .add_log_bytes(entry_stats_kind(item), BLOCK_SIZE as u64, by_cleaner);
+            entries.push(entry);
+        }
+        let summary = Summary {
+            epoch: self.epoch,
+            seq,
+            write_time: time,
+            entries,
+        };
+        buf[..BLOCK_SIZE].copy_from_slice(&summary.encode());
+        self.stats.flush_copy_bytes += BLOCK_SIZE as u64;
+        self.stats
+            .add_log_bytes(BlockKind::Summary, BLOCK_SIZE as u64, by_cleaner);
+        // Bounded retry: transient device errors must not abort a
+        // flush that the cache can simply reissue.
+        self.write_retry(start, &buf, WriteKind::Async)
     }
 
     fn maybe_evict_after_flush(&mut self) {
@@ -519,9 +699,15 @@ impl<D: BlockDevice> Lfs<D> {
             .filter(|(_, b)| !b.dirty)
             .map(|(&k, b)| (k, b.lru))
             .collect();
-        clean.sort_by_key(|&(_, lru)| lru);
+        // Only the `excess` least-recently-used clean blocks leave the
+        // cache; a selection partition finds them in O(n) instead of
+        // paying for a full sort of every clean entry.
         let excess = self.blocks.len() - limit;
-        for (k, _) in clean.into_iter().take(excess) {
+        if clean.len() > excess {
+            clean.select_nth_unstable_by_key(excess - 1, |&(_, lru)| lru);
+            clean.truncate(excess);
+        }
+        for (k, _) in clean {
             self.blocks.remove(&k);
         }
     }
@@ -540,12 +726,7 @@ impl<D: BlockDevice> Lfs<D> {
         // needs somewhere to copy live data even when the log is full —
         // without this reserve the file system can wedge with free space
         // it cannot reach.
-        let mut avail: Vec<u32> = self
-            .usage
-            .iter()
-            .filter(|(s, u)| u.state == SegState::Clean && *s != seg)
-            .map(|(s, _)| s)
-            .collect();
+        let mut avail: Vec<u32> = self.usage.clean_segs().filter(|&s| s != seg).collect();
         // Normal writes leave segments for the cleaner; the cleaner's own
         // relocations and a checkpoint's settle writes may use everything
         // (the selection budget guarantees they fit, and completing them
@@ -638,11 +819,16 @@ impl<D: BlockDevice> Lfs<D> {
         // Write the region payload-first, header-last (see
         // `Checkpoint::write_to`), retrying transient device errors so a
         // flaky disk does not abort the checkpoint.
-        let enc = cp.encode()?;
+        // The checkpoint image renders into the same reusable scratch
+        // pool the flush path uses, so steady-state checkpoints allocate
+        // nothing.
+        let mut enc = std::mem::take(&mut self.scratch);
+        cp.encode_into(&mut enc)?;
         if enc.len() > BLOCK_SIZE {
             self.write_retry(region + 1, &enc[BLOCK_SIZE..], WriteKind::Sync)?;
         }
         self.write_retry(region, &enc[..BLOCK_SIZE], WriteKind::Sync)?;
+        self.scratch = enc;
         let written_cr = self.next_cr;
         self.next_cr = 1 - self.next_cr;
         self.checkpoint_seq = self.write_seq;

@@ -45,6 +45,61 @@ pub(crate) fn backoff(attempt: u32) {
     std::thread::sleep(std::time::Duration::from_micros(20u64 << attempt));
 }
 
+/// Sets a cache entry's dirty flag, bumping the matching running count on
+/// a clean→dirty transition. Taking the flag and counter as plain `&mut`s
+/// lets call sites hold a map entry and the counter (disjoint [`Lfs`]
+/// fields) at the same time.
+pub(crate) fn set_dirty(flag: &mut bool, count: &mut usize) {
+    if !*flag {
+        *flag = true;
+        *count += 1;
+    }
+}
+
+/// Issues one gather write ([`BlockDevice::write_run_gather`]) with the
+/// same bounded-retry policy as [`Lfs::write_retry`]. A free function over
+/// disjoint [`Lfs`] fields rather than a method: the borrowed slices in
+/// `bufs` point into the block cache, which a `&mut self` receiver would
+/// forbid.
+pub(crate) fn gather_write_retry<D: BlockDevice>(
+    dev: &mut D,
+    stats: &mut LfsStats,
+    obs: &crate::obs::FsObs,
+    start: u64,
+    bufs: &[&[u8]],
+    kind: blockdev::WriteKind,
+) -> FsResult<()> {
+    for attempt in 0..IO_ATTEMPTS {
+        match dev.write_run_gather(start, bufs, kind) {
+            Ok(()) => return Ok(()),
+            Err(e) if is_transient(&e) && attempt + 1 < IO_ATTEMPTS => {
+                stats.io_retries += 1;
+                let trace = &obs.obs.trace;
+                if trace.is_on() {
+                    trace.emit(dev.stats().busy_ns, || lfs_obs::TraceEvent::Retry {
+                        write: true,
+                        attempt: attempt + 1,
+                    });
+                }
+                backoff(attempt);
+            }
+            Err(e) => {
+                if is_transient(&e) {
+                    stats.io_giveups += 1;
+                    let trace = &obs.obs.trace;
+                    if trace.is_on() {
+                        trace.emit(dev.stats().busy_ns, || lfs_obs::TraceEvent::Giveup {
+                            write: true,
+                        });
+                    }
+                }
+                return Err(FsError::device(e));
+            }
+        }
+    }
+    unreachable!("retry loop always returns")
+}
+
 /// A cached file (or directory) data block.
 pub(crate) struct CachedBlock {
     pub(crate) data: Box<[u8]>,
@@ -111,9 +166,14 @@ pub struct Lfs<D: BlockDevice> {
     pub(crate) imap: InodeMap,
     pub(crate) usage: UsageTable,
     pub(crate) inodes: HashMap<Ino, CachedInode>,
+    /// Running count of dirty entries in `inodes`, maintained at every
+    /// flag transition so `needs_flush` never scans the cache.
+    pub(crate) dirty_inode_count: usize,
     pub(crate) blocks: HashMap<(Ino, u64), CachedBlock>,
     pub(crate) dirty_blocks: BTreeSet<(Ino, u64)>,
     pub(crate) inds: HashMap<(Ino, IndKey), CachedInd>,
+    /// Running count of dirty entries in `inds`; see `dirty_inode_count`.
+    pub(crate) dirty_ind_count: usize,
     pub(crate) dcache: HashMap<Ino, DirCache>,
     /// Files with any dirty state (data, indirect, or inode).
     pub(crate) dirty_files: BTreeSet<Ino>,
@@ -151,6 +211,11 @@ pub struct Lfs<D: BlockDevice> {
     pub(crate) stats: LfsStats,
     /// Observability handles (tracing + metrics); off by default.
     pub(crate) obs: crate::obs::FsObs,
+    /// Reusable serialization pool: synthesized blocks (summaries, inode
+    /// groups, map encodes) of each partial-write chunk render here, and
+    /// checkpoints encode into the same allocation, instead of a fresh
+    /// `Vec` per chunk. Grows to the largest chunk seen and stays.
+    pub(crate) scratch: Vec<u8>,
 }
 
 /// Looks `bno` up in a pointer window (see [`Lfs::ptr_window`]).
@@ -193,6 +258,7 @@ impl<D: BlockDevice> Lfs<D> {
                 dirty: true,
             },
         );
+        fs.dirty_inode_count += 1;
         fs.dirty_files.insert(ROOT_INO);
         fs.usage.set_state(0, SegState::Active);
 
@@ -213,9 +279,11 @@ impl<D: BlockDevice> Lfs<D> {
             cfg,
             epoch: 0,
             inodes: HashMap::new(),
+            dirty_inode_count: 0,
             blocks: HashMap::new(),
             dirty_blocks: BTreeSet::new(),
             inds: HashMap::new(),
+            dirty_ind_count: 0,
             dcache: HashMap::new(),
             dirty_files: BTreeSet::new(),
             dirlog_pending: Vec::new(),
@@ -234,6 +302,7 @@ impl<D: BlockDevice> Lfs<D> {
             settling: false,
             stats: LfsStats::default(),
             obs: crate::obs::FsObs::default(),
+            scratch: Vec::new(),
         }
     }
 
@@ -490,15 +559,19 @@ impl<D: BlockDevice> Lfs<D> {
         self.ensure_inode(ino)?;
         self.dirty_files.insert(ino);
         let c = self.inodes.get_mut(&ino).expect("ensured above");
-        c.dirty = true;
+        set_dirty(&mut c.dirty, &mut self.dirty_inode_count);
         Ok(&mut c.inode)
     }
 
     /// Stores a modified inode back into the cache and marks it dirty.
     pub(crate) fn put_inode(&mut self, inode: Inode) {
         let ino = inode.ino;
-        self.inodes
+        let old = self
+            .inodes
             .insert(inode.ino, CachedInode { inode, dirty: true });
+        if !old.is_some_and(|c| c.dirty) {
+            self.dirty_inode_count += 1;
+        }
         self.dirty_files.insert(ino);
     }
 
@@ -608,7 +681,7 @@ impl<D: BlockDevice> Lfs<D> {
                 let e = self.inds.get_mut(&(ino, IndKey::Single(0))).unwrap();
                 let old = e.blk.ptrs[i];
                 e.blk.ptrs[i] = addr;
-                e.dirty = true;
+                set_dirty(&mut e.dirty, &mut self.dirty_ind_count);
                 self.dirty_files.insert(ino);
                 Ok(old)
             }
@@ -618,11 +691,12 @@ impl<D: BlockDevice> Lfs<D> {
                 self.ensure_ind(ino, key, true)?;
                 // The double-indirect block will need rewriting once the
                 // single relocates; mark it conservatively now.
-                self.inds.get_mut(&(ino, IndKey::Double)).unwrap().dirty = true;
+                let d = self.inds.get_mut(&(ino, IndKey::Double)).unwrap();
+                set_dirty(&mut d.dirty, &mut self.dirty_ind_count);
                 let e = self.inds.get_mut(&(ino, key)).unwrap();
                 let old = e.blk.ptrs[j];
                 e.blk.ptrs[j] = addr;
-                e.dirty = true;
+                set_dirty(&mut e.dirty, &mut self.dirty_ind_count);
                 self.dirty_files.insert(ino);
                 Ok(old)
             }
@@ -860,8 +934,13 @@ impl<D: BlockDevice> Lfs<D> {
             .filter(|(_, b)| !b.dirty)
             .map(|(&k, b)| (k, b.lru))
             .collect();
-        clean.sort_by_key(|&(_, lru)| lru);
         let excess = self.blocks.len().saturating_sub(limit);
+        // Only the `excess` least-recently-used entries are evicted, so an
+        // O(n) partition suffices — no need to sort the whole clean set.
+        if clean.len() > excess && excess > 0 {
+            clean.select_nth_unstable_by_key(excess - 1, |&(_, lru)| lru);
+            clean.truncate(excess);
+        }
         for (k, _) in clean.into_iter().take(excess) {
             self.blocks.remove(&k);
         }
@@ -869,8 +948,16 @@ impl<D: BlockDevice> Lfs<D> {
 
     /// Drops all cached state for a deleted file.
     pub(crate) fn purge_file(&mut self, ino: Ino) {
-        self.inodes.remove(&ino);
-        self.inds.retain(|&(i, _), _| i != ino);
+        if self.inodes.remove(&ino).is_some_and(|c| c.dirty) {
+            self.dirty_inode_count -= 1;
+        }
+        let dic = &mut self.dirty_ind_count;
+        self.inds.retain(|&(i, _), e| {
+            if i == ino && e.dirty {
+                *dic -= 1;
+            }
+            i != ino
+        });
         let keys: Vec<(Ino, u64)> = self
             .blocks
             .keys()
@@ -1082,7 +1169,9 @@ impl<D: BlockDevice> Lfs<D> {
                 let e = &self.inds[&(ino, key)];
                 if e.blk.is_empty() {
                     let old = e.disk_addr;
-                    self.inds.remove(&(ino, key));
+                    if self.inds.remove(&(ino, key)).is_some_and(|e| e.dirty) {
+                        self.dirty_ind_count -= 1;
+                    }
                     if old != NIL_ADDR {
                         if let Some(seg) = self.sb.seg_of(old) {
                             self.usage.sub_live(seg, BLOCK_SIZE as u32);
@@ -1102,14 +1191,20 @@ impl<D: BlockDevice> Lfs<D> {
                 } else if self.inds.contains_key(&(ino, IndKey::Double)) {
                     let d = self.inds.get_mut(&(ino, IndKey::Double)).unwrap();
                     d.blk.ptrs[(*k - 1) as usize] = NIL_ADDR;
-                    d.dirty = true;
+                    set_dirty(&mut d.dirty, &mut self.dirty_ind_count);
                 }
             }
             // Now check whether the double-indirect block emptied out.
             if let Some(d) = self.inds.get(&(ino, IndKey::Double)) {
                 if d.blk.is_empty() {
                     let old = d.disk_addr;
-                    self.inds.remove(&(ino, IndKey::Double));
+                    if self
+                        .inds
+                        .remove(&(ino, IndKey::Double))
+                        .is_some_and(|e| e.dirty)
+                    {
+                        self.dirty_ind_count -= 1;
+                    }
                     if old != NIL_ADDR {
                         if let Some(seg) = self.sb.seg_of(old) {
                             self.usage.sub_live(seg, BLOCK_SIZE as u32);

@@ -236,10 +236,17 @@ impl IndirectBlock {
     /// Serializes into a disk block.
     pub fn encode(&self) -> Box<[u8]> {
         let mut buf = vec![0u8; BLOCK_SIZE].into_boxed_slice();
+        self.encode_into(&mut buf);
+        buf
+    }
+
+    /// Serializes into a caller-provided block-sized buffer; see
+    /// [`crate::summary::Summary::encode_into`].
+    pub fn encode_into(&self, buf: &mut [u8]) {
+        debug_assert_eq!(buf.len(), BLOCK_SIZE);
         for (i, p) in self.ptrs.iter().enumerate() {
             buf[i * 8..i * 8 + 8].copy_from_slice(&p.to_le_bytes());
         }
-        buf
     }
 
     /// Parses an indirect block from a raw disk block.

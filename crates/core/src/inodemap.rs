@@ -218,9 +218,18 @@ impl InodeMap {
     /// Serializes inode-map block `idx`.
     pub fn encode_block(&self, idx: usize) -> Box<[u8]> {
         let mut buf = vec![0u8; BLOCK_SIZE].into_boxed_slice();
+        self.encode_block_into(idx, &mut buf);
+        buf
+    }
+
+    /// Serializes inode-map block `idx` into a caller-provided block-sized
+    /// buffer (zero-filled first); see [`crate::summary::Summary::encode_into`].
+    pub fn encode_block_into(&self, idx: usize, buf: &mut [u8]) {
+        debug_assert_eq!(buf.len(), BLOCK_SIZE);
+        buf.fill(0);
         let start = idx * IMAP_ENTRIES_PER_BLOCK;
         let end = (start + IMAP_ENTRIES_PER_BLOCK).min(self.entries.len());
-        let mut w = Writer::new(&mut buf);
+        let mut w = Writer::new(buf);
         for e in &self.entries[start..end] {
             w.put_u64(e.addr);
             w.put_u32(e.version);
@@ -228,7 +237,6 @@ impl InodeMap {
             w.pad(3);
             w.put_u64(e.atime);
         }
-        buf
     }
 
     /// Loads inode-map block `idx` from a raw disk block, replacing the

@@ -161,6 +161,8 @@ impl LfsStats {
         reg.counter("lfs.partial_writes").store(self.partial_writes);
         reg.counter("lfs.app_bytes_written")
             .store(self.app_bytes_written);
+        reg.counter("lfs.flush_copy_bytes")
+            .store(self.flush_copy_bytes);
         reg.counter("lfs.io_retries").store(self.io_retries);
         reg.counter("lfs.io_giveups").store(self.io_giveups);
         let c = &self.cleaner;

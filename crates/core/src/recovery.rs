@@ -467,7 +467,9 @@ impl<D: BlockDevice> Lfs<D> {
             }
         })?;
         // Invalidate any cached copy.
-        self.inodes.remove(&ino);
+        if self.inodes.remove(&ino).is_some_and(|c| c.dirty) {
+            self.dirty_inode_count -= 1;
+        }
         self.dcache.remove(&ino);
         let stale: Vec<(Ino, u64)> = self
             .blocks
@@ -478,7 +480,13 @@ impl<D: BlockDevice> Lfs<D> {
         for k in stale {
             self.blocks.remove(&k);
         }
-        self.inds.retain(|&(i, _), _| i != ino);
+        let dic = &mut self.dirty_ind_count;
+        self.inds.retain(|&(i, _), e| {
+            if i == ino && e.dirty {
+                *dic -= 1;
+            }
+            i != ino
+        });
         Ok(true)
     }
 

@@ -113,6 +113,12 @@ pub struct LfsStats {
     pub partial_writes: u64,
     /// Bytes of new file data accepted from applications.
     pub app_bytes_written: u64,
+    /// Host-side bytes memcpy'd into write buffers while serializing
+    /// partial writes. With gather writes only synthesized blocks
+    /// (summaries, inode groups, map encodes) are rendered; data and
+    /// directory-log blocks go to the device as borrowed slices, so this
+    /// counter is the direct measure of what the zero-copy path saves.
+    pub flush_copy_bytes: u64,
     /// Transient device errors absorbed by retrying.
     pub io_retries: u64,
     /// Device operations abandoned after the retry budget was exhausted.

@@ -149,10 +149,24 @@ impl Summary {
     ///
     /// Panics if there are more than [`MAX_SUMMARY_ENTRIES`] entries.
     pub fn encode(&self) -> Box<[u8]> {
-        assert!(self.entries.len() <= MAX_SUMMARY_ENTRIES);
         let mut buf = vec![0u8; BLOCK_SIZE].into_boxed_slice();
+        self.encode_into(&mut buf);
+        buf
+    }
+
+    /// Serializes into a caller-provided block-sized buffer (zero-filled
+    /// first), so the flush path can render into a reusable scratch pool
+    /// instead of allocating. Byte-for-byte identical to [`Summary::encode`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are more than [`MAX_SUMMARY_ENTRIES`] entries.
+    pub fn encode_into(&self, buf: &mut [u8]) {
+        assert!(self.entries.len() <= MAX_SUMMARY_ENTRIES);
+        debug_assert_eq!(buf.len(), BLOCK_SIZE);
+        buf.fill(0);
         {
-            let mut w = Writer::new(&mut buf);
+            let mut w = Writer::new(buf);
             w.put_u32(MAGIC);
             w.put_u32(self.epoch);
             w.put_u64(self.seq);
@@ -170,9 +184,8 @@ impl Summary {
                 w.put_u32(e.csum);
             }
         }
-        let sum = Self::compute_checksum(&buf, self.entries.len());
+        let sum = Self::compute_checksum(buf, self.entries.len());
         buf[32..40].copy_from_slice(&sum.to_le_bytes());
-        buf
     }
 
     /// Parses and validates a summary block; any failure (bad magic, bad

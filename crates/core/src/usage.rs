@@ -12,6 +12,8 @@
 //! data — it can only make the policy slightly suboptimal. This is what
 //! lets Sprite LFS do without a bitmap or free list.
 
+use std::collections::BTreeSet;
+
 use blockdev::BLOCK_SIZE;
 
 use crate::codec::{Reader, Writer};
@@ -94,6 +96,10 @@ pub struct UsageTable {
     entries: Vec<SegUsage>,
     block_addrs: Vec<DiskAddr>,
     dirty: Vec<bool>,
+    /// Segments currently in [`SegState::Clean`], maintained at every
+    /// state transition so allocation and `clean_count` never rescan the
+    /// whole table. Ordered, so low indices are still preferred.
+    clean_set: BTreeSet<u32>,
 }
 
 impl UsageTable {
@@ -104,6 +110,16 @@ impl UsageTable {
             entries: vec![SegUsage::CLEAN; nsegments as usize],
             block_addrs: vec![NIL_ADDR; nblocks],
             dirty: vec![false; nblocks],
+            clean_set: (0..nsegments).collect(),
+        }
+    }
+
+    /// Keeps [`UsageTable::clean_set`] in step with one entry's state.
+    fn note_state(&mut self, seg: u32, state: SegState) {
+        if state == SegState::Clean {
+            self.clean_set.insert(seg);
+        } else {
+            self.clean_set.remove(&seg);
         }
     }
 
@@ -206,6 +222,7 @@ impl UsageTable {
     /// Sets a segment's state.
     pub fn set_state(&mut self, seg: u32, state: SegState) {
         self.entries[seg as usize].state = state;
+        self.note_state(seg, state);
         self.dirty[Self::block_of(seg)] = true;
     }
 
@@ -215,20 +232,28 @@ impl UsageTable {
         self.dirty[Self::block_of(seg)] = true;
     }
 
-    /// Number of segments in [`SegState::Clean`].
+    /// Number of segments in [`SegState::Clean`]. O(1): the clean set is
+    /// maintained incrementally at every state transition.
     pub fn clean_count(&self) -> u32 {
-        self.entries
-            .iter()
-            .filter(|e| e.state == SegState::Clean)
-            .count() as u32
+        debug_assert_eq!(
+            self.clean_set.len(),
+            self.entries
+                .iter()
+                .filter(|e| e.state == SegState::Clean)
+                .count()
+        );
+        self.clean_set.len() as u32
     }
 
     /// Finds a clean segment to allocate, preferring low indices.
     pub fn find_clean(&self) -> Option<u32> {
-        self.entries
-            .iter()
-            .position(|e| e.state == SegState::Clean)
-            .map(|i| i as u32)
+        self.clean_set.iter().next().copied()
+    }
+
+    /// Clean segments in ascending index order, without scanning the
+    /// whole table (the allocation order [`crate::Lfs`]'s layout wants).
+    pub fn clean_segs(&self) -> impl Iterator<Item = u32> + '_ {
+        self.clean_set.iter().copied()
     }
 
     /// Promotes [`SegState::PendingFree`] segments whose relocations are
@@ -241,6 +266,7 @@ impl UsageTable {
                 && self.entries[i].seal_seq <= covered_seq
             {
                 self.entries[i] = SegUsage::CLEAN;
+                self.clean_set.insert(i as u32);
                 self.dirty[Self::block_of(i as u32)] = true;
                 n += 1;
             }
@@ -266,9 +292,18 @@ impl UsageTable {
     /// Serializes table block `idx`.
     pub fn encode_block(&self, idx: usize) -> Box<[u8]> {
         let mut buf = vec![0u8; BLOCK_SIZE].into_boxed_slice();
+        self.encode_block_into(idx, &mut buf);
+        buf
+    }
+
+    /// Serializes table block `idx` into a caller-provided block-sized
+    /// buffer (zero-filled first); see [`crate::summary::Summary::encode_into`].
+    pub fn encode_block_into(&self, idx: usize, buf: &mut [u8]) {
+        debug_assert_eq!(buf.len(), BLOCK_SIZE);
+        buf.fill(0);
         let start = idx * USAGE_ENTRIES_PER_BLOCK;
         let end = (start + USAGE_ENTRIES_PER_BLOCK).min(self.entries.len());
-        let mut w = Writer::new(&mut buf);
+        let mut w = Writer::new(buf);
         for e in &self.entries[start..end] {
             w.put_u32(e.live_bytes);
             w.put_u8(e.state.encode());
@@ -276,7 +311,6 @@ impl UsageTable {
             w.put_u64(e.last_write);
             w.put_u64(e.seal_seq);
         }
-        buf
     }
 
     /// Loads table block `idx` from a raw disk block.
@@ -296,6 +330,7 @@ impl UsageTable {
                 state,
                 seal_seq,
             };
+            self.note_state(i as u32, state);
         }
         self.block_addrs[idx] = addr;
         self.dirty[idx] = false;
@@ -385,6 +420,27 @@ mod tests {
         assert_eq!(t2.get(299), t.get(299));
         assert_eq!(t2.block_addr(0), 11);
         assert!(!t2.has_dirty());
+    }
+
+    #[test]
+    fn clean_set_tracks_states_through_load_and_promotion() {
+        let mut t = UsageTable::new(6);
+        assert_eq!(t.clean_segs().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4, 5]);
+        t.set_state(0, SegState::Active);
+        t.set_state(3, SegState::Dirty);
+        t.set_state(4, SegState::PendingFree);
+        t.set_seal_seq(4, 2);
+        assert_eq!(t.clean_segs().collect::<Vec<_>>(), vec![1, 2, 5]);
+        assert_eq!(t.clean_count(), 3);
+        assert_eq!(t.find_clean(), Some(1));
+        t.promote_pending(2);
+        assert_eq!(t.clean_segs().collect::<Vec<_>>(), vec![1, 2, 4, 5]);
+        // Loading a block from disk resyncs the set with decoded states.
+        let img = t.encode_block(0);
+        let mut t2 = UsageTable::new(6);
+        t2.load_block(0, &img, 9);
+        assert_eq!(t2.clean_segs().collect::<Vec<_>>(), vec![1, 2, 4, 5]);
+        assert_eq!(t2.clean_count(), 4);
     }
 
     #[test]

@@ -1,0 +1,251 @@
+//! Property tests pinning the zero-copy gather write path to the legacy
+//! assemble-then-write path.
+//!
+//! `gather_writes = true` (the default) hands each partial-write chunk to
+//! the device as a list of borrowed slices — cached data blocks go out
+//! without ever being copied into a staging buffer; only synthesized
+//! blocks (summary, inode groups, indirect/imap/usage encodes) are
+//! rendered, into a reusable scratch pool. The contract is exact
+//! equivalence: byte-identical disk image, identical simulated service
+//! time, identical request count (the flush already issued one request
+//! per chunk) — the only thing that changes is host-side copying, which
+//! shrinks by exactly one block-sized memcpy per cached data and
+//! directory-log block.
+
+use blockdev::{BlockDevice, CrashDisk, DiskModel, MemDisk, SimDisk};
+use lfs_core::{BlockKind, Lfs, LfsConfig};
+use proptest::prelude::*;
+use vfs::{FileSystem, FsError, Ino};
+
+/// 16 MB disk: enough for the workload plus cleaner headroom.
+const DISK_BLOCKS: u64 = 4096;
+
+const NFILES: u8 = 4;
+
+fn cfg(gather: bool) -> LfsConfig {
+    let mut c = LfsConfig::small();
+    c.gather_writes = gather;
+    c
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    Write {
+        file: u8,
+        offset: u32,
+        len: u16,
+        fill: u8,
+    },
+    Truncate {
+        file: u8,
+        size: u32,
+    },
+    Sync,
+    DropCaches,
+    CleanPass,
+}
+
+/// Offsets reach past the ten direct blocks (40 KB) so indirect blocks —
+/// synthesized on the gather path — appear in the same chunks as borrowed
+/// data blocks.
+fn op_strategy() -> impl Strategy<Value = Op> {
+    fn write_op() -> impl Strategy<Value = Op> {
+        (0..NFILES, 0u32..300_000, 1u16..16_384, any::<u8>()).prop_map(
+            |(file, offset, len, fill)| Op::Write {
+                file,
+                offset,
+                len,
+                fill,
+            },
+        )
+    }
+    prop_oneof![
+        write_op(),
+        write_op(),
+        write_op(),
+        (0..NFILES, 0u32..300_000).prop_map(|(file, size)| Op::Truncate { file, size }),
+        Just(Op::Sync),
+        Just(Op::DropCaches),
+        Just(Op::CleanPass),
+    ]
+}
+
+fn apply<D: BlockDevice>(fs: &mut Lfs<D>, inos: &[Ino], op: &Op) {
+    match op {
+        Op::Write {
+            file,
+            offset,
+            len,
+            fill,
+        } => {
+            let data = vec![*fill; *len as usize];
+            fs.write(inos[*file as usize], *offset as u64, &data)
+                .expect("write");
+        }
+        Op::Truncate { file, size } => {
+            fs.truncate(inos[*file as usize], *size as u64)
+                .expect("truncate");
+        }
+        Op::Sync => {
+            fs.sync().expect("sync");
+        }
+        Op::DropCaches => {
+            fs.drop_caches();
+        }
+        Op::CleanPass => {
+            // The cleaner's rewrites flow through the same chunk writer,
+            // so gather/legacy must agree there too.
+            fs.clean_pass().expect("clean");
+        }
+    }
+}
+
+fn setup<D: BlockDevice>(fs: &mut Lfs<D>) -> Vec<Ino> {
+    (0..NFILES)
+        .map(|i| fs.create(&format!("/f{i}")).expect("create"))
+        .collect()
+}
+
+/// Host bytes the flush path memcpy'd into write buffers.
+fn copied<D: BlockDevice>(fs: &Lfs<D>) -> u64 {
+    fs.stats().flush_copy_bytes
+}
+
+/// Log bytes of the kinds the gather path borrows instead of copying.
+fn borrowable_log_bytes<D: BlockDevice>(fs: &Lfs<D>) -> u64 {
+    fs.stats().log_bytes(BlockKind::Data) + fs.stats().log_bytes(BlockKind::DirLog)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// The tentpole equivalence property: across random
+    /// write/truncate/sync/clean interleavings the gather path leaves a
+    /// byte-identical disk image at identical simulated cost, and the
+    /// host-copy saving is *exactly* the cached bytes it borrowed — one
+    /// block-sized memcpy per data/dirlog block, deterministically.
+    #[test]
+    fn gather_writes_are_equivalent(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let mut legacy = Lfs::format(
+            SimDisk::new(DISK_BLOCKS, DiskModel::wren_iv()), cfg(false)).expect("format");
+        let mut gather = Lfs::format(
+            SimDisk::new(DISK_BLOCKS, DiskModel::wren_iv()), cfg(true)).expect("format");
+        let mut gather_mem = Lfs::format(
+            MemDisk::new(DISK_BLOCKS), cfg(true)).expect("format");
+        let inos_l = setup(&mut legacy);
+        let inos_g = setup(&mut gather);
+        let inos_m = setup(&mut gather_mem);
+
+        for op in &ops {
+            apply(&mut legacy, &inos_l, op);
+            apply(&mut gather, &inos_g, op);
+            apply(&mut gather_mem, &inos_m, op);
+        }
+
+        legacy.sync().expect("final sync");
+        gather.sync().expect("final sync");
+        gather_mem.sync().expect("final sync");
+
+        let sl = legacy.device().stats();
+        let sg = gather.device().stats();
+        // A gather write is charged as precisely the one contiguous
+        // request the legacy path issued, so every timing figure — not
+        // just the totals — must be bit-identical.
+        prop_assert_eq!(sl.busy_ns, sg.busy_ns);
+        prop_assert_eq!(sl.sync_busy_ns, sg.sync_busy_ns);
+        prop_assert_eq!(sl.positioning_ns, sg.positioning_ns);
+        prop_assert_eq!(sl.seeks, sg.seeks);
+        prop_assert_eq!(sl.bytes_read, sg.bytes_read);
+        prop_assert_eq!(sl.bytes_written, sg.bytes_written);
+        prop_assert_eq!(sl.reads, sg.reads);
+        prop_assert_eq!(sl.writes, sg.writes, "gather changed the request count");
+
+        prop_assert_eq!(legacy.device().image(), gather.device().image());
+        prop_assert_eq!(legacy.device().image(), gather_mem.device().image());
+
+        // Identical images mean identical log traffic, so the copy-bytes
+        // delta must be exactly the data + dirlog bytes the gather path
+        // borrowed from the cache instead of staging.
+        prop_assert_eq!(borrowable_log_bytes(&legacy), borrowable_log_bytes(&gather));
+        prop_assert_eq!(
+            copied(&legacy) - copied(&gather),
+            borrowable_log_bytes(&legacy),
+            "copy saving must equal the borrowed data/dirlog bytes"
+        );
+    }
+}
+
+/// Deterministic spot check of the copy-bytes ledger: a data-heavy
+/// workload must save at least one block-sized copy per data block, and
+/// the saving is exact, not approximate.
+#[test]
+fn gather_copy_saving_is_exact() {
+    let mut legacy = Lfs::format(MemDisk::new(DISK_BLOCKS), cfg(false)).expect("format");
+    let mut gather = Lfs::format(MemDisk::new(DISK_BLOCKS), cfg(true)).expect("format");
+    for fs in [&mut legacy, &mut gather] {
+        for i in 0..16 {
+            fs.write_file(&format!("/f{i}"), &vec![i as u8; 20_000])
+                .expect("write");
+        }
+        fs.sync().expect("sync");
+    }
+    assert_eq!(legacy.device().image(), gather.device().image());
+    let data_bytes = borrowable_log_bytes(&legacy);
+    assert!(data_bytes > 0, "workload wrote no data blocks");
+    assert_eq!(copied(&legacy) - copied(&gather), data_bytes);
+    // And the gather path still pays for what it genuinely synthesizes.
+    assert!(
+        copied(&gather) > 0,
+        "summary/meta blocks are still rendered"
+    );
+}
+
+/// A torn gather write must recover exactly like a torn contiguous write:
+/// `CrashDisk` journals the assembled gather bytes as one request, a crash
+/// tears an arbitrary block subset out of it, and the per-entry summary
+/// checksums make roll-forward treat the damage as end-of-log. Every
+/// block-granularity cut of a gather-written log must mount, pass fsck,
+/// and show each file either before or after its write — never garbage.
+#[test]
+fn torn_gather_write_recovers_atomically() {
+    let config = cfg(true);
+    let mut fs = Lfs::format(CrashDisk::new(2048), config).expect("format");
+    fs.write_file("/base", b"pre-existing").expect("write");
+    fs.sync().expect("sync");
+    fs.device_mut().checkpoint_baseline();
+    // Multi-block chunks: borrowed data blocks and synthesized metadata
+    // travel in the same gather request, so a tear can split them.
+    fs.write_file("/fresh", &[7u8; 12_000]).expect("write");
+    fs.sync().expect("sync");
+
+    let crash: &CrashDisk = fs.device();
+    let n = crash.num_block_cuts();
+    assert!(n > 0, "workload produced no tearable writes");
+    for cut in 0..=n {
+        for seed in [1u64, 0x9e37_79b9_7f4a_7c15] {
+            let image = crash.torn_image_after(cut, seed, false).unwrap();
+            let mut fs2 = Lfs::mount(image, config)
+                .unwrap_or_else(|e| panic!("torn cut {cut}/{n} seed {seed:#x}: mount failed: {e}"));
+            let report = fs2.check().unwrap();
+            assert!(
+                report.is_clean(),
+                "torn cut {cut}/{n} seed {seed:#x}: fsck: {:#?}",
+                report.errors
+            );
+            let base = fs2.lookup("/base").expect("base must survive");
+            assert_eq!(fs2.read_to_vec(base).unwrap(), b"pre-existing");
+            match fs2.lookup("/fresh") {
+                Ok(ino) => {
+                    let data = fs2.read_to_vec(ino).unwrap();
+                    assert!(
+                        data == vec![7u8; 12_000] || data.is_empty(),
+                        "torn cut {cut}/{n}: half-written content, len {}",
+                        data.len()
+                    );
+                }
+                Err(FsError::NotFound) => {}
+                Err(e) => panic!("torn cut {cut}/{n}: {e}"),
+            }
+        }
+    }
+}
