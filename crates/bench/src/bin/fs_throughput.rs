@@ -32,7 +32,7 @@
 
 use std::time::Instant;
 
-use blockdev::{BlockDevice, MemDisk};
+use blockdev::{BlockDevice, MemDisk, QueueDevice, QueuedDev};
 use lfs_bench::{append_jsonl, or_die, smoke_mode, Table};
 use lfs_core::Lfs;
 use serde_json::json;
@@ -59,6 +59,19 @@ const GATE_MIN_READ_BATCHING: u64 = 8;
 /// path on the deterministic host-copy counter (strictly fewer bytes
 /// memcpy'd into write buffers).
 const GATE_WRITE_MIXES: [&str; 2] = ["small_create", "seq_write"];
+
+/// `--gate`: the seq_write mix behind a depth-8 submission ring must keep
+/// at least this mean in-flight depth, or flushes have stopped actually
+/// overlapping (every submission draining immediately means the queue
+/// path degenerated to the synchronous one). Deterministic: the ring
+/// counters depend only on the submission pattern, never on wall time.
+const GATE_MIN_QUEUE_DEPTH: f64 = 1.5;
+
+/// `--gate`: minimum simulated elapsed-time win of queue depth 4 over
+/// depth 1 on the chunked-write overlap model (see
+/// [`lfs_bench::run_queue_depth`]). Also deterministic — the whole
+/// timeline is simulated.
+const GATE_MIN_OVERLAP_RATIO: f64 = 1.15;
 
 fn mem_lfs(mb: u64, tuned: bool) -> Lfs<MemDisk> {
     let mut cfg = lfs_bench::production_lfs_config(mb);
@@ -397,6 +410,79 @@ fn gate_failures(tuned: &[MixResult], legacy: &[MixResult]) -> Vec<String> {
     failures
 }
 
+/// The two deterministic overlap checks of the submission-queue layer.
+/// Both run entirely on simulated or counted state, so unlike the
+/// wall-clock ratios they cannot flake.
+fn overlap_gate_failures() -> Vec<String> {
+    let mut failures = Vec::new();
+
+    // (1) The seq_write mix behind a depth-8 ring must keep several
+    // submissions in flight between ordering barriers.
+    let large_mb: u64 = if smoke_mode() { 8 } else { 64 };
+    let large = LargeFileBench {
+        file_bytes: large_mb << 20,
+        io_size: 8192,
+        seed: 0xf19,
+    };
+    let disk_mb = (large_mb * 4).max(64);
+    let cfg = lfs_bench::production_lfs_config(disk_mb);
+    let mut fs = or_die(
+        "format queued LFS on MemDisk",
+        Lfs::format(QueuedDev::new(MemDisk::new(disk_mb * 256), 8), cfg),
+    );
+    let ino = or_die("large setup", large.setup(&mut fs));
+    or_die(
+        "queued seq write",
+        large.run_phase(&mut fs, ino, LargeFilePhase::SeqWrite),
+    );
+    let q = fs.device().queue_stats();
+    let mean = q.mean_in_flight_depth().unwrap_or(0.0);
+    println!(
+        "  queued seq_write depth 8: mean in-flight {mean:.2} (max {}, {} submitted, {} fences)",
+        q.max_depth, q.submitted, q.fences
+    );
+    if mean < GATE_MIN_QUEUE_DEPTH {
+        failures.push(format!(
+            "queued seq_write: mean in-flight depth {mean:.2} below floor {GATE_MIN_QUEUE_DEPTH} \
+             — submissions are draining synchronously"
+        ));
+    }
+
+    // (2) On the simulated timeline, a depth-4 ring must beat the
+    // synchronous depth-1 discipline by the overlap it is supposed to
+    // buy.
+    let sweep_mb: u64 = if smoke_mode() { 8 } else { 32 };
+    let d1 = lfs_bench::run_queue_depth(1, sweep_mb);
+    let d4 = lfs_bench::run_queue_depth(4, sweep_mb);
+    let ratio = d1.elapsed_ns as f64 / d4.elapsed_ns as f64;
+    println!(
+        "  simulated overlap: depth 1 {:.2}s vs depth 4 {:.2}s = {ratio:.2}x",
+        d1.elapsed_ns as f64 / 1e9,
+        d4.elapsed_ns as f64 / 1e9
+    );
+    append_jsonl(
+        "fs_throughput",
+        &json!({
+            "bench": "fs_throughput",
+            "variant": "queue-overlap-gate",
+            "smoke": smoke_mode(),
+            "mix": "sim_chunked_write",
+            "file_mb": sweep_mb,
+            "depth1_elapsed_ns": d1.elapsed_ns,
+            "depth4_elapsed_ns": d4.elapsed_ns,
+            "overlap_ratio": ratio,
+            "mean_in_flight_depth": d4.mean_depth,
+        }),
+    );
+    if ratio < GATE_MIN_OVERLAP_RATIO {
+        failures.push(format!(
+            "simulated overlap: depth 4 is only {ratio:.2}x depth 1 \
+             (floor {GATE_MIN_OVERLAP_RATIO}) — queued writes are not overlapping host compute"
+        ));
+    }
+    failures
+}
+
 fn main() -> std::process::ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let gate = args.iter().any(|a| a == "--gate");
@@ -419,7 +505,9 @@ fn main() -> std::process::ExitCode {
         );
         record(&format!("{variant}-legacy"), &legacy);
         println!("\ngate: tuned vs legacy");
-        let failures = gate_failures(&tuned, &legacy);
+        let mut failures = gate_failures(&tuned, &legacy);
+        println!("gate: submission-queue overlap");
+        failures.extend(overlap_gate_failures());
         if !failures.is_empty() {
             for f in &failures {
                 eprintln!("GATE FAILURE: {f}");

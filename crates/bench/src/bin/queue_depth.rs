@@ -1,0 +1,72 @@
+//! Records the submission-queue depth sweep to
+//! `bench_results/queue_depth.jsonl`.
+//!
+//! Same chunked sequential write at ring capacities 1/2/4/8 over the
+//! simulated Wren IV (see [`lfs_bench::run_queue_depth`]): depth 1 is
+//! the synchronous Sprite discipline (host waits out every segment
+//! write), deeper rings overlap the arm with host compute. The timeline
+//! is fully deterministic, so the recorded elapsed times are exact
+//! replays, not samples. Note the ring is strictly FIFO with no
+//! reordering, so most of the win arrives already at depth 2 — deeper
+//! rings only add headroom against burstier submission patterns.
+//!
+//! ```sh
+//! cargo run --release -p lfs-bench --bin queue_depth
+//! ```
+
+use lfs_bench::{append_jsonl, run_queue_depth, smoke_mode, Table};
+use serde_json::json;
+
+const DEPTHS: [usize; 4] = [1, 2, 4, 8];
+
+fn main() -> std::process::ExitCode {
+    let smoke = smoke_mode();
+    let file_mb = if smoke { 8 } else { 32 };
+    let suffix = if smoke { " [smoke]" } else { "" };
+
+    println!("queue_depth: {file_mb} MB chunked sequential write, Wren IV{suffix}");
+    let mut table = Table::new(&[
+        "depth",
+        "elapsed s",
+        "disk busy s",
+        "cpu s",
+        "MB/sec",
+        "mean inflight",
+        "speedup",
+    ]);
+    let runs: Vec<_> = DEPTHS
+        .iter()
+        .map(|&d| run_queue_depth(d, file_mb))
+        .collect();
+    let base = runs[0].elapsed_ns as f64;
+    for r in &runs {
+        table.row(vec![
+            format!("{}", r.depth),
+            format!("{:.2}", r.elapsed_ns as f64 / 1e9),
+            format!("{:.2}", r.busy_ns as f64 / 1e9),
+            format!("{:.2}", r.cpu_ns as f64 / 1e9),
+            format!("{:.2}", r.mb_per_sec()),
+            format!("{:.2}", r.mean_depth),
+            format!("{:.2}x", base / r.elapsed_ns as f64),
+        ]);
+        append_jsonl(
+            "queue_depth",
+            &json!({
+                "bench": "queue_depth",
+                "smoke": smoke,
+                "depth": r.depth,
+                "file_mb": file_mb,
+                "elapsed_ns": r.elapsed_ns,
+                "busy_ns": r.busy_ns,
+                "cpu_ns": r.cpu_ns,
+                "bytes": r.bytes,
+                "mb_per_sec": r.mb_per_sec(),
+                "mean_in_flight_depth": r.mean_depth,
+                "max_depth": r.max_depth,
+                "speedup_vs_depth1": base / r.elapsed_ns as f64,
+            }),
+        );
+    }
+    table.print();
+    lfs_bench::finish()
+}

@@ -18,10 +18,12 @@
 
 pub mod host;
 pub mod output;
+pub mod queue;
 pub mod sweep;
 
 pub use host::{HostModel, PhaseMeasurement};
 pub use output::{append_jsonl, finish, or_die, results_dir, try_append_jsonl, Table};
+pub use queue::{run_queue_depth, QueueDepthRun};
 
 use blockdev::{DiskModel, SimDisk};
 use lfs_core::LfsConfig;

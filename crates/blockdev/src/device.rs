@@ -129,6 +129,16 @@ pub trait BlockDevice {
     /// to the device they wrap.
     fn attach_obs(&mut self, _obs: crate::DeviceObs) {}
 
+    /// The device's timing contract for queued submissions, when it has
+    /// one (see [`crate::QueueTimed`]).
+    ///
+    /// The default is `None`: devices without a timing model service
+    /// queued requests exactly like direct ones. Wrapper devices forward
+    /// to the device they wrap.
+    fn queue_timed(&mut self) -> Option<&mut dyn crate::QueueTimed> {
+        None
+    }
+
     /// Reads a single block into `buf`.
     fn read_block(&mut self, block: u64, buf: &mut [u8; BLOCK_SIZE]) -> Result<()> {
         self.read_blocks(block, buf.as_mut_slice())

@@ -427,6 +427,10 @@ impl<D: BlockDevice> BlockDevice for FaultDisk<D> {
     fn attach_obs(&mut self, obs: crate::DeviceObs) {
         self.inner.attach_obs(obs);
     }
+
+    fn queue_timed(&mut self) -> Option<&mut dyn crate::QueueTimed> {
+        self.inner.queue_timed()
+    }
 }
 
 #[cfg(test)]

@@ -31,6 +31,14 @@
 //! [`BLOCK_SIZE`] bytes; multi-block operations must be contiguous and are
 //! serviced as a single request (one seek), which is exactly the property
 //! log-structured writes exploit.
+//!
+//! On top of the trait sits an io_uring-shaped submission/completion
+//! layer: [`QueueDevice`] (a synchronous shim every device satisfies) and
+//! [`QueuedDev`], a bounded FIFO ring that overlaps queued log writes
+//! with host compute on timed devices while preserving the exact write
+//! order — and therefore the exact images, crash journals, and fault
+//! schedules — of the synchronous path. See `queue.rs` for the ordering,
+//! crash, and depth-1-equivalence contracts.
 
 mod crash;
 mod device;
@@ -39,6 +47,7 @@ mod fault;
 mod file;
 mod mem;
 mod obs;
+mod queue;
 mod sim;
 mod stats;
 
@@ -49,6 +58,7 @@ pub use fault::{FaultCounts, FaultDisk, FaultPlan};
 pub use file::FileDisk;
 pub use mem::MemDisk;
 pub use obs::DeviceObs;
+pub use queue::{IoBuf, QueueDevice, QueueStats, QueueTimed, QueuedDev, Ticket};
 pub use sim::{DiskModel, SimDisk};
 pub use stats::IoStats;
 

@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use lfs_obs::{Histogram, Registry};
+use lfs_obs::{Gauge, Histogram, Registry};
 
 /// Histogram handles a device records into, one sample per request.
 ///
@@ -20,15 +20,23 @@ use lfs_obs::{Histogram, Registry};
 pub struct DeviceObs {
     read_ns: Arc<Histogram>,
     write_ns: Arc<Histogram>,
+    completion_ns: Arc<Histogram>,
+    queue_depth: Arc<Gauge>,
 }
 
 impl DeviceObs {
     /// Registers `{prefix}.read_ns` / `{prefix}.write_ns` histograms in
-    /// `registry` (the conventional prefix is `"disk"`).
+    /// `registry` (the conventional prefix is `"disk"`), plus the
+    /// queue-layer instruments under their fixed names: the
+    /// `io.completion_ns` histogram (submission-to-completion residency
+    /// of queued requests) and the `lfs.queue_depth` gauge (in-flight
+    /// submissions after the most recent queue event).
     pub fn register(registry: &Registry, prefix: &str) -> DeviceObs {
         DeviceObs {
             read_ns: registry.histogram(&format!("{prefix}.read_ns")),
             write_ns: registry.histogram(&format!("{prefix}.write_ns")),
+            completion_ns: registry.histogram("io.completion_ns"),
+            queue_depth: registry.gauge("lfs.queue_depth"),
         }
     }
 
@@ -40,5 +48,18 @@ impl DeviceObs {
         } else {
             self.write_ns.record(service_ns);
         }
+    }
+
+    /// Records the completion of a queued submission: its residency from
+    /// submit to completion, in simulated nanoseconds.
+    #[inline]
+    pub fn record_completion(&self, residency_ns: u64) {
+        self.completion_ns.record(residency_ns);
+    }
+
+    /// Publishes the current number of in-flight queued submissions.
+    #[inline]
+    pub fn set_queue_depth(&self, depth: f64) {
+        self.queue_depth.set(depth);
     }
 }

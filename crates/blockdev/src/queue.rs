@@ -1,0 +1,955 @@
+//! An io_uring-shaped submission/completion-queue layer over
+//! [`BlockDevice`].
+//!
+//! Sprite LFS issues one request at a time: the host prepares a segment,
+//! hands it to the disk, and waits. PRs 4–5 made each request large
+//! (run-coalesced reads, zero-copy gather writes); the remaining
+//! multiplier is *overlap* — keeping the arm busy while the host prepares
+//! the next batch. This module adds that capability without a kernel or a
+//! second thread:
+//!
+//! - [`QueueDevice`] extends [`BlockDevice`] with `submit → ticket` /
+//!   `poll` / `complete` / `fence`. Every plain device gets a synchronous
+//!   shim (submission completes before returning), so code written
+//!   against the queue API runs unchanged on all five devices.
+//! - [`QueuedDev`] is a real ring: submissions park in a bounded FIFO and
+//!   are applied to the wrapped device later — when the ring fills, at a
+//!   [`QueueDevice::fence`], or before any directly-issued operation
+//!   (reads, syncs) so the device image is always current when observed.
+//! - [`QueueTimed`] is the timing contract a device can offer
+//!   ([`crate::SimDisk`] does): a host clock, a device-free clock, and a
+//!   queued-service window, letting the simulated timeline charge queued
+//!   requests from their *submission* time — the host runs ahead while
+//!   the arm works — instead of serializing host and arm as direct
+//!   requests do.
+//!
+//! # Ordering and crash semantics
+//!
+//! The ring is strictly FIFO and applies writes in submission order, so
+//! the wrapped device observes the *same write stream* as the synchronous
+//! path — [`crate::CrashDisk`] journals and [`crate::FaultDisk`] fault
+//! schedules replay bit-identically at any depth, and a crash cut can
+//! land between any two completions. An apply failure (after bounded
+//! retry of transient errors) drops every later queued submission rather
+//! than applying them over the hole, preserving the log's prefix
+//! property; the error surfaces at the call that was applying the queue.
+//!
+//! # Depth-1 equivalence
+//!
+//! `QueuedDev` with capacity 1 degenerates to a pure pass-through: every
+//! submission is applied synchronously in direct (host-blocking) context,
+//! reproducing today's images, stats, and timings bit-exactly. This is
+//! pinned by equivalence proptests (`tests/queue_equivalence.rs`).
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use crate::device::{check_gather, BlockDevice, WriteKind};
+use crate::error::{BlockError, Result};
+use crate::stats::IoStats;
+use crate::{CrashDisk, DeviceObs, FaultDisk, FileDisk, MemDisk, SimDisk};
+
+/// How many times the ring retries a transient apply failure before
+/// giving up (mirrors the file system's synchronous retry budget).
+const QUEUE_IO_ATTEMPTS: u32 = 5;
+
+/// Whether an apply error is worth retrying.
+fn is_transient(e: &BlockError) -> bool {
+    matches!(e, BlockError::Io(_))
+}
+
+/// The timing contract a device can offer the queue layer.
+///
+/// A device that models time (today: [`crate::SimDisk`]) exposes two
+/// clocks — the *host* clock (where the issuing application is) and the
+/// *device-free* clock (when the arm finishes its last accepted request)
+/// — plus a queued-service window. Direct requests couple the clocks
+/// (the host waits for completion); a request serviced inside a
+/// [`QueueTimed::begin_queued`]/[`QueueTimed::end_queued`] window starts
+/// at `max(device_free, submit)` and leaves the host clock alone, which
+/// is exactly the overlap a real submission queue buys.
+pub trait QueueTimed {
+    /// Current simulated host clock, in nanoseconds.
+    fn host_ns(&self) -> u64;
+
+    /// Advances the host clock by `ns` of host-side compute.
+    fn advance_host(&mut self, ns: u64);
+
+    /// Simulated time at which the arm finishes its last accepted
+    /// request.
+    fn device_free_ns(&self) -> u64;
+
+    /// Marks the next request as queued: it was submitted at `submit_ns`
+    /// and must not block the host clock.
+    fn begin_queued(&mut self, submit_ns: u64);
+
+    /// Ends the queued-service window and returns the completion
+    /// timestamp of the most recent request.
+    fn end_queued(&mut self) -> u64;
+
+    /// Blocks the host until the arm is idle (`host = max(host,
+    /// device_free)`) — the timing effect of a fence.
+    fn wait_idle(&mut self);
+}
+
+/// A source buffer for a queued gather write.
+///
+/// Submissions outlive the call that makes them, so the ring cannot hold
+/// borrowed slices; it holds either an owned buffer or a shared,
+/// reference-counted one (a cache block, or a slice of a pooled staging
+/// buffer) — keeping the queued path zero-copy.
+#[derive(Clone, Debug)]
+pub enum IoBuf {
+    /// A buffer the submission owns outright.
+    Owned(Vec<u8>),
+    /// A window into a shared buffer (`buf[off .. off + len]`).
+    Shared {
+        /// The shared backing buffer.
+        buf: Arc<Vec<u8>>,
+        /// Byte offset of the window.
+        off: usize,
+        /// Byte length of the window.
+        len: usize,
+    },
+}
+
+impl IoBuf {
+    /// Wraps a whole shared buffer.
+    pub fn shared(buf: Arc<Vec<u8>>) -> IoBuf {
+        let len = buf.len();
+        IoBuf::Shared { buf, off: 0, len }
+    }
+
+    /// Wraps the window `buf[off .. off + len]` of a shared buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is out of bounds (checked here so a bad
+    /// submission fails at submit, not at apply).
+    pub fn shared_range(buf: Arc<Vec<u8>>, off: usize, len: usize) -> IoBuf {
+        assert!(
+            off.checked_add(len).is_some_and(|end| end <= buf.len()),
+            "IoBuf window {off}+{len} out of bounds of {}-byte buffer",
+            buf.len()
+        );
+        IoBuf::Shared { buf, off, len }
+    }
+
+    /// The bytes this buffer contributes to the gather.
+    pub fn as_slice(&self) -> &[u8] {
+        match self {
+            IoBuf::Owned(v) => v,
+            IoBuf::Shared { buf, off, len } => &buf[*off..*off + *len],
+        }
+    }
+
+    /// Byte length of the buffer.
+    pub fn len(&self) -> usize {
+        match self {
+            IoBuf::Owned(v) => v.len(),
+            IoBuf::Shared { len, .. } => *len,
+        }
+    }
+
+    /// True when the buffer is empty (always an invalid submission).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl From<Vec<u8>> for IoBuf {
+    fn from(v: Vec<u8>) -> IoBuf {
+        IoBuf::Owned(v)
+    }
+}
+
+/// A completion handle for one submission. Tickets are issued in
+/// ascending order and complete strictly FIFO.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Ticket(u64);
+
+impl Ticket {
+    /// The ticket of a submission that completed synchronously inside
+    /// `submit` (shim devices, and rings at capacity ≤ 1).
+    pub const IMMEDIATE: Ticket = Ticket(0);
+
+    /// The ticket's sequence number (0 for [`Ticket::IMMEDIATE`]).
+    pub fn seq(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Counters describing ring behaviour (all zero on shim devices).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Submissions accepted.
+    pub submitted: u64,
+    /// Submissions applied to the wrapped device.
+    pub completed: u64,
+    /// Sum over submissions of the ring depth just after each submit;
+    /// `depth_sum / submitted` is the mean in-flight depth.
+    pub depth_sum: u64,
+    /// Largest ring depth observed.
+    pub max_depth: u64,
+    /// Times a submit had to apply the oldest entry because the ring was
+    /// full.
+    pub ring_full_waits: u64,
+    /// Transient apply failures that were retried.
+    pub retries: u64,
+    /// Apply failures that exhausted the retry budget.
+    pub giveups: u64,
+    /// Queued submissions dropped unapplied because an earlier apply gave
+    /// up (the log must not contain holes).
+    pub dropped: u64,
+    /// Explicit ordering barriers ([`QueueDevice::fence`]) issued.
+    pub fences: u64,
+}
+
+impl QueueStats {
+    /// Mean number of submissions in flight, measured at submit time.
+    /// `None` before the first submission.
+    pub fn mean_in_flight_depth(&self) -> Option<f64> {
+        if self.submitted == 0 {
+            return None;
+        }
+        Some(self.depth_sum as f64 / self.submitted as f64)
+    }
+}
+
+/// [`BlockDevice`] extended with an asynchronous submission interface.
+///
+/// The provided methods are a *synchronous shim*: `submit_gather` applies
+/// the write before returning and hands back [`Ticket::IMMEDIATE`], so
+/// every existing device satisfies the queue contract with no behaviour
+/// change. [`QueuedDev`] overrides them with a real ring.
+pub trait QueueDevice: BlockDevice {
+    /// Submits a gather write of `bufs` starting at block `start`.
+    ///
+    /// Returns a [`Ticket`] that completes no later than the next
+    /// [`QueueDevice::fence`]. On a shim device the write has already
+    /// been applied when this returns; on a ring it may be parked. An
+    /// `Err` from a ring may belong to an *earlier* submission that
+    /// failed while making room (see [`QueuedDev`]).
+    fn submit_gather(&mut self, start: u64, bufs: Vec<IoBuf>, kind: WriteKind) -> Result<Ticket> {
+        let slices: Vec<&[u8]> = bufs.iter().map(IoBuf::as_slice).collect();
+        self.write_run_gather(start, &slices, kind)?;
+        Ok(Ticket::IMMEDIATE)
+    }
+
+    /// Sequence number of the newest completed ticket (completions are
+    /// FIFO, so every ticket at or below it is complete). Shim devices
+    /// complete everything at submit and report `u64::MAX`.
+    fn poll(&mut self) -> u64 {
+        u64::MAX
+    }
+
+    /// Applies queued submissions until `ticket` has completed. No-op on
+    /// shim devices and for already-completed tickets.
+    fn complete(&mut self, ticket: Ticket) -> Result<()> {
+        let _ = ticket;
+        Ok(())
+    }
+
+    /// Ordering barrier: applies every queued submission and waits for
+    /// the device to go idle. The log's ordering edges (summary before
+    /// checkpoint) are expressed as explicit fences so a crash journal
+    /// still enumerates exactly the legal write orders.
+    fn fence(&mut self) -> Result<()> {
+        Ok(())
+    }
+
+    /// The ring capacity (1 on shim devices: at most one submission is
+    /// ever outstanding, and it completes synchronously).
+    ///
+    /// Callers use this to pick an error-handling policy: at capacity 1 a
+    /// submit error belongs to that submission and may be retried in
+    /// place; above 1 the ring retries internally and a surfaced error is
+    /// terminal for everything queued behind it.
+    fn queue_capacity(&self) -> usize {
+        1
+    }
+
+    /// Ring behaviour counters (all zero on shim devices).
+    fn queue_stats(&self) -> QueueStats {
+        QueueStats::default()
+    }
+
+    /// Returns and clears the `(retries, giveups)` the ring performed
+    /// internally since the last call, so the file system can fold them
+    /// into its own I/O error accounting.
+    fn take_queue_errors(&mut self) -> (u64, u64) {
+        (0, 0)
+    }
+}
+
+impl QueueDevice for MemDisk {}
+impl QueueDevice for FileDisk {}
+impl QueueDevice for SimDisk {}
+impl QueueDevice for CrashDisk {}
+impl<D: BlockDevice> QueueDevice for FaultDisk<D> {}
+
+/// One parked submission.
+#[derive(Debug)]
+struct Pending {
+    seq: u64,
+    start: u64,
+    bufs: Vec<IoBuf>,
+    kind: WriteKind,
+    /// Host clock at submission (0 on untimed devices).
+    submit_ns: u64,
+}
+
+/// A bounded FIFO submission ring over any [`BlockDevice`].
+///
+/// Submissions are applied lazily: when the ring is full, at a
+/// [`QueueDevice::fence`], on [`QueueDevice::complete`], and before any
+/// direct [`BlockDevice`] operation (so reads and syncs always observe
+/// every prior write — the device image can never go stale). On a
+/// [`QueueTimed`] device, each apply is charged from its *submission*
+/// time, so the simulated host runs ahead of the arm; on untimed devices
+/// the ring changes nothing but bookkeeping.
+///
+/// Capacity ≤ 1 degenerates to the synchronous path exactly: each
+/// submission is applied in direct (host-blocking) context with no
+/// internal retry, reproducing images, stats, and timings bit-for-bit.
+///
+/// # Error handling
+///
+/// Above capacity 1 the ring owns retries: a transient apply failure is
+/// retried up to a bounded budget, and a final failure drops every later
+/// queued submission (the log must not contain holes) and surfaces the
+/// error at whichever call was applying the queue. Use
+/// [`QueueDevice::take_queue_errors`] to fold the retry/giveup counts
+/// into caller-side accounting.
+pub struct QueuedDev<D: BlockDevice> {
+    inner: D,
+    cap: usize,
+    pending: VecDeque<Pending>,
+    next_seq: u64,
+    completed_seq: u64,
+    qstats: QueueStats,
+    unclaimed_retries: u64,
+    unclaimed_giveups: u64,
+    obs: Option<DeviceObs>,
+}
+
+impl<D: BlockDevice> QueuedDev<D> {
+    /// Wraps `inner` in a ring of the given capacity (clamped to ≥ 1;
+    /// capacity 1 is an exact pass-through).
+    pub fn new(inner: D, capacity: usize) -> QueuedDev<D> {
+        QueuedDev {
+            inner,
+            cap: capacity.max(1),
+            pending: VecDeque::new(),
+            next_seq: 1,
+            completed_seq: 0,
+            qstats: QueueStats::default(),
+            unclaimed_retries: 0,
+            unclaimed_giveups: 0,
+            obs: None,
+        }
+    }
+
+    /// The wrapped device. Queued submissions may not have been applied
+    /// yet — [`QueueDevice::fence`] first when inspecting the image.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// The wrapped device, mutably (same staleness caveat as
+    /// [`QueuedDev::inner`]).
+    pub fn inner_mut(&mut self) -> &mut D {
+        &mut self.inner
+    }
+
+    /// Unwraps the ring, applying any still-queued submissions first
+    /// (best effort: an apply failure abandons the rest, exactly as a
+    /// power cut would abandon a volatile queue).
+    pub fn into_inner(mut self) -> D {
+        let _ = self.drain();
+        self.inner
+    }
+
+    /// Number of submissions currently parked in the ring.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Applies the oldest queued submission, retrying transient failures.
+    ///
+    /// On final failure the remaining queue is dropped: applying later
+    /// writes over a failed earlier one would put holes in the log.
+    fn apply_front(&mut self) -> Result<()> {
+        let Some(op) = self.pending.pop_front() else {
+            return Ok(());
+        };
+        let slices: Vec<&[u8]> = op.bufs.iter().map(IoBuf::as_slice).collect();
+        let mut attempt = 0u32;
+        loop {
+            if let Some(t) = self.inner.queue_timed() {
+                t.begin_queued(op.submit_ns);
+            }
+            let r = self.inner.write_run_gather(op.start, &slices, op.kind);
+            let done_ns = self.inner.queue_timed().map(|t| t.end_queued());
+            match r {
+                Ok(()) => {
+                    self.completed_seq = op.seq;
+                    self.qstats.completed += 1;
+                    if let Some(obs) = &self.obs {
+                        if let Some(done) = done_ns {
+                            obs.record_completion(done.saturating_sub(op.submit_ns));
+                        }
+                        obs.set_queue_depth(self.pending.len() as f64);
+                    }
+                    return Ok(());
+                }
+                Err(e) => {
+                    attempt += 1;
+                    if is_transient(&e) && attempt < QUEUE_IO_ATTEMPTS {
+                        self.qstats.retries += 1;
+                        self.unclaimed_retries += 1;
+                        continue;
+                    }
+                    self.qstats.giveups += 1;
+                    self.unclaimed_giveups += 1;
+                    self.qstats.dropped += 1 + self.pending.len() as u64;
+                    self.pending.clear();
+                    if let Some(obs) = &self.obs {
+                        obs.set_queue_depth(0.0);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Applies every queued submission, then waits for the device to go
+    /// idle.
+    fn drain(&mut self) -> Result<()> {
+        while !self.pending.is_empty() {
+            self.apply_front()?;
+        }
+        if let Some(t) = self.inner.queue_timed() {
+            t.wait_idle();
+        }
+        Ok(())
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for QueuedDev<D> {
+    fn num_blocks(&self) -> u64 {
+        self.inner.num_blocks()
+    }
+
+    fn read_blocks(&mut self, start: u64, buf: &mut [u8]) -> Result<()> {
+        self.drain()?;
+        self.inner.read_blocks(start, buf)
+    }
+
+    fn write_blocks(&mut self, start: u64, buf: &[u8], kind: WriteKind) -> Result<()> {
+        self.drain()?;
+        self.inner.write_blocks(start, buf, kind)
+    }
+
+    fn read_run(&mut self, start: u64, buf: &mut [u8]) -> Result<()> {
+        self.drain()?;
+        self.inner.read_run(start, buf)
+    }
+
+    fn read_run_scatter(&mut self, start: u64, bufs: &mut [&mut [u8]]) -> Result<()> {
+        self.drain()?;
+        self.inner.read_run_scatter(start, bufs)
+    }
+
+    fn write_run_gather(&mut self, start: u64, bufs: &[&[u8]], kind: WriteKind) -> Result<()> {
+        self.drain()?;
+        self.inner.write_run_gather(start, bufs, kind)
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.drain()?;
+        self.inner.sync()
+    }
+
+    /// Statistics of the wrapped device. Queued-but-unapplied
+    /// submissions are not yet included; fence first for a settled view.
+    fn stats(&self) -> IoStats {
+        self.inner.stats()
+    }
+
+    fn attach_obs(&mut self, obs: DeviceObs) {
+        self.obs = Some(obs.clone());
+        self.inner.attach_obs(obs);
+    }
+
+    fn queue_timed(&mut self) -> Option<&mut dyn QueueTimed> {
+        self.inner.queue_timed()
+    }
+}
+
+impl<D: BlockDevice> QueueDevice for QueuedDev<D> {
+    fn submit_gather(&mut self, start: u64, bufs: Vec<IoBuf>, kind: WriteKind) -> Result<Ticket> {
+        // Validate up front so a malformed request is the submitter's
+        // error, never a later apply's.
+        {
+            let slices: Vec<&[u8]> = bufs.iter().map(IoBuf::as_slice).collect();
+            check_gather(self.inner.num_blocks(), start, &slices)?;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.qstats.submitted += 1;
+        if self.cap <= 1 {
+            // Exact synchronous path: direct context, no internal retry
+            // (the caller owns retries, as it does without a ring).
+            let slices: Vec<&[u8]> = bufs.iter().map(IoBuf::as_slice).collect();
+            self.inner.write_run_gather(start, &slices, kind)?;
+            self.completed_seq = seq;
+            self.qstats.completed += 1;
+            self.qstats.depth_sum += 1;
+            self.qstats.max_depth = self.qstats.max_depth.max(1);
+            return Ok(Ticket(seq));
+        }
+        while self.pending.len() >= self.cap {
+            self.qstats.ring_full_waits += 1;
+            self.apply_front()?;
+        }
+        let submit_ns = self.inner.queue_timed().map_or(0, |t| t.host_ns());
+        self.pending.push_back(Pending {
+            seq,
+            start,
+            bufs,
+            kind,
+            submit_ns,
+        });
+        let depth = self.pending.len() as u64;
+        self.qstats.depth_sum += depth;
+        self.qstats.max_depth = self.qstats.max_depth.max(depth);
+        if let Some(obs) = &self.obs {
+            obs.set_queue_depth(depth as f64);
+        }
+        Ok(Ticket(seq))
+    }
+
+    fn poll(&mut self) -> u64 {
+        self.completed_seq
+    }
+
+    fn complete(&mut self, ticket: Ticket) -> Result<()> {
+        while self.completed_seq < ticket.seq() && !self.pending.is_empty() {
+            self.apply_front()?;
+        }
+        Ok(())
+    }
+
+    fn fence(&mut self) -> Result<()> {
+        self.qstats.fences += 1;
+        self.drain()
+    }
+
+    fn queue_capacity(&self) -> usize {
+        self.cap
+    }
+
+    fn queue_stats(&self) -> QueueStats {
+        self.qstats
+    }
+
+    fn take_queue_errors(&mut self) -> (u64, u64) {
+        let out = (self.unclaimed_retries, self.unclaimed_giveups);
+        self.unclaimed_retries = 0;
+        self.unclaimed_giveups = 0;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DiskModel, FaultPlan, BLOCK_SIZE};
+
+    fn owned(fill: u8, blocks: usize) -> IoBuf {
+        IoBuf::Owned(vec![fill; blocks * BLOCK_SIZE])
+    }
+
+    /// Deterministic trace step used by the equivalence tests.
+    fn trace(n: u64, device_blocks: u64) -> Vec<(u64, usize, u8)> {
+        let mut x = 0x9e3779b97f4a7c15u64;
+        (0..n)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let blocks = 1 + (x >> 17) as usize % 4;
+                let start = (x >> 33) % (device_blocks - blocks as u64);
+                (start, blocks, (x >> 7) as u8)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn depth1_ring_is_bit_exact_pass_through() {
+        let mut raw = SimDisk::new(256, DiskModel::wren_iv());
+        let mut ring = QueuedDev::new(SimDisk::new(256, DiskModel::wren_iv()), 1);
+        for (start, blocks, fill) in trace(40, 256) {
+            let data = vec![fill; blocks * BLOCK_SIZE];
+            raw.write_run_gather(start, &[&data], WriteKind::Async)
+                .unwrap();
+            ring.submit_gather(start, vec![IoBuf::Owned(data)], WriteKind::Async)
+                .unwrap();
+        }
+        raw.sync().unwrap();
+        ring.sync().unwrap();
+        assert_eq!(raw.image(), ring.inner().image());
+        assert_eq!(raw.stats(), ring.stats(), "all fields incl. service_ns");
+        assert_eq!(raw.elapsed_ns(), ring.inner().elapsed_ns());
+        assert_eq!(raw.stats().service_ns, raw.stats().busy_ns);
+    }
+
+    #[test]
+    fn any_depth_preserves_image_and_mechanical_stats() {
+        for depth in [2usize, 4, 8] {
+            let mut raw = SimDisk::new(256, DiskModel::wren_iv());
+            let mut ring = QueuedDev::new(SimDisk::new(256, DiskModel::wren_iv()), depth);
+            for (i, (start, blocks, fill)) in trace(40, 256).into_iter().enumerate() {
+                let data = vec![fill; blocks * BLOCK_SIZE];
+                raw.write_run_gather(start, &[&data], WriteKind::Async)
+                    .unwrap();
+                ring.submit_gather(start, vec![IoBuf::Owned(data)], WriteKind::Async)
+                    .unwrap();
+                if i % 7 == 0 {
+                    // Interleave reads: they drain the ring, so both sides
+                    // observe identical contents mid-trace too.
+                    let mut a = vec![0u8; BLOCK_SIZE];
+                    let mut b = vec![0u8; BLOCK_SIZE];
+                    raw.read_blocks(start, &mut a).unwrap();
+                    ring.read_blocks(start, &mut b).unwrap();
+                    assert_eq!(a, b);
+                }
+            }
+            ring.fence().unwrap();
+            assert_eq!(raw.image(), ring.inner().image(), "depth={depth}");
+            let (rs, qs) = (raw.stats(), ring.stats());
+            // Everything mechanical is order-determined and identical;
+            // only residency (service_ns) grows with queueing.
+            assert_eq!(rs.reads, qs.reads);
+            assert_eq!(rs.writes, qs.writes);
+            assert_eq!(rs.bytes_read, qs.bytes_read);
+            assert_eq!(rs.bytes_written, qs.bytes_written);
+            assert_eq!(rs.seeks, qs.seeks);
+            assert_eq!(rs.busy_ns, qs.busy_ns);
+            assert_eq!(rs.sync_busy_ns, qs.sync_busy_ns);
+            assert_eq!(rs.positioning_ns, qs.positioning_ns);
+            assert!(qs.service_ns >= rs.service_ns, "depth={depth}");
+        }
+    }
+
+    /// Satellite regression: busy time must not double-count overlapped
+    /// requests — residency (`service_ns`) grows past `busy_ns` under
+    /// queueing while `busy_ns` charges each arm-busy ns exactly once.
+    #[test]
+    fn queued_residency_exceeds_busy_but_busy_never_double_counts() {
+        let mut ring = QueuedDev::new(SimDisk::new(100_000, DiskModel::wren_iv()), 4);
+        for i in 0..4u64 {
+            ring.submit_gather(i * 20_000, vec![owned(1, 8)], WriteKind::Async)
+                .unwrap();
+        }
+        ring.fence().unwrap();
+        let s = ring.stats();
+        assert!(
+            s.service_ns > s.busy_ns,
+            "queued residencies overlap: service {} vs busy {}",
+            s.service_ns,
+            s.busy_ns
+        );
+        // The same requests issued directly: residency equals busy time.
+        let mut raw = SimDisk::new(100_000, DiskModel::wren_iv());
+        for i in 0..4u64 {
+            let data = vec![1u8; 8 * BLOCK_SIZE];
+            raw.write_run_gather(i * 20_000, &[&data], WriteKind::Async)
+                .unwrap();
+        }
+        let rs = raw.stats();
+        assert_eq!(rs.service_ns, rs.busy_ns);
+        assert_eq!(rs.busy_ns, s.busy_ns, "busy time identical either way");
+    }
+
+    #[test]
+    fn overlap_shrinks_elapsed_time_vs_blocking_submission() {
+        let run = |depth: usize| {
+            let mut ring = QueuedDev::new(SimDisk::new(100_000, DiskModel::wren_iv()), depth);
+            let cpu_per_batch = 5_000_000u64; // 5 ms of host compute
+            for i in 0..16u64 {
+                if let Some(t) = ring.queue_timed() {
+                    t.advance_host(cpu_per_batch);
+                }
+                ring.submit_gather(i * 32, vec![owned(2, 32)], WriteKind::Async)
+                    .unwrap();
+            }
+            ring.fence().unwrap();
+            let elapsed = ring.inner().elapsed_ns();
+            let busy = ring.stats().busy_ns;
+            (elapsed, busy)
+        };
+        let (d1, busy1) = run(1);
+        let (d4, busy4) = run(4);
+        assert_eq!(busy1, busy4, "same arm work either way");
+        assert!(
+            d4 < d1,
+            "queued submission overlaps host compute with the arm: {d4} vs {d1}"
+        );
+        // Depth 1 serializes fully: elapsed = host compute + arm time.
+        assert_eq!(d1, 16 * 5_000_000 + busy1);
+        // Depth 4 hides the host compute behind the arm (after the first
+        // batch's lead-in).
+        assert!(d4 < busy4 + 2 * 5_000_000);
+    }
+
+    #[test]
+    fn ring_capacity_bounds_pending_and_counts_waits() {
+        let mut ring = QueuedDev::new(MemDisk::new(64), 2);
+        for i in 0..5u64 {
+            ring.submit_gather(i, vec![owned(i as u8, 1)], WriteKind::Async)
+                .unwrap();
+            assert!(ring.in_flight() <= 2);
+        }
+        let s = ring.queue_stats();
+        assert_eq!(s.submitted, 5);
+        assert_eq!(s.ring_full_waits, 3);
+        assert_eq!(s.max_depth, 2);
+        assert!(s.mean_in_flight_depth().is_some_and(|d| d > 1.0));
+        ring.fence().unwrap();
+        assert_eq!(ring.queue_stats().completed, 5);
+        assert_eq!(ring.queue_stats().fences, 1);
+        assert_eq!(ring.in_flight(), 0);
+    }
+
+    #[test]
+    fn complete_applies_through_ticket_only() {
+        let mut ring = QueuedDev::new(MemDisk::new(64), 8);
+        let t1 = ring
+            .submit_gather(0, vec![owned(1, 1)], WriteKind::Async)
+            .unwrap();
+        let t2 = ring
+            .submit_gather(1, vec![owned(2, 1)], WriteKind::Async)
+            .unwrap();
+        let t3 = ring
+            .submit_gather(2, vec![owned(3, 1)], WriteKind::Async)
+            .unwrap();
+        assert!(t1 < t2 && t2 < t3);
+        assert_eq!(ring.poll(), 0);
+        ring.complete(t2).unwrap();
+        assert_eq!(ring.poll(), t2.seq());
+        assert_eq!(ring.in_flight(), 1);
+        ring.fence().unwrap();
+        assert_eq!(ring.poll(), t3.seq());
+    }
+
+    #[test]
+    fn ring_retries_transient_apply_failures_internally() {
+        let plan = FaultPlan::new(7)
+            .with_write_faults(1.0)
+            .with_transient_failures(2);
+        let mut ring = QueuedDev::new(FaultDisk::new(MemDisk::new(8), plan), 4);
+        ring.submit_gather(0, vec![owned(9, 2)], WriteKind::Async)
+            .unwrap();
+        ring.fence().unwrap();
+        let s = ring.queue_stats();
+        assert_eq!(s.completed, 1);
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.giveups, 0);
+        assert_eq!(ring.take_queue_errors(), (2, 0));
+        assert_eq!(ring.take_queue_errors(), (0, 0), "counts are claimed once");
+        assert_eq!(ring.inner().inner().image()[0], 9);
+    }
+
+    #[test]
+    fn apply_giveup_drops_later_submissions_and_surfaces_error() {
+        let plan = FaultPlan::new(7)
+            .with_write_faults(1.0)
+            .with_transient_failures(20); // outlasts the retry budget
+        let mut ring = QueuedDev::new(FaultDisk::new(MemDisk::new(8), plan), 4);
+        for i in 0..3u64 {
+            ring.submit_gather(i, vec![owned(1, 1)], WriteKind::Async)
+                .unwrap();
+        }
+        assert!(ring.fence().is_err());
+        let s = ring.queue_stats();
+        assert_eq!(s.giveups, 1);
+        assert_eq!(s.dropped, 3, "the failed op and both queued behind it");
+        assert_eq!(ring.in_flight(), 0);
+        assert_eq!(ring.take_queue_errors(), (QUEUE_IO_ATTEMPTS as u64 - 1, 1));
+        // The ring stays usable once the fault clears.
+        ring.inner_mut().plan_mut().write_fault_rate = 0.0;
+        ring.submit_gather(5, vec![owned(7, 1)], WriteKind::Async)
+            .unwrap();
+        ring.fence().unwrap();
+        assert_eq!(ring.inner().inner().image()[5 * BLOCK_SIZE], 7);
+    }
+
+    #[test]
+    fn malformed_submission_fails_at_submit_not_apply() {
+        let mut ring = QueuedDev::new(MemDisk::new(4), 4);
+        let bad = IoBuf::Owned(vec![0u8; BLOCK_SIZE - 1]);
+        assert!(matches!(
+            ring.submit_gather(0, vec![bad], WriteKind::Async),
+            Err(BlockError::Misaligned { .. })
+        ));
+        assert!(matches!(
+            ring.submit_gather(3, vec![owned(0, 2)], WriteKind::Async),
+            Err(BlockError::OutOfRange { .. })
+        ));
+        assert_eq!(ring.in_flight(), 0);
+    }
+
+    #[test]
+    fn direct_operations_drain_the_ring_first() {
+        let mut ring = QueuedDev::new(MemDisk::new(8), 8);
+        ring.submit_gather(2, vec![owned(0xaa, 1)], WriteKind::Async)
+            .unwrap();
+        assert_eq!(ring.in_flight(), 1);
+        let mut b = vec![0u8; BLOCK_SIZE];
+        ring.read_blocks(2, &mut b).unwrap();
+        assert_eq!(ring.in_flight(), 0, "read drained the queued write");
+        assert!(b.iter().all(|&x| x == 0xaa));
+    }
+
+    #[test]
+    fn shared_iobufs_gather_zero_copy_windows() {
+        let backing = Arc::new(
+            (0..3 * BLOCK_SIZE)
+                .map(|i| (i / BLOCK_SIZE) as u8 + 1)
+                .collect::<Vec<u8>>(),
+        );
+        let mut ring = QueuedDev::new(MemDisk::new(8), 4);
+        ring.submit_gather(
+            0,
+            vec![
+                IoBuf::shared_range(backing.clone(), BLOCK_SIZE, BLOCK_SIZE),
+                IoBuf::shared(backing.clone()),
+            ],
+            WriteKind::Async,
+        )
+        .unwrap();
+        ring.fence().unwrap();
+        let img = ring.inner().image();
+        assert_eq!(img[0], 2, "window picked the middle block");
+        assert_eq!(img[BLOCK_SIZE], 1);
+        assert_eq!(img[2 * BLOCK_SIZE], 2);
+        assert_eq!(img[3 * BLOCK_SIZE], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn shared_range_rejects_out_of_bounds_window() {
+        let backing = Arc::new(vec![0u8; BLOCK_SIZE]);
+        let _ = IoBuf::shared_range(backing, 1, BLOCK_SIZE);
+    }
+
+    #[test]
+    fn crash_journal_identical_at_any_depth() {
+        // Satellite: queued submissions must leave the same journal as
+        // the synchronous path, so torn/failed completions recover
+        // identically on the same seeds.
+        let steps = trace(30, 64);
+        let mut raw = CrashDisk::new(64);
+        for (start, blocks, fill) in &steps {
+            let data = vec![*fill; *blocks * BLOCK_SIZE];
+            raw.write_run_gather(*start, &[&data], WriteKind::Async)
+                .unwrap();
+        }
+        for depth in [2usize, 4, 8] {
+            let mut ring = QueuedDev::new(CrashDisk::new(64), depth);
+            for (start, blocks, fill) in &steps {
+                let data = vec![*fill; *blocks * BLOCK_SIZE];
+                ring.submit_gather(*start, vec![IoBuf::Owned(data)], WriteKind::Async)
+                    .unwrap();
+            }
+            ring.fence().unwrap();
+            let journal = ring.inner();
+            assert_eq!(raw.num_writes(), journal.num_writes(), "depth={depth}");
+            for cut in 0..=raw.num_writes() {
+                assert_eq!(
+                    raw.image_after(cut).unwrap().image(),
+                    journal.image_after(cut).unwrap().image(),
+                    "depth={depth} cut={cut}"
+                );
+            }
+            for seed in 0..8u64 {
+                let cut = raw.num_block_cuts() / 2;
+                assert_eq!(
+                    raw.torn_image_after(cut, seed, true).unwrap().image(),
+                    journal.torn_image_after(cut, seed, true).unwrap().image(),
+                    "depth={depth} torn seed={seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fault_schedule_identical_at_any_depth() {
+        // Same fault plan, same op stream → same injected faults and
+        // final image, queued or not (the ring's internal retry stands in
+        // for the caller's).
+        let steps = trace(30, 64);
+        let plan = || {
+            FaultPlan::new(42)
+                .with_write_faults(0.3)
+                .with_transient_failures(2)
+        };
+        let mut raw = FaultDisk::new(MemDisk::new(64), plan());
+        for (start, blocks, fill) in &steps {
+            let data = vec![*fill; *blocks * BLOCK_SIZE];
+            // Caller-side bounded retry, as the fs does.
+            let mut tries = 0;
+            loop {
+                match raw.write_run_gather(*start, &[&data], WriteKind::Async) {
+                    Ok(()) => break,
+                    Err(_) if tries < QUEUE_IO_ATTEMPTS => tries += 1,
+                    Err(e) => panic!("unexpected giveup: {e}"),
+                }
+            }
+        }
+        let mut ring = QueuedDev::new(FaultDisk::new(MemDisk::new(64), plan()), 4);
+        for (start, blocks, fill) in &steps {
+            let data = vec![*fill; *blocks * BLOCK_SIZE];
+            ring.submit_gather(*start, vec![IoBuf::Owned(data)], WriteKind::Async)
+                .unwrap();
+        }
+        ring.fence().unwrap();
+        assert_eq!(raw.counts(), ring.inner().counts());
+        assert_eq!(raw.inner().image(), ring.inner().inner().image());
+        assert_eq!(raw.stats(), ring.stats());
+    }
+
+    #[test]
+    fn attached_obs_records_completions_and_depth() {
+        let reg = lfs_obs::Registry::new();
+        let mut ring = QueuedDev::new(SimDisk::new(100_000, DiskModel::wren_iv()), 4);
+        ring.attach_obs(DeviceObs::register(&reg, "disk"));
+        for i in 0..3u64 {
+            ring.submit_gather(i * 1000, vec![owned(1, 2)], WriteKind::Async)
+                .unwrap();
+        }
+        ring.fence().unwrap();
+        let snap = reg.snapshot();
+        let comp = snap.hist("io.completion_ns").expect("registered");
+        assert_eq!(comp.count, 3);
+        assert!(comp.sum >= ring.stats().busy_ns, "residency >= arm time");
+        assert!(snap.gauge("lfs.queue_depth").is_some(), "depth gauge set");
+    }
+
+    #[test]
+    fn shim_devices_satisfy_the_queue_contract() {
+        let mut d = MemDisk::new(8);
+        let t = d
+            .submit_gather(1, vec![owned(5, 1)], WriteKind::Async)
+            .unwrap();
+        assert_eq!(t, Ticket::IMMEDIATE);
+        d.complete(t).unwrap();
+        d.fence().unwrap();
+        assert_eq!(d.queue_capacity(), 1);
+        assert_eq!(d.queue_stats(), QueueStats::default());
+        assert_eq!(d.take_queue_errors(), (0, 0));
+        assert_eq!(d.image()[BLOCK_SIZE], 5, "shim applied synchronously");
+    }
+}

@@ -2,6 +2,7 @@
 
 use crate::device::{check_request, BlockDevice, WriteKind};
 use crate::error::Result;
+use crate::queue::QueueTimed;
 use crate::stats::IoStats;
 use crate::BLOCK_SIZE;
 
@@ -109,6 +110,17 @@ pub struct SimDisk {
     head: u64,
     stats: IoStats,
     obs: Option<crate::DeviceObs>,
+    /// Simulated host clock (ns). Directly issued requests block the host:
+    /// the host clock advances to their completion. Queued requests do not.
+    host_ns: u64,
+    /// Simulated time the arm finishes its last accepted request (ns).
+    device_free_ns: u64,
+    /// When `Some(submit_ns)`, the next request is serviced in queued
+    /// context: it starts at `max(device_free_ns, submit_ns)` and leaves
+    /// the host clock untouched. Set via [`QueueTimed::begin_queued`].
+    queued_submit: Option<u64>,
+    /// Completion timestamp of the most recent request (ns).
+    last_completion_ns: u64,
 }
 
 impl SimDisk {
@@ -132,6 +144,10 @@ impl SimDisk {
             head: 0,
             stats: IoStats::default(),
             obs: None,
+            host_ns: 0,
+            device_free_ns: 0,
+            queued_submit: None,
+            last_completion_ns: 0,
         }
     }
 
@@ -155,6 +171,10 @@ impl SimDisk {
             head: 0,
             stats: IoStats::default(),
             obs: None,
+            host_ns: 0,
+            device_free_ns: 0,
+            queued_submit: None,
+            last_completion_ns: 0,
         }
     }
 
@@ -223,12 +243,67 @@ impl SimDisk {
         if let Some(obs) = &self.obs {
             obs.record(is_read, service);
         }
+        // Timeline: a queued request starts when the arm is free and it has
+        // been submitted; a direct request additionally blocks the host, so
+        // it starts no earlier than "now" and the host waits for it.
+        match self.queued_submit.take() {
+            Some(submit_ns) => {
+                let begin = self.device_free_ns.max(submit_ns);
+                self.last_completion_ns = begin + service;
+                self.device_free_ns = self.last_completion_ns;
+                // Residency: from submission until completion (includes
+                // time spent waiting behind earlier queued requests).
+                self.stats.service_ns += self.last_completion_ns - submit_ns;
+            }
+            None => {
+                let arrival = self.host_ns;
+                let begin = self.device_free_ns.max(arrival);
+                self.last_completion_ns = begin + service;
+                self.device_free_ns = self.last_completion_ns;
+                self.host_ns = self.last_completion_ns;
+                self.stats.service_ns += self.last_completion_ns - arrival;
+            }
+        }
         self.head = start + count;
     }
 
     fn byte_range(&self, start: u64, len: usize) -> core::ops::Range<usize> {
         let off = start as usize * BLOCK_SIZE;
         off..off + len
+    }
+
+    /// Simulated wall-clock of the run so far: the host clock can never be
+    /// behind a request it waited for, and the arm may still be working on
+    /// queued requests the host has run past.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.host_ns.max(self.device_free_ns)
+    }
+}
+
+impl QueueTimed for SimDisk {
+    fn host_ns(&self) -> u64 {
+        self.host_ns
+    }
+
+    fn advance_host(&mut self, ns: u64) {
+        self.host_ns += ns;
+    }
+
+    fn device_free_ns(&self) -> u64 {
+        self.device_free_ns
+    }
+
+    fn begin_queued(&mut self, submit_ns: u64) {
+        self.queued_submit = Some(submit_ns);
+    }
+
+    fn end_queued(&mut self) -> u64 {
+        self.queued_submit = None;
+        self.last_completion_ns
+    }
+
+    fn wait_idle(&mut self) {
+        self.host_ns = self.host_ns.max(self.device_free_ns);
     }
 }
 
@@ -318,6 +393,10 @@ impl BlockDevice for SimDisk {
 
     fn attach_obs(&mut self, obs: crate::DeviceObs) {
         self.obs = Some(obs);
+    }
+
+    fn queue_timed(&mut self) -> Option<&mut dyn QueueTimed> {
+        Some(self)
     }
 }
 

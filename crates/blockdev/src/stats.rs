@@ -26,6 +26,15 @@ pub struct IoStats {
     /// Simulated time spent in seeks and rotational latency (the
     /// non-transfer component of `busy_ns`).
     pub positioning_ns: u64,
+    /// Summed per-request residency: for each request, the simulated time
+    /// from submission to completion. On a synchronous device a request is
+    /// submitted the instant the arm picks it up, so `service_ns ==
+    /// busy_ns` exactly. Under a submission queue a request can wait for
+    /// the arm while earlier requests are serviced, so residencies overlap
+    /// and `service_ns > busy_ns` — while `busy_ns` keeps counting each
+    /// arm-busy nanosecond exactly once and never double-counts
+    /// concurrently outstanding requests.
+    pub service_ns: u64,
 }
 
 impl IoStats {
@@ -41,6 +50,7 @@ impl IoStats {
             && self.busy_ns >= other.busy_ns
             && self.sync_busy_ns >= other.sync_busy_ns
             && self.positioning_ns >= other.positioning_ns
+            && self.service_ns >= other.service_ns
     }
 
     /// Returns the difference `self - earlier`, field by field, saturating
@@ -67,6 +77,7 @@ impl IoStats {
             busy_ns: self.busy_ns.saturating_sub(earlier.busy_ns),
             sync_busy_ns: self.sync_busy_ns.saturating_sub(earlier.sync_busy_ns),
             positioning_ns: self.positioning_ns.saturating_sub(earlier.positioning_ns),
+            service_ns: self.service_ns.saturating_sub(earlier.service_ns),
         }
     }
 
@@ -86,6 +97,7 @@ impl IoStats {
             busy_ns: self.busy_ns - earlier.busy_ns,
             sync_busy_ns: self.sync_busy_ns - earlier.sync_busy_ns,
             positioning_ns: self.positioning_ns - earlier.positioning_ns,
+            service_ns: self.service_ns - earlier.service_ns,
         })
     }
 
@@ -99,6 +111,7 @@ impl IoStats {
         self.busy_ns += delta.busy_ns;
         self.sync_busy_ns += delta.sync_busy_ns;
         self.positioning_ns += delta.positioning_ns;
+        self.service_ns += delta.service_ns;
     }
 
     /// Total bytes moved to and from the disk.
@@ -136,6 +149,7 @@ mod tests {
             busy_ns: 1000,
             sync_busy_ns: 600,
             positioning_ns: 400,
+            service_ns: 1500,
         };
         let b = IoStats {
             reads: 4,
@@ -146,6 +160,7 @@ mod tests {
             busy_ns: 300,
             sync_busy_ns: 100,
             positioning_ns: 100,
+            service_ns: 350,
         };
         let d = a.since(&b);
         assert_eq!(d.reads, 6);
@@ -156,6 +171,7 @@ mod tests {
         assert_eq!(d.busy_ns, 700);
         assert_eq!(d.sync_busy_ns, 500);
         assert_eq!(d.positioning_ns, 300);
+        assert_eq!(d.service_ns, 1150);
     }
 
     /// Regression (ISSUE 3): an idle disk used to report 100% bandwidth

@@ -1,0 +1,227 @@
+//! Equivalence proptests for the submission-queue layer (ISSUE 6).
+//!
+//! Same discipline as the PR 4–5 coalescing proptests: the new path must
+//! be *indistinguishable* from the old one where the contract says so.
+//! Queue depth 1 reproduces the synchronous path bit-exactly — images,
+//! every [`IoStats`] field including `service_ns`, and the simulated
+//! timeline. At any depth the write order (and therefore the image and
+//! all mechanical stats) is preserved; only request residency grows.
+
+use blockdev::{
+    BlockDevice, CrashDisk, DiskModel, IoBuf, QueueDevice, QueuedDev, SimDisk, WriteKind,
+    BLOCK_SIZE,
+};
+use proptest::prelude::*;
+
+const DEV_BLOCKS: u64 = 128;
+
+/// One step of a randomized trace.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Gather-write `blocks` blocks of `fill` at `start`, split into
+    /// `pieces` slices.
+    Write {
+        start: u64,
+        blocks: usize,
+        pieces: usize,
+        fill: u8,
+        sync: bool,
+    },
+    /// Read one block back (drains the queue on the ring side).
+    Read { start: u64 },
+    /// Host compute between submissions, in nanoseconds.
+    Compute { ns: u64 },
+    /// An explicit ordering barrier.
+    Fence,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (
+            0..DEV_BLOCKS - 8,
+            1usize..8,
+            1usize..4,
+            any::<u8>(),
+            any::<bool>()
+        )
+            .prop_map(|(start, blocks, pieces, fill, sync)| Op::Write {
+                start,
+                blocks,
+                pieces: pieces.min(blocks),
+                fill,
+                sync,
+            }),
+        (0..DEV_BLOCKS).prop_map(|start| Op::Read { start }),
+        (0u64..20_000_000).prop_map(|ns| Op::Compute { ns }),
+        Just(Op::Fence),
+    ]
+}
+
+/// Splits a `blocks`-block write into `pieces` block-aligned buffers.
+fn split(blocks: usize, pieces: usize, fill: u8) -> Vec<Vec<u8>> {
+    let per = blocks / pieces;
+    let mut out = Vec::new();
+    let mut used = 0;
+    for i in 0..pieces {
+        let n = if i + 1 == pieces {
+            blocks - used
+        } else {
+            per.max(1)
+        };
+        out.push(vec![fill.wrapping_add(i as u8); n * BLOCK_SIZE]);
+        used += n;
+        if used >= blocks {
+            break;
+        }
+    }
+    out
+}
+
+/// Drives a trace through a device via the queue API.
+fn run_queued<D: QueueDevice>(dev: &mut QueuedDev<D>, ops: &[Op]) {
+    for op in ops {
+        match op {
+            Op::Write {
+                start,
+                blocks,
+                pieces,
+                fill,
+                sync,
+            } => {
+                let bufs: Vec<IoBuf> = split(*blocks, *pieces, *fill)
+                    .into_iter()
+                    .map(IoBuf::Owned)
+                    .collect();
+                let kind = if *sync {
+                    WriteKind::Sync
+                } else {
+                    WriteKind::Async
+                };
+                dev.submit_gather(*start, bufs, kind).unwrap();
+            }
+            Op::Read { start } => {
+                let mut b = vec![0u8; BLOCK_SIZE];
+                dev.read_blocks(*start, &mut b).unwrap();
+            }
+            Op::Compute { ns } => {
+                if let Some(t) = dev.queue_timed() {
+                    t.advance_host(*ns);
+                }
+            }
+            Op::Fence => dev.fence().unwrap(),
+        }
+    }
+    dev.fence().unwrap();
+}
+
+/// Drives the same trace through the raw synchronous path.
+fn run_sync(dev: &mut SimDisk, ops: &[Op]) {
+    for op in ops {
+        match op {
+            Op::Write {
+                start,
+                blocks,
+                pieces,
+                fill,
+                sync,
+            } => {
+                let bufs = split(*blocks, *pieces, *fill);
+                let slices: Vec<&[u8]> = bufs.iter().map(|v| v.as_slice()).collect();
+                let kind = if *sync {
+                    WriteKind::Sync
+                } else {
+                    WriteKind::Async
+                };
+                dev.write_run_gather(*start, &slices, kind).unwrap();
+            }
+            Op::Read { start } => {
+                let mut b = vec![0u8; BLOCK_SIZE];
+                dev.read_blocks(*start, &mut b).unwrap();
+            }
+            Op::Compute { ns } => {
+                if let Some(t) = dev.queue_timed() {
+                    t.advance_host(*ns);
+                }
+            }
+            Op::Fence => {}
+        }
+    }
+}
+
+proptest! {
+    /// Depth 1 is the synchronous path, bit for bit: identical disk
+    /// image, identical service-time stats (every field, including the
+    /// new `service_ns`), identical simulated timeline.
+    #[test]
+    fn queue_depth_1_reproduces_synchronous_path_bit_exactly(
+        ops in proptest::collection::vec(op_strategy(), 1..60)
+    ) {
+        let mut raw = SimDisk::new(DEV_BLOCKS, DiskModel::wren_iv());
+        let mut ring = QueuedDev::new(SimDisk::new(DEV_BLOCKS, DiskModel::wren_iv()), 1);
+        run_sync(&mut raw, &ops);
+        run_queued(&mut ring, &ops);
+        prop_assert_eq!(raw.image(), ring.inner().image());
+        prop_assert_eq!(raw.stats(), ring.stats());
+        prop_assert_eq!(raw.elapsed_ns(), ring.inner().elapsed_ns());
+        // On the synchronous path residency and busy time coincide.
+        prop_assert_eq!(raw.stats().service_ns, raw.stats().busy_ns);
+    }
+
+    /// Any depth preserves the write order, so images and all mechanical
+    /// stats match the synchronous path after the final fence; queueing
+    /// can only increase residency and never the timeline.
+    #[test]
+    fn any_queue_depth_preserves_image_and_mechanical_stats(
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+        depth in 2usize..9
+    ) {
+        let mut raw = SimDisk::new(DEV_BLOCKS, DiskModel::wren_iv());
+        let mut ring = QueuedDev::new(SimDisk::new(DEV_BLOCKS, DiskModel::wren_iv()), depth);
+        run_sync(&mut raw, &ops);
+        run_queued(&mut ring, &ops);
+        prop_assert_eq!(raw.image(), ring.inner().image());
+        let (rs, qs) = (raw.stats(), ring.stats());
+        prop_assert_eq!(rs.reads, qs.reads);
+        prop_assert_eq!(rs.writes, qs.writes);
+        prop_assert_eq!(rs.bytes_read, qs.bytes_read);
+        prop_assert_eq!(rs.bytes_written, qs.bytes_written);
+        prop_assert_eq!(rs.seeks, qs.seeks);
+        prop_assert_eq!(rs.busy_ns, qs.busy_ns);
+        prop_assert_eq!(rs.sync_busy_ns, qs.sync_busy_ns);
+        prop_assert_eq!(rs.positioning_ns, qs.positioning_ns);
+        prop_assert!(qs.service_ns >= rs.service_ns);
+        prop_assert!(ring.inner().elapsed_ns() <= raw.elapsed_ns());
+    }
+
+    /// CrashDisk behind a ring journals the same write stream as the
+    /// synchronous path, so every crash cut (between completions, not
+    /// just submissions) materializes the same torn image.
+    #[test]
+    fn crash_journal_and_torn_images_survive_queueing(
+        ops in proptest::collection::vec(op_strategy(), 1..40),
+        depth in 2usize..9,
+        torn_seed in any::<u64>()
+    ) {
+        let mut raw = CrashDisk::new(DEV_BLOCKS);
+        let mut ring = QueuedDev::new(CrashDisk::new(DEV_BLOCKS), depth);
+        for op in &ops {
+            if let Op::Write { start, blocks, pieces, fill, sync } = op {
+                let bufs = split(*blocks, *pieces, *fill);
+                let slices: Vec<&[u8]> = bufs.iter().map(|v| v.as_slice()).collect();
+                let kind = if *sync { WriteKind::Sync } else { WriteKind::Async };
+                raw.write_run_gather(*start, &slices, kind).unwrap();
+                let io: Vec<IoBuf> = bufs.into_iter().map(IoBuf::Owned).collect();
+                ring.submit_gather(*start, io, kind).unwrap();
+            }
+        }
+        ring.fence().unwrap();
+        prop_assert_eq!(raw.num_writes(), ring.inner().num_writes());
+        prop_assert_eq!(raw.num_block_cuts(), ring.inner().num_block_cuts());
+        for cut in 0..=raw.num_block_cuts() {
+            prop_assert_eq!(
+                raw.torn_image_after(cut, torn_seed, true).unwrap().image(),
+                ring.inner().torn_image_after(cut, torn_seed, true).unwrap().image()
+            );
+        }
+    }
+}

@@ -18,7 +18,7 @@
 
 use std::collections::HashMap;
 
-use blockdev::{BlockDevice, BLOCK_SIZE};
+use blockdev::{QueueDevice, BLOCK_SIZE};
 use vfs::{FileType, FsResult, Ino, ROOT_INO};
 
 use crate::fs::{IndKey, Lfs};
@@ -46,7 +46,7 @@ impl CheckReport {
     }
 }
 
-impl<D: BlockDevice> Lfs<D> {
+impl<D: QueueDevice> Lfs<D> {
     /// Live bytes on disk per block kind — the "Live data" column of
     /// Table 4. Indexed like [`crate::BlockKind::ALL`]; summary and
     /// directory-log blocks are never live, so their entries are zero.

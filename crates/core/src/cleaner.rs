@@ -22,7 +22,7 @@
 //! written back grouped by age so cold data segregates into its own
 //! segments — the source of the bimodal distribution in Figure 6.
 
-use blockdev::{BlockDevice, BLOCK_SIZE};
+use blockdev::{QueueDevice, BLOCK_SIZE};
 use vfs::{FsError, FsResult};
 
 use crate::config::CleaningPolicy;
@@ -74,7 +74,7 @@ impl Ord for HeapCand {
     }
 }
 
-impl<D: BlockDevice> Lfs<D> {
+impl<D: QueueDevice> Lfs<D> {
     /// Runs the cleaner if the number of clean segments has fallen below
     /// the low-water mark, continuing until the high-water mark is
     /// reached or nothing more can be cleaned.
@@ -86,9 +86,57 @@ impl<D: BlockDevice> Lfs<D> {
             return Ok(());
         }
         self.cleaning = true;
-        let res = self.clean_until_high_water();
+        let res = if self.cfg.clean_pace_segs > 0 {
+            self.clean_increment()
+        } else {
+            self.clean_until_high_water()
+        };
         self.cleaning = false;
         res
+    }
+
+    /// One paced installment of background cleaning: at most
+    /// `clean_pace_segs` segments are relocated, then control returns
+    /// to the foreground. The next mutation that still finds the file
+    /// system below the low-water mark runs the next installment, so
+    /// cleaning interleaves with foreground traffic instead of holding
+    /// the write point for a full low-to-high-water burst. An
+    /// installment is deferred while queued foreground writes are still
+    /// in flight — the cleaner spends device idle time first.
+    fn clean_increment(&mut self) -> FsResult<()> {
+        if self.nsop_depth > 0 {
+            // See `clean_until_high_water`: checkpoints are deferred
+            // mid-namespace-operation, so copying now would only burn
+            // log space.
+            return Ok(());
+        }
+        let q = self.dev.queue_stats();
+        let in_flight = q.submitted.saturating_sub(q.completed);
+        if in_flight as usize * 2 > self.dev.queue_capacity() {
+            // Foreground submissions fill more than half the ring; let
+            // them drain rather than queueing cleaner traffic behind
+            // them. The mutation stream (or the next checkpoint fence)
+            // will trigger the next installment — and if it never
+            // comes, allocation failure falls back to the unpaced
+            // emergency path.
+            return Ok(());
+        }
+        let mut cands = self.select_candidates();
+        if cands.is_empty() {
+            // A checkpoint may still promote pending-free segments.
+            if self
+                .usage
+                .iter()
+                .any(|(_, u)| u.state == SegState::PendingFree)
+            {
+                self.checkpoint()?;
+            }
+            return Ok(());
+        }
+        cands.truncate(self.cfg.clean_pace_segs as usize);
+        self.clean_segments(&cands)?;
+        self.checkpoint()?;
+        Ok(())
     }
 
     /// Forces one cleaning pass regardless of the watermarks; returns the
@@ -297,6 +345,14 @@ impl<D: BlockDevice> Lfs<D> {
             empty,
             utilizations,
         });
+        // One segment's worth of staged copy data is the per-installment
+        // bound: the old code scavenged *every* candidate before flushing
+        // once, so a pass over tens of segments held the write point — and
+        // any foreground flush behind it — for the whole multi-segment
+        // burst. Flushing whenever the staged bytes reach one segment
+        // bounds the delay a background pass can impose on a foreground
+        // flush to roughly one segment write.
+        let stage_bound = (self.sb.seg_blocks.saturating_sub(1)) as u64 * BLOCK_SIZE as u64;
         for &seg in segs {
             let usage = *self.usage.get(seg);
             self.stats.cleaner.segments_cleaned += 1;
@@ -308,11 +364,14 @@ impl<D: BlockDevice> Lfs<D> {
                 self.usage.set_state(seg, SegState::PendingFree);
                 continue;
             }
+            if self.dirty_bytes >= stage_bound {
+                self.flush()?;
+            }
             self.stats.cleaner.utilization_sum += usage.live_bytes as f64 / seg_bytes as f64;
             self.scavenge_segment(seg)?;
         }
-        // Write all staged live data back to the head of the log (with
-        // age-sorting if configured — see `flush`).
+        // Write the remaining staged live data back to the head of the
+        // log (with age-sorting if configured — see `flush`).
         self.flush()?;
         for &seg in segs {
             let live = self.usage.get(seg).live_bytes;
@@ -557,12 +616,10 @@ impl<D: BlockDevice> Lfs<D> {
                         self.lru_tick += 1;
                         self.lru_tick
                     };
-                    let mut data = vec![0u8; BLOCK_SIZE].into_boxed_slice();
-                    data.copy_from_slice(content);
                     self.blocks.insert(
                         (ino, bno),
                         CachedBlock {
-                            data,
+                            data: std::sync::Arc::new(content.to_vec()),
                             dirty: false,
                             lru,
                             mtime: entry.mtime,

@@ -36,6 +36,17 @@ pub struct LfsConfig {
     /// How many segments the cleaner reads per pass ("a few tens of
     /// segments at a time").
     pub segs_per_clean: u32,
+    /// When non-zero, background cleaning runs as bounded installments
+    /// of at most this many segments per trigger instead of one burst
+    /// from the low-water mark all the way to the high-water mark. Each
+    /// mutation that finds the file system below the low-water mark
+    /// contributes one installment, so cleaning interleaves with
+    /// foreground traffic; an installment is skipped while queued
+    /// foreground writes are still in flight, so the cleaner spends
+    /// idle device time first. 0 (the default) keeps the burst
+    /// behaviour. Emergency cleaning on allocation failure always runs
+    /// unpaced regardless of this setting.
+    pub clean_pace_segs: u32,
     /// Segment-selection policy.
     pub policy: CleaningPolicy,
     /// Sort live blocks by age before rewriting them (the age-sort of
@@ -97,6 +108,7 @@ impl LfsConfig {
             clean_low_water: 16,
             clean_high_water: 40,
             segs_per_clean: 16,
+            clean_pace_segs: 0,
             policy: CleaningPolicy::CostBenefit,
             age_sort: true,
             flush_threshold_bytes: 255 * BLOCK_SIZE as u64,
@@ -120,6 +132,7 @@ impl LfsConfig {
             clean_low_water: 6,
             clean_high_water: 12,
             segs_per_clean: 4,
+            clean_pace_segs: 0,
             policy: CleaningPolicy::CostBenefit,
             age_sort: true,
             flush_threshold_bytes: 15 * BLOCK_SIZE as u64,
@@ -137,6 +150,13 @@ impl LfsConfig {
     pub fn with_half_megabyte_segments(mut self) -> LfsConfig {
         self.seg_blocks = 128;
         self.flush_threshold_bytes = 127 * BLOCK_SIZE as u64;
+        self
+    }
+
+    /// Caps each background-cleaning trigger at `segs` relocated
+    /// segments (see [`LfsConfig::clean_pace_segs`]).
+    pub fn paced(mut self, segs: u32) -> LfsConfig {
+        self.clean_pace_segs = segs;
         self
     }
 

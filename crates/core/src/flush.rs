@@ -12,7 +12,7 @@
 
 use std::collections::BTreeSet;
 
-use blockdev::{BlockDevice, WriteKind, BLOCK_SIZE};
+use blockdev::{IoBuf, QueueDevice, WriteKind, BLOCK_SIZE};
 use vfs::{FsError, FsResult, Ino};
 
 use crate::dirlog;
@@ -67,7 +67,7 @@ struct LayoutPlan {
     end_off: u32,
 }
 
-impl<D: BlockDevice> Lfs<D> {
+impl<D: QueueDevice> Lfs<D> {
     /// True if any state is waiting to reach the log. O(1): the inode and
     /// indirect-block dirty populations are running counts maintained at
     /// every flag transition, not cache scans (this predicate runs on
@@ -98,7 +98,12 @@ impl<D: BlockDevice> Lfs<D> {
         if !self.needs_flush() {
             return Ok(());
         }
-        self.timed(|o| &o.flush, |fs| fs.flush_inner())
+        let res = self.timed(|o| &o.flush, |fs| fs.flush_inner());
+        // On a queued device the ring engine owns retries of transient
+        // apply failures; fold whatever it absorbed (or gave up on) into
+        // the same ledger the synchronous retry paths use.
+        self.absorb_queue_errors();
+        res
     }
 
     fn flush_inner(&mut self) -> FsResult<()> {
@@ -460,6 +465,18 @@ impl<D: BlockDevice> Lfs<D> {
     /// and, on the simulated disk, the same service time — as
     /// [`Lfs::write_chunk_assembled`], minus one host copy per cached
     /// block.
+    ///
+    /// On a queued device (ring capacity > 1) the chunk is *submitted*
+    /// instead of written: cached data blocks ride along as `Arc` clones
+    /// ([`IoBuf::Shared`], still zero-copy — a later in-place write to a
+    /// block in flight copies-on-write), synthesized blocks as shared
+    /// windows of a pooled scratch buffer, and the call returns without
+    /// waiting for the device. The foreground only blocks again at an
+    /// ordering barrier (a read, a checkpoint fence, or the ring filling
+    /// up). Retries of transient apply failures belong to the ring engine
+    /// on this path — re-issuing from here would reorder the log around
+    /// later queued submissions — and are folded back into
+    /// [`crate::LfsStats`] by [`Lfs::absorb_queue_errors`].
     #[allow(clippy::too_many_arguments)]
     fn write_chunk_gather(
         &mut self,
@@ -472,7 +489,27 @@ impl<D: BlockDevice> Lfs<D> {
     ) -> FsResult<()> {
         let n = items.len();
         let need = (1 + n) * BLOCK_SIZE;
-        let mut scratch = std::mem::take(&mut self.scratch);
+        let queued = self.dev.queue_capacity() > 1;
+        // Synthesized blocks render into `scratch`: the plain reusable
+        // buffer on the synchronous path, or a pooled `Arc` buffer on the
+        // queued path (a pool entry is free again once its submission
+        // completed and dropped the other strong reference).
+        let mut owned_scratch = Vec::new();
+        let mut arc_scratch = None;
+        let scratch: &mut Vec<u8> = if queued {
+            let arc = match self
+                .scratch_pool
+                .iter()
+                .position(|a| std::sync::Arc::strong_count(a) == 1)
+            {
+                Some(i) => self.scratch_pool.swap_remove(i),
+                None => std::sync::Arc::new(Vec::new()),
+            };
+            std::sync::Arc::make_mut(arc_scratch.insert(arc))
+        } else {
+            owned_scratch = std::mem::take(&mut self.scratch);
+            &mut owned_scratch
+        };
         if scratch.len() < need {
             scratch.resize(need, 0);
         }
@@ -566,11 +603,42 @@ impl<D: BlockDevice> Lfs<D> {
         self.stats.flush_copy_bytes += BLOCK_SIZE as u64;
         self.stats
             .add_log_bytes(BlockKind::Summary, BLOCK_SIZE as u64, by_cleaner);
-        // Pass 2: hand the device the block list without assembling it —
-        // scratch slots for synthesized blocks, borrowed cache data for
-        // the rest. `gather_write_retry` is a free function over disjoint
-        // fields precisely so these borrows can be live across the write.
-        let scratch_ref: &[u8] = &scratch;
+        // Pass 2 (queued): enqueue the chunk and return without waiting.
+        // The summary and synthesized blocks go as shared windows of the
+        // pooled scratch `Arc`; cached data blocks as `Arc` clones of
+        // their cache entries (no copy — an in-place overwrite while the
+        // submission is in flight clones-on-write instead); only the
+        // small, rare directory-log payloads are copied into owned
+        // buffers. The pool entry goes back in the pool still pinned by
+        // the in-flight submission and becomes reusable on completion.
+        if let Some(arc) = arc_scratch {
+            let mut bufs: Vec<IoBuf> = Vec::with_capacity(1 + n);
+            bufs.push(IoBuf::shared_range(arc.clone(), 0, BLOCK_SIZE));
+            for (j, item) in items.iter().enumerate() {
+                match item {
+                    Item::DirLog(data) => bufs.push(IoBuf::Owned(data.to_vec())),
+                    Item::Data { ino, bno } => {
+                        bufs.push(IoBuf::shared(self.blocks[&(*ino, *bno)].data.clone()))
+                    }
+                    _ => bufs.push(IoBuf::shared_range(
+                        arc.clone(),
+                        (1 + j) * BLOCK_SIZE,
+                        BLOCK_SIZE,
+                    )),
+                }
+            }
+            self.scratch_pool.push(arc);
+            self.dev
+                .submit_gather(start, bufs, WriteKind::Async)
+                .map_err(FsError::device)?;
+            return Ok(());
+        }
+        // Pass 2 (synchronous): hand the device the block list without
+        // assembling it — scratch slots for synthesized blocks, borrowed
+        // cache data for the rest. `gather_write_retry` is a free function
+        // over disjoint fields precisely so these borrows can be live
+        // across the write.
+        let scratch_ref: &[u8] = &owned_scratch;
         let mut bufs: Vec<&[u8]> = Vec::with_capacity(1 + n);
         bufs.push(&scratch_ref[..BLOCK_SIZE]);
         for (j, item) in items.iter().enumerate() {
@@ -589,7 +657,7 @@ impl<D: BlockDevice> Lfs<D> {
             WriteKind::Async,
         );
         drop(bufs);
-        self.scratch = scratch;
+        self.scratch = owned_scratch;
         res
     }
 
@@ -788,6 +856,21 @@ impl<D: BlockDevice> Lfs<D> {
     }
 
     fn checkpoint_inner(&mut self) -> FsResult<()> {
+        // Group commit: when nothing has reached the log since the last
+        // checkpoint and *both* regions already record `write_seq` (see
+        // `cp_seqs` — `format` writes the regions one at a time), there
+        // is nothing to make durable. Concurrent `sync` callers amortize
+        // into the one checkpoint already on disk: one log append + one
+        // checkpoint barrier serves them all (§4.1's cost argument).
+        if !self.needs_flush()
+            && self.checkpoint_seq == self.write_seq
+            && self.bytes_since_checkpoint == 0
+            && self.cp_seqs[0] == Some(self.write_seq)
+            && self.cp_seqs[1] == Some(self.write_seq)
+        {
+            self.stats.group_commits += 1;
+            return Ok(());
+        }
         self.flush()?;
         // Let the inode map and usage table reach the log; their own
         // relocations are accounted quietly, so this settles quickly.
@@ -815,6 +898,15 @@ impl<D: BlockDevice> Lfs<D> {
             usage_addrs: self.usage.block_addr_vec().to_vec(),
             live_bytes: self.usage.live_vec(),
         };
+        // The summary → checkpoint ordering edge: every queued log write
+        // must have completed before the region claims to cover it. On a
+        // synchronous device this is a no-op; on a ring it is the one
+        // explicit barrier of the flush pipeline (direct reads and the
+        // region writes below drain implicitly, but the edge deserves to
+        // be spelled out — CrashDisk enumerates legal reorderings between
+        // fences, never across them).
+        self.dev.fence().map_err(FsError::device)?;
+        self.absorb_queue_errors();
         let region = self.sb.checkpoint_addrs()[self.next_cr];
         // Write the region payload-first, header-last (see
         // `Checkpoint::write_to`), retrying transient device errors so a
@@ -830,6 +922,7 @@ impl<D: BlockDevice> Lfs<D> {
         self.write_retry(region, &enc[..BLOCK_SIZE], WriteKind::Sync)?;
         self.scratch = enc;
         let written_cr = self.next_cr;
+        self.cp_seqs[written_cr] = Some(self.write_seq);
         self.next_cr = 1 - self.next_cr;
         self.checkpoint_seq = self.write_seq;
         self.bytes_since_checkpoint = 0;

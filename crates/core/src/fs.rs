@@ -9,8 +9,9 @@
 //! to read the file is identical in Sprite LFS and Unix FFS" (§3.1).
 
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
-use blockdev::{BlockDevice, BLOCK_SIZE};
+use blockdev::{BlockDevice, QueueDevice, BLOCK_SIZE};
 use vfs::{DirEntry, FileSystem, FileType, FsError, FsResult, Ino, Metadata, StatFs, ROOT_INO};
 
 use crate::config::LfsConfig;
@@ -101,8 +102,15 @@ pub(crate) fn gather_write_retry<D: BlockDevice>(
 }
 
 /// A cached file (or directory) data block.
+///
+/// The payload is reference-counted so the queued write path can hand the
+/// device a zero-copy window onto the cache ([`blockdev::IoBuf`]): a
+/// submission clones the `Arc`, and a later in-place mutation of the
+/// still-in-flight block copies-on-write via [`Arc::make_mut`] instead of
+/// corrupting the queued snapshot. On the synchronous path the count
+/// never exceeds one and `make_mut` degenerates to a plain `&mut`.
 pub(crate) struct CachedBlock {
-    pub(crate) data: Box<[u8]>,
+    pub(crate) data: Arc<Vec<u8>>,
     pub(crate) dirty: bool,
     pub(crate) lru: u64,
     /// The block's modification time — per *block*, not per file, which
@@ -157,7 +165,7 @@ pub(crate) struct DirCache {
 ///
 /// See the crate-level documentation for the overall design, and
 /// [`Lfs::format`] / [`Lfs::mount`] for how instances come to be.
-pub struct Lfs<D: BlockDevice> {
+pub struct Lfs<D: QueueDevice> {
     pub(crate) dev: D,
     pub(crate) sb: Superblock,
     pub(crate) cfg: LfsConfig,
@@ -216,6 +224,18 @@ pub struct Lfs<D: BlockDevice> {
     /// checkpoints encode into the same allocation, instead of a fresh
     /// `Vec` per chunk. Grows to the largest chunk seen and stays.
     pub(crate) scratch: Vec<u8>,
+    /// Scratch pool for the *queued* write path: each in-flight chunk's
+    /// synthesized blocks render into one `Arc<Vec<u8>>` whose windows are
+    /// submitted zero-copy ([`blockdev::IoBuf::Shared`]). A buffer is
+    /// reusable once its strong count drops back to one (the submission
+    /// completed), so the pool never grows past the ring depth + 1.
+    pub(crate) scratch_pool: Vec<Arc<Vec<u8>>>,
+    /// The checkpoint sequence each region currently holds on disk
+    /// (`None` until this instance writes it). Group commit may skip the
+    /// region writes only when *both* regions already record
+    /// `write_seq` — otherwise an idle `sync` after `format`'s first
+    /// checkpoint would leave the second region unwritten.
+    pub(crate) cp_seqs: [Option<u64>; 2],
 }
 
 /// Looks `bno` up in a pointer window (see [`Lfs::ptr_window`]).
@@ -225,7 +245,7 @@ fn win_lookup(win: &Option<(u64, Vec<DiskAddr>)>, bno: u64) -> Option<DiskAddr> 
         .copied()
 }
 
-impl<D: BlockDevice> Lfs<D> {
+impl<D: QueueDevice> Lfs<D> {
     /// Formats `dev` as a fresh log-structured file system containing only
     /// the root directory, writes both checkpoint regions, and returns the
     /// mounted file system.
@@ -303,6 +323,8 @@ impl<D: BlockDevice> Lfs<D> {
             stats: LfsStats::default(),
             obs: crate::obs::FsObs::default(),
             scratch: Vec::new(),
+            scratch_pool: Vec::new(),
+            cp_seqs: [None, None],
         }
     }
 
@@ -396,6 +418,18 @@ impl<D: BlockDevice> Lfs<D> {
             }
         }
         unreachable!("retry loop always returns")
+    }
+
+    /// Folds device-side retry/giveup counts from the submission ring
+    /// into [`LfsStats`]. With a queued device the engine owns retries of
+    /// transient apply failures (re-issuing from the file system would
+    /// reorder the log around later queued submissions); the counts still
+    /// belong in the same `io_retries` / `io_giveups` ledger the
+    /// synchronous retry paths feed.
+    pub(crate) fn absorb_queue_errors(&mut self) {
+        let (retries, giveups) = self.dev.take_queue_errors();
+        self.stats.io_retries += retries;
+        self.stats.io_giveups += giveups;
     }
 
     /// Returns the underlying device (e.g. to inspect [`blockdev::IoStats`]).
@@ -717,7 +751,7 @@ impl<D: BlockDevice> Lfs<D> {
             return Ok(());
         }
         let addr = self.block_ptr(ino, bno)?;
-        let mut data = vec![0u8; BLOCK_SIZE].into_boxed_slice();
+        let mut data = vec![0u8; BLOCK_SIZE];
         if addr != NIL_ADDR {
             self.dev
                 .read_blocks(addr, &mut data)
@@ -730,13 +764,13 @@ impl<D: BlockDevice> Lfs<D> {
     /// Inserts one freshly fetched (clean) block, with exactly the cache
     /// bookkeeping [`Lfs::ensure_block`] does: LRU touch, modification
     /// stamp, eviction check.
-    fn insert_fetched(&mut self, ino: Ino, bno: u64, data: Box<[u8]>) {
+    fn insert_fetched(&mut self, ino: Ino, bno: u64, data: Vec<u8>) {
         let lru = self.touch_lru();
         let mtime = self.clock;
         self.blocks.insert(
             (ino, bno),
             CachedBlock {
-                data,
+                data: Arc::new(data),
                 dirty: false,
                 lru,
                 mtime,
@@ -794,7 +828,7 @@ impl<D: BlockDevice> Lfs<D> {
             if addr == NIL_ADDR {
                 // A hole: materialise zeros without a device read.
                 self.fetch_run(ino, &mut run)?;
-                self.insert_fetched(ino, bno, vec![0u8; BLOCK_SIZE].into_boxed_slice());
+                self.insert_fetched(ino, bno, vec![0u8; BLOCK_SIZE]);
                 continue;
             }
             run = match run {
@@ -888,16 +922,14 @@ impl<D: BlockDevice> Lfs<D> {
         if count == 1 {
             // Single-block run: skip the scatter-list machinery (this is
             // the common case for small files).
-            let mut data = vec![0u8; BLOCK_SIZE].into_boxed_slice();
+            let mut data = vec![0u8; BLOCK_SIZE];
             self.dev
                 .read_run(start, &mut data)
                 .map_err(FsError::device)?;
             self.insert_fetched(ino, first_bno, data);
             return Ok(());
         }
-        let mut boxes: Vec<Box<[u8]>> = (0..count)
-            .map(|_| vec![0u8; BLOCK_SIZE].into_boxed_slice())
-            .collect();
+        let mut boxes: Vec<Vec<u8>> = (0..count).map(|_| vec![0u8; BLOCK_SIZE]).collect();
         let mut bufs: Vec<&mut [u8]> = boxes.iter_mut().map(|b| &mut b[..]).collect();
         self.dev
             .read_run_scatter(start, &mut bufs)
@@ -1024,17 +1056,15 @@ impl<D: BlockDevice> Lfs<D> {
                 let existing = self.blocks.get_mut(&(ino, bno));
                 match existing {
                     Some(b) => {
-                        b.data.copy_from_slice(&data[pos..pos + n]);
+                        Arc::make_mut(&mut b.data).copy_from_slice(&data[pos..pos + n]);
                         b.lru = lru;
                     }
                     None => {
-                        let mut d = vec![0u8; BLOCK_SIZE].into_boxed_slice();
-                        d.copy_from_slice(&data[pos..pos + n]);
                         let mtime = self.clock;
                         self.blocks.insert(
                             (ino, bno),
                             CachedBlock {
-                                data: d,
+                                data: Arc::new(data[pos..pos + n].to_vec()),
                                 dirty: false,
                                 lru,
                                 mtime,
@@ -1045,7 +1075,7 @@ impl<D: BlockDevice> Lfs<D> {
             } else {
                 self.ensure_block(ino, bno)?;
                 let b = self.blocks.get_mut(&(ino, bno)).unwrap();
-                b.data[off_in..off_in + n].copy_from_slice(&data[pos..pos + n]);
+                Arc::make_mut(&mut b.data)[off_in..off_in + n].copy_from_slice(&data[pos..pos + n]);
             }
             self.mark_block_dirty(ino, bno);
             pos += n;
@@ -1472,7 +1502,7 @@ impl<D: BlockDevice> Lfs<D> {
     }
 }
 
-impl<D: BlockDevice> FileSystem for Lfs<D> {
+impl<D: QueueDevice> FileSystem for Lfs<D> {
     fn create(&mut self, path: &str) -> FsResult<Ino> {
         self.timed(|o| &o.create, |fs| fs.create_node(path, FileType::Regular))
     }
@@ -1528,7 +1558,7 @@ impl<D: BlockDevice> FileSystem for Lfs<D> {
                     self.ensure_block(ino, bno)?;
                     let off = (size % BLOCK_SIZE as u64) as usize;
                     let b = self.blocks.get_mut(&(ino, bno)).unwrap();
-                    b.data[off..].fill(0);
+                    Arc::make_mut(&mut b.data)[off..].fill(0);
                     self.mark_block_dirty(ino, bno);
                 }
             }

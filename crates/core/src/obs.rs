@@ -7,7 +7,7 @@
 
 use std::sync::Arc;
 
-use blockdev::{BlockDevice, DeviceObs};
+use blockdev::{DeviceObs, QueueDevice};
 use lfs_obs::{Histogram, MetricsSnapshot, Obs, Registry, TraceEvent};
 use vfs::FsResult;
 
@@ -50,7 +50,7 @@ pub(crate) struct FsObs {
     pub ops: Option<OpHists>,
 }
 
-impl<D: BlockDevice> Lfs<D> {
+impl<D: QueueDevice> Lfs<D> {
     /// Attaches an observability handle: registers per-operation and
     /// device histograms (when `obs` carries a registry) and routes trace
     /// events into `obs.trace`. Call any time after `format`/`mount`; use
@@ -119,8 +119,24 @@ impl<D: BlockDevice> Lfs<D> {
         reg.counter("disk.busy_ns").store(d.busy_ns);
         reg.counter("disk.sync_busy_ns").store(d.sync_busy_ns);
         reg.counter("disk.positioning_ns").store(d.positioning_ns);
+        reg.counter("disk.service_ns").store(d.service_ns);
         if let Some(eff) = d.transfer_efficiency() {
             reg.gauge("disk.transfer_efficiency").set(eff);
+        }
+        // How far the cleaner is from its high-water target — the
+        // backlog a paced cleaner works down one installment at a time.
+        reg.gauge("lfs.cleaner.backlog_segs").set(
+            self.cfg
+                .clean_high_water
+                .saturating_sub(self.usage.clean_count()) as f64,
+        );
+        let q = self.dev.queue_stats();
+        if q.submitted > 0 {
+            reg.counter("queue.submitted").store(q.submitted);
+            reg.counter("queue.fences").store(q.fences);
+            if let Some(mean) = q.mean_in_flight_depth() {
+                reg.gauge("queue.mean_in_flight_depth").set(mean);
+            }
         }
     }
 
@@ -158,6 +174,7 @@ impl LfsStats {
                 .store(self.log_bytes_cleaner(kind));
         }
         reg.counter("lfs.checkpoints").store(self.checkpoints);
+        reg.counter("lfs.group_commits").store(self.group_commits);
         reg.counter("lfs.partial_writes").store(self.partial_writes);
         reg.counter("lfs.app_bytes_written")
             .store(self.app_bytes_written);

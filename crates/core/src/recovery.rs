@@ -24,7 +24,7 @@
 
 use std::collections::HashMap;
 
-use blockdev::{BlockDevice, BLOCK_SIZE};
+use blockdev::{QueueDevice, BLOCK_SIZE};
 use vfs::{FileSystem, FsError, FsResult, Ino};
 
 use crate::checkpoint::Checkpoint;
@@ -37,7 +37,7 @@ use crate::summary::{EntryKind, Summary};
 use crate::superblock::Superblock;
 use crate::usage::SegState;
 
-impl<D: BlockDevice> Lfs<D> {
+impl<D: QueueDevice> Lfs<D> {
     /// Mounts an existing file system, recovering from a crash if the log
     /// extends past the last checkpoint.
     ///
@@ -654,7 +654,7 @@ impl<D: BlockDevice> Lfs<D> {
 /// (checkpointing) — returning the device.
 pub fn with_mounted<D, T, F>(dev: D, cfg: LfsConfig, f: F) -> FsResult<(D, T)>
 where
-    D: BlockDevice,
+    D: QueueDevice,
     F: FnOnce(&mut Lfs<D>) -> FsResult<T>,
 {
     let mut fs = Lfs::mount(dev, cfg)?;
@@ -665,6 +665,6 @@ where
 
 /// Returns true when a path exists on the mounted file system — a small
 /// helper used by recovery tests.
-pub fn exists<D: BlockDevice>(fs: &mut Lfs<D>, path: &str) -> bool {
+pub fn exists<D: QueueDevice>(fs: &mut Lfs<D>, path: &str) -> bool {
     fs.lookup(path).is_ok()
 }

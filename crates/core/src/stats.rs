@@ -109,6 +109,11 @@ pub struct LfsStats {
     pub cleaner: CleanerStats,
     /// Checkpoints performed.
     pub checkpoints: u64,
+    /// `sync` calls satisfied by group commit: nothing had reached the
+    /// log since the last checkpoint and both regions already recorded
+    /// it, so the call amortized into the checkpoint already on disk
+    /// instead of writing its own.
+    pub group_commits: u64,
     /// Partial writes (flushes) performed.
     pub partial_writes: u64,
     /// Bytes of new file data accepted from applications.

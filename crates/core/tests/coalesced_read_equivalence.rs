@@ -11,7 +11,7 @@
 //! (changing timing) but must never change file contents or the disk
 //! image.
 
-use blockdev::{BlockDevice, DiskModel, MemDisk, SimDisk};
+use blockdev::{BlockDevice, DiskModel, MemDisk, QueueDevice, SimDisk};
 use lfs_core::{Lfs, LfsConfig};
 use proptest::prelude::*;
 use vfs::{FileSystem, Ino};
@@ -79,7 +79,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 
 /// Applies one op; returns the bytes a read produced so the instances can
 /// be compared.
-fn apply<D: BlockDevice>(fs: &mut Lfs<D>, inos: &[Ino], op: &Op) -> Option<Vec<u8>> {
+fn apply<D: QueueDevice>(fs: &mut Lfs<D>, inos: &[Ino], op: &Op) -> Option<Vec<u8>> {
     match op {
         Op::Write {
             file,
@@ -116,7 +116,7 @@ fn apply<D: BlockDevice>(fs: &mut Lfs<D>, inos: &[Ino], op: &Op) -> Option<Vec<u
     }
 }
 
-fn setup<D: BlockDevice>(fs: &mut Lfs<D>) -> Vec<Ino> {
+fn setup<D: QueueDevice>(fs: &mut Lfs<D>) -> Vec<Ino> {
     (0..NFILES)
         .map(|i| fs.create(&format!("/f{i}")).expect("create"))
         .collect()

@@ -12,7 +12,7 @@
 //! shrinks by exactly one block-sized memcpy per cached data and
 //! directory-log block.
 
-use blockdev::{BlockDevice, CrashDisk, DiskModel, MemDisk, SimDisk};
+use blockdev::{BlockDevice, CrashDisk, DiskModel, MemDisk, QueueDevice, SimDisk};
 use lfs_core::{BlockKind, Lfs, LfsConfig};
 use proptest::prelude::*;
 use vfs::{FileSystem, FsError, Ino};
@@ -70,7 +70,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
     ]
 }
 
-fn apply<D: BlockDevice>(fs: &mut Lfs<D>, inos: &[Ino], op: &Op) {
+fn apply<D: QueueDevice>(fs: &mut Lfs<D>, inos: &[Ino], op: &Op) {
     match op {
         Op::Write {
             file,
@@ -100,19 +100,19 @@ fn apply<D: BlockDevice>(fs: &mut Lfs<D>, inos: &[Ino], op: &Op) {
     }
 }
 
-fn setup<D: BlockDevice>(fs: &mut Lfs<D>) -> Vec<Ino> {
+fn setup<D: QueueDevice>(fs: &mut Lfs<D>) -> Vec<Ino> {
     (0..NFILES)
         .map(|i| fs.create(&format!("/f{i}")).expect("create"))
         .collect()
 }
 
 /// Host bytes the flush path memcpy'd into write buffers.
-fn copied<D: BlockDevice>(fs: &Lfs<D>) -> u64 {
+fn copied<D: QueueDevice>(fs: &Lfs<D>) -> u64 {
     fs.stats().flush_copy_bytes
 }
 
 /// Log bytes of the kinds the gather path borrows instead of copying.
-fn borrowable_log_bytes<D: BlockDevice>(fs: &Lfs<D>) -> u64 {
+fn borrowable_log_bytes<D: QueueDevice>(fs: &Lfs<D>) -> u64 {
     fs.stats().log_bytes(BlockKind::Data) + fs.stats().log_bytes(BlockKind::DirLog)
 }
 

@@ -13,7 +13,7 @@ fn small_cfg() -> LfsConfig {
 
 /// Runs enough traffic to force flushes, checkpoints, and cleaning
 /// (same overwrite-churn shape as `cleaner_reclaims_overwritten_segments`).
-fn churn<D: blockdev::BlockDevice>(fs: &mut Lfs<D>) {
+fn churn<D: blockdev::QueueDevice>(fs: &mut Lfs<D>) {
     let ino = fs.create("/churn").unwrap();
     for round in 0..200u32 {
         let data = vec![(round % 251) as u8; 64 * 1024];

@@ -1,0 +1,239 @@
+//! File-system-level tests for the submission-queue device model:
+//! on-disk image parity between direct and queued devices, group-commit
+//! amortization of idle `sync` calls, and the paced / bounded-staging
+//! behaviour of the background cleaner.
+
+use blockdev::{BlockDevice, MemDisk, QueueDevice, QueuedDev};
+use lfs_core::{Lfs, LfsConfig};
+use lfs_obs::Obs;
+use vfs::FileSystem;
+
+/// A mixed workload: creates, multi-block writes, overwrites, deletes,
+/// and interior syncs — enough traffic to force several flushes.
+fn workload<D: QueueDevice>(fs: &mut Lfs<D>) {
+    for i in 0..40u32 {
+        let ino = fs.create(&format!("/f{i}")).unwrap();
+        let data = vec![(i % 251) as u8; 3 * 4096 + 123];
+        fs.write(ino, 0, &data).unwrap();
+        fs.advance_clock(50);
+        if i % 3 == 0 {
+            fs.sync().unwrap();
+        }
+        if i % 7 == 0 && i > 0 {
+            fs.unlink(&format!("/f{}", i / 2)).unwrap();
+        }
+    }
+    fs.sync().unwrap();
+}
+
+/// The tentpole equivalence claim, at the file-system level: the same
+/// workload against a direct device and against the same device behind
+/// a depth-8 submission queue must produce a bit-identical disk image
+/// and identical mechanical device statistics. Queue depth may only
+/// change *when* requests are serviced, never *what* reaches the disk.
+#[test]
+fn queued_device_image_and_stats_parity() {
+    let cfg = LfsConfig::small();
+
+    let mut direct = Lfs::format(MemDisk::new(4096), cfg).unwrap();
+    workload(&mut direct);
+
+    let mut queued = Lfs::format(QueuedDev::new(MemDisk::new(4096), 8), cfg).unwrap();
+    workload(&mut queued);
+
+    // Same files readable through both.
+    for i in 0..40u32 {
+        let a = direct.lookup(&format!("/f{i}"));
+        let b = queued.lookup(&format!("/f{i}"));
+        match (a, b) {
+            (Ok(ia), Ok(ib)) => {
+                assert_eq!(
+                    direct.read_to_vec(ia).unwrap(),
+                    queued.read_to_vec(ib).unwrap(),
+                    "content of /f{i} diverged"
+                );
+            }
+            (Err(_), Err(_)) => {}
+            (a, b) => panic!("lookup of /f{i} diverged: direct={a:?} queued={b:?}"),
+        }
+    }
+
+    // The queue actually carried traffic (this was not a degenerate
+    // pass-through run) and never dropped or abandoned anything.
+    let q = queued.device().queue_stats();
+    assert!(q.submitted > 0, "no queued submissions recorded");
+    assert_eq!(q.submitted, q.completed);
+    assert!(q.fences > 0, "checkpoints must fence the ring");
+    assert_eq!(q.giveups, 0);
+    assert_eq!(queued.stats().io_giveups, 0);
+
+    let d = direct.into_device();
+    let qd = queued.into_device().into_inner();
+    assert_eq!(d.stats().writes, qd.stats().writes);
+    assert_eq!(d.stats().bytes_written, qd.stats().bytes_written);
+    assert_eq!(d.stats().reads, qd.stats().reads);
+    assert_eq!(d.stats().bytes_read, qd.stats().bytes_read);
+    assert_eq!(d.image(), qd.image(), "disk images diverged");
+}
+
+/// Idle `sync` calls group-commit: once both checkpoint regions record
+/// the current log position, `sync` returns without touching the disk.
+/// A region that is stale (the alternate not yet rewritten) still gets
+/// its own checkpoint first — group commit never weakens the
+/// dual-region invariant.
+#[test]
+fn group_commit_amortizes_idle_syncs() {
+    let mut fs = Lfs::format(MemDisk::new(2048), LfsConfig::small()).unwrap();
+    // format wrote both regions at the same sequence, so the very first
+    // idle sync is already free.
+    let w0 = fs.device().stats().writes;
+    let cp0 = fs.stats().checkpoints;
+    fs.sync().unwrap();
+    assert_eq!(fs.stats().group_commits, 1);
+    assert_eq!(
+        fs.stats().checkpoints,
+        cp0,
+        "group commit must not checkpoint"
+    );
+    assert_eq!(
+        fs.device().stats().writes,
+        w0,
+        "group commit must not write"
+    );
+
+    // New data: the next sync is a real checkpoint (one region)...
+    fs.write_file("/f", b"dirty again").unwrap();
+    fs.sync().unwrap();
+    assert_eq!(fs.stats().checkpoints, cp0 + 1);
+    assert_eq!(fs.stats().group_commits, 1);
+    // ...the one after refreshes the alternate region (still real)...
+    fs.sync().unwrap();
+    assert_eq!(fs.stats().checkpoints, cp0 + 2);
+    assert_eq!(fs.stats().group_commits, 1);
+    // ...and only then do further idle syncs amortize away.
+    let w1 = fs.device().stats().writes;
+    fs.sync().unwrap();
+    fs.sync().unwrap();
+    assert_eq!(fs.stats().checkpoints, cp0 + 2);
+    assert_eq!(fs.stats().group_commits, 3);
+    assert_eq!(fs.device().stats().writes, w1);
+
+    // The image stays mountable after a run that group-committed.
+    let ino = fs.lookup("/f").unwrap();
+    assert_eq!(fs.read_to_vec(ino).unwrap(), b"dirty again");
+    let disk = fs.into_device();
+    let mut fs = Lfs::mount(disk, LfsConfig::small()).unwrap();
+    let ino = fs.lookup("/f").unwrap();
+    assert_eq!(fs.read_to_vec(ino).unwrap(), b"dirty again");
+}
+
+/// Group commit composes with the queue: a queued device sees no
+/// submissions at all for an idle sync.
+#[test]
+fn group_commit_skips_queue_traffic() {
+    let mut fs = Lfs::format(QueuedDev::new(MemDisk::new(2048), 8), LfsConfig::small()).unwrap();
+    fs.write_file("/f", b"x").unwrap();
+    fs.sync().unwrap();
+    fs.sync().unwrap(); // refresh the alternate region
+    let q0 = fs.device().queue_stats();
+    let w0 = fs.device().inner().stats().writes;
+    fs.sync().unwrap();
+    assert!(fs.stats().group_commits >= 1);
+    let q1 = fs.device().queue_stats();
+    assert_eq!(q0.submitted, q1.submitted);
+    assert_eq!(q0.fences, q1.fences);
+    assert_eq!(fs.device().inner().stats().writes, w0);
+}
+
+/// Overwrite churn that forces the cleaner, shared by the pacing tests.
+fn churn<D: QueueDevice>(fs: &mut Lfs<D>) {
+    let ino = fs.create("/churn").unwrap();
+    for round in 0..200u32 {
+        let data = vec![(round % 251) as u8; 64 * 1024];
+        fs.write(ino, 0, &data).unwrap();
+        fs.advance_clock(100);
+    }
+    fs.sync().unwrap();
+}
+
+/// With `clean_pace_segs` set, the cleaner reclaims the same space in
+/// more, smaller installments instead of one low-to-high-water burst —
+/// the knob that lets background cleaning interleave with foreground
+/// traffic.
+#[test]
+fn paced_cleaner_runs_bounded_installments() {
+    let mut unpaced_fs = Lfs::format(MemDisk::new(4096), LfsConfig::small()).unwrap();
+    churn(&mut unpaced_fs);
+    let unpaced = *unpaced_fs.stats();
+    assert!(unpaced.cleaner.segments_cleaned > 0, "churn never cleaned");
+
+    let mut paced_fs = Lfs::format(MemDisk::new(4096), LfsConfig::small().paced(1)).unwrap();
+    churn(&mut paced_fs);
+    let paced = *paced_fs.stats();
+
+    assert!(
+        paced.cleaner.segments_cleaned > 0,
+        "paced churn never cleaned"
+    );
+    assert!(
+        paced.cleaner.passes > unpaced.cleaner.passes,
+        "pacing must split cleaning into more installments: paced {} vs unpaced {}",
+        paced.cleaner.passes,
+        unpaced.cleaner.passes
+    );
+    // Pacing changes when cleaning happens, not whether the data
+    // survives it.
+    let ino = paced_fs.lookup("/churn").unwrap();
+    let data = paced_fs.read_to_vec(ino).unwrap();
+    assert_eq!(data.len(), 64 * 1024);
+    assert!(data.iter().all(|&b| b == 199)); // last round: 199 % 251
+}
+
+/// A cleaning pass over many segments must flush incrementally — at
+/// most about one segment of staged live data may accumulate before
+/// the pass gives the log head back — rather than staging every
+/// candidate's live blocks and holding the write point across the
+/// whole copy loop.
+#[test]
+fn cleaner_bounds_staged_data_per_flush() {
+    let mut cfg = LfsConfig::small();
+    cfg.segs_per_clean = 8;
+    let mut fs = Lfs::format(MemDisk::new(4096), cfg).unwrap();
+    fs.set_obs(Obs::recording(64));
+
+    // 16 files of 8 blocks each, then delete every other: many
+    // half-live segments for one wide pass to relocate.
+    for i in 0..16u32 {
+        let data = vec![(i + 1) as u8; 8 * 4096];
+        fs.write_file(&format!("/f{i}"), &data).unwrap();
+    }
+    fs.sync().unwrap();
+    for i in (0..16u32).step_by(2) {
+        fs.unlink(&format!("/f{i}")).unwrap();
+    }
+    fs.sync().unwrap();
+
+    let flushes = |fs: &Lfs<MemDisk>| {
+        fs.metrics_snapshot()
+            .and_then(|s| s.hist("op.flush_ns").map(|h| h.count))
+            .unwrap_or(0)
+    };
+    let before = flushes(&fs);
+    let cleaned = fs.clean_pass().unwrap();
+    assert!(
+        cleaned >= 4,
+        "workload too small to exercise multi-segment staging (cleaned {cleaned})"
+    );
+    let delta = flushes(&fs) - before;
+    assert!(
+        delta >= 2,
+        "a {cleaned}-segment pass must flush incrementally, got {delta} flush(es)"
+    );
+
+    // Survivors intact after the incremental pass.
+    for i in (1..16u32).step_by(2) {
+        let ino = fs.lookup(&format!("/f{i}")).unwrap();
+        let data = fs.read_to_vec(ino).unwrap();
+        assert!(data.iter().all(|&b| b == (i + 1) as u8), "/f{i} corrupted");
+    }
+}

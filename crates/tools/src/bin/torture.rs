@@ -29,12 +29,19 @@
 //! and the `lfs-metrics/1` snapshot is written to `<path>` at exit —
 //! render it with `lfstop <path>`.
 //!
-//! Usage: `torture [--seeds N] [--start S] [--ops K] [--cuts C] [--rot] [--verbose] [--metrics PATH]`
+//! With `--queue N` (N > 1) the faulty crash device runs behind an
+//! N-deep submission queue, so the workload, the fault injection, and
+//! the crash cuts all exercise the queued write path: parked
+//! submissions that never reached the journal before the crash are
+//! simply lost, which is a legal crash state the verifier already
+//! accepts.
+//!
+//! Usage: `torture [--seeds N] [--start S] [--ops K] [--cuts C] [--queue N] [--rot] [--verbose] [--metrics PATH]`
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use blockdev::{CrashDisk, FaultDisk, FaultPlan, MemDisk, BLOCK_SIZE};
+use blockdev::{CrashDisk, FaultDisk, FaultPlan, MemDisk, QueueDevice, QueuedDev, BLOCK_SIZE};
 use lfs_core::{Lfs, LfsConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -49,6 +56,7 @@ struct Options {
     start: u64,
     ops: usize,
     cuts: usize,
+    queue: usize,
     rot: bool,
     verbose: bool,
     metrics: Option<String>,
@@ -56,8 +64,8 @@ struct Options {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: torture [--seeds N] [--start S] [--ops K] [--cuts C] [--rot] [--verbose] \
-         [--metrics PATH]"
+        "usage: torture [--seeds N] [--start S] [--ops K] [--cuts C] [--queue N] [--rot] \
+         [--verbose] [--metrics PATH]"
     );
     std::process::exit(2);
 }
@@ -68,6 +76,7 @@ fn parse_args() -> Options {
         start: 0,
         ops: 500,
         cuts: 3,
+        queue: 1,
         rot: false,
         verbose: false,
         metrics: None,
@@ -86,6 +95,7 @@ fn parse_args() -> Options {
             "--start" => opts.start = take(&mut i),
             "--ops" => opts.ops = take(&mut i) as usize,
             "--cuts" => opts.cuts = take(&mut i) as usize,
+            "--queue" => opts.queue = (take(&mut i) as usize).max(1),
             "--rot" => opts.rot = true,
             "--metrics" => {
                 i += 1;
@@ -138,13 +148,46 @@ fn tolerable(e: &FsError) -> bool {
     )
 }
 
+/// Access to the fault/crash layers of the torture device, whether it
+/// is used directly or behind a submission queue.
+trait TortureDev: QueueDevice {
+    fn fault(&self) -> &FaultDisk<CrashDisk>;
+    fn fault_mut(&mut self) -> &mut FaultDisk<CrashDisk>;
+}
+
+impl TortureDev for FaultDisk<CrashDisk> {
+    fn fault(&self) -> &FaultDisk<CrashDisk> {
+        self
+    }
+    fn fault_mut(&mut self) -> &mut FaultDisk<CrashDisk> {
+        self
+    }
+}
+
+impl TortureDev for QueuedDev<FaultDisk<CrashDisk>> {
+    fn fault(&self) -> &FaultDisk<CrashDisk> {
+        self.inner()
+    }
+    fn fault_mut(&mut self) -> &mut FaultDisk<CrashDisk> {
+        self.inner_mut()
+    }
+}
+
 /// One torture round. `Err` carries a human-readable diagnosis.
-fn run_seed(seed: u64, opts: &Options, obs: &lfs_obs::Obs) -> Result<(), String> {
+fn run_seed<D: TortureDev>(
+    seed: u64,
+    opts: &Options,
+    obs: &lfs_obs::Obs,
+    make: impl FnOnce(FaultDisk<CrashDisk>) -> D,
+) -> Result<(), String> {
     let cfg = LfsConfig::small();
     let mut rng = StdRng::seed_from_u64(seed);
 
     // Phase 1: quiet device, base files, checkpoint, journal baseline.
-    let disk = FaultDisk::new(CrashDisk::new(DISK_BLOCKS), FaultPlan::new(seed));
+    let disk = make(FaultDisk::new(
+        CrashDisk::new(DISK_BLOCKS),
+        FaultPlan::new(seed),
+    ));
     let mut fs = Lfs::format(disk, cfg).map_err(|e| format!("format: {e}"))?;
     if obs.is_on() {
         fs.set_obs(obs.clone());
@@ -157,11 +200,14 @@ fn run_seed(seed: u64, opts: &Options, obs: &lfs_obs::Obs) -> Result<(), String>
         base.push(content);
     }
     fs.sync().map_err(|e| format!("base sync: {e}"))?;
-    fs.device_mut().inner_mut().checkpoint_baseline();
+    fs.device_mut()
+        .fault_mut()
+        .inner_mut()
+        .checkpoint_baseline();
 
     // Phase 2: arm the fault plan and churn the hot namespace.
     {
-        let plan = fs.device_mut().plan_mut();
+        let plan = fs.device_mut().fault_mut().plan_mut();
         plan.seed = rng.gen_range(0u64..u64::MAX);
         plan.read_fault_rate = 0.1;
         plan.write_fault_rate = 0.15;
@@ -234,10 +280,10 @@ fn run_seed(seed: u64, opts: &Options, obs: &lfs_obs::Obs) -> Result<(), String>
     if fs.stats().degraded() {
         return Err("fs went degraded despite transient-only faults".into());
     }
-    let fault_counts = fs.device().counts();
+    let fault_counts = fs.device().fault().counts();
 
     // Phase 3 + 4: crash at random block cuts and verify the survivor.
-    let journal = fs.device().inner();
+    let journal = fs.device().fault().inner();
     let max_cut = journal.num_block_cuts();
     for c in 0..opts.cuts {
         let cut = rng.gen_range(0usize..max_cut + 1);
@@ -347,7 +393,13 @@ fn main() {
     };
     let mut failures = 0u64;
     for seed in opts.start..opts.start + opts.seeds {
-        let outcome = catch_unwind(AssertUnwindSafe(|| run_seed(seed, &opts, &obs)));
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if opts.queue > 1 {
+                run_seed(seed, &opts, &obs, |d| QueuedDev::new(d, opts.queue))
+            } else {
+                run_seed(seed, &opts, &obs, |d| d)
+            }
+        }));
         match outcome {
             Ok(Ok(())) => {}
             Ok(Err(msg)) => {
@@ -361,9 +413,14 @@ fn main() {
         }
     }
     println!(
-        "torture: {}/{} seeds passed{}",
+        "torture: {}/{} seeds passed{}{}",
         opts.seeds - failures,
         opts.seeds,
+        if opts.queue > 1 {
+            format!(" (queue depth {})", opts.queue)
+        } else {
+            String::new()
+        },
         if opts.rot { " (rot mode)" } else { "" }
     );
     if let Some(path) = &opts.metrics {
