@@ -8,10 +8,25 @@ use crate::BLOCK_SIZE;
 
 /// One recorded block write.
 #[derive(Clone, Debug)]
-struct LoggedWrite {
-    start: u64,
-    data: Vec<u8>,
-    kind: WriteKind,
+pub(crate) struct LoggedWrite {
+    pub(crate) start: u64,
+    pub(crate) data: Vec<u8>,
+    pub(crate) kind: WriteKind,
+}
+
+/// A journaled write as seen from outside: where it landed, how many
+/// blocks it carried, and whether the application waited for it.
+///
+/// This is the read-only view [`crate::ModelCheck`] enumerates over; the
+/// data itself stays inside the journal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WriteRecord {
+    /// First block of the request.
+    pub start: u64,
+    /// Number of blocks in the request.
+    pub nblocks: usize,
+    /// Whether the application waited for the write.
+    pub kind: WriteKind,
 }
 
 /// SplitMix64 step, used to derive the torn-block subset deterministically.
@@ -20,6 +35,23 @@ fn splitmix64(mut x: u64) -> u64 {
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     x ^ (x >> 31)
+}
+
+/// The seed-chosen set of `budget` surviving blocks for a write of
+/// `nblocks` blocks at `start` — the subset [`CrashDisk::torn_image_after`]
+/// persists for the request straddling the cut. Factored out so the model
+/// checker samples from exactly the same distribution.
+pub(crate) fn torn_subset(start: u64, nblocks: usize, budget: usize, seed: u64) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..nblocks).collect();
+    // Partial Fisher-Yates: pick `budget` distinct blocks.
+    let mut h = splitmix64(seed ^ start ^ ((nblocks as u64) << 32));
+    for i in 0..budget {
+        h = splitmix64(h);
+        let j = i + (h as usize) % (nblocks - i);
+        idx.swap(i, j);
+    }
+    idx.truncate(budget);
+    idx
 }
 
 /// A block device that records every write so a crash can be simulated.
@@ -66,6 +98,10 @@ pub struct CrashDisk {
     initial: Vec<u8>,
     current: MemDisk,
     journal: Vec<LoggedWrite>,
+    /// Write-journal indices at which an ordering barrier landed: a fence
+    /// at position `p` means every write with index `< p` had been applied
+    /// to the device before any write with index `>= p` was issued.
+    fences: Vec<usize>,
 }
 
 impl CrashDisk {
@@ -76,6 +112,7 @@ impl CrashDisk {
             initial: disk.image().to_vec(),
             current: disk,
             journal: Vec::new(),
+            fences: Vec::new(),
         }
     }
 
@@ -90,6 +127,7 @@ impl CrashDisk {
             initial: image.clone(),
             current: MemDisk::from_image(image),
             journal: Vec::new(),
+            fences: Vec::new(),
         }
     }
 
@@ -109,6 +147,33 @@ impl CrashDisk {
     /// past the end of the journal.
     pub fn write_kind(&self, i: usize) -> Option<WriteKind> {
         self.journal.get(i).map(|w| w.kind)
+    }
+
+    /// Returns the shape of the `i`-th journaled write (start block, block
+    /// count, kind), or `None` past the end of the journal.
+    pub fn write_record(&self, i: usize) -> Option<WriteRecord> {
+        self.journal.get(i).map(|w| WriteRecord {
+            start: w.start,
+            nblocks: w.data.len() / BLOCK_SIZE,
+            kind: w.kind,
+        })
+    }
+
+    /// Write-journal positions at which an ordering barrier
+    /// ([`crate::QueueDevice::fence`]) landed, ascending. A fence at
+    /// position `p` separates writes `< p` from writes `>= p`: the former
+    /// were all applied before any of the latter was issued, so a crash
+    /// can never persist a post-fence write while losing a pre-fence one.
+    pub fn fence_points(&self) -> &[usize] {
+        &self.fences
+    }
+
+    pub(crate) fn journal(&self) -> &[LoggedWrite] {
+        &self.journal
+    }
+
+    pub(crate) fn initial_image(&self) -> &[u8] {
+        &self.initial
     }
 
     /// Materialises the disk as it would look after the first
@@ -177,15 +242,7 @@ impl CrashDisk {
                 // Straddles the cut: persist a seed-chosen subset of
                 // `budget` blocks (or nothing, for an atomic Sync write).
                 if !(sync_atomic && w.kind == WriteKind::Sync) {
-                    let mut idx: Vec<usize> = (0..nblocks).collect();
-                    // Partial Fisher-Yates: pick `budget` distinct blocks.
-                    let mut h = splitmix64(seed ^ w.start ^ ((nblocks as u64) << 32));
-                    for i in 0..budget {
-                        h = splitmix64(h);
-                        let j = i + (h as usize) % (nblocks - i);
-                        idx.swap(i, j);
-                    }
-                    for &b in &idx[..budget] {
+                    for &b in &torn_subset(w.start, nblocks, budget, seed) {
                         let src = b * BLOCK_SIZE;
                         let dst = (w.start as usize + b) * BLOCK_SIZE;
                         image[dst..dst + BLOCK_SIZE]
@@ -210,6 +267,7 @@ impl CrashDisk {
     pub fn checkpoint_baseline(&mut self) {
         self.initial = self.current.image().to_vec();
         self.journal.clear();
+        self.fences.clear();
     }
 }
 
@@ -260,6 +318,14 @@ impl BlockDevice for CrashDisk {
 
     fn attach_obs(&mut self, obs: crate::DeviceObs) {
         self.current.attach_obs(obs);
+    }
+
+    fn note_fence(&mut self) {
+        // Consecutive fences with no intervening write collapse to one
+        // barrier: they constrain the same (empty) set of reorderings.
+        if self.fences.last() != Some(&self.journal.len()) {
+            self.fences.push(self.journal.len());
+        }
     }
 }
 

@@ -139,6 +139,16 @@ pub trait BlockDevice {
         None
     }
 
+    /// Records that an ordering barrier ([`crate::QueueDevice::fence`])
+    /// reached this device, for devices that journal the write stream.
+    ///
+    /// The default is a no-op: most devices have no journal, and a fence
+    /// carries no data. [`crate::CrashDisk`] overrides it to mark the
+    /// barrier in its crash journal so model checking can tell which
+    /// in-flight writes were allowed to reorder across which. Wrapper
+    /// devices forward it to the device they wrap.
+    fn note_fence(&mut self) {}
+
     /// Reads a single block into `buf`.
     fn read_block(&mut self, block: u64, buf: &mut [u8; BLOCK_SIZE]) -> Result<()> {
         self.read_blocks(block, buf.as_mut_slice())

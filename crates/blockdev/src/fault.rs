@@ -431,6 +431,10 @@ impl<D: BlockDevice> BlockDevice for FaultDisk<D> {
     fn queue_timed(&mut self) -> Option<&mut dyn crate::QueueTimed> {
         self.inner.queue_timed()
     }
+
+    fn note_fence(&mut self) {
+        self.inner.note_fence();
+    }
 }
 
 #[cfg(test)]

@@ -46,17 +46,19 @@ mod error;
 mod fault;
 mod file;
 mod mem;
+mod modelcheck;
 mod obs;
 mod queue;
 mod sim;
 mod stats;
 
-pub use crash::CrashDisk;
+pub use crash::{CrashDisk, WriteRecord};
 pub use device::{BlockDevice, WriteKind};
 pub use error::{BlockError, Result};
 pub use fault::{FaultCounts, FaultDisk, FaultPlan};
 pub use file::FileDisk;
 pub use mem::MemDisk;
+pub use modelcheck::{CrashSpec, ExploreStats, ModelCheck, ModelCheckBudget, StateKind};
 pub use obs::DeviceObs;
 pub use queue::{IoBuf, QueueDevice, QueueStats, QueueTimed, QueuedDev, Ticket};
 pub use sim::{DiskModel, SimDisk};

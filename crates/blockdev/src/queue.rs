@@ -254,7 +254,12 @@ pub trait QueueDevice: BlockDevice {
     /// the device to go idle. The log's ordering edges (summary before
     /// checkpoint) are expressed as explicit fences so a crash journal
     /// still enumerates exactly the legal write orders.
+    ///
+    /// The shim default has nothing to drain, but still notes the barrier
+    /// on the device ([`BlockDevice::note_fence`]) so journaling devices
+    /// record the same barrier positions with and without a ring.
     fn fence(&mut self) -> Result<()> {
+        self.note_fence();
         Ok(())
     }
 
@@ -485,6 +490,10 @@ impl<D: BlockDevice> BlockDevice for QueuedDev<D> {
     fn queue_timed(&mut self) -> Option<&mut dyn QueueTimed> {
         self.inner.queue_timed()
     }
+
+    fn note_fence(&mut self) {
+        self.inner.note_fence();
+    }
 }
 
 impl<D: BlockDevice> QueueDevice for QueuedDev<D> {
@@ -543,7 +552,9 @@ impl<D: BlockDevice> QueueDevice for QueuedDev<D> {
 
     fn fence(&mut self) -> Result<()> {
         self.qstats.fences += 1;
-        self.drain()
+        self.drain()?;
+        self.inner.note_fence();
+        Ok(())
     }
 
     fn queue_capacity(&self) -> usize {

@@ -22,6 +22,7 @@ use vfs::{FsError, FsResult};
 
 use crate::codec::{checksum, Reader, Writer};
 use crate::layout::{DiskAddr, CR_BLOCKS};
+use crate::ordering::CheckpointReady;
 
 const MAGIC: u64 = 0x4c46_5343_4850_5431; // "LFSCHPT1"
 const HEADER_SIZE: usize = 64;
@@ -170,10 +171,35 @@ impl Checkpoint {
         })
     }
 
+    /// Writes this checkpoint to the region starting at `region_addr`,
+    /// consuming the [`CheckpointReady`] proof that an ordering barrier
+    /// has drained every log write the checkpoint claims to cover.
+    ///
+    /// This is the only entry point the running file system uses; the
+    /// typestate chain in [`crate::ordering`] makes writing a region
+    /// before its log is durable a compile error rather than a crash bug.
+    /// Payload blocks go first, the header block last, so a crash anywhere
+    /// in between leaves a region that fails validation.
+    pub fn write_ordered<D: BlockDevice>(
+        &self,
+        dev: &mut D,
+        region_addr: DiskAddr,
+        ready: CheckpointReady,
+    ) -> FsResult<()> {
+        let _proof_consumed = ready;
+        self.write_to(dev, region_addr)
+    }
+
     /// Writes this checkpoint to the region starting at `region_addr`.
     ///
     /// Payload blocks go first, the header block last, so a crash anywhere
     /// in between leaves a region that fails validation.
+    ///
+    /// This is the *raw* escape hatch — it demands no ordering proof, and
+    /// exists for formatting (no prior log to fence) and for
+    /// fault-injection tests that deliberately construct ill-ordered
+    /// images. Runtime checkpointing goes through
+    /// [`Checkpoint::write_ordered`].
     pub fn write_to<D: BlockDevice>(&self, dev: &mut D, region_addr: DiskAddr) -> FsResult<()> {
         let buf = self.encode()?;
         let nblocks = buf.len() / BLOCK_SIZE;

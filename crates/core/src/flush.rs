@@ -19,6 +19,7 @@ use crate::dirlog;
 use crate::fs::{gather_write_retry, set_dirty, IndKey, Lfs};
 use crate::inode::INODE_DISK_SIZE;
 use crate::layout::{classify_block, BlockClass, DiskAddr, NIL_ADDR};
+use crate::ordering::{CheckpointReady, DataWritten, Flush};
 use crate::stats::BlockKind;
 use crate::summary::{EntryKind, Summary, SummaryEntry, MAX_SUMMARY_ENTRIES};
 use crate::usage::SegState;
@@ -95,8 +96,18 @@ impl<D: QueueDevice> Lfs<D> {
     /// accumulated small modifications into large sequential transfers.
     /// It does *not* write a checkpoint; see [`Lfs::checkpoint`].
     pub fn flush(&mut self) -> FsResult<()> {
+        self.flush_tokened().map(drop)
+    }
+
+    /// [`Lfs::flush`], returning the [`Flush<DataWritten>`] ordering token
+    /// of the last chunk written. Checkpointing goes through this form:
+    /// the token is the compile-time proof that the log writes a
+    /// checkpoint will cover were staged → sealed → submitted in order,
+    /// and [`Flush::fence`] is the only way to turn it into the
+    /// [`CheckpointReady`] the region write demands.
+    pub(crate) fn flush_tokened(&mut self) -> FsResult<Flush<DataWritten>> {
         if !self.needs_flush() {
-            return Ok(());
+            return Ok(Flush::idle());
         }
         let res = self.timed(|o| &o.flush, |fs| fs.flush_inner());
         // On a queued device the ring engine owns retries of transient
@@ -106,7 +117,7 @@ impl<D: QueueDevice> Lfs<D> {
         res
     }
 
-    fn flush_inner(&mut self) -> FsResult<()> {
+    fn flush_inner(&mut self) -> FsResult<Flush<DataWritten>> {
         // ---- gather -----------------------------------------------------
         let dirlog_blocks = dirlog::encode_records(&self.dirlog_pending);
 
@@ -411,16 +422,17 @@ impl<D: QueueDevice> Lfs<D> {
         let mut item_idx = 0usize;
         let mut seq = self.write_seq;
         let time = self.clock;
+        let mut written = Flush::idle();
         for c in &plan.chunks {
             seq += 1;
             let chunk_items = &items[item_idx..item_idx + c.n_items];
             let chunk_addrs = &addrs[item_idx..item_idx + c.n_items];
             let start = self.sb.seg_start(c.seg) + c.off as u64;
-            if self.cfg.gather_writes {
-                self.write_chunk_gather(chunk_items, chunk_addrs, start, seq, time, by_cleaner)?;
+            written = if self.cfg.gather_writes {
+                self.write_chunk_gather(chunk_items, chunk_addrs, start, seq, time, by_cleaner)?
             } else {
-                self.write_chunk_assembled(chunk_items, chunk_addrs, start, seq, time, by_cleaner)?;
-            }
+                self.write_chunk_assembled(chunk_items, chunk_addrs, start, seq, time, by_cleaner)?
+            };
             if !by_cleaner {
                 self.bytes_since_checkpoint += ((1 + c.n_items) * BLOCK_SIZE) as u64;
             }
@@ -454,7 +466,7 @@ impl<D: QueueDevice> Lfs<D> {
         self.dirty_files.clear();
         self.dirlog_pending.clear();
         self.maybe_evict_after_flush();
-        Ok(())
+        Ok(written)
     }
 
     /// Writes one partial-write chunk as a single gather request: data and
@@ -486,7 +498,8 @@ impl<D: QueueDevice> Lfs<D> {
         seq: u64,
         time: u64,
         by_cleaner: bool,
-    ) -> FsResult<()> {
+    ) -> FsResult<Flush<DataWritten>> {
+        let staged = Flush::stage();
         let n = items.len();
         let need = (1 + n) * BLOCK_SIZE;
         let queued = self.dev.queue_capacity() > 1;
@@ -600,6 +613,7 @@ impl<D: QueueDevice> Lfs<D> {
             entries,
         };
         summary.encode_into(&mut scratch[..BLOCK_SIZE]);
+        let sealed = staged.seal_summary();
         self.stats.flush_copy_bytes += BLOCK_SIZE as u64;
         self.stats
             .add_log_bytes(BlockKind::Summary, BLOCK_SIZE as u64, by_cleaner);
@@ -631,7 +645,7 @@ impl<D: QueueDevice> Lfs<D> {
             self.dev
                 .submit_gather(start, bufs, WriteKind::Async)
                 .map_err(FsError::device)?;
-            return Ok(());
+            return Ok(sealed.submitted());
         }
         // Pass 2 (synchronous): hand the device the block list without
         // assembling it — scratch slots for synthesized blocks, borrowed
@@ -658,7 +672,7 @@ impl<D: QueueDevice> Lfs<D> {
         );
         drop(bufs);
         self.scratch = owned_scratch;
-        res
+        res.map(|()| sealed.submitted())
     }
 
     /// The legacy chunk writer: assembles the whole chunk into one fresh
@@ -674,7 +688,8 @@ impl<D: QueueDevice> Lfs<D> {
         seq: u64,
         time: u64,
         by_cleaner: bool,
-    ) -> FsResult<()> {
+    ) -> FsResult<Flush<DataWritten>> {
+        let staged = Flush::stage();
         let mut entries = Vec::with_capacity(items.len());
         let mut buf = vec![0u8; (1 + items.len()) * BLOCK_SIZE];
         for (j, item) in items.iter().enumerate() {
@@ -747,12 +762,14 @@ impl<D: QueueDevice> Lfs<D> {
             entries,
         };
         buf[..BLOCK_SIZE].copy_from_slice(&summary.encode());
+        let sealed = staged.seal_summary();
         self.stats.flush_copy_bytes += BLOCK_SIZE as u64;
         self.stats
             .add_log_bytes(BlockKind::Summary, BLOCK_SIZE as u64, by_cleaner);
         // Bounded retry: transient device errors must not abort a
         // flush that the cache can simply reissue.
         self.write_retry(start, &buf, WriteKind::Async)
+            .map(|()| sealed.submitted())
     }
 
     fn maybe_evict_after_flush(&mut self) {
@@ -871,23 +888,26 @@ impl<D: QueueDevice> Lfs<D> {
             self.stats.group_commits += 1;
             return Ok(());
         }
-        self.flush()?;
+        // Every flush hands back the ordering token of its last chunk;
+        // the settle loop keeps only the newest one, which is all the
+        // fence below needs — a barrier drains *everything* in flight.
+        let written = self.flush_tokened()?;
         // Let the inode map and usage table reach the log; their own
         // relocations are accounted quietly, so this settles quickly.
         // Settle writes may dip into the cleaner's reserve — finishing
         // this checkpoint is what turns pending segments clean again.
         self.settling = true;
-        let settle = (|| -> FsResult<()> {
+        let settle = (|mut written: Flush<DataWritten>| -> FsResult<Flush<DataWritten>> {
             for _ in 0..4 {
                 if !self.imap.has_dirty() && !self.usage.has_dirty() {
                     break;
                 }
-                self.flush()?;
+                written = self.flush_tokened()?;
             }
-            Ok(())
-        })();
+            Ok(written)
+        })(written);
         self.settling = false;
-        settle?;
+        let written = settle?;
         let cp = crate::checkpoint::Checkpoint {
             epoch: self.epoch,
             seq: self.write_seq,
@@ -904,9 +924,15 @@ impl<D: QueueDevice> Lfs<D> {
         // explicit barrier of the flush pipeline (direct reads and the
         // region writes below drain implicitly, but the edge deserves to
         // be spelled out — CrashDisk enumerates legal reorderings between
-        // fences, never across them).
-        self.dev.fence().map_err(FsError::device)?;
+        // fences, never across them). The `written` token makes the edge
+        // a type: `CheckpointReady` only exists on the far side of the
+        // fence, and `write_region_ordered` will not run without it.
+        let fence_res = written.fence(&mut self.dev).map_err(FsError::device);
+        // Claim ring-side retry/giveup counts even when the fence itself
+        // failed — a giveup *is* the fence failure, and the stats ledger
+        // must reflect it on this call, not whenever the next flush runs.
         self.absorb_queue_errors();
+        let ready = fence_res?;
         let region = self.sb.checkpoint_addrs()[self.next_cr];
         // Write the region payload-first, header-last (see
         // `Checkpoint::write_to`), retrying transient device errors so a
@@ -916,11 +942,9 @@ impl<D: QueueDevice> Lfs<D> {
         // nothing.
         let mut enc = std::mem::take(&mut self.scratch);
         cp.encode_into(&mut enc)?;
-        if enc.len() > BLOCK_SIZE {
-            self.write_retry(region + 1, &enc[BLOCK_SIZE..], WriteKind::Sync)?;
-        }
-        self.write_retry(region, &enc[..BLOCK_SIZE], WriteKind::Sync)?;
+        let write_res = self.write_region_ordered(region, &enc, ready);
         self.scratch = enc;
+        write_res?;
         let written_cr = self.next_cr;
         self.cp_seqs[written_cr] = Some(self.write_seq);
         self.next_cr = 1 - self.next_cr;
@@ -940,6 +964,25 @@ impl<D: QueueDevice> Lfs<D> {
         // recorded PendingFree was written after the relocation flush.
         self.usage.promote_pending(self.checkpoint_seq);
         Ok(())
+    }
+
+    /// The retrying flavour of [`Checkpoint::write_ordered`]: payload
+    /// blocks first, header block last, each through the bounded
+    /// transient-error retry, gated on the same consumed
+    /// [`CheckpointReady`] proof. `enc` is the encoded region image.
+    ///
+    /// [`Checkpoint::write_ordered`]: crate::checkpoint::Checkpoint::write_ordered
+    fn write_region_ordered(
+        &mut self,
+        region: DiskAddr,
+        enc: &[u8],
+        ready: CheckpointReady,
+    ) -> FsResult<()> {
+        let _proof_consumed = ready;
+        if enc.len() > BLOCK_SIZE {
+            self.write_retry(region + 1, &enc[BLOCK_SIZE..], WriteKind::Sync)?;
+        }
+        self.write_retry(region, &enc[..BLOCK_SIZE], WriteKind::Sync)
     }
 }
 

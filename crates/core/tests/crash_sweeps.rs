@@ -1,13 +1,23 @@
 //! Exhaustive crash-point sweeps for every directory-log operation.
 //!
 //! For each operation kind, the sweep crashes at every recorded write
-//! boundary and asserts that (a) the file system mounts, (b) the offline
-//! consistency check passes, and (c) the observable state is one of the
-//! legal states (before or after the operation, never in between).
+//! boundary and asserts the shared [`InvariantSuite`] — (a) the file
+//! system mounts, (b) the offline consistency check passes — plus a
+//! scenario-specific closure checking that the observable state is one
+//! of the legal states (before or after the operation, never in
+//! between).
 
 use blockdev::{CrashDisk, MemDisk};
-use lfs_core::{Lfs, LfsConfig};
+use lfs_core::{InvariantSuite, Lfs, LfsConfig};
 use vfs::{FileSystem, FsError};
+
+/// Asserts `suite` on a crashed image and hands back the mounted
+/// survivor for scenario-specific checks.
+fn verify_cut(suite: &InvariantSuite, image: MemDisk, cfg: LfsConfig, tag: &str) -> Lfs<MemDisk> {
+    let (report, fs) = suite.verify_device(image, cfg);
+    assert!(report.is_ok(), "{tag}: {report}");
+    fs.unwrap_or_else(|| panic!("{tag}: ok report without a mounted fs"))
+}
 
 fn sweep<Setup, Op, Check>(setup: Setup, op: Op, check: Check)
 where
@@ -22,18 +32,12 @@ where
     fs.device_mut().checkpoint_baseline();
     op(&mut fs);
     fs.sync().unwrap();
+    let suite = InvariantSuite::new();
     let crash: &CrashDisk = fs.device();
     let n = crash.num_writes();
     for cut in 0..=n {
         let image = crash.image_after(cut).unwrap();
-        let mut fs2 =
-            Lfs::mount(image, cfg).unwrap_or_else(|e| panic!("cut {cut}/{n}: mount failed: {e}"));
-        let report = fs2.check().unwrap();
-        assert!(
-            report.is_clean(),
-            "cut {cut}/{n}: fsck: {:#?}",
-            report.errors
-        );
+        let mut fs2 = verify_cut(&suite, image, cfg, &format!("cut {cut}/{n}"));
         check(&mut fs2, cut, n);
     }
 }
@@ -56,19 +60,14 @@ where
     fs.device_mut().checkpoint_baseline();
     op(&mut fs);
     fs.sync().unwrap();
+    let suite = InvariantSuite::new();
     let crash: &CrashDisk = fs.device();
     let n = crash.num_block_cuts();
     for cut in 0..=n {
         for seed in [1u64, 0x9e37_79b9_7f4a_7c15] {
             let image = crash.torn_image_after(cut, seed, false).unwrap();
-            let mut fs2 = Lfs::mount(image, cfg)
-                .unwrap_or_else(|e| panic!("torn cut {cut}/{n} seed {seed:#x}: mount failed: {e}"));
-            let report = fs2.check().unwrap();
-            assert!(
-                report.is_clean(),
-                "torn cut {cut}/{n} seed {seed:#x}: fsck: {:#?}",
-                report.errors
-            );
+            let tag = format!("torn cut {cut}/{n} seed {seed:#x}");
+            let mut fs2 = verify_cut(&suite, image, cfg, &tag);
             check(&mut fs2, cut, n);
         }
     }
@@ -296,24 +295,18 @@ fn crash_during_cleaning_never_loses_data() {
         "no cleaning happened"
     );
 
+    // The suite's content expectations replace the hand-rolled cold-file
+    // loop: every cold file was durable before the baseline, so every
+    // cut must hold it byte-exact.
+    let mut suite = InvariantSuite::new();
+    for i in 0..15 {
+        suite.expect_exact(format!("/cold{i}"), vec![i as u8; 8192]);
+    }
     let crash: &CrashDisk = fs.device();
     let n = crash.num_writes();
     for cut in (0..=n).step_by(7) {
         let image = crash.image_after(cut).unwrap();
-        let mut fs2 =
-            Lfs::mount(image, cfg).unwrap_or_else(|e| panic!("cut {cut}/{n}: mount failed: {e}"));
-        let report = fs2.check().unwrap();
-        assert!(report.is_clean(), "cut {cut}/{n}: {:#?}", report.errors);
-        for i in 0..15 {
-            let ino = fs2
-                .lookup(&format!("/cold{i}"))
-                .unwrap_or_else(|e| panic!("cut {cut}/{n}: cold{i} lost: {e}"));
-            assert_eq!(
-                fs2.read_to_vec(ino).unwrap(),
-                vec![i as u8; 8192],
-                "cut {cut}/{n}: cold{i} corrupted"
-            );
-        }
+        verify_cut(&suite, image, cfg, &format!("cut {cut}/{n}"));
     }
 }
 
@@ -337,15 +330,15 @@ fn double_crash_recover_crash_again() {
     };
     fs2.write_file("/gen1", b"one").unwrap();
     fs2.flush().unwrap();
+    // gen0 must always be there; gen1 only if its writes survived.
+    let mut suite = InvariantSuite::new();
+    suite.expect_exact("/gen0", b"zero".to_vec());
+    suite.expect_history("/gen1", vec![b"one".to_vec()]);
     let crash: &CrashDisk = fs2.device();
     let n = crash.num_writes();
     for cut in 0..=n {
         let image = crash.image_after(cut).unwrap();
-        let mut fs3 = Lfs::mount(image, cfg).unwrap_or_else(|e| panic!("cut {cut}/{n}: {e}"));
-        // gen0 must always be there; gen1 only if its writes survived.
-        let g0 = fs3.lookup("/gen0").expect("gen0 lost");
-        assert_eq!(fs3.read_to_vec(g0).unwrap(), b"zero");
-        assert!(fs3.check().unwrap().is_clean(), "cut {cut}/{n}");
+        verify_cut(&suite, image, cfg, &format!("cut {cut}/{n}"));
     }
 }
 

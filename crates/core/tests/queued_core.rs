@@ -1,10 +1,12 @@
 //! File-system-level tests for the submission-queue device model:
 //! on-disk image parity between direct and queued devices, group-commit
-//! amortization of idle `sync` calls, and the paced / bounded-staging
-//! behaviour of the background cleaner.
+//! amortization of idle `sync` calls, the paced / bounded-staging
+//! behaviour of the background cleaner, and the ring's error paths —
+//! how retries and giveups fold into [`LfsStats`], and what a crash cut
+//! between submit and fence leaves on disk.
 
-use blockdev::{BlockDevice, MemDisk, QueueDevice, QueuedDev};
-use lfs_core::{Lfs, LfsConfig};
+use blockdev::{BlockDevice, CrashDisk, FaultDisk, FaultPlan, MemDisk, QueueDevice, QueuedDev};
+use lfs_core::{InvariantSuite, Lfs, LfsConfig};
 use lfs_obs::Obs;
 use vfs::FileSystem;
 
@@ -236,4 +238,137 @@ fn cleaner_bounds_staged_data_per_flush() {
         let data = fs.read_to_vec(ino).unwrap();
         assert!(data.iter().all(|&b| b == (i + 1) as u8), "/f{i} corrupted");
     }
+}
+
+/// A faulty device behind the ring, with faults off so formatting and
+/// the baseline workload run clean; tests flip the plan on afterwards.
+fn faulty_queued_fs(seed: u64, depth: usize) -> Lfs<QueuedDev<FaultDisk<MemDisk>>> {
+    let disk = FaultDisk::new(MemDisk::new(2048), FaultPlan::new(seed));
+    let mut fs = Lfs::format(QueuedDev::new(disk, depth), LfsConfig::small()).unwrap();
+    fs.write_file("/base", b"stable ground").unwrap();
+    fs.sync().unwrap();
+    fs
+}
+
+/// A fault burst that outlasts the ring's retry budget becomes a
+/// giveup: the checkpoint's fence surfaces the error, and the very same
+/// call folds the ring's unclaimed retry/giveup counts into [`LfsStats`]
+/// — a later probe of the device finds nothing left to claim.
+#[test]
+fn ring_giveup_mid_trace_folds_into_stats_once() {
+    let mut fs = faulty_queued_fs(11, 8);
+    {
+        let plan = fs.device_mut().inner_mut().plan_mut();
+        plan.write_fault_rate = 1.0;
+        plan.transient_failures = 32; // outlasts the ring's retry budget
+    }
+    fs.write_file("/doomed", &[0x5a; 3 * 4096]).unwrap();
+    assert!(fs.sync().is_err(), "fence over a giveup must surface");
+
+    let stats = *fs.stats();
+    assert_eq!(stats.io_giveups, 1, "one submission exhausted its budget");
+    assert!(
+        stats.io_retries >= 1,
+        "the giveup's earlier attempts count as retries"
+    );
+    assert!(stats.degraded(), "a giveup marks the fs degraded");
+    // `absorb_queue_errors` already claimed the ring's counters — the
+    // device has nothing left for a second accounting.
+    assert_eq!(fs.device_mut().take_queue_errors(), (0, 0));
+
+    // The giveup lost in-flight log writes, but nothing durable: the
+    // fence failed *before* the checkpoint regions were touched, so the
+    // on-disk image still recovers to the last fenced state — `/base`
+    // intact, `/doomed` simply never happened.
+    let mut suite = InvariantSuite::new();
+    suite.expect_exact("/base", b"stable ground".to_vec());
+    suite.expect_history("/doomed", vec![vec![0x5a; 3 * 4096]]);
+    let img = fs.device().inner().inner().image().to_vec();
+    let (report, rfs) = suite.verify_device(MemDisk::from_image(img), LfsConfig::small());
+    assert!(report.is_ok(), "post-giveup image unclean: {report}");
+    let mut rfs = rfs.unwrap();
+    assert!(
+        rfs.lookup("/doomed").is_err(),
+        "/doomed's writes died in the ring; it must not be visible"
+    );
+}
+
+/// Fault bursts shorter than the retry budget stay invisible to the
+/// caller: the ring absorbs them, the flush succeeds, and the attempts
+/// surface only as `io_retries` — never as giveups or degradation.
+#[test]
+fn transient_ring_retries_fold_into_io_retries() {
+    let mut fs = faulty_queued_fs(23, 8);
+    {
+        let plan = fs.device_mut().inner_mut().plan_mut();
+        plan.write_fault_rate = 1.0;
+        plan.transient_failures = 2; // within the ring's retry budget
+    }
+    fs.write_file("/survivor", &[0x7b; 2 * 4096]).unwrap();
+    fs.sync().unwrap();
+
+    let stats = *fs.stats();
+    assert!(
+        stats.io_retries >= 2,
+        "absorbed ring retries must reach the stats ledger, got {}",
+        stats.io_retries
+    );
+    assert_eq!(stats.io_giveups, 0);
+    assert!(!stats.degraded(), "retries alone must not degrade the fs");
+    assert_eq!(fs.device_mut().take_queue_errors(), (0, 0));
+
+    let ino = fs.lookup("/survivor").unwrap();
+    assert_eq!(fs.read_to_vec(ino).unwrap(), vec![0x7b; 2 * 4096]);
+}
+
+/// A crash cut between submit and fence: a flush parks its gather
+/// submissions in the ring, so none of them reach the journal beneath —
+/// the crash image is exactly the last fenced state, and recovery from
+/// it is clean (the parked file simply never happened).
+#[test]
+fn crash_cut_between_submit_and_fence_recovers_clean() {
+    let cfg = LfsConfig::small();
+    let mut suite = InvariantSuite::new();
+    let mut fs = Lfs::format(QueuedDev::new(CrashDisk::new(2048), 4), cfg).unwrap();
+    for i in 0..3u8 {
+        let content = vec![b'a' + i; 1500];
+        suite.expect_exact(format!("/base{i}"), content.clone());
+        fs.write_file(&format!("/base{i}"), &content).unwrap();
+    }
+    fs.sync().unwrap();
+    let fenced_writes = fs.device().inner().num_writes();
+    assert_eq!(fs.device().in_flight(), 0, "fence must drain the ring");
+
+    // Dirty data, flushed but never fenced: the chunk is submitted to
+    // the ring and parked there.
+    suite.expect_history("/parked", vec![vec![0x42; 6000]]);
+    fs.write_file("/parked", &[0x42; 6000]).unwrap();
+    fs.flush().unwrap();
+    assert!(
+        fs.device().in_flight() > 0,
+        "an unfenced flush must leave submissions parked"
+    );
+    assert_eq!(
+        fs.device().inner().num_writes(),
+        fenced_writes,
+        "parked submissions must not reach the journal"
+    );
+
+    // Crash now: the journal image *is* the crash state — parked
+    // submissions evaporate with the ring.
+    let crash_image = fs.device().inner().image_now();
+    let (report, rfs) = suite.verify_device(crash_image, cfg);
+    assert!(report.is_ok(), "crash-cut state unclean: {report}");
+    let mut rfs = rfs.unwrap();
+    assert!(rfs.lookup("/parked").is_err(), "/parked predates any fence");
+
+    // The original fs still holds the data in memory; a later sync
+    // fences it through, and the full image then shows the file.
+    fs.sync().unwrap();
+    assert!(fs.device().inner().num_writes() > fenced_writes);
+    let (report, rfs) = suite.verify_device(fs.device().inner().image_now(), cfg);
+    assert!(report.is_ok(), "post-fence image unclean: {report}");
+    let mut rfs = rfs.unwrap();
+    let ino = rfs.lookup("/parked").unwrap();
+    assert_eq!(rfs.read_to_vec(ino).unwrap(), vec![0x42; 6000]);
 }

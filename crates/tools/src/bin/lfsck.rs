@@ -1,25 +1,30 @@
 //! `lfsck` — offline consistency check of an LFS disk image.
 //!
 //! Mounts the image (running roll-forward recovery if the log extends
-//! past the last checkpoint) and verifies every cross-structure
-//! invariant: inode map ↔ inodes ↔ block pointers ↔ segment usage table,
-//! plus directory-tree connectivity and link counts.
+//! past the last checkpoint) and runs the shared [`InvariantSuite`] —
+//! the same predicate the `torture` sampler and the `crash_explore`
+//! model checker assert on every enumerated crash state: inode map ↔
+//! inodes ↔ block pointers ↔ segment usage table, directory-tree
+//! connectivity, and link counts. `lfsck` has no content expectations to
+//! register, so its suite checks recoverability and structure only.
 //!
 //! Usage: `lfsck <image-path>`
 
 use blockdev::FileDisk;
-use lfs_core::{Lfs, LfsConfig};
-use vfs::FsError;
+use lfs_core::{InvariantSuite, LfsConfig};
 
 /// Exit code for an image whose on-disk structures are corrupt — distinct
 /// from exit 1 (inconsistent-but-parseable, or an I/O error) so scripts
 /// can triage.
 const EXIT_CORRUPT: i32 = 2;
 
-fn exit_for(e: &FsError) -> i32 {
-    match e {
-        FsError::Corrupt(_) => EXIT_CORRUPT,
-        _ => 1,
+fn exit_for(msg: &str) -> i32 {
+    // `FsError::Corrupt` renders as "corrupt: ..." — keep triage working
+    // across the report's string boundary.
+    if msg.contains("corrupt") {
+        EXIT_CORRUPT
+    } else {
+        1
     }
 }
 
@@ -34,23 +39,27 @@ fn main() {
         eprintln!("lfsck: cannot open {path}: {e}");
         std::process::exit(1);
     });
-    let mut fs = Lfs::mount(disk, LfsConfig::default()).unwrap_or_else(|e| {
+    let (report, _fs) = InvariantSuite::new().verify_device(disk, LfsConfig::default());
+    if let Some(e) = &report.mount_error {
         eprintln!("lfsck: mount failed: {e}");
-        std::process::exit(exit_for(&e));
-    });
-    let report = fs.check().unwrap_or_else(|e| {
+        std::process::exit(exit_for(e));
+    }
+    if let Some(e) = &report.check_error {
         eprintln!("lfsck: check aborted: {e}");
-        std::process::exit(exit_for(&e));
-    });
-    println!(
-        "lfsck: {} files, {} directories, {} data blocks",
-        report.files, report.dirs, report.data_blocks
-    );
-    if report.is_clean() {
+        std::process::exit(exit_for(e));
+    }
+    if let Some(check) = &report.check {
+        println!(
+            "lfsck: {} files, {} directories, {} data blocks",
+            check.files, check.dirs, check.data_blocks
+        );
+    }
+    if report.is_ok() {
         println!("lfsck: clean");
     } else {
-        println!("lfsck: {} error(s):", report.errors.len());
-        for e in &report.errors {
+        let failures = report.failures();
+        println!("lfsck: {} error(s):", failures.len());
+        for e in &failures {
             println!("  {e}");
         }
         std::process::exit(1);

@@ -11,10 +11,12 @@
 //! 3. Crash: cut the write journal at random *block* granularity — the
 //!    straddling request persists an arbitrary subset of its blocks — and
 //!    remount the surviving image on a plain [`MemDisk`].
-//! 4. Verify: the mount must succeed, the offline checker must report
-//!    clean, the base files must be byte-exact, and every surviving hot
-//!    file must hold one of its historical contents (torn intermediate
-//!    states are format bugs, not bad luck).
+//! 4. Verify with the shared [`InvariantSuite`] (the same predicate
+//!    `lfsck` and the `crash_explore` model checker assert): the mount
+//!    must succeed, the offline checker must report clean, the base
+//!    files must be byte-exact, and every surviving hot file must hold a
+//!    prefix of one of its historical contents (torn intermediate states
+//!    are format bugs, not bad luck).
 //!
 //! With `--rot`, random bit flips are also applied to the crashed image;
 //! in that mode a mount may legitimately fail with a corruption error, so
@@ -42,7 +44,7 @@ use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use blockdev::{CrashDisk, FaultDisk, FaultPlan, MemDisk, QueueDevice, QueuedDev, BLOCK_SIZE};
-use lfs_core::{Lfs, LfsConfig};
+use lfs_core::{InvariantSuite, Lfs, LfsConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use vfs::{FileSystem, FsError};
@@ -192,12 +194,14 @@ fn run_seed<D: TortureDev>(
     if obs.is_on() {
         fs.set_obs(obs.clone());
     }
-    let mut base = Vec::new();
+    // Expectations accumulate into the shared invariant suite as the
+    // workload runs; after each crash cut the whole suite is asserted.
+    let mut suite = InvariantSuite::new();
     for i in 0..BASE_FILES {
         let content = version_content(seed, i as u32, 2000 + 3000 * i);
         fs.write_file(&base_path(i), &content)
             .map_err(|e| format!("base write: {e}"))?;
-        base.push(content);
+        suite.expect_exact(base_path(i), content);
     }
     fs.sync().map_err(|e| format!("base sync: {e}"))?;
     fs.device_mut()
@@ -214,8 +218,9 @@ fn run_seed<D: TortureDev>(
         plan.transient_failures = 2; // < the fs retry budget, so ops succeed
         plan.tear_writes = true;
     }
-    // Every content version each hot path has ever held.
-    let mut history: HashMap<String, Vec<Vec<u8>>> = HashMap::new();
+    // Every content version each hot path has ever held lives in the
+    // suite; `live` additionally tracks what each path holds *now* so a
+    // rename can propagate content to its destination's history.
     let mut live: HashMap<String, Vec<u8>> = HashMap::new();
     let mut version = BASE_FILES as u32;
 
@@ -229,10 +234,7 @@ fn run_seed<D: TortureDev>(
             // Record the attempt *before* issuing it: even a write that
             // fails mid-way (NoSpace) may leave a prefix of this content
             // on disk after a crash.
-            history
-                .entry(path.clone())
-                .or_default()
-                .push(content.clone());
+            suite.push_version(&path, content.clone());
             match fs.write_file(&path, &content) {
                 Ok(_) => {
                     live.insert(path, content);
@@ -255,10 +257,7 @@ fn run_seed<D: TortureDev>(
             match fs.rename(&src, &dst) {
                 Ok(()) => {
                     if let Some(content) = live.remove(&src) {
-                        history
-                            .entry(dst.clone())
-                            .or_default()
-                            .push(content.clone());
+                        suite.push_version(&dst, content.clone());
                         live.insert(dst, content);
                     }
                     Ok(())
@@ -301,69 +300,25 @@ fn run_seed<D: TortureDev>(
             }
         }
         let tag = format!("seed {seed} cut {c} ({cut}/{max_cut} blocks)");
-        let mounted = if obs.is_on() {
-            Lfs::mount_with_obs(MemDisk::from_image(img), cfg, obs.clone())
-        } else {
-            Lfs::mount(MemDisk::from_image(img), cfg)
-        };
-        let mut rfs = match mounted {
-            Ok(rfs) => rfs,
-            Err(_) if opts.rot => continue, // rot may hit anything; Err is legal
-            Err(e) => return Err(format!("{tag}: mount failed: {e}")),
-        };
-        let report = match rfs.check() {
-            Ok(r) => r,
-            Err(_) if opts.rot => continue,
-            Err(e) => return Err(format!("{tag}: check aborted: {e}")),
-        };
-        if !report.is_clean() {
-            if opts.rot {
-                continue;
-            }
-            return Err(format!("{tag}: fsck dirty: {:?}", report.errors));
-        }
+        // The shared suite runs the whole chain: mount (checkpoint
+        // gating + roll-forward), structural check, base-file
+        // byte-exactness, and hot-file prefix-of-history (crash
+        // atomicity is per *flush*, not per operation: large writes
+        // deliberately recover as a correct prefix, and a cut between a
+        // create's dirlog chunk and its data chunk leaves the file
+        // empty — see `InvariantSuite`).
+        let (report, _rfs) = suite.verify_device_obs(
+            MemDisk::from_image(img),
+            cfg,
+            obs.is_on().then(|| obs.clone()),
+        );
         if opts.rot {
-            continue; // rot can silently alter live data; skip content checks
+            // Rot may corrupt anything, including live data the suite
+            // expects: every outcome short of a panic is legal.
+            continue;
         }
-        for (i, content) in base.iter().enumerate() {
-            let ino = rfs
-                .lookup(&base_path(i))
-                .map_err(|e| format!("{tag}: base{i} lost: {e}"))?;
-            let data = rfs
-                .read_to_vec(ino)
-                .map_err(|e| format!("{tag}: base{i} unreadable: {e}"))?;
-            if &data != content {
-                return Err(format!("{tag}: base{i} corrupted ({} bytes)", data.len()));
-            }
-        }
-        for n in 0..HOT_FILES {
-            let path = hot_path(n);
-            match rfs.lookup(&path) {
-                Ok(ino) => {
-                    let data = rfs
-                        .read_to_vec(ino)
-                        .map_err(|e| format!("{tag}: {path} unreadable: {e}"))?;
-                    // Crash atomicity is per *flush*, not per operation:
-                    // large writes flush incrementally and deliberately
-                    // recover as a correct prefix (see `Lfs::write`), and
-                    // a cut between a create's dirlog chunk and its data
-                    // chunk leaves the file empty. So the legal states
-                    // are: any prefix of any version this path has held
-                    // (empty is the zero-length prefix).
-                    let known = data.is_empty()
-                        || history
-                            .get(&path)
-                            .is_some_and(|versions| versions.iter().any(|v| v.starts_with(&data)));
-                    if !known {
-                        return Err(format!(
-                            "{tag}: {path} holds a never-written state ({} bytes)",
-                            data.len()
-                        ));
-                    }
-                }
-                Err(FsError::NotFound) => {}
-                Err(e) => return Err(format!("{tag}: {path}: {e}")),
-            }
+        if !report.is_ok() {
+            return Err(format!("{tag}: {}", report.failures().join("; ")));
         }
     }
 
