@@ -1,0 +1,383 @@
+//! Multi-client server throughput and correctness gate. Records to
+//! `bench_results/server_throughput.jsonl`.
+//!
+//! Three phases, all over one shared mount:
+//!
+//! 1. **mixed correctness** — ≥ 1000 closed-loop self-verifying clients
+//!    (`workload::clients`) run a mixed open/read/write/unlink workload
+//!    concurrently against one `SharedLfs` behind a depth-4 submission
+//!    queue. Every read is checked byte-for-byte against the client's
+//!    expected content; the run must finish with **zero** verification
+//!    failures and zero unexpected errors.
+//! 2. **read-heavy scaling** — aggregate N-thread read throughput vs a
+//!    single client on the same warm cache. Two checks:
+//!    - deterministic, always on: ≥ [`GATE_MIN_LOCKFREE`] of the timed
+//!      reads must be served entirely lock-free from the shared cache
+//!      (if reads serialize on the writer lane, scaling is fiction
+//!      regardless of wall clock);
+//!    - wall clock, only when the host has ≥ [`GATE_MIN_CPUS`] cores:
+//!      aggregate multi-client throughput ≥ [`GATE_MIN_SCALING`] × the
+//!      single-client run. On smaller hosts the check prints SKIP —
+//!      a 1-core container cannot exhibit parallel speedup.
+//! 3. **TCP loopback** — the same self-verifying clients driven through
+//!    `lfs-server` (`lfs-wire/1` frames over loopback, one connection
+//!    per thread), proving the wire path preserves the same answers.
+//!
+//! ```sh
+//! cargo run --release -p lfs-bench --bin server_throughput
+//! cargo run --release -p lfs-bench --bin server_throughput -- --gate
+//! ```
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use blockdev::{MemDisk, QueuedDev, BLOCK_SIZE};
+use lfs_bench::{append_jsonl, finish, or_die, smoke_mode, Table};
+use lfs_core::SharedLfs;
+use lfs_server::{serve, Client, ServerConfig};
+use serde_json::json;
+use vfs::{FileSystem, Ino};
+use workload::clients::{content, run_clients, ClientMix};
+
+/// Multi-client aggregate read throughput must beat one client by this
+/// factor (wall clock; checked only on hosts with enough cores).
+const GATE_MIN_SCALING: f64 = 2.0;
+
+/// Cores needed before the wall-clock scaling check is meaningful.
+const GATE_MIN_CPUS: usize = 4;
+
+/// Fraction of timed read-heavy reads that must complete without ever
+/// touching the writer lane. Deterministic on a warm cache, so it runs
+/// on every host.
+const GATE_MIN_LOCKFREE: f64 = 0.9;
+
+fn cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn shared_fs(disk_mb: u64, queue: usize) -> SharedLfs<QueuedDev<MemDisk>> {
+    let blocks = disk_mb * 1024 * 1024 / BLOCK_SIZE as u64;
+    let cfg = lfs_bench::production_lfs_config(disk_mb);
+    or_die(
+        "format",
+        SharedLfs::format(QueuedDev::new(MemDisk::new(blocks), queue), cfg),
+    )
+}
+
+/// Phase 1/3 result.
+struct MixOutcome {
+    ops: u64,
+    violations: u64,
+    errors: u64,
+    mb_read: f64,
+    mb_written: f64,
+    secs: f64,
+}
+
+fn run_mix<F, MK>(nclients: usize, ops: usize, threads: usize, make_fs: MK) -> MixOutcome
+where
+    F: FileSystem,
+    MK: Fn(usize) -> F + Sync,
+{
+    let t0 = Instant::now();
+    let report = run_clients(
+        nclients,
+        ops,
+        threads,
+        ClientMix::mixed(),
+        1536,
+        0xC0FF_EE00,
+        make_fs,
+    );
+    let secs = t0.elapsed().as_secs_f64();
+    if let Some(f) = &report.first_failure {
+        eprintln!("first verification failure: {f}");
+    }
+    MixOutcome {
+        ops: report.stats.ops,
+        violations: report.stats.verify_failures,
+        errors: report.stats.errors,
+        mb_read: report.stats.read_bytes as f64 / (1 << 20) as f64,
+        mb_written: report.stats.write_bytes as f64 / (1 << 20) as f64,
+        secs,
+    }
+}
+
+/// A pre-created file with known content, for the pure-read phases.
+#[derive(Clone, Copy)]
+struct ReadTarget {
+    ino: Ino,
+    seed: u64,
+    len: usize,
+}
+
+/// Creates `count` files of `len` bytes and warms the shared read cache.
+fn build_read_set(fs: &SharedLfs<QueuedDev<MemDisk>>, count: usize, len: usize) -> Vec<ReadTarget> {
+    let mut h = fs.clone();
+    let mut set = Vec::with_capacity(count);
+    for i in 0..count {
+        let seed = 0xFEED_0000 + i as u64;
+        let ino = or_die("create", h.create(&format!("/ro{i}")));
+        or_die("write", h.write(ino, 0, &content(seed, len)));
+        set.push(ReadTarget { ino, seed, len });
+    }
+    or_die("sync", h.sync());
+    // Warm pass: populate the lock-free shard cache.
+    let mut buf = vec![0u8; len];
+    for t in &set {
+        or_die("warm read", h.read(t.ino, 0, &mut buf));
+    }
+    set
+}
+
+/// Runs `rounds` verified whole-file reads of every target on each of
+/// `threads` threads; returns aggregate bytes/sec.
+fn read_phase(
+    fs: &SharedLfs<QueuedDev<MemDisk>>,
+    set: &[ReadTarget],
+    threads: usize,
+    rounds: usize,
+) -> f64 {
+    let t0 = Instant::now();
+    let total: u64 = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let mut h = fs.clone();
+                s.spawn(move || {
+                    let mut bytes = 0u64;
+                    let mut buf = vec![0u8; set.iter().map(|t| t.len).max().unwrap_or(0)];
+                    for _ in 0..rounds {
+                        for t in set {
+                            let n = or_die("read", h.read(t.ino, 0, &mut buf[..t.len]));
+                            assert_eq!(
+                                buf[..n],
+                                content(t.seed, t.len)[..n],
+                                "read-phase content mismatch (ino {})",
+                                t.ino
+                            );
+                            bytes += n as u64;
+                        }
+                    }
+                    bytes
+                })
+            })
+            .collect();
+        handles.map_join_sum()
+    });
+    total as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// Tiny helper: join a vec of u64-returning handles and sum.
+trait JoinSum {
+    fn map_join_sum(self) -> u64;
+}
+impl JoinSum for Vec<std::thread::ScopedJoinHandle<'_, u64>> {
+    fn map_join_sum(self) -> u64 {
+        self.into_iter()
+            .map(|h| h.join().expect("read thread panicked"))
+            .sum()
+    }
+}
+
+fn main() -> ExitCode {
+    let gate = std::env::args().any(|a| a == "--gate");
+    let smoke = smoke_mode();
+    let cpus = cpus();
+    let mut failures: Vec<String> = Vec::new();
+    let mut table = Table::new(&[
+        "phase", "clients", "threads", "ops", "MB rd", "MB wr", "secs", "MB/s", "verdict",
+    ]);
+
+    // ---- Phase 1: ≥1000-client mixed correctness over one shared mount.
+    let (nclients, ops, threads) = if smoke {
+        (96, 6, 4)
+    } else {
+        (1200, 24, cpus.clamp(2, 8))
+    };
+    let fs = shared_fs(128, 4);
+    let m = run_mix(nclients, ops, threads, |_| fs.clone());
+    or_die("final sync", fs.sync_all());
+    let stats = fs.stats();
+    let clean = m.violations == 0 && m.errors == 0;
+    if !clean {
+        failures.push(format!(
+            "mixed: {} verification failures, {} errors",
+            m.violations, m.errors
+        ));
+    }
+    table.row(vec![
+        "mixed".into(),
+        nclients.to_string(),
+        threads.to_string(),
+        m.ops.to_string(),
+        format!("{:.1}", m.mb_read),
+        format!("{:.1}", m.mb_written),
+        format!("{:.2}", m.secs),
+        format!("{:.1}", (m.mb_read + m.mb_written) / m.secs),
+        if clean { "ok".into() } else { "FAIL".into() },
+    ]);
+    append_jsonl(
+        "server_throughput",
+        &json!({
+            "bench": "server_throughput", "phase": "mixed",
+            "clients": nclients, "threads": threads, "ops": m.ops,
+            "verify_failures": m.violations, "errors": m.errors,
+            "mb_read": m.mb_read, "mb_written": m.mb_written, "secs": m.secs,
+            "checkpoints": stats.checkpoints,
+            "group_commits": stats.group_commits,
+            "smoke": smoke, "gate": gate,
+        }),
+    );
+    drop(fs);
+
+    // ---- Phase 2: read-heavy scaling + lock-free floor.
+    let (files, len, rounds) = if smoke {
+        (24, 6144, 40)
+    } else {
+        (48, 8192, 400)
+    };
+    let fs = shared_fs(64, 4);
+    let set = build_read_set(&fs, files, len);
+    let before = fs.shared_stats();
+    let single_bps = read_phase(&fs, &set, 1, rounds);
+    let rthreads = cpus.clamp(2, 8);
+    let multi_bps = read_phase(&fs, &set, rthreads, rounds);
+    let after = fs.shared_stats();
+    let timed_reads = after.reads - before.reads;
+    let lockfree = (after.lockfree_reads - before.lockfree_reads) as f64 / timed_reads as f64;
+    let scaling = multi_bps / single_bps;
+    let wall_checked = cpus >= GATE_MIN_CPUS;
+    if lockfree < GATE_MIN_LOCKFREE {
+        failures.push(format!(
+            "read_heavy: lock-free fraction {lockfree:.3} < {GATE_MIN_LOCKFREE}"
+        ));
+    }
+    if wall_checked && scaling < GATE_MIN_SCALING {
+        failures.push(format!(
+            "read_heavy: {rthreads}-thread aggregate only {scaling:.2}x single-client (< {GATE_MIN_SCALING}x)"
+        ));
+    }
+    for (label, thr, bps) in [
+        ("read_1", 1usize, single_bps),
+        ("read_n", rthreads, multi_bps),
+    ] {
+        let bytes = (files * rounds * thr * len) as f64;
+        table.row(vec![
+            label.into(),
+            thr.to_string(),
+            thr.to_string(),
+            (files * rounds * thr).to_string(),
+            format!("{:.1}", bytes / (1 << 20) as f64),
+            "0.0".into(),
+            format!("{:.2}", bytes / bps),
+            format!("{:.1}", bps / (1 << 20) as f64),
+            "-".into(),
+        ]);
+    }
+    println!(
+        "read-heavy scaling: {scaling:.2}x aggregate over single client \
+         ({rthreads} threads, {cpus} cpus) — {}",
+        if wall_checked {
+            if scaling >= GATE_MIN_SCALING {
+                "ok"
+            } else {
+                "FAIL"
+            }
+        } else {
+            "SKIP (needs >= 4 cpus for a meaningful wall-clock check)"
+        }
+    );
+    println!(
+        "lock-free read fraction: {lockfree:.3} over {timed_reads} timed reads — {}",
+        if lockfree >= GATE_MIN_LOCKFREE {
+            "ok"
+        } else {
+            "FAIL"
+        }
+    );
+    append_jsonl(
+        "server_throughput",
+        &json!({
+            "bench": "server_throughput", "phase": "read_heavy",
+            "cpus": cpus, "threads": rthreads, "files": files, "file_bytes": len,
+            "single_mb_per_s": single_bps / (1 << 20) as f64,
+            "aggregate_mb_per_s": multi_bps / (1 << 20) as f64,
+            "scaling": scaling, "wall_gate_checked": wall_checked,
+            "lockfree_fraction": lockfree, "timed_reads": timed_reads,
+            "block_hits": after.block_hits - before.block_hits,
+            "block_misses": after.block_misses - before.block_misses,
+            "smoke": smoke, "gate": gate,
+        }),
+    );
+    drop(fs);
+
+    // ---- Phase 3: the same clients through the TCP server.
+    let (tcp_clients, tcp_ops, tcp_threads) = if smoke { (24, 5, 3) } else { (128, 12, 4) };
+    let fs = shared_fs(64, 4);
+    let handle = or_die(
+        "serve",
+        serve(
+            fs.clone(),
+            "127.0.0.1:0",
+            ServerConfig {
+                workers: tcp_threads + 1,
+                queue_cap: 32,
+            },
+        ),
+    );
+    let addr = handle.addr();
+    let t = run_mix(tcp_clients, tcp_ops, tcp_threads, |_| {
+        or_die("connect", Client::connect(addr))
+    });
+    handle.stop();
+    let tcp_clean = t.violations == 0 && t.errors == 0;
+    if !tcp_clean {
+        failures.push(format!(
+            "tcp: {} verification failures, {} errors",
+            t.violations, t.errors
+        ));
+    }
+    table.row(vec![
+        "tcp".into(),
+        tcp_clients.to_string(),
+        tcp_threads.to_string(),
+        t.ops.to_string(),
+        format!("{:.1}", t.mb_read),
+        format!("{:.1}", t.mb_written),
+        format!("{:.2}", t.secs),
+        format!("{:.1}", (t.mb_read + t.mb_written) / t.secs),
+        if tcp_clean {
+            "ok".into()
+        } else {
+            "FAIL".into()
+        },
+    ]);
+    append_jsonl(
+        "server_throughput",
+        &json!({
+            "bench": "server_throughput", "phase": "tcp",
+            "clients": tcp_clients, "threads": tcp_threads, "ops": t.ops,
+            "verify_failures": t.violations, "errors": t.errors,
+            "mb_read": t.mb_read, "mb_written": t.mb_written, "secs": t.secs,
+            "smoke": smoke, "gate": gate,
+        }),
+    );
+
+    println!();
+    table.print();
+    if gate && !failures.is_empty() {
+        for f in &failures {
+            eprintln!("gate failure: {f}");
+        }
+        let _ = finish();
+        return ExitCode::FAILURE;
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("warning (no --gate): {f}");
+        }
+    }
+    finish()
+}

@@ -42,6 +42,7 @@
 //! pinned by equivalence proptests (`tests/queue_equivalence.rs`).
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::device::{check_gather, BlockDevice, WriteKind};
@@ -333,8 +334,13 @@ pub struct QueuedDev<D: BlockDevice> {
     next_seq: u64,
     completed_seq: u64,
     qstats: QueueStats,
-    unclaimed_retries: u64,
-    unclaimed_giveups: u64,
+    /// Retry/giveup counts not yet folded into caller-side accounting.
+    /// Atomics with *swap-to-claim* semantics: each increment is claimed
+    /// by exactly one [`QueuedDev::claim_queue_errors`] call, so two
+    /// concurrent syncs draining the same ring can never double-fold one
+    /// give-up into their stats ledgers (claim-once, race-free).
+    unclaimed_retries: AtomicU64,
+    unclaimed_giveups: AtomicU64,
     obs: Option<DeviceObs>,
 }
 
@@ -349,8 +355,8 @@ impl<D: BlockDevice> QueuedDev<D> {
             next_seq: 1,
             completed_seq: 0,
             qstats: QueueStats::default(),
-            unclaimed_retries: 0,
-            unclaimed_giveups: 0,
+            unclaimed_retries: AtomicU64::new(0),
+            unclaimed_giveups: AtomicU64::new(0),
             obs: None,
         }
     }
@@ -412,11 +418,11 @@ impl<D: BlockDevice> QueuedDev<D> {
                     attempt += 1;
                     if is_transient(&e) && attempt < QUEUE_IO_ATTEMPTS {
                         self.qstats.retries += 1;
-                        self.unclaimed_retries += 1;
+                        self.unclaimed_retries.fetch_add(1, Ordering::AcqRel);
                         continue;
                     }
                     self.qstats.giveups += 1;
-                    self.unclaimed_giveups += 1;
+                    self.unclaimed_giveups.fetch_add(1, Ordering::AcqRel);
                     self.qstats.dropped += 1 + self.pending.len() as u64;
                     self.pending.clear();
                     if let Some(obs) = &self.obs {
@@ -566,10 +572,23 @@ impl<D: BlockDevice> QueueDevice for QueuedDev<D> {
     }
 
     fn take_queue_errors(&mut self) -> (u64, u64) {
-        let out = (self.unclaimed_retries, self.unclaimed_giveups);
-        self.unclaimed_retries = 0;
-        self.unclaimed_giveups = 0;
-        out
+        self.claim_queue_errors()
+    }
+}
+
+impl<D: BlockDevice> QueuedDev<D> {
+    /// Claims (returns and clears) the ring's unclaimed retry/giveup
+    /// counts. Unlike the `&mut self` trait method, this works through a
+    /// shared reference with *claim-once* semantics: the counters are
+    /// atomically swapped to zero, so when several consumers race (two
+    /// concurrent syncs folding ring errors into their own [`LfsStats`]
+    /// ledgers), each increment is observed by exactly one of them and
+    /// the total folded equals the total that occurred — never more.
+    pub fn claim_queue_errors(&self) -> (u64, u64) {
+        (
+            self.unclaimed_retries.swap(0, Ordering::AcqRel),
+            self.unclaimed_giveups.swap(0, Ordering::AcqRel),
+        )
     }
 }
 
@@ -771,6 +790,45 @@ mod tests {
         assert_eq!(ring.take_queue_errors(), (2, 0));
         assert_eq!(ring.take_queue_errors(), (0, 0), "counts are claimed once");
         assert_eq!(ring.inner().inner().image()[0], 9);
+    }
+
+    #[test]
+    fn queue_error_claims_are_race_free_across_concurrent_consumers() {
+        // Accumulate a known number of ring-absorbed retries, then let
+        // many threads race to claim them through shared references. The
+        // swap-to-claim semantics must hand every increment to exactly
+        // one claimer: the per-thread claims sum to the total and a final
+        // claim sees zero.
+        let plan = FaultPlan::new(11)
+            .with_write_faults(1.0)
+            .with_transient_failures(2);
+        let mut ring = QueuedDev::new(FaultDisk::new(MemDisk::new(16), plan), 4);
+        for i in 0..4u64 {
+            ring.submit_gather(i, vec![owned(3, 1)], WriteKind::Async)
+                .unwrap();
+            ring.fence().unwrap();
+        }
+        let expected = ring.queue_stats().retries;
+        assert!(expected > 0, "fault plan must have forced retries");
+        let ring = &ring;
+        let total: u64 = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    s.spawn(move || {
+                        let mut mine = 0;
+                        for _ in 0..100 {
+                            let (r, g) = ring.claim_queue_errors();
+                            assert_eq!(g, 0);
+                            mine += r;
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(total, expected, "every retry claimed exactly once");
+        assert_eq!(ring.claim_queue_errors(), (0, 0));
     }
 
     #[test]

@@ -90,6 +90,21 @@ impl<D: QueueDevice> Lfs<D> {
             || self.usage.has_dirty()
     }
 
+    /// True when a `sync` would be a pure group commit: nothing dirty,
+    /// nothing in the log tail past the last checkpoint, and *both*
+    /// checkpoint regions already record `write_seq` — exactly the skip
+    /// condition of `checkpoint_inner`. [`crate::SharedLfs`] mirrors this
+    /// into an atomic so concurrent `sync` callers can hand off without
+    /// taking the writer lane at all.
+    pub(crate) fn sync_settled(&self) -> bool {
+        self.nsop_depth == 0
+            && !self.needs_flush()
+            && self.checkpoint_seq == self.write_seq
+            && self.bytes_since_checkpoint == 0
+            && self.cp_seqs[0] == Some(self.write_seq)
+            && self.cp_seqs[1] == Some(self.write_seq)
+    }
+
     /// Writes everything dirty to the log as one or more partial writes.
     ///
     /// This is the paper's fundamental operation: it converts the
@@ -781,7 +796,9 @@ impl<D: QueueDevice> Lfs<D> {
         let mut clean: Vec<((Ino, u64), u64)> = self
             .blocks
             .iter()
-            .filter(|(_, b)| !b.dirty)
+            // Pinned blocks (payload `Arc` shared with a reader snapshot
+            // or an in-flight submission) stay; see `Lfs::maybe_evict_except`.
+            .filter(|(_, b)| !b.dirty && !b.pinned())
             .map(|(&k, b)| (k, b.lru))
             .collect();
         // Only the `excess` least-recently-used clean blocks leave the

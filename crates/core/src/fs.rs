@@ -120,6 +120,15 @@ pub(crate) struct CachedBlock {
     pub(crate) mtime: u64,
 }
 
+impl CachedBlock {
+    /// Whether the block is pinned against eviction: its payload `Arc` is
+    /// shared with a concurrent reader's published snapshot or an
+    /// in-flight queued submission. See [`Lfs::maybe_evict_except`].
+    pub(crate) fn pinned(&self) -> bool {
+        Arc::strong_count(&self.data) > 1
+    }
+}
+
 /// A cached inode.
 pub(crate) struct CachedInode {
     pub(crate) inode: Inode,
@@ -509,6 +518,24 @@ impl<D: QueueDevice> Lfs<D> {
         self.dcache.clear();
     }
 
+    /// Applies a deferred access-time update (see `shared.rs`: lock-free
+    /// readers queue atimes and the writer lane drains them before its
+    /// next operation). Quiet like [`InodeMap::set_atime_quiet`] — never
+    /// dirties anything — and skipped when the file has since been
+    /// deleted, so a stale queued atime cannot resurrect a freed entry.
+    /// A freshly created inode has no disk address yet (`is_live` is
+    /// false until its first flush) but is still allocated — it sits in
+    /// the inode cache — and its atime must be applied, or a read of a
+    /// new file would lose its access time where the exclusive path
+    /// keeps it.
+    pub(crate) fn apply_atime_quiet(&mut self, ino: Ino, atime: u64) {
+        let allocated = self.imap.get(ino).map(|e| e.is_live()).unwrap_or(false)
+            || self.inodes.contains_key(&ino);
+        if allocated {
+            self.imap.set_atime_quiet(ino, atime);
+        }
+    }
+
     /// Advances and returns the logical clock.
     pub(crate) fn now(&mut self) -> u64 {
         self.clock += 1;
@@ -776,7 +803,22 @@ impl<D: QueueDevice> Lfs<D> {
                 mtime,
             },
         );
-        self.maybe_evict();
+        self.maybe_evict_except(Some((ino, bno)));
+    }
+
+    /// Ensures file block `bno` of `ino` is cached and returns a clone of
+    /// its reference-counted payload. The extra `Arc` pins the cache entry
+    /// ([`CachedBlock::pinned`]) for as long as the caller holds it, and a
+    /// writer that mutates the block meanwhile copies-on-write
+    /// (`Arc::make_mut`), so the returned snapshot stays immutable.
+    pub(crate) fn block_arc(&mut self, ino: Ino, bno: u64) -> FsResult<Arc<Vec<u8>>> {
+        self.ensure_block(ino, bno)?;
+        Ok(self
+            .blocks
+            .get(&(ino, bno))
+            .expect("ensure_block keeps its own block resident")
+            .data
+            .clone())
     }
 
     /// Ensures file blocks `first..=last` of `ino` are cached, fetching
@@ -954,8 +996,28 @@ impl<D: QueueDevice> Lfs<D> {
         self.dirty_files.insert(ino);
     }
 
-    /// Evicts clean blocks when the cache exceeds its limit.
-    fn maybe_evict(&mut self) {
+    /// Evicts clean blocks when the cache exceeds its limit, never
+    /// evicting `protect`.
+    ///
+    /// Blocks whose payload `Arc` is shared are *pinned* and never
+    /// evicted: a second strong count means a concurrent reader holds a
+    /// published snapshot ([`crate::SharedLfs`]'s read cache) or a queued
+    /// submission still references the block in flight. Evicting the
+    /// entry itself would be data-safe (every holder keeps its own
+    /// reference), but dropping it would let an interleaved re-read
+    /// install a *second* allocation for the same `(ino, bno)` while the
+    /// first is still being served — the divergence the pin guard exists
+    /// to prevent, and the reason the running dirty-count invariants
+    /// (`needs_flush`'s debug asserts) can be checked against scans at
+    /// any interleaving point.
+    ///
+    /// `protect` is set by [`Lfs::insert_fetched`] so a freshly fetched
+    /// block cannot be evicted by its own insertion: when every other
+    /// entry is dirty or pinned, the newest block would otherwise be the
+    /// only candidate, and callers that fetch-then-access would find the
+    /// cache empty under them (panic in the write path, livelock in the
+    /// read path).
+    fn maybe_evict_except(&mut self, protect: Option<(Ino, u64)>) {
         let limit = (self.cfg.cache_limit_bytes / BLOCK_SIZE as u64) as usize;
         if self.blocks.len() <= limit + limit / 8 {
             return;
@@ -963,7 +1025,7 @@ impl<D: QueueDevice> Lfs<D> {
         let mut clean: Vec<((Ino, u64), u64)> = self
             .blocks
             .iter()
-            .filter(|(_, b)| !b.dirty)
+            .filter(|(&k, b)| !b.dirty && !b.pinned() && Some(k) != protect)
             .map(|(&k, b)| (k, b.lru))
             .collect();
         let excess = self.blocks.len().saturating_sub(limit);
@@ -976,6 +1038,35 @@ impl<D: QueueDevice> Lfs<D> {
         for (k, _) in clean.into_iter().take(excess) {
             self.blocks.remove(&k);
         }
+    }
+
+    /// Asserts that every running count matches a fresh scan of the
+    /// caches: the dirty-inode and dirty-indirect populations
+    /// (`needs_flush`'s O(1) inputs), the dirty-block set, and the
+    /// dirty-byte total. Test-only hook for the eviction/pinning
+    /// interleaving proptests; release builds compile it to nothing.
+    #[doc(hidden)]
+    pub fn assert_running_counts(&self) {
+        debug_assert_eq!(
+            self.dirty_inode_count,
+            self.inodes.values().filter(|c| c.dirty).count(),
+            "dirty inode running count diverged from scan"
+        );
+        debug_assert_eq!(
+            self.dirty_ind_count,
+            self.inds.values().filter(|c| c.dirty).count(),
+            "dirty indirect running count diverged from scan"
+        );
+        debug_assert_eq!(
+            self.dirty_blocks.len(),
+            self.blocks.values().filter(|b| b.dirty).count(),
+            "dirty block set diverged from scan"
+        );
+        debug_assert_eq!(
+            self.dirty_bytes,
+            self.dirty_blocks.len() as u64 * BLOCK_SIZE as u64,
+            "dirty byte total diverged from dirty block set"
+        );
     }
 
     /// Drops all cached state for a deleted file.

@@ -1,0 +1,98 @@
+//! `lfs_server` — serve a log-structured file system over TCP.
+//!
+//! ```text
+//! lfs_server [--listen ADDR] [--disk-mb N] [--queue N] [--workers N] [--queue-cap N]
+//! ```
+//!
+//! Formats a fresh in-memory disk (`--disk-mb`, default 64) and serves it
+//! with `lfs-wire/1` until Ctrl-C / SIGTERM kills the process. `--queue N`
+//! interposes the submission-queue engine (`QueuedDev`) at the given
+//! depth, overlapping device writes exactly as the embedded benchmarks
+//! do.
+
+use std::process::exit;
+
+use blockdev::{MemDisk, QueuedDev};
+use lfs_core::{LfsConfig, SharedLfs};
+use lfs_server::{serve, ServerConfig};
+
+struct Options {
+    listen: String,
+    disk_mb: u64,
+    queue: usize,
+    workers: usize,
+    queue_cap: usize,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: lfs_server [--listen ADDR] [--disk-mb N] [--queue N] [--workers N] [--queue-cap N]"
+    );
+    exit(2)
+}
+
+fn parse_args() -> Options {
+    let mut o = Options {
+        listen: "127.0.0.1:7350".into(),
+        disk_mb: 64,
+        queue: 0,
+        workers: ServerConfig::default().workers,
+        queue_cap: ServerConfig::default().queue_cap,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = || args.next().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--listen" => o.listen = val(),
+            "--disk-mb" => o.disk_mb = val().parse().unwrap_or_else(|_| usage()),
+            "--queue" => o.queue = val().parse().unwrap_or_else(|_| usage()),
+            "--workers" => o.workers = val().parse().unwrap_or_else(|_| usage()),
+            "--queue-cap" => o.queue_cap = val().parse().unwrap_or_else(|_| usage()),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    o
+}
+
+fn main() {
+    let o = parse_args();
+    let blocks = o.disk_mb * 1024 * 1024 / blockdev::BLOCK_SIZE as u64;
+    let cfg = LfsConfig::default_config();
+    let scfg = ServerConfig {
+        workers: o.workers,
+        queue_cap: o.queue_cap,
+    };
+    let run = |handle: std::io::Result<lfs_server::ServerHandle>| {
+        let handle = handle.unwrap_or_else(|e| {
+            eprintln!("lfs_server: bind {}: {e}", o.listen);
+            exit(1)
+        });
+        println!(
+            "lfs_server: serving {} MB ({} workers, queue-cap {}, device queue {}) on {}",
+            o.disk_mb,
+            scfg.workers,
+            scfg.queue_cap,
+            o.queue,
+            handle.addr()
+        );
+        // Serve until killed.
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    };
+    if o.queue > 1 {
+        let dev = QueuedDev::new(MemDisk::new(blocks), o.queue);
+        let fs = SharedLfs::format(dev, cfg).unwrap_or_else(|e| {
+            eprintln!("lfs_server: format: {e}");
+            exit(1)
+        });
+        run(serve(fs, o.listen.as_str(), scfg));
+    } else {
+        let fs = SharedLfs::format(MemDisk::new(blocks), cfg).unwrap_or_else(|e| {
+            eprintln!("lfs_server: format: {e}");
+            exit(1)
+        });
+        run(serve(fs, o.listen.as_str(), scfg));
+    }
+}

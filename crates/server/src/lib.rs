@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! Network front end for the log-structured file system.
+//!
+//! Three pieces:
+//!
+//! * [`protocol`] — `lfs-wire/1`, a small framed request/response
+//!   protocol (length-prefixed frames, numeric error codes from
+//!   [`vfs::FsError::wire_code`]).
+//! * [`pool`] — a bounded work-stealing thread pool; the bound doubles
+//!   as connection admission control.
+//! * [`server`] — the TCP accept loop ([`serve`]) and the matching
+//!   [`Client`], which implements [`vfs::FileSystem`] so workload
+//!   generators can drive a remote mount unchanged.
+//!
+//! The server executes every request against an
+//! [`lfs_core::SharedLfs`], so reads from concurrent connections are
+//! served lock-free from the shared snapshot cache while mutations
+//! serialize through the writer lane (see `lfs_core::shared`).
+
+pub mod pool;
+pub mod protocol;
+pub mod server;
+
+pub use pool::Pool;
+pub use server::{serve, Client, ServerConfig, ServerHandle};

@@ -38,13 +38,23 @@
 //! simply lost, which is a legal crash state the verifier already
 //! accepts.
 //!
-//! Usage: `torture [--seeds N] [--start S] [--ops K] [--cuts C] [--queue N] [--rot] [--verbose] [--metrics PATH]`
+//! With `--clients N` (N > 1) the hot-file churn in phase 2 is driven by
+//! N client threads hammering one shared mount ([`SharedLfs`])
+//! concurrently instead of a single sequential loop. Each client owns a
+//! private slice of the hot namespace, so every path still has a
+//! single-writer history the verifier can check prefix-of-history
+//! against; what the mode exercises is the interleaving of concurrent
+//! log appends, group-committed syncs, and lock-free reads with fault
+//! injection and the crash cuts. Combine with `--queue 4` to run the
+//! whole thing over the queued write path.
+//!
+//! Usage: `torture [--seeds N] [--start S] [--ops K] [--cuts C] [--queue N] [--clients N] [--rot] [--verbose] [--metrics PATH]`
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use blockdev::{CrashDisk, FaultDisk, FaultPlan, MemDisk, QueueDevice, QueuedDev, BLOCK_SIZE};
-use lfs_core::{InvariantSuite, Lfs, LfsConfig};
+use lfs_core::{InvariantSuite, Lfs, LfsConfig, SharedLfs};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use vfs::{FileSystem, FsError};
@@ -52,6 +62,8 @@ use vfs::{FileSystem, FsError};
 const DISK_BLOCKS: u64 = 512;
 const HOT_FILES: usize = 8;
 const BASE_FILES: usize = 6;
+/// Private hot files per client in `--clients` mode.
+const CLIENT_FILES: usize = 3;
 
 struct Options {
     seeds: u64,
@@ -59,6 +71,7 @@ struct Options {
     ops: usize,
     cuts: usize,
     queue: usize,
+    clients: usize,
     rot: bool,
     verbose: bool,
     metrics: Option<String>,
@@ -66,8 +79,8 @@ struct Options {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: torture [--seeds N] [--start S] [--ops K] [--cuts C] [--queue N] [--rot] \
-         [--verbose] [--metrics PATH]"
+        "usage: torture [--seeds N] [--start S] [--ops K] [--cuts C] [--queue N] [--clients N] \
+         [--rot] [--verbose] [--metrics PATH]"
     );
     std::process::exit(2);
 }
@@ -79,6 +92,7 @@ fn parse_args() -> Options {
         ops: 500,
         cuts: 3,
         queue: 1,
+        clients: 1,
         rot: false,
         verbose: false,
         metrics: None,
@@ -98,6 +112,7 @@ fn parse_args() -> Options {
             "--ops" => opts.ops = take(&mut i) as usize,
             "--cuts" => opts.cuts = take(&mut i) as usize,
             "--queue" => opts.queue = (take(&mut i) as usize).max(1),
+            "--clients" => opts.clients = (take(&mut i) as usize).max(1),
             "--rot" => opts.rot = true,
             "--metrics" => {
                 i += 1;
@@ -113,6 +128,10 @@ fn parse_args() -> Options {
 
 fn hot_path(n: usize) -> String {
     format!("/hot{n}")
+}
+
+fn client_path(cid: usize, n: usize) -> String {
+    format!("/c{cid}h{n}")
 }
 
 fn base_path(n: usize) -> String {
@@ -339,6 +358,229 @@ fn run_seed<D: TortureDev>(
     Ok(())
 }
 
+/// One concurrent-clients torture round: the same format → fault-arm →
+/// crash-cut → verify pipeline as [`run_seed`], except phase 2 runs
+/// `--clients` threads over one [`SharedLfs`] mount. Per-client version
+/// logs are merged into the invariant suite after the threads join, so
+/// the verifier sees every content version any path ever held no matter
+/// how the writer lane interleaved the appends.
+fn run_seed_clients<D: TortureDev + Send>(
+    seed: u64,
+    opts: &Options,
+    obs: &lfs_obs::Obs,
+    make: impl FnOnce(FaultDisk<CrashDisk>) -> D,
+) -> Result<(), String> {
+    let cfg = LfsConfig::small();
+    let clients = opts.clients;
+    // Scale the disk so N clients' private hot sets (plus cleaner slack)
+    // fit; NoSpace under churn is still tolerable, like in classic mode.
+    let disk_blocks = DISK_BLOCKS.max(192 * clients as u64);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Phase 1: quiet device, base files, checkpoint, journal baseline.
+    let disk = make(FaultDisk::new(
+        CrashDisk::new(disk_blocks),
+        FaultPlan::new(seed),
+    ));
+    let mut fs = Lfs::format(disk, cfg).map_err(|e| format!("format: {e}"))?;
+    if obs.is_on() {
+        fs.set_obs(obs.clone());
+    }
+    let mut suite = InvariantSuite::new();
+    for i in 0..BASE_FILES {
+        let content = version_content(seed, i as u32, 2000 + 3000 * i);
+        fs.write_file(&base_path(i), &content)
+            .map_err(|e| format!("base write: {e}"))?;
+        suite.expect_exact(base_path(i), content);
+    }
+    fs.sync().map_err(|e| format!("base sync: {e}"))?;
+    fs.device_mut()
+        .fault_mut()
+        .inner_mut()
+        .checkpoint_baseline();
+
+    // Phase 2: arm the fault plan, then let the clients loose on one
+    // shared mount.
+    {
+        let plan = fs.device_mut().fault_mut().plan_mut();
+        plan.seed = rng.gen_range(0u64..u64::MAX);
+        plan.read_fault_rate = 0.1;
+        plan.write_fault_rate = 0.15;
+        plan.transient_failures = 2; // < the fs retry budget, so ops succeed
+        plan.tear_writes = true;
+    }
+    let shared = SharedLfs::new(fs);
+    let ops_per_client = opts.ops.div_ceil(clients);
+    let results: Vec<Result<ClientHistory, String>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|cid| {
+                let mut h = shared.clone();
+                s.spawn(move || client_worker(cid, seed, ops_per_client, &mut h))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err("client thread panicked".into()))
+            })
+            .collect()
+    });
+    for r in results {
+        for (path, content) in r? {
+            suite.push_version(&path, content);
+        }
+    }
+
+    let fs = shared
+        .into_inner()
+        .map_err(|_| "shared handle still referenced after join".to_string())?;
+    if fs.stats().degraded() {
+        return Err("fs went degraded despite transient-only faults".into());
+    }
+    let fault_counts = fs.device().fault().counts();
+
+    // Phase 3 + 4: crash at random block cuts and verify the survivor —
+    // identical to classic mode; concurrency only changed how the log
+    // got written, not what a legal crash state looks like.
+    let journal = fs.device().fault().inner();
+    let max_cut = journal.num_block_cuts();
+    for c in 0..opts.cuts {
+        let cut = rng.gen_range(0usize..max_cut + 1);
+        let torn_seed = rng.gen_range(0u64..u64::MAX);
+        let sync_atomic = rng.gen_bool(0.5);
+        let image = journal
+            .torn_image_after(cut, torn_seed, sync_atomic)
+            .map_err(|e| format!("cut {cut}/{max_cut}: {e}"))?;
+        let mut img = image.into_image();
+        if opts.rot {
+            for _ in 0..rng.gen_range(1usize..4) {
+                let block = rng.gen_range(0usize..img.len() / BLOCK_SIZE);
+                let byte = rng.gen_range(0usize..BLOCK_SIZE);
+                img[block * BLOCK_SIZE + byte] ^= 1 << rng.gen_range(0u32..8);
+            }
+        }
+        let tag = format!("seed {seed} cut {c} ({cut}/{max_cut} blocks, {clients} clients)");
+        let (report, _rfs) = suite.verify_device_obs(
+            MemDisk::from_image(img),
+            cfg,
+            obs.is_on().then(|| obs.clone()),
+        );
+        if opts.rot {
+            continue;
+        }
+        if !report.is_ok() {
+            return Err(format!("{tag}: {}", report.failures().join("; ")));
+        }
+    }
+
+    fs.publish_metrics();
+
+    if opts.verbose {
+        println!(
+            "seed {seed}: ok ({} clients, {} write faults, {} read faults, {} torn, {} retries, {} segs cleaned)",
+            clients,
+            fault_counts.write_faults,
+            fault_counts.read_faults,
+            fault_counts.torn_writes,
+            fs.stats().io_retries,
+            fs.stats().cleaner.segments_cleaned,
+        );
+    }
+    Ok(())
+}
+
+/// Version history one client accumulates for the invariant suite:
+/// every content any of its paths was ever *asked* to hold.
+type ClientHistory = Vec<(String, Vec<u8>)>;
+
+/// One client thread's randomized churn over its private hot files.
+/// Returns the version history to merge into the invariant suite
+/// (a write that fails mid-way may still leave a prefix on disk after
+/// a crash, so attempts are recorded before they are issued).
+fn client_worker<D: TortureDev>(
+    cid: usize,
+    seed: u64,
+    ops: usize,
+    fs: &mut SharedLfs<D>,
+) -> Result<ClientHistory, String> {
+    let mut rng =
+        StdRng::seed_from_u64(seed ^ (cid as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xC11E);
+    let mut history: ClientHistory = Vec::new();
+    let mut live: HashMap<String, Vec<u8>> = HashMap::new();
+    // Version numbers are disjoint across clients so contents never
+    // collide between namespaces.
+    let mut version = (cid as u32 + 1) * 100_000;
+    for opno in 0..ops {
+        let roll = rng.gen_range(0u32..100);
+        let r = if roll < 55 {
+            let path = client_path(cid, rng.gen_range(0usize..CLIENT_FILES));
+            version += 1;
+            let len = rng.gen_range(0usize..8_000);
+            let content = version_content(seed ^ ((cid as u64) << 32), version, len);
+            history.push((path.clone(), content.clone()));
+            match fs.write_file(&path, &content) {
+                Ok(_) => {
+                    live.insert(path, content);
+                    Ok(())
+                }
+                Err(e) => Err(e),
+            }
+        } else if roll < 70 {
+            let path = client_path(cid, rng.gen_range(0usize..CLIENT_FILES));
+            match fs.unlink(&path) {
+                Ok(()) => {
+                    live.remove(&path);
+                    Ok(())
+                }
+                Err(e) => Err(e),
+            }
+        } else if roll < 78 {
+            let src = client_path(cid, rng.gen_range(0usize..CLIENT_FILES));
+            let dst = client_path(cid, rng.gen_range(0usize..CLIENT_FILES));
+            match fs.rename(&src, &dst) {
+                Ok(()) => {
+                    if let Some(content) = live.remove(&src) {
+                        history.push((dst.clone(), content.clone()));
+                        live.insert(dst, content);
+                    }
+                    Ok(())
+                }
+                Err(e) => Err(e),
+            }
+        } else if roll < 88 {
+            // Lock-free read path: verify a file this client believes is
+            // live still reads back as the content it last wrote.
+            let path = client_path(cid, rng.gen_range(0usize..CLIENT_FILES));
+            match (live.get(&path), fs.lookup(&path)) {
+                (Some(want), Ok(ino)) => match fs.read_to_vec(ino) {
+                    Ok(got) if &got == want => Ok(()),
+                    Ok(got) => {
+                        return Err(format!(
+                            "client {cid} op {opno}: {path} read back {} bytes, wanted {}",
+                            got.len(),
+                            want.len()
+                        ));
+                    }
+                    Err(e) => Err(e),
+                },
+                (_, Err(e)) => Err(e),
+                (None, Ok(_)) => Ok(()),
+            }
+        } else if roll < 94 {
+            fs.flush()
+        } else {
+            fs.sync()
+        };
+        if let Err(e) = r {
+            if !tolerable(&e) {
+                return Err(format!("client {cid} op {opno}: {e}"));
+            }
+        }
+    }
+    Ok(history)
+}
+
 fn main() {
     let opts = parse_args();
     let obs = if opts.metrics.is_some() {
@@ -349,10 +591,13 @@ fn main() {
     let mut failures = 0u64;
     for seed in opts.start..opts.start + opts.seeds {
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            if opts.queue > 1 {
-                run_seed(seed, &opts, &obs, |d| QueuedDev::new(d, opts.queue))
-            } else {
-                run_seed(seed, &opts, &obs, |d| d)
+            match (opts.clients > 1, opts.queue > 1) {
+                (false, false) => run_seed(seed, &opts, &obs, |d| d),
+                (false, true) => run_seed(seed, &opts, &obs, |d| QueuedDev::new(d, opts.queue)),
+                (true, false) => run_seed_clients(seed, &opts, &obs, |d| d),
+                (true, true) => {
+                    run_seed_clients(seed, &opts, &obs, |d| QueuedDev::new(d, opts.queue))
+                }
             }
         }));
         match outcome {
@@ -368,11 +613,16 @@ fn main() {
         }
     }
     println!(
-        "torture: {}/{} seeds passed{}{}",
+        "torture: {}/{} seeds passed{}{}{}",
         opts.seeds - failures,
         opts.seeds,
         if opts.queue > 1 {
             format!(" (queue depth {})", opts.queue)
+        } else {
+            String::new()
+        },
+        if opts.clients > 1 {
+            format!(" ({} clients)", opts.clients)
         } else {
             String::new()
         },

@@ -51,6 +51,49 @@ impl FsError {
     pub fn device<E: fmt::Display>(e: E) -> FsError {
         FsError::Device(blockdev_error::BlockErrorString(e.to_string()))
     }
+
+    /// Stable numeric code for the framed server protocol. Codes are part
+    /// of the wire format: existing values never change, new variants
+    /// append. `0` is reserved for "ok" on the wire.
+    pub fn wire_code(&self) -> u8 {
+        match self {
+            FsError::NotFound => 1,
+            FsError::AlreadyExists => 2,
+            FsError::NotADirectory => 3,
+            FsError::IsADirectory => 4,
+            FsError::DirectoryNotEmpty => 5,
+            FsError::NoSpace => 6,
+            FsError::NoInodes => 7,
+            FsError::NameTooLong => 8,
+            FsError::InvalidPath => 9,
+            FsError::FileTooLarge => 10,
+            FsError::InvalidArgument(_) => 11,
+            FsError::Corrupt(_) => 12,
+            FsError::Device(_) => 13,
+        }
+    }
+
+    /// Reconstructs an error from its wire code and detail message; the
+    /// client side of the protocol uses this. Unknown codes map to
+    /// [`FsError::Corrupt`] so they stay visible rather than vanishing.
+    pub fn from_wire(code: u8, detail: &str) -> FsError {
+        match code {
+            1 => FsError::NotFound,
+            2 => FsError::AlreadyExists,
+            3 => FsError::NotADirectory,
+            4 => FsError::IsADirectory,
+            5 => FsError::DirectoryNotEmpty,
+            6 => FsError::NoSpace,
+            7 => FsError::NoInodes,
+            8 => FsError::NameTooLong,
+            9 => FsError::InvalidPath,
+            10 => FsError::FileTooLarge,
+            11 => FsError::InvalidArgument("remote"),
+            12 => FsError::Corrupt(detail.to_string()),
+            13 => FsError::Device(blockdev_error::BlockErrorString(detail.to_string())),
+            _ => FsError::Corrupt(format!("unknown wire error code {code}: {detail}")),
+        }
+    }
 }
 
 impl fmt::Display for FsError {
@@ -78,6 +121,34 @@ impl std::error::Error for FsError {}
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn wire_codes_roundtrip() {
+        let all = [
+            FsError::NotFound,
+            FsError::AlreadyExists,
+            FsError::NotADirectory,
+            FsError::IsADirectory,
+            FsError::DirectoryNotEmpty,
+            FsError::NoSpace,
+            FsError::NoInodes,
+            FsError::NameTooLong,
+            FsError::InvalidPath,
+            FsError::FileTooLarge,
+            FsError::InvalidArgument("x"),
+            FsError::Corrupt("bad".into()),
+            FsError::device("boom"),
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for e in &all {
+            let code = e.wire_code();
+            assert_ne!(code, 0, "0 is reserved for ok");
+            assert!(seen.insert(code), "duplicate wire code {code}");
+            let back = FsError::from_wire(code, &e.to_string());
+            assert_eq!(back.wire_code(), code);
+        }
+        assert!(matches!(FsError::from_wire(200, "?"), FsError::Corrupt(_)));
+    }
 
     #[test]
     fn display_is_human_readable() {

@@ -16,14 +16,19 @@
 //!   disk utilization, locality, and whole-file write/delete behaviour;
 //! - [`CrashWorkload`] — the fixed-size-file generator used for the
 //!   Table 3 recovery-time experiment;
+//! - [`clients`] — closed-loop multi-client simulation: thousands of
+//!   self-verifying client state machines multiplexed over OS threads,
+//!   driving one shared mount (or a server connection per thread);
 //! - [`trace`] — operation recording and replay: reproducible workload
 //!   streams and the op-journal ("NVRAM write buffer", §2.1) demo.
 
+pub mod clients;
 mod largefile;
 mod production;
 mod smallfile;
 pub mod trace;
 
+pub use clients::{run_clients, ClientMix, ClientSim, ClientStats, MixReport};
 pub use largefile::{LargeFileBench, LargeFilePhase};
 pub use production::{PartitionModel, ProductionWorkload};
 pub use smallfile::SmallFileBench;
