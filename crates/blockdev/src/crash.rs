@@ -160,10 +160,12 @@ impl CrashDisk {
     }
 
     /// Write-journal positions at which an ordering barrier
-    /// ([`crate::QueueDevice::fence`]) landed, ascending. A fence at
-    /// position `p` separates writes `< p` from writes `>= p`: the former
-    /// were all applied before any of the latter was issued, so a crash
-    /// can never persist a post-fence write while losing a pre-fence one.
+    /// ([`crate::QueueDevice::fence`]) landed, ascending (one entry per
+    /// barrier; entries repeat when no write landed in between). A fence
+    /// at position `p` separates writes `< p` from writes `>= p`: the
+    /// former were all applied before any of the latter was issued, so a
+    /// crash can never persist a post-fence write while losing a
+    /// pre-fence one.
     pub fn fence_points(&self) -> &[usize] {
         &self.fences
     }
@@ -321,11 +323,13 @@ impl BlockDevice for CrashDisk {
     }
 
     fn note_fence(&mut self) {
-        // Consecutive fences with no intervening write collapse to one
-        // barrier: they constrain the same (empty) set of reorderings.
-        if self.fences.last() != Some(&self.journal.len()) {
-            self.fences.push(self.journal.len());
-        }
+        // Every barrier is recorded, even with no intervening write (the
+        // entry then repeats the previous position, constraining nothing
+        // extra). Keeping one entry per barrier means the k-th fence is
+        // the k-th *global* barrier on every disk of a multi-volume set,
+        // which is what lets a crash model align fence windows across
+        // shards that idled through some of the barriers.
+        self.fences.push(self.journal.len());
     }
 }
 

@@ -149,6 +149,35 @@ pub trait BlockDevice {
     /// devices forward it to the device they wrap.
     fn note_fence(&mut self) {}
 
+    /// Number of independent shards (physical disks) behind this device.
+    ///
+    /// `1` for every real device; [`crate::VolumeSet`] overrides it with
+    /// its disk count so layout code (write points, cleaner pick policy)
+    /// can become shard-aware without naming the concrete type. Wrapper
+    /// devices forward to the device they wrap.
+    fn shard_count(&self) -> usize {
+        1
+    }
+
+    /// Size in blocks of the striping unit when this device shards a
+    /// block space across several disks, or `None` on an unsharded
+    /// device.
+    ///
+    /// The file system validates at mount that the stripe unit equals
+    /// its segment size, so every segment lives on exactly one disk.
+    /// Wrapper devices forward to the device they wrap.
+    fn stripe_blocks(&self) -> Option<u64> {
+        None
+    }
+
+    /// I/O statistics of one shard of a sharded device, or `None` when
+    /// `shard` is out of range — which is always, on unsharded devices:
+    /// their only statistics view is [`BlockDevice::stats`]. Wrapper
+    /// devices forward to the device they wrap.
+    fn shard_stats(&self, _shard: usize) -> Option<IoStats> {
+        None
+    }
+
     /// Reads a single block into `buf`.
     fn read_block(&mut self, block: u64, buf: &mut [u8; BLOCK_SIZE]) -> Result<()> {
         self.read_blocks(block, buf.as_mut_slice())

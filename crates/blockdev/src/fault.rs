@@ -435,6 +435,18 @@ impl<D: BlockDevice> BlockDevice for FaultDisk<D> {
     fn note_fence(&mut self) {
         self.inner.note_fence();
     }
+
+    fn shard_count(&self) -> usize {
+        self.inner.shard_count()
+    }
+
+    fn stripe_blocks(&self) -> Option<u64> {
+        self.inner.stripe_blocks()
+    }
+
+    fn shard_stats(&self, shard: usize) -> Option<IoStats> {
+        self.inner.shard_stats(shard)
+    }
 }
 
 #[cfg(test)]

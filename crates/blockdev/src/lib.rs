@@ -51,6 +51,7 @@ mod obs;
 mod queue;
 mod sim;
 mod stats;
+mod volume;
 
 pub use crash::{CrashDisk, WriteRecord};
 pub use device::{BlockDevice, WriteKind};
@@ -63,6 +64,7 @@ pub use obs::DeviceObs;
 pub use queue::{IoBuf, QueueDevice, QueueStats, QueueTimed, QueuedDev, Ticket};
 pub use sim::{DiskModel, SimDisk};
 pub use stats::IoStats;
+pub use volume::VolumeSet;
 
 /// Size of a disk block in bytes.
 ///

@@ -174,6 +174,12 @@ impl Ticket {
     /// `submit` (shim devices, and rings at capacity ≤ 1).
     pub const IMMEDIATE: Ticket = Ticket(0);
 
+    /// Builds a ticket from a raw sequence number (for devices that mint
+    /// their own global ticket space, like [`crate::VolumeSet`]).
+    pub(crate) fn from_seq(seq: u64) -> Ticket {
+        Ticket(seq)
+    }
+
     /// The ticket's sequence number (0 for [`Ticket::IMMEDIATE`]).
     pub fn seq(&self) -> u64 {
         self.0
@@ -285,6 +291,13 @@ pub trait QueueDevice: BlockDevice {
     /// into its own I/O error accounting.
     fn take_queue_errors(&mut self) -> (u64, u64) {
         (0, 0)
+    }
+
+    /// Ring counters of one shard of a sharded device
+    /// ([`crate::VolumeSet`]), or `None` when `shard` is out of range or
+    /// the device is unsharded (use [`QueueDevice::queue_stats`] there).
+    fn shard_queue_stats(&self, _shard: usize) -> Option<QueueStats> {
+        None
     }
 }
 
@@ -499,6 +512,18 @@ impl<D: BlockDevice> BlockDevice for QueuedDev<D> {
 
     fn note_fence(&mut self) {
         self.inner.note_fence();
+    }
+
+    fn shard_count(&self) -> usize {
+        self.inner.shard_count()
+    }
+
+    fn stripe_blocks(&self) -> Option<u64> {
+        self.inner.stripe_blocks()
+    }
+
+    fn shard_stats(&self, shard: usize) -> Option<IoStats> {
+        self.inner.shard_stats(shard)
     }
 }
 

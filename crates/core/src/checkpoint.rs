@@ -38,10 +38,17 @@ pub struct Checkpoint {
     pub seq: u64,
     /// Logical clock at checkpoint time (the paper's "current time").
     pub timestamp: u64,
-    /// Segment the log head was in.
+    /// Segment the log head was in (shard 0's write point on a
+    /// multi-volume set).
     pub cur_seg: u32,
     /// Next free block offset within that segment.
     pub cur_off: u32,
+    /// Write points of shards 1.. on a multi-volume set, as
+    /// `(segment, next free offset)` pairs. Empty on a single volume,
+    /// which keeps the encoding byte-identical to the single-volume
+    /// format: the pair count lives in a header field that was
+    /// previously written as a reserved zero.
+    pub extra_write_points: Vec<(u32, u32)>,
     /// Addresses of every inode-map block.
     pub imap_addrs: Vec<DiskAddr>,
     /// Addresses of every segment-usage-table block.
@@ -62,6 +69,7 @@ impl Checkpoint {
         HEADER_SIZE
             + 8 * (self.imap_addrs.len() + self.usage_addrs.len())
             + 4 * self.live_bytes.len()
+            + 8 * self.extra_write_points.len()
             + 8
     }
 
@@ -93,7 +101,9 @@ impl Checkpoint {
             let mut w = Writer::new(buf);
             w.put_u64(MAGIC);
             w.put_u32(self.epoch);
-            w.put_u32(0);
+            // Extra write-point count: zero on a single volume, which is
+            // exactly the reserved field older checkpoints wrote.
+            w.put_u32(self.extra_write_points.len() as u32);
             w.put_u64(self.seq);
             w.put_u64(self.timestamp);
             w.put_u32(self.cur_seg);
@@ -112,10 +122,23 @@ impl Checkpoint {
             for &l in &self.live_bytes {
                 w.put_u32(l);
             }
+            for &(seg, off) in &self.extra_write_points {
+                w.put_u32(seg);
+                w.put_u32(off);
+            }
         }
         let sum = checksum(&buf[..len - 8]);
         buf[len - 8..len].copy_from_slice(&sum.to_le_bytes());
         Ok(())
+    }
+
+    /// All write points the checkpoint records, shard 0's first — the
+    /// `(segment, next free offset)` log heads a mount must restore.
+    pub fn write_points(&self) -> Vec<(u32, u32)> {
+        let mut wps = Vec::with_capacity(1 + self.extra_write_points.len());
+        wps.push((self.cur_seg, self.cur_off));
+        wps.extend_from_slice(&self.extra_write_points);
+        wps
     }
 
     /// Parses and validates a checkpoint region image.
@@ -128,7 +151,7 @@ impl Checkpoint {
             return Err(FsError::Corrupt("checkpoint: bad magic".into()));
         }
         let epoch = r.get_u32();
-        r.skip(4);
+        let n_extra_wp = r.get_u32() as usize;
         let seq = r.get_u64();
         let timestamp = r.get_u64();
         let cur_seg = r.get_u32();
@@ -137,7 +160,9 @@ impl Checkpoint {
         let n_usage = r.get_u32() as usize;
         let n_live = r.get_u32() as usize;
         let len = r.get_u64() as usize;
-        if len > buf.len() || len != HEADER_SIZE + 8 * (n_imap + n_usage) + 4 * n_live + 8 {
+        if len > buf.len()
+            || len != HEADER_SIZE + 8 * (n_imap + n_usage) + 4 * n_live + 8 * n_extra_wp + 8
+        {
             return Err(FsError::Corrupt("checkpoint: bad length".into()));
         }
         let mut stored_bytes = [0u8; 8];
@@ -159,12 +184,19 @@ impl Checkpoint {
         for _ in 0..n_live {
             live_bytes.push(r.get_u32());
         }
+        let mut extra_write_points = Vec::with_capacity(n_extra_wp);
+        for _ in 0..n_extra_wp {
+            let seg = r.get_u32();
+            let off = r.get_u32();
+            extra_write_points.push((seg, off));
+        }
         Ok(Checkpoint {
             epoch,
             seq,
             timestamp,
             cur_seg,
             cur_off,
+            extra_write_points,
             imap_addrs,
             usage_addrs,
             live_bytes,
@@ -280,6 +312,7 @@ mod tests {
             timestamp: 1234,
             cur_seg: 3,
             cur_off: 17,
+            extra_write_points: vec![],
             imap_addrs: vec![100, 101, 102],
             usage_addrs: vec![200],
             live_bytes: vec![7, 0, 4096],
@@ -352,6 +385,7 @@ mod tests {
             timestamp: 0,
             cur_seg: 0,
             cur_off: 0,
+            extra_write_points: vec![],
             imap_addrs: vec![0; (CR_BLOCKS as usize) * BLOCK_SIZE / 8],
             usage_addrs: vec![],
             live_bytes: vec![],
@@ -367,11 +401,50 @@ mod tests {
             timestamp: 1,
             cur_seg: 0,
             cur_off: 0,
+            extra_write_points: vec![],
             imap_addrs: vec![],
             usage_addrs: vec![],
             live_bytes: vec![],
         };
         let buf = cp.encode().unwrap();
         assert_eq!(Checkpoint::decode(&buf).unwrap(), cp);
+    }
+
+    #[test]
+    fn extra_write_points_roundtrip() {
+        let mut cp = sample(11);
+        cp.extra_write_points = vec![(4, 9), (5, 0), (6, 15)];
+        let buf = cp.encode().unwrap();
+        let back = Checkpoint::decode(&buf).unwrap();
+        assert_eq!(back, cp);
+        assert_eq!(back.write_points(), vec![(3, 17), (4, 9), (5, 0), (6, 15)]);
+    }
+
+    #[test]
+    fn single_volume_encoding_matches_reserved_zero_format() {
+        // A checkpoint with no extra write points must serialize exactly
+        // as the pre-multi-volume format did: the count occupies what was
+        // a reserved zero at header offset 12, and no pairs follow the
+        // live-byte vector.
+        let cp = sample(9);
+        let buf = cp.encode().unwrap();
+        assert_eq!(&buf[12..16], &[0u8; 4]);
+        let payload_len = HEADER_SIZE + 8 * (3 + 1) + 4 * 3 + 8;
+        assert_eq!(
+            u64::from_le_bytes(buf[52..60].try_into().unwrap()) as usize,
+            payload_len,
+            "header length field must not grow for a single volume"
+        );
+    }
+
+    #[test]
+    fn tampered_extra_write_point_is_detected() {
+        let mut cp = sample(7);
+        cp.extra_write_points = vec![(4, 2)];
+        let buf = cp.encode().unwrap();
+        let payload_len = HEADER_SIZE + 8 * (3 + 1) + 4 * 3 + 8 + 8;
+        let mut bad = buf.clone();
+        bad[payload_len - 16] ^= 0x01; // first byte of the (seg, off) pair
+        assert!(Checkpoint::decode(&bad).is_err());
     }
 }

@@ -236,7 +236,7 @@ impl<D: QueueDevice> Lfs<D> {
             .usage
             .iter()
             .filter(|&(seg, u)| {
-                seg != self.cur_seg
+                !self.is_write_point_seg(seg)
                     && u.state == SegState::Dirty
                     && u.seal_seq <= self.checkpoint_seq
                     && (u.live_bytes as u64) < seg_bytes
@@ -266,8 +266,12 @@ impl<D: QueueDevice> Lfs<D> {
         // out of room. The cleaner may use its reserved segments, so the
         // full clean count stands; keep one segment of headroom for the
         // metadata and summaries that ride along with relocations.
-        let free_budget = self.usage.clean_count() as u64 * seg_bytes
-            + (self.sb.seg_blocks.saturating_sub(self.cur_off)) as u64 * BLOCK_SIZE as u64;
+        let head_room: u64 = self
+            .write_points
+            .iter()
+            .map(|&(_, off)| (self.sb.seg_blocks.saturating_sub(off)) as u64 * BLOCK_SIZE as u64)
+            .sum();
+        let free_budget = self.usage.clean_count() as u64 * seg_bytes + head_room;
         // The relocation flush also carries whatever dirty application
         // data waits in the cache, plus metadata (inode blocks, map/table
         // blocks, summaries); the covering checkpoint then writes its own
@@ -305,6 +309,44 @@ impl<D: QueueDevice> Lfs<D> {
             live_total += live;
             reclaim_total += seg_bytes - live;
             picked.push(seg);
+        }
+        // On a multi-volume set, make sure no shard starves: the layout
+        // can only place chunks for shard `s` in segments with
+        // `seg % n == s`, so a shard with zero clean segments and no pick
+        // in this pass would stall even while the aggregate clean count
+        // looks healthy. Keep popping the heap for the best candidate on
+        // each starved shard (still subject to the live-data budget).
+        let n = self.write_points.len();
+        if n > 1 {
+            let mut clean_per_shard = vec![0u32; n];
+            for (seg, u) in self.usage.iter() {
+                if u.state == SegState::Clean {
+                    clean_per_shard[(seg as usize) % n] += 1;
+                }
+            }
+            let mut has_pick = vec![false; n];
+            for &seg in &picked {
+                has_pick[(seg as usize) % n] = true;
+            }
+            let starved = |sh: usize, has_pick: &[bool]| clean_per_shard[sh] == 0 && !has_pick[sh];
+            if (0..n).any(|sh| starved(sh, &has_pick)) {
+                while let Some(HeapCand((_, seg, live))) = heap.pop() {
+                    let sh = (seg as usize) % n;
+                    if !starved(sh, &has_pick) {
+                        continue;
+                    }
+                    if live_total + live > budget {
+                        continue;
+                    }
+                    live_total += live;
+                    reclaim_total += seg_bytes - live;
+                    picked.push(seg);
+                    has_pick[sh] = true;
+                    if !(0..n).any(|s| starved(s, &has_pick)) {
+                        break;
+                    }
+                }
+            }
         }
         // Only clean when the pass reclaims meaningfully more than its
         // own overhead — otherwise copying nearly-full segments burns
@@ -356,6 +398,8 @@ impl<D: QueueDevice> Lfs<D> {
         for &seg in segs {
             let usage = *self.usage.get(seg);
             self.stats.cleaner.segments_cleaned += 1;
+            let shard = self.shard_of_seg(seg);
+            self.cleaned_per_shard[shard] += 1;
             if usage.live_bytes == 0 {
                 // "If a segment to be cleaned has no live blocks then it
                 // need not be read at all" (§3.4).

@@ -64,8 +64,10 @@ struct LayoutPlan {
     chunks: Vec<ChunkPlan>,
     /// Segments newly allocated (to be marked Active in order).
     allocated: Vec<u32>,
-    end_seg: u32,
-    end_off: u32,
+    /// Where every shard's write point ends up after the plan executes
+    /// (same order as [`Lfs::write_points`]; untouched shards keep their
+    /// current position).
+    end_wps: Vec<(u32, u32)>,
 }
 
 impl<D: QueueDevice> Lfs<D> {
@@ -265,7 +267,9 @@ impl<D: QueueDevice> Lfs<D> {
                 }
             }
         }
-        usage_blocks.insert(crate::usage::UsageTable::block_of(self.cur_seg));
+        for &(seg, _) in &self.write_points {
+            usage_blocks.insert(crate::usage::UsageTable::block_of(seg));
+        }
 
         // Usage items are appended in place and truncated off again when
         // the layout touches new segments — no per-round clone of the
@@ -421,10 +425,13 @@ impl<D: QueueDevice> Lfs<D> {
                 seg_last_seq.insert(c.seg, seq);
             }
             let mut touched: BTreeSet<u32> = seg_last_seq.keys().copied().collect();
-            touched.insert(self.cur_seg);
+            for &(seg, _) in &self.write_points {
+                touched.insert(seg);
+            }
             for seg in touched {
-                let is_end = seg == plan.end_seg;
-                let end_full = plan.end_off + 1 >= self.sb.seg_blocks;
+                let (end_seg, end_off) = plan.end_wps[self.shard_of_seg(seg)];
+                let is_end = seg == end_seg;
+                let end_full = end_off + 1 >= self.sb.seg_blocks;
                 if !is_end || end_full {
                     self.usage.set_state(seg, SegState::Dirty);
                     let s = seg_last_seq.get(&seg).copied().unwrap_or(self.write_seq);
@@ -460,8 +467,7 @@ impl<D: QueueDevice> Lfs<D> {
             item_idx += c.n_items;
         }
         self.write_seq = seq;
-        self.cur_seg = plan.end_seg;
-        self.cur_off = plan.end_off;
+        self.write_points = plan.end_wps;
 
         // ---- clear dirty state --------------------------------------------
         for (ino, bno) in std::mem::take(&mut self.dirty_blocks) {
@@ -816,19 +822,34 @@ impl<D: QueueDevice> Lfs<D> {
 
     /// Computes chunk placement for `n_items` blocks without mutating
     /// anything.
+    ///
+    /// Chunks rotate across shards: the chunk that will carry sequence
+    /// number `s` prefers the write point of shard `s % n`, falling back
+    /// to the next shards in wrap order only when the primary shard has
+    /// neither head room nor a clean segment left. Recovery's fast path
+    /// depends on this: if a shard's write point had room for another
+    /// chunk, the chunk whose sequence maps to that shard *must* be
+    /// there. On a single volume the rotation is the identity and the
+    /// placement is exactly the historical single-write-point layout.
     fn layout(&self, n_items: usize) -> FsResult<LayoutPlan> {
         let seg_blocks = self.sb.seg_blocks;
+        let n = self.write_points.len();
         let mut chunks = Vec::new();
         let mut allocated = Vec::new();
-        let mut seg = self.cur_seg;
-        let mut off = self.cur_off;
+        let mut wps = self.write_points.clone();
         let mut remaining = n_items;
-        // Clean segments available for allocation, in index order. Normal
-        // writes must leave a couple of segments for the cleaner, which
-        // needs somewhere to copy live data even when the log is full —
-        // without this reserve the file system can wedge with free space
-        // it cannot reach.
-        let mut avail: Vec<u32> = self.usage.clean_segs().filter(|&s| s != seg).collect();
+        // Clean segments available for allocation, in index order, pooled
+        // per shard (segment `g` lives on shard `g % n`). Normal writes
+        // must leave a couple of segments *per shard* for the cleaner,
+        // which needs somewhere to copy live data even when the log is
+        // full — without this reserve the file system can wedge with free
+        // space it cannot reach.
+        let mut avail: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for s in self.usage.clean_segs() {
+            if !self.is_write_point_seg(s) {
+                avail[(s as usize) % n].push(s);
+            }
+        }
         // Normal writes leave segments for the cleaner; the cleaner's own
         // relocations and a checkpoint's settle writes may use everything
         // (the selection budget guarantees they fit, and completing them
@@ -838,37 +859,52 @@ impl<D: QueueDevice> Lfs<D> {
         } else {
             CLEANER_RESERVE_SEGS
         };
-        let keep = avail.len().saturating_sub(reserve);
-        avail.truncate(keep);
-        avail.reverse(); // Pop from the low end.
+        for pool in &mut avail {
+            let keep = pool.len().saturating_sub(reserve);
+            pool.truncate(keep);
+            pool.reverse(); // Pop from the low end.
+        }
+        let mut ordinal = 0u64;
         while remaining > 0 {
-            let space = seg_blocks.saturating_sub(off) as usize;
-            if space < 2 {
-                // No room for a summary plus at least one block.
-                match avail.pop() {
-                    Some(s) => {
-                        allocated.push(s);
-                        seg = s;
-                        off = 0;
-                        continue;
+            let primary = ((self.write_seq + 1 + ordinal) % n as u64) as usize;
+            let mut placed = false;
+            'shards: for k in 0..n {
+                let sh = (primary + k) % n;
+                loop {
+                    let (seg, off) = wps[sh];
+                    let space = seg_blocks.saturating_sub(off) as usize;
+                    if space < 2 {
+                        // No room for a summary plus at least one block.
+                        match avail[sh].pop() {
+                            Some(s) => {
+                                allocated.push(s);
+                                wps[sh] = (s, 0);
+                                continue;
+                            }
+                            None => continue 'shards,
+                        }
                     }
-                    None => return Err(FsError::NoSpace),
+                    let take = remaining.min(space - 1).min(MAX_SUMMARY_ENTRIES);
+                    chunks.push(ChunkPlan {
+                        seg,
+                        off,
+                        n_items: take,
+                    });
+                    wps[sh] = (seg, off + 1 + take as u32);
+                    remaining -= take;
+                    placed = true;
+                    break 'shards;
                 }
             }
-            let n = remaining.min(space - 1).min(MAX_SUMMARY_ENTRIES);
-            chunks.push(ChunkPlan {
-                seg,
-                off,
-                n_items: n,
-            });
-            off += 1 + n as u32;
-            remaining -= n;
+            if !placed {
+                return Err(FsError::NoSpace);
+            }
+            ordinal += 1;
         }
         Ok(LayoutPlan {
             chunks,
             allocated,
-            end_seg: seg,
-            end_off: off,
+            end_wps: wps,
         })
     }
 
@@ -929,8 +965,9 @@ impl<D: QueueDevice> Lfs<D> {
             epoch: self.epoch,
             seq: self.write_seq,
             timestamp: self.clock,
-            cur_seg: self.cur_seg,
-            cur_off: self.cur_off,
+            cur_seg: self.write_points[0].0,
+            cur_off: self.write_points[0].1,
+            extra_write_points: self.write_points[1..].to_vec(),
             imap_addrs: self.imap.block_addr_vec().to_vec(),
             usage_addrs: self.usage.block_addr_vec().to_vec(),
             live_bytes: self.usage.live_vec(),

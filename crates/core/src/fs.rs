@@ -199,10 +199,17 @@ pub struct Lfs<D: QueueDevice> {
     /// Depth of in-flight namespace operations (see [`Lfs::with_nsop`]).
     /// While non-zero, `checkpoint` degrades to a plain flush.
     pub(crate) nsop_depth: u32,
-    /// Segment currently being filled.
-    pub(crate) cur_seg: u32,
-    /// Next free block offset within it.
-    pub(crate) cur_off: u32,
+    /// Per-shard log write points: `write_points[s]` is the `(segment,
+    /// next free block offset)` of the log head on shard `s`. Segment
+    /// `g` lives on shard `g % write_points.len()`, so on a single
+    /// volume this is one entry and behaves exactly like the scalar
+    /// `cur_seg`/`cur_off` pair it replaced. Always non-empty.
+    pub(crate) write_points: Vec<(u32, u32)>,
+    /// Segments cleaned per shard since mount (one entry per write
+    /// point). Not part of [`crate::stats::CleanerStats`] — that struct
+    /// is `Copy` — but published next to it as `shard.<i>.*` metrics so
+    /// an operator can spot a cleaner neglecting one disk.
+    pub(crate) cleaned_per_shard: Vec<u64>,
     /// Sequence number of the last partial write.
     pub(crate) write_seq: u64,
     /// Sequence number covered by the last checkpoint.
@@ -261,6 +268,22 @@ impl<D: QueueDevice> Lfs<D> {
     pub fn format(dev: D, cfg: LfsConfig) -> FsResult<Lfs<D>> {
         let sb = Superblock::compute(dev.num_blocks(), cfg.seg_blocks, cfg.max_inodes)
             .ok_or(FsError::InvalidArgument("device too small for geometry"))?;
+        // On a sharded device every segment must live on exactly one
+        // shard, which requires the striping unit to equal the segment
+        // size; and each shard needs at least one segment to host its
+        // write point.
+        if dev.shard_count() > 1 {
+            if dev.stripe_blocks() != Some(cfg.seg_blocks as u64) {
+                return Err(FsError::InvalidArgument(
+                    "stripe unit must equal the segment size",
+                ));
+            }
+            if (sb.nsegments as usize) < dev.shard_count() {
+                return Err(FsError::InvalidArgument(
+                    "device too small: fewer segments than shards",
+                ));
+            }
+        }
         let mut fs = Lfs::bare(dev, sb, cfg);
         let sb_block = {
             let enc = fs.sb.encode();
@@ -289,7 +312,9 @@ impl<D: QueueDevice> Lfs<D> {
         );
         fs.dirty_inode_count += 1;
         fs.dirty_files.insert(ROOT_INO);
-        fs.usage.set_state(0, SegState::Active);
+        for i in 0..fs.write_points.len() as u32 {
+            fs.usage.set_state(i, SegState::Active);
+        }
 
         // Write the initial state to *both* regions so `read_latest`
         // always has two candidates.
@@ -300,6 +325,9 @@ impl<D: QueueDevice> Lfs<D> {
 
     /// Constructs the in-memory state shared by `format` and `mount`.
     pub(crate) fn bare(dev: D, sb: Superblock, cfg: LfsConfig) -> Lfs<D> {
+        // One write point per shard of the device; shard `s` starts its
+        // log in segment `s` (segment `g` maps to shard `g % n`).
+        let shards = dev.shard_count().max(1) as u32;
         Lfs {
             dev,
             imap: InodeMap::new(sb.max_inodes),
@@ -317,8 +345,8 @@ impl<D: QueueDevice> Lfs<D> {
             dirty_files: BTreeSet::new(),
             dirlog_pending: Vec::new(),
             nsop_depth: 0,
-            cur_seg: 0,
-            cur_off: 0,
+            write_points: (0..shards).map(|s| (s, 0)).collect(),
+            cleaned_per_shard: vec![0; shards as usize],
             write_seq: 0,
             checkpoint_seq: 0,
             next_cr: 0,
@@ -485,6 +513,36 @@ impl<D: QueueDevice> Lfs<D> {
     /// Number of clean (immediately writable) segments.
     pub fn clean_segment_count(&self) -> u32 {
         self.usage.clean_count()
+    }
+
+    /// The per-shard log write points, shard 0 first: `(segment, next
+    /// free block offset)`. A single-volume file system has exactly one.
+    pub fn write_points(&self) -> &[(u32, u32)] {
+        &self.write_points
+    }
+
+    /// Which shard segment `seg` lives on (always 0 on a single volume).
+    pub fn shard_of_seg(&self, seg: u32) -> usize {
+        (seg as usize) % self.write_points.len()
+    }
+
+    /// Whether `seg` currently holds any shard's write point. Such
+    /// segments are off-limits to the cleaner: the log is still growing
+    /// into them.
+    pub(crate) fn is_write_point_seg(&self, seg: u32) -> bool {
+        self.write_points.iter().any(|&(s, _)| s == seg)
+    }
+
+    /// Dirty-byte level that triggers an automatic flush.
+    /// [`LfsConfig::flush_threshold_bytes`] is sized so one flush fills
+    /// one segment; on a multi-volume set a flush that small keeps only
+    /// one arm busy while the other shards idle, so the trigger scales
+    /// with the number of write points — each flush then carries about
+    /// one segment *per shard* and the layout rotation hands every arm a
+    /// full segment. Exactly the configured threshold on a single
+    /// volume.
+    pub(crate) fn flush_trigger_bytes(&self) -> u64 {
+        self.cfg.flush_threshold_bytes * self.write_points.len() as u64
     }
 
     /// Per-segment `last_write` times (the age input to the cost-benefit
@@ -1126,7 +1184,7 @@ impl<D: QueueDevice> Lfs<D> {
             // write must not demand more clean segments at once than the
             // cleaner maintains, and a failing flush must not leave ever
             // more dirty data stranded in the cache.
-            if self.dirty_bytes >= self.cfg.flush_threshold_bytes {
+            if self.dirty_bytes >= self.flush_trigger_bytes() {
                 // Keep the inode's size current so a crash mid-write
                 // recovers a correct prefix. (Mutating the cached inode in
                 // place means there is no pre-flush clone whose pointers
@@ -1547,7 +1605,7 @@ impl<D: QueueDevice> Lfs<D> {
 
     /// Applies the flush / clean / checkpoint policies after a mutation.
     pub(crate) fn after_mutation(&mut self) -> FsResult<()> {
-        if self.dirty_bytes >= self.cfg.flush_threshold_bytes {
+        if self.dirty_bytes >= self.flush_trigger_bytes() {
             self.flush()?;
         }
         if self.cfg.checkpoint_every_bytes > 0

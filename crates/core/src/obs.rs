@@ -138,6 +138,46 @@ impl<D: QueueDevice> Lfs<D> {
                 reg.gauge("queue.mean_in_flight_depth").set(mean);
             }
         }
+        // On a multi-volume set, publish per-shard counters next to the
+        // aggregates so an operator can spot a skewed or starved disk.
+        let shards = self.dev.shard_count();
+        if shards > 1 {
+            let n = self.write_points.len();
+            let mut clean_per_shard = vec![0u64; n];
+            for (seg, u) in self.usage.iter() {
+                if u.state == crate::usage::SegState::Clean {
+                    clean_per_shard[(seg as usize) % n] += 1;
+                }
+            }
+            for i in 0..shards {
+                let pfx = format!("shard.{i}");
+                if let Some(s) = self.dev.shard_stats(i) {
+                    reg.counter(&format!("{pfx}.reads")).store(s.reads);
+                    reg.counter(&format!("{pfx}.writes")).store(s.writes);
+                    reg.counter(&format!("{pfx}.bytes_read"))
+                        .store(s.bytes_read);
+                    reg.counter(&format!("{pfx}.bytes_written"))
+                        .store(s.bytes_written);
+                    reg.counter(&format!("{pfx}.busy_ns")).store(s.busy_ns);
+                    reg.counter(&format!("{pfx}.seeks")).store(s.seeks);
+                }
+                if let Some(qs) = self.dev.shard_queue_stats(i) {
+                    reg.counter(&format!("{pfx}.queue.submitted"))
+                        .store(qs.submitted);
+                    if let Some(mean) = qs.mean_in_flight_depth() {
+                        reg.gauge(&format!("{pfx}.queue.mean_in_flight_depth"))
+                            .set(mean);
+                    }
+                }
+                if let (Some(&clean), Some(&cleaned)) =
+                    (clean_per_shard.get(i), self.cleaned_per_shard.get(i))
+                {
+                    reg.gauge(&format!("{pfx}.clean_segs")).set(clean as f64);
+                    reg.counter(&format!("{pfx}.cleaner.segments_cleaned"))
+                        .store(cleaned);
+                }
+            }
+        }
     }
 
     /// Publishes current statistics and returns a metrics snapshot, or

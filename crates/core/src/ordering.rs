@@ -56,6 +56,7 @@
 //! let ready = written.fence(&mut dev).unwrap();
 //! let cp = Checkpoint {
 //!     epoch: 1, seq: 1, timestamp: 0, cur_seg: 0, cur_off: 1,
+//!     extra_write_points: vec![],
 //!     imap_addrs: vec![], usage_addrs: vec![], live_bytes: vec![],
 //! };
 //! cp.write_ordered(&mut dev, CR0_ADDR, ready).unwrap();
@@ -97,6 +98,7 @@
 //! let written = Flush::stage().seal_summary().submitted();
 //! let cp = Checkpoint {
 //!     epoch: 1, seq: 1, timestamp: 0, cur_seg: 0, cur_off: 1,
+//!     extra_write_points: vec![],
 //!     imap_addrs: vec![], usage_addrs: vec![], live_bytes: vec![],
 //! };
 //! // ERROR: expected `CheckpointReady`, found `Flush<DataWritten>`
@@ -115,6 +117,7 @@
 //! let ready = Flush::stage().seal_summary().submitted().fence(&mut dev).unwrap();
 //! let cp = Checkpoint {
 //!     epoch: 1, seq: 1, timestamp: 0, cur_seg: 0, cur_off: 1,
+//!     extra_write_points: vec![],
 //!     imap_addrs: vec![], usage_addrs: vec![], live_bytes: vec![],
 //! };
 //! cp.write_ordered(&mut dev, CR0_ADDR, ready).unwrap();

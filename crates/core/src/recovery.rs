@@ -132,11 +132,23 @@ impl<D: QueueDevice> Lfs<D> {
     /// stale or hostile one.
     fn load_checkpoint_state(&mut self, cp: &Checkpoint, idx: usize) -> FsResult<()> {
         let corrupt = |what: &str| FsError::Corrupt(format!("checkpoint: {what}"));
-        if cp.cur_seg >= self.sb.nsegments {
-            return Err(corrupt("log head segment out of range"));
+        // One write point per shard, each on its own shard (segment `g`
+        // lives on shard `g % n`). A checkpoint from a volume set of a
+        // different width describes a different disk geometry entirely.
+        let wps = cp.write_points();
+        if wps.len() != self.write_points.len() {
+            return Err(corrupt("write-point count does not match shard count"));
         }
-        if cp.cur_off > self.sb.seg_blocks {
-            return Err(corrupt("log head offset out of range"));
+        for (i, &(seg, off)) in wps.iter().enumerate() {
+            if seg >= self.sb.nsegments {
+                return Err(corrupt("log head segment out of range"));
+            }
+            if off > self.sb.seg_blocks {
+                return Err(corrupt("log head offset out of range"));
+            }
+            if (seg as usize) % wps.len() != i {
+                return Err(corrupt("write point on wrong shard"));
+            }
         }
         if cp.imap_addrs.len() != self.imap.num_blocks() {
             return Err(corrupt("inode-map block count mismatch"));
@@ -188,9 +200,11 @@ impl<D: QueueDevice> Lfs<D> {
         self.checkpoint_seq = cp.seq;
         self.clock = cp.timestamp;
         self.next_cr = 1 - idx;
-        self.cur_seg = cp.cur_seg;
-        self.cur_off = cp.cur_off;
-        self.usage.set_state(self.cur_seg, SegState::Active);
+        self.write_points = wps;
+        for i in 0..self.write_points.len() {
+            self.usage
+                .set_state(self.write_points[i].0, SegState::Active);
+        }
 
         // Allocation safety across the mount: every segment that looks
         // Clean here was Clean (or PendingFree with its relocation
@@ -210,25 +224,39 @@ impl<D: QueueDevice> Lfs<D> {
     }
 
     /// Scans the log tail written after checkpoint `cp` and recovers it.
+    ///
+    /// On a volume set the log is still one sequence-numbered chain, but
+    /// its chunks rotate across per-shard cursors: chunk `s` prefers the
+    /// write point of shard `s % n` (see the layout in `flush`), spilling
+    /// to the other cursors in wrap order only when its primary cursor
+    /// had no room. The traversal replays that placement decision, so on
+    /// a single volume it is exactly the historical single-cursor walk.
     fn roll_forward(&mut self, cp: &Checkpoint) -> FsResult<()> {
         let seg_blocks = self.sb.seg_blocks;
         let mut buf = vec![0u8; BLOCK_SIZE];
-        // Fast path: probe the position right after the checkpoint. If no
-        // valid continuation summary is there, the shutdown was clean and
-        // there is nothing to roll forward — recovery cost stays
-        // independent of disk size.
-        if cp.cur_off + 1 < seg_blocks {
-            let probe = self.sb.seg_start(cp.cur_seg) + cp.cur_off as u64;
-            self.dev
-                .read_blocks(probe, &mut buf)
-                .map_err(FsError::device)?;
-            match Summary::decode(&buf) {
-                Ok(s) if s.epoch == cp.epoch && s.seq == cp.seq + 1 => {}
-                _ => return Ok(()),
+        let mut cursors = self.write_points.clone();
+        let n = cursors.len() as u64;
+        // Fast path: probe the one position the first post-checkpoint
+        // chunk must occupy — the write point of shard `(seq + 1) % n`
+        // (the layout never spills a chunk whose primary cursor has
+        // room). If no valid continuation summary is there, the shutdown
+        // was clean and there is nothing to roll forward — recovery cost
+        // stays independent of disk size.
+        {
+            let (seg, off) = cursors[((cp.seq + 1) % n) as usize];
+            if off + 1 < seg_blocks {
+                let probe = self.sb.seg_start(seg) + off as u64;
+                self.dev
+                    .read_blocks(probe, &mut buf)
+                    .map_err(FsError::device)?;
+                match Summary::decode(&buf) {
+                    Ok(s) if s.epoch == cp.epoch && s.seq == cp.seq + 1 => {}
+                    _ => return Ok(()),
+                }
             }
-        } else {
-            // The checkpoint filled its segment exactly; a tail, if any,
-            // starts in some other segment — fall through to the scan.
+            // Otherwise that write point filled its segment exactly; a
+            // tail, if any, starts in some other segment — fall through
+            // to the scan.
         }
         // Index the first summary of every segment so the traversal can
         // follow the log across segment boundaries by sequence number.
@@ -245,23 +273,55 @@ impl<D: QueueDevice> Lfs<D> {
             }
         }
 
-        let mut seg = cp.cur_seg;
-        let mut off = cp.cur_off;
         let mut expected = cp.seq + 1;
         let mut records: Vec<DirLogRecord> = Vec::new();
         loop {
-            if off + 1 >= seg_blocks {
-                // No room for another partial write here; follow the chain.
-                match heads.get(&expected) {
-                    Some(&next) => {
-                        self.usage.set_state(seg, SegState::Dirty);
-                        self.usage.set_seal_seq(seg, expected - 1);
-                        seg = next;
-                        off = 0;
+            // Where chunk `expected` must be: its primary cursor if that
+            // had room; otherwise one of the other cursors in wrap order
+            // (a spilled chunk); otherwise the head of a freshly
+            // allocated segment reached through the `heads` index.
+            let p = (expected % n) as usize;
+            let cur = if cursors[p].1 + 1 < seg_blocks {
+                p
+            } else {
+                let mut found = None;
+                for k in 1..cursors.len() {
+                    let q = (p + k) % cursors.len();
+                    let (qseg, qoff) = cursors[q];
+                    if qoff + 1 >= seg_blocks {
+                        continue;
                     }
-                    None => break,
+                    let addr = self.sb.seg_start(qseg) + qoff as u64;
+                    if self.dev.read_blocks(addr, &mut buf).is_err() {
+                        continue;
+                    }
+                    if let Ok(s) = Summary::decode(&buf) {
+                        if s.epoch == cp.epoch && s.seq == expected {
+                            found = Some(q);
+                            break;
+                        }
+                    }
                 }
-            }
+                match found {
+                    Some(q) => q,
+                    // No cursor has room (or holds the chunk); follow the
+                    // chain into a freshly allocated segment.
+                    None => match heads.get(&expected) {
+                        Some(&next) => {
+                            let c = (next as usize) % cursors.len();
+                            if cursors[c] == (next, 0) {
+                                break;
+                            }
+                            self.usage.set_state(cursors[c].0, SegState::Dirty);
+                            self.usage.set_seal_seq(cursors[c].0, expected - 1);
+                            cursors[c] = (next, 0);
+                            continue;
+                        }
+                        None => break,
+                    },
+                }
+            };
+            let (seg, off) = cursors[cur];
             let addr = self.sb.seg_start(seg) + off as u64;
             self.dev
                 .read_blocks(addr, &mut buf)
@@ -273,20 +333,25 @@ impl<D: QueueDevice> Lfs<D> {
             if summary.epoch != cp.epoch || summary.seq != expected {
                 // Possibly the chain continues in another segment (this
                 // position holds stale data from the segment's previous
-                // life).
+                // life). A chunk never spills while its primary cursor
+                // has room, so the only legal continuation is a fresh
+                // segment.
                 match heads.get(&expected) {
-                    Some(&next) if next != seg || off != 0 => {
-                        self.usage.set_state(seg, SegState::Dirty);
-                        self.usage.set_seal_seq(seg, expected - 1);
-                        seg = next;
-                        off = 0;
+                    Some(&next) => {
+                        let c = (next as usize) % cursors.len();
+                        if cursors[c] == (next, 0) {
+                            break;
+                        }
+                        self.usage.set_state(cursors[c].0, SegState::Dirty);
+                        self.usage.set_seal_seq(cursors[c].0, expected - 1);
+                        cursors[c] = (next, 0);
                         continue;
                     }
                     _ => break,
                 }
             }
-            let n = summary.entries.len() as u32;
-            if off + 1 + n > seg_blocks {
+            let nent = summary.entries.len() as u32;
+            if off + 1 + nent > seg_blocks {
                 break;
             }
             // Verify the whole chunk against the summary's per-block
@@ -295,7 +360,7 @@ impl<D: QueueDevice> Lfs<D> {
             // blocks it describes; any mismatch means this chunk never
             // fully reached the disk, so the log effectively ends at the
             // previous partial write.
-            let mut chunk = vec![0u8; n as usize * BLOCK_SIZE];
+            let mut chunk = vec![0u8; nent as usize * BLOCK_SIZE];
             if self.dev.read_blocks(addr + 1, &mut chunk).is_err() {
                 break;
             }
@@ -312,14 +377,16 @@ impl<D: QueueDevice> Lfs<D> {
                 seg,
             });
             self.usage.set_state(seg, SegState::Dirty);
-            off += 1 + n;
+            cursors[cur] = (seg, off + 1 + nent);
             self.write_seq = summary.seq;
             self.clock = self.clock.max(summary.write_time);
             expected += 1;
         }
-        self.cur_seg = seg;
-        self.cur_off = off;
-        self.usage.set_state(seg, SegState::Active);
+        self.write_points = cursors;
+        for i in 0..self.write_points.len() {
+            self.usage
+                .set_state(self.write_points[i].0, SegState::Active);
+        }
 
         // Replay the directory operation log (§4.2).
         for rec in records {

@@ -150,12 +150,13 @@ proptest! {
         timestamp in any::<u64>(),
         cur_seg in any::<u32>(),
         cur_off in any::<u32>(),
+        extra_write_points in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..8),
         imap_addrs in proptest::collection::vec(any::<u64>(), 0..50),
         usage_addrs in proptest::collection::vec(any::<u64>(), 0..20),
         live_bytes in proptest::collection::vec(any::<u32>(), 0..100),
     ) {
         let cp = Checkpoint {
-            epoch, seq, timestamp, cur_seg, cur_off,
+            epoch, seq, timestamp, cur_seg, cur_off, extra_write_points,
             imap_addrs, usage_addrs, live_bytes,
         };
         let enc = cp.encode().unwrap();

@@ -48,12 +48,65 @@ fn fmt_ns(ns: u64) -> String {
     }
 }
 
+/// Renders the per-shard table of a multi-volume snapshot: one row per
+/// `shard.<i>.*` metric family, next to (not instead of) the aggregate
+/// counters. Busy% is relative to the busiest shard, so a skewed or
+/// starved disk stands out as a low row. Returns `false` when the
+/// snapshot has no shard metrics (single-volume runs).
+fn print_shards(snap: &MetricsSnapshot) -> bool {
+    let counter = |i: usize, f: &str| snap.counters.get(&format!("shard.{i}.{f}")).copied();
+    let gauge = |i: usize, f: &str| snap.gauges.get(&format!("shard.{i}.{f}")).copied();
+    let mut n = 0;
+    while counter(n, "busy_ns").is_some() {
+        n += 1;
+    }
+    if n == 0 {
+        return false;
+    }
+    let max_busy = (0..n)
+        .filter_map(|i| counter(i, "busy_ns"))
+        .max()
+        .unwrap_or(0)
+        .max(1);
+    let rows: Vec<Vec<String>> = (0..n)
+        .map(|i| {
+            let c = |f: &str| counter(i, f).map_or("-".into(), |v| v.to_string());
+            vec![
+                i.to_string(),
+                format!(
+                    "{:.1}%",
+                    counter(i, "busy_ns").unwrap_or(0) as f64 * 100.0 / max_busy as f64
+                ),
+                c("writes"),
+                c("reads"),
+                counter(i, "bytes_written")
+                    .map_or("-".into(), |v| format!("{:.1}", v as f64 / 1e6)),
+                c("queue.submitted"),
+                gauge(i, "queue.mean_in_flight_depth").map_or("-".into(), |v| format!("{v:.2}")),
+                gauge(i, "clean_segs").map_or("-".into(), |v| format!("{v:.0}")),
+                c("cleaner.segments_cleaned"),
+            ]
+        })
+        .collect();
+    println!("Shards (busy% of busiest):");
+    println!(
+        "{}",
+        render(
+            &["shard", "busy", "writes", "reads", "MBw", "subs", "qdepth", "clean", "cleaned"],
+            &rows
+        )
+    );
+    true
+}
+
 fn print_snapshot(snap: &MetricsSnapshot) {
+    print_shards(snap);
     if !snap.counters.is_empty() {
         println!("Counters:");
         let rows: Vec<Vec<String>> = snap
             .counters
             .iter()
+            .filter(|(k, _)| !k.starts_with("shard."))
             .map(|(k, v)| vec![k.clone(), v.to_string()])
             .collect();
         println!("{}", render(&["name", "value"], &rows));
@@ -63,6 +116,7 @@ fn print_snapshot(snap: &MetricsSnapshot) {
         let rows: Vec<Vec<String>> = snap
             .gauges
             .iter()
+            .filter(|(k, _)| !k.starts_with("shard."))
             .map(|(k, v)| vec![k.clone(), format!("{v:.4}")])
             .collect();
         println!("{}", render(&["name", "value"], &rows));

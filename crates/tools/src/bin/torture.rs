@@ -48,13 +48,28 @@
 //! injection and the crash cuts. Combine with `--queue 4` to run the
 //! whole thing over the queued write path.
 //!
-//! Usage: `torture [--seeds N] [--start S] [--ops K] [--cuts C] [--queue N] [--clients N] [--rot] [--verbose] [--metrics PATH]`
+//! With `--volumes N` (N > 1) the file system runs on a [`VolumeSet`] of
+//! N independent crash+fault disks: each shard keeps its own write
+//! journal and fault plan, and every crash cut truncates each shard's
+//! journal *independently* — exactly the failure model of real multi-disk
+//! arrays, where one spindle can be arbitrarily far ahead of another at
+//! power loss. The surviving per-shard images are reassembled into a
+//! volume set of plain [`MemDisk`]s and verified with the same invariant
+//! suite. Combine with `--queue`/`--clients` to put the fan-out
+//! submission path and the shared-mount writer lane under the same
+//! torture.
+//!
+//! Usage: `torture [--seeds N] [--start S] [--ops K] [--cuts C] [--queue N] [--clients N] [--volumes N] [--rot] [--verbose] [--metrics PATH]`
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use blockdev::{CrashDisk, FaultDisk, FaultPlan, MemDisk, QueueDevice, QueuedDev, BLOCK_SIZE};
-use lfs_core::{InvariantSuite, Lfs, LfsConfig, SharedLfs};
+use blockdev::{
+    CrashDisk, FaultCounts, FaultDisk, FaultPlan, MemDisk, QueueDevice, QueuedDev, VolumeSet,
+    BLOCK_SIZE,
+};
+use lfs_core::layout::SEGMENTS_START;
+use lfs_core::{InvariantReport, InvariantSuite, Lfs, LfsConfig, SharedLfs};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use vfs::{FileSystem, FsError};
@@ -72,6 +87,7 @@ struct Options {
     cuts: usize,
     queue: usize,
     clients: usize,
+    volumes: usize,
     rot: bool,
     verbose: bool,
     metrics: Option<String>,
@@ -80,7 +96,7 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: torture [--seeds N] [--start S] [--ops K] [--cuts C] [--queue N] [--clients N] \
-         [--rot] [--verbose] [--metrics PATH]"
+         [--volumes N] [--rot] [--verbose] [--metrics PATH]"
     );
     std::process::exit(2);
 }
@@ -93,6 +109,7 @@ fn parse_args() -> Options {
         cuts: 3,
         queue: 1,
         clients: 1,
+        volumes: 1,
         rot: false,
         verbose: false,
         metrics: None,
@@ -113,6 +130,7 @@ fn parse_args() -> Options {
             "--cuts" => opts.cuts = take(&mut i) as usize,
             "--queue" => opts.queue = (take(&mut i) as usize).max(1),
             "--clients" => opts.clients = (take(&mut i) as usize).max(1),
+            "--volumes" => opts.volumes = (take(&mut i) as usize).max(1),
             "--rot" => opts.rot = true,
             "--metrics" => {
                 i += 1;
@@ -169,28 +187,172 @@ fn tolerable(e: &FsError) -> bool {
     )
 }
 
-/// Access to the fault/crash layers of the torture device, whether it
-/// is used directly or behind a submission queue.
+/// Access to the fault/crash layers of the torture device, whether it is
+/// used directly, behind a submission queue, or sharded across a volume
+/// set (one fault/journal layer per shard).
 trait TortureDev: QueueDevice {
-    fn fault(&self) -> &FaultDisk<CrashDisk>;
-    fn fault_mut(&mut self) -> &mut FaultDisk<CrashDisk>;
+    /// Number of independent fault/journal layers (shards).
+    fn nfaults(&self) -> usize {
+        1
+    }
+    fn fault(&self, i: usize) -> &FaultDisk<CrashDisk>;
+    fn fault_mut(&mut self, i: usize) -> &mut FaultDisk<CrashDisk>;
 }
 
 impl TortureDev for FaultDisk<CrashDisk> {
-    fn fault(&self) -> &FaultDisk<CrashDisk> {
+    fn fault(&self, _i: usize) -> &FaultDisk<CrashDisk> {
         self
     }
-    fn fault_mut(&mut self) -> &mut FaultDisk<CrashDisk> {
+    fn fault_mut(&mut self, _i: usize) -> &mut FaultDisk<CrashDisk> {
         self
     }
 }
 
 impl TortureDev for QueuedDev<FaultDisk<CrashDisk>> {
-    fn fault(&self) -> &FaultDisk<CrashDisk> {
+    fn fault(&self, _i: usize) -> &FaultDisk<CrashDisk> {
         self.inner()
     }
-    fn fault_mut(&mut self) -> &mut FaultDisk<CrashDisk> {
+    fn fault_mut(&mut self, _i: usize) -> &mut FaultDisk<CrashDisk> {
         self.inner_mut()
+    }
+}
+
+impl<D: TortureDev> TortureDev for VolumeSet<D> {
+    fn nfaults(&self) -> usize {
+        self.num_shards()
+    }
+    fn fault(&self, i: usize) -> &FaultDisk<CrashDisk> {
+        self.shard(i).fault(0)
+    }
+    fn fault_mut(&mut self, i: usize) -> &mut FaultDisk<CrashDisk> {
+        self.shard_mut(i).fault_mut(0)
+    }
+}
+
+/// Per-shard disk size: `--volumes 1` keeps the historical geometry;
+/// sharded runs split roughly the same total across shards, rounded to
+/// whole segments (the stripe unit).
+fn shard_blocks(total: u64, volumes: usize, seg_blocks: u64) -> u64 {
+    if volumes == 1 {
+        return total;
+    }
+    let stripes = (total.saturating_sub(SEGMENTS_START)).div_ceil(seg_blocks);
+    let per_shard = stripes.div_ceil(volumes as u64).max(6);
+    SEGMENTS_START + per_shard * seg_blocks
+}
+
+/// The fresh per-shard fault/journal stack for one round.
+fn fresh_shards(seed: u64, blocks: u64, volumes: usize) -> Vec<FaultDisk<CrashDisk>> {
+    (0..volumes as u64)
+        .map(|i| FaultDisk::new(CrashDisk::new(blocks), FaultPlan::new(seed ^ (i << 48) ^ i)))
+        .collect()
+}
+
+/// Sums the injected-fault counters over every shard.
+fn summed_fault_counts<D: TortureDev>(dev: &D) -> FaultCounts {
+    let mut total = FaultCounts::default();
+    for i in 0..dev.nfaults() {
+        let c = dev.fault(i).counts();
+        total.read_faults += c.read_faults;
+        total.write_faults += c.write_faults;
+        total.torn_writes += c.torn_writes;
+    }
+    total
+}
+
+/// Block-granular positions of a shard journal's fence barriers.
+fn fence_block_positions(j: &CrashDisk) -> Vec<usize> {
+    let mut prefix = Vec::with_capacity(j.num_writes() + 1);
+    let mut acc = 0usize;
+    prefix.push(0);
+    for i in 0..j.num_writes() {
+        acc += j.write_record(i).map(|w| w.nblocks).unwrap_or(0);
+        prefix.push(acc);
+    }
+    j.fence_points().iter().map(|&p| prefix[p]).collect()
+}
+
+/// One crash: cut every shard's write journal at an independently drawn
+/// block count (with per-shard tearing of the straddling request, and
+/// `--rot` bit flips), returning the surviving per-shard images plus a
+/// replay tag naming each shard's cut.
+///
+/// Cross-shard skew is bounded by the global fences: the file system
+/// only issues a post-fence write (a checkpoint, say) after the fence
+/// completed on *every* shard, so a crash can tear shards against each
+/// other only within one fence window — a surviving checkpoint must
+/// never reference pre-fence blocks some other spindle lost. A single
+/// volume keeps the historical unconstrained draw (a one-journal prefix
+/// respects its own fences by construction).
+fn torn_shard_images<D: TortureDev>(
+    dev: &D,
+    rng: &mut StdRng,
+    opts: &Options,
+    seed: u64,
+    c: usize,
+) -> Result<(Vec<Vec<u8>>, String), String> {
+    let n = dev.nfaults();
+    let window = if n > 1 {
+        let nwindows = (0..n)
+            .map(|i| dev.fault(i).inner().fence_points().len())
+            .min()
+            .unwrap_or(0);
+        Some(rng.gen_range(0usize..nwindows + 1))
+    } else {
+        None
+    };
+    let mut imgs = Vec::new();
+    let mut cuts = Vec::new();
+    for i in 0..n {
+        let journal = dev.fault(i).inner();
+        let max_cut = journal.num_block_cuts();
+        let (lo, hi) = match window {
+            None => (0, max_cut),
+            Some(w) => {
+                let fences = fence_block_positions(journal);
+                let lo = if w == 0 { 0 } else { fences[w - 1] };
+                let hi = fences.get(w).copied().unwrap_or(max_cut);
+                (lo, hi)
+            }
+        };
+        let cut = rng.gen_range(lo..hi + 1);
+        let torn_seed = rng.gen_range(0u64..u64::MAX);
+        let sync_atomic = rng.gen_bool(0.5);
+        let image = journal
+            .torn_image_after(cut, torn_seed, sync_atomic)
+            .map_err(|e| format!("shard {i} cut {cut}/{max_cut}: {e}"))?;
+        let mut img = image.into_image();
+        if opts.rot {
+            for _ in 0..rng.gen_range(1usize..4) {
+                let block = rng.gen_range(0usize..img.len() / BLOCK_SIZE);
+                let byte = rng.gen_range(0usize..BLOCK_SIZE);
+                img[block * BLOCK_SIZE + byte] ^= 1 << rng.gen_range(0u32..8);
+            }
+        }
+        cuts.push(format!("{cut}/{max_cut}"));
+        imgs.push(img);
+    }
+    let tag = format!("seed {seed} cut {c} ([{}] blocks)", cuts.join(" "));
+    Ok((imgs, tag))
+}
+
+/// Remounts the surviving images — bare [`MemDisk`] for one volume, a
+/// reassembled [`VolumeSet`] for several — and asserts the full suite.
+fn verify_images(
+    suite: &InvariantSuite,
+    mut imgs: Vec<Vec<u8>>,
+    cfg: LfsConfig,
+    obs: &lfs_obs::Obs,
+) -> InvariantReport {
+    let o = obs.is_on().then(|| obs.clone());
+    if imgs.len() == 1 {
+        suite
+            .verify_device_obs(MemDisk::from_image(imgs.remove(0)), cfg, o)
+            .0
+    } else {
+        let shards: Vec<MemDisk> = imgs.into_iter().map(MemDisk::from_image).collect();
+        let set = VolumeSet::new(shards, SEGMENTS_START, cfg.seg_blocks as u64);
+        suite.verify_device_obs(set, cfg, o).0
     }
 }
 
@@ -199,16 +361,14 @@ fn run_seed<D: TortureDev>(
     seed: u64,
     opts: &Options,
     obs: &lfs_obs::Obs,
-    make: impl FnOnce(FaultDisk<CrashDisk>) -> D,
+    make: impl FnOnce(Vec<FaultDisk<CrashDisk>>) -> D,
 ) -> Result<(), String> {
     let cfg = LfsConfig::small();
     let mut rng = StdRng::seed_from_u64(seed);
 
     // Phase 1: quiet device, base files, checkpoint, journal baseline.
-    let disk = make(FaultDisk::new(
-        CrashDisk::new(DISK_BLOCKS),
-        FaultPlan::new(seed),
-    ));
+    let blocks = shard_blocks(DISK_BLOCKS, opts.volumes, cfg.seg_blocks as u64);
+    let disk = make(fresh_shards(seed, blocks, opts.volumes));
     let mut fs = Lfs::format(disk, cfg).map_err(|e| format!("format: {e}"))?;
     if obs.is_on() {
         fs.set_obs(obs.clone());
@@ -223,15 +383,18 @@ fn run_seed<D: TortureDev>(
         suite.expect_exact(base_path(i), content);
     }
     fs.sync().map_err(|e| format!("base sync: {e}"))?;
-    fs.device_mut()
-        .fault_mut()
-        .inner_mut()
-        .checkpoint_baseline();
+    for i in 0..fs.device().nfaults() {
+        fs.device_mut()
+            .fault_mut(i)
+            .inner_mut()
+            .checkpoint_baseline();
+    }
 
-    // Phase 2: arm the fault plan and churn the hot namespace.
-    {
-        let plan = fs.device_mut().fault_mut().plan_mut();
-        plan.seed = rng.gen_range(0u64..u64::MAX);
+    // Phase 2: arm each shard's fault plan and churn the hot namespace.
+    for i in 0..fs.device().nfaults() {
+        let plan_seed = rng.gen_range(0u64..u64::MAX);
+        let plan = fs.device_mut().fault_mut(i).plan_mut();
+        plan.seed = plan_seed;
         plan.read_fault_rate = 0.1;
         plan.write_fault_rate = 0.15;
         plan.transient_failures = 2; // < the fs retry budget, so ops succeed
@@ -298,27 +461,13 @@ fn run_seed<D: TortureDev>(
     if fs.stats().degraded() {
         return Err("fs went degraded despite transient-only faults".into());
     }
-    let fault_counts = fs.device().fault().counts();
+    let fault_counts = summed_fault_counts(fs.device());
 
     // Phase 3 + 4: crash at random block cuts and verify the survivor.
-    let journal = fs.device().fault().inner();
-    let max_cut = journal.num_block_cuts();
+    // Each shard's journal is cut independently — at power loss one
+    // spindle may be arbitrarily far ahead of another.
     for c in 0..opts.cuts {
-        let cut = rng.gen_range(0usize..max_cut + 1);
-        let torn_seed = rng.gen_range(0u64..u64::MAX);
-        let sync_atomic = rng.gen_bool(0.5);
-        let image = journal
-            .torn_image_after(cut, torn_seed, sync_atomic)
-            .map_err(|e| format!("cut {cut}/{max_cut}: {e}"))?;
-        let mut img = image.into_image();
-        if opts.rot {
-            for _ in 0..rng.gen_range(1usize..4) {
-                let block = rng.gen_range(0usize..img.len() / BLOCK_SIZE);
-                let byte = rng.gen_range(0usize..BLOCK_SIZE);
-                img[block * BLOCK_SIZE + byte] ^= 1 << rng.gen_range(0u32..8);
-            }
-        }
-        let tag = format!("seed {seed} cut {c} ({cut}/{max_cut} blocks)");
+        let (imgs, tag) = torn_shard_images(fs.device(), &mut rng, opts, seed, c)?;
         // The shared suite runs the whole chain: mount (checkpoint
         // gating + roll-forward), structural check, base-file
         // byte-exactness, and hot-file prefix-of-history (crash
@@ -326,11 +475,7 @@ fn run_seed<D: TortureDev>(
         // deliberately recover as a correct prefix, and a cut between a
         // create's dirlog chunk and its data chunk leaves the file
         // empty — see `InvariantSuite`).
-        let (report, _rfs) = suite.verify_device_obs(
-            MemDisk::from_image(img),
-            cfg,
-            obs.is_on().then(|| obs.clone()),
-        );
+        let report = verify_images(&suite, imgs, cfg, obs);
         if opts.rot {
             // Rot may corrupt anything, including live data the suite
             // expects: every outcome short of a panic is legal.
@@ -368,7 +513,7 @@ fn run_seed_clients<D: TortureDev + Send>(
     seed: u64,
     opts: &Options,
     obs: &lfs_obs::Obs,
-    make: impl FnOnce(FaultDisk<CrashDisk>) -> D,
+    make: impl FnOnce(Vec<FaultDisk<CrashDisk>>) -> D,
 ) -> Result<(), String> {
     let cfg = LfsConfig::small();
     let clients = opts.clients;
@@ -378,10 +523,8 @@ fn run_seed_clients<D: TortureDev + Send>(
     let mut rng = StdRng::seed_from_u64(seed);
 
     // Phase 1: quiet device, base files, checkpoint, journal baseline.
-    let disk = make(FaultDisk::new(
-        CrashDisk::new(disk_blocks),
-        FaultPlan::new(seed),
-    ));
+    let blocks = shard_blocks(disk_blocks, opts.volumes, cfg.seg_blocks as u64);
+    let disk = make(fresh_shards(seed, blocks, opts.volumes));
     let mut fs = Lfs::format(disk, cfg).map_err(|e| format!("format: {e}"))?;
     if obs.is_on() {
         fs.set_obs(obs.clone());
@@ -394,16 +537,19 @@ fn run_seed_clients<D: TortureDev + Send>(
         suite.expect_exact(base_path(i), content);
     }
     fs.sync().map_err(|e| format!("base sync: {e}"))?;
-    fs.device_mut()
-        .fault_mut()
-        .inner_mut()
-        .checkpoint_baseline();
+    for i in 0..fs.device().nfaults() {
+        fs.device_mut()
+            .fault_mut(i)
+            .inner_mut()
+            .checkpoint_baseline();
+    }
 
-    // Phase 2: arm the fault plan, then let the clients loose on one
-    // shared mount.
-    {
-        let plan = fs.device_mut().fault_mut().plan_mut();
-        plan.seed = rng.gen_range(0u64..u64::MAX);
+    // Phase 2: arm each shard's fault plan, then let the clients loose on
+    // one shared mount.
+    for i in 0..fs.device().nfaults() {
+        let plan_seed = rng.gen_range(0u64..u64::MAX);
+        let plan = fs.device_mut().fault_mut(i).plan_mut();
+        plan.seed = plan_seed;
         plan.read_fault_rate = 0.1;
         plan.write_fault_rate = 0.15;
         plan.transient_failures = 2; // < the fs retry budget, so ops succeed
@@ -438,39 +584,22 @@ fn run_seed_clients<D: TortureDev + Send>(
     if fs.stats().degraded() {
         return Err("fs went degraded despite transient-only faults".into());
     }
-    let fault_counts = fs.device().fault().counts();
+    let fault_counts = summed_fault_counts(fs.device());
 
     // Phase 3 + 4: crash at random block cuts and verify the survivor —
     // identical to classic mode; concurrency only changed how the log
     // got written, not what a legal crash state looks like.
-    let journal = fs.device().fault().inner();
-    let max_cut = journal.num_block_cuts();
     for c in 0..opts.cuts {
-        let cut = rng.gen_range(0usize..max_cut + 1);
-        let torn_seed = rng.gen_range(0u64..u64::MAX);
-        let sync_atomic = rng.gen_bool(0.5);
-        let image = journal
-            .torn_image_after(cut, torn_seed, sync_atomic)
-            .map_err(|e| format!("cut {cut}/{max_cut}: {e}"))?;
-        let mut img = image.into_image();
-        if opts.rot {
-            for _ in 0..rng.gen_range(1usize..4) {
-                let block = rng.gen_range(0usize..img.len() / BLOCK_SIZE);
-                let byte = rng.gen_range(0usize..BLOCK_SIZE);
-                img[block * BLOCK_SIZE + byte] ^= 1 << rng.gen_range(0u32..8);
-            }
-        }
-        let tag = format!("seed {seed} cut {c} ({cut}/{max_cut} blocks, {clients} clients)");
-        let (report, _rfs) = suite.verify_device_obs(
-            MemDisk::from_image(img),
-            cfg,
-            obs.is_on().then(|| obs.clone()),
-        );
+        let (imgs, tag) = torn_shard_images(fs.device(), &mut rng, opts, seed, c)?;
+        let report = verify_images(&suite, imgs, cfg, obs);
         if opts.rot {
             continue;
         }
         if !report.is_ok() {
-            return Err(format!("{tag}: {}", report.failures().join("; ")));
+            return Err(format!(
+                "{tag} ({clients} clients): {}",
+                report.failures().join("; ")
+            ));
         }
     }
 
@@ -589,15 +718,35 @@ fn main() {
         lfs_obs::Obs::off()
     };
     let mut failures = 0u64;
+    // Stripe unit for multi-volume runs: one segment, like `Lfs::format`
+    // requires.
+    let stripe = LfsConfig::small().seg_blocks as u64;
     for seed in opts.start..opts.start + opts.seeds {
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            match (opts.clients > 1, opts.queue > 1) {
-                (false, false) => run_seed(seed, &opts, &obs, |d| d),
-                (false, true) => run_seed(seed, &opts, &obs, |d| QueuedDev::new(d, opts.queue)),
-                (true, false) => run_seed_clients(seed, &opts, &obs, |d| d),
-                (true, true) => {
-                    run_seed_clients(seed, &opts, &obs, |d| QueuedDev::new(d, opts.queue))
+            let q = opts.queue;
+            match (opts.clients > 1, opts.queue > 1, opts.volumes > 1) {
+                (false, false, false) => run_seed(seed, &opts, &obs, |mut d| d.remove(0)),
+                (false, true, false) => {
+                    run_seed(seed, &opts, &obs, |mut d| QueuedDev::new(d.remove(0), q))
                 }
+                (false, false, true) => run_seed(seed, &opts, &obs, |d| {
+                    VolumeSet::new(d, SEGMENTS_START, stripe)
+                }),
+                (false, true, true) => run_seed(seed, &opts, &obs, |d| {
+                    let qd: Vec<_> = d.into_iter().map(|s| QueuedDev::new(s, q)).collect();
+                    VolumeSet::new(qd, SEGMENTS_START, stripe)
+                }),
+                (true, false, false) => run_seed_clients(seed, &opts, &obs, |mut d| d.remove(0)),
+                (true, true, false) => {
+                    run_seed_clients(seed, &opts, &obs, |mut d| QueuedDev::new(d.remove(0), q))
+                }
+                (true, false, true) => run_seed_clients(seed, &opts, &obs, |d| {
+                    VolumeSet::new(d, SEGMENTS_START, stripe)
+                }),
+                (true, true, true) => run_seed_clients(seed, &opts, &obs, |d| {
+                    let qd: Vec<_> = d.into_iter().map(|s| QueuedDev::new(s, q)).collect();
+                    VolumeSet::new(qd, SEGMENTS_START, stripe)
+                }),
             }
         }));
         match outcome {
@@ -613,7 +762,7 @@ fn main() {
         }
     }
     println!(
-        "torture: {}/{} seeds passed{}{}{}",
+        "torture: {}/{} seeds passed{}{}{}{}",
         opts.seeds - failures,
         opts.seeds,
         if opts.queue > 1 {
@@ -623,6 +772,11 @@ fn main() {
         },
         if opts.clients > 1 {
             format!(" ({} clients)", opts.clients)
+        } else {
+            String::new()
+        },
+        if opts.volumes > 1 {
+            format!(" ({} volumes)", opts.volumes)
         } else {
             String::new()
         },
