@@ -170,6 +170,17 @@ pub trait BlockDevice {
         None
     }
 
+    /// Which shard hosts stripe `stripe` of the striped region. On a
+    /// homogeneous sharded device this is plain round-robin
+    /// (`stripe % shard_count`); heterogeneous sets override it so the
+    /// rotation skips shards whose capacity is exhausted instead of
+    /// truncating the whole set to the smallest member. Meaningless (and
+    /// 0) on unsharded devices. Wrapper devices forward to the device
+    /// they wrap.
+    fn shard_of_stripe(&self, stripe: u64) -> usize {
+        (stripe % self.shard_count().max(1) as u64) as usize
+    }
+
     /// I/O statistics of one shard of a sharded device, or `None` when
     /// `shard` is out of range — which is always, on unsharded devices:
     /// their only statistics view is [`BlockDevice::stats`]. Wrapper

@@ -444,6 +444,10 @@ impl<D: BlockDevice> BlockDevice for FaultDisk<D> {
         self.inner.stripe_blocks()
     }
 
+    fn shard_of_stripe(&self, stripe: u64) -> usize {
+        self.inner.shard_of_stripe(stripe)
+    }
+
     fn shard_stats(&self, shard: usize) -> Option<IoStats> {
         self.inner.shard_stats(shard)
     }

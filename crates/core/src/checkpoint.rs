@@ -61,6 +61,14 @@ pub struct Checkpoint {
     /// checkpoint carries the authoritative counts so a mount restores
     /// exactly the state the running system had.
     pub live_bytes: Vec<u32>,
+    /// Per-inode write-heat snapshot, hottest first, as
+    /// `(ino, Q16 heat)` pairs. Empty on a single-stream file system,
+    /// which keeps the encoding byte-identical to the pre-stream format:
+    /// the pair count lives in a header field that was previously
+    /// written as reserved zero padding. A mount seeds its heat
+    /// estimator from these so temperature routing survives a remount
+    /// instead of restarting from an all-cold state.
+    pub heat: Vec<(u32, u32)>,
 }
 
 impl Checkpoint {
@@ -70,6 +78,7 @@ impl Checkpoint {
             + 8 * (self.imap_addrs.len() + self.usage_addrs.len())
             + 4 * self.live_bytes.len()
             + 8 * self.extra_write_points.len()
+            + 8 * self.heat.len()
             + 8
     }
 
@@ -112,6 +121,10 @@ impl Checkpoint {
             w.put_u32(self.usage_addrs.len() as u32);
             w.put_u32(self.live_bytes.len() as u32);
             w.put_u64(len as u64);
+            // Heat-entry count: zero on a single-stream file system,
+            // which is exactly the reserved zero padding older
+            // checkpoints wrote here.
+            w.put_u32(self.heat.len() as u32);
             w.pad(HEADER_SIZE - w.pos());
             for &a in &self.imap_addrs {
                 w.put_u64(a);
@@ -125,6 +138,10 @@ impl Checkpoint {
             for &(seg, off) in &self.extra_write_points {
                 w.put_u32(seg);
                 w.put_u32(off);
+            }
+            for &(ino, q) in &self.heat {
+                w.put_u32(ino);
+                w.put_u32(q);
             }
         }
         let sum = checksum(&buf[..len - 8]);
@@ -160,8 +177,15 @@ impl Checkpoint {
         let n_usage = r.get_u32() as usize;
         let n_live = r.get_u32() as usize;
         let len = r.get_u64() as usize;
+        let n_heat = r.get_u32() as usize;
         if len > buf.len()
-            || len != HEADER_SIZE + 8 * (n_imap + n_usage) + 4 * n_live + 8 * n_extra_wp + 8
+            || len
+                != HEADER_SIZE
+                    + 8 * (n_imap + n_usage)
+                    + 4 * n_live
+                    + 8 * n_extra_wp
+                    + 8 * n_heat
+                    + 8
         {
             return Err(FsError::Corrupt("checkpoint: bad length".into()));
         }
@@ -190,6 +214,12 @@ impl Checkpoint {
             let off = r.get_u32();
             extra_write_points.push((seg, off));
         }
+        let mut heat = Vec::with_capacity(n_heat);
+        for _ in 0..n_heat {
+            let ino = r.get_u32();
+            let q = r.get_u32();
+            heat.push((ino, q));
+        }
         Ok(Checkpoint {
             epoch,
             seq,
@@ -200,6 +230,7 @@ impl Checkpoint {
             imap_addrs,
             usage_addrs,
             live_bytes,
+            heat,
         })
     }
 
@@ -316,6 +347,7 @@ mod tests {
             imap_addrs: vec![100, 101, 102],
             usage_addrs: vec![200],
             live_bytes: vec![7, 0, 4096],
+            heat: vec![],
         }
     }
 
@@ -389,6 +421,7 @@ mod tests {
             imap_addrs: vec![0; (CR_BLOCKS as usize) * BLOCK_SIZE / 8],
             usage_addrs: vec![],
             live_bytes: vec![],
+            heat: vec![],
         };
         assert!(cp.encode().is_err());
     }
@@ -405,9 +438,29 @@ mod tests {
             imap_addrs: vec![],
             usage_addrs: vec![],
             live_bytes: vec![],
+            heat: vec![],
         };
         let buf = cp.encode().unwrap();
         assert_eq!(Checkpoint::decode(&buf).unwrap(), cp);
+    }
+
+    #[test]
+    fn heat_entries_roundtrip() {
+        let mut cp = sample(12);
+        cp.extra_write_points = vec![(4, 9)];
+        cp.heat = vec![(7, 3 << 16), (2, 1 << 16), (40, 9)];
+        let buf = cp.encode().unwrap();
+        let back = Checkpoint::decode(&buf).unwrap();
+        assert_eq!(back, cp);
+    }
+
+    #[test]
+    fn no_heat_encoding_matches_reserved_zero_format() {
+        // Bytes 60..64 held reserved zero padding before the heat
+        // snapshot existed; an empty snapshot must keep them zero so
+        // single-stream images stay byte-identical.
+        let buf = sample(9).encode().unwrap();
+        assert_eq!(&buf[60..64], &[0u8; 4]);
     }
 
     #[test]

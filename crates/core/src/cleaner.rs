@@ -32,16 +32,118 @@ use crate::layout::DiskAddr;
 use crate::summary::{EntryKind, Summary};
 use crate::usage::SegState;
 
-/// Ranks a segment for cleaning: higher is better.
-///
-/// `u` is the segment's utilization and `age` the time since its youngest
-/// block was written. This free function is the single place both the real
-/// cleaner and any external analysis use.
-pub fn rank(policy: CleaningPolicy, u: f64, age: u64) -> f64 {
-    match policy {
-        CleaningPolicy::Greedy => 1.0 - u,
-        CleaningPolicy::CostBenefit => (1.0 - u) * age as f64 / (1.0 + u),
+/// What a policy may observe about the candidate population before
+/// scoring individual segments: the live segment-utilization
+/// distribution, summarized. Greedy and cost-benefit ignore it (their
+/// scores are per-segment functions, which keeps them bit-identical to
+/// the pre-trait cleaner); the adaptive policy reads it to blend between
+/// the two regimes and to pace itself.
+#[derive(Clone, Copy, Debug)]
+pub struct PolicyCtx {
+    /// Mean utilization of the dirty (cleanable) segments.
+    pub mean_util: f64,
+    /// Mean age of the dirty segments, in logical clock ticks.
+    pub mean_age: f64,
+    /// Clean segments as a fraction of all segments.
+    pub clean_frac: f64,
+}
+
+impl Default for PolicyCtx {
+    fn default() -> Self {
+        PolicyCtx {
+            mean_util: 0.5,
+            mean_age: 1.0,
+            clean_frac: 0.5,
+        }
     }
+}
+
+/// A victim-selection and pacing policy (§3.4–3.6 generalized): scores
+/// candidate segments and decides how many to take per pass.
+pub trait CleanPolicy {
+    /// Short name for traces and benches.
+    fn name(&self) -> &'static str;
+    /// Ranks a segment for cleaning: higher is better. `u` is the
+    /// segment's utilization and `age` the time since its youngest block
+    /// was written.
+    fn rank(&self, u: f64, age: u64, ctx: &PolicyCtx) -> f64;
+    /// How many segments to pick this pass, given the configured base.
+    fn pace(&self, base: u32, _ctx: &PolicyCtx) -> u32 {
+        base
+    }
+}
+
+/// Always clean the least-utilized segments (§3.4).
+pub struct Greedy;
+
+impl CleanPolicy for Greedy {
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+    fn rank(&self, u: f64, _age: u64, _ctx: &PolicyCtx) -> f64 {
+        1.0 - u
+    }
+}
+
+/// The paper's cost-benefit policy `(1-u)*age/(1+u)` (§3.5).
+pub struct CostBenefit;
+
+impl CleanPolicy for CostBenefit {
+    fn name(&self) -> &'static str {
+        "cost-benefit"
+    }
+    fn rank(&self, u: f64, age: u64, _ctx: &PolicyCtx) -> f64 {
+        (1.0 - u) * age as f64 / (1.0 + u)
+    }
+}
+
+/// Utilization-distribution-adaptive policy (Lomet & Luo).
+///
+/// Cost-benefit's fixed `age` weighting has two failure modes: when the
+/// disk is mostly empty it passes over nearly-free segments in favour of
+/// old half-full ones (copying for no reason), and its age term has
+/// dimensions of raw clock ticks, so its strength varies with geometry
+/// and workload rate. `Adaptive` fixes both by reading the candidate
+/// population: ages are normalized by the population mean (scale-free),
+/// and the age term is weighted by the population's mean utilization —
+/// on an emptyish disk (low mean utilization) it scores almost purely on
+/// free space like greedy, while on a full disk it leans on age like
+/// cost-benefit, where hot/cold segregation matters most. Pacing scales
+/// with the clean-segment deficit so a nearly-wedged disk cleans in
+/// bigger installments and an idle one in smaller.
+pub struct Adaptive;
+
+impl CleanPolicy for Adaptive {
+    fn name(&self) -> &'static str {
+        "adaptive"
+    }
+    fn rank(&self, u: f64, age: u64, ctx: &PolicyCtx) -> f64 {
+        let age_norm = age as f64 / ctx.mean_age.max(1.0);
+        (1.0 - u) / (1.0 + u) * (1.0 + age_norm * ctx.mean_util)
+    }
+    fn pace(&self, base: u32, ctx: &PolicyCtx) -> u32 {
+        let deficit = (1.0 - ctx.clean_frac).clamp(0.0, 1.0);
+        ((base as f64 * (0.5 + 1.5 * deficit)).round() as u32).max(1)
+    }
+}
+
+impl CleaningPolicy {
+    /// The policy implementation this configuration value selects.
+    pub fn as_policy(self) -> &'static dyn CleanPolicy {
+        match self {
+            CleaningPolicy::Greedy => &Greedy,
+            CleaningPolicy::CostBenefit => &CostBenefit,
+            CleaningPolicy::Adaptive => &Adaptive,
+        }
+    }
+}
+
+/// Ranks a segment for cleaning under `policy` with a neutral
+/// population context: higher is better. The single place the real
+/// cleaner, the simulator comparisons, and external analysis share for
+/// the fixed (non-adaptive) policies.
+pub fn rank(policy: CleaningPolicy, u: f64, age: u64) -> f64 {
+    policy.as_policy().rank(u, age, &PolicyCtx::default())
 }
 
 /// Max-heap entry for candidate selection: `(score, seg, live_bytes)`
@@ -219,6 +321,43 @@ impl<D: QueueDevice> Lfs<D> {
     fn select_candidates(&self) -> Vec<u32> {
         let seg_bytes = self.cfg.seg_bytes();
         let now = self.clock;
+        let pol = self.cfg.policy.as_policy();
+        // Summarize the candidate population for the policy: the live
+        // utilization distribution of the dirty segments plus the free
+        // fraction. The fixed policies ignore it, so computing it does
+        // not perturb their selections.
+        let ctx = {
+            let mut nsegs = 0u64;
+            let mut ndirty = 0u64;
+            let mut util_sum = 0.0f64;
+            let mut age_sum = 0.0f64;
+            for (seg, u) in self.usage.iter() {
+                nsegs += 1;
+                if u.state == SegState::Dirty && !self.is_write_point_seg(seg) {
+                    ndirty += 1;
+                    util_sum += u.utilization(seg_bytes);
+                    age_sum += (now.saturating_sub(u.last_write) + 1) as f64;
+                }
+            }
+            PolicyCtx {
+                mean_util: if ndirty == 0 {
+                    0.0
+                } else {
+                    util_sum / ndirty as f64
+                },
+                mean_age: if ndirty == 0 {
+                    1.0
+                } else {
+                    age_sum / ndirty as f64
+                },
+                clean_frac: if nsegs == 0 {
+                    0.0
+                } else {
+                    self.usage.clean_count() as f64 / nsegs as f64
+                },
+            }
+        };
+        let per_pass = pol.pace(self.cfg.segs_per_clean, &ctx);
         // Split candidates as they stream out of the usage table: empty
         // segments go to their own (small, capped) list, the rest into a
         // max-heap popped lazily below. Only the handful of segments a
@@ -244,7 +383,7 @@ impl<D: QueueDevice> Lfs<D> {
             .filter_map(|(seg, u)| {
                 let util = u.utilization(seg_bytes);
                 let age = now.saturating_sub(u.last_write) + 1;
-                let cand = (rank(self.cfg.policy, util, age), seg, u.live_bytes as u64);
+                let cand = (pol.rank(util, age, &ctx), seg, u.live_bytes as u64);
                 if u.live_bytes == 0 {
                     empties.push(cand);
                     None
@@ -299,7 +438,7 @@ impl<D: QueueDevice> Lfs<D> {
         let nempties = picked.len();
         // Lazy best-first pop: most passes examine only a few segments
         // beyond the `segs_per_clean` they pick (budget skips excepted).
-        while picked.len() - nempties < self.cfg.segs_per_clean as usize {
+        while picked.len() - nempties < per_pass as usize {
             let Some(HeapCand((_, seg, live))) = heap.pop() else {
                 break;
             };
@@ -316,22 +455,22 @@ impl<D: QueueDevice> Lfs<D> {
         // in this pass would stall even while the aggregate clean count
         // looks healthy. Keep popping the heap for the best candidate on
         // each starved shard (still subject to the live-data budget).
-        let n = self.write_points.len();
+        let n = self.nshards;
         if n > 1 {
             let mut clean_per_shard = vec![0u32; n];
             for (seg, u) in self.usage.iter() {
                 if u.state == SegState::Clean {
-                    clean_per_shard[(seg as usize) % n] += 1;
+                    clean_per_shard[self.shard_of_seg(seg)] += 1;
                 }
             }
             let mut has_pick = vec![false; n];
             for &seg in &picked {
-                has_pick[(seg as usize) % n] = true;
+                has_pick[self.shard_of_seg(seg)] = true;
             }
             let starved = |sh: usize, has_pick: &[bool]| clean_per_shard[sh] == 0 && !has_pick[sh];
             if (0..n).any(|sh| starved(sh, &has_pick)) {
                 while let Some(HeapCand((_, seg, live))) = heap.pop() {
-                    let sh = (seg as usize) % n;
+                    let sh = self.shard_of_seg(seg);
                     if !starved(sh, &has_pick) {
                         continue;
                     }
@@ -411,7 +550,9 @@ impl<D: QueueDevice> Lfs<D> {
             if self.dirty_bytes >= stage_bound {
                 self.flush()?;
             }
-            self.stats.cleaner.utilization_sum += usage.live_bytes as f64 / seg_bytes as f64;
+            let u = usage.live_bytes as f64 / seg_bytes as f64;
+            self.stats.cleaner.utilization_sum += u;
+            self.stats.cleaner.record_clean_utilization(u);
             self.scavenge_segment(seg)?;
         }
         // Write the remaining staged live data back to the head of the

@@ -12,6 +12,12 @@ pub enum CleaningPolicy {
     /// Clean the segments with the highest benefit-to-cost ratio
     /// `(1-u)*age/(1+u)` — the paper's cost-benefit policy (Section 3.5).
     CostBenefit,
+    /// Adapt victim selection and pacing to the measured utilization
+    /// distribution of the candidate set (Lomet & Luo): greedy-like when
+    /// segments are mostly empty, cost-benefit-like as the disk fills,
+    /// with scale-free ages so the blend is geometry-independent. See
+    /// [`crate::cleaner::Adaptive`].
+    Adaptive,
 }
 
 /// Configuration for [`crate::Lfs`].
@@ -89,6 +95,14 @@ pub struct LfsConfig {
     /// the set of blocks fetched — and therefore the figure benchmarks —
     /// bit-identical to the per-block path.
     pub read_ahead_blocks: u32,
+    /// Number of temperature-keyed write streams per shard (hot → cold).
+    /// 1 (the default) keeps the single write point per shard and is
+    /// bit-identical to the pre-stream image; 2 splits hot/cold; 3 adds a
+    /// warm class. Live blocks salvaged by the cleaner always go to the
+    /// coldest stream ("cold by definition" — the age-sort insight of
+    /// §3.4 applied at placement time). Capped at
+    /// [`crate::stats::MAX_STREAMS`].
+    pub streams: u32,
     /// Hand data blocks to the device as borrowed slices (one gather
     /// request per partial write) instead of assembling a fresh
     /// contiguous buffer first. The gather path is exactly equivalent —
@@ -118,6 +132,7 @@ impl LfsConfig {
             read_live_threshold: 0.0,
             coalesced_reads: true,
             read_ahead_blocks: 0,
+            streams: 1,
             gather_writes: true,
         }
     }
@@ -142,6 +157,7 @@ impl LfsConfig {
             read_live_threshold: 0.0,
             coalesced_reads: true,
             read_ahead_blocks: 0,
+            streams: 1,
             gather_writes: true,
         }
     }
@@ -165,6 +181,20 @@ impl LfsConfig {
     pub fn greedy(mut self) -> LfsConfig {
         self.policy = CleaningPolicy::Greedy;
         self.age_sort = false;
+        self
+    }
+
+    /// Splits each shard's log head into `n` temperature-keyed write
+    /// streams (see [`LfsConfig::streams`]).
+    pub fn with_streams(mut self, n: u32) -> LfsConfig {
+        self.streams = n.clamp(1, crate::stats::MAX_STREAMS as u32);
+        self
+    }
+
+    /// Switches the cleaner to the adaptive policy (with age-sort, which
+    /// it subsumes but never hurts).
+    pub fn adaptive(mut self) -> LfsConfig {
+        self.policy = CleaningPolicy::Adaptive;
         self
     }
 

@@ -28,6 +28,10 @@ use crate::usage::SegState;
 /// pool for relocating live data when the log runs out of space.
 pub(crate) const CLEANER_RESERVE_SEGS: usize = 2;
 
+/// Most heat entries a checkpoint persists (the hottest ones win).
+/// Bounds the region payload: 512 pairs cost 4 KB, one extra block.
+const MAX_CHECKPOINT_HEAT: usize = 512;
+
 /// One block scheduled for the current partial write.
 #[derive(Clone, Debug)]
 enum Item {
@@ -57,6 +61,10 @@ struct ChunkPlan {
     seg: u32,
     off: u32,
     n_items: usize,
+    /// Index into [`Lfs::write_points`] of the cursor this chunk
+    /// advances — encodes both the temperature stream (`cursor /
+    /// nshards`) and the shard (`cursor % nshards`).
+    cursor: usize,
 }
 
 /// The result of the (pure) layout computation.
@@ -138,9 +146,30 @@ impl<D: QueueDevice> Lfs<D> {
         // ---- gather -----------------------------------------------------
         let dirlog_blocks = dirlog::encode_records(&self.dirlog_pending);
 
-        let mut items: Vec<Item> = Vec::new();
+        // Items are gathered into one group per temperature stream plus
+        // (with several streams) a trailing metadata group; the flat
+        // item list written below is the concatenation of the groups in
+        // that order. With a single stream this is exactly the
+        // historical single-list gather. Two constraints meet here:
+        //
+        // * *Placement*: metadata (directory log, inode/imap/usage
+        //   blocks) rides the hot stream's write point — it turns over
+        //   fastest, so segregating it from cold file data keeps cold
+        //   segments at high, stable utilization (§3.4).
+        // * *Ordering*: an inode must reach the log *after* every data
+        //   and indirect block it references, or roll-forward could
+        //   adopt an inode whose blocks a crash swallowed (§4.2). The
+        //   streams write to distinct cursors but share one sequence
+        //   numbering, and replay stops at the first missing sequence —
+        //   so the inode/imap/usage group must take the *highest*
+        //   sequence numbers, i.e. come last in the flat list, even
+        //   though its chunks land on the stream-0 cursor.
+        let nstreams = self.stream_count();
+        let ngroups = if nstreams == 1 { 1 } else { nstreams + 1 };
+        let meta = ngroups - 1;
+        let mut groups: Vec<Vec<Item>> = vec![Vec::new(); ngroups];
         for b in dirlog_blocks {
-            items.push(Item::DirLog(b));
+            groups[0].push(Item::DirLog(b));
         }
 
         // Data blocks, grouped per file. With age-sorting enabled the
@@ -217,10 +246,12 @@ impl<D: QueueDevice> Lfs<D> {
                 .map(|&(_, b)| b)
                 .collect();
             for bno in blocks {
-                items.push(Item::Data { ino, bno });
+                let t = self.stream_of_block(ino, bno);
+                groups[t].push(Item::Data { ino, bno });
             }
             // Indirect blocks: singles first (their addresses go into the
-            // double), then the double.
+            // double), then the double. They follow the file's own heat
+            // class — an indirect block changes whenever its file does.
             let mut keys: Vec<IndKey> = self
                 .inds
                 .iter()
@@ -228,8 +259,13 @@ impl<D: QueueDevice> Lfs<D> {
                 .map(|(&(_, k), _)| k)
                 .collect();
             keys.sort();
+            let ft = if nstreams == 1 {
+                0
+            } else {
+                self.heat.class(ino, self.clock, nstreams)
+            };
             for key in keys {
-                items.push(Item::Ind { ino, key });
+                groups[ft].push(Item::Ind { ino, key });
             }
             if self.inodes.get(&ino).map(|c| c.dirty).unwrap_or(false)
                 || self.dirty_files.contains(&ino)
@@ -239,7 +275,7 @@ impl<D: QueueDevice> Lfs<D> {
         }
         // Pack dirty inodes 16 to a block, preserving the file order.
         for group in dirty_inos.chunks(crate::layout::INODES_PER_BLOCK) {
-            items.push(Item::InodeBlk {
+            groups[meta].push(Item::InodeBlk {
                 inos: group.to_vec(),
             });
         }
@@ -251,7 +287,7 @@ impl<D: QueueDevice> Lfs<D> {
             imap_blocks.insert(crate::inodemap::InodeMap::block_of(ino));
         }
         for &idx in &imap_blocks {
-            items.push(Item::Imap(idx));
+            groups[meta].push(Item::Imap(idx));
         }
 
         // Usage blocks: iterate with the layout until the set of touched
@@ -271,16 +307,18 @@ impl<D: QueueDevice> Lfs<D> {
             usage_blocks.insert(crate::usage::UsageTable::block_of(seg));
         }
 
-        // Usage items are appended in place and truncated off again when
-        // the layout touches new segments — no per-round clone of the
-        // whole item list (which holds dirlog payloads and inode groups).
-        let base_len = items.len();
+        // Usage items are appended in place (to the metadata group) and
+        // truncated off again when the layout touches new segments — no
+        // per-round clone of the whole item list (which holds dirlog
+        // payloads and inode groups).
+        let base_meta = groups[meta].len();
         let plan = loop {
             for &idx in &usage_blocks {
-                items.push(Item::Usage(idx));
+                groups[meta].push(Item::Usage(idx));
             }
+            let counts: Vec<usize> = groups.iter().map(|g| g.len()).collect();
             let plan = {
-                let mut plan = self.layout(items.len());
+                let mut plan = self.layout(&counts);
                 // Out of clean segments: let the cleaner regenerate some
                 // (it has a reserved allocation pool precisely so it can
                 // still run now), then retry. Several rounds may be
@@ -291,7 +329,7 @@ impl<D: QueueDevice> Lfs<D> {
                     let res = self.clean_for_space();
                     self.cleaning = false;
                     res?;
-                    plan = self.layout(items.len());
+                    plan = self.layout(&counts);
                     rounds += 1;
                 }
                 plan?
@@ -305,8 +343,14 @@ impl<D: QueueDevice> Lfs<D> {
             if !grew {
                 break plan;
             }
-            items.truncate(base_len);
+            groups[meta].truncate(base_meta);
         };
+        // Flatten into the single write-order list: stream 0 (hottest)
+        // first, the metadata group last so inodes take the highest
+        // sequence numbers of the batch. The layout above consumed
+        // per-group counts in the same order, so chunk `i` covers
+        // exactly the next `n_items` of this list.
+        let items: Vec<Item> = groups.into_iter().flatten().collect();
 
         // ---- commit segment allocation -----------------------------------
         for &seg in &plan.allocated {
@@ -424,12 +468,25 @@ impl<D: QueueDevice> Lfs<D> {
                 seq += 1;
                 seg_last_seq.insert(c.seg, seq);
             }
+            // Each touched segment belongs to exactly one cursor: the one
+            // that was parked on it before the flush, or the one the plan
+            // advanced onto it. (With a single stream the owner is always
+            // the segment's shard cursor — the historical lookup.)
+            let mut owner: std::collections::BTreeMap<u32, usize> =
+                std::collections::BTreeMap::new();
+            for (c, &(seg, _)) in self.write_points.iter().enumerate() {
+                owner.insert(seg, c);
+            }
+            for c in &plan.chunks {
+                owner.insert(c.seg, c.cursor);
+            }
             let mut touched: BTreeSet<u32> = seg_last_seq.keys().copied().collect();
             for &(seg, _) in &self.write_points {
                 touched.insert(seg);
             }
             for seg in touched {
-                let (end_seg, end_off) = plan.end_wps[self.shard_of_seg(seg)];
+                let cur = owner[&seg];
+                let (end_seg, end_off) = plan.end_wps[cur];
                 let is_end = seg == end_seg;
                 let end_full = end_off + 1 >= self.sb.seg_blocks;
                 if !is_end || end_full {
@@ -459,6 +516,10 @@ impl<D: QueueDevice> Lfs<D> {
                 self.bytes_since_checkpoint += ((1 + c.n_items) * BLOCK_SIZE) as u64;
             }
             self.stats.partial_writes += 1;
+            self.stats.add_stream_bytes(
+                c.cursor / self.nshards,
+                ((1 + c.n_items) * BLOCK_SIZE) as u64,
+            );
             self.emit(|| lfs_obs::TraceEvent::SegmentWrite {
                 seg: c.seg,
                 blocks: c.n_items as u32 + 1, // items + the summary block
@@ -820,34 +881,40 @@ impl<D: QueueDevice> Lfs<D> {
         }
     }
 
-    /// Computes chunk placement for `n_items` blocks without mutating
-    /// anything.
+    /// Computes chunk placement for the per-group item counts in
+    /// `counts` (one entry per temperature stream, hot first; with
+    /// several streams a trailing metadata group that targets the hot
+    /// stream's cursors) without mutating anything.
     ///
     /// Chunks rotate across shards: the chunk that will carry sequence
-    /// number `s` prefers the write point of shard `s % n`, falling back
-    /// to the next shards in wrap order only when the primary shard has
-    /// neither head room nor a clean segment left. Recovery's fast path
-    /// depends on this: if a shard's write point had room for another
-    /// chunk, the chunk whose sequence maps to that shard *must* be
-    /// there. On a single volume the rotation is the identity and the
-    /// placement is exactly the historical single-write-point layout.
-    fn layout(&self, n_items: usize) -> FsResult<LayoutPlan> {
+    /// number `s` prefers the write points of shard `s % nshards`,
+    /// falling back to the next shards in wrap order only when the
+    /// primary shard has neither head room nor a clean segment left.
+    /// Recovery's fast path depends on this: if a shard's write point
+    /// had room for another chunk, the chunk whose sequence maps to that
+    /// shard *must* be there. Within a shard a chunk prefers its own
+    /// stream's cursor and falls back to the other streams' cursors on
+    /// that shard before trying the next shard — temperature is a
+    /// placement *hint*; space is a guarantee. On a single volume with a
+    /// single stream the rotation is the identity and the placement is
+    /// exactly the historical single-write-point layout.
+    fn layout(&self, counts: &[usize]) -> FsResult<LayoutPlan> {
         let seg_blocks = self.sb.seg_blocks;
-        let n = self.write_points.len();
+        let nsh = self.nshards;
+        let nstr = self.stream_count();
         let mut chunks = Vec::new();
         let mut allocated = Vec::new();
         let mut wps = self.write_points.clone();
-        let mut remaining = n_items;
         // Clean segments available for allocation, in index order, pooled
-        // per shard (segment `g` lives on shard `g % n`). Normal writes
-        // must leave a couple of segments *per shard* for the cleaner,
-        // which needs somewhere to copy live data even when the log is
-        // full — without this reserve the file system can wedge with free
-        // space it cannot reach.
-        let mut avail: Vec<Vec<u32>> = vec![Vec::new(); n];
+        // per shard and shared by that shard's stream cursors. Normal
+        // writes must leave a couple of segments *per shard* for the
+        // cleaner, which needs somewhere to copy live data even when the
+        // log is full — without this reserve the file system can wedge
+        // with free space it cannot reach.
+        let mut avail: Vec<Vec<u32>> = vec![Vec::new(); nsh];
         for s in self.usage.clean_segs() {
             if !self.is_write_point_seg(s) {
-                avail[(s as usize) % n].push(s);
+                avail[self.shard_of_seg(s)].push(s);
             }
         }
         // Normal writes leave segments for the cleaner; the cleaner's own
@@ -865,41 +932,53 @@ impl<D: QueueDevice> Lfs<D> {
             pool.reverse(); // Pop from the low end.
         }
         let mut ordinal = 0u64;
-        while remaining > 0 {
-            let primary = ((self.write_seq + 1 + ordinal) % n as u64) as usize;
-            let mut placed = false;
-            'shards: for k in 0..n {
-                let sh = (primary + k) % n;
-                loop {
-                    let (seg, off) = wps[sh];
-                    let space = seg_blocks.saturating_sub(off) as usize;
-                    if space < 2 {
-                        // No room for a summary plus at least one block.
-                        match avail[sh].pop() {
-                            Some(s) => {
-                                allocated.push(s);
-                                wps[sh] = (s, 0);
-                                continue;
+        for (g, &count) in counts.iter().enumerate() {
+            // The metadata group (index `nstr`, present only with
+            // several streams) targets the hot stream's cursors.
+            let t = if g < nstr { g } else { 0 };
+            let mut remaining = count;
+            while remaining > 0 {
+                let primary = ((self.write_seq + 1 + ordinal) % nsh as u64) as usize;
+                let mut placed = false;
+                'rows: for r in 0..nstr {
+                    let row = (t + r) % nstr;
+                    for k in 0..nsh {
+                        let sh = (primary + k) % nsh;
+                        let cur = self.cursor_index(row, sh);
+                        loop {
+                            let (seg, off) = wps[cur];
+                            let space = seg_blocks.saturating_sub(off) as usize;
+                            if space < 2 {
+                                // No room for a summary plus at least one
+                                // block.
+                                match avail[sh].pop() {
+                                    Some(s) => {
+                                        allocated.push(s);
+                                        wps[cur] = (s, 0);
+                                        continue;
+                                    }
+                                    None => break, // next cursor
+                                }
                             }
-                            None => continue 'shards,
+                            let take = remaining.min(space - 1).min(MAX_SUMMARY_ENTRIES);
+                            chunks.push(ChunkPlan {
+                                seg,
+                                off,
+                                n_items: take,
+                                cursor: cur,
+                            });
+                            wps[cur] = (seg, off + 1 + take as u32);
+                            remaining -= take;
+                            placed = true;
+                            break 'rows;
                         }
                     }
-                    let take = remaining.min(space - 1).min(MAX_SUMMARY_ENTRIES);
-                    chunks.push(ChunkPlan {
-                        seg,
-                        off,
-                        n_items: take,
-                    });
-                    wps[sh] = (seg, off + 1 + take as u32);
-                    remaining -= take;
-                    placed = true;
-                    break 'shards;
                 }
+                if !placed {
+                    return Err(FsError::NoSpace);
+                }
+                ordinal += 1;
             }
-            if !placed {
-                return Err(FsError::NoSpace);
-            }
-            ordinal += 1;
         }
         Ok(LayoutPlan {
             chunks,
@@ -961,6 +1040,14 @@ impl<D: QueueDevice> Lfs<D> {
         })(written);
         self.settling = false;
         let written = settle?;
+        // The heat snapshot rides only multi-stream checkpoints: a
+        // single-stream image must stay byte-identical to the
+        // pre-stream format, and has no routing to seed anyway.
+        let heat = if self.stream_count() > 1 {
+            self.heat.snapshot(self.clock, MAX_CHECKPOINT_HEAT)
+        } else {
+            Vec::new()
+        };
         let cp = crate::checkpoint::Checkpoint {
             epoch: self.epoch,
             seq: self.write_seq,
@@ -971,6 +1058,7 @@ impl<D: QueueDevice> Lfs<D> {
             imap_addrs: self.imap.block_addr_vec().to_vec(),
             usage_addrs: self.usage.block_addr_vec().to_vec(),
             live_bytes: self.usage.live_vec(),
+            heat,
         };
         // The summary → checkpoint ordering edge: every queued log write
         // must have completed before the region claims to cover it. On a

@@ -33,6 +33,12 @@ use crate::usage::{SegState, UsageTable};
 /// within a bounded delay.
 pub(crate) const IO_ATTEMPTS: u32 = 5;
 
+/// Half-life of the per-inode heat counters, in logical clock ticks
+/// (the clock advances once per mutation). A file needs roughly three
+/// writes inside a half-life to classify hot; one half-life of silence
+/// halves its heat. See [`crate::heat`].
+pub(crate) const HEAT_HALF_LIFE: u64 = 128;
+
 /// Whether a device error is worth retrying. Geometry errors are
 /// deterministic (a retry cannot fix an out-of-range request); only
 /// `Io` errors model conditions that can clear.
@@ -199,12 +205,21 @@ pub struct Lfs<D: QueueDevice> {
     /// Depth of in-flight namespace operations (see [`Lfs::with_nsop`]).
     /// While non-zero, `checkpoint` degrades to a plain flush.
     pub(crate) nsop_depth: u32,
-    /// Per-shard log write points: `write_points[s]` is the `(segment,
-    /// next free block offset)` of the log head on shard `s`. Segment
-    /// `g` lives on shard `g % write_points.len()`, so on a single
-    /// volume this is one entry and behaves exactly like the scalar
-    /// `cur_seg`/`cur_off` pair it replaced. Always non-empty.
+    /// Log write points, one per (temperature stream, shard) pair:
+    /// `write_points[t * nshards + s]` is the `(segment, next free block
+    /// offset)` of stream `t`'s log head on shard `s`. Stream 0 is the
+    /// hottest; the last stream is the coldest and receives
+    /// cleaner-salvaged blocks. With `streams = 1` (the default) this is
+    /// one entry per shard and behaves exactly like the per-shard write
+    /// point it generalizes; on a single volume it is one entry, the
+    /// scalar `cur_seg`/`cur_off` pair of the paper. Always non-empty.
     pub(crate) write_points: Vec<(u32, u32)>,
+    /// Number of shards of the device (cached; `write_points.len()` is
+    /// `nshards × streams`, so it can no longer serve as the shard
+    /// count).
+    pub(crate) nshards: usize,
+    /// Per-inode update-temperature estimator driving stream routing.
+    pub(crate) heat: crate::heat::HeatMap,
     /// Segments cleaned per shard since mount (one entry per write
     /// point). Not part of [`crate::stats::CleanerStats`] — that struct
     /// is `Copy` — but published next to it as `shard.<i>.*` metrics so
@@ -284,6 +299,13 @@ impl<D: QueueDevice> Lfs<D> {
                 ));
             }
         }
+        // Every (stream, shard) write point needs its own segment.
+        let streams = cfg.streams.clamp(1, crate::stats::MAX_STREAMS as u32) as usize;
+        if (sb.nsegments as usize) < dev.shard_count().max(1) * streams {
+            return Err(FsError::InvalidArgument(
+                "device too small: fewer segments than write streams",
+            ));
+        }
         let mut fs = Lfs::bare(dev, sb, cfg);
         let sb_block = {
             let enc = fs.sb.encode();
@@ -312,8 +334,9 @@ impl<D: QueueDevice> Lfs<D> {
         );
         fs.dirty_inode_count += 1;
         fs.dirty_files.insert(ROOT_INO);
-        for i in 0..fs.write_points.len() as u32 {
-            fs.usage.set_state(i, SegState::Active);
+        let wp_segs: Vec<u32> = fs.write_points.iter().map(|&(s, _)| s).collect();
+        for s in wp_segs {
+            fs.usage.set_state(s, SegState::Active);
         }
 
         // Write the initial state to *both* regions so `read_latest`
@@ -325,9 +348,27 @@ impl<D: QueueDevice> Lfs<D> {
 
     /// Constructs the in-memory state shared by `format` and `mount`.
     pub(crate) fn bare(dev: D, sb: Superblock, cfg: LfsConfig) -> Lfs<D> {
-        // One write point per shard of the device; shard `s` starts its
-        // log in segment `s` (segment `g` maps to shard `g % n`).
-        let shards = dev.shard_count().max(1) as u32;
+        // One write point per (temperature stream, shard) pair; each
+        // cursor starts its log in the lowest-numbered segment of its
+        // shard not claimed by a hotter stream. On a homogeneous set
+        // this is segment `t * nshards + s` for stream `t` on shard `s`;
+        // mount replaces the assignment with the checkpoint's.
+        let shards = dev.shard_count().max(1);
+        let streams = cfg.streams.clamp(1, crate::stats::MAX_STREAMS as u32) as usize;
+        let ncursors = shards * streams;
+        let mut write_points = vec![(0u32, 0u32); ncursors];
+        let mut next_stream = vec![0usize; shards];
+        let mut placed = 0usize;
+        let mut g = 0u32;
+        while placed < ncursors && (g as u64) < sb.nsegments as u64 {
+            let s = dev.shard_of_stripe(g as u64).min(shards - 1);
+            if next_stream[s] < streams {
+                write_points[next_stream[s] * shards + s] = (g, 0);
+                next_stream[s] += 1;
+                placed += 1;
+            }
+            g += 1;
+        }
         Lfs {
             dev,
             imap: InodeMap::new(sb.max_inodes),
@@ -345,8 +386,10 @@ impl<D: QueueDevice> Lfs<D> {
             dirty_files: BTreeSet::new(),
             dirlog_pending: Vec::new(),
             nsop_depth: 0,
-            write_points: (0..shards).map(|s| (s, 0)).collect(),
-            cleaned_per_shard: vec![0; shards as usize],
+            write_points,
+            nshards: shards,
+            heat: crate::heat::HeatMap::new(HEAT_HALF_LIFE),
+            cleaned_per_shard: vec![0; shards],
             write_seq: 0,
             checkpoint_seq: 0,
             next_cr: 0,
@@ -515,15 +558,50 @@ impl<D: QueueDevice> Lfs<D> {
         self.usage.clean_count()
     }
 
-    /// The per-shard log write points, shard 0 first: `(segment, next
-    /// free block offset)`. A single-volume file system has exactly one.
+    /// The log write points, one per (temperature stream, shard) pair,
+    /// stream-major: entry `t * nshards + s` is stream `t`'s `(segment,
+    /// next free block offset)` on shard `s`. A single-volume,
+    /// single-stream file system has exactly one.
     pub fn write_points(&self) -> &[(u32, u32)] {
         &self.write_points
     }
 
-    /// Which shard segment `seg` lives on (always 0 on a single volume).
+    /// Number of shards of the underlying device.
+    pub fn shard_count(&self) -> usize {
+        self.nshards
+    }
+
+    /// Number of temperature streams per shard.
+    pub fn stream_count(&self) -> usize {
+        self.write_points.len() / self.nshards
+    }
+
+    /// Which shard segment `seg` lives on (always 0 on a single
+    /// volume). Delegates to the device's stripe mapping, which is
+    /// `seg % nshards` on homogeneous sets but skips exhausted shards
+    /// on heterogeneous ones.
     pub fn shard_of_seg(&self, seg: u32) -> usize {
-        (seg as usize) % self.write_points.len()
+        self.dev.shard_of_stripe(seg as u64).min(self.nshards - 1)
+    }
+
+    /// The `write_points` index of stream `stream` on shard `shard`.
+    pub(crate) fn cursor_index(&self, stream: usize, shard: usize) -> usize {
+        stream * self.nshards + shard
+    }
+
+    /// The temperature stream that should carry a dirty block of `ino`:
+    /// the inode's heat class, for cleaner relocations and foreground
+    /// writes alike. Routing survivors by their file's *own* heat (not
+    /// blanket-coldest) matters: blocks salvaged from a hot segment are
+    /// usually recent and about to die again, and burying them in a cold
+    /// segment seeds it with soon-to-be-dead bytes. Genuinely cold
+    /// survivors still land cold — an idle file's heat decays to zero.
+    pub(crate) fn stream_of_block(&self, ino: Ino, _bno: u64) -> usize {
+        let nstreams = self.stream_count();
+        if nstreams == 1 {
+            return 0;
+        }
+        self.heat.class(ino, self.clock, nstreams)
     }
 
     /// Whether `seg` currently holds any shard's write point. Such
@@ -542,7 +620,7 @@ impl<D: QueueDevice> Lfs<D> {
     /// full segment. Exactly the configured threshold on a single
     /// volume.
     pub(crate) fn flush_trigger_bytes(&self) -> u64 {
-        self.cfg.flush_threshold_bytes * self.write_points.len() as u64
+        self.cfg.flush_threshold_bytes * self.nshards as u64
     }
 
     /// Per-segment `last_write` times (the age input to the cost-benefit
@@ -1404,6 +1482,7 @@ impl<D: QueueDevice> Lfs<D> {
 
     /// Deletes a file whose link count reached zero.
     pub(crate) fn delete_file(&mut self, ino: Ino) -> FsResult<()> {
+        self.heat.forget(ino);
         self.free_blocks_from(ino, 0)?;
         // Retire the on-disk inode slot.
         let entry = *self.imap.get(ino)?;
@@ -1671,6 +1750,7 @@ impl<D: QueueDevice> FileSystem for Lfs<D> {
                 if fs.inode_ref(ino)?.ftype == FileType::Directory {
                     return Err(FsError::IsADirectory);
                 }
+                fs.heat.touch(ino, fs.clock);
                 fs.write_internal(ino, offset, data, true)
             },
         )
@@ -1719,6 +1799,7 @@ impl<D: QueueDevice> FileSystem for Lfs<D> {
             }
         }
         let now = self.now();
+        self.heat.touch(ino, now);
         let m = self.inode_mut(ino)?;
         m.size = size;
         m.mtime = now;

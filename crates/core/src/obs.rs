@@ -130,6 +130,13 @@ impl<D: QueueDevice> Lfs<D> {
                 .clean_high_water
                 .saturating_sub(self.usage.clean_count()) as f64,
         );
+        // Active selection policy, as a presence marker (`lfstop` probes
+        // the known names): counters carry no string labels.
+        reg.counter(&format!(
+            "lfs.cleaner.policy.{}",
+            self.cfg.policy.as_policy().name()
+        ))
+        .store(1);
         let q = self.dev.queue_stats();
         if q.submitted > 0 {
             reg.counter("queue.submitted").store(q.submitted);
@@ -138,15 +145,24 @@ impl<D: QueueDevice> Lfs<D> {
                 reg.gauge("queue.mean_in_flight_depth").set(mean);
             }
         }
+        // Per-temperature-stream fill rates (stream 0 is the hottest;
+        // a single-stream system publishes only stream 0) and the heat
+        // estimator's coverage.
+        for t in 0..self.stream_count() {
+            reg.counter(&format!("lfs.stream.{t}.bytes_written"))
+                .store(self.stats().stream_bytes(t));
+        }
+        if !self.heat.is_empty() {
+            reg.gauge("lfs.heat.tracked").set(self.heat.len() as f64);
+        }
         // On a multi-volume set, publish per-shard counters next to the
         // aggregates so an operator can spot a skewed or starved disk.
         let shards = self.dev.shard_count();
         if shards > 1 {
-            let n = self.write_points.len();
-            let mut clean_per_shard = vec![0u64; n];
+            let mut clean_per_shard = vec![0u64; shards];
             for (seg, u) in self.usage.iter() {
                 if u.state == crate::usage::SegState::Clean {
-                    clean_per_shard[(seg as usize) % n] += 1;
+                    clean_per_shard[self.shard_of_seg(seg)] += 1;
                 }
             }
             for i in 0..shards {
@@ -233,5 +249,11 @@ impl LfsStats {
         reg.counter("lfs.cleaner.passes").store(c.passes);
         reg.gauge("lfs.cleaner.utilization_sum")
             .set(c.utilization_sum);
+        // Utilization-at-clean histogram: how full victims were when
+        // chosen, the distribution Figure 6's bimodal argument is about.
+        for (i, &n) in c.util_deciles.iter().enumerate() {
+            reg.counter(&format!("lfs.cleaner.util_decile.{i}"))
+                .store(n);
+        }
     }
 }

@@ -132,11 +132,17 @@ impl<D: QueueDevice> Lfs<D> {
     /// stale or hostile one.
     fn load_checkpoint_state(&mut self, cp: &Checkpoint, idx: usize) -> FsResult<()> {
         let corrupt = |what: &str| FsError::Corrupt(format!("checkpoint: {what}"));
-        // One write point per shard, each on its own shard (segment `g`
-        // lives on shard `g % n`). A checkpoint from a volume set of a
-        // different width describes a different disk geometry entirely.
+        // One write point per (stream, shard) pair, stored stream-major,
+        // each on its own shard. A checkpoint from a volume set of a
+        // different width describes a different disk geometry entirely;
+        // a different *stream* count is fine (the count is a tuning
+        // knob, not geometry) and is reconciled with the mount
+        // configuration after roll-forward.
         let wps = cp.write_points();
-        if wps.len() != self.write_points.len() {
+        if wps.is_empty()
+            || !wps.len().is_multiple_of(self.nshards)
+            || wps.len() / self.nshards > crate::stats::MAX_STREAMS
+        {
             return Err(corrupt("write-point count does not match shard count"));
         }
         for (i, &(seg, off)) in wps.iter().enumerate() {
@@ -146,7 +152,7 @@ impl<D: QueueDevice> Lfs<D> {
             if off > self.sb.seg_blocks {
                 return Err(corrupt("log head offset out of range"));
             }
-            if (seg as usize) % wps.len() != i {
+            if self.shard_of_seg(seg) != i % self.nshards {
                 return Err(corrupt("write point on wrong shard"));
             }
         }
@@ -199,6 +205,10 @@ impl<D: QueueDevice> Lfs<D> {
         self.write_seq = cp.seq;
         self.checkpoint_seq = cp.seq;
         self.clock = cp.timestamp;
+        // Seed the heat estimator from the checkpoint's snapshot so
+        // temperature routing resumes where the last incarnation left
+        // off instead of treating every file as cold.
+        self.heat.restore(&cp.heat, cp.timestamp);
         self.next_cr = 1 - idx;
         self.write_points = wps;
         for i in 0..self.write_points.len() {
@@ -220,7 +230,56 @@ impl<D: QueueDevice> Lfs<D> {
             // checkpoint.
             self.usage.promote_pending(cp.seq);
         }
+        self.reconcile_streams(self.write_seq);
         Ok(())
+    }
+
+    /// Brings the cursor set to the configured stream count after the
+    /// checkpoint (and any roll-forward) restored the on-disk cursors.
+    ///
+    /// This runs strictly *after* roll-forward: the tail may have been
+    /// written into segments the checkpoint still records as Clean, so
+    /// grabbing clean segments for new cursors any earlier could steal a
+    /// segment the tail lives in. Growing adds whole rows (one cursor
+    /// per shard) from the clean pool and stops early — without error —
+    /// when some shard has no clean segment left; shrinking seals the
+    /// coldest rows. Either way the end-of-mount checkpoint persists the
+    /// reconciled set.
+    fn reconcile_streams(&mut self, seal_seq: u64) {
+        let want = self.cfg.streams.clamp(1, crate::stats::MAX_STREAMS as u32) as usize;
+        while self.stream_count() < want {
+            let clean: Vec<u32> = self
+                .usage
+                .clean_segs()
+                .filter(|&g| !self.is_write_point_seg(g))
+                .collect();
+            let mut row: Vec<(u32, u32)> = Vec::with_capacity(self.nshards);
+            for s in 0..self.nshards {
+                let found = clean
+                    .iter()
+                    .copied()
+                    .find(|&g| self.shard_of_seg(g) == s && !row.iter().any(|&(rg, _)| rg == g));
+                match found {
+                    Some(g) => row.push((g, 0)),
+                    None => break,
+                }
+            }
+            if row.len() < self.nshards {
+                break;
+            }
+            for &(g, _) in &row {
+                self.usage.set_state(g, SegState::Active);
+            }
+            self.write_points.extend(row);
+        }
+        while self.stream_count() > want.max(1) {
+            let start = (self.stream_count() - 1) * self.nshards;
+            let extra: Vec<(u32, u32)> = self.write_points.drain(start..).collect();
+            for (g, _) in extra {
+                self.usage.set_state(g, SegState::Dirty);
+                self.usage.set_seal_seq(g, seal_seq);
+            }
+        }
     }
 
     /// Scans the log tail written after checkpoint `cp` and recovers it.
@@ -235,28 +294,43 @@ impl<D: QueueDevice> Lfs<D> {
         let seg_blocks = self.sb.seg_blocks;
         let mut buf = vec![0u8; BLOCK_SIZE];
         let mut cursors = self.write_points.clone();
-        let n = cursors.len() as u64;
-        // Fast path: probe the one position the first post-checkpoint
-        // chunk must occupy — the write point of shard `(seq + 1) % n`
-        // (the layout never spills a chunk whose primary cursor has
-        // room). If no valid continuation summary is there, the shutdown
-        // was clean and there is nothing to roll forward — recovery cost
-        // stays independent of disk size.
+        let nsh = self.nshards;
+        let nstr = cursors.len() / nsh;
+        // Fast path: probe the positions the first post-checkpoint chunk
+        // must occupy — the write points of shard `(seq + 1) % nshards`
+        // (the layout never spills a chunk whose preferred cursor has
+        // room; with several streams the chunk's stream is unknown, so
+        // every stream cursor on the primary shard is a candidate). If
+        // every cursor there had room and none holds a valid
+        // continuation summary, the shutdown was clean and there is
+        // nothing to roll forward — recovery cost stays independent of
+        // disk size.
         {
-            let (seg, off) = cursors[((cp.seq + 1) % n) as usize];
-            if off + 1 < seg_blocks {
+            let p = ((cp.seq + 1) % nsh as u64) as usize;
+            let mut all_room = true;
+            let mut found = false;
+            for t in 0..nstr {
+                let (seg, off) = cursors[t * nsh + p];
+                if off + 1 >= seg_blocks {
+                    // That write point filled its segment exactly; a
+                    // tail could start in some other segment.
+                    all_room = false;
+                    continue;
+                }
                 let probe = self.sb.seg_start(seg) + off as u64;
                 self.dev
                     .read_blocks(probe, &mut buf)
                     .map_err(FsError::device)?;
-                match Summary::decode(&buf) {
-                    Ok(s) if s.epoch == cp.epoch && s.seq == cp.seq + 1 => {}
-                    _ => return Ok(()),
+                if let Ok(s) = Summary::decode(&buf) {
+                    if s.epoch == cp.epoch && s.seq == cp.seq + 1 {
+                        found = true;
+                        break;
+                    }
                 }
             }
-            // Otherwise that write point filled its segment exactly; a
-            // tail, if any, starts in some other segment — fall through
-            // to the scan.
+            if !found && all_room {
+                return Ok(());
+            }
         }
         // Index the first summary of every segment so the traversal can
         // follow the log across segment boundaries by sequence number.
@@ -276,39 +350,65 @@ impl<D: QueueDevice> Lfs<D> {
         let mut expected = cp.seq + 1;
         let mut records: Vec<DirLogRecord> = Vec::new();
         loop {
-            // Where chunk `expected` must be: its primary cursor if that
-            // had room; otherwise one of the other cursors in wrap order
-            // (a spilled chunk); otherwise the head of a freshly
-            // allocated segment reached through the `heads` index.
-            let p = (expected % n) as usize;
-            let cur = if cursors[p].1 + 1 < seg_blocks {
+            // Where chunk `expected` must be: with a single stream, its
+            // primary cursor if that had room; otherwise one of the
+            // other cursors in wrap order (a spilled chunk); otherwise
+            // the head of a freshly allocated segment reached through
+            // the `heads` index. With several streams the chunk's stream
+            // (and so its preferred cursor) is unknown, so every cursor
+            // with room is probed — summaries are sequence-numbered and
+            // checksummed, so a valid match identifies the chunk
+            // regardless of which cursor carried it.
+            let p = (expected % nsh as u64) as usize;
+            let single_fast = nstr == 1 && cursors[p].1 + 1 < seg_blocks;
+            let cur = if single_fast {
                 p
             } else {
                 let mut found = None;
-                for k in 1..cursors.len() {
-                    let q = (p + k) % cursors.len();
-                    let (qseg, qoff) = cursors[q];
-                    if qoff + 1 >= seg_blocks {
-                        continue;
-                    }
-                    let addr = self.sb.seg_start(qseg) + qoff as u64;
-                    if self.dev.read_blocks(addr, &mut buf).is_err() {
-                        continue;
-                    }
-                    if let Ok(s) = Summary::decode(&buf) {
-                        if s.epoch == cp.epoch && s.seq == expected {
-                            found = Some(q);
-                            break;
+                'probe: for k in 0..nsh {
+                    let sh = (p + k) % nsh;
+                    for t in 0..nstr {
+                        let q = t * nsh + sh;
+                        if nstr == 1 && q == p {
+                            continue; // just established it has no room
+                        }
+                        let (qseg, qoff) = cursors[q];
+                        if qoff + 1 >= seg_blocks {
+                            continue;
+                        }
+                        let addr = self.sb.seg_start(qseg) + qoff as u64;
+                        if self.dev.read_blocks(addr, &mut buf).is_err() {
+                            continue;
+                        }
+                        if let Ok(s) = Summary::decode(&buf) {
+                            if s.epoch == cp.epoch && s.seq == expected {
+                                found = Some(q);
+                                break 'probe;
+                            }
                         }
                     }
                 }
                 match found {
                     Some(q) => q,
                     // No cursor has room (or holds the chunk); follow the
-                    // chain into a freshly allocated segment.
+                    // chain into a freshly allocated segment. The layout
+                    // only allocates a fresh segment for a cursor that
+                    // was full, so prefer a full cursor on the segment's
+                    // shard (the lowest-indexed one: with one stream per
+                    // shard this is *the* shard cursor, the historical
+                    // attribution; with several, any same-shard cursor is
+                    // sound — temperature is a hint, not geometry).
                     None => match heads.get(&expected) {
                         Some(&next) => {
-                            let c = (next as usize) % cursors.len();
+                            let sh = self.shard_of_seg(next);
+                            let mut c = sh;
+                            for t in 0..nstr {
+                                let cc = t * nsh + sh;
+                                if cursors[cc].1 + 1 >= seg_blocks {
+                                    c = cc;
+                                    break;
+                                }
+                            }
                             if cursors[c] == (next, 0) {
                                 break;
                             }
@@ -333,12 +433,20 @@ impl<D: QueueDevice> Lfs<D> {
             if summary.epoch != cp.epoch || summary.seq != expected {
                 // Possibly the chain continues in another segment (this
                 // position holds stale data from the segment's previous
-                // life). A chunk never spills while its primary cursor
+                // life). A chunk never spills while its preferred cursor
                 // has room, so the only legal continuation is a fresh
                 // segment.
                 match heads.get(&expected) {
                     Some(&next) => {
-                        let c = (next as usize) % cursors.len();
+                        let sh = self.shard_of_seg(next);
+                        let mut c = sh;
+                        for t in 0..nstr {
+                            let cc = t * nsh + sh;
+                            if cursors[cc].1 + 1 >= seg_blocks {
+                                c = cc;
+                                break;
+                            }
+                        }
                         if cursors[c] == (next, 0) {
                             break;
                         }

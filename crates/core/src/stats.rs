@@ -58,6 +58,11 @@ impl BlockKind {
     }
 }
 
+/// Upper bound on temperature-keyed write streams per shard (hot, warm,
+/// cold, plus one spare class). Sizes the fixed per-stream counter
+/// arrays so [`LfsStats`] stays `Copy`.
+pub const MAX_STREAMS: usize = 4;
+
 /// Statistics of the segment cleaner (the inputs to Table 2).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct CleanerStats {
@@ -75,6 +80,11 @@ pub struct CleanerStats {
     pub bytes_written: u64,
     /// Number of cleaning passes.
     pub passes: u64,
+    /// Histogram of the utilizations at which non-empty segments were
+    /// cleaned, in ten deciles (`[0,0.1)`, `[0.1,0.2)`, …, `[0.9,1.0]`).
+    /// The adaptive policy's pacing reads the same shape; `lfstop`
+    /// renders it as the utilization-at-clean panel.
+    pub util_deciles: [u64; 10],
 }
 
 impl CleanerStats {
@@ -84,6 +94,13 @@ impl CleanerStats {
             return 0.0;
         }
         self.segments_empty as f64 / self.segments_cleaned as f64
+    }
+
+    /// Records one non-empty segment cleaned at utilization `u` into the
+    /// decile histogram.
+    pub fn record_clean_utilization(&mut self, u: f64) {
+        let decile = ((u * 10.0) as usize).min(9);
+        self.util_deciles[decile] += 1;
     }
 
     /// Mean utilization of the non-empty segments cleaned (`u` in
@@ -105,6 +122,10 @@ pub struct LfsStats {
     log_bytes: [u64; 7],
     /// Bytes appended to the log by the cleaner, per block kind.
     cleaner_log_bytes: [u64; 7],
+    /// Bytes appended to the log per temperature stream (chunk payloads
+    /// plus their summaries, attributed to the stream whose write point
+    /// carried them). All traffic lands in stream 0 when `streams = 1`.
+    stream_bytes: [u64; MAX_STREAMS],
     /// Cleaner statistics.
     pub cleaner: CleanerStats,
     /// Checkpoints performed.
@@ -146,6 +167,16 @@ impl LfsStats {
         } else {
             self.log_bytes[kind.index()] += bytes;
         }
+    }
+
+    /// Records `bytes` carried by temperature stream `stream`.
+    pub fn add_stream_bytes(&mut self, stream: usize, bytes: u64) {
+        self.stream_bytes[stream.min(MAX_STREAMS - 1)] += bytes;
+    }
+
+    /// Bytes carried by temperature stream `stream` so far.
+    pub fn stream_bytes(&self, stream: usize) -> u64 {
+        self.stream_bytes[stream.min(MAX_STREAMS - 1)]
     }
 
     /// Bytes of `kind` written to the log (including cleaner rewrites).

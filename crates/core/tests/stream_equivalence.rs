@@ -1,0 +1,318 @@
+//! Temperature-stream equivalence pins.
+//!
+//! PR 10 introduced temperature-keyed write streams (hot/warm/cold write
+//! points layered on the per-shard write points). The default
+//! configuration keeps `streams = 1`, and this file pins that
+//! configuration to the exact behaviour of the pre-stream image:
+//!
+//! 1. **Golden bit-identity** — a fixed deterministic workload on a
+//!    `SimDisk` (and on a two-shard `VolumeSet`) must produce the exact
+//!    image hash and simulated service-time statistics recorded from the
+//!    tree immediately before the stream machinery landed. Any code path
+//!    that perturbs single-stream layout, cleaning, or timing trips this.
+//! 2. **Content equivalence** — multi-stream configurations must agree
+//!    with single-stream on every byte of every file, across random
+//!    workloads and a remount (streams change placement, never contents).
+//! 3. **Crash recovery** — a crash cut mid-multi-stream-flush recovers
+//!    every write point (one per (shard, temperature) pair).
+
+use blockdev::{BlockDevice, CrashDisk, DiskModel, MemDisk, SimDisk, VolumeSet};
+use lfs_core::layout::SEGMENTS_START;
+use lfs_core::{InvariantSuite, Lfs, LfsConfig};
+use proptest::prelude::*;
+use vfs::FileSystem;
+
+const SEG_BLOCKS: u64 = 16;
+
+/// FNV-1a over an image, to keep golden constants short.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A fixed deterministic workload: enough overwrite churn on a small
+/// disk to force multiple flushes and cleaner passes.
+fn golden_workload<D: blockdev::QueueDevice>(fs: &mut Lfs<D>) {
+    let mut st = 0x5eed_0123_4567_89abu64;
+    let path = |f: u64| format!("/f{f}");
+    for _ in 0..400 {
+        let r = splitmix(&mut st);
+        let file = r % 6;
+        match (r >> 8) % 20 {
+            0..=13 => {
+                let offset = (splitmix(&mut st) % 120_000) as u64;
+                let len = 1 + (splitmix(&mut st) % 12_288) as usize;
+                let fill = (splitmix(&mut st) & 0xff) as u8;
+                let ino = match fs.lookup(&path(file)) {
+                    Ok(ino) => ino,
+                    Err(_) => fs.create(&path(file)).expect("create"),
+                };
+                fs.write(ino, offset, &vec![fill; len]).expect("write");
+            }
+            14..=15 => {
+                if let Ok(ino) = fs.lookup(&path(file)) {
+                    let size = splitmix(&mut st) % 120_000;
+                    fs.truncate(ino, size).expect("truncate");
+                }
+            }
+            16 => {
+                let _ = fs.unlink(&path(file));
+            }
+            17..=18 => fs.sync().expect("sync"),
+            _ => fs.drop_caches(),
+        }
+    }
+    fs.sync().expect("final sync");
+}
+
+/// Golden values captured from the tree immediately before PR 10 (the
+/// last commit with single write point per shard and no stream config).
+/// `streams = 1` must reproduce them bit for bit.
+const GOLDEN_SINGLE: (u64, u64, u64, u64, u64, u64) = (
+    0xfa44_cc75_7bf3_af8f, // image fnv1a
+    0x0000_0002_6a92_0d4d, // busy_ns
+    0x0000_0001_56e1_218f, // positioning_ns
+    0x179,                 // seeks
+    0xa9,                  // writes
+    0x0049_d000,           // bytes_written
+);
+const GOLDEN_TWO_SHARD: (u64, u64, u64, u64, u64, u64) = (
+    0x6a56_d546_d8c4_513c,
+    0x0000_0002_530e_0392,
+    0x0000_0001_639b_f060,
+    0x161,
+    0x90,
+    0x003e_f000,
+);
+
+fn run_golden<D: blockdev::QueueDevice>(dev: D, cfg: LfsConfig) -> Lfs<D> {
+    let mut fs = Lfs::format(dev, cfg).expect("format");
+    golden_workload(&mut fs);
+    fs
+}
+
+#[test]
+fn single_stream_is_bit_identical_to_pre_stream_image() {
+    let fs = run_golden(SimDisk::new(4096, DiskModel::wren_iv()), LfsConfig::small());
+    let s = fs.device().stats();
+    let got = (
+        fnv1a(&fs.into_device().image()),
+        s.busy_ns,
+        s.positioning_ns,
+        s.seeks,
+        s.writes,
+        s.bytes_written,
+    );
+    println!("GOLDEN_SINGLE: {got:#018x?}");
+    assert_eq!(got, GOLDEN_SINGLE);
+}
+
+#[test]
+fn single_stream_two_shard_volume_is_bit_identical_to_pre_stream_image() {
+    let shards: Vec<SimDisk> = (0..2)
+        .map(|_| SimDisk::new(SEGMENTS_START + 64 * SEG_BLOCKS, DiskModel::wren_iv()))
+        .collect();
+    let set = VolumeSet::new(shards, SEGMENTS_START, SEG_BLOCKS);
+    let fs = run_golden(set, LfsConfig::small());
+    let stats: Vec<_> = (0..2)
+        .map(|i| fs.device().shard_stats(i).unwrap())
+        .collect();
+    let busy: u64 = stats.iter().map(|s| s.busy_ns).sum();
+    let pos: u64 = stats.iter().map(|s| s.positioning_ns).sum();
+    let seeks: u64 = stats.iter().map(|s| s.seeks).sum();
+    let writes: u64 = stats.iter().map(|s| s.writes).sum();
+    let bw: u64 = stats.iter().map(|s| s.bytes_written).sum();
+    let shards = fs.into_device().into_shards();
+    let mut h = 0u64;
+    for sh in &shards {
+        h = h.wrapping_mul(0x100_0000_01b3) ^ fnv1a(&sh.image());
+    }
+    let got = (h, busy, pos, seeks, writes, bw);
+    println!("GOLDEN_TWO_SHARD: {got:#018x?}");
+    assert_eq!(got, GOLDEN_TWO_SHARD);
+}
+
+// ---- content equivalence ------------------------------------------------
+
+/// Reads back every workload file (`None` when it does not exist).
+fn contents<D: blockdev::QueueDevice>(fs: &mut Lfs<D>) -> Vec<Option<Vec<u8>>> {
+    (0..6)
+        .map(|f| match fs.lookup(&format!("/f{f}")) {
+            Ok(ino) => Some(fs.read_to_vec(ino).expect("read")),
+            Err(_) => None,
+        })
+        .collect()
+}
+
+#[test]
+fn multi_stream_multi_shard_agrees_with_single_stream_on_contents() {
+    let mem_set = || {
+        let shards: Vec<MemDisk> = (0..2)
+            .map(|_| MemDisk::new(SEGMENTS_START + 64 * SEG_BLOCKS))
+            .collect();
+        VolumeSet::new(shards, SEGMENTS_START, SEG_BLOCKS)
+    };
+    let mut base = run_golden(mem_set(), LfsConfig::small());
+    let mut streamed = run_golden(mem_set(), LfsConfig::small().with_streams(3));
+    assert_eq!(
+        contents(&mut base),
+        contents(&mut streamed),
+        "temperature streams changed file contents"
+    );
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    Write {
+        file: u8,
+        offset: u32,
+        len: u16,
+        fill: u8,
+    },
+    Truncate {
+        file: u8,
+        size: u32,
+    },
+    Unlink {
+        file: u8,
+    },
+    Sync,
+    DropCaches,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0u8..10, 0u8..6, 0u32..120_000, 1u16..8192, any::<u8>()).prop_map(
+        |(sel, file, offset, len, fill)| match sel {
+            0..=5 => Op::Write {
+                file,
+                offset,
+                len,
+                fill,
+            },
+            6 => Op::Truncate { file, size: offset },
+            7 => Op::Unlink { file },
+            8 => Op::Sync,
+            _ => Op::DropCaches,
+        },
+    )
+}
+
+fn apply<D: blockdev::QueueDevice>(fs: &mut Lfs<D>, op: &Op) {
+    let path = |f: u8| format!("/f{f}");
+    match op {
+        Op::Write {
+            file,
+            offset,
+            len,
+            fill,
+        } => {
+            let ino = match fs.lookup(&path(*file)) {
+                Ok(ino) => ino,
+                Err(_) => fs.create(&path(*file)).expect("create"),
+            };
+            fs.write(ino, *offset as u64, &vec![*fill; *len as usize])
+                .expect("write");
+        }
+        Op::Truncate { file, size } => {
+            if let Ok(ino) = fs.lookup(&path(*file)) {
+                fs.truncate(ino, *size as u64).expect("truncate");
+            }
+        }
+        Op::Unlink { file } => {
+            let _ = fs.unlink(&path(*file));
+        }
+        Op::Sync => fs.sync().expect("sync"),
+        Op::DropCaches => fs.drop_caches(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Streams change *placement*, never contents: a three-stream file
+    /// system must agree with a single-stream one on every byte of
+    /// every file — including after a remount of the streamed image
+    /// (checkpointed cursors, heat snapshot, roll-forward all replayed).
+    #[test]
+    fn three_streams_agree_with_one_on_contents(
+        ops in proptest::collection::vec(op_strategy(), 1..120)
+    ) {
+        let cfg1 = LfsConfig::small();
+        let cfg3 = LfsConfig::small().with_streams(3);
+        let mut one = Lfs::format(MemDisk::new(4096), cfg1).expect("format");
+        let mut three = Lfs::format(MemDisk::new(4096), cfg3).expect("format");
+        for op in &ops {
+            apply(&mut one, op);
+            apply(&mut three, op);
+        }
+        one.sync().expect("sync");
+        three.sync().expect("sync");
+        let want = contents(&mut one);
+        prop_assert_eq!(&want, &contents(&mut three));
+        // Remount the streamed image and compare again.
+        let mut back = Lfs::mount(three.into_device(), cfg3).expect("mount");
+        prop_assert_eq!(back.write_points().len(), 3);
+        prop_assert_eq!(&want, &contents(&mut back));
+    }
+}
+
+// ---- crash recovery -----------------------------------------------------
+
+/// Cuts the log at every write boundary of a flush that spans all three
+/// temperature streams and asserts the invariant suite plus stream-cursor
+/// restoration on the survivor.
+#[test]
+fn crash_mid_multi_stream_flush_recovers_every_write_point() {
+    let cfg = LfsConfig::small().with_streams(3);
+    let mut fs = Lfs::format(CrashDisk::new(2048), cfg).unwrap();
+    // Build heat: /hot rewritten often, /cold written once.
+    let hot = fs.create("/hot").unwrap();
+    let cold = fs.create("/cold").unwrap();
+    fs.write(cold, 0, &vec![0xcc; 30_000]).unwrap();
+    for round in 0..6u8 {
+        fs.write(hot, 0, &vec![round; 20_000]).unwrap();
+        fs.sync().unwrap();
+    }
+    fs.device_mut().checkpoint_baseline();
+    // One batch dirtying all temperatures, then the flush under test.
+    fs.write(hot, 0, &vec![0xaa; 24_000]).unwrap();
+    fs.write(cold, 4096, &vec![0xdd; 16_000]).unwrap();
+    let fresh = fs.create("/fresh").unwrap();
+    fs.write(fresh, 0, &vec![0xee; 12_000]).unwrap();
+    fs.sync().unwrap();
+    let suite = InvariantSuite::new();
+    let crash: &CrashDisk = fs.device();
+    let n = crash.num_writes();
+    assert!(n > 0, "the batch must actually reach the device");
+    for cut in 0..=n {
+        let image = crash.image_after(cut).unwrap();
+        let (report, survivor) = suite.verify_device(image, cfg);
+        assert!(report.is_ok(), "cut {cut}/{n}: {report}");
+        let mut fs2 = survivor.unwrap_or_else(|| panic!("cut {cut}/{n}: no mounted fs"));
+        // Every (stream, shard) write point is restored and on a valid
+        // segment; the baseline data survives every cut.
+        assert_eq!(fs2.write_points().len(), 3, "cut {cut}/{n}");
+        let c = fs2.lookup("/cold").unwrap();
+        let data = fs2.read_to_vec(c).unwrap();
+        assert_eq!(&data[..8], &[0xcc; 8], "cut {cut}/{n}: baseline data lost");
+        let h = fs2.lookup("/hot").unwrap();
+        let hdata = fs2.read_to_vec(h).unwrap();
+        assert!(
+            hdata[0] == 5 || hdata[0] == 0xaa,
+            "cut {cut}/{n}: hot file in impossible state ({:#x})",
+            hdata[0]
+        );
+    }
+}

@@ -15,6 +15,7 @@ fn run(label: &str, pattern: AccessPattern, policy: Policy, age_sort: bool) {
         age_sort,
         clean_target: 4,
         segs_per_pass: 4,
+        streams: 1,
         seed: 7,
     };
     let mut s = Simulator::new(cfg);

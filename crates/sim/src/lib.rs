@@ -41,6 +41,15 @@ pub enum AccessPattern {
         /// Fraction of accesses that go to the hot group.
         hot_access_fraction: f64,
     },
+    /// Zipfian access: file of rank `r` is chosen with probability
+    /// proportional to `1 / (r+1)^theta`. Unlike `HotCold`'s two flat
+    /// groups this produces a continuous popularity gradient — the
+    /// key-value-store shape the skew parameter `theta` (0 < theta < 1,
+    /// commonly 0.99-like skews use 0.9) comes from.
+    Zipf {
+        /// Skew exponent in `(0, 1)`; higher is more skewed.
+        theta: f64,
+    },
 }
 
 impl AccessPattern {
@@ -51,6 +60,11 @@ impl AccessPattern {
             hot_access_fraction: 0.9,
         }
     }
+
+    /// A key-value-store-like Zipfian skew.
+    pub fn zipf_default() -> AccessPattern {
+        AccessPattern::Zipf { theta: 0.9 }
+    }
 }
 
 /// Which policy selects segments for cleaning.
@@ -60,6 +74,12 @@ pub enum Policy {
     Greedy,
     /// Highest `(1-u)*age/(1+u)` first (§3.5).
     CostBenefit,
+    /// Population-normalized scoring mirroring `lfs_core`'s adaptive
+    /// policy: `(1-u)/(1+u) * (1 + (age/mean_age) * mean_util)` over the
+    /// candidate population, with pacing scaled by the clean-segment
+    /// deficit. On an emptyish disk it behaves like greedy; on a full
+    /// one it leans on age like cost-benefit.
+    Adaptive,
 }
 
 /// Simulator configuration.
@@ -81,6 +101,12 @@ pub struct SimConfig {
     pub clean_target: u32,
     /// Segments cleaned per pass ("a few tens at a time").
     pub segs_per_pass: u32,
+    /// Number of temperature-keyed write streams (log heads). `1` is the
+    /// classic single-head log; with more, new writes are routed by a
+    /// per-file heat estimate (hottest stream first) and cleaner
+    /// relocations go to the coldest stream — mirroring `lfs_core`'s
+    /// write-stream machinery.
+    pub streams: u32,
     /// PRNG seed (the simulator is fully deterministic).
     pub seed: u64,
 }
@@ -107,6 +133,7 @@ impl SimConfig {
             age_sort: false,
             clean_target: 4,
             segs_per_pass: 4,
+            streams: 1,
             seed: 0x5eed,
         }
     }

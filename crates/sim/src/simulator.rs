@@ -10,6 +10,56 @@ use crate::{AccessPattern, Policy, SimConfig};
 
 const NO_SEG: u32 = u32::MAX;
 
+/// Q16 fixed-point heat unit (mirrors `lfs_core`'s estimator).
+const HEAT_ONE: u32 = 1 << 16;
+/// At or above this a file routes to the hottest stream.
+const HEAT_HOT: u32 = 3 * HEAT_ONE;
+/// At or above this a file routes to the warm stream.
+const HEAT_WARM: u32 = HEAT_ONE;
+
+/// Precomputed Zipfian sampler (Gray et al.'s quick method): one uniform
+/// draw per sample after an O(n) harmonic precomputation.
+#[derive(Clone, Copy)]
+struct Zipf {
+    n: u32,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipf {
+    fn new(n: u32, theta: f64) -> Zipf {
+        assert!(
+            (0.0..1.0).contains(&theta) && theta > 0.0,
+            "Zipf theta must be in (0, 1)"
+        );
+        let zetan: f64 = (1..=n as u64).map(|i| (i as f64).powf(-theta)).sum();
+        let zeta2 = 1.0 + 2f64.powf(-theta);
+        Zipf {
+            n,
+            theta,
+            alpha: 1.0 / (1.0 - theta),
+            zetan,
+            eta: (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan),
+        }
+    }
+
+    /// Maps a uniform draw in `[0, 1)` to a rank in `[0, n)` (rank 0 is
+    /// the most popular).
+    fn sample(&self, u: f64) -> u32 {
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 2f64.powf(-self.theta) {
+            return 1;
+        }
+        let r = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u32;
+        r.min(self.n - 1)
+    }
+}
+
 /// Where a file's single block currently lives.
 #[derive(Clone, Copy)]
 struct FileLoc {
@@ -68,7 +118,18 @@ pub struct Simulator {
     /// count and both the space check in `step()` and the advance in
     /// `append_block()` are O(1) instead of scans over every segment.
     free_list: VecDeque<u32>,
-    cur_seg: u32,
+    /// One log head per temperature stream: `cur_segs[0]` is the hottest
+    /// (and with `streams = 1` the only, historical head), the last the
+    /// coldest — where the cleaner writes its relocations.
+    cur_segs: Vec<u32>,
+    /// Per-file exponential-decay heat `(q16, last touch)`; empty with a
+    /// single stream (nothing reads it).
+    heat: Vec<(u32, u64)>,
+    /// Heat half-life in steps: every file is written about once per
+    /// `nfiles` steps under uniform access, so hot files (written much
+    /// more often) accumulate heat while cold ones decay to zero.
+    heat_half_life: u64,
+    zipf: Option<Zipf>,
     clock: u64,
     // Write-cost accounting (current measurement window).
     new_blocks: u64,
@@ -94,6 +155,15 @@ impl Simulator {
             (nfiles as u64) < cfg.nsegments as u64 * cfg.blocks_per_segment as u64,
             "disk utilization must be below 1.0"
         );
+        let nstreams = cfg.streams.clamp(1, 4);
+        assert!(
+            nstreams < cfg.nsegments,
+            "stream count must leave segments to write into"
+        );
+        let zipf = match cfg.pattern {
+            AccessPattern::Zipf { theta } => Some(Zipf::new(nfiles, theta)),
+            _ => None,
+        };
         let mut sim = Simulator {
             rng: StdRng::seed_from_u64(cfg.seed),
             files: vec![
@@ -104,10 +174,17 @@ impl Simulator {
                 nfiles as usize
             ],
             segs: vec![Segment::fresh(); cfg.nsegments as usize],
-            // Segment 0 becomes the initial log head below; the rest are
-            // the clean pool.
-            free_list: (1..cfg.nsegments).collect(),
-            cur_seg: 0,
+            // Segments 0..streams become the initial log heads below;
+            // the rest are the clean pool.
+            free_list: (nstreams..cfg.nsegments).collect(),
+            cur_segs: (0..nstreams).collect(),
+            heat: if nstreams > 1 {
+                vec![(0, 0); nfiles as usize]
+            } else {
+                Vec::new()
+            },
+            heat_half_life: (nfiles as u64 / 2).max(1),
+            zipf,
             clock: 0,
             new_blocks: 0,
             cleaner_read_blocks: 0,
@@ -119,11 +196,52 @@ impl Simulator {
             trace: lfs_obs::Trace::off(),
             cfg,
         };
-        sim.segs[0].clean = false;
+        for s in 0..nstreams {
+            sim.segs[s as usize].clean = false;
+        }
+        // The initial population has no heat yet, so with several
+        // streams it lays out on the coldest — the right prior: a file
+        // proves itself hot by being overwritten.
+        let t = nstreams as usize - 1;
         for f in 0..nfiles {
-            sim.append_block(f, 0, false);
+            sim.append_block(f, 0, t, false);
         }
         sim
+    }
+
+    fn nstreams(&self) -> usize {
+        self.cur_segs.len()
+    }
+
+    /// Decayed heat of file `f` at the current clock.
+    fn file_heat(&self, f: u32) -> u32 {
+        let (q, last) = self.heat[f as usize];
+        let shifts = (self.clock.saturating_sub(last) / self.heat_half_life).min(31);
+        q >> shifts
+    }
+
+    /// Records a write to `f` in the heat estimator (several streams
+    /// only; a single-stream simulator never calls this).
+    fn touch_file(&mut self, f: u32) {
+        let q = self.file_heat(f);
+        self.heat[f as usize] = (q.saturating_add(HEAT_ONE), self.clock);
+    }
+
+    /// The stream a new write of `f` routes to: hottest first, mirroring
+    /// `lfs_core::heat`'s class thresholds.
+    fn stream_of(&self, f: u32) -> usize {
+        let n = self.nstreams();
+        if n == 1 {
+            return 0;
+        }
+        let q = self.file_heat(f);
+        if q >= HEAT_HOT {
+            0
+        } else if q >= HEAT_WARM {
+            1.min(n - 1)
+        } else {
+            n - 1
+        }
     }
 
     /// Routes cleaner-pass trace events (picked-segment utilizations,
@@ -152,20 +270,29 @@ impl Simulator {
                     self.rng.gen_range(hot_files..n)
                 }
             }
+            AccessPattern::Zipf { .. } => {
+                let u: f64 = self.rng.gen_range(0.0..1.0);
+                self.zipf
+                    .expect("Zipf sampler precomputed in new()")
+                    .sample(u)
+            }
         }
     }
 
-    /// Appends one block for file `f` to the log, invalidating its old
-    /// copy. `mtime` is the block's modification time carried along by
-    /// the cleaner; new writes use the current clock.
-    fn append_block(&mut self, f: u32, mtime: u64, by_cleaner: bool) {
-        // Advance to a clean segment if the current one is full.
-        if self.segs[self.cur_seg as usize].entries.len() >= self.cfg.blocks_per_segment as usize {
+    /// Appends one block for file `f` to stream `t`'s log head,
+    /// invalidating its old copy. `mtime` is the block's modification
+    /// time carried along by the cleaner; new writes use the current
+    /// clock.
+    fn append_block(&mut self, f: u32, mtime: u64, t: usize, by_cleaner: bool) {
+        // Advance to a clean segment if the stream's segment is full.
+        if self.segs[self.cur_segs[t] as usize].entries.len()
+            >= self.cfg.blocks_per_segment as usize
+        {
             let next = self
                 .free_list
                 .pop_front()
                 .expect("out of clean segments — cleaner invariant broken");
-            self.cur_seg = next;
+            self.cur_segs[t] = next;
             let seg = &mut self.segs[next as usize];
             seg.clean = false;
             seg.entries.clear();
@@ -177,15 +304,13 @@ impl Simulator {
         if old.seg != NO_SEG {
             self.segs[old.seg as usize].live -= 1;
         }
-        let seg = &mut self.segs[self.cur_seg as usize];
+        let cur = self.cur_segs[t];
+        let seg = &mut self.segs[cur as usize];
         let pos = seg.entries.len() as u32;
         seg.entries.push((f, mtime));
         seg.live += 1;
         seg.youngest = seg.youngest.max(mtime);
-        self.files[f as usize] = FileLoc {
-            seg: self.cur_seg,
-            pos,
-        };
+        self.files[f as usize] = FileLoc { seg: cur, pos };
         if by_cleaner {
             self.cleaner_written_blocks += 1;
         }
@@ -198,17 +323,33 @@ impl Simulator {
     /// One simulation step: overwrite one file; clean if out of space.
     pub fn step(&mut self) {
         self.clock += 1;
-        // Ensure space exists before writing (the cleaner needs the
-        // segments it fills to already be clean).
-        if self.free_list.is_empty()
-            && self.segs[self.cur_seg as usize].entries.len()
-                >= self.cfg.blocks_per_segment as usize
-        {
-            self.run_cleaner();
+        let full = |sim: &Simulator, t: usize| {
+            sim.segs[sim.cur_segs[t] as usize].entries.len() >= sim.cfg.blocks_per_segment as usize
+        };
+        if self.nstreams() == 1 {
+            // Ensure space exists before writing (the cleaner needs the
+            // segments it fills to already be clean). The check comes
+            // before the pick, preserving the historical single-stream
+            // RNG draw sequence exactly.
+            if self.free_list.is_empty() && full(self, 0) {
+                self.run_cleaner(0);
+            }
+            let f = self.pick_file();
+            let now = self.clock;
+            self.append_block(f, now, 0, false);
+        } else {
+            // The target stream depends on the file, so pick first. The
+            // stream is judged on the heat *before* this write: one
+            // write does not make a cold file warm.
+            let f = self.pick_file();
+            let t = self.stream_of(f);
+            self.touch_file(f);
+            if self.free_list.is_empty() && full(self, t) {
+                self.run_cleaner(t);
+            }
+            let now = self.clock;
+            self.append_block(f, now, t, false);
         }
-        let f = self.pick_file();
-        let now = self.clock;
-        self.append_block(f, now, false);
         self.new_blocks += 1;
     }
 
@@ -222,14 +363,15 @@ impl Simulator {
     /// achievable, and cleaning fully-live segments (`u = 1`) would move
     /// bytes without reclaiming anything — the cleaner skips those and
     /// stops when no candidate can make progress.
-    fn run_cleaner(&mut self) {
+    fn run_cleaner(&mut self, need: usize) {
         // One reciprocal for every utilization computed below: the
         // snapshot loop alone divides once per segment per cleaning.
         let inv_spb = 1.0 / self.cfg.blocks_per_segment as f64;
+        let is_head = |sim: &Simulator, i: usize| sim.cur_segs.contains(&(i as u32));
         // Snapshot the distribution the cleaner sees (Figures 5/6),
         // skipping clean segments (nothing for the cleaner to look at).
         for (i, s) in self.segs.iter().enumerate() {
-            if !s.clean && i as u32 != self.cur_seg {
+            if !s.clean && !is_head(self, i) {
                 self.cleaning_histogram.add(s.live as f64 * inv_spb);
             }
         }
@@ -239,23 +381,46 @@ impl Simulator {
             .cfg
             .nsegments
             .saturating_sub(min_live_segs)
-            .saturating_sub(2);
+            .saturating_sub(1 + self.nstreams() as u32);
         let target = self.cfg.clean_target.min(max_clean).max(1);
         let mut stalled = 0;
         while self.clean_segments_available() < target {
             let before = self.clean_segments_available();
+            // The adaptive policy scores against the candidate
+            // population: mean utilization, mean age, and the
+            // clean-segment fraction (see `lfs_core::cleaner::Adaptive`).
+            let (mean_util, mean_age) = if self.cfg.policy == Policy::Adaptive {
+                let mut n = 0u64;
+                let (mut us, mut ages) = (0.0f64, 0.0f64);
+                for (i, s) in self.segs.iter().enumerate() {
+                    if !s.clean && !is_head(self, i) && s.live < spb {
+                        n += 1;
+                        us += s.live as f64 * inv_spb;
+                        ages += (self.clock.saturating_sub(s.youngest) + 1) as f64;
+                    }
+                }
+                if n == 0 {
+                    (0.5, 1.0)
+                } else {
+                    (us / n as f64, ages / n as f64)
+                }
+            } else {
+                (0.5, 1.0)
+            };
             let mut ranked: Vec<(f64, u32)> = self
                 .segs
                 .iter()
                 .enumerate()
-                .filter(|&(i, s)| !s.clean && i as u32 != self.cur_seg && s.live < spb)
+                .filter(|&(i, s)| !s.clean && !is_head(self, i) && s.live < spb)
                 .map(|(i, s)| {
                     let u = s.live as f64 * inv_spb;
+                    let age = (self.clock.saturating_sub(s.youngest) + 1) as f64;
                     let score = match self.cfg.policy {
                         Policy::Greedy => 1.0 - u,
-                        Policy::CostBenefit => {
-                            let age = (self.clock.saturating_sub(s.youngest) + 1) as f64;
-                            (1.0 - u) * age / (1.0 + u)
+                        Policy::CostBenefit => (1.0 - u) * age / (1.0 + u),
+                        Policy::Adaptive => {
+                            let age_norm = age / mean_age.max(1.0);
+                            (1.0 - u) / (1.0 + u) * (1.0 + age_norm * mean_util)
                         }
                     };
                     (score, i as u32)
@@ -264,10 +429,19 @@ impl Simulator {
             if ranked.is_empty() {
                 break; // Only fully-live segments remain.
             }
-            // Only the top `segs_per_pass` scores matter: a linear-time
+            // Only the pace's worth of top scores matter: a linear-time
             // selection beats sorting the whole candidate list, and the
-            // (small) selected prefix is then ordered best-first.
-            let k = (self.cfg.segs_per_pass as usize).min(ranked.len());
+            // (small) selected prefix is then ordered best-first. The
+            // adaptive policy paces by the clean-segment deficit —
+            // bigger installments the closer the disk is to wedging.
+            let pace = if self.cfg.policy == Policy::Adaptive {
+                let fill = self.clean_segments_available() as f64 / target as f64;
+                let deficit = (1.0 - fill).clamp(0.0, 1.0);
+                ((self.cfg.segs_per_pass as f64 * (0.25 + 0.75 * deficit)).round() as usize).max(1)
+            } else {
+                self.cfg.segs_per_pass as usize
+            };
+            let k = pace.min(ranked.len());
             let desc = |a: &(f64, u32), b: &(f64, u32)| b.0.partial_cmp(&a.0).unwrap();
             if k < ranked.len() {
                 ranked.select_nth_unstable_by(k - 1, desc);
@@ -338,8 +512,30 @@ impl Simulator {
                 seg.clean = true;
                 self.free_list.push_back(si);
             }
+            // Relocations route by the surviving file's own heat, with
+            // the coldest stream as the unheated default. Blanket
+            // cold-routing would be wrong for the live blocks salvaged
+            // out of a *hot* segment: they survived because they are
+            // recent, and burying them in cold segments seeds those
+            // segments with soon-to-die bytes (the exact mixing the
+            // streams exist to prevent).
             for (f, t) in live {
-                self.append_block(f, t, true);
+                let mut dst = self.stream_of(f);
+                // Near the packing limit the preferred head may be full
+                // with no clean segment left to extend it. Some head
+                // always has room — a pass frees at least as much space
+                // as it rewrites — so spill there rather than wedge.
+                // (Mixing temperatures when the disk is this full is the
+                // lesser evil.)
+                let full = |sim: &Simulator, s: usize| {
+                    sim.segs[sim.cur_segs[s] as usize].entries.len() >= spb as usize
+                };
+                if self.free_list.is_empty() && full(self, dst) {
+                    if let Some(alt) = (0..self.nstreams()).find(|&s| !full(self, s)) {
+                        dst = alt;
+                    }
+                }
+                self.append_block(f, t, dst, true);
             }
             // Guard against zero-net oscillation near the packing limit.
             if self.clean_segments_available() <= before {
@@ -353,7 +549,7 @@ impl Simulator {
         }
         assert!(
             self.clean_segments_available() > 0
-                || self.segs[self.cur_seg as usize].entries.len()
+                || self.segs[self.cur_segs[need] as usize].entries.len()
                     < self.cfg.blocks_per_segment as usize,
             "cleaner could not reclaim any space — disk utilization too high"
         );
@@ -388,7 +584,10 @@ impl Simulator {
         // cold file to have been rewritten several times.
         let warmup = match self.cfg.pattern {
             AccessPattern::Uniform => n * 20,
-            AccessPattern::HotCold { .. } => n * 60,
+            // Skewed patterns: the coldest files are rewritten orders of
+            // magnitude less often, and the standing cold-segment
+            // population is what the policy comparisons depend on.
+            AccessPattern::HotCold { .. } | AccessPattern::Zipf { .. } => n * 60,
         }
         .max(100_000);
         for _ in 0..warmup {

@@ -99,14 +99,109 @@ fn print_shards(snap: &MetricsSnapshot) -> bool {
     true
 }
 
+/// Renders the cleaner panel: active policy, volume cleaned, overall
+/// write cost, the utilization-at-clean histogram (`Figure 6`'s
+/// distribution as deciles), and per-temperature-stream fill rates.
+/// Returns `false` when the snapshot carries no cleaner metrics.
+fn print_cleaner(snap: &MetricsSnapshot) -> bool {
+    let c = |name: &str| snap.counters.get(name).copied();
+    let Some(cleaned) = c("lfs.cleaner.segments_cleaned") else {
+        return false;
+    };
+    let policy = ["greedy", "cost-benefit", "adaptive"]
+        .iter()
+        .find(|p| c(&format!("lfs.cleaner.policy.{p}")).is_some())
+        .copied()
+        .unwrap_or("?");
+    // Paper write cost: (new + cleaner reads + cleaner writes) / new,
+    // with "new" the non-cleaner log traffic.
+    let new_bytes: u64 = snap
+        .counters
+        .iter()
+        .filter(|(k, _)| k.starts_with("lfs.log_bytes."))
+        .map(|(_, &v)| v)
+        .sum();
+    let cr = c("lfs.cleaner.bytes_read").unwrap_or(0);
+    let cw = c("lfs.cleaner.bytes_written").unwrap_or(0);
+    let wc = if new_bytes > 0 {
+        format!("{:.2}", (new_bytes + cr + cw) as f64 / new_bytes as f64)
+    } else {
+        "-".into()
+    };
+    println!(
+        "Cleaner ({policy}): {cleaned} cleaned ({} empty), {} passes, write cost {wc}",
+        c("lfs.cleaner.segments_empty").unwrap_or(0),
+        c("lfs.cleaner.passes").unwrap_or(0),
+    );
+
+    // Utilization-at-clean histogram: the victim-fullness distribution
+    // the bimodal argument is about. A good policy shows mass at both
+    // ends and little in the middle.
+    let deciles: Vec<u64> = (0..10)
+        .map(|i| c(&format!("lfs.cleaner.util_decile.{i}")).unwrap_or(0))
+        .collect();
+    let total: u64 = deciles.iter().sum();
+    if total > 0 {
+        let peak = deciles.iter().copied().max().unwrap_or(1).max(1);
+        println!("Utilization at clean:");
+        for (i, &n) in deciles.iter().enumerate() {
+            let bar = "#".repeat((n * 40).div_ceil(peak) as usize);
+            println!(
+                "  {:.1}-{:.1}  {:>6}  {bar}",
+                i as f64 / 10.0,
+                (i + 1) as f64 / 10.0,
+                n
+            );
+        }
+    }
+
+    // Per-temperature-stream fill rates (stream 0 is the hottest).
+    let stream = |i: usize| c(&format!("lfs.stream.{i}.bytes_written"));
+    let mut per_stream = Vec::new();
+    while let Some(b) = stream(per_stream.len()) {
+        per_stream.push(b);
+    }
+    if per_stream.len() > 1 {
+        let total: u64 = per_stream.iter().sum::<u64>().max(1);
+        let rows: Vec<Vec<String>> = per_stream
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| {
+                let label = match i {
+                    0 => "hot",
+                    _ if i == per_stream.len() - 1 => "cold",
+                    _ => "warm",
+                };
+                vec![
+                    i.to_string(),
+                    label.to_string(),
+                    format!("{:.1}", b as f64 / 1e6),
+                    format!("{:.1}%", b as f64 * 100.0 / total as f64),
+                ]
+            })
+            .collect();
+        println!("Write streams:");
+        println!("{}", render(&["stream", "class", "MBw", "share"], &rows));
+    }
+    println!();
+    true
+}
+
 fn print_snapshot(snap: &MetricsSnapshot) {
     print_shards(snap);
+    let cleaner_shown = print_cleaner(snap);
+    // Keys already rendered in a dedicated panel stay out of the generic
+    // dump.
+    let in_panel = |k: &str| {
+        k.starts_with("shard.")
+            || (cleaner_shown && (k.starts_with("lfs.cleaner.") || k.starts_with("lfs.stream.")))
+    };
     if !snap.counters.is_empty() {
         println!("Counters:");
         let rows: Vec<Vec<String>> = snap
             .counters
             .iter()
-            .filter(|(k, _)| !k.starts_with("shard."))
+            .filter(|(k, _)| !in_panel(k))
             .map(|(k, v)| vec![k.clone(), v.to_string()])
             .collect();
         println!("{}", render(&["name", "value"], &rows));

@@ -1,0 +1,238 @@
+//! Zipfian key-value churn: the workload shape the Cleaner 2.0 write
+//! streams are designed for.
+//!
+//! A fixed population of keys lives under one directory (`/kv`), each
+//! key a small file. Every step overwrites one key's value, with keys
+//! chosen by a Zipfian rank distribution — a continuous popularity
+//! gradient rather than `HotCold`'s two flat groups, matching what
+//! key-value stores and caches see in practice. Values are derived from
+//! a deterministic seed (see [`crate::clients::content`]), so any read
+//! can be verified byte-for-byte without storing a copy.
+//!
+//! The generator is fully deterministic given `(config, seed)`: the same
+//! operation stream hits Sprite LFS, the FFS baseline, and the model
+//! file system identically.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use vfs::{FileSystem, FsError, FsResult, Ino};
+
+use crate::clients::content;
+
+/// Quick Zipfian sampler (Gray et al., "Quickly Generating
+/// Billion-Record Synthetic Databases"): one uniform draw per sample.
+/// Rank 0 is the most popular key. Skew `theta` in `(0, 1)`; the
+/// key-value-store-like default is 0.9. Mirrors the sampler in
+/// `cleaner_sim`, so simulator results and file-system measurements
+/// describe the same distribution.
+#[derive(Clone, Copy, Debug)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipf {
+    /// Sampler over ranks `0..n` with skew `theta`.
+    pub fn new(n: u64, theta: f64) -> Zipf {
+        assert!(n > 0, "empty key space");
+        assert!(
+            theta > 0.0 && theta < 1.0,
+            "theta must be in (0, 1), got {theta}"
+        );
+        let zetan: f64 = (1..=n).map(|i| (i as f64).powf(-theta)).sum();
+        let zeta2: f64 = (1..=2u64.min(n)).map(|i| (i as f64).powf(-theta)).sum();
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipf {
+            n,
+            theta,
+            alpha: 1.0 / (1.0 - theta),
+            zetan,
+            eta,
+        }
+    }
+
+    /// Maps a uniform draw `u` in `[0, 1)` to a rank.
+    pub fn sample(&self, u: f64) -> u64 {
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1.min(self.n - 1);
+        }
+        let r = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        r.min(self.n - 1)
+    }
+}
+
+/// Configuration of the key-value churn generator.
+#[derive(Clone, Copy, Debug)]
+pub struct KvChurn {
+    /// Number of keys in the fixed population.
+    pub keys: u32,
+    /// Zipf skew exponent in `(0, 1)`.
+    pub theta: f64,
+    /// Mean value size in bytes; sizes vary in `[1, 2*mean]`.
+    pub mean_value: usize,
+    /// `sync()` after every this many overwrites (0 = never).
+    pub sync_every: u32,
+}
+
+impl Default for KvChurn {
+    fn default() -> KvChurn {
+        KvChurn {
+            keys: 256,
+            theta: 0.9,
+            mean_value: 2048,
+            sync_every: 64,
+        }
+    }
+}
+
+/// Tracked state of one key.
+#[derive(Clone, Copy, Debug)]
+struct Value {
+    ino: Ino,
+    seed: u64,
+    len: usize,
+}
+
+/// The running generator: owns the key population and the expected
+/// value of every key.
+pub struct KvRun {
+    cfg: KvChurn,
+    rng: StdRng,
+    zipf: Zipf,
+    values: Vec<Value>,
+    next_seed: u64,
+    /// Overwrites issued.
+    pub writes: u64,
+    /// Bytes written.
+    pub write_bytes: u64,
+}
+
+impl KvRun {
+    /// Creates `/kv` and the key population (`/kv/k<rank>`), each with
+    /// an initial verified value. Deterministic given `(cfg, seed)`.
+    pub fn setup<F: FileSystem>(fs: &mut F, cfg: KvChurn, seed: u64) -> FsResult<KvRun> {
+        match fs.mkdir("/kv") {
+            Ok(_) | Err(FsError::AlreadyExists) => {}
+            Err(e) => return Err(e),
+        }
+        let mut run = KvRun {
+            cfg,
+            rng: crate::rng(seed ^ 0x6b76_6368_7572_6e21),
+            zipf: Zipf::new(cfg.keys.max(1) as u64, cfg.theta),
+            values: Vec::with_capacity(cfg.keys as usize),
+            next_seed: 0,
+            writes: 0,
+            write_bytes: 0,
+        };
+        for rank in 0..cfg.keys.max(1) {
+            let ino = fs.create(&format!("/kv/k{rank}"))?;
+            let (vseed, len) = run.fresh_value();
+            fs.write(ino, 0, &content(vseed, len))?;
+            run.values.push(Value {
+                ino,
+                seed: vseed,
+                len,
+            });
+        }
+        Ok(run)
+    }
+
+    fn fresh_value(&mut self) -> (u64, usize) {
+        self.next_seed += 1;
+        let len = self.rng.gen_range(0..(self.cfg.mean_value * 2).max(1)) + 1;
+        (self.next_seed, len)
+    }
+
+    /// Overwrites one Zipf-chosen key with a fresh value.
+    pub fn step<F: FileSystem>(&mut self, fs: &mut F) -> FsResult<()> {
+        let u: f64 = self.rng.gen_range(0.0..1.0);
+        let rank = self.zipf.sample(u) as usize;
+        let (vseed, len) = self.fresh_value();
+        let v = self.values[rank];
+        if len < v.len {
+            fs.truncate(v.ino, len as u64)?;
+        }
+        fs.write(v.ino, 0, &content(vseed, len))?;
+        self.values[rank].seed = vseed;
+        self.values[rank].len = len;
+        self.writes += 1;
+        self.write_bytes += len as u64;
+        if self.cfg.sync_every > 0 && self.writes.is_multiple_of(self.cfg.sync_every as u64) {
+            fs.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Re-reads every key and checks it byte-for-byte against the
+    /// expected value. Returns the number of mismatches (0 on success),
+    /// with the first mismatch described in `Err`-free form for easy
+    /// assertion messages.
+    pub fn verify_all<F: FileSystem>(&mut self, fs: &mut F) -> FsResult<Vec<String>> {
+        let mut failures = Vec::new();
+        for (rank, v) in self.values.iter().enumerate() {
+            let got = fs.read_to_vec(v.ino)?;
+            let expect = content(v.seed, v.len);
+            if got != expect {
+                failures.push(format!(
+                    "key k{rank}: expected {} bytes (seed {}), got {}",
+                    v.len,
+                    v.seed,
+                    got.len()
+                ));
+            }
+        }
+        Ok(failures)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vfs::model::ModelFs;
+
+    #[test]
+    fn zipf_rank0_dominates() {
+        let z = Zipf::new(100, 0.9);
+        let mut rng = crate::rng(3);
+        let mut counts = [0u32; 100];
+        for _ in 0..20_000 {
+            let u: f64 = rng.gen_range(0.0..1.0);
+            counts[z.sample(u) as usize] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > 0);
+        // Top 10% of keys take well over half the accesses at theta 0.9.
+        let top: u32 = counts[..10].iter().sum();
+        assert!(top > 10_000, "top-decile share too small: {top}");
+    }
+
+    #[test]
+    fn churn_is_deterministic_and_self_verifying() {
+        let run_once = || {
+            let mut fs = ModelFs::new();
+            let mut kv = KvRun::setup(
+                &mut fs,
+                KvChurn {
+                    keys: 32,
+                    mean_value: 512,
+                    ..KvChurn::default()
+                },
+                42,
+            )
+            .unwrap();
+            for _ in 0..400 {
+                kv.step(&mut fs).unwrap();
+            }
+            let failures = kv.verify_all(&mut fs).unwrap();
+            assert!(failures.is_empty(), "{failures:?}");
+            (kv.writes, kv.write_bytes)
+        };
+        assert_eq!(run_once(), run_once());
+    }
+}

@@ -19,20 +19,29 @@
 //! - [`clients`] — closed-loop multi-client simulation: thousands of
 //!   self-verifying client state machines multiplexed over OS threads,
 //!   driving one shared mount (or a server connection per thread);
+//! - [`kv`] — Zipfian key-value churn: a fixed key population overwritten
+//!   with a continuous popularity gradient, the workload the Cleaner 2.0
+//!   temperature streams segregate;
+//! - [`wal`] — write-ahead-log appends with group commit and log
+//!   rotation (§2.1's database pattern), the hottest stream of all;
 //! - [`trace`] — operation recording and replay: reproducible workload
 //!   streams and the op-journal ("NVRAM write buffer", §2.1) demo.
 
 pub mod clients;
+pub mod kv;
 mod largefile;
 mod production;
 mod smallfile;
 pub mod trace;
+pub mod wal;
 
 pub use clients::{run_clients, ClientMix, ClientSim, ClientStats, MixReport};
+pub use kv::{KvChurn, KvRun, Zipf};
 pub use largefile::{LargeFileBench, LargeFilePhase};
 pub use production::{PartitionModel, ProductionWorkload};
 pub use smallfile::SmallFileBench;
 pub use trace::{replay, TraceOp, Tracer};
+pub use wal::{WalConfig, WalRun};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

@@ -89,3 +89,57 @@ fn crash_workload_then_recovery() {
     assert_eq!(recovered.statfs().unwrap().num_files, w.count);
     assert!(recovered.check().unwrap().is_clean());
 }
+
+#[test]
+fn kv_churn_on_multi_stream_lfs() {
+    use workload::{KvChurn, KvRun};
+    let cfg = LfsConfig::small().with_streams(3);
+    let mut fs = Lfs::format(MemDisk::new(8192), cfg).unwrap();
+    let mut kv = KvRun::setup(
+        &mut fs,
+        KvChurn {
+            keys: 64,
+            mean_value: 1500,
+            sync_every: 32,
+            ..KvChurn::default()
+        },
+        11,
+    )
+    .unwrap();
+    for _ in 0..1200 {
+        kv.step(&mut fs).unwrap();
+    }
+    let failures = kv.verify_all(&mut fs).unwrap();
+    assert!(failures.is_empty(), "{failures:?}");
+    fs.sync().unwrap();
+    assert!(fs.check().unwrap().is_clean());
+    // The churn must have pushed enough traffic to exercise the cleaner.
+    assert!(kv.write_bytes > 1 << 20);
+}
+
+#[test]
+fn wal_on_multi_stream_lfs_and_survives_remount() {
+    use workload::{WalConfig, WalRun};
+    let cfg = LfsConfig::small().with_streams(3);
+    let mut fs = Lfs::format(MemDisk::new(8192), cfg).unwrap();
+    let mut wal = WalRun::create(
+        &mut fs,
+        "/wal",
+        WalConfig {
+            mean_record: 700,
+            group: 8,
+            rotate_bytes: 96 << 10,
+        },
+    )
+    .unwrap();
+    for _ in 0..900 {
+        wal.append(&mut fs).unwrap();
+    }
+    assert!(wal.rotations > 0 && wal.commits > 0);
+    assert!(wal.verify(&mut fs).unwrap().is_empty());
+    fs.sync().unwrap();
+    // The synced tail must survive a crash-free remount intact.
+    let mut back = Lfs::mount(fs.into_device(), cfg).unwrap();
+    assert!(wal.verify(&mut back).unwrap().is_empty());
+    assert!(back.check().unwrap().is_clean());
+}
